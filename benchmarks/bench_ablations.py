@@ -1,0 +1,157 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Mux/arbitration cost model off** — without the bank-indirection
+   charges the Fig. 4 unpredictability vanishes, demonstrating that the
+   modeled mechanism (not noise) creates the paper's jagged curves.
+2. **Read capabilities off** — re-checking the suite with every read
+   treated affinely (no fan-out sharing) rejects the paper's "identical
+   reads" idiom, quantifying how load-bearing §3.1's capability rule is.
+3. **Lockstep unrolling off (naive whole-body interpretation)** — the
+   §3.4 example that motivates per-time-step parallelization.
+"""
+
+from repro.hls import estimate
+from repro.hls.banking import analyze_kernel
+from repro.hls.resources import estimate_resources
+from repro.hls.scheduling import schedule
+from repro.suite import ALL_PORTS
+from repro.types.capabilities import CapabilitySet
+from repro.types.checker import Checker, rejection_reason
+from repro.frontend.parser import parse
+
+from .helpers import print_table, section2_gemm_kernel
+
+
+def _luts_noise_free(kernel, ablate_indirection: bool) -> int:
+    """Noise-free LUTs, optionally with mux/arbitration/epilogue
+    charges suppressed — isolating the modeled mechanism."""
+    profiles = analyze_kernel(kernel)
+    if ablate_indirection:
+        profiles = {
+            name: type(profile)(
+                array=profile.array, port_pressure=1, mux_degree=1,
+                crossbar=False, regular=True)
+            for name, profile in profiles.items()
+        }
+    sched = schedule(kernel, profiles)
+    return estimate_resources(kernel, profiles, sched, noise=False).luts
+
+
+def test_ablation_mux_cost_model(benchmark):
+    def sweep():
+        rows = []
+        for unroll in range(1, 17):
+            kernel = section2_gemm_kernel(unroll, 8)
+            full = _luts_noise_free(kernel, ablate_indirection=False)
+            ablated = _luts_noise_free(kernel, ablate_indirection=True)
+            rows.append([unroll, full, ablated])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Ablation: LUTs with vs without indirection cost model",
+                ["unroll", "full model", "no-mux model"], rows)
+
+    # The indirection model charges misaligned points far more than
+    # aligned ones — remove it and the Fig. 4b spikes flatten out.
+    # (Aligned partial unrolls still pay their *regular* bank muxes —
+    # Fig. 3b — so the aligned premium is small but non-zero.)
+    premium = {u: full - ablated for u, full, ablated in rows}
+    aligned = [1, 2, 4, 8]
+    misaligned = [3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15]
+    mean_aligned = sum(premium[u] for u in aligned) / len(aligned)
+    mean_misaligned = (sum(premium[u] for u in misaligned)
+                       / len(misaligned))
+    assert mean_misaligned > 1.5 * max(1, mean_aligned)
+    assert premium[3] > premium[2]
+    assert premium[9] > premium[8]
+
+
+class _NoCapabilityChecker(Checker):
+    """A checker variant whose read capabilities never hit."""
+
+    def __init__(self):
+        super().__init__()
+        self.caps = _AlwaysEmptyCaps()
+
+
+class _AlwaysEmptyCaps(CapabilitySet):
+    def has_read(self, print_):
+        return False
+
+    def copy(self):
+        return _AlwaysEmptyCaps()
+
+
+def _accepts_without_capabilities(source: str) -> bool:
+    from repro.errors import DahliaError
+
+    checker = _NoCapabilityChecker()
+    # Ordered composition installs fresh CapabilitySets; patch the class
+    # used by keeping caps always-empty via monkey-style substitution.
+    import repro.types.checker as checker_mod
+
+    original = checker_mod.CapabilitySet
+    checker_mod.CapabilitySet = _AlwaysEmptyCaps
+    try:
+        checker.check_program(parse(source))
+    except DahliaError:
+        return False
+    finally:
+        checker_mod.CapabilitySet = original
+    return True
+
+
+#: Idioms from the paper that only type-check because identical reads
+#: acquire a shared, non-affine read capability (§3.1).
+_CAPABILITY_IDIOMS = {
+    "double identical read": """
+let A: float[10];
+let x = A[0];
+let y = A[0];
+""",
+    "read feeding two consumers": """
+let A: float[4]; let B: float[4]; let C: float[4];
+B[0] := A[0] + 1.0;
+C[0] := A[0] + 2.0;
+""",
+    "repeated read in one expression": """
+let A: float[4];
+let x = A[0] * A[0];
+""",
+}
+
+
+def test_ablation_read_capabilities(benchmark):
+    def sweep():
+        rows = []
+        for name, source in _CAPABILITY_IDIOMS.items():
+            with_caps = rejection_reason(source) is None
+            without = _accepts_without_capabilities(source)
+            rows.append([name, "yes" if with_caps else "no",
+                         "yes" if without else "no"])
+        for name, port in sorted(ALL_PORTS.items()):
+            with_caps = rejection_reason(port.source) is None
+            without = _accepts_without_capabilities(port.source)
+            rows.append([name, "yes" if with_caps else "no",
+                         "yes" if without else "no"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Ablation: acceptance with/without read capabilities",
+                ["program", "with caps", "without caps"], rows)
+
+    idioms = rows[:len(_CAPABILITY_IDIOMS)]
+    suite = rows[len(_CAPABILITY_IDIOMS):]
+    assert all(r[1] == "yes" for r in rows), "everything checks normally"
+    # Every §3.1 idiom collapses without capabilities…
+    assert all(r[2] == "no" for r in idioms)
+    # …while the suite ports, written in separated-step style, survive:
+    # the capability rule buys *expressiveness*, not suite acceptance.
+    assert all(r[2] == "yes" for r in suite)
+
+
+def test_ablation_capability_microexample():
+    """The paper's §3.1 example is exactly the capability rule."""
+    example = "let A: float[10]; let x = A[0]; let y = A[0];"
+    assert rejection_reason(example) is None
+    assert not _accepts_without_capabilities(example)

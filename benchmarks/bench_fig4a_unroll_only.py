@@ -1,0 +1,36 @@
+"""Fig. 4a — unrolling without partitioning.
+
+Paper result: LUT count wobbles between ≈2,300–2,700 with *no clear
+trend*, and runtime stays flat in 750–1,000 ms — extra PEs serialize on
+the single-ported BRAM, buying area but no speed.
+"""
+
+from repro.hls import estimate
+
+from .helpers import print_table, section2_gemm_kernel
+
+UNROLLS = list(range(1, 11))
+
+
+def sweep():
+    return [estimate(section2_gemm_kernel(u, 1)) for u in UNROLLS]
+
+
+def test_fig4a(benchmark):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[u, r.luts, f"{r.runtime_ms:.1f}", f"{r.ii:.2f}",
+             "yes" if r.predictable else "no"]
+            for u, r in zip(UNROLLS, reports)]
+    print_table("Fig. 4a: unrolling without partitioning (512³ gemm)",
+                ["unroll", "LUTs", "runtime_ms", "II", "predictable"],
+                rows)
+
+    runtimes = [r.runtime_ms for r in reports]
+    assert max(runtimes) / min(runtimes) < 1.1, \
+        "latency must stay flat without banking"
+    luts = [r.luts for r in reports]
+    assert max(luts) < 3200 and min(luts) > 1800, \
+        "area stays in the paper's 2,300–2,700 band (±calibration)"
+    deltas = [luts[i + 1] - luts[i] for i in range(len(luts) - 1)]
+    assert any(d < 0 for d in deltas) and any(d > 0 for d in deltas), \
+        "no clear trend: area must wobble, not grow monotonically"

@@ -1,0 +1,44 @@
+"""Fig. 4b — unrolling with 8-way partitioning.
+
+Paper result: the *predictable points* are exactly the unroll factors
+that divide the banking factor 8 ({1,2,4,8}); among them performance
+improves monotonically. Off them, area spikes, latency regresses at 9
+(the paper's "reducing the unrolling factor from 9 to 8 improves both
+performance and area"), and some configurations silently produce
+incorrect hardware (area reported, runtime omitted — as in the figure).
+"""
+
+from repro.hls import estimate
+
+from .helpers import print_table, section2_gemm_kernel
+
+UNROLLS = list(range(1, 17))
+PARTITION = 8
+
+
+def sweep():
+    return [estimate(section2_gemm_kernel(u, PARTITION)) for u in UNROLLS]
+
+
+def test_fig4b(benchmark):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for u, r in zip(UNROLLS, reports):
+        runtime = "(incorrect)" if r.incorrect else f"{r.runtime_ms:.1f}"
+        rows.append([u, r.luts, runtime,
+                     "yes" if r.predictable else "no"])
+    print_table(
+        f"Fig. 4b: unrolling with partitioning={PARTITION} (512³ gemm)",
+        ["unroll", "LUTs", "runtime_ms", "predictable"], rows)
+
+    predictable = [u for u, r in zip(UNROLLS, reports) if r.predictable]
+    assert predictable == [1, 2, 4, 8], \
+        "predictable points are the divisors of the banking factor"
+
+    by_unroll = dict(zip(UNROLLS, reports))
+    assert (by_unroll[1].latency_cycles > by_unroll[2].latency_cycles
+            > by_unroll[4].latency_cycles > by_unroll[8].latency_cycles)
+    assert by_unroll[9].runtime_ms > by_unroll[8].runtime_ms
+    assert by_unroll[9].luts > by_unroll[8].luts
+    assert any(r.incorrect for r in reports), \
+        "some configurations are silently miscompiled (Fig. 4b)"

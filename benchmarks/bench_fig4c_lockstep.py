@@ -1,0 +1,42 @@
+"""Fig. 4c — banking and unrolling swept in lockstep.
+
+Paper result: the predictable points are the factors that divide the
+array size (512 → {1,2,4,8,16}); on them latency improves ∝ 1/factor
+and area scales proportionally, off them the "leftover element"
+hardware makes LUT counts vary wildly.
+"""
+
+from repro.hls import estimate
+
+from .helpers import print_table, section2_gemm_kernel
+
+FACTORS = list(range(1, 17))
+
+
+def sweep():
+    return [estimate(section2_gemm_kernel(f, f)) for f in FACTORS]
+
+
+def test_fig4c(benchmark):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f, r.luts, f"{r.runtime_ms:.1f}",
+             "yes" if r.predictable else "no"]
+            for f, r in zip(FACTORS, reports)]
+    print_table("Fig. 4c: banking = unrolling in lockstep (512³ gemm)",
+                ["factor", "LUTs", "runtime_ms", "predictable"], rows)
+
+    predictable = [f for f, r in zip(FACTORS, reports) if r.predictable]
+    assert predictable == [1, 2, 4, 8, 16], \
+        "predictable points are the divisors of the array size"
+
+    by_factor = dict(zip(FACTORS, reports))
+    # Latency at the predictable points scales with parallelism.
+    for low, high in ((1, 2), (2, 4), (4, 8), (8, 16)):
+        ratio = (by_factor[low].latency_cycles
+                 / by_factor[high].latency_cycles)
+        assert 1.7 <= ratio <= 2.3
+
+    # Unpredictable points pay a visible area premium.
+    spike = max(by_factor[f].luts for f in (11, 13, 14, 15))
+    clean = max(by_factor[f].luts for f in (1, 2, 4, 8, 16))
+    assert spike > clean * 1.3

@@ -1,0 +1,56 @@
+"""Fig. 8c — Dahlia-directed DSE for md-grid.
+
+Paper result: 21,952-point space; Dahlia accepts 81 (0.4%), 13 of them
+Pareto-optimal; the middle unroll factor gives a second-order
+area–latency trade-off within each regime. Our space uses the only
+factorization of 21,952 (7³·8²: three banking parameters 1–7, two
+unroll parameters 1–8 — DESIGN.md documents the reconstruction).
+"""
+
+from repro.dse import explore
+from repro.suite import md_grid_kernel, md_grid_source, md_grid_space
+
+from .helpers import FULL_SWEEPS, print_table
+
+SAMPLE = 2048
+
+
+def sweep():
+    space = md_grid_space()
+    configs = space if FULL_SWEEPS else list(space.sample(SAMPLE))
+    return explore(configs, md_grid_source, md_grid_kernel)
+
+
+def test_fig8c(benchmark):
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    accepted = result.accepted
+    frontier = result.accepted_pareto()
+
+    print_table(
+        "Fig. 8c: md-grid DSE summary",
+        ["metric", "value", "paper"],
+        [
+            ["points swept", result.total,
+             "21,952" if FULL_SWEEPS else "21,952 (subsampled)"],
+            ["Dahlia-accepted", len(accepted), "81"],
+            ["acceptance rate", f"{result.acceptance_rate:.2%}", "0.4%"],
+            ["accepted Pareto points", len(frontier), "13"],
+        ])
+
+    print_table(
+        "Fig. 8c: accepted Pareto frontier (colored by middle unroll)",
+        ["u1", "u2", "b1", "b2", "b3", "latency", "LUTs"],
+        [[p.config["u1"], p.config["u2"], p.config["b1"],
+          p.config["b2"], p.config["b3"],
+          p.report.latency_cycles, p.report.luts]
+         for p in sorted(frontier,
+                         key=lambda p: p.report.latency_cycles)[:16]])
+
+    assert 0.001 <= result.acceptance_rate <= 0.01
+    # Banking factors that don't divide 16 points/cell never survive.
+    assert all(p.config["b1"] in (1, 2, 4) for p in accepted)
+    # Unrolling enables latency-area trade-offs (paper's closing line).
+    if len(frontier) >= 2:
+        fast = min(frontier, key=lambda p: p.report.latency_cycles)
+        slow = max(frontier, key=lambda p: p.report.latency_cycles)
+        assert fast.report.luts >= slow.report.luts

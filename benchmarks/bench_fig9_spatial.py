@@ -1,0 +1,55 @@
+"""Fig. 9 / Fig. 13 — predictability pitfalls in Spatial.
+
+Paper result: sweeping the inner-loop parallelization of gemm-ncubed in
+Spatial from 1 to 16, the inferred banking decision jumps to the next
+divisor of the memory size whenever the unroll factor is not one
+(Fig. 13a), and at those mismatched points the resource usage abruptly
+increases (Fig. 9's normalized curves; up to ≈45k LUTs absolute).
+"""
+
+from repro.spatial import sweep_unroll
+
+from .helpers import print_table
+
+MAX_UNROLL = 16
+
+
+def sweep():
+    return sweep_unroll(MAX_UNROLL)
+
+
+def test_fig9_fig13(benchmark):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = reports[0]
+
+    rows = []
+    for r in reports:
+        norm = r.normalized(base)
+        rows.append([
+            r.unroll, r.inferred_banking,
+            "yes" if r.matched else "NO",
+            r.luts, r.dsps, r.brams, r.regs,
+            f"{norm['LUT']:.2f}", f"{norm['DSP']:.2f}",
+            f"{norm['BRAM']:.2f}",
+        ])
+    print_table(
+        "Fig. 13: Spatial gemm-ncubed sweep "
+        "(banking inference + resources, normalized to unroll 1)",
+        ["unroll", "banking", "matched", "LUTs", "DSPs", "BRAMs",
+         "REGs", "LUT×", "DSP×", "BRAM×"],
+        rows)
+
+    by_unroll = {r.unroll: r for r in reports}
+    # Fig. 13a: inference matches exactly on divisors of 128.
+    for u in (1, 2, 4, 8, 16):
+        assert by_unroll[u].matched
+    for u in (3, 5, 6, 7, 9, 12, 15):
+        assert not by_unroll[u].matched
+    # Fig. 13e: mismatched points spike; matched neighbours are cheaper.
+    assert by_unroll[9].luts > by_unroll[8].luts * 1.2
+    assert by_unroll[16].luts < by_unroll[15].luts
+    # Fig. 13c: DSPs grow with parallelism to ≈140 at unroll 16.
+    assert 120 <= by_unroll[16].dsps <= 160
+    # Fig. 9: normalized LUT usage exceeds 1.5× at the worst mismatch.
+    worst = max(r.normalized(base)["LUT"] for r in reports)
+    assert worst > 1.5

@@ -1,0 +1,59 @@
+"""§4 — throughput of the formal-semantics machinery.
+
+Not a paper figure, but the substrate every soundness claim rests on:
+type-check + desugar + run a representative Dahlia kernel through the
+checked big-step semantics, and iterate the small-step semantics on the
+same program.
+"""
+
+import numpy as np
+
+from repro.filament import desugar, run, run_small
+from repro.frontend.parser import parse
+from repro.interp import interpret
+from repro.types.checker import check_program
+
+KERNEL = """
+decl A: float[16 bank 4];
+decl B: float[16 bank 4];
+decl OUT: float[1];
+let dot = 0.0;
+for (let i = 0..16) unroll 4 {
+  let v = A[i] * B[i];
+} combine {
+  dot += v;
+}
+---
+OUT[0] := dot;
+"""
+
+
+def test_bench_check_and_interpret(benchmark):
+    a = np.arange(16, dtype=float)
+    b = np.ones(16)
+
+    def pipeline():
+        return interpret(KERNEL, {"A": a, "B": b})
+
+    result = benchmark(pipeline)
+    assert result.memories["OUT"][0] == a.sum()
+
+
+def test_bench_typecheck_only(benchmark):
+    program = parse(KERNEL)
+    benchmark(lambda: check_program(program))
+
+
+def test_bench_smallstep_vs_bigstep(benchmark):
+    filament = desugar(parse(KERNEL))
+
+    def both():
+        big = run(filament)
+        small, residual = run_small(filament)
+        return big, small, residual
+
+    big, small, residual = benchmark.pedantic(both, rounds=3, iterations=1)
+    from repro.filament.syntax import CSkip
+
+    assert isinstance(residual, CSkip)
+    assert big.mems == small.mems

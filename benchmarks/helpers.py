@@ -1,0 +1,55 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_fig*.py`` module regenerates one figure of the paper: it
+runs the experiment through the reproduction's substrates, prints the
+series the paper plots (so the output can be compared against the
+figure directly), and registers the core computation with
+pytest-benchmark for timing.
+
+Set ``REPRO_FULL=1`` to run the full-size parameter sweeps (the paper's
+complete 32,000/16,384/21,952-point spaces) instead of the strided
+subsamples used by default to keep CI turnaround short.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.hls import (
+    READ,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+)
+
+FULL_SWEEPS = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def section2_gemm_kernel(unroll: int, partition: int,
+                         size: int = 512) -> KernelSpec:
+    """The §2.1 dense matrix-multiply study (Fig. 2's code)."""
+    arrays = (
+        ArraySpec("m1", (size, size), (1, partition)),
+        ArraySpec("m2", (size, size), (partition, 1)),
+        ArraySpec("prod", (size, size), (1, 1)),
+    )
+    loops = (LoopSpec("i", size), LoopSpec("j", size),
+             LoopSpec("k", size, unroll))
+    accesses = (
+        AccessSpec("m1", (AffineIndex.of(i=1), AffineIndex.of(k=1)), READ),
+        AccessSpec("m2", (AffineIndex.of(k=1), AffineIndex.of(j=1)), READ),
+    )
+    return KernelSpec("gemm-sec2", arrays, loops, accesses,
+                      OpCounts(fp_mul=1, fp_add=1), has_reduction=True)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,99 @@
+"""The §2 predictability study, reproduced end to end.
+
+Run:  python examples/matmul_predictability.py
+
+Recreates the journey of the paper's imaginary HLS programmer on the
+512×512 matrix multiply (Fig. 2): unrolling without banking buys
+nothing, misaligned banking buys chaos — and Dahlia's type checker
+tells you *which* configurations are safe before you burn a synthesis
+run.
+"""
+
+from repro import rejection_reason
+from repro.hls import (
+    READ,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+    estimate,
+)
+
+
+def gemm_kernel(unroll: int, partition: int) -> KernelSpec:
+    size = 512
+    return KernelSpec(
+        "gemm",
+        arrays=(ArraySpec("m1", (size, size), (1, partition)),
+                ArraySpec("m2", (size, size), (partition, 1)),
+                ArraySpec("prod", (size, size), (1, 1))),
+        loops=(LoopSpec("i", size), LoopSpec("j", size),
+               LoopSpec("k", size, unroll)),
+        accesses=(AccessSpec("m1", (AffineIndex.of(i=1),
+                                    AffineIndex.of(k=1)), READ),
+                  AccessSpec("m2", (AffineIndex.of(k=1),
+                                    AffineIndex.of(j=1)), READ)),
+        ops=OpCounts(fp_mul=1, fp_add=1),
+        has_reduction=True)
+
+
+def dahlia_verdict(unroll: int, banks: int) -> str:
+    """What does the type checker say about this configuration?"""
+    size = 512
+    source = f"""
+decl m1: float[{size}][{size} bank {banks}];
+decl m2: float[{size} bank {banks}][{size}];
+decl acc_out: float[{size}][{size}];
+for (let i = 0..{size}) {{
+  for (let j = 0..{size}) {{
+    let sum = 0.0;
+    for (let k = 0..{size}) unroll {unroll} {{
+      let a = m1[i][k];
+      let b = m2[k][j]
+      ---
+      let v = a * b;
+    }} combine {{
+      sum += v;
+    }}
+    ---
+    acc_out[i][j] := sum;
+  }}
+}}
+"""
+    reason = rejection_reason(source)
+    return "accept" if reason is None else f"reject ({reason})"
+
+
+def show(title, configs):
+    print(f"\n== {title} ==")
+    print(f"{'unroll':>6} {'banks':>6} {'LUTs':>7} {'runtime':>10} "
+          f"{'HLS says':>12}   Dahlia says")
+    for unroll, banks in configs:
+        report = estimate(gemm_kernel(unroll, banks))
+        runtime = ("(incorrect!)" if report.incorrect
+                   else f"{report.runtime_ms:7.1f} ms")
+        hls = "fine" if report.predictable else "??"
+        verdict = dahlia_verdict(unroll, banks)
+        print(f"{unroll:>6} {banks:>6} {report.luts:>7} {runtime:>10} "
+              f"{hls:>12}   {verdict}")
+
+
+# Fig. 4a: unrolling alone — silent futility.
+show("Unrolling without banking (Fig. 4a): latency never improves",
+     [(u, 1) for u in range(1, 9)])
+
+# Fig. 4b: 8-way banking, varying unroll — the unwritten divisor rule.
+show("Unrolling with 8 banks (Fig. 4b): only divisors of 8 are safe",
+     [(u, 8) for u in (1, 2, 3, 4, 6, 8, 9, 12, 16)])
+
+# Fig. 4c: lockstep — the unwritten size rule.
+show("Banking = unrolling (Fig. 4c): only divisors of 512 are safe",
+     [(f, f) for f in (1, 2, 3, 4, 5, 6, 7, 8, 16)])
+
+print("""
+The 'unwritten rules' the HLS tool silently enforces are exactly the
+points Dahlia accepts — everything else is a type error *before*
+synthesis, with an error message naming the violated constraint.
+""")

@@ -1,0 +1,113 @@
+"""Direct RTL generation — the paper's §6 future work, end to end.
+
+Run:  python examples/rtl_backend.py
+
+The paper closes §6 with: *"Future compilers for Dahlia-like languages
+might generate RTL directly and rely on the simpler input language
+[to] avoid the complexity of unrestricted HLS."* This example drives
+that backend: a type-checked kernel is lowered to an FSM-with-datapath
+netlist, simulated cycle-by-cycle against the reference interpreter,
+rendered as Verilog, and costed structurally — with no HLS heuristics
+anywhere in the flow.
+"""
+
+import numpy as np
+
+from repro import interpret
+from repro.rtl import analyze, emit_verilog, lower_source, run_source
+
+# ---------------------------------------------------------------------------
+# 1. A blocked dot-product with split views (the §3.6 showcase kernel).
+# ---------------------------------------------------------------------------
+
+KERNEL = """
+decl A: float[12 bank 4]; decl B: float[12 bank 4];
+let out: float[1];
+let sum = 0.0;
+view split_A = split A[by 2];
+view split_B = split B[by 2];
+for (let i = 0..6) unroll 2 {
+  for (let j = 0..2) unroll 2 {
+    let v = split_A[j][i] * split_B[j][i];
+  } combine {
+    sum += v;
+  }
+}
+---
+out[0] := sum;
+"""
+
+rng = np.random.default_rng(0)
+a = rng.integers(1, 9, 12).astype(float)
+b = rng.integers(1, 9, 12).astype(float)
+
+print("== 1. lowering to RTL ==")
+module = lower_source(KERNEL)
+print(f"FSM states: {len(module.states)}")
+print(f"memories (one per bank): {sorted(module.memories)}")
+print(f"registers: {len(module.registers)}")
+
+# ---------------------------------------------------------------------------
+# 2. Cycle-accurate simulation, differentially against the interpreter.
+# ---------------------------------------------------------------------------
+
+print("\n== 2. simulating ==")
+run = run_source(KERNEL, memories={"A": a, "B": b})
+ref = interpret(KERNEL, memories={"A": a, "B": b})
+print(f"cycles: {run.cycles}")
+print(f"RTL  out[0] = {run.memories['out'][0]}")
+print(f"ref  out[0] = {ref.memories['out'][0]}")
+print(f"numpy  a·b  = {float(a @ b)}")
+assert run.memories["out"][0] == ref.memories["out"][0] == float(a @ b)
+print("all three agree ✓")
+
+print("\nper-bank peak port pressure (must respect the type system):")
+for mem, used in sorted(run.result.peak_port_use.items()):
+    budget = run.module.memories[mem].ports
+    print(f"  {mem:6s} {used}/{budget} ports")
+    assert used <= budget
+
+# ---------------------------------------------------------------------------
+# 3. Structural resource report: area without heuristics.
+# ---------------------------------------------------------------------------
+
+print("\n== 3. netlist report ==")
+report = analyze(module)
+print(f"functional units (shared across states): {report.units}")
+print(f"LUT proxy: {report.luts}, FFs: {report.ffs}, "
+      f"DSPs: {report.dsps}, LUTRAMs: {report.lutmems}")
+
+# ---------------------------------------------------------------------------
+# 4. The Verilog itself.
+# ---------------------------------------------------------------------------
+
+print("\n== 4. Verilog (first 30 lines) ==")
+for line in emit_verilog(module).splitlines()[:30]:
+    print(line)
+print("…")
+
+# ---------------------------------------------------------------------------
+# 5. Predictability: sweep the parallelism factor and watch area/latency
+#    move monotonically — no Fig. 4 spikes, by construction.
+# ---------------------------------------------------------------------------
+
+print("\n== 5. banking sweep (no unpredictable points) ==")
+SWEEP = """
+decl X: float[32 bank {b}]; decl Y: float[32 bank {b}];
+let Z: float[32 bank {b}];
+for (let i = 0..32) unroll {b} {{
+  Z[i] := X[i] * Y[i];
+}}
+"""
+print(f"{'banks':>6} {'cycles':>8} {'LUTs':>6} {'DSPs':>6}")
+previous_cycles = None
+for banks in (1, 2, 4, 8):
+    sweep_run = run_source(SWEEP.format(b=banks),
+                           memories={"X": np.ones(32), "Y": np.ones(32)})
+    sweep_report = analyze(sweep_run.module)
+    print(f"{banks:>6} {sweep_run.cycles:>8} {sweep_report.luts:>6} "
+          f"{sweep_report.dsps:>6}")
+    if previous_cycles is not None:
+        assert sweep_run.cycles < previous_cycles
+    previous_cycles = sweep_run.cycles
+print("latency strictly improves with parallelism ✓")

@@ -1,0 +1,88 @@
+"""Memory views on a real workload: a 2D convolution (§3.6, §5.3).
+
+Run:  python examples/stencil_views.py
+
+The §5.3 stencil2d port: instead of MachSuite's flat-array index
+arithmetic (`orig[(r+k1)*col_size + c+k2]`, which Dahlia rejects), a
+*shift view* names the current window, the checker proves the unrolled
+window loops safe, and the backend compiles view accesses back to
+direct address arithmetic.
+"""
+
+import numpy as np
+
+from repro import compile_source, interpret, rejection_reason
+
+STENCIL = """
+decl orig: float[12 bank 3][12 bank 3];
+decl sol: float[10][10];
+decl filter: float[3 bank 3][3 bank 3];
+for (let r = 0..10) {
+  for (let c = 0..10) {
+    view window = shift orig[by r][by c];
+    let acc = 0.0;
+    for (let k1 = 0..3) unroll 3 {
+      let part = 0.0;
+      for (let k2 = 0..3) unroll 3 {
+        let m = filter[k1][k2] * window[k1][k2];
+      } combine {
+        part += m;
+      }
+    } combine {
+      acc += part;
+    }
+    ---
+    sol[r][c] := acc;
+  }
+}
+"""
+
+print("== the Dahlia port type-checks ==")
+assert rejection_reason(STENCIL) is None
+print("accepted: 3×3 window fully unrolled over 3×3-banked input\n")
+
+# What the paper's intro complains about: without views, the same
+# parallelism is a type error because the access pattern is opaque.
+NAIVE = """
+decl orig: float[12 bank 3][12 bank 3];
+decl sol: float[10][10];
+decl filter: float[3 bank 3][3 bank 3];
+for (let r = 0..10) {
+  for (let c = 0..10) {
+    let acc = 0.0;
+    for (let k1 = 0..3) unroll 3 {
+      let part = 0.0;
+      for (let k2 = 0..3) unroll 3 {
+        let m = filter[k1][k2] * orig[r + k1][c + k2];
+      } combine {
+        part += m;
+      }
+    } combine {
+      acc += part;
+    }
+    ---
+    sol[r][c] := acc;
+  }
+}
+"""
+print("== the same loop without views is rejected ==")
+print(f"rejection: {rejection_reason(NAIVE)} "
+      "(iterator arithmetic in a subscript needs a view)\n")
+
+print("== view accesses compile to direct address arithmetic ==")
+cpp = compile_source(STENCIL)
+for line in cpp.splitlines():
+    if "orig[" in line or "view" in line:
+        print("   ", line.strip())
+
+print("\n== and the kernel computes a real convolution ==")
+rng = np.random.default_rng(0)
+image = rng.normal(size=(12, 12))
+kernel = np.array([[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]])
+result = interpret(STENCIL, {"orig": image, "filter": kernel})
+expected = np.zeros((10, 10))
+for r in range(10):
+    for c in range(10):
+        expected[r, c] = np.sum(image[r:r + 3, c:c + 3] * kernel)
+assert np.allclose(result.memories["sol"], expected)
+print("Laplacian stencil output matches NumPy ✓")

@@ -1,0 +1,93 @@
+"""repro — a full reproduction of *Predictable Accelerator Design with
+Time-Sensitive Affine Types* (Dahlia, PLDI 2020).
+
+Public API tour:
+
+>>> from repro import accepts
+>>> accepts("let A: float[10]; let x = A[0]; let y = A[0];")
+True
+
+Subpackages:
+
+* :mod:`repro.frontend`  — lexer, parser, AST, pretty-printer;
+* :mod:`repro.types`     — the time-sensitive affine type checker (§3);
+* :mod:`repro.filament`  — the core calculus: semantics, typing,
+  desugaring (§4);
+* :mod:`repro.interp`    — reference interpreter (checked semantics);
+* :mod:`repro.backend`   — Vivado HLS C++ emission (§5.1);
+* :mod:`repro.rtl`       — direct RTL generation: FSMD lowering,
+  cycle-accurate simulation, Verilog, netlist costing (§6 future work);
+* :mod:`repro.analysis`  — wires/registers, step fusion, pipelining II
+  (§3.2, §6);
+* :mod:`repro.hls`       — the simulated HLS estimation substrate;
+* :mod:`repro.spatial`   — the simulated Spatial substrate (Fig. 9/13);
+* :mod:`repro.dse`       — design-space exploration harness (§5.2–5.3);
+* :mod:`repro.suite`     — MachSuite ports and DSE generators.
+"""
+
+from .backend.hls_cpp import EmitterOptions, compile_program, compile_source
+from .errors import (
+    AffineError,
+    AlreadyConsumedError,
+    BankingError,
+    DahliaError,
+    InsufficientBanksError,
+    InsufficientCapabilitiesError,
+    InterpError,
+    LexError,
+    MemoryCopyError,
+    ParseError,
+    ReduceError,
+    StuckError,
+    TypeError_,
+    UnrollError,
+    ViewError,
+)
+from .frontend.parser import parse, parse_command, parse_expr
+from .frontend.pretty import pretty_command, pretty_expr, pretty_program
+from .interp.interpreter import InterpResult, interpret, interpret_program
+from .types.checker import (
+    CheckReport,
+    accepts,
+    check_program,
+    check_source,
+    rejection_reason,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineError",
+    "AlreadyConsumedError",
+    "BankingError",
+    "CheckReport",
+    "DahliaError",
+    "EmitterOptions",
+    "InsufficientBanksError",
+    "InsufficientCapabilitiesError",
+    "InterpError",
+    "InterpResult",
+    "LexError",
+    "MemoryCopyError",
+    "ParseError",
+    "ReduceError",
+    "StuckError",
+    "TypeError_",
+    "UnrollError",
+    "ViewError",
+    "__version__",
+    "accepts",
+    "check_program",
+    "check_source",
+    "compile_program",
+    "compile_source",
+    "interpret",
+    "interpret_program",
+    "parse",
+    "parse_command",
+    "parse_expr",
+    "pretty_command",
+    "pretty_expr",
+    "pretty_program",
+    "rejection_reason",
+]

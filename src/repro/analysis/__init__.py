@@ -1,0 +1,33 @@
+"""Static analyses over checked Dahlia programs (§3.2).
+
+* :mod:`repro.analysis.liveness` — classifies local variables as wires
+  or registers: "values that persist across clock cycles require
+  registers … registers appear whenever a variable's live range crosses
+  a logical time step boundary".
+* :mod:`repro.analysis.stepfusion` — merges adjacent logical time steps
+  whose memory accesses do not conflict: "the compiler may optimize
+  away unneeded time steps that do not separate memory accesses".
+* :mod:`repro.analysis.pipeline` — initiation-interval reasoning for
+  innermost loops (the §6 "Pipelining" future work): port pressure and
+  loop-carried recurrences bound the achievable II.
+"""
+
+from .liveness import RegisterReport, classify_locals
+from .pipeline import (
+    BankPressure,
+    PipelineReport,
+    analyze_pipelines,
+    analyze_pipelines_source,
+)
+from .stepfusion import count_logical_steps, fuse_steps
+
+__all__ = [
+    "BankPressure",
+    "PipelineReport",
+    "RegisterReport",
+    "analyze_pipelines",
+    "analyze_pipelines_source",
+    "classify_locals",
+    "count_logical_steps",
+    "fuse_steps",
+]

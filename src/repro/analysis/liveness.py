@@ -1,0 +1,183 @@
+"""Wires vs. registers: live-range analysis over logical time steps.
+
+§3.2: local variables manifest as wires *or registers* — a register is
+needed exactly when a variable's live range crosses a logical time step
+(``---``) boundary. This analysis walks the command tree, records for
+every ``let``-bound local the step in which it is defined and the steps
+in which it is used, and classifies it.
+
+The analysis is intentionally syntactic (like the paper's discussion):
+a variable defined in step *s* of the sequence it belongs to and only
+read in step *s* is a wire; any use in a later step of the same
+ordered composition — or anywhere outside it — makes it a register.
+Loop-carried variables (assigned inside a loop, read on a later
+iteration) are always registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import ast
+
+WIRE, REGISTER = "wire", "register"
+
+
+@dataclass
+class _Binding:
+    name: str
+    seq_id: int                # which SeqComp the binder lives under
+    step: int                  # index of the defining step
+    kind: str = WIRE
+
+
+@dataclass
+class RegisterReport:
+    """Classification of every local of a program."""
+
+    locals: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def registers(self) -> list[str]:
+        return sorted(n for n, k in self.locals.items() if k == REGISTER)
+
+    @property
+    def wires(self) -> list[str]:
+        return sorted(n for n, k in self.locals.items() if k == WIRE)
+
+
+class _Analyzer:
+    def __init__(self) -> None:
+        self.report = RegisterReport()
+        self.scopes: list[dict[str, _Binding]] = [{}]
+        self.seq_counter = 0
+        self.current_seq = 0
+        self.current_step = 0
+        self.loop_depth = 0
+
+    # -- scope helpers ------------------------------------------------
+
+    def _bind(self, name: str) -> None:
+        binding = _Binding(name, self.current_seq, self.current_step)
+        self.scopes[-1][name] = binding
+        self.report.locals.setdefault(name, WIRE)
+
+    def _lookup(self, name: str) -> _Binding | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _mark_register(self, binding: _Binding) -> None:
+        binding.kind = REGISTER
+        self.report.locals[binding.name] = REGISTER
+
+    def _use(self, name: str) -> None:
+        binding = self._lookup(name)
+        if binding is None:
+            return
+        crosses_step = (binding.seq_id != self.current_seq
+                        or binding.step != self.current_step)
+        if crosses_step:
+            self._mark_register(binding)
+
+    def _write(self, name: str) -> None:
+        binding = self._lookup(name)
+        if binding is None:
+            return
+        # A variable mutated inside a loop deeper than its binding has a
+        # loop-carried live range: it must be a register.
+        if self.loop_depth > 0:
+            self._mark_register(binding)
+        else:
+            self._use(name)
+
+    # -- walk -------------------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> None:
+        if isinstance(node, ast.Var):
+            self._use(node.name)
+        for child in ast.child_exprs(node):
+            self.expr(child)
+
+    def command(self, node: ast.Command) -> None:
+        if isinstance(node, ast.Let):
+            if node.init is not None:
+                self.expr(node.init)
+            if node.type is None or not node.type.is_memory:
+                self._bind(node.name)
+            return
+        if isinstance(node, ast.Assign):
+            self.expr(node.expr)
+            self._write(node.name)
+            return
+        if isinstance(node, ast.Reduce):
+            self.expr(node.expr)
+            if node.target_is_access is not None:
+                self.expr(node.target_is_access)
+            else:
+                self._write(node.target)
+            return
+        if isinstance(node, ast.Store):
+            self.expr(node.expr)
+            self.expr(node.access)
+            return
+        if isinstance(node, ast.ExprStmt):
+            self.expr(node.expr)
+            return
+        if isinstance(node, ast.View):
+            for factor in node.factors:
+                if factor is not None:
+                    self.expr(factor)
+            return
+        if isinstance(node, ast.SeqComp):
+            self.seq_counter += 1
+            saved = (self.current_seq, self.current_step)
+            self.current_seq = self.seq_counter
+            for step, child in enumerate(node.commands):
+                self.current_step = step
+                self.command(child)
+            self.current_seq, self.current_step = saved
+            return
+        if isinstance(node, ast.ParComp):
+            for child in node.commands:
+                self.command(child)
+            return
+        if isinstance(node, ast.Block):
+            self.scopes.append({})
+            self.command(node.body)
+            self.scopes.pop()
+            return
+        if isinstance(node, ast.If):
+            self.expr(node.cond)
+            self.command(node.then_branch)
+            if node.else_branch is not None:
+                self.command(node.else_branch)
+            return
+        if isinstance(node, (ast.While, ast.For)):
+            if isinstance(node, ast.While):
+                self.expr(node.cond)
+            self.scopes.append({})
+            if isinstance(node, ast.For):
+                self._bind(node.var)
+            self.loop_depth += 1
+            body = node.body
+            self.command(body)
+            if isinstance(node, ast.For) and node.combine is not None:
+                self.command(node.combine)
+            self.loop_depth -= 1
+            self.scopes.pop()
+            return
+
+
+def classify_locals(program: ast.Program) -> RegisterReport:
+    """Classify every local of ``program`` as a wire or a register."""
+    analyzer = _Analyzer()
+    analyzer.command(program.body)
+    return analyzer.report
+
+
+def classify_source(source: str) -> RegisterReport:
+    from ..frontend.parser import parse
+
+    return classify_locals(parse(source))

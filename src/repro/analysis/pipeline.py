@@ -1,0 +1,319 @@
+"""Pipelining analysis (§6 "Pipelining" future work).
+
+The paper: *"Pipelined logic is a critical implementation technique for
+high-level synthesis. Dahlia does not reason about the timing of
+pipeline stages or their resource conflicts. Extensions to its type
+system will need to reason about the cycle-level latency of these
+stages and track the fine-grained sharing of logic resources."*
+
+This module implements that reasoning as a static analysis over
+type-checked programs. For every *innermost* ``for`` loop it derives
+the achievable initiation interval (II) from the same two constraints
+the scheduling substrate models:
+
+* **port pressure** — each loop iteration's accesses per physical bank,
+  after unroll replication and §3.1 read sharing, bound the issue rate:
+  ``II ≥ ceil(accesses / ports)`` for the worst bank;
+* **loop-carried recurrences** — a scalar updated from its own previous
+  value (``sum := sum + …`` or a combine-block reducer) cannot issue
+  faster than its operation latency.
+
+The analysis reports, per loop, both constraints, the binding
+bottleneck, and the pipelined vs. unpipelined cycle counts — the
+numbers a Dahlia-with-pipelining type system would surface as types.
+Because banking is manifest in Dahlia's types, the analysis is exact on
+checker-accepted programs: there is no heuristic in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend import ast
+from ..frontend.parser import parse
+from ..hls.scheduling import (
+    DEPTH_BASE,
+    DEPTH_FP_ADD,
+    DEPTH_FP_DIV,
+    DEPTH_FP_MUL,
+)
+from ..types.checker import check_program
+
+#: Issue latency of a loop-carried integer update.
+RECURRENCE_INT = 1
+#: Issue latency of a loop-carried floating-point accumulation.
+RECURRENCE_FP = DEPTH_FP_ADD
+
+
+@dataclass(frozen=True)
+class BankPressure:
+    """Per-iteration accesses landing on one memory's banks."""
+
+    memory: str
+    banks: int
+    ports: int
+    reads_per_bank: int
+    writes_per_bank: int
+
+    @property
+    def pressure(self) -> int:
+        return self.reads_per_bank + self.writes_per_bank
+
+    @property
+    def ii(self) -> int:
+        return -(-self.pressure // self.ports) if self.pressure else 1
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Pipelining feasibility and throughput for one innermost loop."""
+
+    loop_var: str
+    trip: int
+    unroll: int
+    pressures: tuple[BankPressure, ...]
+    ii_port: int
+    ii_recurrence: int
+    depth: int
+    has_fp: bool
+
+    @property
+    def ii(self) -> int:
+        """The achievable initiation interval."""
+        return max(self.ii_port, self.ii_recurrence, 1)
+
+    @property
+    def bottleneck(self) -> str:
+        if self.ii == 1:
+            return "none"
+        if self.ii_port >= self.ii_recurrence:
+            return "ports"
+        return "recurrence"
+
+    @property
+    def iterations(self) -> int:
+        return -(-self.trip // self.unroll)
+
+    @property
+    def cycles_pipelined(self) -> int:
+        return self.depth + (self.iterations - 1) * self.ii
+
+    @property
+    def cycles_unpipelined(self) -> int:
+        return self.iterations * self.depth
+
+    @property
+    def speedup(self) -> float:
+        if self.cycles_pipelined == 0:
+            return 1.0
+        return self.cycles_unpipelined / self.cycles_pipelined
+
+
+# ---------------------------------------------------------------------------
+# Program facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _MemFacts:
+    banks: int
+    ports: int
+    is_float: bool
+
+
+def _collect_memories(program: ast.Program) -> dict[str, _MemFacts]:
+    facts: dict[str, _MemFacts] = {}
+
+    def record(name: str, annotation: ast.TypeAnnotation) -> None:
+        banks = 1
+        for dim in annotation.dims:
+            banks *= dim.banks
+        facts[name] = _MemFacts(
+            banks=banks,
+            ports=annotation.ports,
+            is_float=annotation.base in ("float", "double"))
+
+    for decl in program.decls:
+        record(decl.name, decl.type)
+    for cmd in ast.walk_commands(program.body):
+        if isinstance(cmd, ast.Let) and cmd.type is not None \
+                and cmd.type.is_memory:
+            record(cmd.name, cmd.type)
+    return facts
+
+
+def _collect_views(program: ast.Program) -> dict[str, str]:
+    """view name → underlying memory (transitively resolved)."""
+    underlying: dict[str, str] = {}
+    for cmd in ast.walk_commands(program.body):
+        if isinstance(cmd, ast.View):
+            underlying[cmd.name] = underlying.get(cmd.mem, cmd.mem)
+    return underlying
+
+
+def _innermost_loops(program: ast.Program) -> list[ast.For]:
+    loops = []
+    for cmd in ast.walk_commands(program.body):
+        if isinstance(cmd, ast.For):
+            has_inner_loop = any(
+                isinstance(inner, (ast.For, ast.While))
+                for inner in ast.walk_commands(cmd.body))
+            if not has_inner_loop:
+                loops.append(cmd)
+    return loops
+
+
+def _mentions_var(expr: ast.Expr, var: str) -> bool:
+    if isinstance(expr, ast.Var) and expr.name == var:
+        return True
+    return any(_mentions_var(child, var)
+               for child in ast.child_exprs(expr))
+
+
+def _access_fingerprint(access: ast.Access) -> str:
+    from ..frontend.pretty import pretty_expr
+
+    return pretty_expr(access)
+
+
+# ---------------------------------------------------------------------------
+# The analysis
+# ---------------------------------------------------------------------------
+
+
+def _analyze_loop(loop: ast.For, mems: dict[str, _MemFacts],
+                  views: dict[str, str]) -> PipelineReport:
+    unroll = loop.unroll
+
+    reads: dict[str, set[str]] = {}     # memory → distinct shared reads
+    read_spread: dict[str, int] = {}    # memory → max banks per read
+    writes: dict[str, int] = {}         # memory → write replicas per bank
+    has_fp = False
+    recurrence = 0
+
+    body = loop.body.body if isinstance(loop.body, ast.Block) else loop.body
+
+    def resolve(name: str) -> str:
+        return views.get(name, name)
+
+    def visit_access(access: ast.Access, is_write: bool) -> None:
+        nonlocal has_fp
+        mem = resolve(access.mem)
+        facts = mems.get(mem)
+        if facts is None:
+            return
+        if facts.is_float:
+            has_fp = True
+        uses_iter = any(_mentions_var(e, loop.var)
+                        for e in list(access.indices)
+                        + list(access.bank_indices))
+        if is_write:
+            # Replicas land on distinct banks when indexed by the
+            # iterator, otherwise pile onto one bank.
+            per_bank = 1 if uses_iter else unroll
+            writes[mem] = writes.get(mem, 0) + per_bank
+        else:
+            # §3.1: identical reads share one port; iterator-indexed
+            # reads spread one access across each replica's bank.
+            key = "iter" if uses_iter else _access_fingerprint(access)
+            reads.setdefault(mem, set()).add(key)
+
+    scalars_read: set[str] = set()
+    scalars_written: set[str] = set()
+
+    def walk(cmd: ast.Command) -> None:
+        nonlocal recurrence
+        if isinstance(cmd, ast.Store):
+            visit_access(cmd.access, is_write=True)
+            _walk_expr(cmd.expr)
+        elif isinstance(cmd, ast.Reduce):
+            recurrence = max(recurrence, RECURRENCE_INT)
+            _walk_expr(cmd.expr)
+            if cmd.target_is_access is not None:
+                visit_access(cmd.target_is_access, is_write=True)
+            else:
+                scalars_read.add(cmd.target)
+                scalars_written.add(cmd.target)
+        elif isinstance(cmd, ast.Assign):
+            _walk_expr(cmd.expr)
+            if _mentions_var(cmd.expr, cmd.name):
+                scalars_read.add(cmd.name)
+            scalars_written.add(cmd.name)
+        elif isinstance(cmd, ast.Let) and cmd.init is not None:
+            _walk_expr(cmd.init)
+        elif isinstance(cmd, ast.ExprStmt):
+            _walk_expr(cmd.expr)
+        elif isinstance(cmd, (ast.If, ast.While)):
+            _walk_expr(cmd.cond)        # type: ignore[arg-type]
+        for child in ast.child_commands(cmd):
+            walk(child)
+
+    def _walk_expr(expr: ast.Expr) -> None:
+        nonlocal has_fp
+        if isinstance(expr, ast.Access):
+            visit_access(expr, is_write=False)
+        if isinstance(expr, ast.FloatLit):
+            has_fp = True
+        for child in ast.child_exprs(expr):
+            _walk_expr(child)
+
+    walk(body)
+    if loop.combine is not None:
+        walk(loop.combine)
+
+    carried = scalars_read & scalars_written
+    if carried or recurrence:
+        recurrence = RECURRENCE_FP if has_fp else RECURRENCE_INT
+
+    pressures = []
+    for mem in sorted(set(reads) | set(writes)):
+        facts = mems[mem]
+        # Shared reads: one port each; unrolled replicas over banked
+        # memories parallelize across banks, so per-bank load is the
+        # number of *distinct* reads.
+        reads_per_bank = len(reads.get(mem, ()))
+        writes_per_bank = writes.get(mem, 0)
+        if facts.banks >= unroll and unroll > 1:
+            # Write replicas spread across banks when iterator-indexed;
+            # the per_bank accounting above already handled invariance.
+            writes_per_bank = max(1, writes_per_bank) \
+                if mem in writes else 0
+        pressures.append(BankPressure(
+            memory=mem,
+            banks=facts.banks,
+            ports=facts.ports,
+            reads_per_bank=reads_per_bank,
+            writes_per_bank=writes_per_bank))
+
+    ii_port = max((p.ii for p in pressures), default=1)
+
+    depth = DEPTH_BASE
+    if has_fp:
+        depth += DEPTH_FP_MUL + DEPTH_FP_ADD
+
+    return PipelineReport(
+        loop_var=loop.var,
+        trip=loop.trip_count,
+        unroll=unroll,
+        pressures=tuple(pressures),
+        ii_port=ii_port,
+        ii_recurrence=recurrence or 1,
+        depth=depth,
+        has_fp=has_fp)
+
+
+def analyze_pipelines(program: ast.Program,
+                      check: bool = True) -> list[PipelineReport]:
+    """Pipeline reports for every innermost loop of a checked program."""
+    if check:
+        check_program(program)
+    mems = _collect_memories(program)
+    views = _collect_views(program)
+    return [_analyze_loop(loop, mems, views)
+            for loop in _innermost_loops(program)]
+
+
+def analyze_pipelines_source(source: str,
+                             check: bool = True) -> list[PipelineReport]:
+    """Parse + analyze Dahlia source text."""
+    return analyze_pipelines(parse(source), check=check)

@@ -1,0 +1,14 @@
+"""The Dahlia → Vivado HLS C++ backend (§5.1)."""
+
+from .hls_cpp import EmitterOptions, compile_program, compile_source
+from .pragmas import ArrayPartition, Resource, Unroll, bram_core
+
+__all__ = [
+    "ArrayPartition",
+    "EmitterOptions",
+    "Resource",
+    "Unroll",
+    "bram_core",
+    "compile_program",
+    "compile_source",
+]

@@ -1,0 +1,332 @@
+"""The Dahlia → Vivado HLS C++ backend (§5.1, Figure 1).
+
+Translation follows the paper's compiler:
+
+* memories → C arrays with ``ARRAY_PARTITION``/``resource`` pragmas;
+* ``for … unroll k`` → a C++ loop with an ``UNROLL`` pragma;
+* ordered composition → plain statement sequencing (a comment marks the
+  logical time-step boundary — the HLS scheduler allocates real cycles);
+* unordered composition → plain sequencing (the scheduler may reorder);
+* views → direct memory accesses with the §3.6 index arithmetic
+  (views cost nothing at runtime beyond their address adapters);
+* ``combine`` blocks → the reduction fused at the end of the loop body;
+* scalar types: ``float``/``double``/``bool`` map to themselves,
+  ``bit<N>`` maps to ``ap_int<N>``.
+
+``erase=True`` produces plain C++ without pragmas — Figure 1's erasure
+path to an ordinary software toolchain, useful for functional testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TypeError_, UnboundError
+from ..frontend import ast
+from ..types import views as view_mod
+from ..types.types import elaborate
+from ..types.views import ViewInfo, identity_view
+from .pragmas import ArrayPartition, Resource, Unroll, bram_core
+
+_INDENT = "  "
+
+_CPP_BINOP = {op: op.value for op in ast.BinOp}
+
+
+@dataclass
+class EmitterOptions:
+    erase: bool = False          # drop pragmas (plain C++ erasure path)
+    kernel_name: str = "kernel"
+    use_ap_int: bool = True
+
+
+@dataclass
+class _Emitter:
+    options: EmitterOptions
+    lines: list[str] = field(default_factory=list)
+    indent: int = 0
+    views: dict[str, ViewInfo] = field(default_factory=dict)
+    fresh_counter: int = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append(f"{_INDENT * self.indent}{text}" if text else "")
+
+    def pragma(self, directive) -> None:
+        if not self.options.erase:
+            self.lines.append(directive.render())
+
+    def fresh(self, base: str) -> str:
+        self.fresh_counter += 1
+        return f"{base}_{self.fresh_counter}"
+
+    # -- types ----------------------------------------------------------
+
+    def cpp_scalar(self, base: str) -> str:
+        if base.startswith("bit<"):
+            width = base[4:-1]
+            if self.options.use_ap_int and not self.options.erase:
+                return f"ap_int<{width}>"
+            return "int"
+        if base == "double":
+            return "double"
+        if base == "bool":
+            return "bool"
+        return "float"
+
+    # -- declarations ------------------------------------------------------
+
+    def declare_memory(self, name: str, annotation: ast.TypeAnnotation,
+                       as_param: bool) -> str:
+        memory = elaborate(annotation)
+        self.views[name] = identity_view(name, memory)  # type: ignore[arg-type]
+        dims = "".join(f"[{d.size}]" for d in annotation.dims)
+        text = f"{self.cpp_scalar(annotation.base)} {name}{dims}"
+        if not as_param:
+            self.emit(f"{text};")
+            self.emit_memory_pragmas(name, annotation)
+        return text
+
+    def emit_memory_pragmas(self, name: str,
+                            annotation: ast.TypeAnnotation) -> None:
+        if self.options.erase:
+            return
+        self.pragma(Resource(name, bram_core(annotation.ports)))
+        for dim, spec in enumerate(annotation.dims, start=1):
+            if spec.banks > 1:
+                self.pragma(ArrayPartition(name, spec.banks, dim))
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> str:
+        if isinstance(node, ast.IntLit):
+            return str(node.value)
+        if isinstance(node, ast.FloatLit):
+            text = repr(node.value)
+            return text if "." in text or "e" in text else f"{text}.0"
+        if isinstance(node, ast.BoolLit):
+            return "true" if node.value else "false"
+        if isinstance(node, ast.Var):
+            return node.name
+        if isinstance(node, ast.Binary):
+            return (f"({self.expr(node.lhs)} {_CPP_BINOP[node.op]} "
+                    f"{self.expr(node.rhs)})")
+        if isinstance(node, ast.Unary):
+            return f"({node.op}{self.expr(node.operand)})"
+        if isinstance(node, ast.Access):
+            return self.access(node)
+        if isinstance(node, ast.App):
+            args = ", ".join(self.expr(a) for a in node.args)
+            func = {"abs": "fabs"}.get(node.func, node.func)
+            return f"{func}({args})"
+        raise TypeError_(f"cannot emit {type(node).__name__}", node.span)
+
+    def access(self, node: ast.Access) -> str:
+        info = self.views.get(node.mem)
+        if info is None:
+            raise UnboundError(f"undefined memory {node.mem!r}", node.span)
+        if node.is_physical:
+            # M{b}[i] — recompute the logical position in the base array.
+            bank = view_mod._static_int(node.bank_indices[0])
+            if bank is None:
+                raise TypeError_("bank selectors must be static", node.span)
+            dims = info.base_type.dims
+            if len(dims) == 1:
+                banks = dims[0].banks
+                offset = self.expr(node.indices[0])
+                return f"{info.base_mem}[{bank} + ({offset}) * {banks}]"
+            raise TypeError_(
+                "physical accesses on multi-dimensional memories are not "
+                "supported by the C++ backend", node.span)
+        base_indices = view_mod.rewrite_access_indices(
+            info, list(node.indices), node.span)
+        subscripts = "".join(f"[{self.expr(e)}]" for e in base_indices)
+        return f"{info.base_mem}{subscripts}"
+
+    # -- commands -------------------------------------------------------------
+
+    def command(self, node: ast.Command) -> None:
+        if isinstance(node, ast.Skip):
+            return
+        if isinstance(node, ast.ExprStmt):
+            self.emit(f"{self.expr(node.expr)};")
+            return
+        if isinstance(node, ast.Let):
+            self.let(node)
+            return
+        if isinstance(node, ast.View):
+            parent = self.views.get(node.mem)
+            if parent is None:
+                raise UnboundError(f"undefined memory {node.mem!r}",
+                                   node.span)
+            self.views[node.name] = view_mod.apply_view(node, parent, set())
+            self.emit(f"// view {node.name} = {node.kind.value} {node.mem}")
+            return
+        if isinstance(node, ast.Assign):
+            self.emit(f"{node.name} = {self.expr(node.expr)};")
+            return
+        if isinstance(node, ast.Store):
+            self.emit(f"{self.access(node.access)} = "
+                      f"{self.expr(node.expr)};")
+            return
+        if isinstance(node, ast.Reduce):
+            target = (self.access(node.target_is_access)
+                      if node.target_is_access is not None else node.target)
+            self.emit(f"{target} {node.op} {self.expr(node.expr)};")
+            return
+        if isinstance(node, ast.ParComp):
+            for child in node.commands:
+                self.command(child)
+            return
+        if isinstance(node, ast.SeqComp):
+            for position, child in enumerate(node.commands):
+                if position:
+                    self.emit("// --- logical time step")
+                self.command(child)
+            return
+        if isinstance(node, ast.Block):
+            self.emit("{")
+            self.indent += 1
+            saved_views = dict(self.views)
+            self.command(node.body)
+            self.views = saved_views
+            self.indent -= 1
+            self.emit("}")
+            return
+        if isinstance(node, ast.If):
+            self.emit(f"if ({self.expr(node.cond)}) {{")
+            self.indent += 1
+            self.command(node.then_branch)
+            self.indent -= 1
+            if node.else_branch is not None:
+                self.emit("} else {")
+                self.indent += 1
+                self.command(node.else_branch)
+                self.indent -= 1
+            self.emit("}")
+            return
+        if isinstance(node, ast.While):
+            self.emit(f"while ({self.expr(node.cond)}) {{")
+            self.indent += 1
+            self.command(node.body)
+            self.indent -= 1
+            self.emit("}")
+            return
+        if isinstance(node, ast.For):
+            self.for_loop(node)
+            return
+        raise TypeError_(f"cannot emit {type(node).__name__}", node.span)
+
+    def let(self, node: ast.Let) -> None:
+        if node.type is not None and node.type.is_memory:
+            self.declare_memory(node.name, node.type, as_param=False)
+            return
+        base = node.type.base if node.type is not None else None
+        cpp_type = self.cpp_scalar(base) if base else "auto"
+        if node.init is None:
+            if cpp_type == "auto":
+                raise TypeError_(f"let {node.name!r} needs a type or "
+                                 f"initializer", node.span)
+            self.emit(f"{cpp_type} {node.name};")
+            return
+        init = self.expr(node.init)
+        if cpp_type == "auto":
+            cpp_type = self._infer_cpp_type(node.init)
+        self.emit(f"{cpp_type} {node.name} = {init};")
+
+    def _infer_cpp_type(self, expr: ast.Expr) -> str:
+        """A small heuristic: ints for integer literal trees, else float."""
+        ints_only = True
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FloatLit, ast.Access, ast.App)):
+                ints_only = False
+                break
+            if isinstance(node, ast.BoolLit):
+                return "bool"
+            stack.extend(ast.child_exprs(node))
+        return "int" if ints_only else "float"
+
+    def for_loop(self, node: ast.For) -> None:
+        self.emit(f"for (int {node.var} = {node.start}; "
+                  f"{node.var} < {node.end}; {node.var}++) {{")
+        self.indent += 1
+        if node.unroll > 1:
+            self.pragma(Unroll(node.unroll))
+        saved_views = dict(self.views)
+        body = node.body.body if isinstance(node.body, ast.Block) else node.body
+        self.command(body)
+        if node.combine is not None:
+            self.emit("// combine (reduction)")
+            combine = (node.combine.body
+                       if isinstance(node.combine, ast.Block)
+                       else node.combine)
+            self.command(combine)
+        self.views = saved_views
+        self.indent -= 1
+        self.emit("}")
+
+
+def compile_program(program: ast.Program,
+                    options: EmitterOptions | None = None) -> str:
+    """Compile a parsed Dahlia program to annotated HLS C++ source.
+
+    Polymorphic functions (§6) are monomorphized first: each call-site
+    binding becomes one specialized C++ function."""
+    from ..types.poly import monomorphize_program
+
+    program = monomorphize_program(program)
+    options = options or EmitterOptions()
+    emitter = _Emitter(options)
+
+    header = ["// Generated by dahlia-py (Dahlia reproduction)"]
+    if not options.erase and options.use_ap_int:
+        header.append('#include "ap_int.h"')
+    header.append("#include <cmath>")
+    header.append("")
+
+    # Function definitions first.
+    for func in program.defs:
+        params = []
+        for param in func.params:
+            if param.type.is_memory:
+                params.append(emitter.declare_memory(
+                    param.name, param.type, as_param=True))
+            else:
+                params.append(
+                    f"{emitter.cpp_scalar(param.type.base)} {param.name}")
+        emitter.emit(f"void {func.name}({', '.join(params)}) {{")
+        emitter.indent += 1
+        for param in func.params:
+            if param.type.is_memory:
+                emitter.emit_memory_pragmas(param.name, param.type)
+        body = (func.body.body if isinstance(func.body, ast.Block)
+                else func.body)
+        emitter.command(body)
+        emitter.indent -= 1
+        emitter.emit("}")
+        emitter.emit()
+
+    # The top-level kernel: decl memories become interface parameters.
+    params = [emitter.declare_memory(d.name, d.type, as_param=True)
+              for d in program.decls]
+    emitter.emit(f"void {options.kernel_name}({', '.join(params)}) {{")
+    emitter.indent += 1
+    for decl in program.decls:
+        emitter.emit_memory_pragmas(decl.name, decl.type)
+    emitter.command(program.body)
+    emitter.indent -= 1
+    emitter.emit("}")
+
+    return "\n".join(header + emitter.lines) + "\n"
+
+
+def compile_source(source: str,
+                   options: EmitterOptions | None = None) -> str:
+    """Parse, type-check, and compile Dahlia source to HLS C++."""
+    from ..frontend.parser import parse
+    from ..types.checker import check_program
+
+    program = parse(source)
+    check_program(program)
+    return compile_program(program, options)

@@ -1,0 +1,46 @@
+"""Vivado-HLS ``#pragma`` directives (§5.1).
+
+The Dahlia compiler compiles types into pragmas: banked memory types
+become cyclic ``ARRAY_PARTITION`` directives, and ``unroll`` annotations
+become ``UNROLL`` directives with ``skip_exit_check`` (Dahlia's unroll
+factors always divide trip counts, so exit checks are provably dead —
+one of the "unwritten rules" the type system enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArrayPartition:
+    variable: str
+    factor: int
+    dim: int                     # 1-based, Vivado convention
+
+    def render(self) -> str:
+        return (f"#pragma HLS ARRAY_PARTITION variable={self.variable} "
+                f"cyclic factor={self.factor} dim={self.dim}")
+
+
+@dataclass(frozen=True)
+class Unroll:
+    factor: int
+
+    def render(self) -> str:
+        return f"#pragma HLS UNROLL factor={self.factor} skip_exit_check"
+
+
+@dataclass(frozen=True)
+class Resource:
+    variable: str
+    core: str                    # e.g. "RAM_1P_BRAM", "RAM_2P_BRAM"
+
+    def render(self) -> str:
+        return (f"#pragma HLS resource variable={self.variable} "
+                f"core={self.core}")
+
+
+def bram_core(ports: int) -> str:
+    """The BRAM primitive for a port count (1 or 2 on real devices)."""
+    return "RAM_1P_BRAM" if ports <= 1 else "RAM_2P_BRAM"

@@ -1,0 +1,303 @@
+"""``dahlia-py`` — command-line driver for the Dahlia reproduction.
+
+Subcommands mirror the stages of Figure 1:
+
+* ``check``    — type-check a Dahlia file (exit 1 + diagnostic on error);
+* ``compile``  — emit Vivado HLS C++ (``--erase`` for the plain-C++ path);
+* ``run``      — interpret a program with zero-initialized memories and
+  print the final memory contents;
+* ``estimate`` — extract a kernel and print the HLS estimator's report;
+* ``bench``    — list the registered MachSuite ports;
+* ``rtl``      — emit Verilog via the direct RTL backend (§6), or a
+  netlist/cycle report with ``--report``;
+* ``pipeline`` — per-loop initiation-interval report (§6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .backend.hls_cpp import EmitterOptions, compile_program
+from .errors import DahliaError
+from .frontend.parser import parse
+from .hls.estimator import estimate
+from .hls.extract import extract_kernel
+from .interp.interpreter import interpret_program
+from .source import SourceFile
+from .types.checker import check_program
+
+
+def _load(path: str) -> tuple[str, SourceFile]:
+    with open(path) as handle:
+        text = handle.read()
+    return text, SourceFile(text, path)
+
+
+def _diagnose(error: DahliaError, source: SourceFile) -> None:
+    print(f"error: {error}", file=sys.stderr)
+    snippet = source.render_span(error.span)
+    if snippet:
+        print(snippet, file=sys.stderr)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    text, source = _load(args.file)
+    try:
+        report = check_program(parse(text, args.file))
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    print(f"{args.file}: OK ({len(report.memories)} memories, "
+          f"max replication {report.max_replication})")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    text, source = _load(args.file)
+    try:
+        program = parse(text, args.file)
+        check_program(program)
+        options = EmitterOptions(erase=args.erase,
+                                 kernel_name=args.kernel_name)
+        print(compile_program(program, options), end="")
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    text, source = _load(args.file)
+    try:
+        result = interpret_program(parse(text, args.file),
+                                   check=not args.no_check)
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    for name, array in result.memories.items():
+        flat = array.ravel().tolist()
+        preview = flat if len(flat) <= 16 else flat[:16] + ["…"]
+        print(f"{name} = {preview}")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    text, source = _load(args.file)
+    try:
+        program = parse(text, args.file)
+        check_program(program)
+        kernel = extract_kernel(program, name=args.file)
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    report = estimate(kernel)
+    print(json.dumps({
+        "latency_cycles": report.latency_cycles,
+        "runtime_ms": round(report.runtime_ms, 3),
+        "luts": report.luts,
+        "ffs": report.ffs,
+        "brams": report.brams,
+        "dsps": report.dsps,
+        "ii": report.ii,
+        "predictable": report.predictable,
+    }, indent=2))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    del args
+    from .suite import ALL_PORTS
+
+    for name, port in ALL_PORTS.items():
+        print(f"{name:22s} {port.description}")
+    return 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    from .frontend.pretty import pretty_program
+
+    text, source = _load(args.file)
+    try:
+        print(pretty_program(parse(text, args.file)), end="")
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import classify_locals, count_logical_steps
+
+    text, source = _load(args.file)
+    try:
+        program = parse(text, args.file)
+        check_program(program)
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    report = classify_locals(program)
+    print(f"logical time steps: {count_logical_steps(program.body)}")
+    print(f"registers ({len(report.registers)}): "
+          f"{', '.join(report.registers) or '—'}")
+    print(f"wires     ({len(report.wires)}): "
+          f"{', '.join(report.wires) or '—'}")
+    return 0
+
+
+def cmd_desugar(args: argparse.Namespace) -> int:
+    from .filament.desugar import desugar
+    from .filament.pretty import pretty_filament
+
+    text, source = _load(args.file)
+    try:
+        program = parse(text, args.file)
+        check_program(program)
+        print(pretty_filament(desugar(program)), end="")
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    return 0
+
+
+def cmd_rtl(args: argparse.Namespace) -> int:
+    from .rtl import analyze, emit_verilog, lower_program, simulate
+
+    text, source = _load(args.file)
+    try:
+        program = parse(text, args.file)
+        module = lower_program(program, name=args.module_name)
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    if args.report:
+        report = analyze(module)
+        result = simulate(module)
+        print(json.dumps({
+            "states": report.states,
+            "cycles": result.cycles,
+            "registers": report.registers,
+            "register_bits": report.register_bits,
+            "memory_bits": report.memory_bits,
+            "functional_units": report.units,
+            "luts": report.luts,
+            "ffs": report.ffs,
+            "dsps": report.dsps,
+            "brams": report.brams,
+            "lutmems": report.lutmems,
+        }, indent=2))
+    else:
+        print(emit_verilog(module), end="")
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .analysis import analyze_pipelines
+
+    text, source = _load(args.file)
+    try:
+        reports = analyze_pipelines(parse(text, args.file))
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    if not reports:
+        print("no innermost loops to pipeline")
+        return 0
+    for report in reports:
+        print(f"loop {report.loop_var}: trip {report.trip}, "
+              f"unroll {report.unroll}")
+        print(f"  II = {report.ii} (ports {report.ii_port}, "
+              f"recurrence {report.ii_recurrence}; "
+              f"bottleneck: {report.bottleneck})")
+        print(f"  cycles: {report.cycles_pipelined} pipelined vs "
+              f"{report.cycles_unpipelined} unpipelined "
+              f"({report.speedup:.1f}x)")
+    return 0
+
+
+def cmd_fuse(args: argparse.Namespace) -> int:
+    from .analysis.stepfusion import fuse_source
+
+    text, source = _load(args.file)
+    try:
+        fused, before, after = fuse_source(text)
+    except DahliaError as error:
+        _diagnose(error, source)
+        return 1
+    print(f"// logical steps: {before} -> {after}")
+    print(fused, end="")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dahlia-py",
+        description="Dahlia (PLDI 2020) reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="type-check a Dahlia program")
+    check.add_argument("file")
+    check.set_defaults(func=cmd_check)
+
+    compile_ = sub.add_parser("compile", help="emit Vivado HLS C++")
+    compile_.add_argument("file")
+    compile_.add_argument("--erase", action="store_true",
+                          help="plain C++ without pragmas (Fig. 1 erasure)")
+    compile_.add_argument("--kernel-name", default="kernel")
+    compile_.set_defaults(func=cmd_compile)
+
+    run = sub.add_parser("run", help="interpret a Dahlia program")
+    run.add_argument("file")
+    run.add_argument("--no-check", action="store_true",
+                     help="skip the type checker (checked semantics still "
+                          "catches conflicts at runtime)")
+    run.set_defaults(func=cmd_run)
+
+    estimate_ = sub.add_parser("estimate",
+                               help="run the HLS estimator on a program")
+    estimate_.add_argument("file")
+    estimate_.set_defaults(func=cmd_estimate)
+
+    bench = sub.add_parser("bench", help="list MachSuite ports")
+    bench.set_defaults(func=cmd_bench)
+
+    fmt = sub.add_parser("fmt", help="pretty-print a program")
+    fmt.add_argument("file")
+    fmt.set_defaults(func=cmd_fmt)
+
+    analyze = sub.add_parser(
+        "analyze", help="wires-vs-registers and time-step report (§3.2)")
+    analyze.add_argument("file")
+    analyze.set_defaults(func=cmd_analyze)
+
+    fuse = sub.add_parser(
+        "fuse", help="merge unneeded logical time steps (§3.2)")
+    fuse.add_argument("file")
+    fuse.set_defaults(func=cmd_fuse)
+
+    desugar_ = sub.add_parser(
+        "desugar", help="show the Filament core program (§4.5)")
+    desugar_.add_argument("file")
+    desugar_.set_defaults(func=cmd_desugar)
+
+    rtl = sub.add_parser(
+        "rtl", help="emit Verilog via the direct RTL backend (§6)")
+    rtl.add_argument("file")
+    rtl.add_argument("--module-name", default="main")
+    rtl.add_argument("--report", action="store_true",
+                     help="print netlist statistics and simulated cycle "
+                          "count instead of Verilog")
+    rtl.set_defaults(func=cmd_rtl)
+
+    pipeline = sub.add_parser(
+        "pipeline", help="initiation-interval report per loop (§6)")
+    pipeline.add_argument("file")
+    pipeline.set_defaults(func=cmd_pipeline)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Design-space exploration harness (§5.2, §5.3)."""
+
+from .pareto import dominates, pareto_front, pareto_indices
+from .runner import DesignPoint, DseResult, explore
+from .space import ParameterSpace
+
+__all__ = [
+    "DesignPoint",
+    "DseResult",
+    "ParameterSpace",
+    "dominates",
+    "explore",
+    "pareto_front",
+    "pareto_indices",
+]

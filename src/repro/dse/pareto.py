@@ -1,0 +1,47 @@
+"""Pareto-frontier computation over minimization objectives.
+
+The paper identifies Pareto-optimal configurations "according to their
+estimated cycle latency and number of lookup tables (LUTs), flip flops
+(FFs), block RAMs (BRAMs), and arithmetic units (DSPs)" (§5.2) — five
+minimized objectives. We implement the standard skyline algorithm with a
+lexicographic presort so the frontier scan is linear in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Does ``a`` Pareto-dominate ``b`` (≤ everywhere, < somewhere)?"""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    return bool(np.all(a_arr <= b_arr) and np.any(a_arr < b_arr))
+
+
+def pareto_indices(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points (stable order)."""
+    if not len(points):
+        return []
+    data = np.asarray(points, dtype=float)
+    order = np.lexsort(data.T[::-1])      # sort by first objective, ties…
+    frontier: list[int] = []
+    frontier_rows: list[np.ndarray] = []
+    for index in order:
+        row = data[index]
+        dominated = False
+        for kept in frontier_rows:
+            if np.all(kept <= row) and np.any(kept < row):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(int(index))
+            frontier_rows.append(row)
+    return sorted(frontier)
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> list[Sequence[float]]:
+    """The non-dominated subset of ``points``."""
+    return [points[i] for i in pareto_indices(points)]

@@ -1,0 +1,99 @@
+"""DSE orchestration: enumerate a space, ask the *real* type checker
+whether Dahlia accepts each configuration, estimate every point with the
+HLS substrate, and compute the Pareto frontier.
+
+This is the paper's §5.2/§5.3 methodology end to end: acceptance
+decisions come from the type checker run on generated Dahlia source —
+not from a hand-derived predicate — so the reported acceptance
+fractions are properties of the implemented type system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..errors import DahliaError
+from ..frontend.parser import parse
+from ..hls.estimator import Report, estimate
+from ..hls.kernel import KernelSpec
+from ..types.checker import check_program
+from .pareto import pareto_indices
+from .space import ParameterSpace
+
+#: Builds Dahlia source for a configuration (or None to skip checking).
+SourceBuilder = Callable[[dict[str, int]], str]
+#: Builds the estimator kernel for a configuration.
+KernelBuilder = Callable[[dict[str, int]], KernelSpec]
+
+
+@dataclass
+class DesignPoint:
+    config: dict[str, int]
+    accepted: bool
+    rejection: str | None
+    report: Report
+
+    @property
+    def objectives(self) -> tuple[float, ...]:
+        return self.report.objectives
+
+
+@dataclass
+class DseResult:
+    points: list[DesignPoint] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    @property
+    def accepted(self) -> list[DesignPoint]:
+        return [p for p in self.points if p.accepted]
+
+    @property
+    def acceptance_rate(self) -> float:
+        return len(self.accepted) / self.total if self.points else 0.0
+
+    def pareto(self) -> list[DesignPoint]:
+        """Pareto-optimal points over the whole space (5 objectives)."""
+        correct = [p for p in self.points if not p.report.incorrect]
+        indices = pareto_indices([p.objectives for p in correct])
+        return [correct[i] for i in indices]
+
+    def accepted_pareto(self) -> list[DesignPoint]:
+        """Pareto-optimal points within the Dahlia-accepted subset."""
+        accepted = self.accepted
+        indices = pareto_indices([p.objectives for p in accepted])
+        return [accepted[i] for i in indices]
+
+    def accepted_on_frontier(self) -> int:
+        """How many accepted points are globally Pareto-optimal?"""
+        frontier = {id(p) for p in self.pareto()}
+        return sum(1 for p in self.accepted if id(p) in frontier)
+
+
+def check_acceptance(source: str) -> tuple[bool, str | None]:
+    try:
+        check_program(parse(source))
+    except DahliaError as error:
+        return False, error.kind
+    return True, None
+
+
+def explore(space: ParameterSpace | Iterable[dict[str, int]],
+            source_builder: SourceBuilder,
+            kernel_builder: KernelBuilder,
+            progress: Callable[[int], None] | None = None) -> DseResult:
+    """Run the full sweep. ``progress`` is called with the point count."""
+    result = DseResult()
+    for position, config in enumerate(space):
+        source = source_builder(config)
+        accepted, rejection = check_acceptance(source)
+        report = estimate(kernel_builder(config))
+        result.points.append(DesignPoint(
+            config=config, accepted=accepted, rejection=rejection,
+            report=report))
+        if progress is not None and (position + 1) % 1000 == 0:
+            progress(position + 1)
+    return result

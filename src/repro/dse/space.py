@@ -1,0 +1,60 @@
+"""Parameter spaces for design-space exploration.
+
+A :class:`ParameterSpace` is an ordered mapping from parameter names to
+candidate values; iteration enumerates the full Cartesian product as
+dictionaries, exactly the way the paper sweeps banking and unrolling
+factors (§5.2's 32,000-point gemm-blocked space, §5.3's per-benchmark
+spaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import prod
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    parameters: tuple[tuple[str, tuple[int, ...]], ...]
+
+    @staticmethod
+    def of(**params: list[int] | tuple[int, ...] | range) -> "ParameterSpace":
+        return ParameterSpace(tuple(
+            (name, tuple(values)) for name, values in params.items()))
+
+    @property
+    def names(self) -> list[str]:
+        return [name for name, _ in self.parameters]
+
+    @property
+    def size(self) -> int:
+        return prod(len(values) for _, values in self.parameters)
+
+    def __iter__(self) -> Iterator[dict[str, int]]:
+        names = self.names
+        for combo in product(*(values for _, values in self.parameters)):
+            yield dict(zip(names, combo))
+
+    def sample(self, count: int) -> Iterator[dict[str, int]]:
+        """A deterministic evenly-strided subsample of the space."""
+        total = self.size
+        if count >= total:
+            yield from self
+            return
+        stride = total / count
+        want = {int(k * stride) for k in range(count)}
+        for position, config in enumerate(self):
+            if position in want:
+                yield config
+
+    def restrict(self, **fixed: int) -> "ParameterSpace":
+        """Pin some parameters to single values."""
+        updated = []
+        for name, values in self.parameters:
+            if name in fixed:
+                updated.append((name, (fixed[name],)))
+            else:
+                updated.append((name, values))
+        return ParameterSpace(tuple(updated))

@@ -1,0 +1,138 @@
+"""Error hierarchy for the Dahlia reproduction.
+
+The checker distinguishes error categories the same way the paper's
+examples do ("cannot copy memories", "previous read consumed A",
+"insufficient banks", "insufficient write capabilities", …) so that tests
+can assert on *why* a program was rejected, not merely that it was.
+"""
+
+from __future__ import annotations
+
+from .source import Span, UNKNOWN_SPAN
+
+
+class DahliaError(Exception):
+    """Base class for all user-facing errors."""
+
+    kind = "error"
+
+    def __init__(self, message: str, span: Span = UNKNOWN_SPAN) -> None:
+        super().__init__(message)
+        self.message = message
+        self.span = span
+
+    def __str__(self) -> str:
+        if self.span is UNKNOWN_SPAN:
+            return f"[{self.kind}] {self.message}"
+        return f"[{self.kind}] {self.span}: {self.message}"
+
+
+class LexError(DahliaError):
+    kind = "lex"
+
+
+class ParseError(DahliaError):
+    kind = "parse"
+
+
+class TypeError_(DahliaError):
+    """A generic type error (shape/arity/operand mismatches)."""
+
+    kind = "type"
+
+
+class UnboundError(TypeError_):
+    """Reference to an undefined variable, memory, or view."""
+
+    kind = "unbound"
+
+
+class AlreadyBoundError(TypeError_):
+    """Shadowing / redefinition in the same scope."""
+
+    kind = "already-bound"
+
+
+class AffineError(DahliaError):
+    """Base class for affinity violations — the paper's core errors."""
+
+    kind = "affine"
+
+
+class AlreadyConsumedError(AffineError):
+    """A memory bank was used twice in one logical time step."""
+
+    kind = "already-consumed"
+
+
+class InsufficientBanksError(AffineError):
+    """Unroll factor does not match the banking factor (§3.4/§3.6)."""
+
+    kind = "insufficient-banks"
+
+
+class InsufficientCapabilitiesError(AffineError):
+    """Write replicated across unrolled copies without enough ports (§3.4)."""
+
+    kind = "insufficient-capabilities"
+
+
+class MemoryCopyError(AffineError):
+    """Attempt to alias/copy a memory (``let B = A``)."""
+
+    kind = "memory-copy"
+
+
+class BankingError(TypeError_):
+    """Malformed banking: factor does not divide the array size (§3.3)."""
+
+    kind = "banking"
+
+
+class ViewError(TypeError_):
+    """Malformed view declaration or use (§3.6)."""
+
+    kind = "view"
+
+
+class UnrollError(TypeError_):
+    """Malformed unroll: factor does not divide the trip count (§3.4)."""
+
+    kind = "unroll"
+
+
+class ReduceError(TypeError_):
+    """Misuse of combine blocks / reducers (§3.5)."""
+
+    kind = "reduce"
+
+
+class RTLError(DahliaError):
+    """Malformed RTL netlist (a lowering bug, not a user error)."""
+
+    kind = "rtl"
+
+
+class PortConflictError(RTLError):
+    """The RTL simulator observed more accesses to a memory in one cycle
+    than it has ports — the dynamic analogue of :class:`StuckError` at
+    the netlist level. Lowering a checker-accepted program never
+    produces this (exercised by the differential test-suite)."""
+
+    kind = "rtl-port-conflict"
+
+
+class InterpError(DahliaError):
+    """Runtime error in the reference interpreter."""
+
+    kind = "interp"
+
+
+class StuckError(InterpError):
+    """The checked semantics got stuck on a memory conflict (§4.2).
+
+    A well-typed program never raises this — that is the soundness theorem,
+    and our property tests exercise exactly this claim.
+    """
+
+    kind = "stuck"

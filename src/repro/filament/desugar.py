@@ -1,0 +1,984 @@
+"""Desugaring Dahlia surface programs into Filament (§4.5).
+
+The three transformations the paper describes, plus the machinery needed
+to make them compose:
+
+* **Memory banking** — ``let A: float[m bank n]`` becomes ``n`` Filament
+  memories ``A@0 … A@n-1`` of size ``m/n``; logical accesses compute the
+  bank from the index. When the bank is statically determined (a linear
+  index whose coefficients are multiples of the banking factor — the
+  situation Dahlia's checker certifies), the access lowers to a direct
+  read/write; otherwise it lowers to the paper's "conditional statements
+  that use the indexing expression to decide which bank to access".
+
+* **Loop unrolling** — ``for (let i = 0..m) unroll k { c1 --- c2 }``
+  becomes a while loop over ``m/k`` iterations whose body composes the
+  ``k`` substituted copies of each logical time step in parallel
+  (the lockstep semantics of §3.4). ``combine`` blocks expand into
+  per-copy reducer applications.
+
+* **Memory views** — view accesses are rewritten into index arithmetic
+  on the underlying memory using the mathematical descriptions of §3.6.
+
+Identical reads in one logical time step are *shared*: the first
+occurrence emits ``let t = A[e]`` and later occurrences reuse ``t``.
+This implements the read-capability semantics (§3.1: "reads once from A
+and distributes the result"), and is what makes checker-accepted
+programs run conflict-free under the checked semantics — the property
+the soundness tests exercise end to end.
+
+Every binder is alpha-renamed to a fresh name, so Filament's flat
+variable environment faithfully models Dahlia's lexical scoping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InterpError, TypeError_, UnboundError, ViewError
+from ..frontend import ast
+from ..frontend.pretty import pretty_expr
+from ..types import poly as poly_mod
+from ..types import views as view_mod
+from ..types.types import elaborate, elaborate_scalar
+from .syntax import (
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ECall,
+    ERead,
+    EVal,
+    EVar,
+    FCmd,
+    FExpr,
+    FProgram,
+    SKIP,
+    TBit,
+    TBool,
+    TFloat,
+    TMem,
+    seq_all,
+)
+
+_REDUCER_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+
+
+# ---------------------------------------------------------------------------
+# Memory layouts
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MemLayout:
+    """How a banked Dahlia memory maps onto flat Filament memories."""
+
+    name: str
+    element: str                       # surface base type
+    dims: tuple[tuple[int, int], ...]  # (size, banks) per dimension
+    ports: int = 1
+
+    @property
+    def total_banks(self) -> int:
+        total = 1
+        for _, banks in self.dims:
+            total *= banks
+        return total
+
+    @property
+    def bank_size(self) -> int:
+        total = 1
+        for size, banks in self.dims:
+            total *= size // banks
+        return total
+
+    def bank_name(self, flat_bank: int) -> str:
+        return f"{self.name}@{flat_bank}"
+
+    def bank_strides(self) -> list[int]:
+        """Row-major strides over per-dimension bank coordinates."""
+        strides = [1] * len(self.dims)
+        for d in range(len(self.dims) - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.dims[d + 1][1]
+        return strides
+
+    def offset_strides(self) -> list[int]:
+        """Row-major strides over per-dimension in-bank offsets."""
+        strides = [1] * len(self.dims)
+        for d in range(len(self.dims) - 2, -1, -1):
+            strides[d] = strides[d + 1] * (
+                self.dims[d + 1][0] // self.dims[d + 1][1])
+        return strides
+
+    def place(self, index: tuple[int, ...]) -> tuple[int, int]:
+        """(flat bank, in-bank offset) of a logical index tuple —
+        the round-robin layout of §2.1/§3.3."""
+        flat_bank = offset = 0
+        bank_strides = self.bank_strides()
+        offset_strides = self.offset_strides()
+        for d, i in enumerate(index):
+            _, banks = self.dims[d]
+            flat_bank += (i % banks) * bank_strides[d]
+            offset += (i // banks) * offset_strides[d]
+        return flat_bank, offset
+
+    def filament_element(self):
+        scalar = elaborate_scalar(self.element)
+        if scalar.base == "bool":
+            return TBool()
+        if scalar.base in ("float", "double"):
+            return TFloat()
+        return TBit(scalar.width or 32)
+
+    def zero(self):
+        scalar = elaborate_scalar(self.element)
+        if scalar.base == "bool":
+            return False
+        if scalar.base in ("float", "double"):
+            return 0.0
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Linear forms: static bank/offset computation
+# ---------------------------------------------------------------------------
+
+def linear_form(expr: ast.Expr) -> tuple[dict[str, int], int] | None:
+    """Express ``expr`` as Σ coeffᵥ·v + const over int variables."""
+    if isinstance(expr, ast.IntLit):
+        return {}, expr.value
+    if isinstance(expr, ast.Var):
+        return {expr.name: 1}, 0
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = linear_form(expr.operand)
+        if inner is None:
+            return None
+        coeffs, const = inner
+        return {v: -c for v, c in coeffs.items()}, -const
+    if isinstance(expr, ast.Binary):
+        if expr.op in (ast.BinOp.ADD, ast.BinOp.SUB):
+            lhs = linear_form(expr.lhs)
+            rhs = linear_form(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            sign = 1 if expr.op is ast.BinOp.ADD else -1
+            coeffs = dict(lhs[0])
+            for v, c in rhs[0].items():
+                coeffs[v] = coeffs.get(v, 0) + sign * c
+            return coeffs, lhs[1] + sign * rhs[1]
+        if expr.op is ast.BinOp.MUL:
+            lhs = linear_form(expr.lhs)
+            rhs = linear_form(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            for (a_coeffs, a_const), (b_coeffs, b_const) in (
+                    (lhs, rhs), (rhs, lhs)):
+                if not a_coeffs:           # one side constant
+                    scaled = {v: c * a_const for v, c in b_coeffs.items()}
+                    return scaled, a_const * b_const
+            return None
+    return None
+
+
+def static_mod(expr: ast.Expr, modulus: int) -> int | None:
+    """``expr mod modulus`` when statically determined, else None.
+
+    Non-negative linear combinations of loop counters with coefficients
+    divisible by the modulus have a static residue — the aligned-access
+    situation Dahlia's checker certifies.
+    """
+    form = linear_form(expr)
+    if form is None:
+        return None
+    coeffs, const = form
+    if all(c % modulus == 0 for c in coeffs.values()):
+        return const % modulus
+    return None
+
+
+def static_div_expr(expr: ast.Expr, divisor: int) -> ast.Expr | None:
+    """A simplified expression for ``expr // divisor``, when exact."""
+    if divisor == 1:
+        return expr
+    form = linear_form(expr)
+    if form is None:
+        return None
+    coeffs, const = form
+    if not all(c % divisor == 0 for c in coeffs.values()):
+        return None
+    if const < 0:
+        return None
+    terms: list[ast.Expr] = []
+    for var, coeff in coeffs.items():
+        reduced = coeff // divisor
+        if reduced == 0:
+            continue
+        if reduced == 1:
+            terms.append(ast.Var(var))
+        else:
+            terms.append(ast.Binary(ast.BinOp.MUL, ast.IntLit(reduced),
+                                    ast.Var(var)))
+    if const // divisor != 0 or not terms:
+        terms.append(ast.IntLit(const // divisor))
+    result = terms[0]
+    for term in terms[1:]:
+        result = ast.Binary(ast.BinOp.ADD, result, term)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Alpha-renaming substitution on Dahlia ASTs
+# ---------------------------------------------------------------------------
+
+class FreshNames:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}%{self._counter}"
+
+
+def substitute_expr(expr: ast.Expr, env: dict[str, ast.Expr],
+                    mem_env: dict[str, str]) -> ast.Expr:
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return expr
+    if isinstance(expr, ast.Var):
+        return env.get(expr.name, expr)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op,
+                          substitute_expr(expr.lhs, env, mem_env),
+                          substitute_expr(expr.rhs, env, mem_env),
+                          span=expr.span)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, substitute_expr(expr.operand, env, mem_env),
+                         span=expr.span)
+    if isinstance(expr, ast.Access):
+        return ast.Access(
+            mem_env.get(expr.mem, expr.mem),
+            [substitute_expr(e, env, mem_env) for e in expr.indices],
+            [substitute_expr(e, env, mem_env) for e in expr.bank_indices],
+            span=expr.span)
+    if isinstance(expr, ast.App):
+        return ast.App(expr.func,
+                       [substitute_expr(a, env, mem_env) for a in expr.args],
+                       span=expr.span)
+    raise InterpError(f"cannot substitute in {type(expr).__name__}")
+
+
+def alpha_copy(cmd: ast.Command, env: dict[str, ast.Expr],
+               mem_env: dict[str, str], fresh: FreshNames,
+               binders: dict[str, str]) -> ast.Command:
+    """Clone ``cmd`` with fresh names for every binder.
+
+    ``env`` maps variables to replacement expressions (used for iterator
+    substitution), ``mem_env`` renames memories/views, and ``binders``
+    collects the orig→fresh mapping for combine-block expansion.
+    """
+    if isinstance(cmd, ast.Skip):
+        return cmd
+    if isinstance(cmd, ast.ExprStmt):
+        return ast.ExprStmt(substitute_expr(cmd.expr, env, mem_env),
+                            span=cmd.span)
+    if isinstance(cmd, ast.Let):
+        new_name = fresh.fresh(cmd.name)
+        init = (substitute_expr(cmd.init, env, mem_env)
+                if cmd.init is not None else None)
+        result = ast.Let(new_name, cmd.type, init, span=cmd.span)
+        binders[cmd.name] = new_name
+        if cmd.type is not None and cmd.type.is_memory:
+            mem_env[cmd.name] = new_name
+        else:
+            env[cmd.name] = ast.Var(new_name)
+        return result
+    if isinstance(cmd, ast.View):
+        new_name = fresh.fresh(cmd.name)
+        factors = [substitute_expr(f, env, mem_env) if f is not None else None
+                   for f in cmd.factors]
+        result = ast.View(new_name, cmd.kind,
+                          mem_env.get(cmd.mem, cmd.mem), factors,
+                          span=cmd.span)
+        binders[cmd.name] = new_name
+        mem_env[cmd.name] = new_name
+        return result
+    if isinstance(cmd, ast.Assign):
+        target = env.get(cmd.name)
+        name = target.name if isinstance(target, ast.Var) else cmd.name
+        return ast.Assign(name, substitute_expr(cmd.expr, env, mem_env),
+                          span=cmd.span)
+    if isinstance(cmd, ast.Reduce):
+        expr = substitute_expr(cmd.expr, env, mem_env)
+        if cmd.target_is_access is not None:
+            access = substitute_expr(cmd.target_is_access, env, mem_env)
+            return ast.Reduce(cmd.op, cmd.target, expr,
+                              target_is_access=access, span=cmd.span)
+        target = env.get(cmd.target)
+        name = target.name if isinstance(target, ast.Var) else cmd.target
+        return ast.Reduce(cmd.op, name, expr, span=cmd.span)
+    if isinstance(cmd, ast.Store):
+        return ast.Store(substitute_expr(cmd.access, env, mem_env),
+                         substitute_expr(cmd.expr, env, mem_env),
+                         span=cmd.span)
+    if isinstance(cmd, ast.ParComp):
+        return ast.ParComp(
+            [alpha_copy(c, env, mem_env, fresh, binders)
+             for c in cmd.commands], span=cmd.span)
+    if isinstance(cmd, ast.SeqComp):
+        return ast.SeqComp(
+            [alpha_copy(c, env, mem_env, fresh, binders)
+             for c in cmd.commands], span=cmd.span)
+    if isinstance(cmd, ast.Block):
+        inner_env = dict(env)
+        inner_mem = dict(mem_env)
+        return ast.Block(alpha_copy(cmd.body, inner_env, inner_mem, fresh,
+                                    binders), span=cmd.span)
+    if isinstance(cmd, ast.If):
+        cond = substitute_expr(cmd.cond, env, mem_env)
+        then_branch = alpha_copy(cmd.then_branch, dict(env), dict(mem_env),
+                                 fresh, binders)
+        else_branch = (alpha_copy(cmd.else_branch, dict(env), dict(mem_env),
+                                  fresh, binders)
+                       if cmd.else_branch is not None else None)
+        return ast.If(cond, then_branch, else_branch, span=cmd.span)
+    if isinstance(cmd, ast.While):
+        cond = substitute_expr(cmd.cond, env, mem_env)
+        body = alpha_copy(cmd.body, dict(env), dict(mem_env), fresh, binders)
+        return ast.While(cond, body, span=cmd.span)
+    if isinstance(cmd, ast.For):
+        new_var = fresh.fresh(cmd.var)
+        inner_env = dict(env)
+        inner_env[cmd.var] = ast.Var(new_var)
+        inner_mem = dict(mem_env)
+        # Unwrap the body block so its bindings stay visible to the
+        # combine block (combine registers, §3.5).
+        body_cmd = cmd.body.body if isinstance(cmd.body, ast.Block) \
+            else cmd.body
+        body = alpha_copy(body_cmd, inner_env, inner_mem, fresh, binders)
+        combine = (alpha_copy(cmd.combine, inner_env, inner_mem, fresh,
+                              binders)
+                   if cmd.combine is not None else None)
+        return ast.For(new_var, cmd.start, cmd.end, cmd.unroll, body,
+                       combine, span=cmd.span)
+    raise InterpError(f"cannot alpha-copy {type(cmd).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# The desugarer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _TimeStep:
+    """Per-logical-time-step state: the read-sharing memo."""
+
+    reads: dict[str, str] = field(default_factory=dict)
+
+
+class Desugarer:
+    def __init__(self) -> None:
+        self.fresh = FreshNames()
+        self.layouts: dict[str, MemLayout] = {}
+        self.views: dict[str, view_mod.ViewInfo] = {}
+        self.functions: dict[str, ast.FuncDef] = {}
+        self.step = _TimeStep()
+        self._inline_depth = 0
+
+    # -- program --------------------------------------------------------
+
+    def desugar_program(self, program: ast.Program) -> FProgram:
+        for func in program.defs:
+            self.functions[func.name] = func
+        commands: list[FCmd] = []
+        for decl in program.decls:
+            self._register_memory(decl.name, decl.type)
+        commands.append(self.desugar_cmd(program.body))
+        memories: dict[str, TMem] = {}
+        for layout in self.layouts.values():
+            for flat in range(layout.total_banks):
+                memories[layout.bank_name(flat)] = TMem(
+                    layout.filament_element(), layout.bank_size,
+                    layout.ports)
+        return FProgram(memories, seq_all(commands, ordered=False),
+                        meta={"layouts": dict(self.layouts)})
+
+    def _register_memory(self, name: str,
+                         annotation: ast.TypeAnnotation) -> None:
+        dims = tuple((d.size, d.banks) for d in annotation.dims)
+        layout = MemLayout(name, annotation.base, dims, annotation.ports)
+        self.layouts[name] = layout
+        memory = elaborate(annotation)
+        self.views[name] = view_mod.identity_view(name, memory)
+
+    # -- commands ---------------------------------------------------------
+
+    def desugar_cmd(self, cmd: ast.Command) -> FCmd:
+        if isinstance(cmd, ast.Skip):
+            return SKIP
+        if isinstance(cmd, ast.ExprStmt):
+            pre, expr = self.desugar_expr(cmd.expr)
+            return seq_all(pre + [CExpr(expr)], ordered=False)
+        if isinstance(cmd, ast.Let):
+            return self._desugar_let(cmd)
+        if isinstance(cmd, ast.View):
+            parent = self.views.get(cmd.mem)
+            if parent is None:
+                raise UnboundError(f"undefined memory {cmd.mem!r}", cmd.span)
+            self.views[cmd.name] = view_mod.apply_view(cmd, parent, set())
+            return SKIP
+        if isinstance(cmd, ast.Assign):
+            pre, expr = self.desugar_expr(cmd.expr)
+            return seq_all(pre + [CAssign(cmd.name, expr)], ordered=False)
+        if isinstance(cmd, ast.Reduce):
+            return self._desugar_reduce(cmd)
+        if isinstance(cmd, ast.Store):
+            return self._desugar_store(cmd.access, cmd.expr)
+        if isinstance(cmd, ast.ParComp):
+            return seq_all([self.desugar_cmd(c) for c in cmd.commands],
+                           ordered=False)
+        if isinstance(cmd, ast.SeqComp):
+            steps = []
+            for child in cmd.commands:
+                saved = self.step
+                self.step = _TimeStep()
+                steps.append(self.desugar_cmd(child))
+                self.step = saved
+            return seq_all(steps, ordered=True)
+        if isinstance(cmd, ast.Block):
+            return self.desugar_cmd(cmd.body)
+        if isinstance(cmd, ast.If):
+            return self._desugar_if(cmd)
+        if isinstance(cmd, ast.While):
+            return self._desugar_while(cmd)
+        if isinstance(cmd, ast.For):
+            return self._desugar_for(cmd)
+        raise InterpError(f"cannot desugar {type(cmd).__name__}", cmd.span)
+
+    def _desugar_let(self, cmd: ast.Let) -> FCmd:
+        if cmd.type is not None and cmd.type.is_memory:
+            self._register_memory(cmd.name, cmd.type)
+            return SKIP
+        if cmd.init is None:
+            zero: object = 0.0
+            if cmd.type is not None and cmd.type.base == "bool":
+                zero = False
+            elif cmd.type is not None and cmd.type.base.startswith("bit"):
+                zero = 0
+            return CLet(cmd.name, EVal(zero))
+        pre, expr = self.desugar_expr(cmd.init)
+        return seq_all(pre + [CLet(cmd.name, expr)], ordered=False)
+
+    def _desugar_reduce(self, cmd: ast.Reduce) -> FCmd:
+        op = _REDUCER_OPS[cmd.op]
+        if cmd.target_is_access is not None:
+            combined = ast.Binary(
+                ast.BinOp(op), cmd.target_is_access, cmd.expr, span=cmd.span)
+            return self._desugar_store(cmd.target_is_access, combined)
+        pre, expr = self.desugar_expr(cmd.expr)
+        update = CAssign(cmd.target,
+                         EBinOp(op, EVar(cmd.target), expr))
+        return seq_all(pre + [update], ordered=False)
+
+    def _desugar_if(self, cmd: ast.If) -> FCmd:
+        pre, cond = self.desugar_expr(cmd.cond)
+        cond_var = self.fresh.fresh("cond")
+        saved = self.step
+        self.step = _TimeStep(dict(saved.reads))
+        then_branch = self.desugar_cmd(cmd.then_branch)
+        self.step = _TimeStep(dict(saved.reads))
+        else_branch = (self.desugar_cmd(cmd.else_branch)
+                       if cmd.else_branch is not None else SKIP)
+        self.step = saved
+        return seq_all(
+            pre + [CLet(cond_var, cond),
+                   CIf(cond_var, then_branch, else_branch)],
+            ordered=False)
+
+    def _desugar_while(self, cmd: ast.While) -> FCmd:
+        if self._expr_reads_memory(cmd.cond):
+            raise InterpError(
+                "while conditions reading memories are outside the "
+                "desugarable fragment; bind the value with let first",
+                cmd.span)
+        pre, cond = self.desugar_expr(cmd.cond)
+        cond_var = self.fresh.fresh("cond")
+        saved = self.step
+        self.step = _TimeStep()
+        body = self.desugar_cmd(cmd.body)
+        self.step = saved
+        refresh = CAssign(cond_var, cond)
+        loop_body = seq_all([body, refresh], ordered=True)
+        return seq_all(
+            pre + [CLet(cond_var, cond), CWhile(cond_var, loop_body)],
+            ordered=False)
+
+    @staticmethod
+    def _expr_reads_memory(expr: ast.Expr) -> bool:
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Access):
+                return True
+            stack.extend(ast.child_exprs(node))
+        return False
+
+    # -- loops -------------------------------------------------------------
+
+    def _desugar_for(self, cmd: ast.For) -> FCmd:
+        if cmd.is_symbolic:
+            raise TypeError_(
+                "symbolic loop bounds outside a polymorphic `def` body "
+                "cannot be desugared (§6 polymorphism)", cmd.span)
+        trip = cmd.trip_count
+        k = cmd.unroll
+        if trip % k != 0:
+            raise InterpError(
+                f"unroll {k} does not divide trip count {trip}", cmd.span)
+        quotient = trip // k
+        counter = self.fresh.fresh(cmd.var)
+        cond_var = self.fresh.fresh("cond")
+
+        body = cmd.body.body if isinstance(cmd.body, ast.Block) else cmd.body
+
+        # Build the k substituted copies of the body, composed in
+        # *lockstep*: parallelism is distributed per logical time step —
+        # through nested sequential loops too — rather than joining whole
+        # copies at the top level, which §3.4 points out would be too
+        # restrictive (and, operationally, would make the checker's
+        # permissive verdicts stick in the checked semantics).
+        envs: list[dict[str, ast.Expr]] = []
+        mem_envs: list[dict[str, str]] = []
+        binder_maps: list[dict[str, str]] = []
+        for r in range(k):
+            iter_expr = self._iterator_expr(cmd.start, k, counter, r)
+            envs.append({cmd.var: iter_expr})
+            mem_envs.append({})
+            binder_maps.append({})
+
+        lockstepped = self._lockstep(body, envs, mem_envs, binder_maps)
+        steps = (list(lockstepped.commands)
+                 if isinstance(lockstepped, ast.SeqComp) else [lockstepped])
+        if cmd.combine is not None:
+            combine_body = (cmd.combine.body
+                            if isinstance(cmd.combine, ast.Block)
+                            else cmd.combine)
+            steps.append(self._expand_combine(combine_body, binder_maps))
+
+        saved = self.step
+        self.step = _TimeStep()
+        body_f = self.desugar_cmd(
+            ast.SeqComp(steps) if len(steps) > 1 else steps[0])
+        self.step = saved
+
+        update = CUnordered(
+            CAssign(counter, EBinOp("+", EVar(counter), EVal(1))),
+            CAssign(cond_var, EBinOp("<", EVar(counter), EVal(quotient))))
+        loop_body = seq_all([body_f, update], ordered=True)
+        return seq_all(
+            [CLet(counter, EVal(0)),
+             CLet(cond_var, EBinOp("<", EVar(counter), EVal(quotient))),
+             CWhile(cond_var, loop_body)],
+            ordered=False)
+
+    def _lockstep(self, cmd: ast.Command,
+                  envs: list[dict[str, ast.Expr]],
+                  mem_envs: list[dict[str, str]],
+                  binder_maps: list[dict[str, str]]) -> ast.Command:
+        """Compose the per-copy substitutions of ``cmd`` in lockstep.
+
+        The parallel composition is pushed *down* the command structure:
+        ordered steps zip step-by-step, nested ``for`` loops (whose
+        bounds are static, hence identical across copies) fuse onto one
+        shared counter, and ``if``/``while`` with copy-independent
+        conditions merge their control. Only leaf commands — and
+        conditionals whose conditions genuinely differ between copies —
+        expand into per-copy parallel composition. This implements
+        §3.4's lockstep semantics compositionally.
+
+        ``envs``/``mem_envs``/``binder_maps`` hold each copy's
+        substitution state and are threaded (and mutated) exactly as a
+        per-copy :func:`alpha_copy` walk would.
+        """
+        k = len(envs)
+        if isinstance(cmd, ast.SeqComp):
+            return ast.SeqComp(
+                [self._lockstep(child, envs, mem_envs, binder_maps)
+                 for child in cmd.commands], span=cmd.span)
+        if isinstance(cmd, ast.ParComp):
+            return ast.ParComp(
+                [self._lockstep(child, envs, mem_envs, binder_maps)
+                 for child in cmd.commands], span=cmd.span)
+        if isinstance(cmd, ast.Block):
+            inner_envs = [dict(env) for env in envs]
+            inner_mems = [dict(m) for m in mem_envs]
+            return ast.Block(
+                self._lockstep(cmd.body, inner_envs, inner_mems,
+                               binder_maps), span=cmd.span)
+        if isinstance(cmd, ast.For):
+            # Bounds and unroll factor are static integers — identical
+            # across copies by construction — so the copies run in
+            # lockstep on one shared counter.
+            shared = self.fresh.fresh(cmd.var)
+            inner_envs = [dict(env) for env in envs]
+            inner_mems = [dict(m) for m in mem_envs]
+            for r in range(k):
+                inner_envs[r][cmd.var] = ast.Var(shared)
+                binder_maps[r][cmd.var] = shared
+            body = cmd.body.body if isinstance(cmd.body, ast.Block) \
+                else cmd.body
+            merged_body = self._lockstep(body, inner_envs, inner_mems,
+                                         binder_maps)
+            merged_combine = None
+            if cmd.combine is not None:
+                combine_body = (cmd.combine.body
+                                if isinstance(cmd.combine, ast.Block)
+                                else cmd.combine)
+                merged_combine = self._lockstep(
+                    combine_body, inner_envs, inner_mems, binder_maps)
+            return ast.For(shared, cmd.start, cmd.end, cmd.unroll,
+                           merged_body, merged_combine, span=cmd.span)
+        if isinstance(cmd, ast.If):
+            conds = [substitute_expr(cmd.cond, envs[r], mem_envs[r])
+                     for r in range(k)]
+            if all(cond == conds[0] for cond in conds):
+                then_envs = [dict(env) for env in envs]
+                then_mems = [dict(m) for m in mem_envs]
+                then_branch = self._lockstep(
+                    cmd.then_branch, then_envs, then_mems, binder_maps)
+                else_branch = None
+                if cmd.else_branch is not None:
+                    else_envs = [dict(env) for env in envs]
+                    else_mems = [dict(m) for m in mem_envs]
+                    else_branch = self._lockstep(
+                        cmd.else_branch, else_envs, else_mems, binder_maps)
+                return ast.If(conds[0], then_branch, else_branch,
+                              span=cmd.span)
+            # Divergent control: copies may take different branches, so
+            # they cannot share time steps — fall back to joining whole
+            # copies (the conservative semantics of §3.4's "naive
+            # interpretation").
+            return self._parallel_copies(cmd, envs, mem_envs, binder_maps)
+        if isinstance(cmd, ast.While):
+            conds = [substitute_expr(cmd.cond, envs[r], mem_envs[r])
+                     for r in range(k)]
+            if all(cond == conds[0] for cond in conds):
+                inner_envs = [dict(env) for env in envs]
+                inner_mems = [dict(m) for m in mem_envs]
+                merged = self._lockstep(cmd.body, inner_envs, inner_mems,
+                                        binder_maps)
+                return ast.While(conds[0], merged, span=cmd.span)
+            return self._parallel_copies(cmd, envs, mem_envs, binder_maps)
+        # Leaf command: one copy per unrolled replica, in parallel.
+        return self._parallel_copies(cmd, envs, mem_envs, binder_maps)
+
+    def _parallel_copies(self, cmd: ast.Command,
+                         envs: list[dict[str, ast.Expr]],
+                         mem_envs: list[dict[str, str]],
+                         binder_maps: list[dict[str, str]]) -> ast.Command:
+        copies = [alpha_copy(cmd, envs[r], mem_envs[r], self.fresh,
+                             binder_maps[r])
+                  for r in range(len(envs))]
+        if len(copies) == 1:
+            return copies[0]
+        return ast.ParComp(copies)
+
+    @staticmethod
+    def _iterator_expr(start: int, k: int, counter: str,
+                       r: int) -> ast.Expr:
+        """``start + k*q + r`` with constants folded."""
+        scaled: ast.Expr = ast.Var(counter)
+        if k != 1:
+            scaled = ast.Binary(ast.BinOp.MUL, ast.IntLit(k), scaled)
+        const = start + r
+        if const == 0:
+            return scaled
+        return ast.Binary(ast.BinOp.ADD, scaled, ast.IntLit(const))
+
+    def _expand_combine(self, combine: ast.Command,
+                        binder_maps: list[dict[str, str]]) -> ast.Command:
+        """Per-copy expansion of combine-block reducers (§3.5)."""
+        body_vars = set()
+        for binders in binder_maps:
+            body_vars |= set(binders)
+
+        def refs_body_var(expr: ast.Expr) -> bool:
+            stack = [expr]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, ast.Var) and node.name in body_vars:
+                    return True
+                stack.extend(ast.child_exprs(node))
+            return False
+
+        def expand(cmd: ast.Command) -> ast.Command:
+            if isinstance(cmd, ast.Reduce) and cmd.target_is_access is None \
+                    and refs_body_var(cmd.expr):
+                copies = []
+                for binders in binder_maps:
+                    env = {orig: ast.Var(new)
+                           for orig, new in binders.items()}
+                    copies.append(ast.Reduce(
+                        cmd.op, cmd.target,
+                        substitute_expr(cmd.expr, env, {}), span=cmd.span))
+                return (ast.ParComp(copies) if len(copies) > 1
+                        else copies[0])
+            if isinstance(cmd, ast.ParComp):
+                return ast.ParComp([expand(c) for c in cmd.commands],
+                                   span=cmd.span)
+            if isinstance(cmd, ast.SeqComp):
+                return ast.SeqComp([expand(c) for c in cmd.commands],
+                                   span=cmd.span)
+            if isinstance(cmd, ast.Block):
+                return ast.Block(expand(cmd.body), span=cmd.span)
+            return cmd
+
+        return expand(combine)
+
+    # -- expressions ---------------------------------------------------------
+
+    def desugar_expr(self, expr: ast.Expr) -> tuple[list[FCmd], FExpr]:
+        """Returns (setup commands, pure Filament expression)."""
+        if isinstance(expr, ast.IntLit):
+            return [], EVal(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return [], EVal(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return [], EVal(expr.value)
+        if isinstance(expr, ast.Var):
+            return [], EVar(expr.name)
+        if isinstance(expr, ast.Binary):
+            lhs_pre, lhs = self.desugar_expr(expr.lhs)
+            rhs_pre, rhs = self.desugar_expr(expr.rhs)
+            return lhs_pre + rhs_pre, EBinOp(expr.op.value, lhs, rhs)
+        if isinstance(expr, ast.Unary):
+            pre, operand = self.desugar_expr(expr.operand)
+            if expr.op == "-":
+                return pre, EBinOp("-", EVal(0), operand)
+            return pre, EBinOp("==", operand, EVal(False))
+        if isinstance(expr, ast.Access):
+            return self._desugar_read(expr)
+        if isinstance(expr, ast.App):
+            return self._desugar_app(expr)
+        raise InterpError(f"cannot desugar {type(expr).__name__}", expr.span)
+
+    def _desugar_app(self, expr: ast.App) -> tuple[list[FCmd], FExpr]:
+        func = self.functions.get(expr.func)
+        if func is None:
+            # Built-in math function.
+            pre: list[FCmd] = []
+            args: list[FExpr] = []
+            for arg in expr.args:
+                arg_pre, arg_f = self.desugar_expr(arg)
+                pre.extend(arg_pre)
+                args.append(arg_f)
+            return pre, ECall(expr.func, tuple(args))
+        # User function: inline the body (closed-world, §6).
+        if self._inline_depth > 32:
+            raise InterpError("function inlining exceeded depth 32 "
+                              "(recursion is not supported)", expr.span)
+        if poly_mod.is_polymorphic(func):
+            func = self._instantiate_poly(func, expr)
+        pre = []
+        env: dict[str, ast.Expr] = {}
+        mem_env: dict[str, str] = {}
+        for param, arg in zip(func.params, expr.args):
+            if param.type.is_memory:
+                if not isinstance(arg, ast.Var):
+                    raise TypeError_(
+                        "memory arguments must be memory names", arg.span)
+                mem_env[param.name] = arg.name
+            else:
+                arg_pre, arg_f = self.desugar_expr(arg)
+                pre.extend(arg_pre)
+                tmp = self.fresh.fresh(param.name)
+                pre.append(CLet(tmp, arg_f))
+                env[param.name] = ast.Var(tmp)
+        binders: dict[str, str] = {}
+        body = alpha_copy(func.body, env, mem_env, self.fresh, binders)
+        self._inline_depth += 1
+        try:
+            pre.append(self.desugar_cmd(body))
+        finally:
+            self._inline_depth -= 1
+        return pre, EVal(0)
+
+    def _instantiate_poly(self, func: ast.FuncDef,
+                          expr: ast.App) -> ast.FuncDef:
+        """Bind a polymorphic call's type parameters from the actual
+        argument memories' layouts and substitute them through the body
+        (§6 polymorphism; mirrors the checker's monomorphization)."""
+        binding: poly_mod.Binding = {}
+        for param, arg in zip(func.params, expr.args):
+            if not param.type.is_memory:
+                continue
+            if not isinstance(arg, ast.Expr) or not isinstance(arg, ast.Var):
+                raise TypeError_(
+                    "memory arguments must be memory names", expr.span)
+            layout = self.layouts.get(arg.name)
+            if layout is None:
+                raise UnboundError(
+                    f"undefined memory {arg.name!r}", expr.span)
+            actual = elaborate(ast.TypeAnnotation(
+                layout.element,
+                tuple(ast.DimSpec(size, banks)
+                      for size, banks in layout.dims),
+                layout.ports))
+            poly_mod.unify_param(binding, param.type, actual, expr.span)
+        return poly_mod.instantiate(func, binding)
+
+    # -- memory accesses -----------------------------------------------------
+
+    def _resolve_base_indices(
+            self, access: ast.Access) -> tuple[MemLayout, list[ast.Expr]]:
+        """Rewrite a (possibly view) access into base-memory indices."""
+        info = self.views.get(access.mem)
+        if info is None:
+            raise UnboundError(f"undefined memory {access.mem!r}",
+                               access.span)
+        layout = self.layouts[info.base_mem]
+        if access.is_physical:
+            raise InterpError("physical accesses handled separately")
+        if len(access.indices) != info.ndims:
+            raise TypeError_(
+                f"{access.mem!r}: expected {info.ndims} indices",
+                access.span)
+        base_indices = view_mod.rewrite_access_indices(
+            info, list(access.indices), access.span)
+        return layout, base_indices
+
+    def _bank_and_offset(
+            self, layout: MemLayout, base_indices: list[ast.Expr]
+    ) -> tuple[int | None, FExpr, FExpr | None]:
+        """(static flat bank | None, offset expr, dynamic flat-bank expr)."""
+        bank_strides = layout.bank_strides()
+        offset_strides = layout.offset_strides()
+        static_bank: int | None = 0
+        bank_exprs: list[FExpr] = []
+        offset_terms: list[FExpr] = []
+        for d, index in enumerate(base_indices):
+            size, banks = layout.dims[d]
+            del size
+            residue = static_mod(index, banks)
+            _, index_f = self.desugar_expr(index)
+            if residue is not None:
+                if static_bank is not None:
+                    static_bank += residue * bank_strides[d]
+                bank_exprs.append(EVal(residue * bank_strides[d]))
+            else:
+                static_bank = None
+                bank_exprs.append(
+                    EBinOp("*", EBinOp("%", index_f, EVal(banks)),
+                           EVal(bank_strides[d])))
+            divided = static_div_expr(index, banks)
+            if divided is not None:
+                _, offset_f = self.desugar_expr(divided)
+            else:
+                offset_f = EBinOp("/", index_f, EVal(banks))
+            offset_terms.append(
+                EBinOp("*", offset_f, EVal(offset_strides[d]))
+                if offset_strides[d] != 1 else offset_f)
+        offset: FExpr = offset_terms[0]
+        for term in offset_terms[1:]:
+            offset = EBinOp("+", offset, term)
+        if static_bank is not None:
+            return static_bank, offset, None
+        flat: FExpr = bank_exprs[0]
+        for term in bank_exprs[1:]:
+            flat = EBinOp("+", flat, term)
+        return None, offset, flat
+
+    def _desugar_read(self, access: ast.Access) -> tuple[list[FCmd], FExpr]:
+        if access.is_physical:
+            return self._desugar_physical(access, write_value=None)
+        key = pretty_expr(access)
+        if key in self.step.reads:
+            return [], EVar(self.step.reads[key])
+        layout, base_indices = self._resolve_base_indices(access)
+        static_bank, offset, flat = self._bank_and_offset(
+            layout, base_indices)
+        tmp = self.fresh.fresh("read")
+        if static_bank is not None:
+            pre: list[FCmd] = [
+                CLet(tmp, ERead(layout.bank_name(static_bank), offset))]
+        else:
+            pre = self._dynamic_read(layout, flat, offset, tmp)
+        self.step.reads[key] = tmp
+        return pre, EVar(tmp)
+
+    def _dynamic_read(self, layout: MemLayout, flat: FExpr, offset: FExpr,
+                      tmp: str) -> list[FCmd]:
+        """The paper's conditional-statement lowering for dynamic banks."""
+        return self._dynamic_access(layout, flat, offset, read_into=tmp)
+
+    def _dynamic_access(self, layout: MemLayout, flat: FExpr, offset: FExpr,
+                        read_into: str | None = None,
+                        write_value: FExpr | None = None) -> list[FCmd]:
+        bank_var = self.fresh.fresh("bank")
+        offset_var = self.fresh.fresh("off")
+        cmds: list[FCmd] = [CLet(bank_var, flat), CLet(offset_var, offset)]
+        if read_into is not None:
+            cmds.insert(0, CLet(read_into, EVal(layout.zero())))
+        if write_value is not None:
+            value_var = self.fresh.fresh("val")
+            cmds.append(CLet(value_var, write_value))
+        for b in range(layout.total_banks):
+            guard = self.fresh.fresh("is")
+            cmds.append(CLet(guard, EBinOp("==", EVar(bank_var), EVal(b))))
+            if read_into is not None:
+                taken: FCmd = CAssign(
+                    read_into, ERead(layout.bank_name(b), EVar(offset_var)))
+            else:
+                taken = CWrite(layout.bank_name(b), EVar(offset_var),
+                               EVar(value_var))
+            cmds.append(CIf(guard, taken, SKIP))
+        return cmds
+
+    def _desugar_store(self, access: ast.Access, value: ast.Expr) -> FCmd:
+        value_pre, value_f = self.desugar_expr(value)
+        if access.is_physical:
+            pre, _ = self._desugar_physical(access, write_value=value_f)
+            return seq_all(value_pre + pre, ordered=False)
+        layout, base_indices = self._resolve_base_indices(access)
+        static_bank, offset, flat = self._bank_and_offset(
+            layout, base_indices)
+        if static_bank is not None:
+            write: list[FCmd] = [
+                CWrite(layout.bank_name(static_bank), offset, value_f)]
+        else:
+            write = self._dynamic_access(layout, flat, offset,
+                                         write_value=value_f)
+        return seq_all(value_pre + write, ordered=False)
+
+    def _desugar_physical(
+            self, access: ast.Access,
+            write_value: FExpr | None) -> tuple[list[FCmd], FExpr]:
+        info = self.views.get(access.mem)
+        if info is None or info.base_mem != access.mem:
+            raise ViewError("physical accesses require a plain memory",
+                            access.span)
+        layout = self.layouts[access.mem]
+        bank = view_mod._static_int(access.bank_indices[0])
+        if bank is None:
+            raise TypeError_("bank selectors must be static", access.span)
+        _, offset = self.desugar_expr(access.indices[0])
+        name = layout.bank_name(bank)
+        if write_value is not None:
+            return [CWrite(name, offset, write_value)], EVal(0)
+        key = pretty_expr(access)
+        if key in self.step.reads:
+            return [], EVar(self.step.reads[key])
+        tmp = self.fresh.fresh("read")
+        self.step.reads[key] = tmp
+        return [CLet(tmp, ERead(name, offset))], EVar(tmp)
+
+
+def elaborate(annotation: ast.TypeAnnotation):
+    from ..types.types import elaborate as _elab
+
+    return _elab(annotation)
+
+
+def desugar(program: ast.Program) -> FProgram:
+    """Desugar a parsed Dahlia program into Filament."""
+    return Desugarer().desugar_program(program)

@@ -1,0 +1,94 @@
+"""Pretty-printer for Filament programs.
+
+Renders the core calculus in the paper's concrete syntax: juxtaposition
+for ordered composition, ``;`` for unordered, ``~ρ~`` for the
+intermediate form. Useful for inspecting what the §4.5 desugaring
+produced (``dahlia-py desugar file``).
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ECall,
+    ERead,
+    EVal,
+    EVar,
+    FCmd,
+    FExpr,
+    FProgram,
+    InterSeq,
+)
+
+_INDENT = "  "
+
+
+def pretty_fexpr(expr: FExpr) -> str:
+    if isinstance(expr, EVal):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        return str(expr.value)
+    if isinstance(expr, EVar):
+        return expr.name
+    if isinstance(expr, EBinOp):
+        return (f"({pretty_fexpr(expr.lhs)} {expr.op} "
+                f"{pretty_fexpr(expr.rhs)})")
+    if isinstance(expr, ERead):
+        return f"{expr.mem}[{pretty_fexpr(expr.index)}]"
+    if isinstance(expr, ECall):
+        args = ", ".join(pretty_fexpr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"unknown Filament expression {type(expr).__name__}")
+
+
+def pretty_fcmd(cmd: FCmd, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if isinstance(cmd, CSkip):
+        return f"{pad}skip"
+    if isinstance(cmd, CExpr):
+        return f"{pad}{pretty_fexpr(cmd.expr)}"
+    if isinstance(cmd, CLet):
+        return f"{pad}let {cmd.var} = {pretty_fexpr(cmd.expr)}"
+    if isinstance(cmd, CAssign):
+        return f"{pad}{cmd.var} := {pretty_fexpr(cmd.expr)}"
+    if isinstance(cmd, CWrite):
+        return (f"{pad}{cmd.mem}[{pretty_fexpr(cmd.index)}] := "
+                f"{pretty_fexpr(cmd.value)}")
+    if isinstance(cmd, CUnordered):
+        return (f"{pretty_fcmd(cmd.first, indent)};\n"
+                f"{pretty_fcmd(cmd.second, indent)}")
+    if isinstance(cmd, COrdered):
+        return (f"{pretty_fcmd(cmd.first, indent)}\n{pad}---\n"
+                f"{pretty_fcmd(cmd.second, indent)}")
+    if isinstance(cmd, InterSeq):
+        rho = "{" + ", ".join(sorted(cmd.rho)) + "}"
+        return (f"{pretty_fcmd(cmd.first, indent)}\n{pad}~{rho}~\n"
+                f"{pretty_fcmd(cmd.second, indent)}")
+    if isinstance(cmd, CIf):
+        return (f"{pad}if {cmd.cond} {{\n"
+                f"{pretty_fcmd(cmd.then_branch, indent + 1)}\n"
+                f"{pad}}} else {{\n"
+                f"{pretty_fcmd(cmd.else_branch, indent + 1)}\n"
+                f"{pad}}}")
+    if isinstance(cmd, CWhile):
+        return (f"{pad}while {cmd.cond} {{\n"
+                f"{pretty_fcmd(cmd.body, indent + 1)}\n{pad}}}")
+    raise TypeError(f"unknown Filament command {type(cmd).__name__}")
+
+
+def pretty_filament(program: FProgram) -> str:
+    decls = [
+        f"mem {name}: {mem.element}[{mem.size}]"
+        + (f" ports {mem.ports}" if mem.ports != 1 else "")
+        for name, mem in sorted(program.memories.items())
+    ]
+    return "\n".join(decls) + "\n\n" + pretty_fcmd(program.command) + "\n"

@@ -1,0 +1,291 @@
+"""Quantitative (bounded-linear) typing for multi-ported Filament.
+
+§4.5 of the paper: *"Reasoning about memory ports requires quantitative
+resource tracking, as in bounded linear logic. We leave such an
+extension of Filament's affine type system as future work."* This
+module implements that extension.
+
+The affine context Δ generalizes from a *set* of available memories to
+a *multiset*: Δ maps each memory to its remaining port tokens for the
+current logical time step. Reads and writes consume one token; a memory
+with ``ports = k`` supports ``k`` accesses per step. The composition
+rules generalize pointwise:
+
+* unordered composition threads Δ (tokens spent by ``c1`` are gone for
+  ``c2``);
+* ordered composition checks both commands against the incoming Δ and
+  merges with pointwise **min** (the quantitative analogue of set
+  intersection);
+* ``if`` merges the branches and ``while`` merges body and entry the
+  same way.
+
+With every memory single-ported the system degenerates to exactly the
+paper's set-based judgment — :func:`agrees_with_set_checker` states the
+correspondence, and the property tests check both it and the
+quantitative soundness claim: quantitatively well-typed programs never
+get stuck in the port-counting checked semantics
+(:mod:`repro.filament.bigstep`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TypeError_, UnboundError
+from .syntax import (
+    BIT32,
+    BOOL,
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ECall,
+    ERead,
+    EVal,
+    EVar,
+    FCmd,
+    FExpr,
+    FLOAT,
+    FProgram,
+    FTy,
+    InterSeq,
+    TBit,
+    TFloat,
+    TMem,
+)
+from .typecheck import value_type
+
+#: Δ as a token budget: memory name → remaining accesses this step.
+Tokens = dict[str, int]
+
+
+def tokens_min(left: Tokens, right: Tokens) -> Tokens:
+    """Pointwise minimum — the quantitative Δ₂ ∩ Δ₃."""
+    return {name: min(count, right.get(name, 0))
+            for name, count in left.items()
+            if name in right}
+
+
+@dataclass(frozen=True)
+class QContexts:
+    """An immutable (Γ, Δ) pair with token counts in Δ."""
+
+    gamma: dict[str, FTy] = field(default_factory=dict)
+    delta: tuple[tuple[str, int], ...] = ()
+
+    @staticmethod
+    def make(gamma: dict[str, FTy], tokens: Tokens) -> "QContexts":
+        return QContexts(gamma, tuple(sorted(tokens.items())))
+
+    @property
+    def tokens(self) -> Tokens:
+        return dict(self.delta)
+
+    def bind(self, var: str, ty: FTy) -> "QContexts":
+        gamma = dict(self.gamma)
+        gamma[var] = ty
+        return QContexts(gamma, self.delta)
+
+    def with_tokens(self, tokens: Tokens) -> "QContexts":
+        return QContexts.make(self.gamma, tokens)
+
+    def spend(self, mem: str) -> "QContexts":
+        tokens = self.tokens
+        tokens[mem] = tokens.get(mem, 0) - 1
+        return QContexts.make(self.gamma, tokens)
+
+
+_COMPARISONS = {"<", ">", "<=", ">=", "==", "!="}
+_LOGICAL = {"&&", "||"}
+_ARITH = {"+", "-", "*", "/", "%"}
+
+
+def _numeric(ty: FTy) -> bool:
+    return isinstance(ty, (TBit, TFloat))
+
+
+class QuantitativeChecker:
+    """The bounded-linear judgment Γ, Δ ⊢ c ⊣ Γ′, Δ′ with Δ a multiset."""
+
+    def __init__(self, memories: dict[str, TMem]) -> None:
+        self.memories = dict(memories)
+        self.budget: Tokens = {
+            name: getattr(ty, "ports", 1) for name, ty in memories.items()
+        }
+
+    # -- expressions ----------------------------------------------------
+
+    def check_expr(self, ctx: QContexts, expr: FExpr) -> tuple[FTy, QContexts]:
+        if isinstance(expr, EVal):
+            return value_type(expr.value), ctx
+        if isinstance(expr, EVar):
+            if expr.name not in ctx.gamma:
+                raise UnboundError(f"unbound variable {expr.name!r}")
+            return ctx.gamma[expr.name], ctx
+        if isinstance(expr, EBinOp):
+            lhs_ty, ctx = self.check_expr(ctx, expr.lhs)
+            rhs_ty, ctx = self.check_expr(ctx, expr.rhs)
+            if expr.op in _LOGICAL:
+                if lhs_ty != BOOL or rhs_ty != BOOL:
+                    raise TypeError_(
+                        f"{expr.op} expects bools, found {lhs_ty}, {rhs_ty}")
+                return BOOL, ctx
+            if expr.op in _COMPARISONS:
+                if not (_numeric(lhs_ty) and _numeric(rhs_ty)) \
+                        and lhs_ty != rhs_ty:
+                    raise TypeError_(
+                        f"{expr.op} on incompatible {lhs_ty}, {rhs_ty}")
+                return BOOL, ctx
+            if expr.op in _ARITH:
+                if not (_numeric(lhs_ty) and _numeric(rhs_ty)):
+                    raise TypeError_(
+                        f"{expr.op} on non-numeric {lhs_ty}, {rhs_ty}")
+                if isinstance(lhs_ty, TFloat) or isinstance(rhs_ty, TFloat):
+                    return FLOAT, ctx
+                return BIT32, ctx
+            raise TypeError_(f"unknown operator {expr.op!r}")
+        if isinstance(expr, ERead):
+            index_ty, ctx = self.check_expr(ctx, expr.index)
+            if not isinstance(index_ty, TBit):
+                raise TypeError_(
+                    f"memory index must be an integer, found {index_ty}")
+            return self._consume(ctx, expr.mem, "read")
+        if isinstance(expr, ECall):
+            for arg in expr.args:
+                _, ctx = self.check_expr(ctx, arg)
+            return FLOAT, ctx
+        raise TypeError_(f"cannot type {type(expr).__name__}")
+
+    def _consume(self, ctx: QContexts, mem: str,
+                 what: str) -> tuple[FTy, QContexts]:
+        if mem not in self.memories:
+            raise UnboundError(f"unknown memory {mem!r}")
+        remaining = ctx.tokens.get(mem, 0)
+        if remaining <= 0:
+            raise TypeError_(
+                f"{what} of {mem!r} needs a port token but all "
+                f"{self.budget[mem]} are spent in this time step")
+        return self.memories[mem].element, ctx.spend(mem)
+
+    # -- commands --------------------------------------------------------
+
+    def check_cmd(self, ctx: QContexts, cmd: FCmd) -> QContexts:
+        if isinstance(cmd, CSkip):
+            return ctx
+        if isinstance(cmd, CExpr):
+            _, ctx = self.check_expr(ctx, cmd.expr)
+            return ctx
+        if isinstance(cmd, CLet):
+            ty, ctx = self.check_expr(ctx, cmd.expr)
+            if cmd.var in ctx.gamma:
+                raise TypeError_(f"variable {cmd.var!r} already bound")
+            return ctx.bind(cmd.var, ty)
+        if isinstance(cmd, CAssign):
+            ty, ctx = self.check_expr(ctx, cmd.expr)
+            if cmd.var not in ctx.gamma:
+                raise UnboundError(f"assignment to unbound {cmd.var!r}")
+            declared = ctx.gamma[cmd.var]
+            if not self._compatible(declared, ty):
+                raise TypeError_(
+                    f"cannot assign {ty} to {cmd.var!r} : {declared}")
+            return ctx
+        if isinstance(cmd, CWrite):
+            index_ty, ctx = self.check_expr(ctx, cmd.index)
+            if not isinstance(index_ty, TBit):
+                raise TypeError_("memory index must be an integer")
+            value_ty, ctx = self.check_expr(ctx, cmd.value)
+            if cmd.mem not in self.memories:
+                raise UnboundError(f"unknown memory {cmd.mem!r}")
+            if not self._compatible(self.memories[cmd.mem].element, value_ty):
+                raise TypeError_(f"cannot store {value_ty} into {cmd.mem!r}")
+            _, ctx = self._consume(ctx, cmd.mem, "write")
+            return ctx
+        if isinstance(cmd, CUnordered):
+            ctx = self.check_cmd(ctx, cmd.first)
+            return self.check_cmd(ctx, cmd.second)
+        if isinstance(cmd, COrdered):
+            out1 = self.check_cmd(ctx, cmd.first)
+            out2 = self.check_cmd(
+                QContexts(out1.gamma, ctx.delta), cmd.second)
+            return QContexts.make(
+                out2.gamma, tokens_min(out1.tokens, out2.tokens))
+        if isinstance(cmd, InterSeq):
+            # ρ records whole memories already accessed when the ordered
+            # composition began; the second component gets the fresh
+            # budget minus them (the coarse ρ̄ of the appendix — the
+            # runtime never carries partial counts in this form).
+            out1 = self.check_cmd(ctx, cmd.first)
+            rho_bar = {name: (0 if name in cmd.rho else count)
+                       for name, count in self.budget.items()}
+            out2 = self.check_cmd(QContexts.make(out1.gamma, rho_bar),
+                                  cmd.second)
+            return QContexts.make(
+                out2.gamma, tokens_min(out1.tokens, out2.tokens))
+        if isinstance(cmd, CIf):
+            self._check_cond(ctx, cmd.cond)
+            then_ctx = self.check_cmd(ctx, cmd.then_branch)
+            else_ctx = self.check_cmd(ctx, cmd.else_branch)
+            merged = tokens_min(ctx.tokens,
+                                tokens_min(then_ctx.tokens, else_ctx.tokens))
+            return QContexts.make(ctx.gamma, merged)
+        if isinstance(cmd, CWhile):
+            self._check_cond(ctx, cmd.cond)
+            body_ctx = self.check_cmd(ctx, cmd.body)
+            return QContexts.make(
+                ctx.gamma, tokens_min(ctx.tokens, body_ctx.tokens))
+        raise TypeError_(f"cannot check {type(cmd).__name__}")
+
+    def _check_cond(self, ctx: QContexts, cond: str) -> None:
+        cond_ty = ctx.gamma.get(cond)
+        if cond_ty is None:
+            raise UnboundError(f"unbound condition {cond!r}")
+        if cond_ty != BOOL:
+            raise TypeError_(f"condition must be bool, found {cond_ty}")
+
+    @staticmethod
+    def _compatible(declared: FTy, actual: FTy) -> bool:
+        if declared == actual:
+            return True
+        if isinstance(declared, TBit) and isinstance(actual, TBit):
+            return True
+        if isinstance(declared, TFloat) and isinstance(actual, TBit):
+            return True
+        return False
+
+
+def check_quantitative(program: FProgram,
+                       vars_: dict[str, FTy] | None = None) -> QContexts:
+    """∅, Δ* ⊢ c ⊣ Γ₂, Δ₂ with Δ* = full port budgets; raises on error."""
+    checker = QuantitativeChecker(program.memories)
+    ctx = QContexts.make(dict(vars_ or {}), dict(checker.budget))
+    return checker.check_cmd(ctx, program.command)
+
+
+def quantitatively_well_typed(program: FProgram,
+                              vars_: dict[str, FTy] | None = None) -> bool:
+    from ..errors import DahliaError
+
+    try:
+        check_quantitative(program, vars_)
+    except DahliaError:
+        return False
+    return True
+
+
+def agrees_with_set_checker(program: FProgram) -> bool:
+    """With all memories single-ported, the quantitative judgment and
+    the paper's set-based judgment accept exactly the same programs.
+
+    Returns whether the two verdicts agree on ``program`` (which they
+    must whenever every memory has ``ports == 1``); the property suite
+    calls this over randomized programs.
+    """
+    from .typecheck import well_typed
+
+    return well_typed(program) == quantitatively_well_typed(program)

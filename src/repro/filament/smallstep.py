@@ -1,0 +1,219 @@
+"""Small-step operational semantics for Filament (§4.4, appendix A).
+
+The step relation is ``σ, ρ, c → σ′, ρ′, c′``. Ordered composition
+``c1 c2`` first steps to the intermediate form ``c1 ~ρ~ c2`` capturing
+the current access set; ``c2`` then steps *under the captured ρ* while
+the outer ρ is left untouched; when both sides are ``skip`` the access
+sets merge. This is exactly the appendix's ``inter_seq`` rules and is
+what the soundness proof inducts over.
+
+``step`` returns ``None`` when no rule applies. For a well-typed
+program, ``None`` is only returned for ``skip`` (progress, §4.6); the
+property tests in ``tests/test_filament_soundness.py`` check this on
+randomly generated well-typed programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InterpError
+from .bigstep import Store, apply_binop
+from .syntax import (
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FCmd,
+    FExpr,
+    FProgram,
+    InterSeq,
+    SKIP,
+    is_value,
+)
+
+
+@dataclass
+class StepResult:
+    store: Store
+    rho: frozenset[str]
+    cmd: FCmd
+
+
+def step_expr(store: Store, rho: frozenset[str],
+              expr: FExpr) -> tuple[frozenset[str], FExpr] | None:
+    """One small step of an expression; σ never changes (lemma L3)."""
+    if isinstance(expr, EVal):
+        return None
+    if isinstance(expr, EVar):
+        if expr.name not in store.vars:
+            return None
+        return rho, EVal(store.vars[expr.name])
+    if isinstance(expr, EBinOp):
+        if not is_value(expr.lhs):
+            result = step_expr(store, rho, expr.lhs)
+            if result is None:
+                return None
+            rho2, lhs = result
+            return rho2, EBinOp(expr.op, lhs, expr.rhs)
+        if not is_value(expr.rhs):
+            result = step_expr(store, rho, expr.rhs)
+            if result is None:
+                return None
+            rho2, rhs = result
+            return rho2, EBinOp(expr.op, expr.lhs, rhs)
+        lhs = expr.lhs.value            # type: ignore[union-attr]
+        rhs = expr.rhs.value            # type: ignore[union-attr]
+        try:
+            return rho, EVal(apply_binop(expr.op, lhs, rhs))
+        except InterpError:
+            return None
+    if isinstance(expr, ERead):
+        if not is_value(expr.index):
+            result = step_expr(store, rho, expr.index)
+            if result is None:
+                return None
+            rho2, index = result
+            return rho2, ERead(expr.mem, index)
+        if expr.mem in rho:
+            return None                 # stuck: conflict
+        cells = store.mems.get(expr.mem)
+        index = int(expr.index.value)   # type: ignore[union-attr]
+        if cells is None or not 0 <= index < len(cells):
+            return None
+        return rho | {expr.mem}, EVal(cells[index])
+    return None
+
+
+def step(store: Store, rho: frozenset[str],
+         cmd: FCmd) -> StepResult | None:
+    """One small step of a command; mutates ``store`` in place."""
+    if isinstance(cmd, CSkip):
+        return None
+    if isinstance(cmd, CExpr):
+        if is_value(cmd.expr):
+            return StepResult(store, rho, SKIP)
+        result = step_expr(store, rho, cmd.expr)
+        if result is None:
+            return None
+        rho2, expr = result
+        return StepResult(store, rho2, CExpr(expr))
+    if isinstance(cmd, CLet):
+        if is_value(cmd.expr):
+            store.vars[cmd.var] = cmd.expr.value  # type: ignore[union-attr]
+            return StepResult(store, rho, SKIP)
+        result = step_expr(store, rho, cmd.expr)
+        if result is None:
+            return None
+        rho2, expr = result
+        return StepResult(store, rho2, CLet(cmd.var, expr))
+    if isinstance(cmd, CAssign):
+        if is_value(cmd.expr):
+            if cmd.var not in store.vars:
+                return None
+            store.vars[cmd.var] = cmd.expr.value  # type: ignore[union-attr]
+            return StepResult(store, rho, SKIP)
+        result = step_expr(store, rho, cmd.expr)
+        if result is None:
+            return None
+        rho2, expr = result
+        return StepResult(store, rho2, CAssign(cmd.var, expr))
+    if isinstance(cmd, CWrite):
+        if not is_value(cmd.index):
+            result = step_expr(store, rho, cmd.index)
+            if result is None:
+                return None
+            rho2, index = result
+            return StepResult(store, rho2, CWrite(cmd.mem, index, cmd.value))
+        if not is_value(cmd.value):
+            result = step_expr(store, rho, cmd.value)
+            if result is None:
+                return None
+            rho2, value = result
+            return StepResult(store, rho2, CWrite(cmd.mem, cmd.index, value))
+        if cmd.mem in rho:
+            return None                 # stuck: conflict
+        cells = store.mems.get(cmd.mem)
+        index = int(cmd.index.value)    # type: ignore[union-attr]
+        if cells is None or not 0 <= index < len(cells):
+            return None
+        cells[index] = cmd.value.value  # type: ignore[union-attr]
+        return StepResult(store, rho | {cmd.mem}, SKIP)
+    if isinstance(cmd, CUnordered):
+        if isinstance(cmd.first, CSkip):
+            return StepResult(store, rho, cmd.second)
+        result = step(store, rho, cmd.first)
+        if result is None:
+            return None
+        return StepResult(result.store, result.rho,
+                          CUnordered(result.cmd, cmd.second))
+    if isinstance(cmd, COrdered):
+        # small_seq: capture the current ρ.
+        return StepResult(store, rho, InterSeq(cmd.first, rho, cmd.second))
+    if isinstance(cmd, InterSeq):
+        if not isinstance(cmd.first, CSkip):
+            result = step(store, rho, cmd.first)
+            if result is None:
+                return None
+            return StepResult(result.store, result.rho,
+                              InterSeq(result.cmd, cmd.rho, cmd.second))
+        if not isinstance(cmd.second, CSkip):
+            # c2 steps under the captured ρ; the outer ρ is unchanged.
+            result = step(store, cmd.rho, cmd.second)
+            if result is None:
+                return None
+            return StepResult(result.store, rho,
+                              InterSeq(SKIP, result.rho, result.cmd))
+        return StepResult(store, rho | cmd.rho, SKIP)
+    if isinstance(cmd, CIf):
+        if cmd.cond not in store.vars:
+            return None
+        if store.vars[cmd.cond]:
+            return StepResult(store, rho, cmd.then_branch)
+        return StepResult(store, rho, cmd.else_branch)
+    if isinstance(cmd, CWhile):
+        unrolled = CIf(cmd.cond, COrdered(cmd.body, cmd), SKIP)
+        return StepResult(store, rho, unrolled)
+    return None
+
+
+def run_small(program: FProgram,
+              memories: dict[str, list] | None = None,
+              vars_: dict[str, object] | None = None,
+              fuel: int = 2_000_000) -> tuple[Store, FCmd]:
+    """Iterate the step relation to a normal form.
+
+    Returns the final store and the residual command — ``skip`` iff the
+    program terminated without getting stuck.
+    """
+    store = Store()
+    for name, mem_ty in program.memories.items():
+        if memories is not None and name in memories:
+            store.mems[name] = list(memories[name])
+        else:
+            store.mems[name] = [0] * mem_ty.size
+    if vars_:
+        store.vars.update(vars_)
+
+    cmd: FCmd = program.command
+    rho: frozenset[str] = frozenset()
+    for _ in range(fuel):
+        result = step(store, rho, cmd)
+        if result is None:
+            return store, cmd
+        store, rho, cmd = result.store, result.rho, result.cmd
+    raise InterpError("small-step evaluation exceeded fuel")
+
+
+def is_stuck(cmd: FCmd) -> bool:
+    """Is a residual command a stuck (non-skip) state?"""
+    return not isinstance(cmd, CSkip)

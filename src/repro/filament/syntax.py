@@ -1,0 +1,242 @@
+"""Abstract syntax for Filament, Dahlia's core calculus (§4.1, Fig. 6).
+
+    b ::= true | false          v ::= n | b
+    e ::= v | bop e1 e2 | x | a[e]
+    c ::= e | let x = e | c1 c2 | c1 ~ρ~ c2 | c1 ; c2 | if x c1 c2 |
+          while x c | x := e | a[e1] := e2 | skip
+    τ ::= bit⟨n⟩ | float | bool | mem τ[n1]
+
+Memories ``a`` and variables ``x`` are separate syntactic categories; a
+program runs with a fixed set of memories (the paper's Δ*). The
+intermediate form ``c1 ~ρ~ c2`` (:class:`InterSeq`) appears only during
+small-step evaluation of ordered composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FTy:
+    """Base class for Filament types."""
+
+
+@dataclass(frozen=True)
+class TBit(FTy):
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"bit<{self.width}>"
+
+
+@dataclass(frozen=True)
+class TFloat(FTy):
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class TBool(FTy):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class TMem(FTy):
+    """``mem τ[n]`` — a single-bank memory.
+
+    ``ports`` is our bounded-linear extension (the paper's §4.5 future
+    work); the formal fragment always uses ``ports == 1``.
+    """
+
+    element: FTy
+    size: int
+    ports: int = 1
+
+    def __str__(self) -> str:
+        return f"mem {self.element}[{self.size}]"
+
+
+BIT32 = TBit(32)
+FLOAT = TFloat()
+BOOL = TBool()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+#: Runtime values are plain Python ints/floats/bools.
+Value = int | float | bool
+
+
+@dataclass(frozen=True)
+class FExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class EVal(FExpr):
+    value: Value
+
+
+@dataclass(frozen=True)
+class EVar(FExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class EBinOp(FExpr):
+    op: str                      # + - * / % < > <= >= == != && ||
+    lhs: FExpr
+    rhs: FExpr
+
+
+@dataclass(frozen=True)
+class ERead(FExpr):
+    """Memory read ``a[e]`` — consumes the memory's affine resource."""
+
+    mem: str
+    index: FExpr
+
+
+@dataclass(frozen=True)
+class ECall(FExpr):
+    """Built-in math function (interpreter extension; not in the formal
+    fragment — the paper's Filament has no function calls)."""
+
+    func: str
+    args: tuple[FExpr, ...]
+
+
+def is_value(expr: FExpr) -> bool:
+    return isinstance(expr, EVal)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FCmd:
+    pass
+
+
+@dataclass(frozen=True)
+class CSkip(FCmd):
+    pass
+
+
+SKIP = CSkip()
+
+
+@dataclass(frozen=True)
+class CExpr(FCmd):
+    expr: FExpr
+
+
+@dataclass(frozen=True)
+class CLet(FCmd):
+    var: str
+    expr: FExpr
+
+
+@dataclass(frozen=True)
+class CAssign(FCmd):
+    var: str
+    expr: FExpr
+
+
+@dataclass(frozen=True)
+class CWrite(FCmd):
+    """Memory write ``a[e1] := e2``."""
+
+    mem: str
+    index: FExpr
+    value: FExpr
+
+
+@dataclass(frozen=True)
+class CUnordered(FCmd):
+    """``c1 ; c2`` — shares one logical time step."""
+
+    first: FCmd
+    second: FCmd
+
+
+@dataclass(frozen=True)
+class COrdered(FCmd):
+    """``c1 c2`` — c1 happens strictly before c2 (juxtaposition)."""
+
+    first: FCmd
+    second: FCmd
+
+
+@dataclass(frozen=True)
+class InterSeq(FCmd):
+    """The intermediate form ``c1 ~ρ~ c2`` of the small-step semantics.
+
+    ``rho`` is the memory-access set captured when the ordered
+    composition began to evaluate (§4.4).
+    """
+
+    first: FCmd
+    rho: frozenset[str]
+    second: FCmd
+
+
+@dataclass(frozen=True)
+class CIf(FCmd):
+    cond: str                    # conditions are variables in Filament
+    then_branch: FCmd
+    else_branch: FCmd
+
+
+@dataclass(frozen=True)
+class CWhile(FCmd):
+    cond: str
+    body: FCmd
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FProgram:
+    """A command together with its fixed memory environment Δ*."""
+
+    memories: dict[str, TMem]
+    command: FCmd
+    meta: dict[str, object] = field(default_factory=dict)
+
+
+def seq_all(commands: list[FCmd], ordered: bool) -> FCmd:
+    """Right-fold a list into nested binary compositions."""
+    if not commands:
+        return SKIP
+    result = commands[-1]
+    ctor = COrdered if ordered else CUnordered
+    for cmd in reversed(commands[:-1]):
+        result = ctor(cmd, result)
+    return result
+
+
+def command_size(cmd: FCmd) -> int:
+    """Number of AST nodes — used as a fuel heuristic in tests."""
+    if isinstance(cmd, (CUnordered, COrdered)):
+        return 1 + command_size(cmd.first) + command_size(cmd.second)
+    if isinstance(cmd, InterSeq):
+        return 1 + command_size(cmd.first) + command_size(cmd.second)
+    if isinstance(cmd, CIf):
+        return 1 + command_size(cmd.then_branch) + command_size(cmd.else_branch)
+    if isinstance(cmd, CWhile):
+        return 1 + command_size(cmd.body)
+    return 1

@@ -1,0 +1,245 @@
+"""The Filament type system (§4.3, appendix A).
+
+Judgments:
+
+    Γ, Δ₁ ⊢ e : τ ⊣ Δ₂          (expressions consume memories from Δ)
+    Γ₁, Δ₁ ⊢ c ⊣ Γ₂, Δ₂          (commands)
+
+Δ here is a *set* of whole memories (Filament memories are single-bank,
+single-port; Dahlia's banked memories desugar into several of them).
+Reads and writes remove the memory from Δ; ordered composition checks
+both commands under the incoming Δ and intersects the outgoing ones.
+
+The intermediate form ``c1 ~ρ~ c2`` type-checks its second component
+under ρ̄ — the memories of the initial context Δ* not in ρ — exactly as
+in the appendix's ``check_inter_seq_comp`` rule; this is what makes
+preservation go through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TypeError_, UnboundError
+from .syntax import (
+    BIT32,
+    BOOL,
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FCmd,
+    FExpr,
+    FLOAT,
+    FProgram,
+    FTy,
+    InterSeq,
+    TBit,
+    TBool,
+    TFloat,
+    TMem,
+)
+
+_COMPARISONS = {"<", ">", "<=", ">=", "==", "!="}
+_LOGICAL = {"&&", "||"}
+_ARITH = {"+", "-", "*", "/", "%"}
+
+
+@dataclass(frozen=True)
+class FilamentContexts:
+    """An immutable (Γ, Δ) pair."""
+
+    gamma: dict[str, FTy] = field(default_factory=dict)
+    delta: frozenset[str] = frozenset()
+
+    def bind(self, var: str, ty: FTy) -> "FilamentContexts":
+        gamma = dict(self.gamma)
+        gamma[var] = ty
+        return FilamentContexts(gamma, self.delta)
+
+    def without_memory(self, mem: str) -> "FilamentContexts":
+        return FilamentContexts(self.gamma, self.delta - {mem})
+
+    def with_delta(self, delta: frozenset[str]) -> "FilamentContexts":
+        return FilamentContexts(self.gamma, delta)
+
+
+def value_type(value: object) -> FTy:
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return BIT32
+    if isinstance(value, float):
+        return FLOAT
+    raise TypeError_(f"unknown value {value!r}")
+
+
+def _numeric(ty: FTy) -> bool:
+    return isinstance(ty, (TBit, TFloat))
+
+
+class FilamentChecker:
+    """Checks commands against a fixed memory environment Δ*."""
+
+    def __init__(self, memories: dict[str, TMem]) -> None:
+        self.memories = dict(memories)
+        self.initial_delta = frozenset(memories)
+
+    # -- expressions --------------------------------------------------
+
+    def check_expr(self, ctx: FilamentContexts,
+                   expr: FExpr) -> tuple[FTy, frozenset[str]]:
+        if isinstance(expr, EVal):
+            return value_type(expr.value), ctx.delta
+        if isinstance(expr, EVar):
+            if expr.name not in ctx.gamma:
+                raise UnboundError(f"unbound variable {expr.name!r}")
+            return ctx.gamma[expr.name], ctx.delta
+        if isinstance(expr, EBinOp):
+            lhs_ty, delta2 = self.check_expr(ctx, expr.lhs)
+            rhs_ty, delta3 = self.check_expr(ctx.with_delta(delta2), expr.rhs)
+            result_ctx = ctx.with_delta(delta3)
+            if expr.op in _LOGICAL:
+                if lhs_ty != BOOL or rhs_ty != BOOL:
+                    raise TypeError_(
+                        f"{expr.op} expects bools, found {lhs_ty}, {rhs_ty}")
+                return BOOL, result_ctx.delta
+            if expr.op in _COMPARISONS:
+                if not (_numeric(lhs_ty) and _numeric(rhs_ty)) \
+                        and lhs_ty != rhs_ty:
+                    raise TypeError_(
+                        f"{expr.op} on incompatible {lhs_ty}, {rhs_ty}")
+                return BOOL, result_ctx.delta
+            if expr.op in _ARITH:
+                if not (_numeric(lhs_ty) and _numeric(rhs_ty)):
+                    raise TypeError_(
+                        f"{expr.op} on non-numeric {lhs_ty}, {rhs_ty}")
+                if isinstance(lhs_ty, TFloat) or isinstance(rhs_ty, TFloat):
+                    return FLOAT, result_ctx.delta
+                return BIT32, result_ctx.delta
+            raise TypeError_(f"unknown operator {expr.op!r}")
+        if isinstance(expr, ERead):
+            index_ty, delta2 = self.check_expr(ctx, expr.index)
+            if not isinstance(index_ty, TBit):
+                raise TypeError_(
+                    f"memory index must be an integer, found {index_ty}")
+            if expr.mem not in self.memories:
+                raise UnboundError(f"unknown memory {expr.mem!r}")
+            if expr.mem not in delta2:
+                raise TypeError_(
+                    f"memory {expr.mem!r} already consumed in this time "
+                    f"step")
+            return self.memories[expr.mem].element, delta2 - {expr.mem}
+        raise TypeError_(f"cannot type {type(expr).__name__}")
+
+    # -- commands -------------------------------------------------------
+
+    def check_cmd(self, ctx: FilamentContexts,
+                  cmd: FCmd) -> FilamentContexts:
+        if isinstance(cmd, CSkip):
+            return ctx
+        if isinstance(cmd, CExpr):
+            _, delta = self.check_expr(ctx, cmd.expr)
+            return ctx.with_delta(delta)
+        if isinstance(cmd, CLet):
+            ty, delta = self.check_expr(ctx, cmd.expr)
+            if cmd.var in ctx.gamma:
+                raise TypeError_(f"variable {cmd.var!r} already bound")
+            return ctx.with_delta(delta).bind(cmd.var, ty)
+        if isinstance(cmd, CAssign):
+            ty, delta = self.check_expr(ctx, cmd.expr)
+            if cmd.var not in ctx.gamma:
+                raise UnboundError(f"assignment to unbound {cmd.var!r}")
+            declared = ctx.gamma[cmd.var]
+            if not self._compatible(declared, ty):
+                raise TypeError_(
+                    f"cannot assign {ty} to {cmd.var!r} : {declared}")
+            return ctx.with_delta(delta)
+        if isinstance(cmd, CWrite):
+            index_ty, delta2 = self.check_expr(ctx, cmd.index)
+            if not isinstance(index_ty, TBit):
+                raise TypeError_("memory index must be an integer")
+            value_ty, delta3 = self.check_expr(ctx.with_delta(delta2),
+                                               cmd.value)
+            if cmd.mem not in self.memories:
+                raise UnboundError(f"unknown memory {cmd.mem!r}")
+            if not self._compatible(self.memories[cmd.mem].element, value_ty):
+                raise TypeError_(
+                    f"cannot store {value_ty} into {cmd.mem!r}")
+            if cmd.mem not in delta3:
+                raise TypeError_(
+                    f"memory {cmd.mem!r} already consumed in this time "
+                    f"step")
+            return ctx.with_delta(delta3 - {cmd.mem})
+        if isinstance(cmd, CUnordered):
+            ctx2 = self.check_cmd(ctx, cmd.first)
+            return self.check_cmd(ctx2, cmd.second)
+        if isinstance(cmd, COrdered):
+            ctx2 = self.check_cmd(ctx, cmd.first)
+            ctx3 = self.check_cmd(
+                FilamentContexts(ctx2.gamma, ctx.delta), cmd.second)
+            return FilamentContexts(ctx3.gamma, ctx2.delta & ctx3.delta)
+        if isinstance(cmd, InterSeq):
+            ctx2 = self.check_cmd(ctx, cmd.first)
+            rho_bar = self.initial_delta - cmd.rho
+            ctx3 = self.check_cmd(
+                FilamentContexts(ctx2.gamma, rho_bar), cmd.second)
+            return FilamentContexts(ctx3.gamma, ctx2.delta & ctx3.delta)
+        if isinstance(cmd, CIf):
+            cond_ty = ctx.gamma.get(cmd.cond)
+            if cond_ty is None:
+                raise UnboundError(f"unbound condition {cmd.cond!r}")
+            if cond_ty != BOOL:
+                raise TypeError_(f"condition must be bool, found {cond_ty}")
+            then_ctx = self.check_cmd(ctx, cmd.then_branch)
+            else_ctx = self.check_cmd(ctx, cmd.else_branch)
+            return FilamentContexts(
+                ctx.gamma, ctx.delta & then_ctx.delta & else_ctx.delta)
+        if isinstance(cmd, CWhile):
+            cond_ty = ctx.gamma.get(cmd.cond)
+            if cond_ty is None:
+                raise UnboundError(f"unbound condition {cmd.cond!r}")
+            if cond_ty != BOOL:
+                raise TypeError_(f"condition must be bool, found {cond_ty}")
+            body_ctx = self.check_cmd(ctx, cmd.body)
+            return FilamentContexts(ctx.gamma,
+                                    ctx.delta & body_ctx.delta)
+        raise TypeError_(f"cannot check {type(cmd).__name__}")
+
+    @staticmethod
+    def _compatible(declared: FTy, actual: FTy) -> bool:
+        if declared == actual:
+            return True
+        if isinstance(declared, TBit) and isinstance(actual, TBit):
+            return True
+        if isinstance(declared, TFloat) and isinstance(actual, TBit):
+            return True                 # integer literals flow into floats
+        return False
+
+
+def check_filament(program: FProgram,
+                   vars_: dict[str, FTy] | None = None) -> FilamentContexts:
+    """∅, Δ* ⊢ c ⊣ Γ₂, Δ₂ — raises on ill-typed programs."""
+    checker = FilamentChecker(program.memories)
+    ctx = FilamentContexts(dict(vars_ or {}), checker.initial_delta)
+    return checker.check_cmd(ctx, program.command)
+
+
+def well_typed(program: FProgram,
+               vars_: dict[str, FTy] | None = None) -> bool:
+    from ..errors import DahliaError
+
+    try:
+        check_filament(program, vars_)
+    except DahliaError:
+        return False
+    return True

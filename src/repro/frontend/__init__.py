@@ -1,0 +1,17 @@
+"""Dahlia frontend: lexer, parser, AST, and pretty-printer."""
+
+from .ast import Program
+from .lexer import tokenize
+from .parser import parse, parse_command, parse_expr
+from .pretty import pretty_command, pretty_expr, pretty_program
+
+__all__ = [
+    "Program",
+    "tokenize",
+    "parse",
+    "parse_command",
+    "parse_expr",
+    "pretty_command",
+    "pretty_expr",
+    "pretty_program",
+]

@@ -1,0 +1,404 @@
+"""Abstract syntax for the Dahlia surface language.
+
+The grammar follows §3 of the paper:
+
+* expressions: literals, variables, binary/unary operators, memory reads
+  (logical ``A[i][j]`` and physical ``A{b}[i]``), function application;
+* commands: ``let``, ``view``, assignment, memory writes, reducers,
+  unordered (``;``) and ordered (``---``) composition, ``if``/``while``,
+  doall ``for`` loops with ``unroll`` and optional ``combine`` blocks;
+* top level: ``decl`` external memories, ``def`` functions, and a body.
+
+Every node carries a :class:`~repro.source.Span` for diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..source import Span, UNKNOWN_SPAN
+
+
+# ---------------------------------------------------------------------------
+# Surface types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DimSpec:
+    """One array dimension: ``[size bank factor]``.
+
+    Inside a ``def``'s parameter annotations, ``size``/``banks`` may be
+    *type parameters* (identifiers): the function is polymorphic over
+    them and call sites bind them to concrete integers (§6's
+    polymorphism future work, see :mod:`repro.types.poly`).
+    """
+
+    size: int | str
+    banks: int | str = 1
+
+    @property
+    def is_symbolic(self) -> bool:
+        return isinstance(self.size, str) or isinstance(self.banks, str)
+
+    def __str__(self) -> str:
+        if self.banks == 1:
+            return f"[{self.size}]"
+        return f"[{self.size} bank {self.banks}]"
+
+
+@dataclass(frozen=True)
+class TypeAnnotation:
+    """A surface type: scalar ``base`` or memory ``base{ports}[d0][d1]…``."""
+
+    base: str                      # "float" | "bool" | "double" | "bit<N>"
+    dims: tuple[DimSpec, ...] = ()
+    ports: int = 1
+    span: Span = UNKNOWN_SPAN
+
+    @property
+    def is_memory(self) -> bool:
+        return bool(self.dims)
+
+    def __str__(self) -> str:
+        ports = f"{{{self.ports}}}" if self.ports != 1 else ""
+        return self.base + ports + "".join(str(d) for d in self.dims)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class BinOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NEQ = "!="
+    AND = "&&"
+    OR = "||"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (BinOp.LT, BinOp.GT, BinOp.LE, BinOp.GE,
+                        BinOp.EQ, BinOp.NEQ)
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinOp.AND, BinOp.OR)
+
+
+@dataclass
+class Expr:
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclass
+class Binary(Expr):
+    op: BinOp
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str                        # "-" | "!"
+    operand: Expr
+
+
+@dataclass
+class Access(Expr):
+    """A memory read.
+
+    ``bank_indices`` is non-empty for physical accesses ``A{b0}[i0]…`` and
+    empty for logical accesses ``A[i0][i1]…`` (§3.3).
+    """
+
+    mem: str
+    indices: list[Expr]
+    bank_indices: list[Expr] = field(default_factory=list)
+
+    @property
+    def is_physical(self) -> bool:
+        return bool(self.bank_indices)
+
+
+@dataclass
+class App(Expr):
+    """Function application ``f(e0, e1, …)``."""
+
+    func: str
+    args: list[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+class ViewKind(enum.Enum):
+    SHRINK = "shrink"
+    SUFFIX = "suffix"
+    SHIFT = "shift"
+    SPLIT = "split"
+
+
+@dataclass
+class Command:
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+@dataclass
+class Skip(Command):
+    pass
+
+
+@dataclass
+class ExprStmt(Command):
+    expr: Expr
+
+
+@dataclass
+class Let(Command):
+    """``let x = e`` / ``let x: t = e`` / ``let A: float[10 bank 2]``.
+
+    A ``let`` with a memory type annotation and no initializer declares a
+    local memory (an on-chip BRAM, §3.1).
+    """
+
+    name: str
+    type: TypeAnnotation | None
+    init: Expr | None
+
+
+@dataclass
+class View(Command):
+    """``view v = shrink|suffix|shift|split A[by e]…`` (§3.6).
+
+    ``factors`` has one entry per dimension of the underlying memory; an
+    entry may be ``None`` for dimensions the view leaves untouched.
+    """
+
+    name: str
+    kind: ViewKind
+    mem: str
+    factors: list[Expr | None]
+
+
+@dataclass
+class Assign(Command):
+    """Scalar update ``x := e``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass
+class Store(Command):
+    """Memory write ``A[e0]… := e`` or ``A{b}[e] := e``."""
+
+    access: Access
+    expr: Expr
+
+
+@dataclass
+class Reduce(Command):
+    """Reducer application ``x += e`` (also ``-=``, ``*=``, ``/=``) (§3.5)."""
+
+    op: str
+    target: str
+    expr: Expr
+    target_is_access: Access | None = None
+
+
+@dataclass
+class ParComp(Command):
+    """Unordered composition ``c1 ; c2 ; …`` — one logical time step."""
+
+    commands: list[Command]
+
+
+@dataclass
+class SeqComp(Command):
+    """Ordered composition ``c1 --- c2 --- …`` — successive time steps."""
+
+    commands: list[Command]
+
+
+@dataclass
+class Block(Command):
+    """``{ c }`` — a lexical scope boundary."""
+
+    body: Command
+
+
+@dataclass
+class If(Command):
+    cond: Expr
+    then_branch: Command
+    else_branch: Command | None
+
+
+@dataclass
+class While(Command):
+    cond: Expr
+    body: Command
+
+
+@dataclass
+class For(Command):
+    """Doall loop ``for (let i = lo..hi) unroll k { body } combine { c }``.
+
+    Bounds and unroll factor may be type parameters (identifiers)
+    inside a polymorphic ``def`` body; instantiation substitutes
+    concrete integers before checking or desugaring.
+    """
+
+    var: str
+    start: int | str
+    end: int | str
+    unroll: int | str
+    body: Command
+    combine: Command | None = None
+
+    @property
+    def is_symbolic(self) -> bool:
+        return any(isinstance(v, str)
+                   for v in (self.start, self.end, self.unroll))
+
+    @property
+    def trip_count(self) -> int:
+        assert isinstance(self.start, int) and isinstance(self.end, int)
+        return self.end - self.start
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type: TypeAnnotation
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+@dataclass
+class FuncDef:
+    name: str
+    params: list[Param]
+    body: Command
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+@dataclass
+class Decl:
+    """``decl A: float[32];`` — an interface memory provided by the caller."""
+
+    name: str
+    type: TypeAnnotation
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+@dataclass
+class Program:
+    decls: list[Decl]
+    defs: list[FuncDef]
+    body: Command
+    span: Span = field(default=UNKNOWN_SPAN, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+def child_commands(cmd: Command) -> list[Command]:
+    """Immediate sub-commands of ``cmd`` (for generic walks)."""
+    if isinstance(cmd, (ParComp, SeqComp)):
+        return list(cmd.commands)
+    if isinstance(cmd, Block):
+        return [cmd.body]
+    if isinstance(cmd, If):
+        return [cmd.then_branch] + ([cmd.else_branch] if cmd.else_branch else [])
+    if isinstance(cmd, While):
+        return [cmd.body]
+    if isinstance(cmd, For):
+        return [cmd.body] + ([cmd.combine] if cmd.combine else [])
+    return []
+
+
+def walk_commands(cmd: Command):
+    """Yield ``cmd`` and all nested commands, pre-order."""
+    yield cmd
+    for child in child_commands(cmd):
+        yield from walk_commands(child)
+
+
+def child_exprs(node: Command | Expr) -> list[Expr]:
+    """Immediate sub-expressions of a command or expression."""
+    if isinstance(node, Binary):
+        return [node.lhs, node.rhs]
+    if isinstance(node, Unary):
+        return [node.operand]
+    if isinstance(node, Access):
+        return list(node.bank_indices) + list(node.indices)
+    if isinstance(node, App):
+        return list(node.args)
+    if isinstance(node, ExprStmt):
+        return [node.expr]
+    if isinstance(node, Let):
+        return [node.init] if node.init is not None else []
+    if isinstance(node, View):
+        return [f for f in node.factors if f is not None]
+    if isinstance(node, Assign):
+        return [node.expr]
+    if isinstance(node, Store):
+        return [node.access, node.expr]
+    if isinstance(node, Reduce):
+        exprs: list[Expr] = [node.expr]
+        if node.target_is_access is not None:
+            exprs.append(node.target_is_access)
+        return exprs
+    if isinstance(node, If):
+        return [node.cond]
+    if isinstance(node, While):
+        return [node.cond]
+    return []
+
+
+def walk_exprs(node: Command | Expr):
+    """Yield every expression nested anywhere under ``node``, pre-order."""
+    stack = list(child_exprs(node))
+    if isinstance(node, Command):
+        for cmd in walk_commands(node):
+            if cmd is not node:
+                stack.extend(child_exprs(cmd))
+    while stack:
+        expr = stack.pop()
+        yield expr
+        stack.extend(child_exprs(expr))

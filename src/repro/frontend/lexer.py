@@ -1,0 +1,170 @@
+"""Hand-written lexer for Dahlia source text.
+
+The lexer is a straightforward maximal-munch scanner. The only subtlety is
+``---`` (ordered composition) vs. ``-`` (subtraction): three consecutive
+dashes always lex as the sequencing connector, matching the Dahlia grammar.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from ..source import Position, SourceFile, Span
+from .tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    ":=": TokenKind.ASSIGN,
+    "+=": TokenKind.PLUS_EQ,
+    "-=": TokenKind.MINUS_EQ,
+    "*=": TokenKind.STAR_EQ,
+    "/=": TokenKind.SLASH_EQ,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQEQ,
+    "!=": TokenKind.NEQ,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+    "..": TokenKind.DOTDOT,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQ,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.BANG,
+}
+
+
+class Lexer:
+    """Streaming scanner over a :class:`SourceFile`."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.text = source.text
+        self.offset = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # -- scanning machinery -------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.offset + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self) -> str:
+        char = self.text[self.offset]
+        self.offset += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _position(self) -> Position:
+        return Position(self.line, self.column)
+
+    def _skip_trivia(self) -> None:
+        while self.offset < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.offset < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while self.offset < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment",
+                                   Span.point(self.line, self.column))
+            else:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self._position()
+        if self.offset >= len(self.text):
+            return Token(TokenKind.EOF, "", Span(start, start))
+
+        char = self._peek()
+
+        # Ordered composition: exactly the three-dash connector.
+        if char == "-" and self._peek(1) == "-" and self._peek(2) == "-":
+            for _ in range(3):
+                self._advance()
+            return Token(TokenKind.SEQ, "---", Span(start, self._position()))
+
+        if char.isdigit():
+            return self._lex_number(start)
+
+        if char.isalpha() or char == "_":
+            return self._lex_word(start)
+
+        two = char + self._peek(1)
+        if two in _TWO_CHAR:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR[two], two, Span(start, self._position()))
+
+        if char in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[char], char, Span(start, self._position()))
+
+        raise LexError(f"unexpected character {char!r}", Span(start, start))
+
+    def _lex_number(self, start: Position) -> Token:
+        text = []
+        is_float = False
+        while self._peek().isdigit():
+            text.append(self._advance())
+        # A '.' starts a float only when not the '..' range operator.
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            text.append(self._advance())
+            while self._peek().isdigit():
+                text.append(self._advance())
+        span = Span(start, self._position())
+        kind = TokenKind.FLOAT if is_float else TokenKind.INT
+        return Token(kind, "".join(text), span)
+
+    def _lex_word(self, start: Position) -> Token:
+        text = []
+        while self._peek().isalnum() or self._peek() == "_":
+            text.append(self._advance())
+        word = "".join(text)
+        span = Span(start, self._position())
+        kind = KEYWORDS.get(word, TokenKind.IDENT)
+        return Token(kind, word, span)
+
+
+def tokenize(text: str, name: str = "<input>") -> list[Token]:
+    """Tokenize ``text``, returning a list ending with an EOF token."""
+    return Lexer(SourceFile(text, name)).tokenize()

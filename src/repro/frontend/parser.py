@@ -1,0 +1,472 @@
+"""Recursive-descent parser for Dahlia.
+
+Composition precedence follows the paper: the ordered connector ``---``
+binds *looser* than the unordered connector ``;``, so
+
+    a; b --- c; d
+
+parses as ``(a; b) --- (c; d)`` — two logical time steps, each containing
+one unordered group.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..source import SourceFile, Span
+from . import ast
+from .lexer import Lexer
+from .tokens import REDUCERS, Token, TokenKind
+
+# Binary operator precedence, loosest first.
+_PRECEDENCE: list[list[TokenKind]] = [
+    [TokenKind.OR],
+    [TokenKind.AND],
+    [TokenKind.EQEQ, TokenKind.NEQ],
+    [TokenKind.LT, TokenKind.GT, TokenKind.LE, TokenKind.GE],
+    [TokenKind.PLUS, TokenKind.MINUS],
+    [TokenKind.STAR, TokenKind.SLASH, TokenKind.PERCENT],
+]
+
+_BINOPS = {
+    TokenKind.OR: ast.BinOp.OR,
+    TokenKind.AND: ast.BinOp.AND,
+    TokenKind.EQEQ: ast.BinOp.EQ,
+    TokenKind.NEQ: ast.BinOp.NEQ,
+    TokenKind.LT: ast.BinOp.LT,
+    TokenKind.GT: ast.BinOp.GT,
+    TokenKind.LE: ast.BinOp.LE,
+    TokenKind.GE: ast.BinOp.GE,
+    TokenKind.PLUS: ast.BinOp.ADD,
+    TokenKind.MINUS: ast.BinOp.SUB,
+    TokenKind.STAR: ast.BinOp.MUL,
+    TokenKind.SLASH: ast.BinOp.DIV,
+    TokenKind.PERCENT: ast.BinOp.MOD,
+}
+
+_VIEW_KINDS = {
+    TokenKind.SHRINK: ast.ViewKind.SHRINK,
+    TokenKind.SUFFIX: ast.ViewKind.SUFFIX,
+    TokenKind.SHIFT: ast.ViewKind.SHIFT,
+    TokenKind.SPLIT: ast.ViewKind.SPLIT,
+}
+
+# Tokens that can begin a command.
+_COMMAND_START = {
+    TokenKind.LET, TokenKind.VIEW, TokenKind.FOR, TokenKind.WHILE,
+    TokenKind.IF, TokenKind.LBRACE, TokenKind.IDENT, TokenKind.INT,
+    TokenKind.FLOAT, TokenKind.TRUE, TokenKind.FALSE, TokenKind.LPAREN,
+    TokenKind.MINUS, TokenKind.BANG,
+}
+
+
+class Parser:
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.tokens = Lexer(source).tokenize()
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _expect(self, kind: TokenKind, context: str = "") -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            where = f" in {context}" if context else ""
+            raise ParseError(
+                f"expected {kind.value!r} but found {token.text!r}{where}",
+                token.span)
+        return self._advance()
+
+    def _match(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        start = self._peek().span
+        decls: list[ast.Decl] = []
+        defs: list[ast.FuncDef] = []
+        while self._at(TokenKind.DECL) or self._at(TokenKind.DEF):
+            if self._at(TokenKind.DECL):
+                decls.append(self._parse_decl())
+            else:
+                defs.append(self._parse_def())
+        if self._peek().kind is TokenKind.EOF:
+            body: ast.Command = ast.Skip(span=start)
+        else:
+            body = self.parse_command()
+        end = self._expect(TokenKind.EOF, "program")
+        return ast.Program(decls, defs, body, span=Span.merge(start, end.span))
+
+    def _parse_decl(self) -> ast.Decl:
+        start = self._expect(TokenKind.DECL).span
+        name = self._expect(TokenKind.IDENT, "decl").text
+        self._expect(TokenKind.COLON, "decl")
+        type_ = self._parse_type()
+        self._expect(TokenKind.SEMI, "decl")
+        return ast.Decl(name, type_, span=Span.merge(start, type_.span))
+
+    def _parse_def(self) -> ast.FuncDef:
+        start = self._expect(TokenKind.DEF).span
+        name = self._expect(TokenKind.IDENT, "def").text
+        self._expect(TokenKind.LPAREN, "def")
+        params: list[ast.Param] = []
+        while not self._at(TokenKind.RPAREN):
+            if params:
+                self._expect(TokenKind.COMMA, "parameter list")
+            pname = self._expect(TokenKind.IDENT, "parameter").text
+            self._expect(TokenKind.COLON, "parameter")
+            ptype = self._parse_type()
+            params.append(ast.Param(pname, ptype))
+        self._expect(TokenKind.RPAREN, "def")
+        body = self._parse_block()
+        return ast.FuncDef(name, params, body, span=Span.merge(start, body.span))
+
+    # -- types --------------------------------------------------------------
+
+    def _parse_type(self) -> ast.TypeAnnotation:
+        token = self._expect(TokenKind.IDENT, "type")
+        base = token.text
+        if base == "bit":
+            self._expect(TokenKind.LT, "bit type")
+            width = int(self._expect(TokenKind.INT, "bit width").text)
+            self._expect(TokenKind.GT, "bit type")
+            base = f"bit<{width}>"
+        elif base not in ("float", "bool", "double", "fix"):
+            raise ParseError(f"unknown base type {base!r}", token.span)
+        ports = 1
+        if self._match(TokenKind.LBRACE):
+            ports = int(self._expect(TokenKind.INT, "port count").text)
+            self._expect(TokenKind.RBRACE, "port count")
+        dims: list[ast.DimSpec] = []
+        end_span = token.span
+        while self._at(TokenKind.LBRACKET):
+            self._advance()
+            size = self._parse_dim_atom("array size")
+            banks: int | str = 1
+            if self._match(TokenKind.BANK):
+                banks = self._parse_dim_atom("bank factor")
+            end_span = self._expect(TokenKind.RBRACKET, "array dimension").span
+            dims.append(ast.DimSpec(size, banks))
+        return ast.TypeAnnotation(base, tuple(dims), ports,
+                                  span=Span.merge(token.span, end_span))
+
+    def _parse_dim_atom(self, context: str) -> int | str:
+        """An integer literal, or an identifier naming a type parameter
+        (legal only in polymorphic ``def`` signatures/bodies — the
+        checker enforces where)."""
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return int(token.text)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.text
+        raise ParseError(
+            f"expected {context} (integer or type parameter), found "
+            f"{token.text!r}", token.span)
+
+    # -- commands -----------------------------------------------------------
+
+    def parse_command(self) -> ast.Command:
+        """Parse an ordered sequence of unordered groups."""
+        groups = [self._parse_unordered()]
+        while self._match(TokenKind.SEQ):
+            groups.append(self._parse_unordered())
+        if len(groups) == 1:
+            return groups[0]
+        span = Span.merge(groups[0].span, groups[-1].span)
+        return ast.SeqComp(groups, span=span)
+
+    def _parse_unordered(self) -> ast.Command:
+        commands = [self._parse_simple()]
+        while True:
+            if self._match(TokenKind.SEMI):
+                if self._peek().kind not in _COMMAND_START:
+                    break                  # trailing semicolon
+                commands.append(self._parse_simple())
+                continue
+            # Block-terminated statements need no semicolon (C-style).
+            if isinstance(commands[-1],
+                          (ast.Block, ast.If, ast.While, ast.For)) \
+                    and self._peek().kind in _COMMAND_START:
+                commands.append(self._parse_simple())
+                continue
+            break
+        if len(commands) == 1:
+            return commands[0]
+        span = Span.merge(commands[0].span, commands[-1].span)
+        return ast.ParComp(commands, span=span)
+
+    def _parse_simple(self) -> ast.Command:
+        kind = self._peek().kind
+        if kind is TokenKind.LET:
+            return self._parse_let()
+        if kind is TokenKind.VIEW:
+            return self._parse_view()
+        if kind is TokenKind.FOR:
+            return self._parse_for()
+        if kind is TokenKind.WHILE:
+            return self._parse_while()
+        if kind is TokenKind.IF:
+            return self._parse_if()
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        return self._parse_leaf_statement()
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect(TokenKind.LBRACE, "block").span
+        if self._at(TokenKind.RBRACE):
+            body: ast.Command = ast.Skip(span=start)
+        else:
+            body = self.parse_command()
+        end = self._expect(TokenKind.RBRACE, "block").span
+        return ast.Block(body, span=Span.merge(start, end))
+
+    def _parse_loop_body(self) -> ast.Command:
+        if self._at(TokenKind.LBRACE):
+            return self._parse_block()
+        return self._parse_simple()
+
+    def _parse_let(self) -> ast.Command:
+        start = self._expect(TokenKind.LET).span
+        name = self._expect(TokenKind.IDENT, "let").text
+        type_: ast.TypeAnnotation | None = None
+        init: ast.Expr | None = None
+        if self._match(TokenKind.COLON):
+            type_ = self._parse_type()
+        if self._match(TokenKind.EQ):
+            init = self.parse_expr()
+        end = init.span if init else (type_.span if type_ else start)
+        return ast.Let(name, type_, init, span=Span.merge(start, end))
+
+    def _parse_view(self) -> ast.Command:
+        """``view v = shrink A[by 2];`` with multi-declaration sugar.
+
+        ``view a, b = shrink A[by 2], B[by 2]`` desugars into an unordered
+        group of single views, as used in the paper's split-view example.
+        """
+        start = self._expect(TokenKind.VIEW).span
+        names = [self._expect(TokenKind.IDENT, "view").text]
+        while self._match(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT, "view").text)
+        self._expect(TokenKind.EQ, "view")
+        kind_token = self._advance()
+        view_kind = _VIEW_KINDS.get(kind_token.kind)
+        if view_kind is None:
+            raise ParseError(
+                f"expected view kind (shrink/suffix/shift/split), "
+                f"found {kind_token.text!r}", kind_token.span)
+        views: list[ast.Command] = []
+        for position, name in enumerate(names):
+            if position:
+                self._expect(TokenKind.COMMA, "view declaration")
+            mem = self._expect(TokenKind.IDENT, "view target").text
+            factors: list[ast.Expr | None] = []
+            end_span = kind_token.span
+            while self._at(TokenKind.LBRACKET):
+                self._advance()
+                if self._match(TokenKind.BY):
+                    factors.append(self.parse_expr())
+                else:
+                    factors.append(None)
+                end_span = self._expect(TokenKind.RBRACKET, "view factor").span
+            if not factors:
+                raise ParseError("view requires at least one [by …] factor",
+                                 Span.merge(start, end_span))
+            views.append(ast.View(name, view_kind, mem, factors,
+                                  span=Span.merge(start, end_span)))
+        if len(views) == 1:
+            return views[0]
+        return ast.ParComp(views, span=Span.merge(start, views[-1].span))
+
+    def _parse_for(self) -> ast.Command:
+        start = self._expect(TokenKind.FOR).span
+        self._expect(TokenKind.LPAREN, "for")
+        self._expect(TokenKind.LET, "for")
+        var = self._expect(TokenKind.IDENT, "for iterator").text
+        self._expect(TokenKind.EQ, "for")
+        lo = self._parse_dim_atom("loop bound")
+        self._expect(TokenKind.DOTDOT, "for range")
+        hi = self._parse_dim_atom("loop bound")
+        self._expect(TokenKind.RPAREN, "for")
+        unroll: int | str = 1
+        if self._match(TokenKind.UNROLL):
+            unroll = self._parse_dim_atom("unroll factor")
+        body = self._parse_loop_body()
+        combine: ast.Command | None = None
+        if self._match(TokenKind.COMBINE):
+            combine = self._parse_block()
+        end = combine.span if combine else body.span
+        return ast.For(var, lo, hi, unroll,
+                       body, combine, span=Span.merge(start, end))
+
+    def _parse_while(self) -> ast.Command:
+        start = self._expect(TokenKind.WHILE).span
+        self._expect(TokenKind.LPAREN, "while")
+        cond = self.parse_expr()
+        self._expect(TokenKind.RPAREN, "while")
+        body = self._parse_loop_body()
+        return ast.While(cond, body, span=Span.merge(start, body.span))
+
+    def _parse_if(self) -> ast.Command:
+        start = self._expect(TokenKind.IF).span
+        self._expect(TokenKind.LPAREN, "if")
+        cond = self.parse_expr()
+        self._expect(TokenKind.RPAREN, "if")
+        then_branch = self._parse_loop_body()
+        else_branch: ast.Command | None = None
+        if self._match(TokenKind.ELSE):
+            if self._at(TokenKind.IF):
+                else_branch = self._parse_if()
+            else:
+                else_branch = self._parse_loop_body()
+        end = else_branch.span if else_branch else then_branch.span
+        return ast.If(cond, then_branch, else_branch,
+                      span=Span.merge(start, end))
+
+    def _parse_leaf_statement(self) -> ast.Command:
+        """Assignment, reducer, store, or a bare expression statement."""
+        expr = self.parse_expr()
+        token = self._peek()
+        if token.kind is TokenKind.ASSIGN:
+            self._advance()
+            value = self.parse_expr()
+            span = Span.merge(expr.span, value.span)
+            if isinstance(expr, ast.Var):
+                return ast.Assign(expr.name, value, span=span)
+            if isinstance(expr, ast.Access):
+                return ast.Store(expr, value, span=span)
+            raise ParseError("invalid assignment target", expr.span)
+        if token.kind in REDUCERS:
+            op = REDUCERS[token.kind]
+            self._advance()
+            value = self.parse_expr()
+            span = Span.merge(expr.span, value.span)
+            if isinstance(expr, ast.Var):
+                return ast.Reduce(op, expr.name, value, span=span)
+            if isinstance(expr, ast.Access):
+                return ast.Reduce(op, expr.mem, value,
+                                  target_is_access=expr, span=span)
+            raise ParseError("invalid reducer target", expr.span)
+        return ast.ExprStmt(expr, span=expr.span)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        lhs = self.parse_expr(level + 1)
+        while self._peek().kind in _PRECEDENCE[level]:
+            op_token = self._advance()
+            rhs = self.parse_expr(level + 1)
+            lhs = ast.Binary(_BINOPS[op_token.kind], lhs, rhs,
+                             span=Span.merge(lhs.span, rhs.span))
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary("-", operand,
+                             span=Span.merge(token.span, operand.span))
+        if token.kind is TokenKind.BANG:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary("!", operand,
+                             span=Span.merge(token.span, operand.span))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLit(int(token.text), span=token.span)
+        if token.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(float(token.text), span=token.span)
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLit(True, span=token.span)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLit(False, span=token.span)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self.parse_expr()
+            self._expect(TokenKind.RPAREN, "parenthesized expression")
+            return inner
+        if token.kind is TokenKind.IDENT:
+            return self._parse_ident_expr()
+        raise ParseError(f"unexpected token {token.text!r} in expression",
+                         token.span)
+
+    def _parse_ident_expr(self) -> ast.Expr:
+        name_token = self._advance()
+        name = name_token.text
+        # Function application.
+        if self._at(TokenKind.LPAREN):
+            self._advance()
+            args: list[ast.Expr] = []
+            while not self._at(TokenKind.RPAREN):
+                if args:
+                    self._expect(TokenKind.COMMA, "argument list")
+                args.append(self.parse_expr())
+            end = self._expect(TokenKind.RPAREN, "call").span
+            return ast.App(name, args, span=Span.merge(name_token.span, end))
+        # Physical bank selectors: A{b0}{b1}…
+        bank_indices: list[ast.Expr] = []
+        while self._at(TokenKind.LBRACE):
+            self._advance()
+            bank_indices.append(self.parse_expr())
+            self._expect(TokenKind.RBRACE, "bank selector")
+        # Subscripts: A[i0][i1]…
+        indices: list[ast.Expr] = []
+        end_span = name_token.span
+        while self._at(TokenKind.LBRACKET):
+            self._advance()
+            indices.append(self.parse_expr())
+            end_span = self._expect(TokenKind.RBRACKET, "subscript").span
+        if bank_indices and not indices:
+            raise ParseError("physical access requires a subscript",
+                             Span.merge(name_token.span, end_span))
+        if indices:
+            return ast.Access(name, indices, bank_indices,
+                              span=Span.merge(name_token.span, end_span))
+        return ast.Var(name, span=name_token.span)
+
+
+def parse(text: str, name: str = "<input>") -> ast.Program:
+    """Parse a complete Dahlia program."""
+    return Parser(SourceFile(text, name)).parse_program()
+
+
+def parse_command(text: str, name: str = "<input>") -> ast.Command:
+    """Parse a command in isolation (useful in tests)."""
+    parser = Parser(SourceFile(text, name))
+    cmd = parser.parse_command()
+    parser._expect(TokenKind.EOF, "command")
+    return cmd
+
+
+def parse_expr(text: str, name: str = "<input>") -> ast.Expr:
+    """Parse an expression in isolation (useful in tests)."""
+    parser = Parser(SourceFile(text, name))
+    expr = parser.parse_expr()
+    parser._expect(TokenKind.EOF, "expression")
+    return expr

@@ -1,0 +1,110 @@
+"""Pretty-printer for Dahlia ASTs.
+
+Produces parseable source text: ``parse(pretty(parse(s)))`` equals
+``parse(s)`` structurally, a property exercised by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "  "
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text) else text + ".0"
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Binary):
+        return (f"({pretty_expr(expr.lhs)} {expr.op.value} "
+                f"{pretty_expr(expr.rhs)})")
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{pretty_expr(expr.operand)})"
+    if isinstance(expr, ast.Access):
+        banks = "".join(f"{{{pretty_expr(b)}}}" for b in expr.bank_indices)
+        subs = "".join(f"[{pretty_expr(i)}]" for i in expr.indices)
+        return f"{expr.mem}{banks}{subs}"
+    if isinstance(expr, ast.App):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def _pretty_type(type_: ast.TypeAnnotation) -> str:
+    return str(type_)
+
+
+def pretty_command(cmd: ast.Command, indent: int = 0) -> str:
+    pad = _INDENT * indent
+
+    if isinstance(cmd, ast.Skip):
+        return f"{pad}{{}}"
+    if isinstance(cmd, ast.ExprStmt):
+        return f"{pad}{pretty_expr(cmd.expr)}"
+    if isinstance(cmd, ast.Let):
+        parts = [f"{pad}let {cmd.name}"]
+        if cmd.type is not None:
+            parts.append(f": {_pretty_type(cmd.type)}")
+        if cmd.init is not None:
+            parts.append(f" = {pretty_expr(cmd.init)}")
+        return "".join(parts)
+    if isinstance(cmd, ast.View):
+        factors = "".join(
+            f"[by {pretty_expr(f)}]" if f is not None else "[]"
+            for f in cmd.factors)
+        return f"{pad}view {cmd.name} = {cmd.kind.value} {cmd.mem}{factors}"
+    if isinstance(cmd, ast.Assign):
+        return f"{pad}{cmd.name} := {pretty_expr(cmd.expr)}"
+    if isinstance(cmd, ast.Store):
+        return f"{pad}{pretty_expr(cmd.access)} := {pretty_expr(cmd.expr)}"
+    if isinstance(cmd, ast.Reduce):
+        target = (pretty_expr(cmd.target_is_access)
+                  if cmd.target_is_access is not None else cmd.target)
+        return f"{pad}{target} {cmd.op} {pretty_expr(cmd.expr)}"
+    if isinstance(cmd, ast.ParComp):
+        return ";\n".join(pretty_command(c, indent) for c in cmd.commands)
+    if isinstance(cmd, ast.SeqComp):
+        sep = f"\n{pad}---\n"
+        return sep.join(pretty_command(c, indent) for c in cmd.commands)
+    if isinstance(cmd, ast.Block):
+        inner = pretty_command(cmd.body, indent + 1)
+        return f"{pad}{{\n{inner}\n{pad}}}"
+    if isinstance(cmd, ast.If):
+        text = (f"{pad}if ({pretty_expr(cmd.cond)}) "
+                f"{pretty_command(cmd.then_branch, indent).lstrip()}")
+        if cmd.else_branch is not None:
+            text += (f" else "
+                     f"{pretty_command(cmd.else_branch, indent).lstrip()}")
+        return text
+    if isinstance(cmd, ast.While):
+        body = pretty_command(cmd.body, indent).lstrip()
+        return f"{pad}while ({pretty_expr(cmd.cond)}) {body}"
+    if isinstance(cmd, ast.For):
+        unroll = f" unroll {cmd.unroll}" if cmd.unroll != 1 else ""
+        body = pretty_command(cmd.body, indent).lstrip()
+        text = (f"{pad}for (let {cmd.var} = {cmd.start}..{cmd.end})"
+                f"{unroll} {body}")
+        if cmd.combine is not None:
+            text += f" combine {pretty_command(cmd.combine, indent).lstrip()}"
+        return text
+    raise TypeError(f"unknown command node: {type(cmd).__name__}")
+
+
+def pretty_program(program: ast.Program) -> str:
+    chunks: list[str] = []
+    for decl in program.decls:
+        chunks.append(f"decl {decl.name}: {_pretty_type(decl.type)};")
+    for func in program.defs:
+        params = ", ".join(f"{p.name}: {_pretty_type(p.type)}"
+                           for p in func.params)
+        body = pretty_command(func.body)
+        chunks.append(f"def {func.name}({params}) {body.lstrip()}")
+    if not isinstance(program.body, ast.Skip):
+        chunks.append(pretty_command(program.body))
+    return "\n".join(chunks) + "\n"

@@ -1,0 +1,114 @@
+"""Token definitions for the Dahlia surface language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..source import Span
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers.
+    INT = "int"
+    FLOAT = "float-lit"
+    IDENT = "ident"
+
+    # Keywords.
+    LET = "let"
+    VIEW = "view"
+    FOR = "for"
+    WHILE = "while"
+    IF = "if"
+    ELSE = "else"
+    UNROLL = "unroll"
+    COMBINE = "combine"
+    BANK = "bank"
+    SHRINK = "shrink"
+    SUFFIX = "suffix"
+    SHIFT = "shift"
+    SPLIT = "split"
+    BY = "by"
+    TRUE = "true"
+    FALSE = "false"
+    DEF = "def"
+    DECL = "decl"
+    RETURN = "return"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOTDOT = ".."
+    SEQ = "---"
+
+    # Operators.
+    ASSIGN = ":="
+    EQ = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    PLUS_EQ = "+="
+    MINUS_EQ = "-="
+    STAR_EQ = "*="
+    SLASH_EQ = "/="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQEQ = "=="
+    NEQ = "!="
+    AND = "&&"
+    OR = "||"
+    BANG = "!"
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "let": TokenKind.LET,
+    "view": TokenKind.VIEW,
+    "for": TokenKind.FOR,
+    "while": TokenKind.WHILE,
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "unroll": TokenKind.UNROLL,
+    "combine": TokenKind.COMBINE,
+    "bank": TokenKind.BANK,
+    "shrink": TokenKind.SHRINK,
+    "suffix": TokenKind.SUFFIX,
+    "shift": TokenKind.SHIFT,
+    "split": TokenKind.SPLIT,
+    "by": TokenKind.BY,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "def": TokenKind.DEF,
+    "decl": TokenKind.DECL,
+    "return": TokenKind.RETURN,
+}
+
+#: Reducer tokens usable in ``combine`` blocks (§3.5).
+REDUCERS = {
+    TokenKind.PLUS_EQ: "+=",
+    TokenKind.MINUS_EQ: "-=",
+    TokenKind.STAR_EQ: "*=",
+    TokenKind.SLASH_EQ: "/=",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.span}"

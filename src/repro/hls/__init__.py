@@ -1,0 +1,41 @@
+"""The Vivado-HLS-like estimation substrate (simulated toolchain)."""
+
+from .banking import AccessProfile, ArrayProfile, analyze_access, analyze_kernel
+from .estimator import Report, estimate, speedup
+from .extract import extract_from_source, extract_kernel
+from .kernel import (
+    READ,
+    WRITE,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+)
+from .resources import Resources, estimate_resources
+from .scheduling import Schedule, schedule
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "AccessProfile",
+    "AccessSpec",
+    "AffineIndex",
+    "ArrayProfile",
+    "ArraySpec",
+    "KernelSpec",
+    "LoopSpec",
+    "OpCounts",
+    "Report",
+    "Resources",
+    "Schedule",
+    "analyze_access",
+    "analyze_kernel",
+    "estimate",
+    "estimate_resources",
+    "extract_from_source",
+    "extract_kernel",
+    "schedule",
+    "speedup",
+]

@@ -1,0 +1,201 @@
+"""Bank-conflict analysis for the HLS estimator.
+
+This module simulates — with NumPy, over the actual unrolled copies and
+a deterministic sample of sequential iterations — which bank every
+processing element (PE) touches. From that it derives the quantities
+§2.1 identifies as the sources of (un)predictability:
+
+* ``mux_degree`` — how many distinct banks one PE must reach over time.
+  1 means a direct PE↔bank wire (Fig. 3c); ``total_banks`` means a full
+  crossbar (Fig. 3b's multiplexing hardware).
+* ``port_pressure`` — the worst-case number of simultaneous accesses a
+  single bank must serve in one iteration. Identical read addresses
+  fan out (they count once, §3.1); writes always count.
+* ``aligned`` — every PE owns a static set of banks disjoint from the
+  others (the "unrolling divides banking" unwritten rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from .kernel import AccessSpec, ArraySpec, KernelSpec
+
+#: Cap on enumerated PE combinations — above this we sample.
+_MAX_PES = 4096
+#: Sequential-iteration samples per loop.
+_SAMPLES_PER_LOOP = 3
+#: Cap on total iteration samples.
+_MAX_SAMPLES = 64
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Bank behaviour of one access across PEs and time."""
+
+    access: AccessSpec
+    mux_degree: int                  # banks reachable per PE (1 = wired)
+    port_pressure: int               # worst simultaneous accesses per bank
+    regular: bool                    # per-PE bank sets partition the banks
+    crossbar: bool                   # PE must reach ≥ 4 banks
+    dynamic: bool                    # data-dependent indexing
+
+    @property
+    def aligned(self) -> bool:
+        """Direct PE↔bank wiring, no mux at all (Fig. 3c)."""
+        return self.mux_degree == 1 and self.regular
+
+
+@dataclass(frozen=True)
+class ArrayProfile:
+    """Aggregated pressure on one array across all its accesses."""
+
+    array: ArraySpec
+    port_pressure: int               # combined worst-case per-bank load
+    mux_degree: int
+    crossbar: bool
+    regular: bool
+
+
+def _loop_samples(kernel: KernelSpec) -> np.ndarray:
+    """A deterministic sample of sequential iteration vectors."""
+    per_loop: list[list[int]] = []
+    for loop in kernel.loops:
+        total = loop.iterations
+        picks = sorted({0, 1, total // 2, total - 1} & set(range(total)))
+        per_loop.append(picks[:_SAMPLES_PER_LOOP + 1] or [0])
+    combos = list(product(*per_loop))
+    if len(combos) > _MAX_SAMPLES:
+        stride = len(combos) // _MAX_SAMPLES
+        combos = combos[::stride][:_MAX_SAMPLES]
+    return np.array(combos, dtype=np.int64)         # (S, n_loops)
+
+
+def _pe_offsets(kernel: KernelSpec) -> np.ndarray:
+    """All unrolled-copy offset vectors (R, n_loops)."""
+    ranges = [range(loop.unroll) for loop in kernel.loops]
+    combos = list(product(*ranges))
+    if len(combos) > _MAX_PES:
+        stride = len(combos) // _MAX_PES
+        combos = combos[::stride][:_MAX_PES]
+    return np.array(combos, dtype=np.int64)
+
+
+def analyze_access(kernel: KernelSpec, access: AccessSpec,
+                   samples: np.ndarray | None = None,
+                   offsets: np.ndarray | None = None) -> AccessProfile:
+    """Simulate one access's bank traffic."""
+    array = kernel.array(access.array)
+    if samples is None:
+        samples = _loop_samples(kernel)
+    if offsets is None:
+        offsets = _pe_offsets(kernel)
+    n_samples, n_pes = len(samples), len(offsets)
+    loop_names = [loop.name for loop in kernel.loops]
+    unrolls = np.array([loop.unroll for loop in kernel.loops],
+                       dtype=np.int64)
+
+    if any(index.dynamic for index in access.indices):
+        # Data-dependent index: any PE may hit any bank; the scheduler
+        # must serialize all copies onto one port in the worst case.
+        total_banks = array.total_banks
+        return AccessProfile(
+            access=access,
+            mux_degree=total_banks,
+            port_pressure=n_pes,
+            regular=total_banks == 1 and n_pes == 1,
+            crossbar=total_banks >= 4,
+            dynamic=True)
+
+    # index value per dim: const + Σ coeff·(unroll·q + r)
+    banks = np.zeros((n_samples, n_pes), dtype=np.int64)
+    addresses = np.zeros((n_samples, n_pes), dtype=np.int64)
+    bank_stride = 1
+    addr_stride = 1
+    for dim in range(len(array.dims) - 1, -1, -1):
+        index = access.indices[dim]
+        factor = array.partition[dim]
+        values = np.full((n_samples, n_pes), index.const, dtype=np.int64)
+        for loop_pos, name in enumerate(loop_names):
+            coeff = index.coeff(name)
+            if coeff == 0:
+                continue
+            seq = samples[:, loop_pos] * unrolls[loop_pos]   # (S,)
+            par = offsets[:, loop_pos]                       # (R,)
+            values += coeff * (seq[:, None] + par[None, :])
+        banks += np.mod(values, factor) * bank_stride
+        addresses += (values // factor) * addr_stride
+        bank_stride *= factor
+        addr_stride *= max(1, array.dims[dim] // factor)
+
+    # PEs from unroll dimensions the access does not mention produce
+    # identical traces — the hardware fans one port out to them (§3.1).
+    # Deduplicate them before the mux/regularity analysis.
+    signatures = np.concatenate([banks.T, addresses.T], axis=1)
+    _, keep = np.unique(signatures, axis=0, return_index=True)
+    distinct_pes = sorted(int(k) for k in keep)
+    banks_distinct = banks[:, distinct_pes]
+
+    # Mux degree: distinct banks each effective PE sees across time.
+    # Regularity: the per-PE bank sets are pairwise disjoint (they
+    # partition the banks) exactly when the unrolling "divides" the
+    # banking — §2.1's unwritten rule. Disjointness ⟺ Σ|banks_pe| ==
+    # |∪ banks_pe|.
+    mux_degree = 1
+    per_pe_total = 0
+    for pe in range(banks_distinct.shape[1]):
+        seen = np.unique(banks_distinct[:, pe])
+        per_pe_total += len(seen)
+        mux_degree = max(mux_degree, len(seen))
+    union_size = len(np.unique(banks_distinct))
+    regular = per_pe_total == union_size
+
+    # Port pressure: worst per-bank simultaneous load in one iteration.
+    pressure = 0
+    for s in range(n_samples):
+        row_banks = banks[s]
+        row_addrs = addresses[s]
+        if access.is_write:
+            _, counts = np.unique(row_banks, return_counts=True)
+        else:
+            # Identical (bank, address) pairs fan out — count once.
+            pairs = np.stack([row_banks, row_addrs], axis=1)
+            distinct = np.unique(pairs, axis=0)
+            _, counts = np.unique(distinct[:, 0], return_counts=True)
+        pressure = max(pressure, int(counts.max()))
+
+    return AccessProfile(
+        access=access,
+        mux_degree=mux_degree,
+        port_pressure=pressure,
+        regular=regular,
+        crossbar=mux_degree >= 4,
+        dynamic=False)
+
+
+def analyze_kernel(kernel: KernelSpec) -> dict[str, ArrayProfile]:
+    """Profile every array of the kernel."""
+    samples = _loop_samples(kernel)
+    offsets = _pe_offsets(kernel)
+    profiles: dict[str, list[AccessProfile]] = {}
+    for access in kernel.accesses:
+        profile = analyze_access(kernel, access, samples, offsets)
+        profiles.setdefault(access.array, []).append(profile)
+
+    result: dict[str, ArrayProfile] = {}
+    for name, access_profiles in profiles.items():
+        array = kernel.array(name)
+        # Inner-loop accesses in one iteration stack their pressure on
+        # the banks; hoisted accesses are amortized (kernel.py).
+        pressure = sum(p.port_pressure for p in access_profiles
+                       if p.access.inner)
+        result[name] = ArrayProfile(
+            array=array,
+            port_pressure=pressure,
+            mux_degree=max(p.mux_degree for p in access_profiles),
+            crossbar=any(p.crossbar for p in access_profiles),
+            regular=all(p.regular for p in access_profiles))
+    return result

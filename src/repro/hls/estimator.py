@@ -1,0 +1,101 @@
+"""The top-level HLS estimator — our stand-in for Vivado HLS's
+estimation mode (§5.1's experimental substrate).
+
+``estimate(kernel)`` produces a :class:`Report` with the five objectives
+the paper's DSE ranks (cycle latency plus LUT/FF/BRAM/DSP counts), a
+``predictable`` flag (did the configuration obey the unwritten rules of
+§2.1?), and an ``incorrect`` flag modelling the configurations the paper
+observed to silently produce wrong hardware (Fig. 4b: "some unrolling
+factors yield hardware that produces incorrect results").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .banking import ArrayProfile, analyze_kernel
+from .kernel import KernelSpec
+from .resources import estimate_resources
+from .scheduling import Schedule, schedule
+
+
+@dataclass(frozen=True)
+class Report:
+    kernel_name: str
+    latency_cycles: int
+    runtime_ms: float
+    luts: int
+    ffs: int
+    brams: int
+    dsps: int
+    lutmems: int
+    ii: float
+    predictable: bool
+    incorrect: bool
+
+    @property
+    def objectives(self) -> tuple[float, ...]:
+        """(latency, LUT, FF, BRAM, DSP) — the paper's Pareto axes."""
+        return (float(self.latency_cycles), float(self.luts),
+                float(self.ffs), float(self.brams), float(self.dsps))
+
+
+def _is_predictable(kernel: KernelSpec,
+                    profiles: dict[str, ArrayProfile],
+                    sched: Schedule) -> bool:
+    """Does the configuration follow §2.1's unwritten rules?
+
+    1. every access has *regular* banking — the per-PE bank sets
+       partition the banks (unrolling divides banking);
+    2. every banking factor divides its array dimension;
+    3. every unroll factor divides its trip count;
+    4. no port conflicts forced serialization.
+    """
+    if sched.epilogue_loops or sched.serialized:
+        return False
+    for profile in profiles.values():
+        if not profile.regular or profile.array.uneven:
+            return False
+    return True
+
+
+def _is_incorrect(kernel: KernelSpec,
+                  profiles: dict[str, ArrayProfile],
+                  sched: Schedule) -> bool:
+    """Model of the Vivado miscompilations the paper hit (Fig. 4b).
+
+    Empirically those were configurations combining heavy bank
+    indirection with epilogue (partial-unroll) handling. We flag a
+    configuration as incorrect when a crossbar (mux degree ≥ 4)
+    coincides with an epilogue loop — deterministic, so the benchmark
+    harness reports the same points every run.
+    """
+    has_crossbar = any(p.crossbar for p in profiles.values())
+    return has_crossbar and sched.epilogue_loops > 0
+
+
+def estimate(kernel: KernelSpec, noise_seed: str = "") -> Report:
+    """Run the full estimation pipeline on a kernel."""
+    profiles = analyze_kernel(kernel)
+    sched = schedule(kernel, profiles)
+    resources = estimate_resources(kernel, profiles, sched, noise_seed)
+    return Report(
+        kernel_name=kernel.name,
+        latency_cycles=sched.cycles,
+        runtime_ms=sched.runtime_ms(kernel.clock_mhz),
+        luts=resources.luts,
+        ffs=resources.ffs,
+        brams=resources.brams,
+        dsps=resources.dsps,
+        lutmems=resources.lutmems,
+        ii=sched.ii,
+        predictable=_is_predictable(kernel, profiles, sched),
+        incorrect=_is_incorrect(kernel, profiles, sched))
+
+
+def speedup(baseline: Report, candidate: Report) -> float:
+    """Latency improvement of ``candidate`` over ``baseline``."""
+    if candidate.latency_cycles == 0:
+        return math.inf
+    return baseline.latency_cycles / candidate.latency_cycles

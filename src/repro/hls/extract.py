@@ -1,0 +1,204 @@
+"""Extract a :class:`KernelSpec` from a type-checked Dahlia program.
+
+This connects the language to the estimator substrate: after the type
+checker accepts a program, the extractor walks the (first) perfect loop
+nest, resolves view accesses to base-memory affine indices, and produces
+the IR the estimator consumes — the same journey a Dahlia program takes
+through the real toolchain (Dahlia → C++ → Vivado estimation).
+
+The extractor intentionally supports the fragment the paper's evaluation
+kernels live in: one perfect nest of ``for`` loops whose body reads and
+writes banked memories with affine (or dynamic) indices. Richer programs
+should construct :class:`KernelSpec` directly, as the benchmark
+harnesses do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TypeError_
+from ..filament.desugar import linear_form
+from ..frontend import ast
+from ..types import views as view_mod
+from ..types.types import elaborate
+from ..types.views import ViewInfo, identity_view, rewrite_access_indices
+from .kernel import (
+    READ,
+    WRITE,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+)
+
+
+@dataclass
+class _Extraction:
+    arrays: dict[str, ArraySpec] = field(default_factory=dict)
+    views: dict[str, ViewInfo] = field(default_factory=dict)
+    loops: list[LoopSpec] = field(default_factory=list)
+    accesses: list[AccessSpec] = field(default_factory=list)
+    fp_mul: int = 0
+    fp_add: int = 0
+    fp_div: int = 0
+    cmp: int = 0
+    has_reduction: bool = False
+
+
+def _register_memory(state: _Extraction, name: str,
+                     annotation: ast.TypeAnnotation) -> None:
+    memory = elaborate(annotation)
+    dims = tuple(d.size for d in annotation.dims)
+    partition = tuple(d.banks for d in annotation.dims)
+    width = 32
+    if annotation.base == "double":
+        width = 64
+    elif annotation.base.startswith("bit<"):
+        width = int(annotation.base[4:-1])
+    state.arrays[name] = ArraySpec(name, dims, partition,
+                                   annotation.ports, width)
+    state.views[name] = identity_view(name, memory)  # type: ignore[arg-type]
+
+
+def _affine_index(expr: ast.Expr, loop_names: set[str]) -> AffineIndex:
+    form = linear_form(expr)
+    if form is None:
+        return AffineIndex.dyn()
+    coeffs, const = form
+    if any(name not in loop_names for name in coeffs):
+        return AffineIndex.dyn()         # data-dependent
+    items = tuple(sorted((n, c) for n, c in coeffs.items() if c != 0))
+    return AffineIndex(items, const)
+
+
+def _record_access(state: _Extraction, access: ast.Access,
+                   kind: str) -> None:
+    info = state.views.get(access.mem)
+    if info is None:
+        raise TypeError_(f"unknown memory {access.mem!r} during "
+                         f"extraction", access.span)
+    loop_names = {loop.name for loop in state.loops}
+    if access.is_physical:
+        indices = tuple(AffineIndex.dyn() for _ in info.base_type.dims)
+    else:
+        base = rewrite_access_indices(info, list(access.indices),
+                                      access.span)
+        indices = tuple(_affine_index(e, loop_names) for e in base)
+    state.accesses.append(AccessSpec(info.base_mem, indices, kind))
+
+
+def _count_ops(state: _Extraction, expr: ast.Expr) -> None:
+    for node in [expr, *ast.walk_exprs(expr)]:
+        if isinstance(node, ast.Binary):
+            if node.op is ast.BinOp.MUL:
+                state.fp_mul += 1
+            elif node.op in (ast.BinOp.ADD, ast.BinOp.SUB):
+                state.fp_add += 1
+            elif node.op in (ast.BinOp.DIV, ast.BinOp.MOD):
+                state.fp_div += 1
+            elif node.op.is_comparison:
+                state.cmp += 1
+
+
+def _walk(state: _Extraction, cmd: ast.Command) -> None:
+    if isinstance(cmd, ast.Let):
+        if cmd.type is not None and cmd.type.is_memory:
+            _register_memory(state, cmd.name, cmd.type)
+        elif cmd.init is not None:
+            _count_ops(state, cmd.init)
+            _walk_expr_accesses(state, cmd.init)
+        return
+    if isinstance(cmd, ast.View):
+        parent = state.views.get(cmd.mem)
+        if parent is None:
+            raise TypeError_(f"unknown memory {cmd.mem!r}", cmd.span)
+        state.views[cmd.name] = view_mod.apply_view(cmd, parent, set())
+        return
+    if isinstance(cmd, ast.For):
+        state.loops.append(LoopSpec(cmd.var, cmd.trip_count, cmd.unroll))
+        body = cmd.body.body if isinstance(cmd.body, ast.Block) else cmd.body
+        _walk(state, body)
+        if cmd.combine is not None:
+            state.has_reduction = True
+            combine = (cmd.combine.body
+                       if isinstance(cmd.combine, ast.Block)
+                       else cmd.combine)
+            _walk(state, combine)
+        return
+    if isinstance(cmd, ast.Store):
+        _count_ops(state, cmd.expr)
+        _walk_expr_accesses(state, cmd.expr)
+        _record_access(state, cmd.access, WRITE)
+        return
+    if isinstance(cmd, ast.Reduce):
+        state.has_reduction = True
+        state.fp_add += 1
+        _count_ops(state, cmd.expr)
+        _walk_expr_accesses(state, cmd.expr)
+        if cmd.target_is_access is not None:
+            _record_access(state, cmd.target_is_access, READ)
+            _record_access(state, cmd.target_is_access, WRITE)
+        return
+    if isinstance(cmd, ast.Assign):
+        _count_ops(state, cmd.expr)
+        _walk_expr_accesses(state, cmd.expr)
+        return
+    if isinstance(cmd, ast.ExprStmt):
+        _count_ops(state, cmd.expr)
+        _walk_expr_accesses(state, cmd.expr)
+        return
+    if isinstance(cmd, (ast.ParComp, ast.SeqComp)):
+        for child in cmd.commands:
+            _walk(state, child)
+        return
+    if isinstance(cmd, ast.Block):
+        _walk(state, cmd.body)
+        return
+    if isinstance(cmd, ast.If):
+        _count_ops(state, cmd.cond)
+        state.cmp += 1
+        _walk(state, cmd.then_branch)
+        if cmd.else_branch is not None:
+            _walk(state, cmd.else_branch)
+        return
+    if isinstance(cmd, ast.While):
+        state.cmp += 1
+        _walk(state, cmd.body)
+        return
+
+
+def _walk_expr_accesses(state: _Extraction, expr: ast.Expr) -> None:
+    for node in [expr, *ast.walk_exprs(expr)]:
+        if isinstance(node, ast.Access):
+            _record_access(state, node, READ)
+
+
+def extract_kernel(program: ast.Program, name: str = "kernel",
+                   clock_mhz: float = 250.0) -> KernelSpec:
+    """Build a :class:`KernelSpec` from a parsed Dahlia program."""
+    state = _Extraction()
+    for decl in program.decls:
+        _register_memory(state, decl.name, decl.type)
+    _walk(state, program.body)
+    ops = OpCounts(fp_mul=state.fp_mul, fp_add=state.fp_add,
+                   fp_div=state.fp_div, cmp=state.cmp)
+    return KernelSpec(
+        name=name,
+        arrays=tuple(state.arrays.values()),
+        loops=tuple(state.loops),
+        accesses=tuple(state.accesses),
+        ops=ops,
+        clock_mhz=clock_mhz,
+        has_reduction=state.has_reduction)
+
+
+def extract_from_source(source: str, name: str = "kernel") -> KernelSpec:
+    from ..frontend.parser import parse
+    from ..types.checker import check_program
+
+    program = parse(source)
+    check_program(program)
+    return extract_kernel(program, name)

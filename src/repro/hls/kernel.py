@@ -1,0 +1,171 @@
+"""Loop-nest kernel IR for the HLS estimator substrate.
+
+The paper's evaluation runs Vivado HLS's *estimation mode* on C++
+kernels. We cannot run Vivado offline, so we model the estimation
+pipeline on a small IR capturing exactly what the paper's predictability
+analysis (§2.1) depends on: arrays with cyclic partitioning, a perfect
+loop nest with unroll factors, and affine accesses.
+
+The IR can be built by hand (the benchmark harnesses do this, mirroring
+the paper's pragma templates such as Fig. 10) or extracted from a
+type-checked Dahlia program (:mod:`repro.hls.extract`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """An on-chip array with per-dimension cyclic partitioning."""
+
+    name: str
+    dims: tuple[int, ...]
+    partition: tuple[int, ...] = ()
+    ports: int = 1
+    width: int = 32                      # element width in bits
+
+    def __post_init__(self) -> None:
+        if not self.partition:
+            object.__setattr__(self, "partition", (1,) * len(self.dims))
+        if len(self.partition) != len(self.dims):
+            raise ValueError(
+                f"array {self.name!r}: partition arity mismatch")
+
+    @property
+    def total_banks(self) -> int:
+        return prod(self.partition)
+
+    @property
+    def total_size(self) -> int:
+        return prod(self.dims)
+
+    @property
+    def uneven(self) -> bool:
+        """Does any partition factor fail to divide its dimension?
+
+        Uneven banks force "leftover element" hardware (§2.1)."""
+        return any(size % factor != 0
+                   for size, factor in zip(self.dims, self.partition))
+
+    def bank_elements(self) -> int:
+        """Elements in the largest bank (ceil for uneven partitions)."""
+        total = 1
+        for size, factor in zip(self.dims, self.partition):
+            total *= -(-size // factor)
+        return total
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One loop of the nest, outermost first in ``KernelSpec.loops``."""
+
+    name: str
+    trip: int
+    unroll: int = 1
+
+    @property
+    def iterations(self) -> int:
+        """Sequential iterations after unrolling (ceil for epilogues)."""
+        return -(-self.trip // self.unroll)
+
+    @property
+    def has_epilogue(self) -> bool:
+        return self.trip % self.unroll != 0
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An index expression ``Σ coeffᵢ·loopᵢ + const``, or dynamic."""
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+    dynamic: bool = False                # data-dependent index
+
+    @staticmethod
+    def of(const: int = 0, **coeffs: int) -> "AffineIndex":
+        return AffineIndex(tuple(sorted(coeffs.items())), const)
+
+    @staticmethod
+    def dyn() -> "AffineIndex":
+        return AffineIndex(dynamic=True)
+
+    def coeff(self, loop: str) -> int:
+        for name, value in self.coeffs:
+            if name == loop:
+                return value
+        return 0
+
+
+READ, WRITE = "read", "write"
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One memory access of the loop body.
+
+    ``inner=False`` marks accesses hoisted outside the innermost loop
+    (e.g. gemm's accumulator load/store around the k-loop): they are
+    amortized over the inner trip count, so they do not bound the
+    initiation interval — but they still need their banking hardware.
+    """
+
+    array: str
+    indices: tuple[AffineIndex, ...]
+    kind: str = READ                     # READ | WRITE
+    inner: bool = True
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation mix of one loop-body iteration (pre-unrolling)."""
+
+    fp_mul: int = 0
+    fp_add: int = 0
+    fp_div: int = 0
+    int_mul: int = 0
+    int_add: int = 0
+    cmp: int = 0
+    special: int = 0                     # sqrt/exp/etc.
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A perfect loop nest over partitioned arrays."""
+
+    name: str
+    arrays: tuple[ArraySpec, ...]
+    loops: tuple[LoopSpec, ...]
+    accesses: tuple[AccessSpec, ...]
+    ops: OpCounts = field(default_factory=OpCounts)
+    clock_mhz: float = 250.0
+    has_reduction: bool = False          # loop-carried accumulation
+
+    def array(self, name: str) -> ArraySpec:
+        for spec in self.arrays:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    @property
+    def processing_elements(self) -> int:
+        """Parallel copies of the loop body (Π unroll factors)."""
+        return prod(loop.unroll for loop in self.loops)
+
+    @property
+    def iterations(self) -> int:
+        return prod(loop.iterations for loop in self.loops)
+
+    @property
+    def config_key(self) -> str:
+        """A stable fingerprint used to seed deterministic noise."""
+        arrays = ";".join(
+            f"{a.name}:{a.dims}:{a.partition}:{a.ports}" for a in self.arrays)
+        loops = ";".join(f"{l.name}:{l.trip}:{l.unroll}" for l in self.loops)
+        return f"{self.name}|{arrays}|{loops}"

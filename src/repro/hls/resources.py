@@ -1,0 +1,165 @@
+"""FPGA resource model (LUTs, FFs, BRAMs, DSPs, LUT-mems).
+
+Cost constants are calibrated against the paper's reported numbers for
+the §2.1 matrix-multiply study on the UltraScale+ VU9P: the initial
+(unparallelized) design occupies 2,355 LUTs; predictable banked designs
+scale to ≈4,000 LUTs at factor 16; crossbar-afflicted configurations
+spike beyond that. Exact magnitudes are not the point — the paper's
+claims are about *shape* — but keeping the scales right makes the
+reproduced figures directly comparable.
+
+Two modelling decisions mirror how HLS tools actually behave (§2.1):
+
+* when port conflicts serialize the PEs, the binder *shares* functional
+  units across the serialized issue slots — so op logic and DSPs grow
+  with ``PEs / slots``, not PEs. This is why Fig. 4a's area wobbles
+  instead of growing 10×: the requested parallelism buys muxes and
+  arbitration, not compute;
+* bank-indirection muxes, arbitration, epilogue guards, and
+  leftover-element decoders are charged explicitly — these are the
+  hidden costs the unwritten rules avoid.
+
+A deterministic pseudo-noise term models Vivado's heuristic jitter:
+small (±2%) for predictable configurations, large (±12%) for
+configurations that trip the unwritten rules, reproducing the jagged
+curves of Fig. 4. The noise is a pure function of the configuration
+fingerprint, so every run of the harness reproduces identical numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .banking import ArrayProfile
+from .kernel import KernelSpec
+from .scheduling import Schedule, port_interval
+
+# -- calibration constants ---------------------------------------------------
+
+LUT_BASE_CONTROL = 1700         # FSM + AXI plumbing (≈ §2.1 initial design)
+LUT_PER_LOOP = 110              # counters / bound checks
+LUT_FP_MUL = 50                 # fp mul is mostly DSPs
+LUT_FP_ADD = 100
+LUT_FP_DIV = 800
+LUT_SPECIAL = 1200
+LUT_INT_MUL = 40
+LUT_INT_ADD = 25
+LUT_CMP = 18
+LUT_MUX_PER_INPUT_BIT = 0.32    # bank-select mux, per input per data bit
+LUT_ARBITER_PER_BIT = 0.2       # per extra simultaneous access per bit
+LUT_EPILOGUE_GUARD = 45         # per-PE bounds/disable logic (§2.1)
+LUT_UNEVEN_PER_BANK = 120       # leftover-element decode (§2.1)
+LUT_ADDR_ADAPTER = 26           # per-PE address adapter (views, offsets)
+
+FF_PER_PIPELINE_STAGE = 38      # per PE per stage
+FF_PER_LOOP = 64
+FF_ACCUMULATOR = 32
+
+DSP_FP_MUL = 3
+DSP_FP_ADD = 2
+DSP_FP_DIV = 0                  # divider is LUT-heavy, not DSP
+DSP_INT_MUL = 4
+DSP_SPECIAL = 6
+
+BRAM_BITS = 18 * 1024           # one BRAM18 tile
+LUTRAM_THRESHOLD_BITS = 1024    # small banks become distributed RAM
+
+NOISE_PREDICTABLE = 0.02
+NOISE_UNPREDICTABLE = 0.12
+
+
+@dataclass(frozen=True)
+class Resources:
+    luts: int
+    ffs: int
+    brams: int
+    dsps: int
+    lutmems: int
+
+
+def _noise(key: str, scale: float) -> float:
+    """Deterministic multiplicative jitter in [1-scale, 1+scale]."""
+    digest = hashlib.sha256(key.encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2**64    # [0, 1)
+    return 1.0 + scale * (2.0 * unit - 1.0)
+
+
+def estimate_resources(kernel: KernelSpec,
+                       profiles: dict[str, ArrayProfile],
+                       schedule: Schedule,
+                       noise_seed: str = "",
+                       noise: bool = True) -> Resources:
+    pes = kernel.processing_elements
+    ops = kernel.ops
+
+    # Functional units are shared across serialized issue slots.
+    slots = port_interval(profiles)
+    pe_instances = max(1, -(-pes // slots))
+
+    # -- LUTs ---------------------------------------------------------------
+    luts = LUT_BASE_CONTROL + LUT_PER_LOOP * len(kernel.loops)
+    pe_logic = (ops.fp_mul * LUT_FP_MUL + ops.fp_add * LUT_FP_ADD
+                + ops.fp_div * LUT_FP_DIV + ops.special * LUT_SPECIAL
+                + ops.int_mul * LUT_INT_MUL + ops.int_add * LUT_INT_ADD
+                + ops.cmp * LUT_CMP)
+    luts += pe_instances * pe_logic
+
+    unpredictable = False
+    for profile in profiles.values():
+        width = profile.array.width
+        if profile.mux_degree > 1:
+            # Every PE carries a mux over `mux_degree` banks (Fig. 3b).
+            luts += int(pes * profile.mux_degree
+                        * width * LUT_MUX_PER_INPUT_BIT)
+            if not profile.regular:
+                unpredictable = True
+        if profile.port_pressure > profile.array.ports:
+            # Arbitration among the conflicting accessors of each bank.
+            extra = profile.port_pressure - profile.array.ports
+            luts += int(profile.array.total_banks * extra
+                        * width * LUT_ARBITER_PER_BIT)
+            unpredictable = True
+        if profile.array.uneven:
+            luts += profile.array.total_banks * LUT_UNEVEN_PER_BANK
+            unpredictable = True
+    if schedule.epilogue_loops:
+        luts += schedule.epilogue_loops * pes * LUT_EPILOGUE_GUARD
+        unpredictable = True
+
+    # Address adapters: every non-zero-offset access costs an adder/PE.
+    adapters = sum(1 for access in kernel.accesses
+                   for index in access.indices
+                   if index.const != 0 or index.dynamic)
+    luts += adapters * pes * LUT_ADDR_ADAPTER
+
+    # -- FFs ------------------------------------------------------------------
+    ffs = (pe_instances * schedule.depth * FF_PER_PIPELINE_STAGE
+           + len(kernel.loops) * FF_PER_LOOP
+           + (pes * FF_ACCUMULATOR if kernel.has_reduction else 0))
+
+    # -- DSPs -----------------------------------------------------------------
+    dsps = pe_instances * (
+        ops.fp_mul * DSP_FP_MUL + ops.fp_add * DSP_FP_ADD
+        + ops.fp_div * DSP_FP_DIV + ops.int_mul * DSP_INT_MUL
+        + ops.special * DSP_SPECIAL)
+
+    # -- memories ---------------------------------------------------------------
+    brams = 0
+    lutmems = 0
+    for array in kernel.arrays:
+        bank_bits = array.bank_elements() * array.width
+        if bank_bits <= LUTRAM_THRESHOLD_BITS:
+            lutmems += array.total_banks * -(-bank_bits // 64)
+        else:
+            brams += array.total_banks * -(-bank_bits // BRAM_BITS)
+
+    # -- deterministic heuristic jitter --------------------------------------
+    if noise:
+        scale = NOISE_UNPREDICTABLE if unpredictable else NOISE_PREDICTABLE
+        key = noise_seed + kernel.config_key
+        luts = int(luts * _noise(key + ":lut", scale))
+        ffs = int(ffs * _noise(key + ":ff", scale))
+        dsps = int(dsps * _noise(key + ":dsp", scale / 4))
+    return Resources(luts=int(luts), ffs=int(ffs), brams=brams, dsps=dsps,
+                     lutmems=lutmems)

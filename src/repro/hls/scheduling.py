@@ -1,0 +1,102 @@
+"""Port-constrained scheduling model (the HLS middle-end's job).
+
+Latency in cycles for a perfect nest:
+
+    cycles ≈ iterations × II + pipeline_depth
+
+The effective initiation interval multiplies two constraints:
+
+* **port pressure** — a bank with ``ports`` ports serving ``p``
+  simultaneous accesses needs ``ceil(p / ports)`` issue slots; this is
+  the §2.1 effect where duplicated PEs get serialized onto single-ported
+  BRAMs ("the scheduling must serialize their execution");
+* **loop-carried reductions** — a floating-point accumulation chain
+  bounds the issue rate of each serialized slot.
+
+The two multiply (a serialized read slot still has to feed the
+accumulator), which reproduces the paper's flat Fig. 4a latency: with a
+single bank, ``iterations/u × (u × r)`` is constant in the unroll
+factor ``u``. ``REDUCTION_II`` is calibrated so the unparallelized §2.1
+design lands at the paper's 841 ms.
+
+Bank-indirection multiplexers add pipeline stages but, being pipelined,
+mostly cost area rather than throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .banking import ArrayProfile
+from .kernel import KernelSpec
+
+#: Effective issue interval of a loop-carried fp accumulation, per
+#: serialized slot. 512³ iterations × 1.57 / 250 MHz ≈ 841 ms — the
+#: paper's initial design.
+REDUCTION_II = 1.57
+
+#: Pipeline depth contributions.
+DEPTH_BASE = 4
+DEPTH_FP_MUL = 4
+DEPTH_FP_ADD = 5
+DEPTH_FP_DIV = 14
+DEPTH_SPECIAL = 16
+DEPTH_MUX = 1                  # bank-select mux stage
+DEPTH_CROSSBAR = 2             # full PE×bank crossbar stages
+
+
+@dataclass(frozen=True)
+class Schedule:
+    ii: float                  # effective initiation interval
+    depth: int                 # pipeline depth (fill latency)
+    iterations: int            # sequential iterations of the whole nest
+    epilogue_loops: int        # loops whose unroll does not divide trip
+    serialized: bool           # port conflicts forced extra issue slots
+
+    @property
+    def cycles(self) -> int:
+        return int(self.iterations * self.ii) + self.depth
+
+    def runtime_ms(self, clock_mhz: float) -> float:
+        return self.cycles / (clock_mhz * 1e3)
+
+
+def port_interval(profiles: dict[str, ArrayProfile]) -> int:
+    """Issue slots needed to satisfy the worst-pressured bank."""
+    slots = 1
+    for profile in profiles.values():
+        ports = profile.array.ports
+        slots = max(slots, -(-profile.port_pressure // ports))
+    return slots
+
+
+def schedule(kernel: KernelSpec,
+             profiles: dict[str, ArrayProfile]) -> Schedule:
+    natural_ii = REDUCTION_II if kernel.has_reduction else 1.0
+    slots = port_interval(profiles)
+    ii = natural_ii * slots
+
+    depth = DEPTH_BASE
+    ops = kernel.ops
+    if ops.fp_mul:
+        depth += DEPTH_FP_MUL
+    if ops.fp_add:
+        depth += DEPTH_FP_ADD
+    if ops.fp_div:
+        depth += DEPTH_FP_DIV
+    if ops.special:
+        depth += DEPTH_SPECIAL
+    for profile in profiles.values():
+        if profile.crossbar:
+            depth += DEPTH_CROSSBAR
+        elif profile.mux_degree > 1:
+            depth += DEPTH_MUX
+
+    epilogue_loops = sum(1 for loop in kernel.loops if loop.has_epilogue)
+
+    return Schedule(
+        ii=ii,
+        depth=depth,
+        iterations=kernel.iterations,
+        epilogue_loops=epilogue_loops,
+        serialized=slots > 1)

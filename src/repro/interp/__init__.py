@@ -1,0 +1,6 @@
+"""Reference interpreter for Dahlia programs (desugar + checked
+big-step Filament semantics)."""
+
+from .interpreter import InterpResult, interpret, interpret_program
+
+__all__ = ["InterpResult", "interpret", "interpret_program"]

@@ -1,0 +1,101 @@
+"""Executable reference semantics for Dahlia.
+
+Pipeline: parse → (optionally) type-check → desugar to Filament →
+run the checked big-step semantics → gather banked memories back into
+NumPy arrays.
+
+Because the big-step semantics is *checked* (it raises
+:class:`~repro.errors.StuckError` on bank conflicts), this interpreter
+doubles as a dynamic verifier: a program accepted by the type checker
+must run to completion on every input — the end-to-end soundness
+property our test-suite exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InterpError
+from ..filament.bigstep import Store, run
+from ..filament.desugar import MemLayout, desugar
+from ..frontend import ast
+from ..frontend.parser import parse
+from ..types.checker import check_program
+
+
+@dataclass
+class InterpResult:
+    """Final memory contents plus the raw Filament store."""
+
+    memories: dict[str, np.ndarray]
+    store: Store
+    layouts: dict[str, MemLayout]
+
+    def scalar(self, name: str):
+        """Final value of a top-level scalar variable, if it survived
+        desugaring under its own name."""
+        return self.store.vars.get(name)
+
+
+def _scatter(layout: MemLayout, array: np.ndarray) -> dict[str, list]:
+    """Distribute a logical array into its round-robin banks."""
+    sizes = [size for size, _ in layout.dims]
+    if list(array.shape) != sizes:
+        raise InterpError(
+            f"memory {layout.name!r}: expected shape {sizes}, got "
+            f"{list(array.shape)}")
+    banks: dict[str, list] = {
+        layout.bank_name(b): [layout.zero()] * layout.bank_size
+        for b in range(layout.total_banks)
+    }
+    for index in np.ndindex(*sizes):
+        flat_bank, offset = layout.place(tuple(int(i) for i in index))
+        banks[layout.bank_name(flat_bank)][offset] = array[index].item()
+    return banks
+
+
+def _gather(layout: MemLayout, store: Store) -> np.ndarray:
+    sizes = [size for size, _ in layout.dims]
+    dtype = float if layout.element in ("float", "double") else int
+    if layout.element == "bool":
+        dtype = bool
+    array = np.zeros(sizes, dtype=dtype)
+    for index in np.ndindex(*sizes):
+        flat_bank, offset = layout.place(tuple(int(i) for i in index))
+        array[index] = store.mems[layout.bank_name(flat_bank)][offset]
+    return array
+
+
+def interpret_program(program: ast.Program,
+                      memories: dict[str, np.ndarray] | None = None,
+                      check: bool = True) -> InterpResult:
+    """Run a parsed program; see :func:`interpret`."""
+    if check:
+        check_program(program)
+    filament = desugar(program)
+    layouts: dict[str, MemLayout] = filament.meta["layouts"]  # type: ignore
+
+    initial: dict[str, list] = {}
+    for name, array in (memories or {}).items():
+        if name not in layouts:
+            raise InterpError(f"no memory named {name!r} in the program")
+        initial.update(_scatter(layouts[name], np.asarray(array)))
+
+    store = run(filament, memories=initial)
+    final = {name: _gather(layout, store)
+             for name, layout in layouts.items()}
+    return InterpResult(final, store, layouts)
+
+
+def interpret(source: str,
+              memories: dict[str, np.ndarray] | None = None,
+              check: bool = True) -> InterpResult:
+    """Parse, check, and run Dahlia source text.
+
+    ``memories`` provides initial contents for ``decl``/``let`` memories
+    by name; unspecified memories start zeroed. Returns the final
+    contents of every memory as NumPy arrays.
+    """
+    return interpret_program(parse(source), memories, check)

@@ -1,0 +1,70 @@
+"""One-call drive of the RTL pipeline on Dahlia source.
+
+Mirrors :func:`repro.interpret`: scatter logical input arrays into their
+round-robin banks, lower, simulate, and gather the banks back into
+NumPy arrays — so a test can compare interpreter and RTL results with
+one call each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InterpError
+from ..filament.desugar import MemLayout
+from .ir import RTLModule
+from .lower import lower_source
+from .simulator import SimResult, simulate
+
+
+@dataclass
+class RTLRun:
+    """A lowered module together with its simulation outcome."""
+
+    module: RTLModule
+    result: SimResult
+    memories: dict[str, np.ndarray]
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def states(self) -> int:
+        return len(self.module.states)
+
+
+def _scatter(layout: MemLayout, array: np.ndarray) -> dict[str, list]:
+    sizes = [size for size, _ in layout.dims]
+    if list(array.shape) != sizes:
+        raise InterpError(
+            f"memory {layout.name!r}: expected shape {sizes}, got "
+            f"{list(array.shape)}")
+    banks: dict[str, list] = {
+        layout.bank_name(b): [layout.zero()] * layout.bank_size
+        for b in range(layout.total_banks)
+    }
+    for index in np.ndindex(*sizes):
+        bank, offset = layout.place(tuple(int(i) for i in index))
+        banks[layout.bank_name(bank)][offset] = array[index].item()
+    return banks
+
+
+def run_source(source: str,
+               memories: dict[str, np.ndarray] | None = None,
+               check: bool = True,
+               max_cycles: int = 2_000_000) -> RTLRun:
+    """Lower Dahlia source to RTL, simulate, and gather the memories."""
+    module = lower_source(source, check=check)
+    layouts: dict[str, MemLayout] = module.meta["layouts"]  # type: ignore
+
+    initial: dict[str, list] = {}
+    for name, array in (memories or {}).items():
+        if name not in layouts:
+            raise InterpError(f"no memory named {name!r} in the program")
+        initial.update(_scatter(layouts[name], np.asarray(array)))
+
+    result = simulate(module, memories=initial, max_cycles=max_cycles)
+    return RTLRun(module, result, result.gathered(layouts))

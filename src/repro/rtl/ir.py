@@ -1,0 +1,341 @@
+"""Register-transfer-level intermediate representation.
+
+The paper's §6 ("Direct RTL generation") proposes that future Dahlia
+compilers skip HLS and emit hardware directly, relying on the simpler,
+type-checked input language to avoid HLS unpredictability. This package
+implements that future-work backend: a type-checked Dahlia program is
+lowered (via its Filament desugaring) to an *FSM-with-datapath* netlist,
+which can be
+
+* simulated cycle-by-cycle (:mod:`repro.rtl.simulator`) — used by the
+  test-suite for differential testing against the reference interpreter;
+* emitted as Verilog text (:mod:`repro.rtl.verilog`);
+* costed structurally (:mod:`repro.rtl.resources`) without any HLS
+  heuristics in the loop.
+
+The IR mirrors what HLS backends call an FSMD: a module owns
+
+* **memories** — one per Filament memory (i.e. one per Dahlia *bank*),
+  each with a fixed element count and a per-cycle port budget;
+* **registers** — one per Filament variable, committed at clock edges;
+* **states** — each holds a dependency-ordered list of datapath
+  :class:`Action`\\ s executed in one clock cycle, and a :class:`Next`
+  transition. Wires live within a single state (single static
+  assignment); values that cross a state boundary live in registers —
+  exactly the paper's §3.2 "local variables as wires & registers" story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RTLError
+
+# ---------------------------------------------------------------------------
+# Datapath expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RExpr:
+    """A combinational expression over wires, registers, and constants."""
+
+
+@dataclass(frozen=True)
+class RConst(RExpr):
+    value: int | float | bool
+
+
+@dataclass(frozen=True)
+class RRef(RExpr):
+    """Reference to a wire (same state) or a register (earlier cycle)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ROp(RExpr):
+    """A binary/unary operator node; one functional unit instance."""
+
+    op: str                        # + - * / % < > <= >= == != && || !
+    operands: tuple[RExpr, ...]
+
+
+@dataclass(frozen=True)
+class RCall(RExpr):
+    """A special function unit (sqrt, exp, …)."""
+
+    func: str
+    operands: tuple[RExpr, ...]
+
+
+def expr_refs(expr: RExpr) -> set[str]:
+    """Every wire/register name referenced under ``expr``."""
+    if isinstance(expr, RRef):
+        return {expr.name}
+    if isinstance(expr, (ROp, RCall)):
+        refs: set[str] = set()
+        for operand in expr.operands:
+            refs |= expr_refs(operand)
+        return refs
+    return set()
+
+
+def expr_ops(expr: RExpr) -> list[str]:
+    """Every operator symbol under ``expr`` (one per functional unit)."""
+    if isinstance(expr, ROp):
+        ops = [expr.op]
+        for operand in expr.operands:
+            ops.extend(expr_ops(operand))
+        return ops
+    if isinstance(expr, RCall):
+        ops = [f"call:{expr.func}"]
+        for operand in expr.operands:
+            ops.extend(expr_ops(operand))
+        return ops
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Datapath actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Action:
+    """One datapath operation inside a state (executes in that cycle)."""
+
+
+@dataclass(frozen=True)
+class ARead(Action):
+    """``dst ← mem[index]`` — uses one of the memory's ports this cycle."""
+
+    dst: str
+    mem: str
+    index: RExpr
+
+
+@dataclass(frozen=True)
+class AComp(Action):
+    """``dst ← expr`` — a named combinational net."""
+
+    dst: str
+    expr: RExpr
+
+
+@dataclass(frozen=True)
+class ARegWrite(Action):
+    """``reg ⇐ expr`` — commits at the end of the cycle (non-blocking)."""
+
+    reg: str
+    expr: RExpr
+
+
+@dataclass(frozen=True)
+class AMemWrite(Action):
+    """``mem[index] ⇐ value`` — commits at the end of the cycle; uses one
+    of the memory's ports."""
+
+    mem: str
+    index: RExpr
+    value: RExpr
+
+
+# ---------------------------------------------------------------------------
+# Control transitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Next:
+    """Base class for a state's next-state function (mutable: lowering
+    patches transition targets as it stitches fragments together)."""
+
+
+#: Placeholder target used by the lowering before patching.
+UNLINKED = -1
+
+
+@dataclass
+class NGoto(Next):
+    target: int = UNLINKED
+
+
+@dataclass
+class NBranch(Next):
+    """Two-way branch on a register/wire value."""
+
+    cond: RExpr
+    then_target: int = UNLINKED
+    else_target: int = UNLINKED
+
+
+@dataclass
+class NHalt(Next):
+    """Terminal state: raise ``done``."""
+
+
+# ---------------------------------------------------------------------------
+# Module structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RState:
+    """One FSM state = one clock cycle's worth of datapath."""
+
+    index: int
+    actions: list[Action] = field(default_factory=list)
+    next: Next = field(default_factory=NGoto)
+    comment: str = ""
+
+    @property
+    def mem_accesses(self) -> list[tuple[str, str]]:
+        """(kind, memory) pairs for port accounting."""
+        uses = []
+        for action in self.actions:
+            if isinstance(action, ARead):
+                uses.append(("read", action.mem))
+            elif isinstance(action, AMemWrite):
+                uses.append(("write", action.mem))
+        return uses
+
+
+@dataclass(frozen=True)
+class RTLMemory:
+    """A physical memory bank (maps 1:1 to a Filament memory)."""
+
+    name: str
+    size: int
+    ports: int = 1
+    width: int = 32
+    is_float: bool = False
+
+
+@dataclass(frozen=True)
+class RTLRegister:
+    name: str
+    width: int = 32
+    is_float: bool = False
+    is_bool: bool = False
+
+
+@dataclass
+class RTLModule:
+    """An FSMD netlist: memories + registers + a state machine."""
+
+    name: str
+    memories: dict[str, RTLMemory] = field(default_factory=dict)
+    registers: dict[str, RTLRegister] = field(default_factory=dict)
+    states: list[RState] = field(default_factory=list)
+    entry: int = 0
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def new_state(self, comment: str = "") -> RState:
+        state = RState(index=len(self.states), comment=comment)
+        self.states.append(state)
+        return state
+
+    @property
+    def wires(self) -> dict[int, list[str]]:
+        """Wire names defined per state (ARead/AComp destinations)."""
+        defined: dict[int, list[str]] = {}
+        for state in self.states:
+            names = [action.dst for action in state.actions
+                     if isinstance(action, (ARead, AComp))]
+            defined[state.index] = names
+        return defined
+
+    def halt_states(self) -> list[int]:
+        return [s.index for s in self.states if isinstance(s.next, NHalt)]
+
+
+# ---------------------------------------------------------------------------
+# Structural validation
+# ---------------------------------------------------------------------------
+
+
+def validate(module: RTLModule) -> None:
+    """Check the IR's structural invariants; raise :class:`RTLError`.
+
+    * every transition targets an existing state (nothing unlinked);
+    * within a state, wires are defined exactly once and only *before*
+      use (single static assignment in dependency order);
+    * expressions reference only wires of the same state or declared
+      registers;
+    * register writes target declared registers, memory accesses target
+      declared memories with in-range static indices;
+    * at most one register write per register per state (last-write-wins
+      would be a lowering bug, not hardware).
+    """
+    n = len(module.states)
+    if not 0 <= module.entry < n:
+        raise RTLError(f"entry state {module.entry} out of range")
+    if not module.halt_states():
+        raise RTLError("module has no halt state")
+    for state in module.states:
+        _validate_state(module, state, n)
+
+
+def _validate_state(module: RTLModule, state: RState, n: int) -> None:
+    where = f"state {state.index}"
+    defined: set[str] = set()
+    written_regs: set[str] = set()
+
+    def check_expr(expr: RExpr) -> None:
+        for name in expr_refs(expr):
+            if name in defined:
+                continue
+            if name in module.registers:
+                continue
+            raise RTLError(f"{where}: reference to undefined net {name!r}")
+
+    for action in state.actions:
+        if isinstance(action, (ARead, AComp)):
+            if action.dst in defined:
+                raise RTLError(
+                    f"{where}: wire {action.dst!r} defined twice")
+            if action.dst in module.registers:
+                raise RTLError(
+                    f"{where}: wire {action.dst!r} shadows a register")
+            if isinstance(action, ARead):
+                if action.mem not in module.memories:
+                    raise RTLError(
+                        f"{where}: read of unknown memory {action.mem!r}")
+                check_expr(action.index)
+            else:
+                check_expr(action.expr)
+            defined.add(action.dst)
+        elif isinstance(action, ARegWrite):
+            if action.reg not in module.registers:
+                raise RTLError(
+                    f"{where}: write to unknown register {action.reg!r}")
+            if action.reg in written_regs:
+                raise RTLError(
+                    f"{where}: register {action.reg!r} written twice")
+            check_expr(action.expr)
+            written_regs.add(action.reg)
+        elif isinstance(action, AMemWrite):
+            if action.mem not in module.memories:
+                raise RTLError(
+                    f"{where}: write to unknown memory {action.mem!r}")
+            check_expr(action.index)
+            check_expr(action.value)
+        else:
+            raise RTLError(f"{where}: unknown action {action!r}")
+
+    nxt = state.next
+    if isinstance(nxt, NGoto):
+        targets = [nxt.target]
+    elif isinstance(nxt, NBranch):
+        check_expr(nxt.cond)
+        targets = [nxt.then_target, nxt.else_target]
+    elif isinstance(nxt, NHalt):
+        targets = []
+    else:
+        raise RTLError(f"{where}: unknown transition {nxt!r}")
+    for target in targets:
+        if target == UNLINKED:
+            raise RTLError(f"{where}: unlinked transition")
+        if not 0 <= target < n:
+            raise RTLError(f"{where}: transition to missing state {target}")

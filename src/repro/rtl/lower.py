@@ -1,0 +1,348 @@
+"""Lowering Filament programs to the RTL IR.
+
+The pipeline realizes §6's "Direct RTL generation" future work on top of
+the existing frontend: Dahlia source is parsed, *type-checked* (only
+checker-accepted programs reach hardware), desugared to Filament —
+which resolves banking, views, and unrolling into flat memories and
+lockstep-parallel time steps — and then translated here into an FSMD.
+
+The translation is structured around the paper's notion of **logical
+time**:
+
+* a maximal *unordered* region of primitive commands becomes **one FSM
+  state** (one clock cycle): its lets/assigns become wires, its reads
+  and writes become memory-port operations of that cycle;
+* *ordered* composition (``---``) sequences states — each ``---`` is a
+  clock edge, which is exactly where consumed affine resources are
+  restored;
+* ``if``/``while`` become branch states testing a condition register.
+
+Within a state, Filament's left-to-right store threading is compiled by
+SSA-style *wire forwarding*: each write to a variable defines a fresh
+wire, later uses in the same cycle read that wire (chained combinational
+logic), and the variable's register commits the final version at the
+clock edge. Variables never written in the state are read from their
+registers. This is the hardware content of §3.2's "local variables as
+wires & registers".
+
+Unordered composition of two *multi-state* fragments (e.g. two
+sequential loops composed with ``;``) is serialized. This is always
+sound — unordered composition promises conflict-freedom under any
+interleaving — but spends more cycles than a forked FSM would; the
+lowering records how often it happened in ``module.meta["serialized"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RTLError
+from ..filament.desugar import desugar
+from ..filament.syntax import (
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ECall,
+    ERead,
+    EVal,
+    EVar,
+    FCmd,
+    FExpr,
+    FProgram,
+    TBool,
+    TFloat,
+    TMem,
+)
+from ..frontend import ast
+from ..frontend.parser import parse
+from ..types.checker import check_program
+from .ir import (
+    AComp,
+    AMemWrite,
+    ARead,
+    ARegWrite,
+    NBranch,
+    NGoto,
+    NHalt,
+    RCall,
+    RConst,
+    RExpr,
+    ROp,
+    RRef,
+    RState,
+    RTLMemory,
+    RTLModule,
+    RTLRegister,
+    UNLINKED,
+)
+
+# ---------------------------------------------------------------------------
+# Register type inference
+# ---------------------------------------------------------------------------
+
+_FLOAT, _INT, _BOOL = "float", "int", "bool"
+
+
+def _infer_types(program: FProgram) -> dict[str, str]:
+    """Map every Filament variable to float/int/bool.
+
+    Desugaring alpha-renames binders to fresh names, so one pass with a
+    single global environment suffices; a re-executed ``let`` (inside a
+    while body) always re-binds at the same type.
+    """
+    env: dict[str, str] = {}
+    mems = program.memories
+
+    def expr_type(expr: FExpr) -> str:
+        if isinstance(expr, EVal):
+            if isinstance(expr.value, bool):
+                return _BOOL
+            if isinstance(expr.value, float):
+                return _FLOAT
+            return _INT
+        if isinstance(expr, EVar):
+            return env.get(expr.name, _INT)
+        if isinstance(expr, EBinOp):
+            lhs = expr_type(expr.lhs)
+            rhs = expr_type(expr.rhs)
+            if expr.op in ("<", ">", "<=", ">=", "==", "!=", "&&", "||"):
+                return _BOOL
+            if _FLOAT in (lhs, rhs):
+                return _FLOAT
+            return _INT
+        if isinstance(expr, ERead):
+            element = mems[expr.mem].element if expr.mem in mems else None
+            return _FLOAT if isinstance(element, TFloat) else _INT
+        if isinstance(expr, ECall):
+            return _FLOAT
+        return _INT
+
+    def walk(cmd: FCmd) -> None:
+        if isinstance(cmd, (CLet, CAssign)):
+            ty = expr_type(cmd.expr)
+            prior = env.get(cmd.var)
+            if prior is None or (prior == _INT and ty == _FLOAT):
+                env[cmd.var] = ty
+        elif isinstance(cmd, (CUnordered, COrdered)):
+            walk(cmd.first)
+            walk(cmd.second)
+        elif isinstance(cmd, CIf):
+            walk(cmd.then_branch)
+            walk(cmd.else_branch)
+        elif isinstance(cmd, CWhile):
+            walk(cmd.body)
+            walk(cmd.body)          # second pass: fixpoint for widening
+
+    walk(program.command)
+    return env
+
+
+# ---------------------------------------------------------------------------
+# CFG fragments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Patch:
+    """An unresolved transition: (state, slot) to point at a successor."""
+
+    state: int
+    slot: str                       # "goto" | "then" | "else"
+
+
+@dataclass
+class _Fragment:
+    entry: int
+    exits: list[_Patch] = field(default_factory=list)
+
+
+class _Lowerer:
+    def __init__(self, program: FProgram, name: str) -> None:
+        self.program = program
+        self.module = RTLModule(name=name)
+        self.var_types = _infer_types(program)
+        self.serialized = 0
+        self._wire_counter = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def fresh_wire(self, hint: str) -> str:
+        self._wire_counter += 1
+        return f"{hint}${self._wire_counter}"
+
+    def link(self, exits: list[_Patch], target: int) -> None:
+        for patch in exits:
+            nxt = self.module.states[patch.state].next
+            if patch.slot == "goto":
+                assert isinstance(nxt, NGoto)
+                nxt.target = target
+            elif patch.slot == "then":
+                assert isinstance(nxt, NBranch)
+                nxt.then_target = target
+            else:
+                assert isinstance(nxt, NBranch)
+                nxt.else_target = target
+
+    # -- one state from a straight-line unordered region ------------------
+
+    @staticmethod
+    def straightline(cmd: FCmd) -> list[FCmd] | None:
+        """Flatten a tree of CUnordered over primitives, or ``None``."""
+        if isinstance(cmd, (CSkip, CExpr, CLet, CAssign, CWrite)):
+            return [cmd]
+        if isinstance(cmd, CUnordered):
+            first = _Lowerer.straightline(cmd.first)
+            if first is None:
+                return None
+            second = _Lowerer.straightline(cmd.second)
+            if second is None:
+                return None
+            return first + second
+        return None
+
+    def build_state(self, prims: list[FCmd], comment: str) -> RState:
+        state = self.module.new_state(comment)
+        versions: dict[str, str] = {}
+
+        def xlate(expr: FExpr) -> RExpr:
+            if isinstance(expr, EVal):
+                return RConst(expr.value)
+            if isinstance(expr, EVar):
+                return RRef(versions.get(expr.name, expr.name))
+            if isinstance(expr, EBinOp):
+                return ROp(expr.op, (xlate(expr.lhs), xlate(expr.rhs)))
+            if isinstance(expr, ERead):
+                index = xlate(expr.index)
+                wire = self.fresh_wire(f"{expr.mem}.r")
+                state.actions.append(ARead(wire, expr.mem, index))
+                return RRef(wire)
+            if isinstance(expr, ECall):
+                return RCall(expr.func, tuple(xlate(a) for a in expr.args))
+            raise RTLError(f"cannot lower expression {expr!r}")
+
+        for prim in prims:
+            if isinstance(prim, CSkip):
+                continue
+            if isinstance(prim, (CLet, CAssign)):
+                value = xlate(prim.expr)
+                wire = self.fresh_wire(prim.var)
+                state.actions.append(AComp(wire, value))
+                versions[prim.var] = wire
+            elif isinstance(prim, CWrite):
+                index = xlate(prim.index)
+                value = xlate(prim.value)
+                state.actions.append(AMemWrite(prim.mem, index, value))
+            elif isinstance(prim, CExpr):
+                value = xlate(prim.expr)
+                state.actions.append(AComp(self.fresh_wire("void"), value))
+            else:                               # pragma: no cover
+                raise RTLError(f"not a straight-line command: {prim!r}")
+
+        for var, wire in versions.items():
+            state.actions.append(ARegWrite(var, RRef(wire)))
+        return state
+
+    # -- command lowering ---------------------------------------------------
+
+    def lower_cmd(self, cmd: FCmd) -> _Fragment:
+        prims = self.straightline(cmd)
+        if prims is not None:
+            state = self.build_state(prims, comment="step")
+            return _Fragment(state.index, [_Patch(state.index, "goto")])
+
+        if isinstance(cmd, (CUnordered, COrdered)):
+            # Ordered composition is a clock edge by definition; a
+            # non-straight-line unordered composition is serialized.
+            if isinstance(cmd, CUnordered):
+                self.serialized += 1
+            first = self.lower_cmd(cmd.first)
+            second = self.lower_cmd(cmd.second)
+            self.link(first.exits, second.entry)
+            return _Fragment(first.entry, second.exits)
+
+        if isinstance(cmd, CIf):
+            decision = self.module.new_state(f"if {cmd.cond}")
+            decision.next = NBranch(RRef(cmd.cond), UNLINKED, UNLINKED)
+            exits: list[_Patch] = []
+            for slot, branch in (("then", cmd.then_branch),
+                                 ("else", cmd.else_branch)):
+                if isinstance(branch, CSkip):
+                    exits.append(_Patch(decision.index, slot))
+                    continue
+                frag = self.lower_cmd(branch)
+                self.link([_Patch(decision.index, slot)], frag.entry)
+                exits.extend(frag.exits)
+            return _Fragment(decision.index, exits)
+
+        if isinstance(cmd, CWhile):
+            decision = self.module.new_state(f"while {cmd.cond}")
+            decision.next = NBranch(RRef(cmd.cond), UNLINKED, UNLINKED)
+            body = self.lower_cmd(cmd.body)
+            self.link([_Patch(decision.index, "then")], body.entry)
+            self.link(body.exits, decision.index)
+            return _Fragment(decision.index, [_Patch(decision.index, "else")])
+
+        raise RTLError(f"cannot lower command {type(cmd).__name__}")
+
+    # -- program lowering ------------------------------------------------------
+
+    def lower(self) -> RTLModule:
+        for name, mem_ty in self.program.memories.items():
+            assert isinstance(mem_ty, TMem)
+            self.module.memories[name] = RTLMemory(
+                name=name,
+                size=mem_ty.size,
+                ports=getattr(mem_ty, "ports", 1),
+                is_float=isinstance(mem_ty.element, TFloat),
+            )
+        for var, ty in self.var_types.items():
+            self.module.registers[var] = RTLRegister(
+                name=var,
+                width=1 if ty == _BOOL else 32,
+                is_float=ty == _FLOAT,
+                is_bool=ty == _BOOL,
+            )
+
+        body = self.lower_cmd(self.program.command)
+        halt = self.module.new_state("done")
+        halt.next = NHalt()
+        self.link(body.exits, halt.index)
+        self.module.entry = body.entry
+        self.module.meta["serialized"] = self.serialized
+        self.module.meta["layouts"] = self.program.meta.get("layouts", {})
+        return self.module
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def lower_filament(program: FProgram, name: str = "main") -> RTLModule:
+    """Lower an already-desugared Filament program."""
+    return _Lowerer(program, name).lower()
+
+
+def lower_program(program: ast.Program, name: str = "main",
+                  check: bool = True) -> RTLModule:
+    """Type-check, desugar, and lower a parsed Dahlia program.
+
+    With ``check=True`` (the default) only checker-accepted programs are
+    lowered — the RTL backend inherits the predictability guarantee.
+    """
+    if check:
+        check_program(program)
+    return lower_filament(desugar(program), name)
+
+
+def lower_source(source: str, name: str = "main",
+                 check: bool = True) -> RTLModule:
+    """Parse, check, and lower Dahlia source text to an RTL module."""
+    return lower_program(parse(source), name, check=check)

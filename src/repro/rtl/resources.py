@@ -1,0 +1,173 @@
+"""Structural resource accounting over the RTL netlist.
+
+A core argument of the paper's §6 is that a direct RTL backend makes
+cost *manifest*: area is a structural property of the emitted netlist,
+not the output of a black-box heuristic. This module walks the
+:class:`~repro.rtl.ir.RTLModule` and counts hardware: functional units
+per state (the binder shares units across states, so module-level
+counts take the per-state maximum), register bits, memory bits, and
+FSM/mux overhead. LUT/FF/DSP proxies use the same calibration constants
+as the HLS estimator (:mod:`repro.hls.resources`), so the two backends'
+numbers are directly comparable — which is exactly what the
+``bench_rtl_backend`` ablation does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..hls.resources import (
+    BRAM_BITS,
+    DSP_FP_ADD,
+    DSP_FP_MUL,
+    DSP_INT_MUL,
+    DSP_SPECIAL,
+    LUT_CMP,
+    LUT_FP_ADD,
+    LUT_FP_DIV,
+    LUT_FP_MUL,
+    LUT_INT_ADD,
+    LUT_INT_MUL,
+    LUTRAM_THRESHOLD_BITS,
+    LUT_SPECIAL,
+)
+from .ir import (
+    AComp,
+    AMemWrite,
+    ARead,
+    ARegWrite,
+    NBranch,
+    RTLModule,
+    expr_ops,
+)
+
+#: LUTs per FSM state (one-hot decode + next-state logic).
+LUT_PER_STATE = 6
+#: LUTs per 32-bit 2:1 mux (branch multiplexing of register inputs).
+LUT_PER_BRANCH = 18
+#: LUTs per memory address/write port (decode + enables).
+LUT_PER_MEM_PORT = 12
+
+_ARITH = {"+", "-", "*", "/", "%"}
+_CMP = {"<", ">", "<=", ">=", "==", "!=", "&&", "||", "!"}
+
+
+@dataclass(frozen=True)
+class NetlistReport:
+    """Structural counts plus LUT/FF/DSP/BRAM proxies."""
+
+    states: int
+    registers: int
+    register_bits: int
+    wires: int
+    memory_bits: int
+    #: functional units after cross-state sharing, keyed by op class
+    units: dict[str, int]
+    luts: int
+    ffs: int
+    dsps: int
+    brams: int
+    lutmems: int
+
+
+def _classify(op: str, is_float: bool) -> str:
+    if op.startswith("call:"):
+        return "special"
+    if op in _CMP:
+        return "cmp"
+    if op == "*":
+        return "fp_mul" if is_float else "int_mul"
+    if op == "/":
+        return "fp_div" if is_float else "int_mul"
+    if op in _ARITH:
+        return "fp_add" if is_float else "int_add"
+    return "cmp"
+
+
+def _float_module(module: RTLModule) -> bool:
+    """Treat the datapath as floating-point if any memory or register
+    is — a coarse, conservative classification for unit costing."""
+    if any(mem.is_float for mem in module.memories.values()):
+        return True
+    return any(reg.is_float for reg in module.registers.values())
+
+
+def analyze(module: RTLModule) -> NetlistReport:
+    """Count the structural resources of a lowered module."""
+    is_float = _float_module(module)
+
+    # Functional units: per-state demand, shared across states (a unit
+    # idle in one state is reused in another — standard FSMD binding).
+    shared: Counter[str] = Counter()
+    wires = 0
+    branches = 0
+    mem_port_uses = 0
+    for state in module.states:
+        demand: Counter[str] = Counter()
+        for action in state.actions:
+            if isinstance(action, (AComp,)):
+                wires += 1
+                for op in expr_ops(action.expr):
+                    demand[_classify(op, is_float)] += 1
+            elif isinstance(action, ARead):
+                wires += 1
+                mem_port_uses += 1
+                for op in expr_ops(action.index):
+                    demand[_classify(op, False)] += 1
+            elif isinstance(action, ARegWrite):
+                for op in expr_ops(action.expr):
+                    demand[_classify(op, is_float)] += 1
+            elif isinstance(action, AMemWrite):
+                mem_port_uses += 1
+                for op in expr_ops(action.index):
+                    demand[_classify(op, False)] += 1
+                for op in expr_ops(action.value):
+                    demand[_classify(op, is_float)] += 1
+        if isinstance(state.next, NBranch):
+            branches += 1
+        for kind, count in demand.items():
+            shared[kind] = max(shared[kind], count)
+
+    register_bits = sum(reg.width for reg in module.registers.values())
+    memory_bits = sum(mem.size * mem.width
+                      for mem in module.memories.values())
+
+    luts = (len(module.states) * LUT_PER_STATE
+            + branches * LUT_PER_BRANCH
+            + mem_port_uses * LUT_PER_MEM_PORT
+            + shared["fp_mul"] * LUT_FP_MUL
+            + shared["fp_add"] * LUT_FP_ADD
+            + shared["fp_div"] * LUT_FP_DIV
+            + shared["int_mul"] * LUT_INT_MUL
+            + shared["int_add"] * LUT_INT_ADD
+            + shared["cmp"] * LUT_CMP
+            + shared["special"] * LUT_SPECIAL)
+    dsps = (shared["fp_mul"] * DSP_FP_MUL
+            + shared["fp_add"] * DSP_FP_ADD
+            + shared["int_mul"] * DSP_INT_MUL
+            + shared["special"] * DSP_SPECIAL)
+    ffs = register_bits + max(1, (len(module.states) - 1).bit_length())
+
+    brams = 0
+    lutmems = 0
+    for mem in module.memories.values():
+        bank_bits = mem.size * mem.width
+        if bank_bits <= LUTRAM_THRESHOLD_BITS:
+            lutmems += -(-bank_bits // 64)
+        else:
+            brams += -(-bank_bits // BRAM_BITS)
+
+    return NetlistReport(
+        states=len(module.states),
+        registers=len(module.registers),
+        register_bits=register_bits,
+        wires=wires,
+        memory_bits=memory_bits,
+        units=dict(shared),
+        luts=luts,
+        ffs=ffs,
+        dsps=dsps,
+        brams=brams,
+        lutmems=lutmems,
+    )

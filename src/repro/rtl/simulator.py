@@ -1,0 +1,320 @@
+"""Cycle-accurate simulation of the RTL IR.
+
+The simulator is the semantic ground truth for the RTL backend: each
+FSM state executes in one cycle — combinational actions evaluate in
+dependency order, register and memory writes commit at the clock edge —
+and a per-cycle port counter enforces every memory's physical port
+budget, raising :class:`~repro.errors.PortConflictError` on violation.
+
+Because the lowering only packs one logical time step into a state, a
+checker-accepted Dahlia program can never trip the port counter; the
+differential tests run every corpus program through both this simulator
+and the reference interpreter and require identical final memories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InterpError, PortConflictError, RTLError
+from .ir import (
+    AComp,
+    AMemWrite,
+    ARead,
+    ARegWrite,
+    NBranch,
+    NGoto,
+    NHalt,
+    RCall,
+    RConst,
+    RExpr,
+    ROp,
+    RRef,
+    RTLModule,
+)
+
+_CALLS = {
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "floor": math.floor,
+    "min": min,
+    "max": max,
+}
+
+
+def _apply(op: str, args: list) -> int | float | bool:
+    if op == "+":
+        return args[0] + args[1]
+    if op == "-":
+        return args[0] - args[1] if len(args) == 2 else -args[0]
+    if op == "*":
+        return args[0] * args[1]
+    if op == "/":
+        if args[1] == 0:
+            raise InterpError("division by zero in RTL simulation")
+        if isinstance(args[0], int) and isinstance(args[1], int):
+            return int(args[0] / args[1])
+        return args[0] / args[1]
+    if op == "%":
+        if args[1] == 0:
+            raise InterpError("modulo by zero in RTL simulation")
+        return int(args[0] - args[1] * int(args[0] / args[1]))
+    if op == "<":
+        return args[0] < args[1]
+    if op == ">":
+        return args[0] > args[1]
+    if op == "<=":
+        return args[0] <= args[1]
+    if op == ">=":
+        return args[0] >= args[1]
+    if op == "==":
+        return args[0] == args[1]
+    if op == "!=":
+        return args[0] != args[1]
+    if op == "&&":
+        return bool(args[0]) and bool(args[1])
+    if op == "||":
+        return bool(args[0]) or bool(args[1])
+    if op == "!":
+        return not args[0]
+    raise RTLError(f"unknown operator {op!r}")
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation run."""
+
+    memories: dict[str, list]            # final contents per bank
+    registers: dict[str, int | float | bool]
+    cycles: int
+    #: Peak simultaneous accesses observed per memory (≤ its ports).
+    peak_port_use: dict[str, int] = field(default_factory=dict)
+    #: Cycles spent in each state (index-aligned with module.states).
+    state_visits: list[int] = field(default_factory=list)
+    #: Same-cell conflicts found when race checking was enabled (§3.3).
+    races: list["RaceReport"] = field(default_factory=list)
+
+    def gathered(self, layouts) -> dict[str, np.ndarray]:
+        """Reassemble banked memories into logical NumPy arrays using
+        the desugarer's layouts (``module.meta["layouts"]``)."""
+        arrays: dict[str, np.ndarray] = {}
+        for name, layout in layouts.items():
+            sizes = [size for size, _ in layout.dims]
+            dtype = float if layout.element in ("float", "double") else int
+            if layout.element == "bool":
+                dtype = bool
+            out = np.zeros(sizes, dtype=dtype)
+            for index in np.ndindex(*sizes):
+                bank, offset = layout.place(tuple(int(i) for i in index))
+                out[index] = self.memories[layout.bank_name(bank)][offset]
+            arrays[name] = out
+        return arrays
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """A same-location conflict within one clock cycle (§3.3).
+
+    The paper: "Dahlia does not guarantee data-race freedom in the
+    presence of multi-ported memories. … Extensions to rule out data
+    races would resemble race detection." The simulator implements that
+    extension dynamically: with ``race_check=True`` it records every
+    same-cycle write/write or read/write pair hitting one memory cell —
+    accesses a multi-ported memory's port budget *allows* but whose
+    outcome depends on the memory technology.
+    """
+
+    cycle: int
+    state: int
+    mem: str
+    index: int
+    kinds: tuple[str, str]          # ("write", "write") | ("read", "write")
+
+    def __str__(self) -> str:
+        return (f"cycle {self.cycle} (state {self.state}): "
+                f"{self.kinds[0]}/{self.kinds[1]} race on "
+                f"{self.mem}[{self.index}]")
+
+
+class Simulator:
+    """Executes an :class:`RTLModule` cycle by cycle."""
+
+    def __init__(self, module: RTLModule,
+                 memories: dict[str, list] | None = None,
+                 race_check: bool = False) -> None:
+        self.module = module
+        self.race_check = race_check
+        self.races: list[RaceReport] = []
+        self._cycle_count = 0
+        self.mems: dict[str, list] = {}
+        for name, spec in module.memories.items():
+            if memories and name in memories:
+                cells = list(memories[name])
+                if len(cells) != spec.size:
+                    raise InterpError(
+                        f"memory {name!r}: expected {spec.size} cells, "
+                        f"got {len(cells)}")
+            else:
+                cells = [0] * spec.size
+            self.mems[name] = cells
+        self.regs: dict[str, int | float | bool] = {
+            name: False if reg.is_bool else 0
+            for name, reg in module.registers.items()
+        }
+        self.peak_ports: Counter[str] = Counter()
+        self.state_visits = [0] * len(module.states)
+
+    # -- expression evaluation -----------------------------------------
+
+    def _eval(self, expr: RExpr, wires: dict[str, object]):
+        if isinstance(expr, RConst):
+            return expr.value
+        if isinstance(expr, RRef):
+            if expr.name in wires:
+                return wires[expr.name]
+            if expr.name in self.regs:
+                return self.regs[expr.name]
+            raise RTLError(f"dangling reference {expr.name!r}")
+        if isinstance(expr, ROp):
+            return _apply(expr.op,
+                          [self._eval(o, wires) for o in expr.operands])
+        if isinstance(expr, RCall):
+            func = _CALLS.get(expr.func)
+            if func is None:
+                raise RTLError(f"unknown function unit {expr.func!r}")
+            return func(*[self._eval(o, wires) for o in expr.operands])
+        raise RTLError(f"cannot evaluate {expr!r}")
+
+    # -- one clock cycle ------------------------------------------------
+
+    def _cycle(self, state_index: int) -> int | None:
+        """Execute one state; return the next state (None = halt)."""
+        state = self.module.states[state_index]
+        self.state_visits[state_index] += 1
+        wires: dict[str, object] = {}
+        port_use: Counter[str] = Counter()
+        pending_regs: dict[str, object] = {}
+        pending_mem: list[tuple[str, int, object]] = []
+        touched: dict[tuple[str, int], str] = {}
+
+        for action in state.actions:
+            if isinstance(action, ARead):
+                index = int(self._eval(action.index, wires))
+                cells = self.mems[action.mem]
+                if not 0 <= index < len(cells):
+                    raise InterpError(
+                        f"cycle read: index {index} out of bounds for "
+                        f"{action.mem!r}[{len(cells)}]")
+                self._use_port(port_use, action.mem, state_index)
+                self._note_access(touched, state_index, action.mem, index,
+                                  "read")
+                wires[action.dst] = cells[index]
+            elif isinstance(action, AComp):
+                wires[action.dst] = self._eval(action.expr, wires)
+            elif isinstance(action, ARegWrite):
+                pending_regs[action.reg] = self._eval(action.expr, wires)
+            elif isinstance(action, AMemWrite):
+                index = int(self._eval(action.index, wires))
+                value = self._eval(action.value, wires)
+                cells = self.mems[action.mem]
+                if not 0 <= index < len(cells):
+                    raise InterpError(
+                        f"cycle write: index {index} out of bounds for "
+                        f"{action.mem!r}[{len(cells)}]")
+                self._use_port(port_use, action.mem, state_index)
+                self._note_access(touched, state_index, action.mem, index,
+                                  "write")
+                pending_mem.append((action.mem, index, value))
+            else:                               # pragma: no cover
+                raise RTLError(f"unknown action {action!r}")
+
+        # Clock edge: commit registers and memory writes.
+        self.regs.update(pending_regs)
+        for mem, index, value in pending_mem:
+            self.mems[mem][index] = value
+        for mem, used in port_use.items():
+            if used > self.peak_ports[mem]:
+                self.peak_ports[mem] = used
+
+        nxt = state.next
+        if isinstance(nxt, NHalt):
+            return None
+        if isinstance(nxt, NGoto):
+            return nxt.target
+        if isinstance(nxt, NBranch):
+            cond = self._eval(nxt.cond, wires)
+            return nxt.then_target if cond else nxt.else_target
+        raise RTLError(f"unknown transition {nxt!r}")
+
+    def _use_port(self, port_use: Counter, mem: str,
+                  state_index: int) -> None:
+        port_use[mem] += 1
+        budget = self.module.memories[mem].ports
+        if port_use[mem] > budget:
+            raise PortConflictError(
+                f"state {state_index}: memory {mem!r} accessed "
+                f"{port_use[mem]} times in one cycle but has {budget} "
+                f"port(s)")
+
+    def _note_access(self, touched: dict[tuple[str, int], str],
+                     state_index: int, mem: str, index: int,
+                     kind: str) -> None:
+        """Record a same-cycle same-cell conflict (read/read is fine —
+        that is §3.1's fan-out; anything involving a write races)."""
+        if not self.race_check:
+            return
+        key = (mem, index)
+        prior = touched.get(key)
+        if prior is not None and (prior == "write" or kind == "write"):
+            self.races.append(RaceReport(
+                cycle=self._cycle_count,
+                state=state_index,
+                mem=mem,
+                index=index,
+                kinds=(prior, kind)))
+        if prior != "write":
+            touched[key] = kind
+
+    # -- full run ------------------------------------------------------------
+
+    def run(self, max_cycles: int = 2_000_000) -> SimResult:
+        state: int | None = self.module.entry
+        cycles = 0
+        while state is not None:
+            state = self._cycle(state)
+            cycles += 1
+            self._cycle_count = cycles
+            if cycles > max_cycles:
+                raise InterpError(
+                    f"RTL simulation exceeded {max_cycles} cycles")
+        return SimResult(
+            memories={name: list(cells)
+                      for name, cells in self.mems.items()},
+            registers=dict(self.regs),
+            cycles=cycles,
+            peak_port_use=dict(self.peak_ports),
+            state_visits=list(self.state_visits),
+            races=list(self.races),
+        )
+
+
+def simulate(module: RTLModule,
+             memories: dict[str, list] | None = None,
+             max_cycles: int = 2_000_000,
+             race_check: bool = False) -> SimResult:
+    """Simulate a module from (optionally) initialized memories.
+
+    With ``race_check=True`` the result's ``races`` lists every
+    same-cycle same-cell conflict involving a write — legal under the
+    port budget of a multi-ported memory, but technology-dependent in
+    outcome (§3.3).
+    """
+    return Simulator(module, memories, race_check=race_check).run(max_cycles)

@@ -1,0 +1,75 @@
+"""Source-file bookkeeping: positions, spans, and snippet rendering.
+
+Every token and AST node carries a :class:`Span` so that type errors can
+point at the offending source text, mirroring the Dahlia compiler's
+user-facing diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Position:
+    """A (line, column) pair, both 1-based."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, used for diagnostics."""
+
+    start: Position
+    end: Position
+
+    @staticmethod
+    def point(line: int, column: int) -> "Span":
+        pos = Position(line, column)
+        return Span(pos, pos)
+
+    @staticmethod
+    def merge(first: "Span", second: "Span") -> "Span":
+        return Span(first.start, second.end)
+
+    def __str__(self) -> str:
+        return str(self.start)
+
+
+UNKNOWN_SPAN = Span.point(0, 0)
+
+
+@dataclass
+class SourceFile:
+    """A named unit of Dahlia source text.
+
+    Keeps the line table needed to render carets under error spans.
+    """
+
+    text: str
+    name: str = "<input>"
+    _lines: list[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._lines = self.text.split("\n")
+
+    def line(self, number: int) -> str:
+        """Return the 1-based line ``number`` (empty string if out of range)."""
+        if 1 <= number <= len(self._lines):
+            return self._lines[number - 1]
+        return ""
+
+    def render_span(self, span: Span) -> str:
+        """Render a source line with a caret marker below the span."""
+        line = self.line(span.start.line)
+        if not line:
+            return ""
+        width = max(1, span.end.column - span.start.column) \
+            if span.start.line == span.end.line else 1
+        caret = " " * max(0, span.start.column - 1) + "^" * width
+        return f"{line}\n{caret}"

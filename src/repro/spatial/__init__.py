@@ -1,0 +1,11 @@
+"""Spatial-like compiler substrate (§7 "Spatial", Fig. 9 / Fig. 13)."""
+
+from .inference import infer_banking
+from .estimator import SpatialReport, estimate_gemm_ncubed, sweep_unroll
+
+__all__ = [
+    "SpatialReport",
+    "estimate_gemm_ncubed",
+    "infer_banking",
+    "sweep_unroll",
+]

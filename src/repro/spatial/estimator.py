@@ -1,0 +1,105 @@
+"""Resource model for Spatial's gemm-ncubed on a Zynq-7000 (Fig. 13).
+
+Spatial compiles parallel patterns to hardware templates. The kernel is
+the appendix's ``GEMM_NCubed_16``: 128×128 fixed-point matrices in SRAM,
+the inner reduction parallelized by an ``UNROLL`` parameter from 1–16.
+
+The model charges:
+
+* compute linear in the requested parallelism (DSPs, some LUTs);
+* banking infrastructure linear in the *inferred* banking;
+* a crossbar penalty when inferred banking ≠ requested parallelism —
+  Spatial must route every lane to every bank. This is the abrupt
+  resource jump of Fig. 13b/e ("Spatial designs use up to 10× more
+  LUTs"), and it disappears exactly at the predictable points where the
+  unroll factor divides the memory size.
+
+Calibration anchors (from Fig. 13): ≈24k LUTs / ≈25k regs / ≈50 BRAM /
+≈10 DSP at unroll 1; ≈45k LUTs at the worst mismatched unroll; ≈140 DSP
+at unroll 16.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .inference import infer_banking
+
+_DIM = 128                      # matrix dimension of gemm-ncubed
+
+LUT_BASE = 23500
+LUT_PER_LANE = 420
+LUT_PER_BANK = 180
+LUT_CROSSBAR_PER_WIRE = 90      # lane × bank crossbar
+REG_BASE = 24500
+REG_PER_LANE = 650
+REG_CROSSBAR_PER_WIRE = 28
+DSP_BASE = 2
+DSP_PER_LANE = 8
+DSP_MISMATCH_EXTRA = 12         # extra address generation
+BRAM_BASE = 48
+BRAM_PER_BANK = 1.6
+NOISE = 0.03
+
+
+@dataclass(frozen=True)
+class SpatialReport:
+    unroll: int
+    inferred_banking: int
+    matched: bool
+    luts: int
+    regs: int
+    dsps: int
+    brams: int
+
+    def normalized(self, base: "SpatialReport") -> dict[str, float]:
+        """Resource usage normalized to the unroll-1 design (Fig. 9)."""
+        return {
+            "LUT": self.luts / base.luts,
+            "DSP": self.dsps / base.dsps,
+            "BRAM": self.brams / base.brams,
+            "REG": self.regs / base.regs,
+        }
+
+
+def _noise(key: str) -> float:
+    digest = hashlib.sha256(key.encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2**64
+    return 1.0 + NOISE * (2.0 * unit - 1.0)
+
+
+def estimate_gemm_ncubed(unroll: int, dim: int = _DIM) -> SpatialReport:
+    """Estimate one point of the Fig. 13 sweep."""
+    banking = infer_banking(dim, unroll)
+    matched = banking == unroll
+
+    luts = LUT_BASE + unroll * LUT_PER_LANE + banking * LUT_PER_BANK
+    regs = REG_BASE + unroll * REG_PER_LANE
+    dsps = DSP_BASE + unroll * DSP_PER_LANE
+    brams = BRAM_BASE + banking * BRAM_PER_BANK
+
+    if not matched:
+        # Every lane must reach every bank: full crossbar + extra
+        # address generators.
+        wires = unroll * banking
+        luts += wires * LUT_CROSSBAR_PER_WIRE * 32 // 32
+        regs += wires * REG_CROSSBAR_PER_WIRE
+        dsps += DSP_MISMATCH_EXTRA
+        brams += banking * 0.4       # duplicated metadata banks
+
+    key = f"spatial:{unroll}:{banking}"
+    return SpatialReport(
+        unroll=unroll,
+        inferred_banking=banking,
+        matched=matched,
+        luts=int(luts * _noise(key + ":lut")),
+        regs=int(regs * _noise(key + ":reg")),
+        dsps=int(dsps * _noise(key + ":dsp")),
+        brams=int(round(brams)))
+
+
+def sweep_unroll(max_unroll: int = 16,
+                 dim: int = _DIM) -> list[SpatialReport]:
+    """The Fig. 9 / Fig. 13 sweep over unroll factors 1..max."""
+    return [estimate_gemm_ncubed(u, dim) for u in range(1, max_unroll + 1)]

@@ -1,0 +1,37 @@
+"""Spatial's automatic banking inference (§7, Fig. 13a).
+
+Spatial infers a banking strategy from the parallel access pattern
+instead of taking it from the programmer. For a cyclic access ``A(i, k)``
+parallelized ``par`` ways over a memory dimension of size ``size``, it
+solves for the smallest valid block-cyclic scheme. The practical upshot
+(visible in the paper's Fig. 13a) is:
+
+* when ``par`` divides the size, the inferred banking equals ``par``;
+* otherwise Spatial over-provisions — it picks the next banking factor
+  that yields a conflict-free scheme, which for power-of-two memories is
+  the next divisor of the size ≥ ``par``.
+
+The mismatch between inferred banking and the requested parallelism is
+what makes Spatial's resource usage jump unpredictably — the same
+pathology Dahlia's types rule out.
+"""
+
+from __future__ import annotations
+
+
+def infer_banking(size: int, par: int) -> int:
+    """The banking factor Spatial infers for ``par``-way parallel access
+    to a memory of ``size`` elements."""
+    if par <= 1:
+        return 1
+    candidate = par
+    while candidate <= size:
+        if size % candidate == 0:
+            return candidate
+        candidate += 1
+    return size
+
+
+def banking_matches(size: int, par: int) -> bool:
+    """Did inference land exactly on the requested parallelism?"""
+    return infer_banking(size, par) == par

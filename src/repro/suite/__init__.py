@@ -1,0 +1,54 @@
+"""MachSuite benchmark ports (§5.3, Fig. 8, Fig. 11).
+
+Sixteen MachSuite kernels ported to Dahlia — the same set the paper
+reports in Fig. 11 (``backprop`` is excluded for its upstream
+correctness bug, ``fft-transpose`` and ``viterbi`` for the Vivado
+mis-synthesis the paper hit). Each port carries:
+
+* Dahlia source that must lex, parse, **type-check**, compile to HLS
+  C++, and interpret correctly against a NumPy/Python oracle
+  (integration-tested at small scale);
+* a paper-scale :class:`~repro.hls.kernel.KernelSpec` for the estimator.
+
+The parameterized generators for the DSE case studies (gemm-blocked,
+stencil2d, md-knn, md-grid) live in :mod:`repro.suite.generators`.
+"""
+
+from .corpus import CORPUS, CorpusEntry, accepted_entries, rejected_entries
+from .ports import ALL_PORTS, BenchmarkPort, get_port
+from .generators import (
+    gemm_blocked_kernel,
+    gemm_blocked_source,
+    gemm_blocked_space,
+    md_grid_kernel,
+    md_grid_source,
+    md_grid_space,
+    md_knn_kernel,
+    md_knn_source,
+    md_knn_space,
+    stencil2d_kernel,
+    stencil2d_source,
+    stencil2d_space,
+)
+
+__all__ = [
+    "ALL_PORTS",
+    "BenchmarkPort",
+    "CORPUS",
+    "CorpusEntry",
+    "accepted_entries",
+    "get_port",
+    "rejected_entries",
+    "gemm_blocked_kernel",
+    "gemm_blocked_source",
+    "gemm_blocked_space",
+    "md_grid_kernel",
+    "md_grid_source",
+    "md_grid_space",
+    "md_knn_kernel",
+    "md_knn_source",
+    "md_knn_space",
+    "stencil2d_kernel",
+    "stencil2d_source",
+    "stencil2d_space",
+]

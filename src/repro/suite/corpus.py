@@ -1,0 +1,262 @@
+"""A labeled corpus of Dahlia programs, one per typing rule.
+
+Each entry records the expected checker verdict (``None`` for accepted,
+or the expected error *kind*). The corpus drives the cross-cutting
+pipeline test: every accepted program must also desugar, compile to
+C++, run under the checked semantics without getting stuck, and
+survive step fusion; every rejected program must fail with exactly the
+recorded kind.
+
+The corpus doubles as executable documentation of the type system: the
+entries are grouped by the paper section that introduces the rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    name: str
+    section: str
+    expected: str | None          # None = accepted; else the error kind
+    source: str
+
+
+CORPUS: list[CorpusEntry] = [
+    # -- §3.1 affine memory types -------------------------------------
+    CorpusEntry("read-once", "3.1", None, """
+let A: float[10];
+let x = A[0];
+"""),
+    CorpusEntry("identical-reads-share", "3.1", None, """
+let A: float[10];
+let x = A[0];
+let y = A[0];
+"""),
+    CorpusEntry("distinct-reads-conflict", "3.1", "already-consumed", """
+let A: float[10];
+let x = A[0];
+let y = A[1];
+"""),
+    CorpusEntry("read-write-conflict", "3.1", "already-consumed", """
+let A: float[10];
+let x = A[0];
+A[1] := 1;
+"""),
+    CorpusEntry("memory-copy", "3.1", "memory-copy", """
+let A: float[10];
+let B = A;
+"""),
+    CorpusEntry("double-write-conflict", "3.1", "already-consumed", """
+let A: float[4];
+A[0] := 1.0;
+A[0] := 2.0;
+"""),
+
+    # -- §3.2 ordered / unordered composition -----------------------------
+    CorpusEntry("ordered-restores", "3.2", None, """
+let A: float[10];
+let x = A[0]
+---
+A[1] := 1;
+"""),
+    CorpusEntry("registers-not-affine", "3.2", None, """
+let x = 0;
+x := x + 1;
+let y = x;
+"""),
+    CorpusEntry("chain-consumption-escapes", "3.2", "already-consumed", """
+let A: float[10]; let B: float[10];
+{
+  let x = A[0] + 1
+  ---
+  B[1] := A[1] + x
+};
+let y = B[0];
+"""),
+
+    # -- §3.3 banking --------------------------------------------------------
+    CorpusEntry("banked-decl", "3.3", None, "let A: float[8 bank 4];"),
+    CorpusEntry("uneven-banks", "3.3", "banking",
+                "let A: float[10 bank 4];"),
+    CorpusEntry("physical-distinct-banks", "3.3", None, """
+let A: float[10 bank 2];
+A{0}[0] := 1;
+A{1}[0] := 2;
+"""),
+    CorpusEntry("logical-bank-inference", "3.3", None, """
+let A: float[10 bank 2];
+let x = A[0];
+let y = A[1];
+"""),
+    CorpusEntry("multi-port-read-write", "3.3", None, """
+let A: float{2}[10];
+let x = A[0];
+A[1] := x + 1;
+"""),
+    CorpusEntry("multidim-banks", "3.3", None, """
+let M: float[4 bank 2][4 bank 2];
+let a = M[0][0];
+let b = M[1][1];
+"""),
+
+    # -- §3.4 loops and unrolling ------------------------------------------------
+    CorpusEntry("unroll-matches-banks", "3.4", None, """
+let A: float[10 bank 2];
+for (let i = 0..10) unroll 2 {
+  A[i] := 1;
+}
+"""),
+    CorpusEntry("unroll-without-banks", "3.4", "insufficient-banks", """
+let A: float[10];
+for (let i = 0..10) unroll 2 {
+  A[i] := 1;
+}
+"""),
+    CorpusEntry("unroll-divides-trip", "3.4", "unroll", """
+let A: float[9 bank 3];
+for (let i = 0..9) unroll 2 {
+  A[i] := 1;
+}
+"""),
+    CorpusEntry("replicated-read-fans-out", "3.4", None, """
+let A: float[8 bank 4][10 bank 5];
+for (let i = 0..8) {
+  for (let j = 0..10) unroll 5 {
+    let x = A[i][0];
+  }
+}
+"""),
+    CorpusEntry("replicated-write-conflicts", "3.4",
+                "insufficient-capabilities", """
+let A: float[8 bank 4][10 bank 5];
+for (let i = 0..8) {
+  for (let j = 0..10) unroll 5 {
+    let x = A[i][0]
+    ---
+    A[i][0] := j;
+  }
+}
+"""),
+
+    CorpusEntry("outer-unroll-shared-inner-reads", "3.4", None, """
+let A: float[4 bank 2][4]; let B: float[4][4];
+let C: float[4 bank 2][4];
+for (let i = 0..4) unroll 2 {
+  for (let j = 0..4) {
+    let sum = 0.0;
+    for (let k = 0..4) {
+      let prod = A[i][k] * B[k][j];
+      sum := sum + prod;
+    }
+    ---
+    C[i][j] := sum;
+  }
+}
+"""),
+    CorpusEntry("outer-unroll-inner-write-conflict", "3.4",
+                "insufficient-capabilities", """
+let A: float[4 bank 2][4]; let B: float[4][4];
+for (let i = 0..4) unroll 2 {
+  for (let j = 0..4) {
+    B[0][j] := A[i][j];
+  }
+}
+"""),
+
+    # -- §3.5 combine blocks ------------------------------------------------------
+    CorpusEntry("combine-reduction", "3.5", None, """
+let A: float[10 bank 2]; let B: float[10 bank 2];
+let dot = 0.0;
+for (let i = 0..10) unroll 2 {
+  let v = A[i] * B[i];
+} combine {
+  dot += v;
+}
+"""),
+    CorpusEntry("naked-reduction", "3.5", "reduce", """
+let A: float[10 bank 2]; let B: float[10 bank 2];
+let dot = 0.0;
+for (let i = 0..10) unroll 2 {
+  dot += A[i] * B[i];
+}
+"""),
+
+    # -- §3.6 views ------------------------------------------------------------------
+    CorpusEntry("shrink-lower-unroll", "3.6", None, """
+let A: float[8 bank 4];
+view sh = shrink A[by 2];
+for (let i = 0..8) unroll 2 {
+  sh[i];
+}
+"""),
+    CorpusEntry("aligned-suffix", "3.6", None, """
+let A: float[8 bank 2];
+for (let i = 0..4) {
+  view s = suffix A[by 2 * i];
+  s[1];
+}
+"""),
+    CorpusEntry("misaligned-suffix", "3.6", "view", """
+let A: float[8 bank 2];
+for (let i = 0..4) {
+  view s = suffix A[by i];
+  s[1];
+}
+"""),
+    CorpusEntry("shift-worst-case", "3.6", None, """
+let A: float[12 bank 4];
+for (let i = 0..3) {
+  view r = shift A[by i * i];
+  for (let j = 0..4) unroll 4 {
+    let x = r[j];
+  }
+}
+"""),
+    CorpusEntry("split-double-unroll", "3.6", None, """
+let A: float[12 bank 4]; let B: float[12 bank 4];
+let sum = 0.0;
+view split_A = split A[by 2];
+view split_B = split B[by 2];
+for (let i = 0..6) unroll 2 {
+  for (let j = 0..2) unroll 2 {
+    let v = split_A[j][i] * split_B[j][i];
+  } combine {
+    sum += v;
+  }
+}
+"""),
+    CorpusEntry("iterator-arith-needs-views", "3.6", "type", """
+let A: float[8 bank 2];
+for (let i = 0..4) unroll 2 {
+  A[2 * i] := 1;
+}
+"""),
+
+    # -- functions (closed world, §6) -------------------------------------------------
+    CorpusEntry("function-call", "6", None, """
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+touch(A)
+"""),
+    CorpusEntry("call-consumes-memory", "6", "already-consumed", """
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+let x = A[0];
+touch(A)
+"""),
+]
+
+
+def accepted_entries() -> list[CorpusEntry]:
+    return [e for e in CORPUS if e.expected is None]
+
+
+def rejected_entries() -> list[CorpusEntry]:
+    return [e for e in CORPUS if e.expected is not None]

@@ -1,0 +1,443 @@
+"""Parameterized Dahlia generators for the DSE case studies.
+
+Each case study provides three functions:
+
+* ``*_space()``  — the paper's parameter space (§5.2/§5.3);
+* ``*_source(config)`` — Dahlia source for one configuration. The code
+  instantiates shrink/suffix views exactly when the factors divide
+  (Fig. 10's template style); otherwise it emits the direct access and
+  lets the type checker reject the point. Acceptance decisions therefore
+  always come from the real checker;
+* ``*_kernel(config)`` — the estimator kernel for the same point.
+
+Space sizes match the paper: gemm-blocked 32,000 (= 4⁴·5³ — see
+DESIGN.md on the Fig. 10 template sharing m1/m2's banking), stencil2d
+2,916, md-knn 16,384. md-grid uses 7³·8² = 21,952 with three banking
+parameters, the only factorization of the paper's count.
+"""
+
+from __future__ import annotations
+
+from ..dse.space import ParameterSpace
+from ..hls.kernel import (
+    READ,
+    WRITE,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+)
+
+
+def _divides(a: int, b: int) -> bool:
+    return b % a == 0
+
+
+# ---------------------------------------------------------------------------
+# gemm-blocked (Fig. 7) — the Fig. 10 template
+# ---------------------------------------------------------------------------
+
+def gemm_blocked_space() -> ParameterSpace:
+    banks = [1, 2, 3, 4]
+    unrolls = [1, 2, 4, 6, 8]
+    return ParameterSpace.of(
+        b11=banks, b12=banks, b21=banks, b22=banks,
+        u1=unrolls, u2=unrolls, u3=unrolls)
+
+
+def gemm_blocked_source(cfg: dict[str, int]) -> str:
+    b11, b12 = cfg["b11"], cfg["b12"]
+    b21, b22 = cfg["b21"], cfg["b22"]
+    u1, u2, u3 = cfg["u1"], cfg["u2"], cfg["u3"]
+
+    views = []
+    if _divides(u1, b11) and _divides(u3, b12):
+        views.append(f"view m1s = shrink m1[by {b11 // u1}]"
+                     f"[by {b12 // u3}];")
+        views.append("view m1v = suffix m1s[][by 8 * kk];")
+        m1_access = "m1v[i][k]"
+    else:
+        m1_access = "m1[i][8 * kk + k]"
+    if _divides(u3, b11) and _divides(u2, b12):
+        views.append(f"view m2s = shrink m2[by {b11 // u3}]"
+                     f"[by {b12 // u2}];")
+        views.append("view m2v = suffix m2s[by 8 * kk][by 8 * jj];")
+        m2_access = "m2v[k][j]"
+    else:
+        m2_access = "m2[8 * kk + k][8 * jj + j]"
+    if _divides(u1, b21) and _divides(u2, b22):
+        views.append(f"view ps = shrink prod[by {b21 // u1}]"
+                     f"[by {b22 // u2}];")
+        views.append("view pv = suffix ps[][by 8 * jj];")
+        prod_access = "pv[i][j]"
+    else:
+        prod_access = "prod[i][8 * jj + j]"
+
+    view_block = "\n    ".join(views)
+    return f"""
+decl m1: bit<32>[128 bank {b11}][128 bank {b12}];
+decl m2: bit<32>[128 bank {b11}][128 bank {b12}];
+decl prod: bit<32>[128 bank {b21}][128 bank {b22}];
+for (let jj = 0..16) {{
+  for (let kk = 0..16) {{
+    {view_block}
+    for (let i = 0..128) unroll {u1} {{
+      for (let j = 0..8) unroll {u2} {{
+        let acc = {prod_access}
+        ---
+        for (let k = 0..8) unroll {u3} {{
+          let mul = {m1_access} * {m2_access};
+        }} combine {{
+          acc += mul;
+        }}
+        ---
+        {prod_access} := acc;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def gemm_blocked_kernel(cfg: dict[str, int]) -> KernelSpec:
+    b11, b12 = cfg["b11"], cfg["b12"]
+    b21, b22 = cfg["b21"], cfg["b22"]
+    u1, u2, u3 = cfg["u1"], cfg["u2"], cfg["u3"]
+    return KernelSpec(
+        name="gemm-blocked-dse",
+        arrays=(
+            ArraySpec("m1", (128, 128), (b11, b12)),
+            ArraySpec("m2", (128, 128), (b11, b12)),
+            ArraySpec("prod", (128, 128), (b21, b22)),
+        ),
+        loops=(LoopSpec("jj", 16), LoopSpec("kk", 16),
+               LoopSpec("i", 128, u1), LoopSpec("j", 8, u2),
+               LoopSpec("k", 8, u3)),
+        accesses=(
+            AccessSpec("m1", (AffineIndex.of(i=1),
+                              AffineIndex.of(kk=8, k=1)), READ),
+            AccessSpec("m2", (AffineIndex.of(kk=8, k=1),
+                              AffineIndex.of(jj=8, j=1)), READ),
+            AccessSpec("prod", (AffineIndex.of(i=1),
+                                AffineIndex.of(jj=8, j=1)), READ,
+                       inner=False),
+            AccessSpec("prod", (AffineIndex.of(i=1),
+                                AffineIndex.of(jj=8, j=1)), WRITE,
+                       inner=False),
+        ),
+        ops=OpCounts(int_mul=1, int_add=2),
+        has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# stencil2d (Fig. 8a)
+# ---------------------------------------------------------------------------
+
+#: Input padded to 132×66 so banking factors up to 6 can divide evenly
+#: (§3.3 requires even banking; MachSuite's 128×64 admits only {1,2,4}).
+_STENCIL_ROWS, _STENCIL_COLS = 132, 66
+
+
+def stencil2d_space() -> ParameterSpace:
+    return ParameterSpace.of(
+        ob1=[1, 2, 3, 4, 5, 6], ob2=[1, 2, 3, 4, 5, 6],
+        fb1=[1, 2, 3], fb2=[1, 2, 3],
+        u1=[1, 2, 3], u2=[1, 2, 3])
+
+
+def stencil2d_source(cfg: dict[str, int]) -> str:
+    ob1, ob2 = cfg["ob1"], cfg["ob2"]
+    fb1, fb2 = cfg["fb1"], cfg["fb2"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    rows, cols = _STENCIL_ROWS, _STENCIL_COLS
+    return f"""
+decl orig: float[{rows} bank {ob1}][{cols} bank {ob2}];
+decl sol: float[{rows - 2}][{cols - 2}];
+decl filter: float[3 bank {fb1}][3 bank {fb2}];
+for (let r = 0..{rows - 2}) {{
+  for (let c = 0..{cols - 2}) {{
+    view window = shift orig[by r][by c];
+    let acc = 0.0;
+    for (let k1 = 0..3) unroll {u1} {{
+      let part = 0.0;
+      for (let k2 = 0..3) unroll {u2} {{
+        let m = filter[k1][k2] * window[k1][k2];
+      }} combine {{
+        part += m;
+      }}
+    }} combine {{
+      acc += part;
+    }}
+    ---
+    sol[r][c] := acc;
+  }}
+}}
+"""
+
+
+def stencil2d_kernel(cfg: dict[str, int]) -> KernelSpec:
+    return KernelSpec(
+        name="stencil2d-dse",
+        arrays=(
+            ArraySpec("orig", (_STENCIL_ROWS, _STENCIL_COLS),
+                      (cfg["ob1"], cfg["ob2"])),
+            ArraySpec("sol", (_STENCIL_ROWS - 2, _STENCIL_COLS - 2)),
+            ArraySpec("filter", (3, 3), (cfg["fb1"], cfg["fb2"])),
+        ),
+        loops=(LoopSpec("r", _STENCIL_ROWS - 2),
+               LoopSpec("c", _STENCIL_COLS - 2),
+               LoopSpec("k1", 3, cfg["u1"]), LoopSpec("k2", 3, cfg["u2"])),
+        accesses=(
+            AccessSpec("orig", (AffineIndex.of(r=1, k1=1),
+                                AffineIndex.of(c=1, k2=1)), READ),
+            AccessSpec("filter", (AffineIndex.of(k1=1),
+                                  AffineIndex.of(k2=1)), READ),
+            AccessSpec("sol", (AffineIndex.of(r=1),
+                               AffineIndex.of(c=1)), WRITE, inner=False),
+        ),
+        ops=OpCounts(fp_mul=1, fp_add=1),
+        has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# md-knn (Fig. 8b)
+# ---------------------------------------------------------------------------
+
+_MDKNN_POINTS, _MDKNN_NEIGHBOURS = 64, 16
+
+
+def md_knn_space() -> ParameterSpace:
+    banks = [1, 2, 3, 4]
+    unrolls = [1, 2, 3, 4, 5, 6, 7, 8]
+    return ParameterSpace.of(bp=banks, bn=banks, bg=banks, bf=banks,
+                             u1=unrolls, u2=unrolls)
+
+
+def md_knn_source(cfg: dict[str, int]) -> str:
+    bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    n, k = _MDKNN_POINTS, _MDKNN_NEIGHBOURS
+
+    views = []
+    if _divides(u1, bp):
+        views.append(f"view pxs = shrink px[by {bp // u1}];")
+        views.append(f"view pys = shrink py[by {bp // u1}];")
+        views.append(f"view pzs = shrink pz[by {bp // u1}];")
+        pos = "pxs[i]", "pys[i]", "pzs[i]"
+    else:
+        pos = "px[i]", "py[i]", "pz[i]"
+    if _divides(u1, bg) and _divides(u2, bg):
+        views.append(f"view gxs = shrink gx[by {bg // u1}][by {bg // u2}];")
+        views.append(f"view gys = shrink gy[by {bg // u1}][by {bg // u2}];")
+        views.append(f"view gzs = shrink gz[by {bg // u1}][by {bg // u2}];")
+        gathered = "gxs[i][k]", "gys[i][k]", "gzs[i][k]"
+    else:
+        gathered = "gx[i][k]", "gy[i][k]", "gz[i][k]"
+    if _divides(u1, bf):
+        views.append(f"view fxs = shrink fx[by {bf // u1}];")
+        views.append(f"view fys = shrink fy[by {bf // u1}];")
+        views.append(f"view fzs = shrink fz[by {bf // u1}];")
+        frc = "fxs[i]", "fys[i]", "fzs[i]"
+    else:
+        frc = "fx[i]", "fy[i]", "fz[i]"
+    view_block = "\n".join(views)
+
+    return f"""
+decl px: float[{n} bank {bp}];
+decl py: float[{n} bank {bp}];
+decl pz: float[{n} bank {bp}];
+decl nl: bit<32>[{n * k} bank {bn}];
+decl gx: float[{n} bank {bg}][{k} bank {bg}];
+decl gy: float[{n} bank {bg}][{k} bank {bg}];
+decl gz: float[{n} bank {bg}][{k} bank {bg}];
+decl fx: float[{n} bank {bf}];
+decl fy: float[{n} bank {bf}];
+decl fz: float[{n} bank {bf}];
+for (let i = 0..{n}) {{
+  for (let e = 0..{k}) {{
+    let idx = nl[{k} * i + e]
+    ---
+    let vx = px[idx];
+    let vy = py[idx];
+    let vz = pz[idx]
+    ---
+    gx[i][e] := vx;
+    gy[i][e] := vy;
+    gz[i][e] := vz;
+  }}
+}}
+---
+{view_block}
+for (let i = 0..{n}) unroll {u1} {{
+  let ix = {pos[0]};
+  let iy = {pos[1]};
+  let iz = {pos[2]};
+  let afx = 0.0;
+  let afy = 0.0;
+  let afz = 0.0
+  ---
+  for (let k = 0..{k}) unroll {u2} {{
+    let dx = ix - {gathered[0]};
+    let dy = iy - {gathered[1]};
+    let dz = iz - {gathered[2]};
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let cfx = dx * r2;
+    let cfy = dy * r2;
+    let cfz = dz * r2;
+  }} combine {{
+    afx += cfx;
+    afy += cfy;
+    afz += cfz;
+  }}
+  ---
+  {frc[0]} := afx;
+  {frc[1]} := afy;
+  {frc[2]} := afz;
+}}
+"""
+
+
+def md_knn_kernel(cfg: dict[str, int]) -> KernelSpec:
+    bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    n, k = _MDKNN_POINTS, _MDKNN_NEIGHBOURS
+    return KernelSpec(
+        name="md-knn-dse",
+        arrays=(
+            ArraySpec("px", (n,), (bp,)), ArraySpec("py", (n,), (bp,)),
+            ArraySpec("pz", (n,), (bp,)),
+            ArraySpec("nl", (n * k,), (bn,)),
+            ArraySpec("gx", (n, k), (bg, bg)),
+            ArraySpec("gy", (n, k), (bg, bg)),
+            ArraySpec("gz", (n, k), (bg, bg)),
+            ArraySpec("fx", (n,), (bf,)), ArraySpec("fy", (n,), (bf,)),
+            ArraySpec("fz", (n,), (bf,)),
+        ),
+        loops=(LoopSpec("i", n, u1), LoopSpec("k", k, u2)),
+        accesses=(
+            AccessSpec("gx", (AffineIndex.of(i=1), AffineIndex.of(k=1)),
+                       READ),
+            AccessSpec("gy", (AffineIndex.of(i=1), AffineIndex.of(k=1)),
+                       READ),
+            AccessSpec("gz", (AffineIndex.of(i=1), AffineIndex.of(k=1)),
+                       READ),
+            AccessSpec("px", (AffineIndex.of(i=1),), READ, inner=False),
+            AccessSpec("py", (AffineIndex.of(i=1),), READ, inner=False),
+            AccessSpec("pz", (AffineIndex.of(i=1),), READ, inner=False),
+            AccessSpec("fx", (AffineIndex.of(i=1),), WRITE, inner=False),
+            AccessSpec("fy", (AffineIndex.of(i=1),), WRITE, inner=False),
+            AccessSpec("fz", (AffineIndex.of(i=1),), WRITE, inner=False),
+        ),
+        ops=OpCounts(fp_mul=6, fp_add=8),
+        has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# md-grid (Fig. 8c)
+# ---------------------------------------------------------------------------
+
+_GRID_CELLS, _GRID_POINTS = 4, 16
+
+
+def md_grid_space() -> ParameterSpace:
+    banks = [1, 2, 3, 4, 5, 6, 7]
+    unrolls = [1, 2, 3, 4, 5, 6, 7, 8]
+    return ParameterSpace.of(b1=banks, b2=banks, b3=banks,
+                             u1=unrolls, u2=unrolls)
+
+
+def md_grid_source(cfg: dict[str, int]) -> str:
+    b1, b2, b3 = cfg["b1"], cfg["b2"], cfg["b3"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    cells, points = _GRID_CELLS, _GRID_POINTS
+
+    views = []
+    accesses = {}
+    for name, bank in (("posx", b1), ("posy", b2), ("posz", b3)):
+        if _divides(u1, bank) and _divides(u2, bank):
+            views.append(f"view {name}p = shrink {name}[][][]"
+                         f"[by {bank // u1}];")
+            views.append(f"view {name}q = shrink {name}[][][]"
+                         f"[by {bank // u2}];")
+            accesses[name] = (f"{name}p[cx][cy][cz][p]",
+                              f"{name}q[cx][cy][cz][q]")
+        else:
+            accesses[name] = (f"{name}[cx][cy][cz][p]",
+                              f"{name}[cx][cy][cz][q]")
+    if _divides(u1, b1):
+        views.append(f"view frcv = shrink frcx[][][][by {b1 // u1}];")
+        frc = "frcv[cx][cy][cz][p]"
+    else:
+        frc = "frcx[cx][cy][cz][p]"
+    view_block = "\n".join(views)
+
+    return f"""
+decl posx: float[{cells}][{cells}][{cells}][{points} bank {b1}];
+decl posy: float[{cells}][{cells}][{cells}][{points} bank {b2}];
+decl posz: float[{cells}][{cells}][{cells}][{points} bank {b3}];
+decl frcx: float[{cells}][{cells}][{cells}][{points} bank {b1}];
+{view_block}
+for (let cx = 0..{cells}) {{
+  for (let cy = 0..{cells}) {{
+    for (let cz = 0..{cells}) {{
+      for (let p = 0..{points}) unroll {u1} {{
+        let ix = {accesses["posx"][0]};
+        let iy = {accesses["posy"][0]};
+        let iz = {accesses["posz"][0]};
+        let ax = 0.0
+        ---
+        for (let q = 0..{points}) unroll {u2} {{
+          let jx = {accesses["posx"][1]};
+          let jy = {accesses["posy"][1]};
+          let jz = {accesses["posz"][1]};
+          let ddx = ix - jx;
+          let ddy = iy - jy;
+          let ddz = iz - jz;
+          let r2 = ddx * ddx + ddy * ddy + ddz * ddz;
+          let cf = ddx * r2;
+        }} combine {{
+          ax += cf;
+        }}
+        ---
+        {frc} := ax;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def md_grid_kernel(cfg: dict[str, int]) -> KernelSpec:
+    b1, b2, b3 = cfg["b1"], cfg["b2"], cfg["b3"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    cells, points = _GRID_CELLS, _GRID_POINTS
+    shape = (cells, cells, cells, points)
+    return KernelSpec(
+        name="md-grid-dse",
+        arrays=(
+            ArraySpec("posx", shape, (1, 1, 1, b1)),
+            ArraySpec("posy", shape, (1, 1, 1, b2)),
+            ArraySpec("posz", shape, (1, 1, 1, b3)),
+            ArraySpec("frcx", shape, (1, 1, 1, b1)),
+        ),
+        loops=(LoopSpec("cx", cells), LoopSpec("cy", cells),
+               LoopSpec("cz", cells), LoopSpec("p", points, u1),
+               LoopSpec("q", points, u2)),
+        accesses=(
+            AccessSpec("posx", (AffineIndex.of(cx=1), AffineIndex.of(cy=1),
+                                AffineIndex.of(cz=1), AffineIndex.of(q=1)),
+                       READ),
+            AccessSpec("posy", (AffineIndex.of(cx=1), AffineIndex.of(cy=1),
+                                AffineIndex.of(cz=1), AffineIndex.of(q=1)),
+                       READ),
+            AccessSpec("posz", (AffineIndex.of(cx=1), AffineIndex.of(cy=1),
+                                AffineIndex.of(cz=1), AffineIndex.of(q=1)),
+                       READ),
+            AccessSpec("frcx", (AffineIndex.of(cx=1), AffineIndex.of(cy=1),
+                                AffineIndex.of(cz=1), AffineIndex.of(p=1)),
+                       WRITE, inner=False),
+        ),
+        ops=OpCounts(fp_mul=4, fp_add=5),
+        has_reduction=True)

@@ -1,0 +1,1366 @@
+"""The sixteen MachSuite ports (Fig. 11).
+
+Each :class:`BenchmarkPort` bundles a small-scale Dahlia port (for
+functional verification against a Python/NumPy oracle), and a
+paper-scale :class:`~repro.hls.kernel.KernelSpec` fed to the HLS
+estimator for the Fig. 11 resource comparison.
+
+Porting notes (mirroring §5.3's "programming experience" observations):
+
+* data-dependent loads (md-knn's neighbor gather, spmv's column gather,
+  aes's s-box) are hoisted into their own logical time steps — the
+  checker forces the `bind with let, then index` style;
+* multiple reads of one single-ported memory are separated with ``---``;
+* reductions inside unrolled loops use ``combine`` blocks, nested when
+  both loop levels are unrolled (stencil kernels);
+* algorithmic simplifications (documented per port) keep the arithmetic
+  small while preserving the memory-access structure that the paper's
+  evaluation actually measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..hls.kernel import (
+    READ,
+    WRITE,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+)
+
+Inputs = dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BenchmarkPort:
+    name: str
+    description: str
+    source: str
+    make_inputs: Callable[[np.random.Generator], Inputs]
+    oracle: Callable[[Inputs], Inputs]
+    kernel: KernelSpec
+    simplification: str = ""
+
+
+def _idx(**coeffs: int) -> AffineIndex:
+    return AffineIndex.of(**coeffs)
+
+
+# ---------------------------------------------------------------------------
+# aes — table-based substitution rounds
+# ---------------------------------------------------------------------------
+
+_AES_SOURCE = """
+decl state: bit<32>[16];
+decl key: bit<32>[16];
+decl sbox: bit<32>[256];
+for (let r = 0..4) {
+  for (let i = 0..16) {
+    let s = state[i]
+    ---
+    let sub = sbox[s];
+    let k = key[i]
+    ---
+    state[i] := (sub + k) % 256;
+  }
+}
+"""
+
+
+def _aes_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "state": rng.integers(0, 256, 16),
+        "key": rng.integers(0, 256, 16),
+        "sbox": rng.permutation(256),
+    }
+
+
+def _aes_oracle(inputs: Inputs) -> Inputs:
+    state = inputs["state"].copy()
+    for _ in range(4):
+        for i in range(16):
+            state[i] = (inputs["sbox"][state[i]] + inputs["key"][i]) % 256
+    return {"state": state}
+
+
+_AES_KERNEL = KernelSpec(
+    name="aes",
+    arrays=(ArraySpec("state", (16,)), ArraySpec("key", (32,)),
+            ArraySpec("sbox", (256,))),
+    loops=(LoopSpec("r", 10), LoopSpec("i", 16)),
+    accesses=(
+        AccessSpec("state", (AffineIndex.dyn(),), READ),
+        AccessSpec("sbox", (AffineIndex.dyn(),), READ),
+        AccessSpec("key", (_idx(i=1),), READ),
+        AccessSpec("state", (AffineIndex.dyn(),), WRITE),
+    ),
+    ops=OpCounts(int_add=4, int_mul=1, cmp=1))
+
+
+# ---------------------------------------------------------------------------
+# bfs-bulk — frontier-sweep breadth-first search
+# ---------------------------------------------------------------------------
+
+_BFS_BULK_SOURCE = """
+decl esrc: bit<32>[16];
+decl edst: bit<32>[16];
+decl level: bit<32>[8];
+for (let h = 0..4) {
+  for (let e = 0..16) {
+    let s = esrc[e];
+    let d = edst[e]
+    ---
+    let ls = level[s]
+    ---
+    let ld = level[d]
+    ---
+    if (ls == h) {
+      if (ld == 99) {
+        level[d] := h + 1;
+      }
+    }
+  }
+}
+"""
+
+
+def _bfs_bulk_inputs(rng: np.random.Generator) -> Inputs:
+    esrc = rng.integers(0, 8, 16)
+    edst = rng.integers(0, 8, 16)
+    level = np.full(8, 99)
+    level[0] = 0
+    return {"esrc": esrc, "edst": edst, "level": level}
+
+
+def _bfs_bulk_oracle(inputs: Inputs) -> Inputs:
+    level = inputs["level"].copy()
+    for horizon in range(4):
+        for s, d in zip(inputs["esrc"], inputs["edst"]):
+            if level[s] == horizon and level[d] == 99:
+                level[d] = horizon + 1
+    return {"level": level}
+
+
+_BFS_BULK_KERNEL = KernelSpec(
+    name="bfs-bulk",
+    arrays=(ArraySpec("esrc", (4096,)), ArraySpec("edst", (4096,)),
+            ArraySpec("level", (256,))),
+    loops=(LoopSpec("h", 10), LoopSpec("e", 4096)),
+    accesses=(
+        AccessSpec("esrc", (_idx(e=1),), READ),
+        AccessSpec("edst", (_idx(e=1),), READ),
+        AccessSpec("level", (AffineIndex.dyn(),), READ),
+        AccessSpec("level", (AffineIndex.dyn(),), WRITE),
+    ),
+    ops=OpCounts(int_add=2, cmp=2))
+
+
+# ---------------------------------------------------------------------------
+# bfs-queue — worklist breadth-first search over CSR
+# ---------------------------------------------------------------------------
+
+_BFS_QUEUE_SOURCE = """
+decl off: bit<32>[9];
+decl edges: bit<32>[16];
+decl level: bit<32>[8];
+decl queue: bit<32>[8];
+let head = 0;
+let tail = 1
+---
+while (head < tail) {
+  let n = queue[head]
+  ---
+  head := head + 1;
+  let lo = off[n]
+  ---
+  let hi = off[n + 1]
+  ---
+  let ln = level[n]
+  ---
+  let j = lo;
+  while (j < hi) {
+    let d = edges[j]
+    ---
+    let ld = level[d]
+    ---
+    if (ld == 99) {
+      level[d] := ln + 1
+      ---
+      queue[tail] := d;
+      tail := tail + 1;
+    }
+    ---
+    j := j + 1;
+  }
+}
+"""
+
+
+def _bfs_queue_inputs(rng: np.random.Generator) -> Inputs:
+    # A random connected-ish CSR graph on 8 nodes with 16 edges.
+    counts = np.full(8, 2)
+    off = np.concatenate([[0], np.cumsum(counts)])
+    edges = rng.integers(0, 8, 16)
+    level = np.full(8, 99)
+    level[0] = 0
+    queue = np.zeros(8, dtype=int)
+    return {"off": off, "edges": edges, "level": level, "queue": queue}
+
+
+def _bfs_queue_oracle(inputs: Inputs) -> Inputs:
+    off, edges = inputs["off"], inputs["edges"]
+    level = inputs["level"].copy()
+    queue = inputs["queue"].copy().tolist()
+    head, tail = 0, 1
+    while head < tail:
+        node = queue[head]
+        head += 1
+        for j in range(off[node], off[node + 1]):
+            dst = edges[j]
+            if level[dst] == 99:
+                level[dst] = level[node] + 1
+                if tail < len(queue):
+                    queue[tail] = dst
+                tail += 1
+    return {"level": level}
+
+
+_BFS_QUEUE_KERNEL = KernelSpec(
+    name="bfs-queue",
+    arrays=(ArraySpec("off", (257,)), ArraySpec("edges", (4096,)),
+            ArraySpec("level", (256,)), ArraySpec("queue", (256,))),
+    loops=(LoopSpec("n", 256), LoopSpec("j", 16)),
+    accesses=(
+        AccessSpec("queue", (AffineIndex.dyn(),), READ),
+        AccessSpec("off", (AffineIndex.dyn(),), READ),
+        AccessSpec("edges", (AffineIndex.dyn(),), READ),
+        AccessSpec("level", (AffineIndex.dyn(),), READ),
+        AccessSpec("level", (AffineIndex.dyn(),), WRITE),
+        AccessSpec("queue", (AffineIndex.dyn(),), WRITE),
+    ),
+    ops=OpCounts(int_add=3, cmp=2))
+
+
+# ---------------------------------------------------------------------------
+# fft-strided — iterative 16-point decimation-in-time FFT
+# ---------------------------------------------------------------------------
+
+_FFT_SOURCE = """
+decl real: float[16];
+decl img: float[16];
+decl real_tw: float[8];
+decl img_tw: float[8];
+let span = 8
+---
+while (span > 0) {
+  let nblocks = 8 / span;
+  let b = 0;
+  while (b < nblocks) {
+    let t = 0;
+    while (t < span) {
+      let even = b * 2 * span + t;
+      let odd = even + span;
+      let twidx = t * nblocks;
+      let re = real[even]
+      ---
+      let ro = real[odd]
+      ---
+      let ie = img[even]
+      ---
+      let io = img[odd]
+      ---
+      let c = real_tw[twidx];
+      let s = img_tw[twidx];
+      let rsum = re + ro;
+      let isum = ie + io;
+      let rdiff = re - ro;
+      let idiff = ie - io
+      ---
+      real[even] := rsum;
+      img[even] := isum
+      ---
+      real[odd] := rdiff * c - idiff * s;
+      img[odd] := idiff * c + rdiff * s
+      ---
+      t := t + 1;
+    }
+    b := b + 1;
+  }
+  ---
+  span := span / 2;
+}
+"""
+
+
+def _fft_inputs(rng: np.random.Generator) -> Inputs:
+    k = np.arange(8)
+    return {
+        "real": rng.normal(size=16),
+        "img": rng.normal(size=16),
+        "real_tw": np.cos(-2 * np.pi * k / 16.0),
+        "img_tw": np.sin(-2 * np.pi * k / 16.0),
+    }
+
+
+def _fft_oracle(inputs: Inputs) -> Inputs:
+    real = inputs["real"].copy()
+    img = inputs["img"].copy()
+    twr, twi = inputs["real_tw"], inputs["img_tw"]
+    span = 8
+    while span > 0:
+        nblocks = 8 // span
+        for block in range(nblocks):
+            for t in range(span):
+                even = block * 2 * span + t
+                odd = even + span
+                twidx = t * nblocks
+                c, s = twr[twidx], twi[twidx]
+                rsum, isum = real[even] + real[odd], img[even] + img[odd]
+                rdiff, idiff = real[even] - real[odd], img[even] - img[odd]
+                real[even], img[even] = rsum, isum
+                real[odd] = rdiff * c - idiff * s
+                img[odd] = idiff * c + rdiff * s
+        span //= 2
+    return {"real": real, "img": img}
+
+
+_FFT_KERNEL = KernelSpec(
+    name="fft-strided",
+    arrays=(ArraySpec("real", (1024,)), ArraySpec("img", (1024,)),
+            ArraySpec("real_tw", (512,)), ArraySpec("img_tw", (512,))),
+    loops=(LoopSpec("span", 10), LoopSpec("odd", 512)),
+    accesses=(
+        AccessSpec("real", (AffineIndex.dyn(),), READ),
+        AccessSpec("img", (AffineIndex.dyn(),), READ),
+        AccessSpec("real_tw", (AffineIndex.dyn(),), READ),
+        AccessSpec("img_tw", (AffineIndex.dyn(),), READ),
+        AccessSpec("real", (AffineIndex.dyn(),), WRITE),
+        AccessSpec("img", (AffineIndex.dyn(),), WRITE),
+    ),
+    ops=OpCounts(fp_mul=4, fp_add=6, int_add=4))
+
+
+# ---------------------------------------------------------------------------
+# gemm-blocked — blocked integer matrix multiply (Fig. 10's kernel)
+# ---------------------------------------------------------------------------
+
+_GEMM_BLOCKED_SOURCE = """
+decl m1: bit<32>[8][8];
+decl m2: bit<32>[8][8];
+decl prod: bit<32>[8][8];
+for (let jj = 0..2) {
+  for (let kk = 0..2) {
+    for (let i = 0..8) {
+      for (let j = 0..4) {
+        let acc = 0;
+        for (let k = 0..4) {
+          let a = m1[i][4 * kk + k];
+          let b = m2[4 * kk + k][4 * jj + j]
+          ---
+          acc := acc + a * b;
+        }
+        ---
+        let p = prod[i][4 * jj + j]
+        ---
+        prod[i][4 * jj + j] := p + acc;
+      }
+    }
+  }
+}
+"""
+
+
+def _gemm_blocked_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "m1": rng.integers(-8, 8, (8, 8)),
+        "m2": rng.integers(-8, 8, (8, 8)),
+        "prod": np.zeros((8, 8), dtype=int),
+    }
+
+
+def _gemm_blocked_oracle(inputs: Inputs) -> Inputs:
+    return {"prod": inputs["m1"] @ inputs["m2"]}
+
+
+_GEMM_BLOCKED_KERNEL = KernelSpec(
+    name="gemm-blocked",
+    arrays=(ArraySpec("m1", (128, 128)), ArraySpec("m2", (128, 128)),
+            ArraySpec("prod", (128, 128))),
+    loops=(LoopSpec("jj", 16), LoopSpec("kk", 16), LoopSpec("i", 128),
+           LoopSpec("j", 8), LoopSpec("k", 8)),
+    accesses=(
+        AccessSpec("m1", (_idx(i=1), _idx(kk=8, k=1)), READ),
+        AccessSpec("m2", (_idx(kk=8, k=1), _idx(jj=8, j=1)), READ),
+        AccessSpec("prod", (_idx(i=1), _idx(jj=8, j=1)), READ,
+                   inner=False),
+        AccessSpec("prod", (_idx(i=1), _idx(jj=8, j=1)), WRITE,
+                   inner=False),
+    ),
+    ops=OpCounts(int_mul=1, int_add=2),
+    has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# gemm-ncubed — naive triple-loop matrix multiply
+# ---------------------------------------------------------------------------
+
+_GEMM_NCUBED_SOURCE = """
+decl m1: float[8][8];
+decl m2: float[8][8];
+decl prod: float[8][8];
+for (let i = 0..8) {
+  for (let j = 0..8) {
+    let sum = 0.0;
+    for (let k = 0..8) {
+      let a = m1[i][k];
+      let b = m2[k][j]
+      ---
+      sum := sum + a * b;
+    }
+    ---
+    prod[i][j] := sum;
+  }
+}
+"""
+
+
+def _gemm_ncubed_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "m1": rng.normal(size=(8, 8)),
+        "m2": rng.normal(size=(8, 8)),
+        "prod": np.zeros((8, 8)),
+    }
+
+
+def _gemm_ncubed_oracle(inputs: Inputs) -> Inputs:
+    return {"prod": inputs["m1"] @ inputs["m2"]}
+
+
+_GEMM_NCUBED_KERNEL = KernelSpec(
+    name="gemm-ncubed",
+    arrays=(ArraySpec("m1", (128, 128)), ArraySpec("m2", (128, 128)),
+            ArraySpec("prod", (128, 128))),
+    loops=(LoopSpec("i", 128), LoopSpec("j", 128), LoopSpec("k", 128)),
+    accesses=(
+        AccessSpec("m1", (_idx(i=1), _idx(k=1)), READ),
+        AccessSpec("m2", (_idx(k=1), _idx(j=1)), READ),
+        AccessSpec("prod", (_idx(i=1), _idx(j=1)), WRITE, inner=False),
+    ),
+    ops=OpCounts(fp_mul=1, fp_add=1),
+    has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# kmp — Knuth-Morris-Pratt string search
+# ---------------------------------------------------------------------------
+
+_KMP_SOURCE = """
+decl pattern: bit<32>[4];
+decl input: bit<32>[32];
+decl kmp_next: bit<32>[4];
+decl matches: bit<32>[1];
+kmp_next[0] := 0;
+let q = 0;
+let i = 1
+---
+while (i < 4) {
+  let pi = pattern[i]
+  ---
+  let scanning = 1;
+  while (scanning == 1) {
+    let pq = pattern[q]
+    ---
+    if (q > 0) {
+      if (pq != pi) {
+        let nq = kmp_next[q - 1]
+        ---
+        q := nq;
+      } else {
+        scanning := 0;
+      }
+    } else {
+      scanning := 0;
+    }
+  }
+  ---
+  let pq2 = pattern[q]
+  ---
+  if (pq2 == pi) {
+    q := q + 1;
+  }
+  ---
+  kmp_next[i] := q;
+  i := i + 1;
+}
+---
+q := 0;
+let j = 0
+---
+while (j < 32) {
+  let c = input[j]
+  ---
+  let scanning2 = 1;
+  while (scanning2 == 1) {
+    let pq = pattern[q]
+    ---
+    if (q > 0) {
+      if (pq != c) {
+        let nq = kmp_next[q - 1]
+        ---
+        q := nq;
+      } else {
+        scanning2 := 0;
+      }
+    } else {
+      scanning2 := 0;
+    }
+  }
+  ---
+  let pq3 = pattern[q]
+  ---
+  if (pq3 == c) {
+    q := q + 1;
+  }
+  ---
+  if (q >= 4) {
+    let m = matches[0]
+    ---
+    matches[0] := m + 1;
+    let nq2 = kmp_next[q - 1]
+    ---
+    q := nq2;
+  }
+  ---
+  j := j + 1;
+}
+"""
+
+
+def _kmp_inputs(rng: np.random.Generator) -> Inputs:
+    pattern = rng.integers(0, 3, 4)
+    text = rng.integers(0, 3, 32)
+    # Plant a couple of guaranteed matches.
+    text[5:9] = pattern
+    text[20:24] = pattern
+    return {"pattern": pattern, "input": text,
+            "kmp_next": np.zeros(4, dtype=int),
+            "matches": np.zeros(1, dtype=int)}
+
+
+def _kmp_oracle(inputs: Inputs) -> Inputs:
+    pattern = inputs["pattern"].tolist()
+    text = inputs["input"].tolist()
+    count = 0
+    for start in range(len(text) - len(pattern) + 1):
+        if text[start:start + len(pattern)] == pattern:
+            count += 1
+    return {"matches": np.array([count])}
+
+
+_KMP_KERNEL = KernelSpec(
+    name="kmp",
+    arrays=(ArraySpec("pattern", (4,)), ArraySpec("input", (32411,)),
+            ArraySpec("kmp_next", (4,))),
+    loops=(LoopSpec("j", 32411),),
+    accesses=(
+        AccessSpec("input", (_idx(j=1),), READ),
+        AccessSpec("pattern", (AffineIndex.dyn(),), READ),
+        AccessSpec("kmp_next", (AffineIndex.dyn(),), READ),
+    ),
+    ops=OpCounts(int_add=2, cmp=3))
+
+
+# ---------------------------------------------------------------------------
+# md-knn — molecular dynamics with k-nearest-neighbour lists
+# ---------------------------------------------------------------------------
+
+_MD_KNN_SOURCE = """
+decl px: float[8];
+decl py: float[8];
+decl pz: float[8];
+decl nl: bit<32>[32];
+decl gx: float[32 bank 2];
+decl gy: float[32 bank 2];
+decl gz: float[32 bank 2];
+decl fx: float[8];
+decl fy: float[8];
+decl fz: float[8];
+for (let e = 0..32) {
+  let idx = nl[e]
+  ---
+  let vx = px[idx];
+  let vy = py[idx];
+  let vz = pz[idx]
+  ---
+  gx[e] := vx;
+  gy[e] := vy;
+  gz[e] := vz;
+}
+---
+for (let i = 0..8) {
+  let ix = px[i];
+  let iy = py[i];
+  let iz = pz[i]
+  ---
+  let afx = 0.0;
+  let afy = 0.0;
+  let afz = 0.0;
+  view gxs = suffix gx[by 4 * i];
+  view gys = suffix gy[by 4 * i];
+  view gzs = suffix gz[by 4 * i];
+  for (let k = 0..4) unroll 2 {
+    let dx = ix - gxs[k];
+    let dy = iy - gys[k];
+    let dz = iz - gzs[k];
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let cfx = dx * r2;
+    let cfy = dy * r2;
+    let cfz = dz * r2;
+  } combine {
+    afx += cfx;
+    afy += cfy;
+    afz += cfz;
+  }
+  ---
+  fx[i] := afx;
+  fy[i] := afy;
+  fz[i] := afz;
+}
+"""
+
+
+def _md_knn_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "px": rng.normal(size=8), "py": rng.normal(size=8),
+        "pz": rng.normal(size=8),
+        "nl": rng.integers(0, 8, 32),
+        "gx": np.zeros(32), "gy": np.zeros(32), "gz": np.zeros(32),
+        "fx": np.zeros(8), "fy": np.zeros(8), "fz": np.zeros(8),
+    }
+
+
+def _md_knn_oracle(inputs: Inputs) -> Inputs:
+    px, py, pz = inputs["px"], inputs["py"], inputs["pz"]
+    nl = inputs["nl"]
+    fx, fy, fz = np.zeros(8), np.zeros(8), np.zeros(8)
+    for i in range(8):
+        for k in range(4):
+            j = nl[4 * i + k]
+            dx, dy, dz = px[i] - px[j], py[i] - py[j], pz[i] - pz[j]
+            r2 = dx * dx + dy * dy + dz * dz
+            fx[i] += dx * r2
+            fy[i] += dy * r2
+            fz[i] += dz * r2
+    return {"fx": fx, "fy": fy, "fz": fz}
+
+
+_MD_KNN_KERNEL = KernelSpec(
+    name="md-knn",
+    arrays=(ArraySpec("px", (256,)), ArraySpec("py", (256,)),
+            ArraySpec("pz", (256,)),
+            ArraySpec("gx", (4096,), (2,)), ArraySpec("gy", (4096,), (2,)),
+            ArraySpec("gz", (4096,), (2,)),
+            ArraySpec("fx", (256,)), ArraySpec("fy", (256,)),
+            ArraySpec("fz", (256,))),
+    loops=(LoopSpec("i", 256), LoopSpec("k", 16, 2)),
+    accesses=(
+        AccessSpec("gx", (_idx(i=16, k=1),), READ),
+        AccessSpec("gy", (_idx(i=16, k=1),), READ),
+        AccessSpec("gz", (_idx(i=16, k=1),), READ),
+        AccessSpec("fx", (_idx(i=1),), WRITE, inner=False),
+        AccessSpec("fy", (_idx(i=1),), WRITE, inner=False),
+        AccessSpec("fz", (_idx(i=1),), WRITE, inner=False),
+    ),
+    ops=OpCounts(fp_mul=6, fp_add=8),
+    has_reduction=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# md-grid — molecular dynamics over a 3D cell grid
+# ---------------------------------------------------------------------------
+
+_MD_GRID_SOURCE = """
+decl posx: float[2][2][2][2];
+decl posy: float[2][2][2][2];
+decl posz: float[2][2][2][2];
+decl frcx: float[2][2][2][2];
+for (let cx = 0..2) {
+  for (let cy = 0..2) {
+    for (let cz = 0..2) {
+      for (let p = 0..2) {
+        let ix = posx[cx][cy][cz][p];
+        let iy = posy[cx][cy][cz][p];
+        let iz = posz[cx][cy][cz][p]
+        ---
+        let ax = 0.0;
+        for (let q = 0..2) {
+          let jx = posx[cx][cy][cz][q];
+          let jy = posy[cx][cy][cz][q];
+          let jz = posz[cx][cy][cz][q]
+          ---
+          let dx = ix - jx;
+          let dy = iy - jy;
+          let dz = iz - jz;
+          let r2 = dx * dx + dy * dy + dz * dz;
+          ax := ax + dx * r2;
+        }
+        ---
+        frcx[cx][cy][cz][p] := ax;
+      }
+    }
+  }
+}
+"""
+
+
+def _md_grid_inputs(rng: np.random.Generator) -> Inputs:
+    shape = (2, 2, 2, 2)
+    return {
+        "posx": rng.normal(size=shape), "posy": rng.normal(size=shape),
+        "posz": rng.normal(size=shape), "frcx": np.zeros(shape),
+    }
+
+
+def _md_grid_oracle(inputs: Inputs) -> Inputs:
+    posx, posy, posz = inputs["posx"], inputs["posy"], inputs["posz"]
+    frcx = np.zeros((2, 2, 2, 2))
+    for bx in range(2):
+        for by in range(2):
+            for bz in range(2):
+                for p in range(2):
+                    acc = 0.0
+                    for q in range(2):
+                        dx = posx[bx, by, bz, p] - posx[bx, by, bz, q]
+                        dy = posy[bx, by, bz, p] - posy[bx, by, bz, q]
+                        dz = posz[bx, by, bz, p] - posz[bx, by, bz, q]
+                        acc += dx * (dx * dx + dy * dy + dz * dz)
+                    frcx[bx, by, bz, p] = acc
+    return {"frcx": frcx}
+
+
+_MD_GRID_KERNEL = KernelSpec(
+    name="md-grid",
+    arrays=(ArraySpec("posx", (4, 4, 4, 16)), ArraySpec("posy", (4, 4, 4, 16)),
+            ArraySpec("posz", (4, 4, 4, 16)),
+            ArraySpec("frcx", (4, 4, 4, 16))),
+    loops=(LoopSpec("bx", 4), LoopSpec("by", 4), LoopSpec("bz", 4),
+           LoopSpec("p", 16), LoopSpec("q", 16)),
+    accesses=(
+        AccessSpec("posx", (_idx(bx=1), _idx(by=1), _idx(bz=1), _idx(q=1)),
+                   READ),
+        AccessSpec("posy", (_idx(bx=1), _idx(by=1), _idx(bz=1), _idx(q=1)),
+                   READ),
+        AccessSpec("posz", (_idx(bx=1), _idx(by=1), _idx(bz=1), _idx(q=1)),
+                   READ),
+        AccessSpec("frcx", (_idx(bx=1), _idx(by=1), _idx(bz=1), _idx(p=1)),
+                   WRITE, inner=False),
+    ),
+    ops=OpCounts(fp_mul=4, fp_add=5),
+    has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# nw — Needleman-Wunsch sequence alignment
+# ---------------------------------------------------------------------------
+
+_NW_SOURCE = """
+decl seqA: bit<32>[4];
+decl seqB: bit<32>[4];
+decl M: bit<32>[5][5];
+for (let i = 0..5) {
+  M[i][0] := 0 - i
+  ---
+  M[0][i] := 0 - i;
+}
+---
+for (let i = 1..5) {
+  for (let j = 1..5) {
+    let a = seqA[i - 1];
+    let b = seqB[j - 1]
+    ---
+    let diag = M[i - 1][j - 1]
+    ---
+    let up = M[i - 1][j]
+    ---
+    let left = M[i][j - 1]
+    ---
+    let best = 0;
+    if (a == b) {
+      best := diag + 1;
+    } else {
+      best := diag - 1;
+    }
+    ---
+    if (up - 1 > best) {
+      best := up - 1;
+    }
+    ---
+    if (left - 1 > best) {
+      best := left - 1;
+    }
+    ---
+    M[i][j] := best;
+  }
+}
+"""
+
+
+def _nw_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "seqA": rng.integers(0, 4, 4), "seqB": rng.integers(0, 4, 4),
+        "M": np.zeros((5, 5), dtype=int),
+    }
+
+
+def _nw_oracle(inputs: Inputs) -> Inputs:
+    a, b = inputs["seqA"], inputs["seqB"]
+    table = np.zeros((5, 5), dtype=int)
+    for i in range(5):
+        table[i][0] = -i
+        table[0][i] = -i
+    for i in range(1, 5):
+        for j in range(1, 5):
+            score = 1 if a[i - 1] == b[j - 1] else -1
+            table[i][j] = max(table[i - 1][j - 1] + score,
+                              table[i - 1][j] - 1,
+                              table[i][j - 1] - 1)
+    return {"M": table}
+
+
+_NW_KERNEL = KernelSpec(
+    name="nw",
+    arrays=(ArraySpec("seqA", (128,)), ArraySpec("seqB", (128,)),
+            ArraySpec("M", (129, 129))),
+    loops=(LoopSpec("i", 128), LoopSpec("j", 128)),
+    accesses=(
+        AccessSpec("seqA", (_idx(i=1),), READ),
+        AccessSpec("seqB", (_idx(j=1),), READ),
+        AccessSpec("M", (_idx(i=1), _idx(j=1)), READ),
+        AccessSpec("M", (_idx(i=1), _idx(j=1)), WRITE),
+    ),
+    ops=OpCounts(int_add=4, cmp=3))
+
+
+# ---------------------------------------------------------------------------
+# sort-merge — bottom-up merge sort
+# ---------------------------------------------------------------------------
+
+_SORT_MERGE_SOURCE = """
+decl a: bit<32>[16];
+decl temp: bit<32>[16];
+let width = 1
+---
+while (width < 16) {
+  let lo = 0;
+  while (lo < 16) {
+    let mid = lo + width;
+    let hi = lo + 2 * width;
+    if (mid > 16) {
+      mid := 16;
+    }
+    ---
+    if (hi > 16) {
+      hi := 16;
+    }
+    ---
+    let i = lo;
+    let j = mid;
+    let k = lo;
+    while (k < hi) {
+      if (i < mid) {
+        if (j < hi) {
+          let x = a[i]
+          ---
+          let y = a[j]
+          ---
+          if (x <= y) {
+            temp[k] := x;
+            i := i + 1;
+          } else {
+            temp[k] := y;
+            j := j + 1;
+          }
+        } else {
+          let x2 = a[i]
+          ---
+          temp[k] := x2;
+          i := i + 1;
+        }
+      } else {
+        let y2 = a[j]
+        ---
+        temp[k] := y2;
+        j := j + 1;
+      }
+      ---
+      k := k + 1;
+    }
+    ---
+    let c = lo;
+    while (c < hi) {
+      let t = temp[c]
+      ---
+      a[c] := t;
+      c := c + 1;
+    }
+    ---
+    lo := lo + 2 * width;
+  }
+  ---
+  width := 2 * width;
+}
+"""
+
+
+def _sort_merge_inputs(rng: np.random.Generator) -> Inputs:
+    return {"a": rng.integers(0, 100, 16), "temp": np.zeros(16, dtype=int)}
+
+
+def _sort_merge_oracle(inputs: Inputs) -> Inputs:
+    return {"a": np.sort(inputs["a"])}
+
+
+_SORT_MERGE_KERNEL = KernelSpec(
+    name="sort-merge",
+    arrays=(ArraySpec("a", (2048,)), ArraySpec("temp", (2048,))),
+    loops=(LoopSpec("width", 11), LoopSpec("k", 2048)),
+    accesses=(
+        AccessSpec("a", (AffineIndex.dyn(),), READ),
+        AccessSpec("temp", (AffineIndex.dyn(),), WRITE),
+        AccessSpec("temp", (AffineIndex.dyn(),), READ),
+        AccessSpec("a", (AffineIndex.dyn(),), WRITE),
+    ),
+    ops=OpCounts(int_add=3, cmp=3))
+
+
+# ---------------------------------------------------------------------------
+# sort-radix — least-significant-digit radix sort (base 4)
+# ---------------------------------------------------------------------------
+
+_SORT_RADIX_SOURCE = """
+decl a: bit<32>[16];
+decl b: bit<32>[16];
+decl bucket: bit<32>[4];
+let exp = 1;
+let pass = 0
+---
+while (pass < 4) {
+  for (let h = 0..4) {
+    bucket[h] := 0;
+  }
+  ---
+  let i = 0;
+  while (i < 16) {
+    let v = a[i]
+    ---
+    let d = (v / exp) % 4;
+    let c = bucket[d]
+    ---
+    bucket[d] := c + 1;
+    i := i + 1;
+  }
+  ---
+  let sum = 0;
+  let h2 = 0;
+  while (h2 < 4) {
+    let c2 = bucket[h2]
+    ---
+    bucket[h2] := sum;
+    sum := sum + c2;
+    h2 := h2 + 1;
+  }
+  ---
+  let i2 = 0;
+  while (i2 < 16) {
+    let v2 = a[i2]
+    ---
+    let d2 = (v2 / exp) % 4;
+    let p = bucket[d2]
+    ---
+    b[p] := v2;
+    bucket[d2] := p + 1;
+    i2 := i2 + 1;
+  }
+  ---
+  let i3 = 0;
+  while (i3 < 16) {
+    let t = b[i3]
+    ---
+    a[i3] := t;
+    i3 := i3 + 1;
+  }
+  ---
+  exp := exp * 4;
+  pass := pass + 1;
+}
+"""
+
+
+def _sort_radix_inputs(rng: np.random.Generator) -> Inputs:
+    return {"a": rng.integers(0, 256, 16),
+            "b": np.zeros(16, dtype=int),
+            "bucket": np.zeros(4, dtype=int)}
+
+
+def _sort_radix_oracle(inputs: Inputs) -> Inputs:
+    return {"a": np.sort(inputs["a"])}
+
+
+_SORT_RADIX_KERNEL = KernelSpec(
+    name="sort-radix",
+    arrays=(ArraySpec("a", (2048,)), ArraySpec("b", (2048,)),
+            ArraySpec("bucket", (128,))),
+    loops=(LoopSpec("pass", 16), LoopSpec("i", 2048)),
+    accesses=(
+        AccessSpec("a", (_idx(i=1),), READ),
+        AccessSpec("bucket", (AffineIndex.dyn(),), READ),
+        AccessSpec("bucket", (AffineIndex.dyn(),), WRITE),
+        AccessSpec("b", (AffineIndex.dyn(),), WRITE),
+    ),
+    ops=OpCounts(int_add=3, int_mul=1, cmp=1))
+
+
+# ---------------------------------------------------------------------------
+# spmv-crs — sparse matrix-vector multiply, CSR format
+# ---------------------------------------------------------------------------
+
+_SPMV_CRS_SOURCE = """
+decl val: float[16];
+decl cols: bit<32>[16];
+decl rowp: bit<32>[9];
+decl x: float[8];
+decl y: float[8];
+for (let r = 0..8) {
+  let lo = rowp[r]
+  ---
+  let hi = rowp[r + 1]
+  ---
+  let acc = 0.0;
+  let k = lo;
+  while (k < hi) {
+    let v = val[k];
+    let c = cols[k]
+    ---
+    let xv = x[c]
+    ---
+    acc := acc + v * xv;
+    k := k + 1;
+  }
+  ---
+  y[r] := acc;
+}
+"""
+
+
+def _spmv_crs_inputs(rng: np.random.Generator) -> Inputs:
+    rowp = np.concatenate([[0], np.cumsum(np.full(8, 2))])
+    return {
+        "val": rng.normal(size=16),
+        "cols": rng.integers(0, 8, 16),
+        "rowp": rowp,
+        "x": rng.normal(size=8),
+        "y": np.zeros(8),
+    }
+
+
+def _spmv_crs_oracle(inputs: Inputs) -> Inputs:
+    y = np.zeros(8)
+    rowp = inputs["rowp"]
+    for r in range(8):
+        for k in range(rowp[r], rowp[r + 1]):
+            y[r] += inputs["val"][k] * inputs["x"][inputs["cols"][k]]
+    return {"y": y}
+
+
+_SPMV_CRS_KERNEL = KernelSpec(
+    name="spmv-crs",
+    arrays=(ArraySpec("val", (1666,)), ArraySpec("cols", (1666,)),
+            ArraySpec("rowp", (495,)), ArraySpec("x", (494,)),
+            ArraySpec("y", (494,))),
+    loops=(LoopSpec("r", 494), LoopSpec("k", 4)),
+    accesses=(
+        AccessSpec("val", (AffineIndex.dyn(),), READ),
+        AccessSpec("cols", (AffineIndex.dyn(),), READ),
+        AccessSpec("x", (AffineIndex.dyn(),), READ),
+        AccessSpec("y", (_idx(r=1),), WRITE, inner=False),
+    ),
+    ops=OpCounts(fp_mul=1, fp_add=1, int_add=1),
+    has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# spmv-ellpack — sparse matrix-vector multiply, ELLPACK format
+# ---------------------------------------------------------------------------
+
+_SPMV_ELLPACK_SOURCE = """
+decl val: float[8][4];
+decl cols: bit<32>[8][4];
+decl x: float[8];
+decl y: float[8];
+for (let r = 0..8) {
+  let acc = 0.0;
+  for (let k = 0..4) {
+    let v = val[r][k];
+    let c = cols[r][k]
+    ---
+    let xv = x[c]
+    ---
+    acc := acc + v * xv;
+  }
+  ---
+  y[r] := acc;
+}
+"""
+
+
+def _spmv_ellpack_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "val": rng.normal(size=(8, 4)),
+        "cols": rng.integers(0, 8, (8, 4)),
+        "x": rng.normal(size=8),
+        "y": np.zeros(8),
+    }
+
+
+def _spmv_ellpack_oracle(inputs: Inputs) -> Inputs:
+    y = np.zeros(8)
+    for r in range(8):
+        for k in range(4):
+            y[r] += inputs["val"][r, k] * inputs["x"][inputs["cols"][r, k]]
+    return {"y": y}
+
+
+_SPMV_ELLPACK_KERNEL = KernelSpec(
+    name="spmv-ellpack",
+    arrays=(ArraySpec("val", (494, 10)), ArraySpec("cols", (494, 10)),
+            ArraySpec("x", (494,)), ArraySpec("y", (494,))),
+    loops=(LoopSpec("r", 494), LoopSpec("k", 10)),
+    accesses=(
+        AccessSpec("val", (_idx(r=1), _idx(k=1)), READ),
+        AccessSpec("cols", (_idx(r=1), _idx(k=1)), READ),
+        AccessSpec("x", (AffineIndex.dyn(),), READ),
+        AccessSpec("y", (_idx(r=1),), WRITE, inner=False),
+    ),
+    ops=OpCounts(fp_mul=1, fp_add=1),
+    has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# stencil-stencil2d — 2D convolution with a 3×3 filter
+# ---------------------------------------------------------------------------
+
+_STENCIL2D_SOURCE = """
+decl orig: float[6 bank 3][6 bank 3];
+decl sol: float[4][4];
+decl filter: float[3 bank 3][3 bank 3];
+for (let r = 0..4) {
+  for (let c = 0..4) {
+    view window = shift orig[by r][by c];
+    let acc = 0.0;
+    for (let k1 = 0..3) unroll 3 {
+      let part = 0.0;
+      for (let k2 = 0..3) unroll 3 {
+        let m = filter[k1][k2] * window[k1][k2];
+      } combine {
+        part += m;
+      }
+    } combine {
+      acc += part;
+    }
+    ---
+    sol[r][c] := acc;
+  }
+}
+"""
+
+
+def _stencil2d_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "orig": rng.normal(size=(6, 6)),
+        "filter": rng.normal(size=(3, 3)),
+        "sol": np.zeros((4, 4)),
+    }
+
+
+def _stencil2d_oracle(inputs: Inputs) -> Inputs:
+    orig, filt = inputs["orig"], inputs["filter"]
+    sol = np.zeros((4, 4))
+    for r in range(4):
+        for c in range(4):
+            sol[r, c] = np.sum(orig[r:r + 3, c:c + 3] * filt)
+    return {"sol": sol}
+
+
+_STENCIL2D_KERNEL = KernelSpec(
+    name="stencil-stencil2d",
+    arrays=(ArraySpec("orig", (128, 64), (1, 1)),
+            ArraySpec("sol", (128, 64)),
+            ArraySpec("filter", (3, 3), (3, 3))),
+    loops=(LoopSpec("r", 126), LoopSpec("c", 62), LoopSpec("k1", 3, 3),
+           LoopSpec("k2", 3, 3)),
+    accesses=(
+        AccessSpec("orig", (_idx(r=1, k1=1), _idx(c=1, k2=1)), READ),
+        AccessSpec("filter", (_idx(k1=1), _idx(k2=1)), READ),
+        AccessSpec("sol", (_idx(r=1), _idx(c=1)), WRITE, inner=False),
+    ),
+    ops=OpCounts(fp_mul=1, fp_add=1),
+    has_reduction=True)
+
+
+# ---------------------------------------------------------------------------
+# stencil-stencil3d — 3D 7-point stencil
+# ---------------------------------------------------------------------------
+
+_STENCIL3D_SOURCE = """
+decl orig: float[4][4][4];
+decl sol: float[4][4][4];
+decl coef: float[2 bank 2];
+for (let i = 1..3) {
+  for (let j = 1..3) {
+    for (let k = 1..3) {
+      let c0 = coef[0];
+      let c1 = coef[1]
+      ---
+      let center = orig[i][j][k]
+      ---
+      let up = orig[i - 1][j][k]
+      ---
+      let down = orig[i + 1][j][k]
+      ---
+      let north = orig[i][j - 1][k]
+      ---
+      let south = orig[i][j + 1][k]
+      ---
+      let west = orig[i][j][k - 1]
+      ---
+      let east = orig[i][j][k + 1]
+      ---
+      sol[i][j][k] := c0 * center
+        + c1 * (up + down + north + south + west + east);
+    }
+  }
+}
+"""
+
+
+def _stencil3d_inputs(rng: np.random.Generator) -> Inputs:
+    return {
+        "orig": rng.normal(size=(4, 4, 4)),
+        "sol": np.zeros((4, 4, 4)),
+        "coef": np.array([2.0, 0.5]),
+    }
+
+
+def _stencil3d_oracle(inputs: Inputs) -> Inputs:
+    orig, coef = inputs["orig"], inputs["coef"]
+    sol = np.zeros((4, 4, 4))
+    for i in range(1, 3):
+        for j in range(1, 3):
+            for k in range(1, 3):
+                neighbours = (orig[i - 1, j, k] + orig[i + 1, j, k]
+                              + orig[i, j - 1, k] + orig[i, j + 1, k]
+                              + orig[i, j, k - 1] + orig[i, j, k + 1])
+                sol[i, j, k] = coef[0] * orig[i, j, k] + coef[1] * neighbours
+    return {"sol": sol}
+
+
+_STENCIL3D_KERNEL = KernelSpec(
+    name="stencil-stencil3d",
+    arrays=(ArraySpec("orig", (32, 32, 16)), ArraySpec("sol", (32, 32, 16)),
+            ArraySpec("coef", (2,), (2,))),
+    loops=(LoopSpec("i", 30), LoopSpec("j", 30), LoopSpec("k", 14)),
+    accesses=(
+        AccessSpec("orig", (_idx(i=1), _idx(j=1), _idx(k=1)), READ),
+        AccessSpec("coef", (AffineIndex.of(0),), READ),
+        AccessSpec("sol", (_idx(i=1), _idx(j=1), _idx(k=1)), WRITE),
+    ),
+    ops=OpCounts(fp_mul=2, fp_add=6))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+ALL_PORTS: dict[str, BenchmarkPort] = {
+    port.name: port for port in [
+        BenchmarkPort(
+            "aes", "table-based substitution-permutation rounds",
+            _AES_SOURCE, _aes_inputs, _aes_oracle, _AES_KERNEL,
+            simplification="AES round function reduced to s-box "
+            "substitution + key mixing; same table-lookup access pattern"),
+        BenchmarkPort(
+            "bfs-bulk", "frontier-sweep BFS over an edge list",
+            _BFS_BULK_SOURCE, _bfs_bulk_inputs, _bfs_bulk_oracle,
+            _BFS_BULK_KERNEL),
+        BenchmarkPort(
+            "bfs-queue", "worklist BFS over CSR",
+            _BFS_QUEUE_SOURCE, _bfs_queue_inputs, _bfs_queue_oracle,
+            _BFS_QUEUE_KERNEL),
+        BenchmarkPort(
+            "fft-strided", "iterative strided-butterfly FFT",
+            _FFT_SOURCE, _fft_inputs, _fft_oracle, _FFT_KERNEL),
+        BenchmarkPort(
+            "gemm-blocked", "blocked matrix multiply (Fig. 10)",
+            _GEMM_BLOCKED_SOURCE, _gemm_blocked_inputs,
+            _gemm_blocked_oracle, _GEMM_BLOCKED_KERNEL),
+        BenchmarkPort(
+            "gemm-ncubed", "naive triple-loop matrix multiply",
+            _GEMM_NCUBED_SOURCE, _gemm_ncubed_inputs, _gemm_ncubed_oracle,
+            _GEMM_NCUBED_KERNEL),
+        BenchmarkPort(
+            "kmp", "Knuth-Morris-Pratt string search",
+            _KMP_SOURCE, _kmp_inputs, _kmp_oracle, _KMP_KERNEL),
+        BenchmarkPort(
+            "md-knn", "molecular dynamics, k-nearest neighbours "
+            "(gather hoisted per §5.3)",
+            _MD_KNN_SOURCE, _md_knn_inputs, _md_knn_oracle, _MD_KNN_KERNEL,
+            simplification="Lennard-Jones potential replaced by a "
+            "polynomial force with the same access structure"),
+        BenchmarkPort(
+            "md-grid", "molecular dynamics over a 3D cell grid",
+            _MD_GRID_SOURCE, _md_grid_inputs, _md_grid_oracle,
+            _MD_GRID_KERNEL,
+            simplification="same-cell interactions only at test scale; "
+            "the estimator kernel models the full neighbour sweep"),
+        BenchmarkPort(
+            "nw", "Needleman-Wunsch sequence alignment",
+            _NW_SOURCE, _nw_inputs, _nw_oracle, _NW_KERNEL),
+        BenchmarkPort(
+            "sort-merge", "bottom-up merge sort",
+            _SORT_MERGE_SOURCE, _sort_merge_inputs, _sort_merge_oracle,
+            _SORT_MERGE_KERNEL),
+        BenchmarkPort(
+            "sort-radix", "LSD radix sort, base 4",
+            _SORT_RADIX_SOURCE, _sort_radix_inputs, _sort_radix_oracle,
+            _SORT_RADIX_KERNEL),
+        BenchmarkPort(
+            "spmv-crs", "sparse matrix-vector multiply (CSR)",
+            _SPMV_CRS_SOURCE, _spmv_crs_inputs, _spmv_crs_oracle,
+            _SPMV_CRS_KERNEL),
+        BenchmarkPort(
+            "spmv-ellpack", "sparse matrix-vector multiply (ELLPACK)",
+            _SPMV_ELLPACK_SOURCE, _spmv_ellpack_inputs,
+            _spmv_ellpack_oracle, _SPMV_ELLPACK_KERNEL),
+        BenchmarkPort(
+            "stencil-stencil2d", "2D convolution, 3×3 filter",
+            _STENCIL2D_SOURCE, _stencil2d_inputs, _stencil2d_oracle,
+            _STENCIL2D_KERNEL),
+        BenchmarkPort(
+            "stencil-stencil3d", "3D 7-point stencil",
+            _STENCIL3D_SOURCE, _stencil3d_inputs, _stencil3d_oracle,
+            _STENCIL3D_KERNEL),
+    ]
+}
+
+
+def get_port(name: str) -> BenchmarkPort:
+    return ALL_PORTS[name]

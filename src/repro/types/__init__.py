@@ -1,0 +1,59 @@
+"""Dahlia's time-sensitive affine type system (§3, §4.3)."""
+
+from .checker import (
+    CheckReport,
+    Checker,
+    accepts,
+    check_program,
+    check_source,
+    rejection_reason,
+)
+from .types import (
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    CombineRegister,
+    IndexType,
+    MemDim,
+    MemoryType,
+    ScalarType,
+    Type,
+    bit,
+    elaborate,
+)
+from .poly import (
+    PolyFunctionType,
+    instantiate,
+    is_polymorphic,
+    monomorphize_program,
+    type_parameters,
+)
+from .views import ViewInfo, identity_view, split_logical_index
+
+__all__ = [
+    "BOOL",
+    "DOUBLE",
+    "FLOAT",
+    "CheckReport",
+    "Checker",
+    "CombineRegister",
+    "IndexType",
+    "MemDim",
+    "MemoryType",
+    "PolyFunctionType",
+    "ScalarType",
+    "Type",
+    "ViewInfo",
+    "accepts",
+    "bit",
+    "check_program",
+    "check_source",
+    "elaborate",
+    "identity_view",
+    "instantiate",
+    "is_polymorphic",
+    "monomorphize_program",
+    "rejection_reason",
+    "type_parameters",
+    "split_logical_index",
+]

@@ -1,0 +1,48 @@
+"""Read/write capabilities (§3.1).
+
+A read expression acquires a *non-affine read capability* for its exact
+(memory, index) shape in the current logical time step: subsequent
+syntactically identical reads are free — the hardware performs one read
+and fans the value out. Write capabilities are use-once, so they need no
+store: every write consumes port tokens directly.
+
+Capabilities are scoped to a logical time step; ordered composition
+(``---``) begins a fresh, empty capability set.
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast
+from ..frontend.pretty import pretty_expr
+
+#: A canonical fingerprint of a read: (resolved base memory, view name,
+#: printed index expressions).
+Fingerprint = tuple[str, str, tuple[str, ...]]
+
+
+def fingerprint(base_mem: str, view_name: str,
+                access: ast.Access) -> Fingerprint:
+    indices = tuple(pretty_expr(e) for e in access.indices)
+    banks = tuple(pretty_expr(e) for e in access.bank_indices)
+    return (base_mem, view_name, banks + indices)
+
+
+class CapabilitySet:
+    """Read capabilities held during one logical time step."""
+
+    def __init__(self) -> None:
+        self._reads: set[Fingerprint] = set()
+
+    def has_read(self, print_: Fingerprint) -> bool:
+        return print_ in self._reads
+
+    def add_read(self, print_: Fingerprint) -> None:
+        self._reads.add(print_)
+
+    def copy(self) -> "CapabilitySet":
+        clone = CapabilitySet()
+        clone._reads = set(self._reads)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._reads)

@@ -1,0 +1,924 @@
+"""The time-sensitive affine type checker (§3, §4.3).
+
+The checker enforces Dahlia's safety property: the number of simultaneous
+reads and writes to a memory bank never exceeds its port count. The key
+judgments mirror the paper:
+
+* Γ, Δ ⊢ e : τ ⊣ Δ′   — expressions consume bank tokens from Δ;
+* Γ₁, Δ₁ ⊢ c ⊣ Γ₂, Δ₂ — commands; unordered composition threads Δ,
+  ordered composition checks every step against the *same* incoming Δ and
+  intersects the results.
+
+Replication multiplicity (our elaboration of §3.4's lockstep rule): a
+statement nested in unrolled loops with factors u₁…uₙ is replicated
+R = Πuᵢ times. For an access, iterators appearing in its *indices*
+distribute copies across banks (factor U); iterators appearing only in a
+view's *offset* make copies hit the same bank at different addresses
+(factor V); the rest are exact duplicates (factor W = R/(U·V)). A read
+consumes V tokens per consumed bank (duplicates fan out — §3.1); a write
+consumes V·W tokens (even identical simultaneous writes are illegal —
+§3.1, §3.4's "insufficient write capabilities" example).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from itertools import product
+
+from ..errors import (
+    AlreadyConsumedError,
+    DahliaError,
+    InsufficientBanksError,
+    InsufficientCapabilitiesError,
+    MemoryCopyError,
+    ReduceError,
+    TypeError_,
+    UnboundError,
+    UnrollError,
+    ViewError,
+)
+from ..frontend import ast
+from ..source import Span
+from . import poly
+from . import views as view_mod
+from .capabilities import CapabilitySet, fingerprint
+from .context import AffineContext, VarContext
+from .types import (
+    BOOL,
+    CombineRegister,
+    FLOAT,
+    FunctionType,
+    IndexType,
+    MemoryType,
+    ScalarType,
+    STATIC_INT,
+    Type,
+    VOID,
+    assignable,
+    elaborate,
+    join_numeric,
+)
+from .views import MAJOR, MINOR, ViewInfo, identity_view
+
+#: Built-in math functions available without declaration, so MachSuite
+#: ports do not need a foreign-function story.
+BUILTINS: dict[str, FunctionType] = {
+    name: FunctionType((FLOAT,), FLOAT)
+    for name in ("sqrt", "abs", "exp", "log", "sin", "cos", "floor")
+}
+BUILTINS["min"] = FunctionType((FLOAT, FLOAT), FLOAT)
+BUILTINS["max"] = FunctionType((FLOAT, FLOAT), FLOAT)
+
+
+@dataclass(frozen=True)
+class IndexClass:
+    """Classification of one subscript expression at an access site."""
+
+    kind: str                     # "const" | "iter" | "dyn" | "iter-arith"
+    value: int | None = None      # for const
+    unroll: int = 1               # for iter
+    lo: int | None = None         # iterator value range, for bounds checks
+    hi: int | None = None
+    iters: frozenset[str] = frozenset()   # unrolled iterators referenced
+
+
+@dataclass
+class UnrollFrame:
+    """One enclosing loop in the unroll stack."""
+
+    var: str
+    factor: int
+    scope_depth: int
+
+
+@dataclass
+class CheckReport:
+    """Statistics from a successful check (used by the DSE harness)."""
+
+    memories: dict[str, MemoryType] = field(default_factory=dict)
+    functions: dict[str, FunctionType] = field(default_factory=dict)
+    max_replication: int = 1
+    commands_checked: int = 0
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.gamma = VarContext()
+        self.delta = AffineContext()
+        self.caps = CapabilitySet()
+        self.views: dict[str, ViewInfo] = {}
+        self.functions: dict[str, FunctionType] = dict(BUILTINS)
+        self.func_defs: dict[str, ast.FuncDef] = {}
+        self.unroll_stack: list[UnrollFrame] = []
+        self.scope_depth = 0
+        self.in_combine = False
+        self.report = CheckReport()
+        #: Instantiations of polymorphic functions already validated.
+        self._poly_checked: set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Scope management
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _scope(self):
+        self.gamma.push()
+        self.scope_depth += 1
+        saved_views = dict(self.views)
+        created_memories: list[str] = []
+        self._created_memories_stack.append(created_memories)
+        try:
+            yield
+        finally:
+            self._created_memories_stack.pop()
+            for name in created_memories:
+                self.delta.remove_memory(name)
+            self.views = saved_views
+            self.scope_depth -= 1
+            self.gamma.pop()
+
+    _created_memories_stack: list[list[str]]
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def check_program(self, program: ast.Program) -> CheckReport:
+        self._created_memories_stack = [[]]
+        for decl in program.decls:
+            self._declare_memory(decl.name, decl.type, decl.span)
+        for func in program.defs:
+            self._check_funcdef(func)
+        self.check_command(program.body)
+        return self.report
+
+    def _declare_memory(self, name: str, annotation: ast.TypeAnnotation,
+                        span: Span) -> MemoryType:
+        type_ = elaborate(annotation)
+        if not isinstance(type_, MemoryType):
+            raise TypeError_(f"declaration {name!r} must have a memory type",
+                             span)
+        self.gamma.bind(name, type_, span)
+        self.delta.add_memory(name, type_)
+        self._created_memories_stack[-1].append(name)
+        self.views[name] = identity_view(name, type_)
+        self.report.memories[name] = type_
+        return type_
+
+    def _check_funcdef(self, func: ast.FuncDef) -> None:
+        if func.name in self.functions:
+            raise TypeError_(f"function {func.name!r} is already defined",
+                             func.span)
+        if poly.is_polymorphic(func):
+            # §6 polymorphism: the body cannot be checked until call
+            # sites bind the type parameters (monomorphization). Reject
+            # parameter/binder collisions eagerly for early feedback.
+            poly._reject_shadowing(func, poly.type_parameters(func))
+            self.functions[func.name] = poly.PolyFunctionType(func)
+            self.func_defs[func.name] = func
+            return
+        param_types = self._check_funcdef_body(func)
+        self.functions[func.name] = FunctionType(tuple(param_types), VOID)
+        self.func_defs[func.name] = func
+
+    def _check_funcdef_body(self, func: ast.FuncDef) -> list[Type]:
+        """Check a (monomorphic) function body in a fresh scope and
+        return the elaborated parameter types."""
+        param_types: list[Type] = []
+        with self._scope():
+            for param in func.params:
+                type_ = elaborate(param.type)
+                param_types.append(type_)
+                if isinstance(type_, MemoryType):
+                    self.gamma.bind(param.name, type_, param.span)
+                    self.delta.add_memory(param.name, type_)
+                    self._created_memories_stack[-1].append(param.name)
+                    self.views[param.name] = identity_view(param.name, type_)
+                else:
+                    self.gamma.bind(param.name, type_, param.span)
+            self.check_command(func.body)
+        return param_types
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def check_command(self, cmd: ast.Command) -> None:
+        self.report.commands_checked += 1
+        handler = self._COMMAND_HANDLERS.get(type(cmd))
+        if handler is None:
+            raise TypeError_(f"cannot check {type(cmd).__name__}", cmd.span)
+        handler(self, cmd)
+
+    def _check_skip(self, cmd: ast.Skip) -> None:
+        del cmd
+
+    def _check_expr_stmt(self, cmd: ast.ExprStmt) -> None:
+        self.check_expr(cmd.expr)
+
+    def _check_let(self, cmd: ast.Let) -> None:
+        if cmd.type is not None and cmd.type.is_memory:
+            if cmd.init is not None:
+                raise MemoryCopyError(
+                    "memories cannot be initialized with `=`; they are "
+                    "physical resources (§3.1)", cmd.span)
+            self._declare_memory(cmd.name, cmd.type, cmd.span)
+            return
+        if cmd.init is None:
+            if cmd.type is None:
+                raise TypeError_(
+                    f"let {cmd.name!r} needs a type annotation or an "
+                    f"initializer", cmd.span)
+            self.gamma.bind(cmd.name, elaborate(cmd.type), cmd.span)
+            return
+        init_type = self.check_expr(cmd.init)
+        if isinstance(init_type, MemoryType):
+            raise MemoryCopyError(
+                f"cannot copy memory into {cmd.name!r}: memories are "
+                f"affine resources (§3.1)", cmd.span)
+        if isinstance(init_type, IndexType):
+            init_type = STATIC_INT
+        if cmd.type is not None:
+            annotated = elaborate(cmd.type)
+            if not assignable(annotated, init_type):
+                raise TypeError_(
+                    f"cannot initialize {cmd.name!r}: {annotated} from "
+                    f"{init_type}", cmd.span)
+            init_type = annotated
+        self.gamma.bind(cmd.name, init_type, cmd.span)
+
+    def _check_view(self, cmd: ast.View) -> None:
+        parent = self.views.get(cmd.mem)
+        if parent is None:
+            target = self.gamma.maybe_lookup(cmd.mem)
+            if target is None:
+                raise UnboundError(f"undefined memory {cmd.mem!r}", cmd.span)
+            raise ViewError(f"{cmd.mem!r} is not a memory or view", cmd.span)
+        # Validate dynamic offset expressions in the enclosing context.
+        for factor in cmd.factors:
+            if factor is not None:
+                self.check_expr(factor, consume=False)
+        iterator_names = {
+            name for name in self._iterator_names()
+        }
+        info = view_mod.apply_view(cmd, parent, iterator_names)
+        self.gamma.bind(cmd.name, parent.base_type, cmd.span)
+        self.views[cmd.name] = info
+
+    def _iterator_names(self) -> set[str]:
+        return {frame.var for frame in self.unroll_stack if frame.factor > 1}
+
+    def _check_assign(self, cmd: ast.Assign) -> None:
+        target = self.gamma.lookup(cmd.name, cmd.span)
+        if isinstance(target, MemoryType):
+            raise TypeError_(
+                f"cannot assign to memory {cmd.name!r}; use subscripts",
+                cmd.span)
+        if isinstance(target, IndexType):
+            raise TypeError_(f"cannot assign to loop iterator {cmd.name!r}",
+                             cmd.span)
+        if isinstance(target, CombineRegister):
+            raise ReduceError(
+                f"cannot assign to combine register {cmd.name!r}", cmd.span)
+        self._check_cross_iteration_write(cmd.name, cmd.span)
+        value = self.check_expr(cmd.expr)
+        if not assignable(target, value):
+            raise TypeError_(
+                f"cannot assign {value} to {cmd.name!r}: {target}", cmd.span)
+
+    def _check_cross_iteration_write(self, name: str, span: Span) -> None:
+        """Reject doall-violating updates (§3.5).
+
+        Writing a variable declared *outside* an unrolled loop from inside
+        it makes the copies race; the paper requires a combine block.
+        Combine blocks are checked with their own loop's frame already
+        popped, so a reduction into the enclosing scope is allowed while
+        a reduction that escapes an *outer* unrolled loop (a cross-copy
+        race between replicated combine blocks) is still rejected.
+        """
+        active = [f for f in self.unroll_stack if f.factor > 1]
+        if not active:
+            return
+        depth = self.gamma.depth_of(name)
+        boundary = min(f.scope_depth for f in active)
+        if depth is not None and depth < boundary:
+            raise ReduceError(
+                f"variable {name!r} is defined outside an unrolled loop; "
+                f"updating it creates a cross-iteration dependency — use a "
+                f"combine block (§3.5)", span)
+
+    def _check_reduce(self, cmd: ast.Reduce) -> None:
+        if cmd.target_is_access is not None:
+            # Memory read-modify-write: a read plus a write in one step.
+            read_type = self._check_access(cmd.target_is_access, write=False)
+            value = self.check_expr(cmd.expr)
+            value = self._reduce_operand_type(value, cmd)
+            joined = join_numeric(read_type, value, cmd.span)
+            del joined
+            self._check_access(cmd.target_is_access, write=True)
+            return
+        target = self.gamma.lookup(cmd.target, cmd.span)
+        if isinstance(target, MemoryType):
+            raise TypeError_(
+                f"cannot reduce into memory {cmd.target!r} without "
+                f"subscripts", cmd.span)
+        if isinstance(target, (IndexType, CombineRegister)):
+            raise ReduceError(
+                f"invalid reducer target {cmd.target!r}", cmd.span)
+        # Reducers inside combine blocks fold associatively across every
+        # replica (a reduction tree — §3.5/§3.6's split example reduces
+        # into a variable outside the outer unrolled loop), so they are
+        # exempt from the doall restriction. Reducers in plain loop
+        # bodies are just sugar for assignment and stay restricted.
+        if not self.in_combine:
+            self._check_cross_iteration_write(cmd.target, cmd.span)
+        value = self.check_expr(cmd.expr)
+        value = self._reduce_operand_type(value, cmd)
+        if not assignable(target, join_numeric(target, value, cmd.span)):
+            raise TypeError_(
+                f"reducer {cmd.op} cannot combine {target} with {value}",
+                cmd.span)
+
+    def _reduce_operand_type(self, value: Type, cmd: ast.Reduce) -> Type:
+        if isinstance(value, CombineRegister):
+            if not self.in_combine:
+                raise ReduceError(
+                    "combine registers may only be reduced inside a "
+                    "combine block (§3.5)", cmd.span)
+            return value.element
+        return value
+
+    def _check_store(self, cmd: ast.Store) -> None:
+        value = self.check_expr(cmd.expr)
+        if isinstance(value, CombineRegister):
+            raise ReduceError(
+                "combine registers must be folded by a reducer, not "
+                "stored directly", cmd.span)
+        element = self._check_access(cmd.access, write=True)
+        if not assignable(element, value):
+            raise TypeError_(
+                f"cannot store {value} into memory of {element}", cmd.span)
+
+    def _check_par(self, cmd: ast.ParComp) -> None:
+        for child in cmd.commands:
+            self.check_command(child)
+
+    def _check_seq(self, cmd: ast.SeqComp) -> None:
+        """Ordered composition: every step starts from the same Δ; the
+        final Δ is the pointwise intersection (§4.3).
+
+        Memories *declared* inside a step are carried forward to later
+        steps with a fresh port budget (declaration is not consumption).
+        """
+        incoming = self.delta
+        outgoing: AffineContext | None = None
+        saved_caps = self.caps
+        declared: list[str] = []
+        for child in cmd.commands:
+            self.delta = incoming.copy()
+            for name in declared:
+                type_ = self.gamma.maybe_lookup(name)
+                if isinstance(type_, MemoryType):
+                    self.delta.add_memory(name, type_)
+            self.caps = CapabilitySet()
+            self.check_command(child)
+            for name in self.delta.memory_names():
+                if not incoming.has_memory(name) and name not in declared:
+                    declared.append(name)
+            outgoing = (self.delta if outgoing is None
+                        else outgoing.intersect(self.delta))
+        self.delta = outgoing if outgoing is not None else incoming
+        self.caps = saved_caps
+
+    def _check_block(self, cmd: ast.Block) -> None:
+        with self._scope():
+            self.check_command(cmd.body)
+
+    def _check_if(self, cmd: ast.If) -> None:
+        cond = self.check_expr(cmd.cond)
+        if cond != BOOL:
+            raise TypeError_(f"if condition must be bool, found {cond}",
+                             cmd.span)
+        base = self.delta
+        saved_caps = self.caps
+
+        self.delta = base.copy()
+        self.caps = saved_caps.copy()
+        with self._scope():
+            self.check_command(cmd.then_branch)
+        then_out = self.delta
+
+        if cmd.else_branch is not None:
+            self.delta = base.copy()
+            self.caps = saved_caps.copy()
+            with self._scope():
+                self.check_command(cmd.else_branch)
+            else_out = self.delta
+        else:
+            else_out = base
+        self.delta = then_out.intersect(else_out)
+        self.caps = saved_caps
+
+    def _check_while(self, cmd: ast.While) -> None:
+        cond = self.check_expr(cmd.cond)
+        if cond != BOOL:
+            raise TypeError_(f"while condition must be bool, found {cond}",
+                             cmd.span)
+        after_cond = self.delta
+        self.delta = after_cond.copy()
+        saved_caps = self.caps
+        self.caps = CapabilitySet()
+        with self._scope():
+            self.check_command(cmd.body)
+        self.caps = saved_caps
+        self.delta = self.delta.intersect(after_cond)
+
+    def _check_for(self, cmd: ast.For) -> None:
+        if cmd.is_symbolic:
+            raise TypeError_(
+                "symbolic loop bounds are only legal inside polymorphic "
+                "`def` bodies, where call sites bind them (§6 "
+                "polymorphism)", cmd.span)
+        trip = cmd.trip_count
+        if trip <= 0:
+            raise TypeError_(
+                f"loop range {cmd.start}..{cmd.end} is empty", cmd.span)
+        if cmd.unroll < 1:
+            raise UnrollError("unroll factor must be positive", cmd.span)
+        if trip % cmd.unroll != 0:
+            raise UnrollError(
+                f"unroll factor {cmd.unroll} does not divide trip count "
+                f"{trip}; partial unrolling requires epilogue hardware "
+                f"(§2.1)", cmd.span)
+
+        after_cond = self.delta
+        self.delta = after_cond.copy()
+        saved_caps = self.caps
+        self.caps = CapabilitySet()
+
+        body = cmd.body.body if isinstance(cmd.body, ast.Block) else cmd.body
+        with self._scope():
+            self.gamma.bind(cmd.var, IndexType(cmd.unroll, cmd.start, cmd.end),
+                            cmd.span)
+            frame = UnrollFrame(cmd.var, cmd.unroll, self.scope_depth)
+            self.unroll_stack.append(frame)
+            self.report.max_replication = max(
+                self.report.max_replication, self._replication())
+            try:
+                self.check_command(body)
+            finally:
+                self.unroll_stack.pop()
+            body_out = self.delta
+
+            if cmd.combine is not None:
+                combine_body = (cmd.combine.body
+                                if isinstance(cmd.combine, ast.Block)
+                                else cmd.combine)
+                # Re-view loop-body variables as combine registers.
+                for name in self.gamma.names_in_innermost():
+                    type_ = self.gamma.maybe_lookup(name)
+                    if isinstance(type_, ScalarType):
+                        self.gamma.rebind(
+                            name, CombineRegister(type_, cmd.unroll))
+                self.delta = after_cond.copy()
+                self.caps = CapabilitySet()
+                was_in_combine = self.in_combine
+                self.in_combine = True
+                try:
+                    self.check_command(combine_body)
+                finally:
+                    self.in_combine = was_in_combine
+                body_out = body_out.intersect(self.delta)
+
+        self.caps = saved_caps
+        self.delta = body_out.intersect(after_cond)
+
+    def _replication(self) -> int:
+        result = 1
+        for frame in self.unroll_stack:
+            result *= frame.factor
+        return result
+
+    _COMMAND_HANDLERS: dict[type, object] = {}
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr, consume: bool = True) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return STATIC_INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.Var):
+            type_ = self.gamma.lookup(expr.name, expr.span)
+            if isinstance(type_, MemoryType):
+                raise MemoryCopyError(
+                    f"memory {expr.name!r} cannot be used as a value; "
+                    f"memories are affine (§3.1)", expr.span)
+            return type_
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, consume)
+        if isinstance(expr, ast.Unary):
+            operand = self.check_expr(expr.operand, consume)
+            if expr.op == "!":
+                if operand != BOOL:
+                    raise TypeError_(f"! expects bool, found {operand}",
+                                     expr.span)
+                return BOOL
+            return join_numeric(operand, STATIC_INT, expr.span)
+        if isinstance(expr, ast.Access):
+            if not consume:
+                raise ViewError(
+                    "memory accesses are not allowed inside view offsets",
+                    expr.span)
+            return self._check_access(expr, write=False)
+        if isinstance(expr, ast.App):
+            return self._check_app(expr)
+        raise TypeError_(f"cannot type {type(expr).__name__}", expr.span)
+
+    def _check_binary(self, expr: ast.Binary, consume: bool) -> Type:
+        lhs = self.check_expr(expr.lhs, consume)
+        rhs = self.check_expr(expr.rhs, consume)
+        if isinstance(lhs, CombineRegister) or isinstance(rhs, CombineRegister):
+            raise ReduceError(
+                "combine registers may only appear as reducer operands",
+                expr.span)
+        if expr.op.is_logical:
+            if lhs != BOOL or rhs != BOOL:
+                raise TypeError_(
+                    f"{expr.op.value} expects bools, found {lhs} and {rhs}",
+                    expr.span)
+            return BOOL
+        if expr.op.is_comparison:
+            if lhs == BOOL and rhs == BOOL:
+                if expr.op in (ast.BinOp.EQ, ast.BinOp.NEQ):
+                    return BOOL
+                raise TypeError_("cannot order booleans", expr.span)
+            join_numeric(lhs, rhs, expr.span)
+            return BOOL
+        return join_numeric(lhs, rhs, expr.span)
+
+    def _check_app(self, expr: ast.App) -> Type:
+        sig = self.functions.get(expr.func)
+        if sig is None:
+            raise UnboundError(f"undefined function {expr.func!r}", expr.span)
+        if isinstance(sig, poly.PolyFunctionType):
+            sig = self._instantiate_call(sig, expr)
+        if len(expr.args) != len(sig.params):
+            raise TypeError_(
+                f"{expr.func!r} expects {len(sig.params)} arguments, got "
+                f"{len(expr.args)}", expr.span)
+        for arg, param in zip(expr.args, sig.params):
+            if isinstance(param, MemoryType):
+                self._check_memory_argument(arg, param, expr)
+            else:
+                arg_type = self.check_expr(arg)
+                if isinstance(arg_type, IndexType):
+                    arg_type = STATIC_INT
+                if not assignable(param, arg_type) and param != arg_type:
+                    raise TypeError_(
+                        f"argument to {expr.func!r}: expected {param}, "
+                        f"found {arg_type}", arg.span)
+        return sig.result
+
+    def _instantiate_call(self, sig: poly.PolyFunctionType,
+                          expr: ast.App) -> FunctionType:
+        """Monomorphize a polymorphic call (§6 "Polymorphism").
+
+        Bindings come from unifying each memory parameter's annotation
+        against the argument's concrete memory type; the instantiated
+        body is checked once per distinct binding, in a fresh checker
+        (the call's own resource accounting happens afterwards via the
+        ordinary whole-memory consumption rule)."""
+        func = sig.func
+        if len(expr.args) != len(func.params):
+            raise TypeError_(
+                f"{expr.func!r} expects {len(func.params)} arguments, got "
+                f"{len(expr.args)}", expr.span)
+        binding: poly.Binding = {}
+        for arg, param in zip(expr.args, func.params):
+            if not param.type.is_memory:
+                continue
+            if not isinstance(arg, ast.Var):
+                raise TypeError_(
+                    "memory arguments must be memory names", arg.span)
+            arg_type = self.gamma.lookup(arg.name, arg.span)
+            if not isinstance(arg_type, MemoryType):
+                raise TypeError_(
+                    f"argument {arg.name!r} to {expr.func!r} must be a "
+                    f"memory, found {arg_type}", arg.span)
+            poly.unify_param(binding, param.type, arg_type, arg.span)
+        instance = poly.instantiate(func, binding)
+        key = poly.binding_key(func.name, binding)
+        if key not in self._poly_checked:
+            # Mark before descending so self-recursive calls with the
+            # same binding do not re-enter (coinductive assumption; the
+            # desugarer separately bounds inlining depth).
+            self._poly_checked.add(key)
+            sub = Checker()
+            sub.functions = dict(self.functions)
+            sub.func_defs = dict(self.func_defs)
+            sub._created_memories_stack = [[]]
+            sub._poly_checked = self._poly_checked
+            try:
+                sub._check_funcdef_body(instance)
+            except DahliaError as error:
+                self._poly_checked.discard(key)
+                raise TypeError_(
+                    f"instantiating {func.name!r} with "
+                    f"{dict(sorted(binding.items()))} is invalid: "
+                    f"{error.message}", expr.span) from error
+        return FunctionType(
+            tuple(elaborate(p.type) for p in instance.params), VOID)
+
+    def _check_memory_argument(self, arg: ast.Expr, param: MemoryType,
+                               call: ast.App) -> None:
+        """Passing a memory to a function consumes the whole memory —
+        the callee may touch every bank (§6's modularity discussion)."""
+        if not isinstance(arg, ast.Var):
+            raise TypeError_(
+                "memory arguments must be memory names", arg.span)
+        info = self.views.get(arg.name)
+        if info is None or info.base_mem != arg.name:
+            raise TypeError_(
+                f"argument {arg.name!r} must be a memory (views cannot "
+                f"escape to callees)", arg.span)
+        arg_type = self.gamma.lookup(arg.name, arg.span)
+        if arg_type != param:
+            raise TypeError_(
+                f"memory argument {arg.name!r}: expected {param}, found "
+                f"{arg_type}", arg.span)
+        tokens = self.delta.tokens_for(info.base_mem, arg.span)
+        amount = self._replication()
+        for coord in list(tokens.tokens):
+            if not tokens.consume(coord, amount):
+                raise AlreadyConsumedError(
+                    f"memory {arg.name!r} was already consumed in this "
+                    f"time step; cannot pass it to {call.func!r}", call.span)
+
+    # ------------------------------------------------------------------
+    # Memory accesses — the heart of the checker
+    # ------------------------------------------------------------------
+
+    def _check_access(self, access: ast.Access, write: bool) -> ScalarType:
+        info = self.views.get(access.mem)
+        if info is None:
+            bound = self.gamma.maybe_lookup(access.mem)
+            if bound is None:
+                raise UnboundError(f"undefined memory {access.mem!r}",
+                                   access.span)
+            raise TypeError_(f"{access.mem!r} is not subscriptable "
+                             f"(type {bound})", access.span)
+        if access.is_physical:
+            return self._check_physical_access(access, info, write)
+        return self._check_logical_access(access, info, write)
+
+    def _classify_index(self, expr: ast.Expr) -> IndexClass:
+        static = view_mod._static_int(expr)
+        if static is not None:
+            return IndexClass("const", value=static)
+        if isinstance(expr, ast.Var):
+            type_ = self.gamma.maybe_lookup(expr.name)
+            if isinstance(type_, IndexType):
+                iters = (frozenset({expr.name})
+                         if type_.unroll > 1 else frozenset())
+                return IndexClass("iter", unroll=type_.unroll,
+                                  lo=type_.lo, hi=type_.hi, iters=iters)
+            return IndexClass("dyn")
+        unrolled = view_mod._iterators_in(expr, self._iterator_names())
+        if unrolled:
+            return IndexClass("iter-arith", iters=unrolled)
+        return IndexClass("dyn")
+
+    def _check_logical_access(self, access: ast.Access, info: ViewInfo,
+                              write: bool) -> ScalarType:
+        if len(access.indices) != info.ndims:
+            raise TypeError_(
+                f"{access.mem!r} has {info.ndims} dimension(s); access "
+                f"supplies {len(access.indices)}", access.span)
+
+        classes: list[IndexClass] = []
+        for position, index in enumerate(access.indices):
+            # Type the index as a value (consumes nothing: indices must
+            # not read memories — enforced by grammar of classifications).
+            self._check_index_value(index)
+            cls = self._classify_index(index)
+            if cls.kind == "iter-arith":
+                raise TypeError_(
+                    f"arithmetic on unrolled iterators "
+                    f"({', '.join(sorted(cls.iters))}) in a subscript "
+                    f"requires a memory view (§3.6)", index.span)
+            self._bounds_check(cls, info.view_dims[position], access.span)
+            classes.append(cls)
+
+        # Per-base-dimension consumed bank sets.
+        base_sets: list[set[int]] = [set() for _ in info.base_type.dims]
+        per_dim_view_banks: dict[int, list[tuple[str, set[int]]]] = {}
+        for position, cls in enumerate(classes):
+            vdim = info.view_dims[position]
+            role_banks = vdim.banks
+            bank_part = self._bank_part(cls, role_banks, access.span,
+                                        access.mem)
+            per_dim_view_banks.setdefault(vdim.base_dim, []).append(
+                (vdim.role, bank_part))
+        for base_dim, parts in per_dim_view_banks.items():
+            lens = info.lenses[base_dim]
+            if not lens.bank_known:
+                base_sets[base_dim] = set(range(lens.base_banks))
+                continue
+            if lens.split is not None:
+                major = next(p for role, p in parts if role == MAJOR)
+                minor = next(p for role, p in parts if role == MINOR)
+                k, w = lens.split
+                del k
+                view_banks = {a * w + b for a in major for b in minor}
+            else:
+                view_banks = parts[0][1]
+            base_sets[base_dim] = lens.expand_to_base(view_banks)
+
+        coords = [tuple(coord) for coord in product(*base_sets)]
+        self._consume(access, info, classes, coords, write)
+        return info.base_type.element
+
+    def _check_index_value(self, index: ast.Expr) -> None:
+        type_ = self.check_expr(index, consume=False) \
+            if not self._index_reads_memory(index) else None
+        if type_ is None:
+            raise TypeError_(
+                "memory reads are not allowed inside subscripts; bind the "
+                "value with let first", index.span)
+        if isinstance(type_, (MemoryType, CombineRegister)):
+            raise TypeError_(f"subscript has non-numeric type {type_}",
+                             index.span)
+        if type_ == BOOL:
+            raise TypeError_("subscript cannot be bool", index.span)
+
+    @staticmethod
+    def _index_reads_memory(index: ast.Expr) -> bool:
+        stack = [index]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Access):
+                return True
+            stack.extend(ast.child_exprs(node))
+        return False
+
+    def _bank_part(self, cls: IndexClass, role_banks: int, span: Span,
+                   mem: str) -> set[int]:
+        if cls.kind == "const":
+            return {cls.value % role_banks}
+        if cls.kind == "iter" and cls.unroll > 1:
+            if cls.unroll != role_banks:
+                raise InsufficientBanksError(
+                    f"access to {mem!r}: unroll factor {cls.unroll} does "
+                    f"not match banking factor {role_banks}; use a shrink "
+                    f"view for lower factors (§3.6)", span)
+            return set(range(role_banks))
+        # Sequential iterators and dynamic indices may touch any bank.
+        return set(range(role_banks))
+
+    def _bounds_check(self, cls: IndexClass, vdim, span: Span) -> None:
+        if vdim.size is None:
+            return
+        if cls.kind == "const" and not 0 <= cls.value < vdim.size:
+            raise TypeError_(
+                f"index {cls.value} out of bounds for size {vdim.size}",
+                span)
+        if cls.kind == "iter" and cls.hi is not None and cls.hi > vdim.size:
+            raise TypeError_(
+                f"iterator range 0..{cls.hi} exceeds dimension size "
+                f"{vdim.size}", span)
+
+    def _check_physical_access(self, access: ast.Access, info: ViewInfo,
+                               write: bool) -> ScalarType:
+        if info.base_mem != access.mem:
+            raise ViewError("physical accesses are not allowed on views",
+                            access.span)
+        if len(access.bank_indices) != 1 or len(access.indices) != 1:
+            raise TypeError_(
+                "physical access takes one flat bank selector and one "
+                "in-bank offset: M{b}[i] (§3.3)", access.span)
+        bank = view_mod._static_int(access.bank_indices[0])
+        if bank is None:
+            raise TypeError_("bank selectors must be static integers",
+                             access.span)
+        memory = info.base_type
+        if not 0 <= bank < memory.total_banks:
+            raise TypeError_(
+                f"bank {bank} out of range for {memory.total_banks} banks",
+                access.span)
+        self._check_index_value(access.indices[0])
+        coord = self._unflatten_bank(bank, memory)
+        classes = [self._classify_index(access.indices[0])]
+        self._consume(access, info, classes, [coord], write)
+        return memory.element
+
+    @staticmethod
+    def _unflatten_bank(flat: int, memory: MemoryType) -> tuple[int, ...]:
+        coord = []
+        for dim in reversed(memory.dims):
+            coord.append(flat % dim.banks)
+            flat //= dim.banks
+        return tuple(reversed(coord))
+
+    def _consume(self, access: ast.Access, info: ViewInfo,
+                 classes: list[IndexClass], coords, write: bool) -> None:
+        """Apply the replication-multiplicity rule and take tokens."""
+        index_iters: set[str] = set()
+        for cls in classes:
+            index_iters |= cls.iters
+        offset_iters: set[str] = set()
+        for lens in info.lenses:
+            offset_iters |= lens.offset_iters
+        offset_iters -= index_iters
+
+        u_used = v_used = 1
+        replication = 1
+        for frame in self.unroll_stack:
+            replication *= frame.factor
+            if frame.var in index_iters:
+                u_used *= frame.factor
+            elif frame.var in offset_iters:
+                v_used *= frame.factor
+        w_dupes = max(1, replication // (u_used * v_used))
+
+        tokens = self.delta.tokens_for(info.base_mem, access.span)
+        if write:
+            amount = v_used * w_dupes
+        else:
+            print_ = fingerprint(info.base_mem, access.mem, access)
+            if self.caps.has_read(print_):
+                return
+            amount = v_used
+        for coord in coords:
+            if not tokens.consume(coord, amount):
+                if amount > tokens.ports:
+                    raise InsufficientCapabilitiesError(
+                        f"{'write' if write else 'read'} to {access.mem!r} "
+                        f"is replicated {amount}× onto bank {coord} with "
+                        f"only {tokens.ports} port(s) (§3.4)", access.span)
+                raise AlreadyConsumedError(
+                    f"bank {coord} of memory {info.base_mem!r} was already "
+                    f"consumed in this logical time step; separate the "
+                    f"accesses with --- (§3.2)", access.span)
+        if not write:
+            self.caps.add_read(fingerprint(info.base_mem, access.mem, access))
+
+
+Checker._COMMAND_HANDLERS = {
+    ast.Skip: Checker._check_skip,
+    ast.ExprStmt: Checker._check_expr_stmt,
+    ast.Let: Checker._check_let,
+    ast.View: Checker._check_view,
+    ast.Assign: Checker._check_assign,
+    ast.Reduce: Checker._check_reduce,
+    ast.Store: Checker._check_store,
+    ast.ParComp: Checker._check_par,
+    ast.SeqComp: Checker._check_seq,
+    ast.Block: Checker._check_block,
+    ast.If: Checker._check_if,
+    ast.While: Checker._check_while,
+    ast.For: Checker._check_for,
+}
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def check_program(program: ast.Program) -> CheckReport:
+    """Type-check a parsed program; raises a DahliaError on rejection."""
+    return Checker().check_program(program)
+
+
+def check_source(text: str, name: str = "<input>") -> CheckReport:
+    """Parse and type-check Dahlia source text."""
+    from ..frontend.parser import parse
+
+    return check_program(parse(text, name))
+
+
+def accepts(text: str) -> bool:
+    """Does the checker accept this source? (DSE acceptance oracle.)"""
+    from ..errors import DahliaError
+
+    try:
+        check_source(text)
+    except DahliaError:
+        return False
+    return True
+
+
+def rejection_reason(text: str) -> str | None:
+    """The error kind for a rejected program, or None when accepted."""
+    from ..errors import DahliaError
+
+    try:
+        check_source(text)
+    except DahliaError as error:
+        return error.kind
+    return None

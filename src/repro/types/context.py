@@ -1,0 +1,169 @@
+"""Typing contexts: the standard context Γ and the affine context Δ.
+
+Γ (:class:`VarContext`) is a stack of lexical scopes mapping names to
+types.
+
+Δ (:class:`AffineContext`) tracks, per memory and per *bank*, how many
+port tokens remain in the current logical time step — the paper's
+time-sensitive affine resources. Ordered composition (``---``) checks
+each command against a copy of the incoming Δ and intersects the results
+(the Γ₁,Δ₁ ⊢ c₁ c₂ rule of §4.3); unordered composition threads a single
+Δ through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from ..errors import AlreadyBoundError, UnboundError
+from ..source import Span, UNKNOWN_SPAN
+from .types import MemoryType, Type
+
+#: A bank coordinate: one bank index per memory dimension.
+BankCoord = tuple[int, ...]
+
+
+class VarContext:
+    """Γ — lexically scoped variable typing."""
+
+    def __init__(self) -> None:
+        self._scopes: list[dict[str, Type]] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def bind(self, name: str, type_: Type, span: Span = UNKNOWN_SPAN) -> None:
+        scope = self._scopes[-1]
+        if name in scope:
+            raise AlreadyBoundError(
+                f"{name!r} is already defined in this scope", span)
+        scope[name] = type_
+
+    def rebind(self, name: str, type_: Type) -> None:
+        """Overwrite the innermost binding of ``name`` (used by combine
+        blocks to re-view body variables as combine registers)."""
+        for scope in reversed(self._scopes):
+            if name in scope:
+                scope[name] = type_
+                return
+        self._scopes[-1][name] = type_
+
+    def lookup(self, name: str, span: Span = UNKNOWN_SPAN) -> Type:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise UnboundError(f"undefined name {name!r}", span)
+
+    def maybe_lookup(self, name: str) -> Type | None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def depth_of(self, name: str) -> int | None:
+        """Scope depth holding ``name`` (0 = outermost), or None."""
+        for depth in range(len(self._scopes) - 1, -1, -1):
+            if name in self._scopes[depth]:
+                return depth
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.maybe_lookup(name) is not None
+
+    def names_in_innermost(self) -> list[str]:
+        return list(self._scopes[-1])
+
+
+@dataclass
+class BankTokens:
+    """Remaining port tokens for every bank of one memory."""
+
+    ports: int
+    tokens: dict[BankCoord, int] = field(default_factory=dict)
+
+    @staticmethod
+    def fresh(memory: MemoryType) -> "BankTokens":
+        coords = product(*(range(dim.banks) for dim in memory.dims))
+        return BankTokens(memory.ports,
+                          {coord: memory.ports for coord in coords})
+
+    def copy(self) -> "BankTokens":
+        return BankTokens(self.ports, dict(self.tokens))
+
+    def available(self, coord: BankCoord) -> int:
+        return self.tokens.get(coord, 0)
+
+    def consume(self, coord: BankCoord, amount: int) -> bool:
+        """Take ``amount`` tokens from ``coord``; False if insufficient."""
+        have = self.tokens.get(coord, 0)
+        if have < amount:
+            return False
+        self.tokens[coord] = have - amount
+        return True
+
+    def restore_full(self) -> None:
+        for coord in self.tokens:
+            self.tokens[coord] = self.ports
+
+    def intersect(self, other: "BankTokens") -> "BankTokens":
+        merged = {coord: min(count, other.tokens.get(coord, 0))
+                  for coord, count in self.tokens.items()}
+        return BankTokens(self.ports, merged)
+
+
+class AffineContext:
+    """Δ — per-memory, per-bank affine port tokens for one time step."""
+
+    def __init__(self) -> None:
+        self._memories: dict[str, BankTokens] = {}
+
+    def add_memory(self, name: str, memory: MemoryType) -> None:
+        self._memories[name] = BankTokens.fresh(memory)
+
+    def remove_memory(self, name: str) -> None:
+        self._memories.pop(name, None)
+
+    def has_memory(self, name: str) -> bool:
+        return name in self._memories
+
+    def tokens_for(self, name: str, span: Span = UNKNOWN_SPAN) -> BankTokens:
+        if name not in self._memories:
+            raise UnboundError(f"no affine resource for memory {name!r}",
+                               span)
+        return self._memories[name]
+
+    def copy(self) -> "AffineContext":
+        clone = AffineContext()
+        clone._memories = {name: tokens.copy()
+                           for name, tokens in self._memories.items()}
+        return clone
+
+    def intersect(self, other: "AffineContext") -> "AffineContext":
+        """Pointwise minimum — the Δ₂ ∩ Δ₃ of the ordered-composition rule.
+
+        Memories present on only one side (declared inside one branch or
+        step) are kept as-is: declaration is not consumption.
+        """
+        merged = AffineContext()
+        for name, tokens in self._memories.items():
+            if name in other._memories:
+                merged._memories[name] = tokens.intersect(
+                    other._memories[name])
+            else:
+                merged._memories[name] = tokens.copy()
+        for name, tokens in other._memories.items():
+            if name not in merged._memories:
+                merged._memories[name] = tokens.copy()
+        return merged
+
+    def restore_all(self) -> None:
+        """Give every memory its full port budget — a new time step."""
+        for tokens in self._memories.values():
+            tokens.restore_full()
+
+    def memory_names(self) -> list[str]:
+        return list(self._memories)

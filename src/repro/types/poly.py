@@ -1,0 +1,428 @@
+"""Size/banking polymorphism for functions (§6 "Polymorphism").
+
+The paper: *"Dahlia's memory types are monomorphic. Polymorphism would
+enable abstraction over memories' banking strategies and sizes. A
+polymorphic Dahlia-like language could rule out invalid combinations of
+abstract implementation parameters before the designer picks concrete
+values."* This module implements that extension.
+
+A ``def`` whose parameter annotations mention identifiers in dimension
+positions is *polymorphic* over those type parameters:
+
+.. code-block:: text
+
+    def scale(src: float[N bank B], dst: float[N bank B]) {
+      for (let i = 0..N) unroll B {
+        dst[i] := src[i] * 2.0;
+      }
+    }
+
+Call sites bind the parameters by unifying each parameter annotation
+against the argument memory's concrete type (the same symbol must bind
+to the same value everywhere), substitute them through the body — into
+memory annotations, loop bounds/unroll factors, and expression
+positions — and check the *instantiated* body (monomorphization; each
+distinct binding is checked once). The closed-world assumption (§6)
+makes this terminate: there are finitely many call sites.
+
+Invalid combinations are ruled out exactly as the paper envisions: an
+instantiation whose unroll no longer matches its banking is rejected at
+the call site with the ordinary §3 errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TypeError_
+from ..frontend import ast
+from ..source import Span
+from .types import MemoryType
+
+
+@dataclass(frozen=True)
+class PolyFunctionType:
+    """Checker-side signature of a polymorphic function: the raw def,
+    deferred until call sites provide bindings."""
+
+    func: ast.FuncDef
+
+    @property
+    def params(self) -> list[ast.Param]:
+        return self.func.params
+
+    def __str__(self) -> str:
+        names = ", ".join(sorted(type_parameters(self.func)))
+        return f"poly<{names}>({len(self.func.params)} params)"
+
+
+#: A concrete binding of type parameters to integers.
+Binding = dict[str, int]
+
+
+def annotation_parameters(annotation: ast.TypeAnnotation) -> set[str]:
+    """Type parameters mentioned in one annotation's dimensions."""
+    names: set[str] = set()
+    for dim in annotation.dims:
+        if isinstance(dim.size, str):
+            names.add(dim.size)
+        if isinstance(dim.banks, str):
+            names.add(dim.banks)
+    return names
+
+
+def type_parameters(func: ast.FuncDef) -> set[str]:
+    """All type parameters of a function's signature."""
+    names: set[str] = set()
+    for param in func.params:
+        names |= annotation_parameters(param.type)
+    return names
+
+
+def is_polymorphic(func: ast.FuncDef) -> bool:
+    return bool(type_parameters(func))
+
+
+# ---------------------------------------------------------------------------
+# Unification at call sites
+# ---------------------------------------------------------------------------
+
+
+def _bind_atom(binding: Binding, atom: int | str, actual: int,
+               what: str, span: Span) -> None:
+    if isinstance(atom, int):
+        if atom != actual:
+            raise TypeError_(
+                f"{what}: expected {atom}, found {actual}", span)
+        return
+    bound = binding.get(atom)
+    if bound is None:
+        binding[atom] = actual
+    elif bound != actual:
+        raise TypeError_(
+            f"{what}: type parameter {atom!r} already bound to {bound}, "
+            f"cannot also be {actual}", span)
+
+
+def unify_param(binding: Binding, annotation: ast.TypeAnnotation,
+                actual: MemoryType, span: Span) -> None:
+    """Match one memory parameter annotation against a concrete type,
+    extending ``binding`` (mutated) or raising on mismatch."""
+    if len(annotation.dims) != len(actual.dims):
+        raise TypeError_(
+            f"memory argument has {len(actual.dims)} dimensions, "
+            f"parameter expects {len(annotation.dims)}", span)
+    if annotation.ports != actual.ports:
+        raise TypeError_(
+            f"memory argument has {actual.ports} port(s), parameter "
+            f"expects {annotation.ports}", span)
+    if str(actual.element) != annotation.base:
+        raise TypeError_(
+            f"memory argument holds {actual.element}, parameter expects "
+            f"{annotation.base}", span)
+    for position, (dim, mem_dim) in enumerate(
+            zip(annotation.dims, actual.dims)):
+        _bind_atom(binding, dim.size, mem_dim.size,
+                   f"dimension {position} size", span)
+        _bind_atom(binding, dim.banks, mem_dim.banks,
+                   f"dimension {position} banking", span)
+
+
+# ---------------------------------------------------------------------------
+# Instantiation (substitution of a binding through a def)
+# ---------------------------------------------------------------------------
+
+
+def _subst_atom(atom: int | str, binding: Binding, span: Span) -> int:
+    if isinstance(atom, int):
+        return atom
+    value = binding.get(atom)
+    if value is None:
+        raise TypeError_(
+            f"unbound type parameter {atom!r} — it does not occur in any "
+            f"memory parameter of the function", span)
+    return value
+
+
+def _subst_annotation(annotation: ast.TypeAnnotation,
+                      binding: Binding) -> ast.TypeAnnotation:
+    if not any(dim.is_symbolic for dim in annotation.dims):
+        return annotation
+    dims = tuple(
+        ast.DimSpec(_subst_atom(dim.size, binding, annotation.span),
+                    _subst_atom(dim.banks, binding, annotation.span))
+        for dim in annotation.dims)
+    return ast.TypeAnnotation(annotation.base, dims, annotation.ports,
+                              span=annotation.span)
+
+
+def _subst_expr(expr: ast.Expr, binding: Binding) -> ast.Expr:
+    """Replace ``Var(p)`` with the bound integer for type parameters.
+
+    Shadowing is ruled out by :func:`_reject_shadowing`, so blind
+    substitution is sound.
+    """
+    if isinstance(expr, ast.Var) and expr.name in binding:
+        return ast.IntLit(binding[expr.name], span=expr.span)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, _subst_expr(expr.lhs, binding),
+                          _subst_expr(expr.rhs, binding), span=expr.span)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _subst_expr(expr.operand, binding),
+                         span=expr.span)
+    if isinstance(expr, ast.Access):
+        return ast.Access(
+            expr.mem,
+            [_subst_expr(e, binding) for e in expr.indices],
+            [_subst_expr(e, binding) for e in expr.bank_indices],
+            span=expr.span)
+    if isinstance(expr, ast.App):
+        return ast.App(expr.func,
+                       [_subst_expr(a, binding) for a in expr.args],
+                       span=expr.span)
+    return expr
+
+
+def _subst_command(cmd: ast.Command, binding: Binding) -> ast.Command:
+    if isinstance(cmd, ast.Skip):
+        return cmd
+    if isinstance(cmd, ast.ExprStmt):
+        return ast.ExprStmt(_subst_expr(cmd.expr, binding), span=cmd.span)
+    if isinstance(cmd, ast.Let):
+        type_ = (_subst_annotation(cmd.type, binding)
+                 if cmd.type is not None else None)
+        init = (_subst_expr(cmd.init, binding)
+                if cmd.init is not None else None)
+        return ast.Let(cmd.name, type_, init, span=cmd.span)
+    if isinstance(cmd, ast.View):
+        return ast.View(
+            cmd.name, cmd.kind, cmd.mem,
+            [_subst_expr(f, binding) if f is not None else None
+             for f in cmd.factors],
+            span=cmd.span)
+    if isinstance(cmd, ast.Assign):
+        return ast.Assign(cmd.name, _subst_expr(cmd.expr, binding),
+                          span=cmd.span)
+    if isinstance(cmd, ast.Store):
+        access = _subst_expr(cmd.access, binding)
+        assert isinstance(access, ast.Access)
+        return ast.Store(access, _subst_expr(cmd.expr, binding),
+                         span=cmd.span)
+    if isinstance(cmd, ast.Reduce):
+        access = None
+        if cmd.target_is_access is not None:
+            subst = _subst_expr(cmd.target_is_access, binding)
+            assert isinstance(subst, ast.Access)
+            access = subst
+        return ast.Reduce(cmd.op, cmd.target,
+                          _subst_expr(cmd.expr, binding),
+                          target_is_access=access, span=cmd.span)
+    if isinstance(cmd, ast.ParComp):
+        return ast.ParComp([_subst_command(c, binding)
+                            for c in cmd.commands], span=cmd.span)
+    if isinstance(cmd, ast.SeqComp):
+        return ast.SeqComp([_subst_command(c, binding)
+                            for c in cmd.commands], span=cmd.span)
+    if isinstance(cmd, ast.Block):
+        return ast.Block(_subst_command(cmd.body, binding), span=cmd.span)
+    if isinstance(cmd, ast.If):
+        return ast.If(
+            _subst_expr(cmd.cond, binding),
+            _subst_command(cmd.then_branch, binding),
+            (_subst_command(cmd.else_branch, binding)
+             if cmd.else_branch is not None else None),
+            span=cmd.span)
+    if isinstance(cmd, ast.While):
+        return ast.While(_subst_expr(cmd.cond, binding),
+                         _subst_command(cmd.body, binding), span=cmd.span)
+    if isinstance(cmd, ast.For):
+        return ast.For(
+            cmd.var,
+            _subst_atom(cmd.start, binding, cmd.span),
+            _subst_atom(cmd.end, binding, cmd.span),
+            _subst_atom(cmd.unroll, binding, cmd.span),
+            _subst_command(cmd.body, binding),
+            (_subst_command(cmd.combine, binding)
+             if cmd.combine is not None else None),
+            span=cmd.span)
+    raise TypeError_(f"cannot instantiate {type(cmd).__name__}", cmd.span)
+
+
+def _reject_shadowing(func: ast.FuncDef, parameters: set[str]) -> None:
+    """Type parameters must not collide with any binder in the body —
+    substitution would silently capture it otherwise."""
+    shadowers: set[str] = {p.name for p in func.params}
+    for cmd in ast.walk_commands(func.body):
+        if isinstance(cmd, (ast.Let, ast.View)):
+            shadowers.add(cmd.name)
+        elif isinstance(cmd, ast.For):
+            shadowers.add(cmd.var)
+    collisions = parameters & shadowers
+    if collisions:
+        raise TypeError_(
+            f"type parameter(s) {sorted(collisions)} shadowed by local "
+            f"binders in {func.name!r}; rename one of them", func.span)
+
+
+def instantiate(func: ast.FuncDef, binding: Binding) -> ast.FuncDef:
+    """A monomorphic copy of ``func`` under ``binding``."""
+    parameters = type_parameters(func)
+    missing = parameters - set(binding)
+    if missing:
+        raise TypeError_(
+            f"cannot instantiate {func.name!r}: unbound type "
+            f"parameter(s) {sorted(missing)}", func.span)
+    _reject_shadowing(func, parameters)
+    restricted = {name: binding[name] for name in parameters}
+    params = [
+        ast.Param(p.name, _subst_annotation(p.type, restricted),
+                  span=p.span)
+        for p in func.params
+    ]
+    body = _subst_command(func.body, restricted)
+    return ast.FuncDef(func.name, params, body, span=func.span)
+
+
+def binding_key(func_name: str, binding: Binding) -> tuple:
+    """A hashable cache key for one instantiation."""
+    return (func_name, tuple(sorted(binding.items())))
+
+
+def specialized_name(func_name: str, binding: Binding) -> str:
+    """A C-compatible name for one instantiation, e.g. ``scale__N8_K2``."""
+    parts = "_".join(f"{name}{value}"
+                     for name, value in sorted(binding.items()))
+    return f"{func_name}__{parts}" if parts else func_name
+
+
+# ---------------------------------------------------------------------------
+# Whole-program monomorphization
+# ---------------------------------------------------------------------------
+
+
+def monomorphize_program(program: ast.Program) -> ast.Program:
+    """Rewrite a program so no polymorphic definition remains.
+
+    Every call to a polymorphic function is retargeted at a specialized
+    copy (one per distinct binding, discovered transitively through
+    monomorphic and freshly specialized bodies). Consumers that emit
+    per-function artifacts — the HLS C++ backend emits one C++ function
+    per ``def`` — run on the result unchanged. Programs without
+    polymorphic defs are returned as-is.
+    """
+    poly_defs = {f.name: f for f in program.defs if is_polymorphic(f)}
+    if not poly_defs:
+        return program
+
+    specializations: dict[tuple, ast.FuncDef] = {}
+
+    def memory_env_of(func: ast.FuncDef) -> dict[str, ast.TypeAnnotation]:
+        return {p.name: p.type for p in func.params if p.type.is_memory}
+
+    def rewrite_expr(expr: ast.Expr,
+                     env: dict[str, ast.TypeAnnotation]) -> ast.Expr:
+        if isinstance(expr, ast.App):
+            args = [rewrite_expr(a, env) for a in expr.args]
+            func = poly_defs.get(expr.func)
+            if func is None:
+                return ast.App(expr.func, args, span=expr.span)
+            binding: Binding = {}
+            for param, arg in zip(func.params, args):
+                if not param.type.is_memory:
+                    continue
+                if not isinstance(arg, ast.Var) or arg.name not in env:
+                    raise TypeError_(
+                        f"cannot monomorphize call to {expr.func!r}: "
+                        f"argument is not a memory in scope", expr.span)
+                from .types import elaborate
+
+                actual = elaborate(env[arg.name])
+                assert isinstance(actual, MemoryType)
+                unify_param(binding, param.type, actual, expr.span)
+            key = binding_key(func.name, binding)
+            if key not in specializations:
+                instance = instantiate(func, binding)
+                new_name = specialized_name(func.name, binding)
+                body = rewrite_cmd(instance.body, memory_env_of(instance))
+                specializations[key] = ast.FuncDef(
+                    new_name, instance.params, body, span=instance.span)
+            return ast.App(specializations[key].name, args, span=expr.span)
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(expr.op, rewrite_expr(expr.lhs, env),
+                              rewrite_expr(expr.rhs, env), span=expr.span)
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.op, rewrite_expr(expr.operand, env),
+                             span=expr.span)
+        if isinstance(expr, ast.Access):
+            return ast.Access(
+                expr.mem,
+                [rewrite_expr(e, env) for e in expr.indices],
+                [rewrite_expr(e, env) for e in expr.bank_indices],
+                span=expr.span)
+        return expr
+
+    def rewrite_cmd(cmd: ast.Command,
+                    env: dict[str, ast.TypeAnnotation]) -> ast.Command:
+        if isinstance(cmd, ast.ExprStmt):
+            return ast.ExprStmt(rewrite_expr(cmd.expr, env), span=cmd.span)
+        if isinstance(cmd, ast.Let):
+            if cmd.type is not None and cmd.type.is_memory:
+                env[cmd.name] = cmd.type
+            init = (rewrite_expr(cmd.init, env)
+                    if cmd.init is not None else None)
+            return ast.Let(cmd.name, cmd.type, init, span=cmd.span)
+        if isinstance(cmd, ast.Assign):
+            return ast.Assign(cmd.name, rewrite_expr(cmd.expr, env),
+                              span=cmd.span)
+        if isinstance(cmd, ast.Store):
+            access = rewrite_expr(cmd.access, env)
+            assert isinstance(access, ast.Access)
+            return ast.Store(access, rewrite_expr(cmd.expr, env),
+                             span=cmd.span)
+        if isinstance(cmd, ast.Reduce):
+            access = None
+            if cmd.target_is_access is not None:
+                rewritten = rewrite_expr(cmd.target_is_access, env)
+                assert isinstance(rewritten, ast.Access)
+                access = rewritten
+            return ast.Reduce(cmd.op, cmd.target,
+                              rewrite_expr(cmd.expr, env),
+                              target_is_access=access, span=cmd.span)
+        if isinstance(cmd, ast.ParComp):
+            return ast.ParComp([rewrite_cmd(c, env) for c in cmd.commands],
+                               span=cmd.span)
+        if isinstance(cmd, ast.SeqComp):
+            return ast.SeqComp([rewrite_cmd(c, env) for c in cmd.commands],
+                               span=cmd.span)
+        if isinstance(cmd, ast.Block):
+            return ast.Block(rewrite_cmd(cmd.body, dict(env)),
+                             span=cmd.span)
+        if isinstance(cmd, ast.If):
+            return ast.If(
+                rewrite_expr(cmd.cond, env),
+                rewrite_cmd(cmd.then_branch, dict(env)),
+                (rewrite_cmd(cmd.else_branch, dict(env))
+                 if cmd.else_branch is not None else None),
+                span=cmd.span)
+        if isinstance(cmd, ast.While):
+            return ast.While(rewrite_expr(cmd.cond, env),
+                             rewrite_cmd(cmd.body, dict(env)),
+                             span=cmd.span)
+        if isinstance(cmd, ast.For):
+            return ast.For(cmd.var, cmd.start, cmd.end, cmd.unroll,
+                           rewrite_cmd(cmd.body, dict(env)),
+                           (rewrite_cmd(cmd.combine, dict(env))
+                            if cmd.combine is not None else None),
+                           span=cmd.span)
+        return cmd
+
+    top_env = {decl.name: decl.type for decl in program.decls}
+    mono_defs = [
+        ast.FuncDef(f.name, f.params,
+                    rewrite_cmd(f.body, memory_env_of(f)), span=f.span)
+        for f in program.defs if not is_polymorphic(f)
+    ]
+    body = rewrite_cmd(program.body, top_env)
+    new_defs = mono_defs + [specializations[key]
+                            for key in sorted(specializations)]
+    return ast.Program(program.decls, new_defs, body, span=program.span)

@@ -1,0 +1,250 @@
+"""Semantic types for the Dahlia type checker.
+
+The checker distinguishes:
+
+* scalar value types (non-affine, freely copyable — §3.2 "local variables
+  as wires & registers"),
+* *index types* ``idx{lo..hi}`` carried by loop iterators (§3.4), which
+  record how many unrolled copies the iterator stands for,
+* *memory types* ``mem t{ports}[n bank m]…`` (affine resources, §3.1/§3.3),
+* *combine registers*, the tuple-of-copies type given to loop-body
+  variables inside ``combine`` blocks (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BankingError, TypeError_
+from ..frontend.ast import TypeAnnotation
+from ..source import Span, UNKNOWN_SPAN
+
+
+class Type:
+    """Base class of semantic types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """``float``, ``double``, ``bool``, or ``bit<width>``."""
+
+    base: str                  # "float" | "double" | "bool" | "bit"
+    width: int | None = None   # only for "bit"
+
+    def __str__(self) -> str:
+        if self.base == "bit":
+            return f"bit<{self.width}>"
+        return self.base
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.base in ("float", "double", "bit")
+
+
+FLOAT = ScalarType("float")
+DOUBLE = ScalarType("double")
+BOOL = ScalarType("bool")
+
+
+def bit(width: int) -> ScalarType:
+    return ScalarType("bit", width)
+
+
+#: Type given to integer literals: coercible to any numeric type.
+STATIC_INT = ScalarType("bit", 32)
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """The type of a loop iterator unrolled by ``unroll`` (§3.4).
+
+    An access at this iterator stands for ``unroll`` parallel copies and
+    consumes ``unroll`` distinct banks. ``lo``/``hi`` record the value
+    range for bounds checking.
+    """
+
+    unroll: int
+    lo: int
+    hi: int
+
+    def __str__(self) -> str:
+        return f"idx{{0..{self.unroll}}}"
+
+
+@dataclass(frozen=True)
+class MemDim(Type):
+    """One memory dimension with its banking factor."""
+
+    size: int
+    banks: int = 1
+
+    def __str__(self) -> str:
+        if self.banks == 1:
+            return f"[{self.size}]"
+        return f"[{self.size} bank {self.banks}]"
+
+    @property
+    def bank_size(self) -> int:
+        return self.size // self.banks
+
+
+@dataclass(frozen=True)
+class MemoryType(Type):
+    """``mem t{ports}[d0][d1]…`` — a static physical resource (§3.1)."""
+
+    element: ScalarType
+    dims: tuple[MemDim, ...]
+    ports: int = 1
+
+    def __str__(self) -> str:
+        ports = f"{{{self.ports}}}" if self.ports != 1 else ""
+        return f"mem {self.element}{ports}" + "".join(str(d) for d in self.dims)
+
+    @property
+    def total_banks(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim.banks
+        return total
+
+    @property
+    def total_size(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim.size
+        return total
+
+
+@dataclass(frozen=True)
+class CombineRegister(Type):
+    """Tuple of per-copy values of a loop-body variable (§3.5)."""
+
+    element: ScalarType
+    copies: int
+
+    def __str__(self) -> str:
+        return f"combine<{self.element} x {self.copies}>"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+VOID = VoidType()
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    params: tuple[Type, ...]
+    result: Type = VOID
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"({params}) -> {self.result}"
+
+
+# ---------------------------------------------------------------------------
+# Elaboration of surface annotations & numeric compatibility
+# ---------------------------------------------------------------------------
+
+_SCALAR_BASES = {
+    "float": FLOAT,
+    "double": DOUBLE,
+    "bool": BOOL,
+}
+
+
+def elaborate_scalar(base: str, span: Span = UNKNOWN_SPAN) -> ScalarType:
+    if base in _SCALAR_BASES:
+        return _SCALAR_BASES[base]
+    if base.startswith("bit<") and base.endswith(">"):
+        return bit(int(base[4:-1]))
+    raise TypeError_(f"unknown scalar type {base!r}", span)
+
+
+def elaborate(annotation: TypeAnnotation) -> Type:
+    """Turn a surface annotation into a semantic type.
+
+    Checks the §3.3 well-formedness rule: every banking factor must evenly
+    divide its dimension's size (HLS tools allow uneven banking and pay
+    for it in silent extra hardware; Dahlia rejects it).
+    """
+    element = elaborate_scalar(annotation.base, annotation.span)
+    if not annotation.is_memory:
+        if annotation.ports != 1:
+            raise TypeError_("scalar types cannot specify ports",
+                             annotation.span)
+        return element
+    dims = []
+    for dim in annotation.dims:
+        if dim.is_symbolic:
+            raise TypeError_(
+                f"symbolic dimension {dim} — type parameters are only "
+                f"legal in polymorphic `def` signatures and are bound to "
+                f"integers at call sites (\u00a76 polymorphism)",
+                annotation.span)
+        if dim.banks < 1:
+            raise BankingError(f"banking factor must be positive, "
+                               f"got {dim.banks}", annotation.span)
+        if dim.size % dim.banks != 0:
+            raise BankingError(
+                f"banking factor {dim.banks} does not divide size "
+                f"{dim.size}; uneven banks require leftover hardware (§2.1)",
+                annotation.span)
+        dims.append(MemDim(dim.size, dim.banks))
+    if annotation.ports < 1:
+        raise TypeError_("port count must be positive", annotation.span)
+    return MemoryType(element, tuple(dims), annotation.ports)
+
+
+def join_numeric(left: Type, right: Type, span: Span = UNKNOWN_SPAN) -> ScalarType:
+    """The result type of an arithmetic operator, or raise.
+
+    Index types behave as integers in value position (``2*i+1`` is fine —
+    the *access-site* restriction on index arithmetic lives in the
+    checker, not here).
+    """
+    left_s = _as_numeric_scalar(left, span)
+    right_s = _as_numeric_scalar(right, span)
+    if left_s.base == right_s.base == "bit":
+        return bit(max(left_s.width or 0, right_s.width or 0))
+    ranking = {"bit": 0, "float": 1, "double": 2}
+    if left_s.base not in ranking or right_s.base not in ranking:
+        raise TypeError_(
+            f"cannot apply arithmetic to {left} and {right}", span)
+    winner = max((left_s, right_s), key=lambda s: ranking[s.base])
+    return winner
+
+
+def _as_numeric_scalar(type_: Type, span: Span) -> ScalarType:
+    if isinstance(type_, IndexType):
+        return STATIC_INT
+    if isinstance(type_, ScalarType) and type_.is_numeric:
+        return type_
+    raise TypeError_(f"expected a numeric type, found {type_}", span)
+
+
+def assignable(target: Type, source: Type) -> bool:
+    """May a value of ``source`` be stored into a slot of ``target``?
+
+    Integer (bit) values coerce into floats — Dahlia's C++ backend
+    relies on C++'s implicit numeric conversions for literals.
+    """
+    if isinstance(source, IndexType):
+        source = STATIC_INT
+    if not isinstance(target, ScalarType) or not isinstance(source, ScalarType):
+        return False
+    if target == source:
+        return True
+    if target.base == "bit" and source.base == "bit":
+        return True
+    if target.base in ("float", "double") and source.base in ("bit", "float"):
+        return True
+    if target.base == "double" and source.base == "double":
+        return True
+    return False

@@ -1,0 +1,406 @@
+"""Memory views: shrink, suffix, shift, and split (§3.6).
+
+A view is a logical re-arrangement of a physical memory. The checker
+reduces every access — whether through a view or directly — to a set of
+*base-memory bank coordinates* it consumes, so the affine accounting in
+:mod:`repro.types.context` is uniform.
+
+Each underlying dimension of the base memory is described by a
+:class:`DimLens` capturing everything the checker needs:
+
+* ``view_banks`` — banks exposed at the view level (shrink reduces this);
+* ``bank_known`` — whether the view→base bank map is static (``shift``
+  and unaligned suffixes clear it, forcing whole-dimension consumption,
+  which is exactly the paper's "each PE is connected to every bank" cost);
+* ``bank_offset`` — a static additive bank rotation (constant suffixes);
+* ``split`` — the ``(k, w)`` pair for split views, where a major/minor
+  index pair maps to base bank ``major·w + (minor mod w)`` (this matches
+  the paper's 12-element split diagram);
+* ``offset_iters`` — loop iterators buried in offset expressions, used by
+  the checker's replication-multiplicity rule to reject the paper's
+  "cannot establish disjointness of parallel views" example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ViewError
+from ..frontend import ast
+from ..source import Span
+from .types import MemoryType
+
+
+@dataclass(frozen=True)
+class DimLens:
+    """How accesses to (a part of) one base dimension consume banks."""
+
+    base_size: int
+    base_banks: int
+    view_size: int | None        # None once offsets become dynamic
+    view_banks: int
+    bank_known: bool = True
+    bank_offset: int = 0
+    split: tuple[int, int] | None = None      # (k, w); k·w == view_banks
+    offset_iters: frozenset[str] = frozenset()
+
+    def expand_to_base(self, view_banks_set: set[int]) -> set[int]:
+        """Map a set of view-level banks to base-level banks.
+
+        A shrink view exposes ``view_banks < base_banks``; view bank ``v``
+        stands for the congruence class ``{v, v+vb, v+2vb, …}`` of base
+        banks (the paper's shrink figure: PE0 owns banks 0 and 2).
+        """
+        if not self.bank_known:
+            return set(range(self.base_banks))
+        copies = self.base_banks // self.view_banks
+        return {
+            (v + m * self.view_banks + self.bank_offset) % self.base_banks
+            for v in view_banks_set
+            for m in range(copies)
+        }
+
+
+#: Role of a view dimension w.r.t. its base dimension.
+WHOLE, MAJOR, MINOR = "whole", "major", "minor"
+
+
+@dataclass(frozen=True)
+class ViewDim:
+    """One dimension of the view as the programmer sees it."""
+
+    base_dim: int                # index into the base memory's dims
+    role: str                    # WHOLE | MAJOR | MINOR
+    size: int | None
+    banks: int
+
+
+@dataclass
+class ViewInfo:
+    """A fully resolved view (possibly a view of a view)."""
+
+    name: str
+    base_mem: str                # the physical memory at the bottom
+    base_type: MemoryType
+    lenses: list[DimLens]        # one per base dimension
+    view_dims: list[ViewDim]     # programmer-facing dimensions
+    #: address-translation chain for the backend / interpreter: for every
+    #: base dim, a list of (kind, payload) transform steps, innermost last.
+    transforms: list[list[tuple[str, object]]] = field(default_factory=list)
+
+    @property
+    def ndims(self) -> int:
+        return len(self.view_dims)
+
+    def role_banks(self, view_dim: int) -> int:
+        return self.view_dims[view_dim].banks
+
+
+def identity_view(name: str, memory: MemoryType) -> ViewInfo:
+    """Wrap a plain memory so direct accesses use the same machinery."""
+    lenses = [
+        DimLens(dim.size, dim.banks, dim.size, dim.banks)
+        for dim in memory.dims
+    ]
+    view_dims = [
+        ViewDim(index, WHOLE, dim.size, dim.banks)
+        for index, dim in enumerate(memory.dims)
+    ]
+    return ViewInfo(name, name, memory, lenses, view_dims,
+                    [[] for _ in memory.dims])
+
+
+def _static_int(expr: ast.Expr) -> int | None:
+    """Constant-fold an expression to an int, or None."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _static_int(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.Binary):
+        lhs, rhs = _static_int(expr.lhs), _static_int(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        op = expr.op
+        if op is ast.BinOp.ADD:
+            return lhs + rhs
+        if op is ast.BinOp.SUB:
+            return lhs - rhs
+        if op is ast.BinOp.MUL:
+            return lhs * rhs
+        if op is ast.BinOp.DIV and rhs != 0:
+            return lhs // rhs
+        if op is ast.BinOp.MOD and rhs != 0:
+            return lhs % rhs
+    return None
+
+
+def _iterators_in(expr: ast.Expr, iterator_names: set[str]) -> frozenset[str]:
+    found = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Var) and node.name in iterator_names:
+            found.add(node.name)
+        stack.extend(ast.child_exprs(node))
+    return frozenset(found)
+
+
+def _check_factor_count(view: ast.View, expected: int) -> None:
+    if len(view.factors) != expected:
+        raise ViewError(
+            f"view {view.name!r}: expected {expected} factor(s) for a "
+            f"{expected}-dimensional target, got {len(view.factors)}",
+            view.span)
+
+
+def apply_view(view: ast.View, parent: ViewInfo,
+               iterator_names: set[str]) -> ViewInfo:
+    """Elaborate one ``view`` declaration on top of ``parent``.
+
+    Raises :class:`ViewError` for the paper's static restrictions:
+    shrink factors must divide the banking factor, aligned suffixes must
+    scale by the banking factor, split factors must divide both banks and
+    size.
+    """
+    builder = {
+        ast.ViewKind.SHRINK: _apply_shrink,
+        ast.ViewKind.SUFFIX: _apply_suffix,
+        ast.ViewKind.SHIFT: _apply_shift,
+        ast.ViewKind.SPLIT: _apply_split,
+    }[view.kind]
+    return builder(view, parent, iterator_names)
+
+
+def _whole_dims(view: ast.View, parent: ViewInfo) -> None:
+    """Views (other than on split results) apply per programmer dim."""
+    _check_factor_count(view, parent.ndims)
+    for dim in parent.view_dims:
+        if dim.role != WHOLE:
+            raise ViewError(
+                f"view {view.name!r}: cannot re-view a split dimension",
+                view.span)
+
+
+def _apply_shrink(view: ast.View, parent: ViewInfo,
+                  iterator_names: set[str]) -> ViewInfo:
+    _whole_dims(view, parent)
+    lenses = list(parent.lenses)
+    view_dims: list[ViewDim] = []
+    transforms = [list(chain) for chain in parent.transforms]
+    for dim_index, (vdim, factor) in enumerate(
+            zip(parent.view_dims, view.factors)):
+        lens = lenses[vdim.base_dim]
+        if factor is None:
+            view_dims.append(vdim)
+            continue
+        k = _static_int(factor)
+        if k is None or k < 1:
+            raise ViewError(
+                f"shrink factor for {view.name!r} must be a positive "
+                f"static integer", view.span)
+        if lens.view_banks % k != 0:
+            raise ViewError(
+                f"shrink factor {k} does not divide banking factor "
+                f"{lens.view_banks} of {view.mem!r}", view.span)
+        new_banks = lens.view_banks // k
+        lenses[vdim.base_dim] = replace(lens, view_banks=new_banks)
+        view_dims.append(ViewDim(vdim.base_dim, WHOLE, vdim.size, new_banks))
+        transforms[vdim.base_dim].append(("shrink", k))
+    return ViewInfo(view.name, parent.base_mem, parent.base_type,
+                    lenses, view_dims, transforms)
+
+
+def _suffix_offset(view: ast.View, factor: ast.Expr, lens: DimLens,
+                   span: Span) -> tuple[bool, int, ast.Expr]:
+    """Validate an aligned suffix offset ``k*e`` (§3.6).
+
+    Returns ``(bank_known, bank_offset_delta, offset_expr)``. A constant
+    offset rotates banks statically; ``banks*e`` preserves them exactly
+    when the view's banking equals the base banking; anything else must
+    use ``shift``.
+    """
+    constant = _static_int(factor)
+    banks = lens.view_banks
+    if constant is not None:
+        if constant % banks != 0:
+            raise ViewError(
+                f"suffix offset {constant} is not a multiple of the "
+                f"banking factor {banks}; use a shift view", span)
+        aligned_to_base = lens.bank_known and lens.view_banks == lens.base_banks
+        return aligned_to_base, (constant % lens.base_banks), factor
+    if isinstance(factor, ast.Binary) and factor.op is ast.BinOp.MUL:
+        for static_side in (factor.lhs, factor.rhs):
+            k = _static_int(static_side)
+            if k is not None and k % banks == 0:
+                aligned = (lens.bank_known
+                           and lens.view_banks == lens.base_banks)
+                return aligned, 0, factor
+    raise ViewError(
+        "suffix offsets must be aligned — a constant multiple of the "
+        "banking factor or `bank_factor * e`; use a shift view for "
+        "arbitrary offsets", span)
+
+
+def _apply_offset(view: ast.View, parent: ViewInfo,
+                  iterator_names: set[str], shifted: bool) -> ViewInfo:
+    _whole_dims(view, parent)
+    lenses = list(parent.lenses)
+    view_dims: list[ViewDim] = []
+    transforms = [list(chain) for chain in parent.transforms]
+    for vdim, factor in zip(parent.view_dims, view.factors):
+        lens = lenses[vdim.base_dim]
+        if factor is None:
+            view_dims.append(vdim)
+            continue
+        iters = _iterators_in(factor, iterator_names)
+        if shifted:
+            bank_known, offset_delta = False, 0
+        else:
+            bank_known, offset_delta, factor = _suffix_offset(
+                view, factor, lens, view.span)
+        constant = _static_int(factor)
+        if constant is not None and lens.view_size is not None:
+            new_size: int | None = lens.view_size - constant
+            if new_size <= 0:
+                raise ViewError(
+                    f"suffix offset {constant} exceeds the size "
+                    f"{lens.view_size} of {view.mem!r}", view.span)
+        else:
+            new_size = None
+        lenses[vdim.base_dim] = replace(
+            lens,
+            view_size=new_size,
+            bank_known=lens.bank_known and bank_known,
+            bank_offset=(lens.bank_offset + offset_delta) % lens.base_banks,
+            offset_iters=lens.offset_iters | iters)
+        view_dims.append(ViewDim(vdim.base_dim, WHOLE, new_size,
+                                 lens.view_banks))
+        transforms[vdim.base_dim].append(
+            ("shift" if shifted else "suffix", factor))
+    return ViewInfo(view.name, parent.base_mem, parent.base_type,
+                    lenses, view_dims, transforms)
+
+
+def _apply_suffix(view: ast.View, parent: ViewInfo,
+                  iterator_names: set[str]) -> ViewInfo:
+    return _apply_offset(view, parent, iterator_names, shifted=False)
+
+
+def _apply_shift(view: ast.View, parent: ViewInfo,
+                 iterator_names: set[str]) -> ViewInfo:
+    return _apply_offset(view, parent, iterator_names, shifted=True)
+
+
+def _apply_split(view: ast.View, parent: ViewInfo,
+                 iterator_names: set[str]) -> ViewInfo:
+    _whole_dims(view, parent)
+    lenses = list(parent.lenses)
+    view_dims: list[ViewDim] = []
+    transforms = [list(chain) for chain in parent.transforms]
+    for vdim, factor in zip(parent.view_dims, view.factors):
+        lens = lenses[vdim.base_dim]
+        if factor is None:
+            view_dims.append(vdim)
+            continue
+        k = _static_int(factor)
+        if k is None or k < 1:
+            raise ViewError(
+                f"split factor for {view.name!r} must be a positive "
+                f"static integer", view.span)
+        if not lens.bank_known or lens.offset_iters:
+            raise ViewError(
+                "split requires a statically banked target "
+                "(no shift/suffix beneath)", view.span)
+        if lens.view_banks % k != 0:
+            raise ViewError(
+                f"split factor {k} does not divide banking factor "
+                f"{lens.view_banks}", view.span)
+        if lens.view_size is None or lens.view_size % k != 0:
+            raise ViewError(
+                f"split factor {k} does not divide the size of "
+                f"{view.mem!r}", view.span)
+        w = lens.view_banks // k
+        lenses[vdim.base_dim] = replace(lens, split=(k, w))
+        view_dims.append(ViewDim(vdim.base_dim, MAJOR, k, k))
+        view_dims.append(ViewDim(vdim.base_dim, MINOR,
+                                 lens.view_size // k, w))
+        transforms[vdim.base_dim].append(("split", (k, w)))
+    return ViewInfo(view.name, parent.base_mem, parent.base_type,
+                    lenses, view_dims, transforms)
+
+
+def rewrite_access_indices(info: ViewInfo, indices: list[ast.Expr],
+                           span: Span) -> list[ast.Expr]:
+    """Rewrite view-level indices into base-memory indices (§3.6).
+
+    This is the shared address-translation used by both the Filament
+    desugarer and the HLS C++ backend: ``suffix``/``shift`` add their
+    offset, ``shrink`` is the identity, and ``split`` recombines the
+    (major, minor) pair via :func:`split_logical_index`.
+    """
+    if len(indices) != len(info.view_dims):
+        raise ViewError(
+            f"{info.name!r} has {len(info.view_dims)} dimension(s); "
+            f"access supplies {len(indices)}", span)
+    per_dim: dict[int, list[tuple[str, ast.Expr]]] = {}
+    for position, index in enumerate(indices):
+        vdim = info.view_dims[position]
+        per_dim.setdefault(vdim.base_dim, []).append((vdim.role, index))
+    base_indices = []
+    for base_dim in range(len(info.base_type.dims)):
+        parts = per_dim.get(base_dim)
+        if parts is None:
+            raise ViewError(f"missing index for dimension {base_dim}", span)
+        base_indices.append(
+            _apply_transform_chain(info.transforms[base_dim], parts, span))
+    return base_indices
+
+
+def _apply_transform_chain(chain: list[tuple[str, object]],
+                           parts: list[tuple[str, ast.Expr]],
+                           span: Span) -> ast.Expr:
+    index = parts[0][1] if len(parts) == 1 else None
+    for kind, payload in reversed(chain):
+        if kind == "split":
+            k, w = payload                      # type: ignore[misc]
+            major = next(e for role, e in parts if role == MAJOR)
+            minor = next(e for role, e in parts if role == MINOR)
+            banks = k * w
+            static_major = _static_int(major)
+            static_minor = _static_int(minor)
+            if static_major is not None and static_minor is not None:
+                index = ast.IntLit(split_logical_index(
+                    static_major, static_minor, banks, k))
+            else:
+                # ℓ = (j // w)·banks + i·w + (j mod w)
+                index = ast.Binary(
+                    ast.BinOp.ADD,
+                    ast.Binary(
+                        ast.BinOp.MUL,
+                        ast.Binary(ast.BinOp.DIV, minor, ast.IntLit(w)),
+                        ast.IntLit(banks)),
+                    ast.Binary(
+                        ast.BinOp.ADD,
+                        ast.Binary(ast.BinOp.MUL, major, ast.IntLit(w)),
+                        ast.Binary(ast.BinOp.MOD, minor, ast.IntLit(w))))
+        elif kind in ("suffix", "shift"):
+            assert index is not None
+            index = ast.Binary(ast.BinOp.ADD, payload, index)  # type: ignore
+        elif kind == "shrink":
+            pass                                # identity on indices
+        else:                                   # pragma: no cover
+            raise ViewError(f"unknown view transform {kind!r}", span)
+    assert index is not None
+    return index
+
+
+def split_logical_index(i: int, j: int, banks: int, k: int) -> int:
+    """Logical base index of split-view element ``(i, j)``.
+
+    With ``w = banks/k``: ``ℓ = (j // w)·banks + i·w + (j mod w)``,
+    which reproduces the paper's diagram (row 1 of splitting a 12-element
+    4-bank memory by 2 is ``[2, 3, 6, 7, 10, 11]``).
+    """
+    w = banks // k
+    return (j // w) * banks + i * w + (j % w)

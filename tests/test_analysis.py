@@ -1,0 +1,194 @@
+"""Tests for the §3.2 analyses: wires vs. registers, and logical-time-
+step fusion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_locals, count_logical_steps, fuse_steps
+from repro.analysis.liveness import classify_source
+from repro.analysis.stepfusion import fuse_source
+from repro.frontend.parser import parse
+from repro.interp import interpret, interpret_program
+
+
+# -- wires vs registers -----------------------------------------------------
+
+def test_single_step_local_is_wire():
+    report = classify_source("let A: float[4]; let x = A[0]; let y = x;")
+    assert report.locals["x"] == "wire"
+    assert report.locals["y"] == "wire"
+
+
+def test_paper_example_crossing_step_is_register():
+    # §3.2: `let x = A[0] + 1 --- B[0] := A[1] + x` needs a register
+    # for x.
+    report = classify_source("""
+let A: float{2}[4]; let B: float[4];
+let x = A[0] + 1.0
+---
+B[0] := A[1] + x
+""")
+    assert report.locals["x"] == "register"
+
+
+def test_use_in_same_step_stays_wire():
+    report = classify_source("""
+let A: float[4];
+let x = A[0];
+let y = x + 1.0
+---
+let z = 2.0;
+""")
+    assert report.locals["x"] == "wire"
+    assert report.locals["z"] == "wire"
+
+
+def test_loop_carried_variable_is_register():
+    report = classify_source("""
+let i = 0;
+while (i < 4) {
+  i := i + 1;
+}
+""")
+    assert report.locals["i"] == "register"
+
+
+def test_accumulator_is_register():
+    report = classify_source("""
+let A: float[8];
+let acc = 0.0;
+for (let k = 0..8) {
+  let v = A[k]
+  ---
+  acc := acc + v;
+}
+""")
+    assert report.locals["acc"] == "register"
+    assert report.locals["v"] == "register"   # crosses the body's steps
+
+
+def test_report_partitions_names():
+    report = classify_source("""
+let A: float[4];
+let w = A[0];
+let r = w
+---
+let z = r;
+""")
+    assert set(report.wires) | set(report.registers) == {"w", "r", "z"}
+    assert "r" in report.registers
+
+
+# -- step fusion --------------------------------------------------------------
+
+def test_redundant_steps_fused():
+    # Two different memories never conflict: the --- is unnecessary.
+    source = """
+decl A: float[4];
+decl B: float[4];
+A[0] := 1.0
+---
+B[0] := 2.0
+"""
+    fused_src, before, after = fuse_source(source)
+    assert before == 2
+    assert after == 0                    # collapsed into one group
+    assert "---" not in fused_src
+
+
+def test_necessary_steps_preserved():
+    source = """
+decl A: float[4];
+let x = A[0]
+---
+A[1] := x
+"""
+    _, before, after = fuse_source(source)
+    assert before == 2
+    assert after == 2                    # the conflict forces the step
+
+
+def test_partial_fusion_mixed_chain():
+    source = """
+decl A: float[4];
+decl B: float[4];
+let x = A[0]
+---
+let y = B[0]
+---
+A[1] := x + y
+"""
+    _, before, after = fuse_source(source)
+    assert before == 3
+    assert after == 2                    # first two merge; last cannot
+
+
+def test_fusion_preserves_semantics():
+    source = """
+decl A: float[4];
+decl B: float[4];
+decl OUT: float[4];
+for (let i = 0..4) {
+  let a = A[i]
+  ---
+  let b = B[i]
+  ---
+  OUT[i] := a + b;
+}
+"""
+    program = parse(source)
+    fused, merges = fuse_steps(program)
+    assert merges >= 1
+    a = np.arange(4.0)
+    b = np.full(4, 10.0)
+    original = interpret_program(parse(source), {"A": a, "B": b})
+    optimized = interpret_program(fused, {"A": a, "B": b})
+    assert np.allclose(original.memories["OUT"],
+                       optimized.memories["OUT"])
+
+
+def test_fusion_result_typechecks_on_suite():
+    from repro.suite import ALL_PORTS
+    from repro.types.checker import check_program
+
+    port = ALL_PORTS["stencil-stencil3d"]
+    program = parse(port.source)
+    fused, merges = fuse_steps(program)
+    check_program(fused)                 # must stay well-typed
+    # stencil3d reads 7 distinct locations of one memory: those steps
+    # are load-bearing and must survive.
+    assert count_logical_steps(fused.body) >= 6
+
+
+def test_fusion_semantics_on_suite_port():
+    from repro.suite import ALL_PORTS
+
+    port = ALL_PORTS["gemm-ncubed"]
+    rng = np.random.default_rng(3)
+    inputs = port.make_inputs(rng)
+    program = parse(port.source)
+    fused, _ = fuse_steps(program)
+    original = interpret(port.source, inputs)
+    optimized = interpret_program(fused, inputs)
+    for name, value in port.oracle(inputs).items():
+        assert np.allclose(optimized.memories[name], value)
+        assert np.allclose(original.memories[name], value)
+
+
+def test_fusion_rejects_ill_typed_input():
+    from repro.errors import DahliaError
+
+    with pytest.raises(DahliaError):
+        fuse_steps(parse("decl A: float[4]; let x = A[0]; A[1] := 1.0"))
+
+
+def test_count_logical_steps():
+    program = parse("""
+decl A: float[4];
+let x = A[0]
+---
+A[1] := x
+---
+A[2] := x
+""")
+    assert count_logical_steps(program.body) == 3

@@ -1,0 +1,175 @@
+"""Tests for the HLS C++ backend (§5.1)."""
+
+import pytest
+
+from repro.backend import EmitterOptions, compile_source
+from repro.errors import DahliaError
+
+
+def test_memory_becomes_partition_pragma():
+    cpp = compile_source("decl A: float[8 bank 4]; A[0] := 1.0")
+    assert "void kernel(float A[8])" in cpp
+    assert ("#pragma HLS ARRAY_PARTITION variable=A cyclic factor=4 dim=1"
+            in cpp)
+
+
+def test_multi_dim_partitions_both_dims():
+    cpp = compile_source(
+        "decl M: float[4 bank 2][6 bank 3]; M[0][0] := 1.0")
+    assert "factor=2 dim=1" in cpp
+    assert "factor=3 dim=2" in cpp
+
+
+def test_unbanked_dims_have_no_partition_pragma():
+    cpp = compile_source("decl A: float[8]; A[0] := 1.0")
+    assert "ARRAY_PARTITION" not in cpp
+
+
+def test_resource_pragma_reflects_ports():
+    single = compile_source("decl A: float[8]; A[0] := 1.0")
+    assert "core=RAM_1P_BRAM" in single
+    double = compile_source("decl A: float{2}[8]; A[0] := 1.0")
+    assert "core=RAM_2P_BRAM" in double
+
+
+def test_unroll_pragma():
+    cpp = compile_source("""
+decl A: float[8 bank 4];
+for (let i = 0..8) unroll 4 {
+  A[i] := 1.0;
+}
+""")
+    assert "#pragma HLS UNROLL factor=4 skip_exit_check" in cpp
+    assert "for (int i = 0; i < 8; i++)" in cpp
+
+
+def test_sequential_loop_has_no_unroll_pragma():
+    cpp = compile_source("""
+decl A: float[8];
+for (let i = 0..8) {
+  A[i] := 1.0;
+}
+""")
+    assert "UNROLL" not in cpp
+
+
+def test_erasure_strips_pragmas():
+    cpp = compile_source(
+        "decl A: float[8 bank 4]; A[0] := 1.0",
+        EmitterOptions(erase=True))
+    assert "#pragma" not in cpp
+    assert "ap_int.h" not in cpp
+
+
+def test_bit_type_maps_to_ap_int():
+    cpp = compile_source("decl A: bit<16>[4]; A[0] := 1")
+    assert "ap_int<16> A[4]" in cpp
+
+
+def test_bit_type_erases_to_int():
+    cpp = compile_source("decl A: bit<16>[4]; A[0] := 1",
+                         EmitterOptions(erase=True))
+    assert "int A[4]" in cpp
+
+
+def test_view_compiles_to_direct_access():
+    cpp = compile_source("""
+decl A: float[8 bank 2];
+decl OUT: float[4];
+for (let i = 0..4) {
+  view s = suffix A[by 2 * i];
+  OUT[i] := s[1];
+}
+""")
+    # §3.6: a suffix view access v[i] compiles to A[k*e + i].
+    assert "A[((2 * i) + 1)]" in cpp
+
+
+def test_shift_view_compiles_to_offset():
+    cpp = compile_source("""
+decl A: float[9 bank 3];
+decl OUT: float[6];
+for (let r = 0..6) {
+  view w = shift A[by r];
+  let acc = 0.0;
+  for (let k = 0..3) unroll 3 {
+    let v = w[k];
+  } combine {
+    acc += v;
+  }
+  ---
+  OUT[r] := acc;
+}
+""")
+    assert "A[(r + k)]" in cpp
+
+
+def test_seq_comp_marked_with_comment():
+    cpp = compile_source("decl A: float[4]; A[0] := 1.0 --- A[1] := 2.0")
+    assert "// --- logical time step" in cpp
+
+
+def test_combine_is_fused_into_loop():
+    cpp = compile_source("""
+decl A: float[8 bank 2];
+let dot = 0.0;
+for (let i = 0..8) unroll 2 {
+  let v = A[i];
+} combine {
+  dot += v;
+}
+""")
+    assert "dot += v;" in cpp
+
+
+def test_function_definitions_emitted():
+    cpp = compile_source("""
+decl X: float[4];
+decl Y: float[4];
+def addone(src: float[4], dst: float[4]) {
+  for (let i = 0..4) {
+    dst[i] := src[i] + 1.0;
+  }
+}
+addone(X, Y)
+""")
+    assert "void addone(float src[4], float dst[4])" in cpp
+    assert "addone(X, Y);" in cpp
+
+
+def test_kernel_name_option():
+    cpp = compile_source("decl A: float[4]; A[0] := 1.0",
+                         EmitterOptions(kernel_name="gemm"))
+    assert "void gemm(" in cpp
+
+
+def test_ill_typed_program_not_compiled():
+    with pytest.raises(DahliaError):
+        compile_source("decl A: float[4]; let x = A[0]; A[1] := 1.0")
+
+
+def test_braces_balanced():
+    cpp = compile_source("""
+decl A: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  if (i % 2 == 0) {
+    A[i] := 1.0;
+  } else {
+    A[i] := 2.0;
+  }
+}
+""")
+    assert cpp.count("{") == cpp.count("}")
+
+
+def test_while_and_if_emitted():
+    cpp = compile_source("""
+decl A: float[4];
+let i = 0;
+while (i < 4) {
+  A[i] := 1.0
+  ---
+  i := i + 1;
+}
+""")
+    assert "while ((i < 4))" in cpp

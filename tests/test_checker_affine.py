@@ -1,0 +1,256 @@
+"""Type-checker tests for the affine core (§3.1–§3.3).
+
+Each example from the paper's prose appears here with the error *kind*
+the paper's narration implies.
+"""
+
+import pytest
+
+from repro.types.checker import check_source, rejection_reason
+
+
+def accepts(src: str) -> bool:
+    return rejection_reason(src) is None
+
+
+# -- §3.1 affine memory types -----------------------------------------------
+
+def test_scalar_read_is_fine():
+    assert accepts("let A: float[10]; let x = A[0];")
+
+
+def test_identical_reads_share_a_capability():
+    assert accepts("let A: float[10]; let x = A[0]; let y = A[0];")
+
+
+def test_memory_copy_rejected():
+    assert rejection_reason("let A: float[10]; let B = A;") == "memory-copy"
+
+
+def test_memory_as_value_rejected():
+    assert rejection_reason(
+        "let A: float[4]; let x = A;") == "memory-copy"
+
+
+def test_read_then_write_same_step_rejected():
+    src = "let A: float[10]; let x = A[0]; A[1] := 1"
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_two_distinct_reads_same_bank_rejected():
+    src = "let A: float[10]; let x = A[0]; let y = A[1]"
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_two_writes_same_location_rejected():
+    src = "let A: float[10]; A[0] := 1; A[0] := 2"
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_write_then_identical_read_rejected():
+    src = "let A: float[10]; A[0] := 1; let x = A[0]"
+    assert rejection_reason(src) == "already-consumed"
+
+
+# -- §3.2 ordered vs unordered composition -----------------------------------
+
+def test_ordered_composition_restores_resources():
+    assert accepts("let A: float[10]; let x = A[0] --- A[1] := 1")
+
+
+def test_ordered_chains_restore_repeatedly():
+    assert accepts("""
+let A: float[10];
+A[0] := 1 --- A[0] := 2 --- A[0] := 3
+""")
+
+
+def test_block_steps_conflict_with_following_unordered_code():
+    src = """
+let A: float[10]; let B: float[10];
+{
+  let x = A[0] + 1
+  ---
+  B[1] := A[1] + x
+};
+let y = B[0]
+"""
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_block_steps_allow_disjoint_memories():
+    src = """
+let A: float[10]; let B: float[10]; let C: float[10];
+{
+  let x = A[0]
+  ---
+  B[0] := x
+};
+let y = C[0]
+"""
+    assert accepts(src)
+
+
+def test_local_variables_are_not_affine():
+    assert accepts("let x = 0; x := x + 1; let y = x;")
+
+
+def test_memory_declared_in_one_step_usable_in_later_steps():
+    assert accepts("let A: float[4] --- A[0] := 1 --- let x = A[0]")
+
+
+# -- §3.3 banking --------------------------------------------------------------
+
+def test_banked_memory_declaration():
+    assert accepts("let A: float[8 bank 4];")
+
+
+def test_uneven_banking_rejected():
+    assert rejection_reason("let A: float[10 bank 4];") == "banking"
+
+
+def test_physical_accesses_to_distinct_banks():
+    assert accepts("""
+let A: float[10 bank 2];
+A{0}[0] := 1;
+A{1}[0] := 2
+""")
+
+
+def test_physical_accesses_to_same_bank_conflict():
+    src = """
+let A: float[10 bank 2];
+A{0}[0] := 1;
+A{0}[1] := 2
+"""
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_logical_indexing_deduces_banks():
+    # A[0] and A[1] live in different banks of a 2-banked memory.
+    assert accepts("""
+let A: float[10 bank 2];
+let x = A[0];
+let y = A[1]
+""")
+
+
+def test_logical_same_bank_conflicts():
+    # A[0] and A[2] are both in bank 0.
+    src = """
+let A: float[10 bank 2];
+let x = A[0];
+let y = A[2]
+"""
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_bank_selector_out_of_range():
+    assert rejection_reason(
+        "let A: float[8 bank 2]; A{5}[0] := 1") == "type"
+
+
+def test_multidimensional_banking():
+    assert accepts("""
+let M: float[4 bank 2][4 bank 2];
+let a = M[0][0];
+let b = M[1][1];
+let c = M[0][1];
+let d = M[1][0]
+""")
+
+
+def test_multidimensional_bank_conflict():
+    src = """
+let M: float[4 bank 2][4 bank 2];
+let a = M[0][0];
+let b = M[2][2]
+"""
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_flat_physical_access_on_2d_memory():
+    # M{3}[0] is the element logically at M[1][1] (§3.3).
+    assert accepts("""
+let M: float[4 bank 2][4 bank 2];
+let x = M{3}[0];
+let y = M[0][0]
+""")
+
+
+# -- multi-ported memories ------------------------------------------------------
+
+def test_two_ports_allow_read_and_write():
+    assert accepts("""
+let A: float{2}[10];
+let x = A[0];
+A[1] := x + 1
+""")
+
+
+def test_two_ports_exhausted_by_three_accesses():
+    src = """
+let A: float{2}[10];
+let x = A[0];
+let y = A[1];
+A[2] := 1
+"""
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_two_ports_allow_same_location_read_write():
+    # The paper allows data races on multi-ported memories (§3.3).
+    assert accepts("""
+let A: float{2}[10];
+let x = A[0];
+A[0] := 2
+""")
+
+
+# -- misc shape errors -----------------------------------------------------------
+
+def test_wrong_arity_access():
+    assert rejection_reason(
+        "let M: float[4][4]; let x = M[0];") == "type"
+
+
+def test_out_of_bounds_constant_index():
+    assert rejection_reason(
+        "let A: float[4]; let x = A[9];") == "type"
+
+
+def test_unknown_memory():
+    assert rejection_reason("let x = A[0];") == "unbound"
+
+
+def test_rebinding_in_same_scope_rejected():
+    assert rejection_reason("let x = 1; let x = 2;") == "already-bound"
+
+
+def test_shadowing_in_nested_scope_allowed():
+    assert accepts("let x = 1; { let x = 2; }")
+
+
+def test_assign_requires_declaration():
+    assert rejection_reason("x := 1") == "unbound"
+
+
+def test_assign_to_memory_rejected():
+    assert rejection_reason(
+        "let A: float[4]; A := 1") == "type"
+
+
+def test_memory_read_inside_subscript_rejected():
+    assert rejection_reason("""
+let A: float[4]; let I: bit<32>[4];
+let x = A[I[0]];
+""") == "type"
+
+
+def test_dynamic_index_via_let_is_fine():
+    assert accepts("""
+let A: float[4]; let I: bit<32>[4];
+let i = I[0]
+---
+let x = A[i];
+""")

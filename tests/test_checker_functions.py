@@ -1,0 +1,158 @@
+"""Type-checker tests for function definitions and calls."""
+
+from repro.types.checker import rejection_reason
+
+
+def accepts(src: str) -> bool:
+    return rejection_reason(src) is None
+
+
+def test_simple_function():
+    assert accepts("""
+decl A: float[4];
+def init(m: float[4]) {
+  for (let i = 0..4) {
+    m[i] := 0.0;
+  }
+}
+init(A)
+""")
+
+
+def test_function_body_is_checked():
+    assert rejection_reason("""
+def broken(m: float[4]) {
+  let x = m[0];
+  m[1] := x;
+}
+""") == "already-consumed"
+
+
+def test_call_consumes_whole_memory():
+    assert rejection_reason("""
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+let x = A[0];
+touch(A)
+""") == "already-consumed"
+
+
+def test_call_in_next_step_ok():
+    assert accepts("""
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+let x = A[0]
+---
+touch(A)
+""")
+
+
+def test_two_calls_same_memory_conflict():
+    assert rejection_reason("""
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+touch(A);
+touch(A)
+""") == "already-consumed"
+
+
+def test_two_calls_different_memories_ok():
+    assert accepts("""
+decl A: float[4]; decl B: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+touch(A);
+touch(B)
+""")
+
+
+def test_memory_argument_type_must_match():
+    assert rejection_reason("""
+decl A: float[8];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+touch(A)
+""") == "type"
+
+
+def test_banking_is_part_of_the_type():
+    assert rejection_reason("""
+decl A: float[8 bank 2];
+def touch(m: float[8 bank 4]) {
+  m[0] := 1.0;
+}
+touch(A)
+""") == "type"
+
+
+def test_scalar_arguments():
+    assert accepts("""
+decl A: float[4];
+def fill(m: float[4], v: float) {
+  for (let i = 0..4) {
+    m[i] := v;
+  }
+}
+fill(A, 3.5)
+""")
+
+
+def test_arity_mismatch():
+    assert rejection_reason("""
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+touch(A, 1.0)
+""") == "type"
+
+
+def test_unknown_function():
+    assert rejection_reason("frobnicate(1)") == "unbound"
+
+
+def test_duplicate_function_rejected():
+    assert rejection_reason("""
+def f(x: float) { let y = x; }
+def f(x: float) { let y = x; }
+""") == "type"
+
+
+def test_views_cannot_be_passed():
+    assert rejection_reason("""
+decl A: float[8 bank 4];
+def touch(m: float[8 bank 2]) {
+  m[0] := 1.0;
+}
+view sh = shrink A[by 2];
+touch(sh)
+""") == "type"
+
+
+def test_builtin_math_functions():
+    assert accepts("""
+decl A: float[4];
+let x = A[0]
+---
+A[0] := sqrt(x) + abs(x) + max(x, 1.0);
+""")
+
+
+def test_call_replicated_in_unrolled_loop_conflicts():
+    assert rejection_reason("""
+decl A: float[4];
+def touch(m: float[4]) {
+  m[0] := 1.0;
+}
+for (let i = 0..4) unroll 2 {
+  touch(A)
+}
+""") is not None

@@ -1,0 +1,337 @@
+"""Type-checker tests for loops, unrolling, and combine blocks (§3.4–§3.5)."""
+
+from repro.types.checker import rejection_reason
+
+
+def accepts(src: str) -> bool:
+    return rejection_reason(src) is None
+
+
+# -- unrolling rules -------------------------------------------------------
+
+def test_unroll_must_match_banks():
+    src = """
+let A: float[10];
+for (let i = 0..10) unroll 2 {
+  A[i] := 1
+}
+"""
+    assert rejection_reason(src) == "insufficient-banks"
+
+
+def test_unroll_matching_banks_ok():
+    assert accepts("""
+let A: float[10 bank 2];
+for (let i = 0..10) unroll 2 {
+  A[i] := 1
+}
+""")
+
+
+def test_unroll_less_than_banks_needs_shrink():
+    src = """
+let A: float[8 bank 4];
+for (let i = 0..8) unroll 2 {
+  A[i] := 1
+}
+"""
+    assert rejection_reason(src) == "insufficient-banks"
+
+
+def test_unroll_must_divide_trip_count():
+    src = """
+let A: float[9 bank 3];
+for (let i = 0..9) unroll 2 {
+  A[i] := 1
+}
+"""
+    assert rejection_reason(src) == "unroll"
+
+
+def test_sequential_iterator_on_banked_memory_ok():
+    # An unroll-1 loop touches one element per time step; the checker
+    # conservatively charges all banks but never conflicts.
+    assert accepts("""
+let A: float[8 bank 4];
+for (let i = 0..8) {
+  A[i] := 1
+}
+""")
+
+
+def test_iterator_range_bounds_checked():
+    src = """
+let A: float[4];
+for (let i = 0..8) {
+  A[i] := 1
+}
+"""
+    assert rejection_reason(src) == "type"
+
+
+def test_iterator_arithmetic_in_subscript_needs_views():
+    src = """
+let A: float[8 bank 2];
+for (let i = 0..4) unroll 2 {
+  A[2 * i] := 1
+}
+"""
+    assert rejection_reason(src) == "type"
+
+
+def test_empty_range_rejected():
+    assert rejection_reason(
+        "for (let i = 5..5) { let x = 1; }") == "type"
+
+
+# -- replication multiplicity (§3.4 nested unrolling) -------------------------
+
+def test_replicated_read_fans_out():
+    # The same location read by every copy is a single physical read.
+    assert accepts("""
+let A: float[8 bank 4][10 bank 5];
+for (let i = 0..8) {
+  for (let j = 0..10) unroll 5 {
+    let x = A[i][0];
+  }
+}
+""")
+
+
+def test_replicated_write_needs_capabilities():
+    src = """
+let A: float[8 bank 4][10 bank 5];
+for (let i = 0..8) {
+  for (let j = 0..10) unroll 5 {
+    let x = A[i][0]
+    ---
+    A[i][0] := j
+  }
+}
+"""
+    assert rejection_reason(src) == "insufficient-capabilities"
+
+
+def test_write_distributed_by_iterator_is_fine():
+    assert accepts("""
+let A: float[8 bank 4][10 bank 5];
+for (let i = 0..8) {
+  for (let j = 0..10) unroll 5 {
+    A[i][j] := j
+  }
+}
+""")
+
+
+def test_nested_unroll_both_dims():
+    assert accepts("""
+let M: float[4 bank 2][6 bank 3];
+for (let i = 0..4) unroll 2 {
+  for (let j = 0..6) unroll 3 {
+    M[i][j] := 0
+  }
+}
+""")
+
+
+def test_lockstep_semantics_allows_per_step_reuse():
+    # §3.4: conflicts need only be avoided between unrolled copies of
+    # the *same* logical time step.
+    assert accepts("""
+let A: float[10 bank 2];
+let B: float[4];
+for (let i = 0..10) unroll 2 {
+  let x = A[i]
+  ---
+  let y = B[0];
+}
+""")
+
+
+# -- doall restriction and combine blocks (§3.5) -----------------------------
+
+def test_naked_reduction_in_unrolled_loop_rejected():
+    src = """
+let A: float[10 bank 2]; let B: float[10 bank 2];
+let dot = 0.0;
+for (let i = 0..10) unroll 2 {
+  dot += A[i] * B[i];
+}
+"""
+    assert rejection_reason(src) == "reduce"
+
+
+def test_assignment_to_outer_var_in_unrolled_loop_rejected():
+    src = """
+let acc = 0.0;
+for (let i = 0..4) unroll 2 {
+  acc := 1.0;
+}
+"""
+    assert rejection_reason(src) == "reduce"
+
+
+def test_sequential_loop_may_accumulate():
+    assert accepts("""
+let A: float[8];
+let acc = 0.0;
+for (let i = 0..8) {
+  let v = A[i]
+  ---
+  acc := acc + v;
+}
+""")
+
+
+def test_combine_block_reduction():
+    assert accepts("""
+let A: float[10 bank 2]; let B: float[10 bank 2];
+let dot = 0.0;
+for (let i = 0..10) unroll 2 {
+  let v = A[i] * B[i];
+} combine {
+  dot += v;
+}
+""")
+
+
+def test_all_four_builtin_reducers():
+    for op in ("+=", "-=", "*=", "/="):
+        src = f"""
+let A: float[4 bank 2];
+let acc = 1.0;
+for (let i = 0..4) unroll 2 {{
+  let v = A[i];
+}} combine {{
+  acc {op} v;
+}}
+"""
+        assert accepts(src), op
+
+
+def test_combine_register_cannot_escape_to_stores():
+    src = """
+let A: float[4 bank 2]; let out: float[4];
+for (let i = 0..4) unroll 2 {
+  let v = A[i];
+} combine {
+  out[0] := v;
+}
+"""
+    assert rejection_reason(src) == "reduce"
+
+
+def test_combine_register_only_in_combine():
+    src = """
+let A: float[4 bank 2];
+let acc = 0.0;
+acc += acc;
+"""
+    assert accepts(src)   # plain reduce on scalars outside loops is sugar
+
+
+def test_flat_combine_under_outer_unroll_is_a_reduction_tree():
+    # Reducing the outer accumulator from a combine nested under an
+    # unrolled loop folds associatively across all replicas — this is
+    # exactly the paper's §3.6 split-view example shape, and is legal.
+    src = """
+let F: float[3 bank 3][3 bank 3];
+let acc = 0.0;
+for (let k1 = 0..3) unroll 3 {
+  for (let k2 = 0..3) unroll 3 {
+    let m = F[k1][k2];
+  } combine {
+    acc += m;
+  }
+}
+"""
+    assert accepts(src)
+
+
+def test_plain_assignment_in_combine_still_restricted():
+    src = """
+let F: float[3 bank 3][3 bank 3];
+let acc = 0.0;
+for (let k1 = 0..3) unroll 3 {
+  for (let k2 = 0..3) unroll 3 {
+    let m = F[k1][k2];
+  } combine {
+    acc := m;
+  }
+}
+"""
+    assert rejection_reason(src) == "reduce"
+
+
+def test_nested_combine_correct_form_accepted():
+    assert accepts("""
+let F: float[3 bank 3][3 bank 3];
+let acc = 0.0;
+for (let k1 = 0..3) unroll 3 {
+  let part = 0.0;
+  for (let k2 = 0..3) unroll 3 {
+    let m = F[k1][k2];
+  } combine {
+    part += m;
+  }
+} combine {
+  acc += part;
+}
+""")
+
+
+def test_while_loop_with_dependencies():
+    assert accepts("""
+let A: float[8];
+let i = 0;
+while (i < 8) {
+  A[i] := i
+  ---
+  i := i + 1;
+}
+""")
+
+
+def test_while_condition_must_be_bool():
+    assert rejection_reason("let x = 1; while (x) { x := 2; }") == "type"
+
+
+def test_if_condition_must_be_bool():
+    assert rejection_reason("if (1) { let x = 2; }") == "type"
+
+
+def test_if_branches_share_resources():
+    # Both branches may read the same memory: only one executes.
+    assert accepts("""
+let A: float[4];
+let c = true;
+if (c) {
+  let x = A[0];
+} else {
+  let y = A[1];
+}
+""")
+
+
+def test_if_consumption_propagates():
+    src = """
+let A: float[4];
+let c = true;
+if (c) {
+  let x = A[0];
+}
+let y = A[0]
+"""
+    # The read inside the branch consumes the bank for the whole step.
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_loop_body_conflicts_with_enclosing_step():
+    src = """
+let A: float[4];
+let x = A[0];
+for (let i = 0..4) {
+  A[i] := 1
+}
+"""
+    assert rejection_reason(src) == "already-consumed"

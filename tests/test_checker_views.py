@@ -1,0 +1,276 @@
+"""Type-checker tests for memory views (§3.6)."""
+
+from repro.types.checker import rejection_reason
+
+
+def accepts(src: str) -> bool:
+    return rejection_reason(src) is None
+
+
+# -- shrink --------------------------------------------------------------
+
+def test_shrink_enables_lower_unroll():
+    assert accepts("""
+let A: float[8 bank 4];
+view sh = shrink A[by 2];
+for (let i = 0..8) unroll 2 {
+  sh[i];
+}
+""")
+
+
+def test_shrink_factor_must_divide_banking():
+    assert rejection_reason("""
+let A: float[8 bank 4];
+view sh = shrink A[by 3];
+""") == "view"
+
+
+def test_shrink_by_one_is_identity():
+    assert accepts("""
+let A: float[8 bank 4];
+view sh = shrink A[by 1];
+for (let i = 0..8) unroll 4 {
+  sh[i];
+}
+""")
+
+
+def test_shrink_view_consumes_underlying_banks():
+    src = """
+let A: float[8 bank 4];
+view sh = shrink A[by 2];
+for (let i = 0..8) unroll 2 {
+  let x = sh[i];
+  let y = A[0];
+}
+"""
+    assert rejection_reason(src) == "already-consumed"
+
+
+def test_shrink_factor_must_be_static():
+    assert rejection_reason("""
+let A: float[8 bank 4];
+let k = 2;
+view sh = shrink A[by k];
+""") == "view"
+
+
+# -- suffix --------------------------------------------------------------
+
+def test_aligned_suffix():
+    assert accepts("""
+let A: float[8 bank 2];
+for (let i = 0..4) {
+  view s = suffix A[by 2 * i];
+  s[1];
+}
+""")
+
+
+def test_suffix_requires_alignment():
+    assert rejection_reason("""
+let A: float[8 bank 2];
+for (let i = 0..4) {
+  view s = suffix A[by i];
+  s[1];
+}
+""") == "view"
+
+
+def test_constant_suffix_multiple_of_banks():
+    assert accepts("""
+let A: float[8 bank 2];
+view s = suffix A[by 4];
+let x = s[0];
+""")
+
+
+def test_constant_suffix_misaligned_rejected():
+    assert rejection_reason("""
+let A: float[8 bank 2];
+view s = suffix A[by 3];
+""") == "view"
+
+
+def test_constant_suffix_out_of_range():
+    assert rejection_reason("""
+let A: float[8 bank 2];
+view s = suffix A[by 8];
+""") == "view"
+
+
+def test_suffix_keeps_bank_mapping():
+    # Aligned suffixes leave the bank of index n at n mod b, so two
+    # same-bank accesses still conflict.
+    assert rejection_reason("""
+let A: float[8 bank 2];
+view s = suffix A[by 2];
+let x = s[0];
+let y = A[0];
+""") == "already-consumed"
+
+
+# -- shift ---------------------------------------------------------------
+
+def test_shift_allows_arbitrary_offsets():
+    assert accepts("""
+let A: float[12 bank 4];
+for (let i = 0..3) {
+  view r = shift A[by i * i];
+  for (let j = 0..4) unroll 4 {
+    let x = r[j];
+  }
+}
+""")
+
+
+def test_shift_consumes_all_banks():
+    # A shift view access has an unknown bank: even a constant access
+    # consumes every bank of the underlying memory.
+    assert rejection_reason("""
+let A: float[8 bank 2];
+let z = 1;
+view r = shift A[by z];
+let x = r[0];
+let y = A[1];
+""") == "already-consumed"
+
+
+def test_shift_2d():
+    assert accepts("""
+let orig: float[6 bank 3][6 bank 3];
+for (let r = 0..4) {
+  for (let c = 0..4) {
+    view w = shift orig[by r][by c];
+    for (let k1 = 0..3) unroll 3 {
+      let part = 0.0;
+      for (let k2 = 0..3) unroll 3 {
+        let m = w[k1][k2];
+      } combine {
+        part += m;
+      }
+    }
+  }
+}
+""")
+
+
+# -- split ---------------------------------------------------------------
+
+def test_split_dot_product_from_paper():
+    assert accepts("""
+let A: float[12 bank 4]; let B: float[12 bank 4];
+let sum = 0.0;
+view split_A = split A[by 2];
+view split_B = split B[by 2];
+for (let i = 0..6) unroll 2 {
+  for (let j = 0..2) unroll 2 {
+    let v = split_A[j][i] * split_B[j][i];
+  } combine {
+    sum += v;
+  }
+}
+""")
+
+
+def test_unrolled_suffix_views_rejected_from_paper():
+    # The paper's motivating failure: parallel copies of a suffix view
+    # created under an unrolled loop cannot be proven disjoint.
+    assert rejection_reason("""
+let A: float[12 bank 4]; let B: float[12 bank 4];
+let sum = 0.0;
+view shA = shrink A[by 2];
+view shB = shrink B[by 2];
+for (let i = 0..6) unroll 2 {
+  view vA = suffix shA[by 2 * i];
+  view vB = suffix shB[by 2 * i];
+  for (let j = 0..2) unroll 2 {
+    let v = vA[j] + vB[j];
+  } combine {
+    sum += v;
+  }
+}
+""") is not None
+
+
+def test_split_factor_must_divide_banks():
+    assert rejection_reason("""
+let A: float[12 bank 4];
+view sp = split A[by 3];
+""") == "view"
+
+
+def test_split_shape():
+    # split by 2 of [12 bank 4] has type [2 bank 2][6 bank 2]: majors
+    # index the first dimension, minors the second.
+    assert accepts("""
+let A: float[12 bank 4];
+view sp = split A[by 2];
+let x = sp[0][0];
+let y = sp[1][1];
+""")
+
+
+def test_split_bank_mapping_conflicts():
+    # sp[0][0] is logical index 0 (bank 0); A[4] is also bank 0.
+    assert rejection_reason("""
+let A: float[12 bank 4];
+view sp = split A[by 2];
+let x = sp[0][0];
+let y = A[4];
+""") == "already-consumed"
+
+
+def test_split_of_shifted_view_rejected():
+    assert rejection_reason("""
+let A: float[12 bank 4];
+let z = 2;
+view sh = shift A[by z];
+view sp = split sh[by 2];
+""") == "view"
+
+
+# -- view plumbing -----------------------------------------------------------
+
+def test_view_of_unknown_memory():
+    assert rejection_reason("view v = shrink A[by 2];") == "unbound"
+
+
+def test_view_arity_mismatch():
+    assert rejection_reason("""
+let M: float[4 bank 2][4 bank 2];
+view v = shrink M[by 2];
+""") == "view"
+
+
+def test_views_cannot_copy():
+    assert rejection_reason("""
+let A: float[8 bank 4];
+view sh = shrink A[by 2];
+let B = sh;
+""") == "memory-copy"
+
+
+def test_view_of_view():
+    assert accepts("""
+let A: float[16 bank 4];
+view sh = shrink A[by 2];
+view s = suffix sh[by 2 * 1];
+let x = s[0];
+""")
+
+
+def test_memory_reads_banned_in_view_offsets():
+    assert rejection_reason("""
+let A: float[8 bank 2]; let I: bit<32>[4];
+view s = shift A[by I[0]];
+""") == "view"
+
+
+def test_physical_access_on_view_rejected():
+    assert rejection_reason("""
+let A: float[8 bank 4];
+view sh = shrink A[by 2];
+let x = sh{0}[0];
+""") == "view"

@@ -1,0 +1,134 @@
+"""Tests for the dahlia-py command-line driver."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+decl A: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  A[i] := 1.0;
+}
+"""
+
+BAD = """
+decl A: float[8];
+let x = A[0];
+A[1] := 1.0
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.fuse"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.fuse"
+    path.write_text(BAD)
+    return str(path)
+
+
+def test_check_accepts(good_file, capsys):
+    assert main(["check", good_file]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_check_rejects_with_diagnostic(bad_file, capsys):
+    assert main(["check", bad_file]) == 1
+    err = capsys.readouterr().err
+    assert "already-consumed" in err
+    assert "^" in err                     # caret under the offending span
+
+
+def test_compile_emits_cpp(good_file, capsys):
+    assert main(["compile", good_file]) == 0
+    out = capsys.readouterr().out
+    assert "#pragma HLS UNROLL" in out
+
+
+def test_compile_erase(good_file, capsys):
+    assert main(["compile", good_file, "--erase"]) == 0
+    assert "#pragma" not in capsys.readouterr().out
+
+
+def test_compile_kernel_name(good_file, capsys):
+    assert main(["compile", good_file, "--kernel-name", "widget"]) == 0
+    assert "void widget(" in capsys.readouterr().out
+
+
+def test_run_prints_memories(good_file, capsys):
+    assert main(["run", good_file]) == 0
+    out = capsys.readouterr().out
+    assert "A = " in out
+    assert "1.0" in out
+
+
+def test_run_rejects_bad(bad_file):
+    assert main(["run", bad_file]) == 1
+
+
+def test_estimate_reports_json(good_file, capsys):
+    assert main(["estimate", good_file]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["latency_cycles"] > 0
+    assert payload["predictable"] is True
+
+
+def test_bench_lists_ports(capsys):
+    assert main(["bench"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm-blocked" in out
+    assert "stencil-stencil2d" in out
+
+
+# ---------------------------------------------------------------------------
+# rtl / pipeline (§6 future-work commands)
+# ---------------------------------------------------------------------------
+
+def test_rtl_emits_verilog(good_file, capsys):
+    assert main(["rtl", good_file]) == 0
+    out = capsys.readouterr().out
+    assert "module main(" in out
+    assert out.rstrip().endswith("endmodule")
+
+
+def test_rtl_module_name_flag(good_file, capsys):
+    assert main(["rtl", good_file, "--module-name", "accel"]) == 0
+    assert "module accel(" in capsys.readouterr().out
+
+
+def test_rtl_report_is_json_with_cycles(good_file, capsys):
+    assert main(["rtl", good_file, "--report"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["states"] > 0
+    assert report["cycles"] > 0
+    assert report["luts"] > 0
+
+
+def test_rtl_rejects_ill_typed(bad_file, capsys):
+    assert main(["rtl", bad_file]) == 1
+    assert "already-consumed" in capsys.readouterr().err
+
+
+def test_pipeline_reports_ii(good_file, capsys):
+    assert main(["pipeline", good_file]) == 0
+    out = capsys.readouterr().out
+    assert "loop i" in out
+    assert "II = " in out
+
+
+def test_pipeline_no_loops(tmp_path, capsys):
+    path = tmp_path / "flat.fuse"
+    path.write_text("let x = 1;")
+    assert main(["pipeline", str(path)]) == 0
+    assert "no innermost loops" in capsys.readouterr().out
+
+
+def test_pipeline_rejects_ill_typed(bad_file, capsys):
+    assert main(["pipeline", bad_file]) == 1

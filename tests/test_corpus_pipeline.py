@@ -1,0 +1,70 @@
+"""Cross-cutting pipeline coherence over the labeled corpus.
+
+Every accepted program must flow through the *entire* toolchain —
+desugaring, the checked big-step semantics, HLS C++ emission, pretty-
+printing round-trip, and step fusion — without error. Every rejected
+program must fail with exactly its recorded error kind. This is the
+repository's strongest integration net: a change to any stage that
+breaks agreement with the type system fails here.
+"""
+
+import pytest
+
+from repro.analysis.stepfusion import fuse_steps
+from repro.backend import compile_program
+from repro.filament import desugar, run
+from repro.frontend.parser import parse
+from repro.frontend.pretty import pretty_program
+from repro.suite.corpus import CORPUS, accepted_entries, rejected_entries
+from repro.types.checker import rejection_reason
+
+ACCEPTED = [e.name for e in accepted_entries()]
+REJECTED = [e.name for e in rejected_entries()]
+BY_NAME = {e.name: e for e in CORPUS}
+
+
+def test_corpus_covers_every_error_kind_of_interest():
+    kinds = {e.expected for e in rejected_entries()}
+    assert {"already-consumed", "insufficient-banks",
+            "insufficient-capabilities", "banking", "unroll", "reduce",
+            "view", "memory-copy", "type"} <= kinds
+
+
+@pytest.mark.parametrize("name", ACCEPTED)
+def test_accepted_program_checks(name):
+    assert rejection_reason(BY_NAME[name].source) is None
+
+
+@pytest.mark.parametrize("name", REJECTED)
+def test_rejected_program_has_recorded_kind(name):
+    entry = BY_NAME[name]
+    assert rejection_reason(entry.source) == entry.expected
+
+
+@pytest.mark.parametrize("name", ACCEPTED)
+def test_accepted_program_desugars_and_runs(name):
+    program = parse(BY_NAME[name].source)
+    filament = desugar(program)
+    run(filament)                        # checked semantics: never stuck
+
+
+@pytest.mark.parametrize("name", ACCEPTED)
+def test_accepted_program_compiles_to_cpp(name):
+    program = parse(BY_NAME[name].source)
+    cpp = compile_program(program)
+    assert cpp.count("{") == cpp.count("}")
+
+
+@pytest.mark.parametrize("name", ACCEPTED)
+def test_accepted_program_pretty_roundtrips(name):
+    source = BY_NAME[name].source
+    reprinted = pretty_program(parse(source))
+    assert rejection_reason(reprinted) is None, \
+        "pretty-printed output must stay well-typed"
+
+
+@pytest.mark.parametrize("name", ACCEPTED)
+def test_accepted_program_survives_step_fusion(name):
+    program = parse(BY_NAME[name].source)
+    fused, _ = fuse_steps(program)       # asserts well-typedness inside
+    del fused

@@ -1,0 +1,318 @@
+"""Tests for the Dahlia → Filament desugaring (§4.5)."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.filament import ERead, EVal, desugar, linear_form, static_mod
+from repro.filament.desugar import MemLayout, static_div_expr
+from repro.filament.syntax import CLet, CWhile, ERead as _ERead
+from repro.frontend.parser import parse, parse_expr
+
+
+def count_nodes(cmd, kind):
+    from repro.filament import syntax
+
+    total = 0
+    stack = [cmd]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, kind):
+            total += 1
+        if isinstance(node, (syntax.CUnordered, syntax.COrdered,
+                             syntax.InterSeq)):
+            stack += [node.first, node.second]
+        elif isinstance(node, syntax.CIf):
+            stack += [node.then_branch, node.else_branch]
+        elif isinstance(node, syntax.CWhile):
+            stack.append(node.body)
+    return total
+
+
+def collect_reads(cmd):
+    from repro.filament import syntax
+
+    reads = []
+
+    def walk_expr(expr):
+        if isinstance(expr, syntax.ERead):
+            reads.append(expr)
+        if isinstance(expr, syntax.EBinOp):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+        if isinstance(expr, syntax.ECall):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    stack = [cmd]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (syntax.CLet, syntax.CAssign, syntax.CExpr)):
+            walk_expr(node.expr)
+        if isinstance(node, syntax.CWrite):
+            walk_expr(node.index)
+            walk_expr(node.value)
+        if isinstance(node, (syntax.CUnordered, syntax.COrdered,
+                             syntax.InterSeq)):
+            stack += [node.first, node.second]
+        elif isinstance(node, syntax.CIf):
+            stack += [node.then_branch, node.else_branch]
+        elif isinstance(node, syntax.CWhile):
+            stack.append(node.body)
+    return reads
+
+
+# -- memory layout -------------------------------------------------------------
+
+def test_layout_round_robin_1d():
+    layout = MemLayout("A", "float", ((8, 4),))
+    # §2.1: elements 0 and 4 in bank 0, 1 and 5 in bank 1, …
+    assert layout.place((0,)) == (0, 0)
+    assert layout.place((4,)) == (0, 1)
+    assert layout.place((1,)) == (1, 0)
+    assert layout.place((5,)) == (1, 1)
+
+
+def test_layout_2d():
+    layout = MemLayout("M", "float", ((4, 2), (4, 2)))
+    assert layout.total_banks == 4
+    assert layout.bank_size == 4
+    # M[1][1] lives in flat bank 3 (paper §3.3's M{3}[0]).
+    assert layout.place((1, 1)) == (3, 0)
+
+
+def test_layout_bijective():
+    layout = MemLayout("A", "float", ((6, 3), (4, 2)))
+    seen = set()
+    for i in range(6):
+        for j in range(4):
+            spot = layout.place((i, j))
+            assert spot not in seen
+            seen.add(spot)
+    assert len(seen) == 24
+
+
+# -- linear forms -----------------------------------------------------------------
+
+def test_linear_form_simple():
+    coeffs, const = linear_form(parse_expr("2 * i + 3"))
+    assert coeffs == {"i": 2}
+    assert const == 3
+
+
+def test_linear_form_nested():
+    coeffs, const = linear_form(parse_expr("4 * (i + 2) - j"))
+    assert coeffs == {"i": 4, "j": -1}
+    assert const == 8
+
+
+def test_linear_form_nonlinear_is_none():
+    assert linear_form(parse_expr("i * i")) is None
+
+
+def test_static_mod_aligned():
+    # (4q + 1) mod 4 == 1 statically.
+    assert static_mod(parse_expr("4 * q + 1"), 4) == 1
+
+
+def test_static_mod_unaligned_is_none():
+    assert static_mod(parse_expr("3 * q + 1"), 4) is None
+
+
+def test_static_div():
+    expr = static_div_expr(parse_expr("4 * q + 8"), 4)
+    coeffs, const = linear_form(expr)
+    assert coeffs == {"q": 1}
+    assert const == 2
+
+
+# -- banking desugar ---------------------------------------------------------------
+
+def test_banked_memory_splits_into_banks():
+    program = desugar(parse("decl A: float[8 bank 4]; A[0] := 1.0"))
+    assert set(program.memories) == {"A@0", "A@1", "A@2", "A@3"}
+    assert all(mem.size == 2 for mem in program.memories.values())
+
+
+def test_static_access_goes_direct():
+    program = desugar(parse("decl A: float[8 bank 4]; let x = A[5];"))
+    reads = collect_reads(program.command)
+    assert len(reads) == 1
+    assert reads[0].mem == "A@1"         # 5 mod 4 == 1
+    assert reads[0].index == EVal(1)     # 5 div 4 == 1
+
+
+def test_dynamic_access_generates_conditionals():
+    from repro.filament.syntax import CIf
+
+    source = """
+decl A: float[8 bank 4];
+let i = 3
+---
+let x = A[i];
+"""
+    program = desugar(parse(source))
+    assert count_nodes(program.command, CIf) == 4   # one guard per bank
+
+
+def test_unrolled_access_folds_to_static_banks():
+    from repro.filament.syntax import CIf
+
+    source = """
+decl A: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  A[i] := 1.0;
+}
+"""
+    program = desugar(parse(source))
+    # Aligned unrolled accesses need no conditional trees.
+    assert count_nodes(program.command, CIf) == 0
+
+
+def test_identical_reads_shared():
+    source = """
+decl A: float[8];
+let x = A[0];
+let y = A[0];
+"""
+    program = desugar(parse(source))
+    assert len(collect_reads(program.command)) == 1
+
+
+def test_reads_in_different_steps_not_shared():
+    source = """
+decl A: float[8];
+let x = A[0]
+---
+let y = A[0];
+"""
+    program = desugar(parse(source))
+    assert len(collect_reads(program.command)) == 2
+
+
+def test_unroll_produces_copies():
+    source = """
+decl A: float[8 bank 4];
+for (let i = 0..8) unroll 4 {
+  A[i] := 1.0;
+}
+"""
+    program = desugar(parse(source))
+    from repro.filament.syntax import CWrite
+
+    assert count_nodes(program.command, CWrite) == 4
+
+
+def test_while_condition_reading_memory_unsupported():
+    source = """
+decl A: bit<32>[4];
+while (A[0] < 1) {
+  let x = 1;
+}
+"""
+    with pytest.raises(InterpError):
+        desugar(parse(source))
+
+
+def test_multiport_carries_to_filament():
+    program = desugar(parse("decl A: float{2}[4]; A[0] := 1.0"))
+    assert program.memories["A@0"].ports == 2
+
+
+# ---------------------------------------------------------------------------
+# Lockstep distribution through nested control (§3.4)
+# ---------------------------------------------------------------------------
+
+def test_outer_unroll_fuses_nested_sequential_loop():
+    """Copies of a nested sequential for share ONE loop counter: the
+    desugared program contains exactly two whiles (outer + fused inner),
+    not three (outer + one per copy)."""
+    source = """
+let A: float[4 bank 2]; let B: float[4 bank 2];
+for (let i = 0..4) unroll 2 {
+  for (let j = 0..1) {
+    B[i] := A[i] + 1.0;
+  }
+}
+"""
+    program = desugar(parse(source))
+    assert count_nodes(program.command, CWhile) == 2
+
+
+def test_outer_unroll_shares_identical_inner_reads():
+    """Both unrolled copies read B[k] at the same (shared) k — the read
+    must desugar to a single ERead per time step (fan-out, §3.1)."""
+    source = """
+let A: float[4 bank 2]; let B: float[4];
+for (let i = 0..4) unroll 2 {
+  for (let k = 0..4) {
+    A[i] := B[k];
+  }
+}
+"""
+    program = desugar(parse(source))
+    reads = [r for r in collect_reads(program.command)
+             if r.mem.startswith("B")]
+    assert len(reads) == 1
+
+
+def test_lockstep_merges_uniform_conditionals():
+    """An if whose condition is copy-independent merges into one CIf."""
+    from repro.filament.syntax import CIf
+
+    source = """
+let A: float[4 bank 2];
+let flag = true;
+for (let i = 0..4) unroll 2 {
+  if (flag) {
+    A[i] := 1.0;
+  }
+}
+"""
+    program = desugar(parse(source))
+    assert count_nodes(program.command, CIf) == 1
+
+
+def test_lockstep_splits_divergent_conditionals():
+    """An if whose condition references the unrolled iterator differs
+    between copies, so each copy keeps its own CIf."""
+    from repro.filament.syntax import CIf
+
+    source = """
+let A: float[4 bank 2];
+for (let i = 0..4) unroll 2 {
+  if (i > 1) {
+    A[i] := 1.0;
+  }
+}
+"""
+    program = desugar(parse(source))
+    assert count_nodes(program.command, CIf) == 2
+
+
+def test_outer_unroll_gemm_runs_unstuck():
+    """Regression: checker-accepted outer-unrolled matmul (the paper's
+    Fig. 10 pattern) must run under the checked semantics."""
+    import numpy as np
+
+    from repro import interpret
+
+    source = """
+decl A: float[4 bank 2][4]; decl B: float[4][4];
+let C: float[4 bank 2][4];
+for (let i = 0..4) unroll 2 {
+  for (let j = 0..4) {
+    let sum = 0.0;
+    for (let k = 0..4) {
+      let prod = A[i][k] * B[k][j];
+      sum := sum + prod;
+    }
+    ---
+    C[i][j] := sum;
+  }
+}
+"""
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 5, (4, 4)).astype(float)
+    b = rng.integers(0, 5, (4, 4)).astype(float)
+    result = interpret(source, memories={"A": a, "B": b})
+    np.testing.assert_allclose(result.memories["C"], a @ b)

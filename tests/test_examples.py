@@ -1,0 +1,40 @@
+"""Every example script must run to completion.
+
+The examples double as integration tests: each one asserts its own
+results internally (interpreter vs. NumPy, RTL vs. interpreter, checker
+verdicts), so a zero exit status means the demonstrated claims held.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Examples that run full parameter sweeps; bounded but slower.
+_SLOW = {"dse_gemm.py"}
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script: Path):
+    env = dict(os.environ)
+    env.setdefault("REPRO_EXAMPLE_FAST", "1")
+    timeout = 600 if script.name in _SLOW else 240
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,291 @@
+"""Tests for the bounded-linear multi-port Filament typing (§4.5).
+
+Three claims are exercised:
+
+1. unit behaviour of the token rules (k-ported memory grants k accesses
+   per logical time step; ordered composition restores tokens);
+2. **conservativity**: with every memory single-ported the quantitative
+   judgment accepts exactly the programs the paper's set-based judgment
+   accepts (property-tested over randomized programs, including
+   ill-typed ones);
+3. **quantitative soundness**: quantitatively well-typed programs never
+   get stuck in the port-counting checked big-step semantics
+   (property-tested over multi-port programs generated well-typed by
+   construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DahliaError, StuckError, TypeError_
+from repro.filament import (
+    BIT32,
+    CAssign,
+    CIf,
+    CLet,
+    COrdered,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FProgram,
+    SKIP,
+    TMem,
+    agrees_with_set_checker,
+    check_quantitative,
+    quantitatively_well_typed,
+    run,
+    tokens_min,
+    well_typed,
+)
+
+
+def _prog(cmd, **mems):
+    return FProgram(dict(mems), cmd)
+
+
+# ---------------------------------------------------------------------------
+# Token rules
+# ---------------------------------------------------------------------------
+
+def test_single_port_allows_one_access():
+    program = _prog(CLet("x", ERead("m", EVal(0))), m=TMem(BIT32, 4))
+    ctx = check_quantitative(program)
+    assert ctx.tokens["m"] == 0
+
+
+def test_single_port_rejects_two_accesses():
+    cmd = CUnordered(CLet("x", ERead("m", EVal(0))),
+                     CLet("y", ERead("m", EVal(1))))
+    program = _prog(cmd, m=TMem(BIT32, 4))
+    with pytest.raises(TypeError_):
+        check_quantitative(program)
+
+
+def test_dual_port_allows_two_accesses():
+    cmd = CUnordered(CLet("x", ERead("m", EVal(0))),
+                     CWrite("m", EVal(1), EVar("x")))
+    program = _prog(cmd, m=TMem(BIT32, 4, ports=2))
+    ctx = check_quantitative(program)
+    assert ctx.tokens["m"] == 0
+    assert quantitatively_well_typed(program)
+    # ...and the set-based checker rejects it: this is exactly the
+    # program class the future-work extension admits.
+    assert not well_typed(program)
+
+
+def test_dual_port_rejects_three_accesses():
+    cmd = CUnordered(
+        CLet("x", ERead("m", EVal(0))),
+        CUnordered(CLet("y", ERead("m", EVal(1))),
+                   CWrite("m", EVal(2), EVal(5))))
+    program = _prog(cmd, m=TMem(BIT32, 4, ports=2))
+    assert not quantitatively_well_typed(program)
+
+
+def test_ordered_composition_restores_tokens():
+    cmd = COrdered(
+        CUnordered(CLet("x", ERead("m", EVal(0))),
+                   CLet("y", ERead("m", EVal(1)))),
+        CUnordered(CLet("z", ERead("m", EVal(2))),
+                   CWrite("m", EVal(3), EVal(1))))
+    program = _prog(cmd, m=TMem(BIT32, 4, ports=2))
+    assert quantitatively_well_typed(program)
+
+
+def test_ordered_merge_is_pointwise_min():
+    # First step spends 0 tokens, second spends 1 → 1 token remains.
+    cmd = COrdered(SKIP, CLet("x", ERead("m", EVal(0))))
+    program = _prog(cmd, m=TMem(BIT32, 4, ports=2))
+    assert check_quantitative(program).tokens["m"] == 1
+
+
+def test_if_merges_branch_budgets():
+    cmd = CUnordered(
+        CLet("c", EVal(True)),
+        CIf("c",
+            CLet("x", ERead("m", EVal(0))),     # spends 1
+            SKIP))                              # spends 0
+    program = _prog(cmd, m=TMem(BIT32, 4, ports=2))
+    assert check_quantitative(program).tokens["m"] == 1
+
+
+def test_while_body_spends_from_entry_budget():
+    cmd = CUnordered(
+        CLet("c", EVal(False)),
+        CWhile("c", CUnordered(CWrite("m", EVal(0), EVal(1)),
+                               CWrite("m", EVal(1), EVal(2)))))
+    single = _prog(cmd, m=TMem(BIT32, 4, ports=1))
+    double = _prog(cmd, m=TMem(BIT32, 4, ports=2))
+    assert not quantitatively_well_typed(single)
+    assert quantitatively_well_typed(double)
+
+
+def test_tokens_min_keeps_common_keys_only():
+    assert tokens_min({"a": 2, "b": 1}, {"a": 1, "c": 5}) == {"a": 1}
+
+
+def test_unbound_memory_rejected():
+    program = _prog(CLet("x", ERead("ghost", EVal(0))))
+    with pytest.raises(DahliaError):
+        check_quantitative(program)
+
+
+# ---------------------------------------------------------------------------
+# Generators: lenient (possibly ill-typed) and multi-port well-typed
+# ---------------------------------------------------------------------------
+
+_SIZES = {"m0": 4, "m1": 8}
+
+
+@st.composite
+def _lenient_programs(draw) -> FProgram:
+    """Random programs that may or may not respect the affine rules —
+    used to compare the two checkers' *verdicts*, not just acceptance."""
+    n_cmds = draw(st.integers(1, 6))
+    commands = []
+    let_counter = 0
+    for _ in range(n_cmds):
+        kind = draw(st.sampled_from(["read", "write", "step", "skip"]))
+        mem = draw(st.sampled_from(sorted(_SIZES)))
+        index = EVal(draw(st.integers(0, 3)))
+        if kind == "read":
+            let_counter += 1
+            commands.append(CLet(f"x{let_counter}", ERead(mem, index)))
+        elif kind == "write":
+            commands.append(CWrite(mem, index, EVal(1)))
+        elif kind == "step":
+            commands.append("---")
+        # skip adds nothing
+    # Fold into alternating compositions.
+    program: list = [SKIP]
+    for cmd in commands:
+        if cmd == "---":
+            program.append(SKIP)
+        else:
+            program[-1] = CUnordered(program[-1], cmd)
+    result = program[-1]
+    for chunk in reversed(program[:-1]):
+        result = COrdered(chunk, result)
+    memories = {name: TMem(BIT32, size) for name, size in _SIZES.items()}
+    return FProgram(memories, result)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_lenient_programs())
+def test_conservativity_on_single_ported_programs(program):
+    """ports=1 ⇒ quantitative verdict ≡ set-based verdict."""
+    assert agrees_with_set_checker(program)
+
+
+_PORTS = {"m0": 1, "m1": 2, "m2": 3}
+_PSIZES = {"m0": 4, "m1": 4, "m2": 8}
+
+
+@st.composite
+def _multiport_programs(draw) -> FProgram:
+    """Well-typed-by-construction programs over multi-ported memories:
+    the generator tracks the token budget exactly as the checker does."""
+    steps = draw(st.integers(1, 4))
+    let_counter = 0
+    step_cmds = []
+    for _ in range(steps):
+        tokens = dict(_PORTS)
+        cmds: list = [SKIP]
+        n = draw(st.integers(0, 5))
+        for _ in range(n):
+            available = [m for m, t in tokens.items() if t > 0]
+            if not available:
+                break
+            mem = draw(st.sampled_from(sorted(available)))
+            tokens[mem] -= 1
+            index = EVal(draw(st.integers(0, _PSIZES[mem] - 1)))
+            if draw(st.booleans()):
+                let_counter += 1
+                cmds.append(CLet(f"x{let_counter}", ERead(mem, index)))
+            else:
+                cmds.append(CWrite(mem, index, EVal(draw(
+                    st.integers(0, 9)))))
+        step = cmds[0]
+        for cmd in cmds[1:]:
+            step = CUnordered(step, cmd)
+        step_cmds.append(step)
+    result = step_cmds[-1]
+    for chunk in reversed(step_cmds[:-1]):
+        result = COrdered(chunk, result)
+    memories = {name: TMem(BIT32, _PSIZES[name], ports=_PORTS[name])
+                for name in _PORTS}
+    return FProgram(memories, result)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_multiport_programs())
+def test_multiport_generator_is_well_typed(program):
+    check_quantitative(program)             # must not raise
+
+
+@settings(max_examples=200, deadline=None)
+@given(_multiport_programs())
+def test_quantitative_soundness(program):
+    """Quantitatively well-typed ⇒ the port-counting big-step semantics
+    never raises StuckError (the §4.5 soundness claim)."""
+    check_quantitative(program)
+    try:
+        run(program)
+    except StuckError as exc:               # pragma: no cover
+        pytest.fail(f"well-typed program got stuck: {exc}")
+
+
+@settings(max_examples=100, deadline=None)
+@given(_multiport_programs(), st.integers(0, 10))
+def test_overspending_mutation_is_rejected_and_sticks(program, seed):
+    """Adding one extra access to a memory whose budget is exhausted in
+    some step must (a) be rejected by the checker, and (b) actually get
+    stuck at runtime — the two tools agree about the *bad* programs too.
+    """
+    # Exhaust m0 (1 port) in the first step by prefixing two accesses.
+    overdrawn = FProgram(
+        program.memories,
+        CUnordered(
+            CUnordered(CLet("over1", ERead("m0", EVal(0))),
+                       CWrite("m0", EVal(1), EVal(7))),
+            program.command))
+    assert not quantitatively_well_typed(overdrawn)
+    with pytest.raises(StuckError):
+        run(overdrawn)
+
+
+# ---------------------------------------------------------------------------
+# Surface integration: Dahlia multi-port programs flow through desugaring
+# ---------------------------------------------------------------------------
+
+def test_desugared_multiport_dahlia_checks_quantitatively():
+    from repro.filament import desugar
+    from repro.frontend.parser import parse
+
+    source = """
+let A: float{2}[10];
+let x = A[0];
+A[1] := x + 1.0;
+"""
+    program = desugar(parse(source))
+    assert quantitatively_well_typed(program)
+
+
+def test_desugared_overdrawn_dahlia_rejected_quantitatively():
+    from repro.filament import desugar
+    from repro.frontend.parser import parse
+
+    source = """
+let A: float{2}[10];
+let x = A[0];
+let y = A[1];
+A[2] := 1.0;
+"""
+    program = desugar(parse(source))
+    assert not quantitatively_well_typed(program)

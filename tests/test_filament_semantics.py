@@ -1,0 +1,198 @@
+"""Unit tests for Filament's checked big-step semantics (§4.2)."""
+
+import pytest
+
+from repro.errors import InterpError, StuckError
+from repro.filament import (
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FProgram,
+    SKIP,
+    TMem,
+    BIT32,
+    run,
+    seq_all,
+)
+
+
+def mem_program(cmd, sizes=None, ports=None):
+    sizes = sizes or {"a": 4}
+    memories = {
+        name: TMem(BIT32, size, (ports or {}).get(name, 1))
+        for name, size in sizes.items()
+    }
+    return FProgram(memories, cmd)
+
+
+def test_let_binds_value():
+    store = run(mem_program(CLet("x", EVal(42))))
+    assert store.vars["x"] == 42
+
+
+def test_assign_updates():
+    cmd = seq_all([CLet("x", EVal(1)), CAssign("x", EVal(2))],
+                  ordered=False)
+    store = run(mem_program(cmd))
+    assert store.vars["x"] == 2
+
+
+def test_assign_unbound_raises():
+    with pytest.raises(InterpError):
+        run(mem_program(CAssign("x", EVal(1))))
+
+
+def test_write_then_read_same_step_is_stuck():
+    cmd = CUnordered(
+        CWrite("a", EVal(0), EVal(7)),
+        CLet("x", ERead("a", EVal(0))))
+    with pytest.raises(StuckError):
+        run(mem_program(cmd))
+
+
+def test_two_reads_same_memory_same_step_stuck():
+    cmd = CUnordered(
+        CLet("x", ERead("a", EVal(0))),
+        CLet("y", ERead("a", EVal(1))))
+    with pytest.raises(StuckError):
+        run(mem_program(cmd))
+
+
+def test_ordered_composition_resets_rho():
+    cmd = COrdered(
+        CWrite("a", EVal(0), EVal(7)),
+        CLet("x", ERead("a", EVal(0))))
+    store = run(mem_program(cmd))
+    assert store.vars["x"] == 7
+
+
+def test_ordered_joins_access_sets():
+    # After `c1 --- c2`, a's access is visible to the enclosing step.
+    inner = COrdered(CWrite("a", EVal(0), EVal(1)),
+                     CWrite("a", EVal(1), EVal(2)))
+    cmd = CUnordered(inner, CLet("x", ERead("a", EVal(0))))
+    with pytest.raises(StuckError):
+        run(mem_program(cmd))
+
+
+def test_reads_of_two_memories_ok():
+    cmd = CUnordered(
+        CLet("x", ERead("a", EVal(0))),
+        CLet("y", ERead("b", EVal(0))))
+    store = run(mem_program(cmd, sizes={"a": 4, "b": 4}))
+    assert store.vars["x"] == 0 and store.vars["y"] == 0
+
+
+def test_two_ports_allow_two_accesses():
+    cmd = CUnordered(
+        CLet("x", ERead("a", EVal(0))),
+        CWrite("a", EVal(1), EVal(5)))
+    store = run(mem_program(cmd, ports={"a": 2}))
+    assert store.mems["a"][1] == 5
+
+
+def test_two_ports_reject_third_access():
+    cmd = seq_all([
+        CLet("x", ERead("a", EVal(0))),
+        CLet("y", ERead("a", EVal(1))),
+        CWrite("a", EVal(2), EVal(5)),
+    ], ordered=False)
+    with pytest.raises(StuckError):
+        run(mem_program(cmd, ports={"a": 2}))
+
+
+def test_if_takes_then_branch():
+    cmd = seq_all([
+        CLet("c", EVal(True)),
+        CIf("c", CLet("x", EVal(1)), CLet("x", EVal(2))),
+    ], ordered=False)
+    assert run(mem_program(cmd)).vars["x"] == 1
+
+
+def test_if_takes_else_branch():
+    cmd = seq_all([
+        CLet("c", EVal(False)),
+        CIf("c", CLet("x", EVal(1)), CLet("x", EVal(2))),
+    ], ordered=False)
+    assert run(mem_program(cmd)).vars["x"] == 2
+
+
+def test_untaken_branch_consumes_nothing():
+    cmd = seq_all([
+        CLet("c", EVal(False)),
+        CIf("c", CLet("x", ERead("a", EVal(0))), SKIP),
+        CLet("y", ERead("a", EVal(0))),
+    ], ordered=False)
+    assert run(mem_program(cmd)).vars["y"] == 0
+
+
+def test_while_counts():
+    body = CUnordered(
+        CWrite("a", EVar("i"), EVar("i")),
+        CUnordered(
+            CAssign("i", EBinOp("+", EVar("i"), EVal(1))),
+            CAssign("c", EBinOp("<", EVar("i"), EVal(4)))))
+    cmd = seq_all([
+        CLet("i", EVal(0)),
+        CLet("c", EVal(True)),
+        CWhile("c", body),
+    ], ordered=False)
+    store = run(mem_program(cmd))
+    assert store.mems["a"] == [0, 1, 2, 3]
+
+
+def test_while_iterations_do_not_conflict_with_each_other():
+    # Each iteration is its own time step: writing a[0] every iteration
+    # is fine.
+    body = CUnordered(
+        CWrite("a", EVal(0), EVar("i")),
+        CUnordered(
+            CAssign("i", EBinOp("+", EVar("i"), EVal(1))),
+            CAssign("c", EBinOp("<", EVar("i"), EVal(3)))))
+    cmd = seq_all([
+        CLet("i", EVal(0)), CLet("c", EVal(True)), CWhile("c", body),
+    ], ordered=False)
+    assert run(mem_program(cmd)).mems["a"][0] == 2
+
+
+def test_while_body_conflicts_with_enclosing_step():
+    body = CUnordered(
+        CLet("x", ERead("a", EVal(1))),
+        CAssign("c", EVal(False)))
+    cmd = seq_all([
+        CLet("y", ERead("a", EVal(0))),
+        CLet("c", EVal(True)),
+        CWhile("c", body),
+    ], ordered=False)
+    with pytest.raises(StuckError):
+        run(mem_program(cmd))
+
+
+def test_out_of_bounds_read_raises():
+    with pytest.raises(InterpError):
+        run(mem_program(CLet("x", ERead("a", EVal(99)))))
+
+
+def test_division_semantics_truncate_toward_zero():
+    cmd = CLet("x", EBinOp("/", EVal(-7), EVal(2)))
+    assert run(mem_program(cmd)).vars["x"] == -3
+
+
+def test_modulo_c_style():
+    cmd = CLet("x", EBinOp("%", EVal(7), EVal(4)))
+    assert run(mem_program(cmd)).vars["x"] == 3
+
+
+def test_initial_memories_respected():
+    cmd = CLet("x", ERead("a", EVal(2)))
+    store = run(mem_program(cmd), memories={"a": [5, 6, 7, 8]})
+    assert store.vars["x"] == 7

@@ -1,0 +1,137 @@
+"""Unit tests for the small-step semantics (§4.4, appendix A)."""
+
+from repro.filament import (
+    BIT32,
+    CAssign,
+    CExpr,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FProgram,
+    InterSeq,
+    SKIP,
+    TMem,
+    run_small,
+    step,
+    step_expr,
+)
+from repro.filament.bigstep import Store
+
+
+def make_store(**mems):
+    store = Store()
+    for name, cells in mems.items():
+        store.mems[name] = list(cells)
+        store.ports[name] = 1
+    return store
+
+
+def program(cmd, **sizes):
+    sizes = sizes or {"a": 4}
+    return FProgram({n: TMem(BIT32, s) for n, s in sizes.items()}, cmd)
+
+
+# -- expression stepping -------------------------------------------------------
+
+def test_value_does_not_step():
+    assert step_expr(make_store(), frozenset(), EVal(1)) is None
+
+
+def test_var_steps_to_value():
+    store = make_store()
+    store.vars["x"] = 9
+    rho, expr = step_expr(store, frozenset(), EVar("x"))
+    assert expr == EVal(9)
+    assert rho == frozenset()
+
+
+def test_read_adds_to_rho():
+    store = make_store(a=[5, 6, 7, 8])
+    rho, expr = step_expr(store, frozenset(), ERead("a", EVal(2)))
+    assert expr == EVal(7)
+    assert rho == frozenset({"a"})
+
+
+def test_conflicting_read_is_stuck():
+    store = make_store(a=[1, 2, 3, 4])
+    assert step_expr(store, frozenset({"a"}),
+                     ERead("a", EVal(0))) is None
+
+
+def test_binop_steps_left_first():
+    store = make_store(a=[5, 0, 0, 0])
+    expr = EBinOp("+", ERead("a", EVal(0)), EVar("x"))
+    store.vars["x"] = 2
+    rho, stepped = step_expr(store, frozenset(), expr)
+    assert rho == frozenset({"a"})
+    assert stepped == EBinOp("+", EVal(5), EVar("x"))
+
+
+# -- command stepping ---------------------------------------------------------
+
+def test_skip_is_terminal():
+    assert step(make_store(), frozenset(), SKIP) is None
+
+
+def test_ordered_steps_to_interseq_capturing_rho():
+    store = make_store(a=[0] * 4)
+    rho = frozenset({"a"})
+    result = step(store, rho, COrdered(SKIP, SKIP))
+    assert isinstance(result.cmd, InterSeq)
+    assert result.cmd.rho == rho
+
+
+def test_interseq_second_steps_under_captured_rho():
+    # c2 must be checked against the captured ρ, not the outer one.
+    store = make_store(a=[1, 2, 3, 4])
+    cmd = InterSeq(SKIP, frozenset({"a"}),
+                   CLet("x", ERead("a", EVal(0))))
+    # The outer rho is empty, but the captured rho blocks the read.
+    assert step(store, frozenset(), cmd) is None
+
+
+def test_interseq_merges_on_completion():
+    store = make_store(a=[0] * 4)
+    cmd = InterSeq(SKIP, frozenset({"a"}), SKIP)
+    result = step(store, frozenset(), cmd)
+    assert isinstance(result.cmd, CSkip)
+    assert result.rho == frozenset({"a"})
+
+
+def test_write_conflict_is_stuck_command():
+    store = make_store(a=[0] * 4)
+    assert step(store, frozenset({"a"}),
+                CWrite("a", EVal(0), EVal(1))) is None
+
+
+def test_run_small_stuck_program_leaves_residual():
+    conflicted = CUnordered(
+        CLet("x", ERead("a", EVal(0))),
+        CLet("y", ERead("a", EVal(1))))
+    _, residual = run_small(program(conflicted))
+    assert not isinstance(residual, CSkip)
+
+
+def test_run_small_well_typed_reaches_skip():
+    fine = COrdered(
+        CLet("x", ERead("a", EVal(0))),
+        CWrite("a", EVal(1), EVar("x")))
+    store, residual = run_small(program(fine),
+                                memories={"a": [7, 0, 0, 0]})
+    assert isinstance(residual, CSkip)
+    assert store.mems["a"][1] == 7
+
+
+def test_while_unfolds_to_if():
+    from repro.filament import CIf, CWhile
+
+    store = make_store()
+    store.vars["c"] = False
+    result = step(store, frozenset(), CWhile("c", SKIP))
+    assert isinstance(result.cmd, CIf)

@@ -1,0 +1,231 @@
+"""Property-based soundness tests for Filament (§4.6).
+
+We generate random *well-typed-by-construction* Filament programs with
+hypothesis and check the paper's soundness theorem empirically:
+
+* the type checker accepts them (generator sanity);
+* iterating the small-step relation always reaches ``skip`` — i.e. a
+  well-typed program never gets stuck on a memory conflict
+  (progress + preservation);
+* the checked big-step semantics never raises StuckError and computes
+  the same final state as the small-step semantics (the §4.4
+  equivalence claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.filament import (
+    BIT32,
+    CAssign,
+    CIf,
+    CLet,
+    COrdered,
+    CSkip,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FProgram,
+    SKIP,
+    TMem,
+    check_filament,
+    run,
+    run_small,
+)
+
+MEM_SIZES = {"m0": 4, "m1": 4, "m2": 8}
+
+
+class GenState:
+    """Tracks Γ and Δ while generating well-typed commands."""
+
+    def __init__(self) -> None:
+        self.available = set(MEM_SIZES)
+        self.int_vars: list[str] = []
+        self.bool_vars: list[str] = []
+        self.counter = 0
+        # Loop counters/conditions of enclosing while loops.  Assigning to
+        # these from a generated body would be well-typed but could make
+        # the loop diverge; soundness permits divergence but the tests
+        # demand termination, so the generator never mutates them.
+        self.protected: set[str] = set()
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def snapshot(self):
+        return (set(self.available), list(self.int_vars),
+                list(self.bool_vars), self.counter)
+
+    def restore(self, snap) -> None:
+        self.available, self.int_vars, self.bool_vars, self.counter = (
+            set(snap[0]), list(snap[1]), list(snap[2]), snap[3])
+
+
+def _int_expr(draw, state: GenState, may_read: bool):
+    choice = draw(st.integers(0, 3 if may_read and state.available else 2))
+    if choice == 0 or (choice == 1 and not state.int_vars):
+        return EVal(draw(st.integers(-8, 8)))
+    if choice == 1:
+        return EVar(draw(st.sampled_from(state.int_vars)))
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        lhs = _int_expr(draw, state, may_read=False)
+        rhs = _int_expr(draw, state, may_read=False)
+        return EBinOp(op, lhs, rhs)
+    mem = draw(st.sampled_from(sorted(state.available)))
+    state.available.discard(mem)
+    index = draw(st.integers(0, MEM_SIZES[mem] - 1))
+    return ERead(mem, EVal(index))
+
+
+def _bool_expr(draw, state: GenState):
+    if draw(st.booleans()):
+        return EVal(draw(st.booleans()))
+    op = draw(st.sampled_from(["<", ">", "==", "!="]))
+    return EBinOp(op, _int_expr(draw, state, may_read=False),
+                  _int_expr(draw, state, may_read=False))
+
+
+def _command(draw, state: GenState, depth: int):
+    options = ["let", "write", "assign", "skip"]
+    if depth > 0:
+        options += ["unordered", "ordered", "if", "loop"]
+    kind = draw(st.sampled_from(options))
+
+    if kind == "skip":
+        return SKIP
+    if kind == "let":
+        if draw(st.booleans()):
+            name = state.fresh("x")
+            expr = _int_expr(draw, state, may_read=True)
+            state.int_vars.append(name)
+            return CLet(name, expr)
+        name = state.fresh("c")
+        expr = _bool_expr(draw, state)
+        state.bool_vars.append(name)
+        return CLet(name, expr)
+    if kind == "write":
+        if not state.available:
+            return SKIP
+        mem = draw(st.sampled_from(sorted(state.available)))
+        state.available.discard(mem)
+        index = draw(st.integers(0, MEM_SIZES[mem] - 1))
+        return CWrite(mem, EVal(index),
+                      _int_expr(draw, state, may_read=False))
+    if kind == "assign":
+        assignable = [v for v in state.int_vars if v not in state.protected]
+        if not assignable:
+            return SKIP
+        name = draw(st.sampled_from(assignable))
+        return CAssign(name, _int_expr(draw, state, may_read=True))
+    if kind == "unordered":
+        first = _command(draw, state, depth - 1)
+        second = _command(draw, state, depth - 1)
+        return CUnordered(first, second)
+    if kind == "ordered":
+        # Both sides start from the same Δ; result is the intersection.
+        snap_avail = set(state.available)
+        first = _command(draw, state, depth - 1)
+        avail_first = set(state.available)
+        state.available = set(snap_avail)
+        second = _command(draw, state, depth - 1)
+        state.available &= avail_first
+        return COrdered(first, second)
+    if kind == "if":
+        if not state.bool_vars:
+            return SKIP
+        cond = draw(st.sampled_from(state.bool_vars))
+        # check_if threads ∆ through both branches but discards each
+        # branch's Γ extensions: neither branch sees the other's lets,
+        # and neither's lets escape the conditional.
+        snap_avail = set(state.available)
+        snap_ints = list(state.int_vars)
+        snap_bools = list(state.bool_vars)
+        then_branch = _command(draw, state, depth - 1)
+        avail_then = set(state.available)
+        state.available = set(snap_avail)
+        state.int_vars = list(snap_ints)
+        state.bool_vars = list(snap_bools)
+        else_branch = _command(draw, state, depth - 1)
+        state.available &= avail_then
+        state.int_vars = snap_ints
+        state.bool_vars = snap_bools
+        return CIf(cond, then_branch, else_branch)
+    # Bounded counted loop:
+    #   let i = 0; let c = i < K; while c { body; i++; c := i < K }
+    counter = state.fresh("i")
+    cond = state.fresh("c")
+    state.int_vars.append(counter)
+    state.bool_vars.append(cond)
+    trips = draw(st.integers(1, 3))
+    # check_while discards the body's Γ extensions: lets inside the loop
+    # body must not be referenced after the loop.  (counter/cond are
+    # declared *outside* the while, so they legitimately stay in scope.)
+    snap_ints = list(state.int_vars)
+    snap_bools = list(state.bool_vars)
+    newly_protected = {counter, cond} - state.protected
+    state.protected |= newly_protected
+    body = _command(draw, state, depth - 1)
+    state.protected -= newly_protected
+    state.int_vars = snap_ints
+    state.bool_vars = snap_bools
+    update = CUnordered(
+        CAssign(counter, EBinOp("+", EVar(counter), EVal(1))),
+        CAssign(cond, EBinOp("<", EVar(counter), EVal(trips))))
+    return CUnordered(
+        CLet(counter, EVal(0)),
+        CUnordered(
+            CLet(cond, EBinOp("<", EVar(counter), EVal(trips))),
+            CWhile(cond, CUnordered(body, update))))
+
+
+@st.composite
+def well_typed_programs(draw) -> FProgram:
+    state = GenState()
+    cmd = _command(draw, state, depth=3)
+    memories = {name: TMem(BIT32, size) for name, size in MEM_SIZES.items()}
+    return FProgram(memories, cmd)
+
+
+@settings(max_examples=150, deadline=None)
+@given(well_typed_programs())
+def test_generated_programs_are_well_typed(program):
+    check_filament(program)              # must not raise
+
+
+@settings(max_examples=150, deadline=None)
+@given(well_typed_programs())
+def test_well_typed_programs_never_get_stuck(program):
+    """The soundness theorem: ∅,Δ* ⊢ c and c →* c' ↛ implies c' = skip."""
+    check_filament(program)
+    _, residual = run_small(program)
+    assert isinstance(residual, CSkip)
+
+
+@settings(max_examples=150, deadline=None)
+@given(well_typed_programs())
+def test_bigstep_equals_smallstep(program):
+    """Iterated small-step ≡ big-step (§4.4)."""
+    check_filament(program)
+    big = run(program)                   # must not raise StuckError
+    small, residual = run_small(program)
+    assert isinstance(residual, CSkip)
+    assert big.mems == small.mems
+    assert big.vars == small.vars
+
+
+@settings(max_examples=50, deadline=None)
+@given(well_typed_programs())
+def test_semantics_deterministic(program):
+    first = run(program)
+    second = run(program)
+    assert first.mems == second.mems
+    assert first.vars == second.vars

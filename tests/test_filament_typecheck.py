@@ -1,0 +1,175 @@
+"""Unit tests for the Filament type system (§4.3)."""
+
+import pytest
+
+from repro.errors import DahliaError, TypeError_, UnboundError
+from repro.filament import (
+    BIT32,
+    BOOL,
+    CAssign,
+    CExpr,
+    CIf,
+    CLet,
+    COrdered,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FProgram,
+    InterSeq,
+    SKIP,
+    TMem,
+    check_filament,
+    well_typed,
+)
+from repro.filament.syntax import TBool
+
+
+def program(cmd, sizes=None):
+    sizes = sizes or {"a": 4, "b": 4}
+    return FProgram({n: TMem(BIT32, s) for n, s in sizes.items()}, cmd)
+
+
+def test_skip_checks():
+    assert well_typed(program(SKIP))
+
+
+def test_let_extends_gamma():
+    ctx = check_filament(program(CLet("x", EVal(1))))
+    assert "x" in ctx.gamma
+
+
+def test_let_rebinding_rejected():
+    cmd = CUnordered(CLet("x", EVal(1)), CLet("x", EVal(2)))
+    assert not well_typed(program(cmd))
+
+
+def test_read_consumes_delta():
+    ctx = check_filament(program(CLet("x", ERead("a", EVal(0)))))
+    assert "a" not in ctx.delta
+    assert "b" in ctx.delta
+
+
+def test_double_read_rejected():
+    cmd = CUnordered(
+        CLet("x", ERead("a", EVal(0))),
+        CLet("y", ERead("a", EVal(1))))
+    assert not well_typed(program(cmd))
+
+
+def test_write_consumes_delta():
+    ctx = check_filament(program(CWrite("a", EVal(0), EVal(1))))
+    assert "a" not in ctx.delta
+
+
+def test_ordered_restores_and_intersects():
+    cmd = COrdered(
+        CLet("x", ERead("a", EVal(0))),
+        CWrite("a", EVal(1), EVal(2)))
+    ctx = check_filament(program(cmd))
+    assert "a" not in ctx.delta          # consumed in both steps
+    assert "b" in ctx.delta
+
+
+def test_ordered_keeps_untouched_memories():
+    cmd = COrdered(CLet("x", ERead("a", EVal(0))), SKIP)
+    ctx = check_filament(program(cmd))
+    # a consumed in step 1, untouched in step 2: Δ₂ ∩ Δ₃ removes it.
+    assert "a" not in ctx.delta
+
+
+def test_interseq_checks_under_rho_complement():
+    # c2 under ~ρ~ with ρ = {a}: a is not available to c2.
+    cmd = InterSeq(SKIP, frozenset({"a"}), CLet("x", ERead("a", EVal(0))))
+    assert not well_typed(program(cmd))
+
+
+def test_interseq_allows_unconsumed():
+    cmd = InterSeq(SKIP, frozenset({"a"}), CLet("x", ERead("b", EVal(0))))
+    assert well_typed(program(cmd))
+
+
+def test_if_requires_bool_condition():
+    cmd = CUnordered(CLet("c", EVal(3)), CIf("c", SKIP, SKIP))
+    assert not well_typed(program(cmd))
+
+
+def test_if_branches_from_same_delta():
+    cmd = CUnordered(
+        CLet("c", EVal(True)),
+        CIf("c",
+            CLet("x", ERead("a", EVal(0))),
+            CLet("y", ERead("a", EVal(1)))))
+    assert well_typed(program(cmd))
+
+
+def test_if_result_is_triple_intersection():
+    cmd = CUnordered(
+        CLet("c", EVal(True)),
+        CIf("c", CLet("x", ERead("a", EVal(0))), SKIP))
+    ctx = check_filament(program(cmd))
+    assert "a" not in ctx.delta
+
+
+def test_while_requires_bool():
+    cmd = CUnordered(CLet("c", EVal(1)), CWhile("c", SKIP))
+    assert not well_typed(program(cmd))
+
+
+def test_while_body_consumption_propagates():
+    cmd = CUnordered(
+        CLet("c", EVal(False)),
+        CWhile("c", CLet("x", ERead("a", EVal(0)))))
+    ctx = check_filament(program(cmd))
+    assert "a" not in ctx.delta
+
+
+def test_assign_type_mismatch():
+    cmd = CUnordered(CLet("x", EVal(True)), CAssign("x", EVal(3)))
+    assert not well_typed(program(cmd))
+
+
+def test_assign_bool_ok():
+    cmd = CUnordered(CLet("x", EVal(True)), CAssign("x", EVal(False)))
+    assert well_typed(program(cmd))
+
+
+def test_comparison_yields_bool():
+    cmd = CUnordered(
+        CLet("c", EBinOp("<", EVal(1), EVal(2))),
+        CIf("c", SKIP, SKIP))
+    assert well_typed(program(cmd))
+
+
+def test_logical_ops_require_bools():
+    cmd = CLet("c", EBinOp("&&", EVal(1), EVal(2)))
+    assert not well_typed(program(cmd))
+
+
+def test_unknown_memory_rejected():
+    assert not well_typed(program(CLet("x", ERead("zzz", EVal(0)))))
+
+
+def test_unbound_variable_rejected():
+    assert not well_typed(program(CExpr(EVar("nope"))))
+
+
+def test_write_element_type_checked():
+    cmd = CWrite("a", EVal(0), EVal(True))
+    assert not well_typed(program(cmd))
+
+
+def test_float_memory_accepts_int_literal():
+    from repro.filament.syntax import TFloat
+
+    prog = FProgram({"f": TMem(TFloat(), 4)},
+                    CWrite("f", EVal(0), EVal(1)))
+    assert well_typed(prog)
+
+
+def test_index_must_be_integer():
+    cmd = CLet("x", ERead("a", EVal(True)))
+    assert not well_typed(program(cmd))

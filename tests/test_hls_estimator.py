@@ -1,0 +1,225 @@
+"""Tests for the HLS estimation substrate — including the Fig. 4 shape
+assertions that anchor the whole evaluation."""
+
+import pytest
+
+from repro.hls import (
+    READ,
+    WRITE,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+    analyze_kernel,
+    estimate,
+    schedule,
+)
+
+
+def gemm_kernel(unroll, partition, size=512):
+    arrays = (
+        ArraySpec("m1", (size, size), (1, partition)),
+        ArraySpec("m2", (size, size), (partition, 1)),
+        ArraySpec("prod", (size, size), (1, 1)),
+    )
+    loops = (LoopSpec("i", size), LoopSpec("j", size),
+             LoopSpec("k", size, unroll))
+    accesses = (
+        AccessSpec("m1", (AffineIndex.of(i=1), AffineIndex.of(k=1)), READ),
+        AccessSpec("m2", (AffineIndex.of(k=1), AffineIndex.of(j=1)), READ),
+    )
+    return KernelSpec("gemm", arrays, loops, accesses,
+                      OpCounts(fp_mul=1, fp_add=1), has_reduction=True)
+
+
+# -- kernel IR ---------------------------------------------------------------
+
+def test_array_uneven_detection():
+    assert not ArraySpec("a", (8,), (4,)).uneven
+    assert ArraySpec("a", (10,), (4,)).uneven
+
+
+def test_loop_epilogue_detection():
+    assert not LoopSpec("i", 8, 4).has_epilogue
+    assert LoopSpec("i", 10, 4).has_epilogue
+    assert LoopSpec("i", 10, 4).iterations == 3
+
+
+def test_processing_elements():
+    kernel = gemm_kernel(4, 4)
+    assert kernel.processing_elements == 4
+
+
+def test_affine_index_helpers():
+    idx = AffineIndex.of(3, i=2)
+    assert idx.coeff("i") == 2
+    assert idx.coeff("j") == 0
+    assert idx.const == 3
+    assert AffineIndex.dyn().dynamic
+
+
+# -- banking analysis -----------------------------------------------------------
+
+def test_aligned_unroll_has_no_mux():
+    profiles = analyze_kernel(gemm_kernel(8, 8))
+    assert profiles["m1"].mux_degree == 1
+    assert profiles["m1"].regular
+    assert profiles["m1"].port_pressure == 1
+
+
+def test_partial_unroll_muxes_regularly():
+    # unroll 4 on 8 banks: each PE owns 2 banks (Fig. 4b's aligned set).
+    profiles = analyze_kernel(gemm_kernel(4, 8))
+    assert profiles["m1"].mux_degree == 2
+    assert profiles["m1"].regular
+
+
+def test_misaligned_unroll_needs_crossbar():
+    # unroll 3 on 8 banks: gcd 1 → the PEs' bank sets overlap and grow
+    # with time (the sampled trace already shows ≥ 4 banks per PE).
+    profiles = analyze_kernel(gemm_kernel(3, 8))
+    assert profiles["m1"].mux_degree >= 4
+    assert not profiles["m1"].regular
+    assert profiles["m1"].crossbar
+
+
+def test_overunroll_serializes():
+    # 16 PEs on 8 banks: two PEs per bank → port pressure 2.
+    profiles = analyze_kernel(gemm_kernel(16, 8))
+    assert profiles["m1"].port_pressure == 2
+
+
+def test_single_bank_pressure_equals_unroll():
+    profiles = analyze_kernel(gemm_kernel(8, 1))
+    assert profiles["m1"].port_pressure == 8
+
+
+def test_identical_reads_fan_out():
+    # m2[k][j] does not involve loop i: copies across i share one read.
+    kernel = KernelSpec(
+        "fanout",
+        arrays=(ArraySpec("t", (8,), (1,)),),
+        loops=(LoopSpec("i", 8, 4),),
+        accesses=(AccessSpec("t", (AffineIndex.of(0),), READ),),
+        ops=OpCounts())
+    profiles = analyze_kernel(kernel)
+    assert profiles["t"].port_pressure == 1
+
+
+def test_replicated_writes_conflict():
+    kernel = KernelSpec(
+        "wconflict",
+        arrays=(ArraySpec("t", (8,), (1,)),),
+        loops=(LoopSpec("i", 8, 4),),
+        accesses=(AccessSpec("t", (AffineIndex.of(0),), WRITE),),
+        ops=OpCounts())
+    profiles = analyze_kernel(kernel)
+    assert profiles["t"].port_pressure == 4
+
+
+def test_dynamic_access_worst_case():
+    kernel = KernelSpec(
+        "dyn",
+        arrays=(ArraySpec("t", (8,), (4,)),),
+        loops=(LoopSpec("i", 8, 2),),
+        accesses=(AccessSpec("t", (AffineIndex.dyn(),), READ),),
+        ops=OpCounts())
+    profiles = analyze_kernel(kernel)
+    assert profiles["t"].mux_degree == 4
+    assert profiles["t"].port_pressure == 2
+
+
+def test_two_ports_halve_pressure_interval():
+    kernel = KernelSpec(
+        "ports",
+        arrays=(ArraySpec("t", (8,), (1,), ports=2),),
+        loops=(LoopSpec("i", 8, 2),),
+        accesses=(AccessSpec("t", (AffineIndex.of(i=1),), READ),),
+        ops=OpCounts())
+    profiles = analyze_kernel(kernel)
+    sched = schedule(kernel, profiles)
+    assert sched.ii == 1.0
+
+
+# -- Fig. 4 shapes ---------------------------------------------------------------
+
+def test_fig4a_latency_flat_without_banking():
+    """§2.1: more PEs without banks does not improve latency."""
+    runtimes = [estimate(gemm_kernel(u, 1)).runtime_ms
+                for u in range(1, 11)]
+    base = runtimes[0]
+    assert all(abs(r - base) / base < 0.05 for r in runtimes)
+
+
+def test_fig4a_baseline_matches_paper_scale():
+    """The unparallelized design lands near the paper's 841 ms."""
+    report = estimate(gemm_kernel(1, 1))
+    assert 700 <= report.runtime_ms <= 1000
+    assert 2000 <= report.luts <= 2800       # paper: 2,355 LUTs
+
+
+def test_fig4b_predictable_points_divide_banking():
+    predictable = [u for u in range(1, 17)
+                   if estimate(gemm_kernel(u, 8)).predictable]
+    assert predictable == [1, 2, 4, 8]
+
+
+def test_fig4b_latency_improves_on_predictable_points():
+    reports = {u: estimate(gemm_kernel(u, 8)) for u in (1, 2, 4, 8)}
+    assert (reports[1].latency_cycles > reports[2].latency_cycles
+            > reports[4].latency_cycles > reports[8].latency_cycles)
+
+
+def test_fig4b_unroll9_regresses_vs_8():
+    """The paper's headline: reducing 9 → 8 improves performance."""
+    at8 = estimate(gemm_kernel(8, 8))
+    at9 = estimate(gemm_kernel(9, 8))
+    assert at9.runtime_ms > at8.runtime_ms
+    assert at9.luts > at8.luts
+
+
+def test_fig4c_predictable_points_divide_size():
+    predictable = [f for f in range(1, 17)
+                   if estimate(gemm_kernel(f, f)).predictable]
+    assert predictable == [1, 2, 4, 8, 16]
+
+
+def test_fig4c_unpredictable_points_cost_more_area():
+    predictable_luts = max(estimate(gemm_kernel(f, f)).luts
+                           for f in (1, 2, 4, 8, 16))
+    spike_luts = max(estimate(gemm_kernel(f, f)).luts
+                     for f in (11, 13, 14, 15))
+    assert spike_luts > predictable_luts
+
+
+def test_fig4c_predictable_latency_scales():
+    at1 = estimate(gemm_kernel(1, 1))
+    at8 = estimate(gemm_kernel(8, 8))
+    gain = at1.latency_cycles / at8.latency_cycles
+    assert 6 <= gain <= 9                   # ~8× from 8-way parallelism
+
+
+def test_incorrect_hardware_flagged_deterministically():
+    first = [estimate(gemm_kernel(u, 8)).incorrect for u in range(1, 17)]
+    second = [estimate(gemm_kernel(u, 8)).incorrect for u in range(1, 17)]
+    assert first == second
+    assert any(first)                       # some points are miscompiled
+    assert not any(first[u - 1] for u in (1, 2, 4, 8, 16))
+
+
+def test_noise_is_deterministic():
+    assert estimate(gemm_kernel(3, 8)).luts == estimate(gemm_kernel(3, 8)).luts
+
+
+def test_noise_seed_changes_details_not_shape():
+    base = estimate(gemm_kernel(8, 8), noise_seed="a")
+    other = estimate(gemm_kernel(8, 8), noise_seed="b")
+    assert base.latency_cycles == other.latency_cycles
+    assert abs(base.luts - other.luts) / base.luts < 0.1
+
+
+def test_report_objectives_are_the_paper_axes():
+    report = estimate(gemm_kernel(2, 2))
+    assert len(report.objectives) == 5

@@ -1,0 +1,155 @@
+"""Unit tests for the HLS substrate internals: scheduling arithmetic,
+resource model components, and the Spatial inference corner cases."""
+
+import pytest
+
+from repro.hls import (
+    READ,
+    WRITE,
+    AccessSpec,
+    AffineIndex,
+    ArraySpec,
+    KernelSpec,
+    LoopSpec,
+    OpCounts,
+    analyze_kernel,
+    estimate_resources,
+    schedule,
+)
+from repro.hls.resources import _noise
+from repro.hls.scheduling import REDUCTION_II
+from repro.spatial import infer_banking
+
+
+def simple_kernel(unroll=1, banks=1, trip=16, ports=1, write=False,
+                  reduction=False, ops=None):
+    kind = WRITE if write else READ
+    return KernelSpec(
+        "k",
+        arrays=(ArraySpec("a", (trip,), (banks,), ports=ports),),
+        loops=(LoopSpec("i", trip, unroll),),
+        accesses=(AccessSpec("a", (AffineIndex.of(i=1),), kind),),
+        ops=ops or OpCounts(fp_add=1),
+        has_reduction=reduction)
+
+
+# -- scheduling ---------------------------------------------------------------
+
+def test_ii_is_one_without_conflicts():
+    kernel = simple_kernel(unroll=2, banks=2)
+    sched = schedule(kernel, analyze_kernel(kernel))
+    assert sched.ii == 1.0
+    assert not sched.serialized
+
+
+def test_ii_multiplies_ports_and_reduction():
+    kernel = simple_kernel(unroll=2, banks=1, reduction=True)
+    sched = schedule(kernel, analyze_kernel(kernel))
+    assert sched.ii == pytest.approx(2 * REDUCTION_II)
+    assert sched.serialized
+
+
+def test_cycles_formula():
+    kernel = simple_kernel(unroll=2, banks=2, trip=16)
+    sched = schedule(kernel, analyze_kernel(kernel))
+    assert sched.iterations == 8
+    assert sched.cycles == 8 * 1 + sched.depth
+
+
+def test_epilogue_counted():
+    kernel = simple_kernel(unroll=3, banks=3, trip=16)
+    sched = schedule(kernel, analyze_kernel(kernel))
+    assert sched.epilogue_loops == 1
+    assert sched.iterations == 6          # ceil(16/3)
+
+
+def test_depth_grows_with_op_mix():
+    light = simple_kernel(ops=OpCounts(int_add=1))
+    heavy = simple_kernel(ops=OpCounts(fp_div=1, special=1))
+    light_sched = schedule(light, analyze_kernel(light))
+    heavy_sched = schedule(heavy, analyze_kernel(heavy))
+    assert heavy_sched.depth > light_sched.depth
+
+
+# -- resources -------------------------------------------------------------------
+
+def test_brams_scale_with_banks():
+    one = simple_kernel(banks=1, trip=4096)
+    four = simple_kernel(banks=4, trip=4096)
+    r1 = estimate_resources(one, analyze_kernel(one),
+                            schedule(one, analyze_kernel(one)), noise=False)
+    r4 = estimate_resources(four, analyze_kernel(four),
+                            schedule(four, analyze_kernel(four)),
+                            noise=False)
+    assert r4.brams >= r1.brams           # same bits, ≥ tiles (min 1/bank)
+
+
+def test_small_banks_become_lutram():
+    tiny = simple_kernel(banks=2, trip=16)
+    resources = estimate_resources(
+        tiny, analyze_kernel(tiny), schedule(tiny, analyze_kernel(tiny)),
+        noise=False)
+    assert resources.brams == 0
+    assert resources.lutmems > 0
+
+
+def test_uneven_banks_charged():
+    even = KernelSpec(
+        "e", arrays=(ArraySpec("a", (16,), (4,)),),
+        loops=(LoopSpec("i", 16),),
+        accesses=(AccessSpec("a", (AffineIndex.of(i=1),), READ),),
+        ops=OpCounts(int_add=1))
+    uneven = KernelSpec(
+        "u", arrays=(ArraySpec("a", (18,), (4,)),),
+        loops=(LoopSpec("i", 18),),
+        accesses=(AccessSpec("a", (AffineIndex.of(i=1),), READ),),
+        ops=OpCounts(int_add=1))
+    r_even = estimate_resources(
+        even, analyze_kernel(even), schedule(even, analyze_kernel(even)),
+        noise=False)
+    r_uneven = estimate_resources(
+        uneven, analyze_kernel(uneven),
+        schedule(uneven, analyze_kernel(uneven)), noise=False)
+    assert r_uneven.luts > r_even.luts
+
+
+def test_noise_bounds():
+    for key in ("a", "b", "c", "def", "xyz"):
+        value = _noise(key, 0.12)
+        assert 0.88 <= value <= 1.12
+
+
+def test_noise_pure_function():
+    assert _noise("same-key", 0.05) == _noise("same-key", 0.05)
+    assert _noise("key-a", 0.05) != _noise("key-b", 0.05)
+
+
+def test_dsps_shared_when_serialized():
+    parallel = simple_kernel(unroll=4, banks=4,
+                             ops=OpCounts(fp_mul=1))
+    serialized = simple_kernel(unroll=4, banks=1,
+                               ops=OpCounts(fp_mul=1))
+    r_par = estimate_resources(
+        parallel, analyze_kernel(parallel),
+        schedule(parallel, analyze_kernel(parallel)), noise=False)
+    r_ser = estimate_resources(
+        serialized, analyze_kernel(serialized),
+        schedule(serialized, analyze_kernel(serialized)), noise=False)
+    # Requested parallelism without banks buys muxes, not multipliers.
+    assert r_ser.dsps < r_par.dsps
+
+
+# -- Spatial inference corners ----------------------------------------------------
+
+def test_inference_unit_parallelism():
+    assert infer_banking(128, 1) == 1
+
+
+def test_inference_never_exceeds_size():
+    assert infer_banking(6, 5) == 6
+    assert infer_banking(7, 9) == 7
+
+
+def test_inference_on_non_power_of_two_sizes():
+    assert infer_banking(12, 5) == 6
+    assert infer_banking(12, 7) == 12

@@ -1,0 +1,246 @@
+"""End-to-end interpreter tests against NumPy oracles, plus the
+checker ⊆ checked-semantics agreement (§4.6 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DahliaError, StuckError
+from repro.interp import interpret
+from repro.types.checker import rejection_reason
+
+
+def test_elementwise_banked():
+    src = """
+decl A: float[8 bank 4];
+decl B: float[8 bank 4];
+decl C: float[8 bank 4];
+for (let i = 0..8) unroll 4 {
+  C[i] := A[i] * B[i];
+}
+"""
+    a = np.arange(8, dtype=float)
+    b = np.full(8, 2.0)
+    result = interpret(src, {"A": a, "B": b})
+    assert np.allclose(result.memories["C"], a * b)
+
+
+def test_dot_product_with_combine():
+    src = """
+decl A: float[8 bank 4];
+decl B: float[8 bank 4];
+decl OUT: float[1];
+let dot = 0.0;
+for (let i = 0..8) unroll 4 {
+  let v = A[i] * B[i];
+} combine {
+  dot += v;
+}
+---
+OUT[0] := dot;
+"""
+    a = np.arange(8, dtype=float)
+    b = np.arange(8, dtype=float)[::-1].copy()
+    result = interpret(src, {"A": a, "B": b})
+    assert result.memories["OUT"][0] == pytest.approx(float(a @ b))
+
+
+def test_matmul_2d_banked():
+    src = """
+decl M1: float[4 bank 2][4];
+decl M2: float[4][4 bank 2];
+decl P: float[4 bank 2][4 bank 2];
+for (let i = 0..4) {
+  for (let j = 0..4) {
+    let s = 0.0;
+    for (let k = 0..4) {
+      s += M1[i][k] * M2[k][j];
+    }
+    ---
+    P[i][j] := s;
+  }
+}
+"""
+    m1 = np.arange(16, dtype=float).reshape(4, 4)
+    m2 = np.eye(4) * 3.0
+    result = interpret(src, {"M1": m1, "M2": m2})
+    assert np.allclose(result.memories["P"], m1 @ m2)
+
+
+def test_shift_view_stencil():
+    src = """
+decl IN: float[9 bank 3];
+decl OUT: float[6];
+for (let r = 0..6) {
+  view w = shift IN[by r];
+  let acc = 0.0;
+  for (let k = 0..3) unroll 3 {
+    let v = w[k];
+  } combine {
+    acc += v;
+  }
+  ---
+  OUT[r] := acc;
+}
+"""
+    x = np.arange(9, dtype=float)
+    result = interpret(src, {"IN": x})
+    expected = np.array([x[r] + x[r + 1] + x[r + 2] for r in range(6)])
+    assert np.allclose(result.memories["OUT"], expected)
+
+
+def test_suffix_view_addressing():
+    src = """
+decl A: float[8 bank 2];
+decl OUT: float[4];
+for (let i = 0..4) {
+  view s = suffix A[by 2 * i];
+  OUT[i] := s[1];
+}
+"""
+    result = interpret(src, {"A": np.arange(8, dtype=float)})
+    assert np.allclose(result.memories["OUT"], [1, 3, 5, 7])
+
+
+def test_shrink_view_identity_addressing():
+    src = """
+decl A: float[8 bank 4];
+decl OUT: float[8 bank 2];
+view sh = shrink A[by 2];
+for (let i = 0..8) unroll 2 {
+  OUT[i] := sh[i] + 1.0;
+}
+"""
+    result = interpret(src, {"A": np.arange(8, dtype=float)})
+    assert np.allclose(result.memories["OUT"], np.arange(8) + 1)
+
+
+def test_split_view_covers_every_element():
+    src = """
+decl A: float[12 bank 4];
+decl B: float[12 bank 4];
+decl OUT: float[1];
+let sum = 0.0;
+view split_A = split A[by 2];
+view split_B = split B[by 2];
+for (let i = 0..6) unroll 2 {
+  for (let j = 0..2) unroll 2 {
+    let v = split_A[j][i] * split_B[j][i];
+  } combine {
+    sum += v;
+  }
+}
+---
+OUT[0] := sum;
+"""
+    a = np.arange(12, dtype=float)
+    b = np.linspace(1, 2, 12)
+    result = interpret(src, {"A": a, "B": b})
+    assert result.memories["OUT"][0] == pytest.approx(float(a @ b))
+
+
+def test_function_inlining():
+    src = """
+decl X: float[4];
+decl Y: float[4];
+def scale(src: float[4], dst: float[4], f: float) {
+  for (let i = 0..4) {
+    dst[i] := src[i] * f;
+  }
+}
+scale(X, Y, 2.0)
+"""
+    result = interpret(src, {"X": np.arange(4, dtype=float)})
+    assert np.allclose(result.memories["Y"], np.arange(4) * 2)
+
+
+def test_builtin_math():
+    src = """
+decl X: float[4];
+decl Y: float[4];
+for (let i = 0..4) {
+  let v = X[i]
+  ---
+  Y[i] := sqrt(v);
+}
+"""
+    x = np.array([1.0, 4.0, 9.0, 16.0])
+    result = interpret(src, {"X": x})
+    assert np.allclose(result.memories["Y"], np.sqrt(x))
+
+
+def test_while_loop_semantics():
+    src = """
+decl A: float[4];
+let i = 0;
+while (i < 4) {
+  A[i] := i * 2
+  ---
+  i := i + 1;
+}
+"""
+    result = interpret(src)
+    assert np.allclose(result.memories["A"], [0, 2, 4, 6])
+
+
+def test_if_else_semantics():
+    src = """
+decl A: bit<32>[4];
+for (let i = 0..4) {
+  if (i % 2 == 0) {
+    A[i] := 1;
+  } else {
+    A[i] := 2;
+  }
+}
+"""
+    result = interpret(src)
+    assert result.memories["A"].tolist() == [1, 2, 1, 2]
+
+
+def test_rejected_program_raises_on_interpret():
+    src = "decl A: float[4]; let x = A[0]; A[1] := 1.0"
+    with pytest.raises(DahliaError):
+        interpret(src)
+
+
+def test_checked_semantics_catches_conflicts_without_checker():
+    # Skip the type checker: the checked big-step semantics must still
+    # detect the bank conflict at run time.
+    src = "decl A: float[4]; let x = A[0]; let y = A[1];"
+    with pytest.raises(StuckError):
+        interpret(src, check=False)
+
+
+def test_checker_sound_for_runtime():
+    """Accepted programs run without StuckError — the soundness
+    statement, end to end through desugaring."""
+    sources = [
+        "decl A: float[4]; let x = A[0]; let y = A[0];",
+        "decl A: float[4]; let x = A[0] --- A[1] := 1.0",
+        """
+decl A: float{2}[4];
+let x = A[0];
+A[1] := x + 1.0
+""",
+        """
+decl A: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  A[i] := 1.0;
+}
+""",
+    ]
+    for src in sources:
+        assert rejection_reason(src) is None
+        interpret(src)                   # must not raise
+
+
+def test_wrong_shape_input_rejected():
+    src = "decl A: float[4]; A[0] := 1.0"
+    with pytest.raises(DahliaError):
+        interpret(src, {"A": np.zeros(5)})
+
+
+def test_scalar_result_visible():
+    src = "let total = 1 + 2;"
+    result = interpret(src)
+    assert result.scalar("total") == 3

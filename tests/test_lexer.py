@@ -1,0 +1,116 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]     # drop EOF
+
+
+def test_empty_input_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_simple_let():
+    assert kinds("let x = 1") == [
+        TokenKind.LET, TokenKind.IDENT, TokenKind.EQ, TokenKind.INT]
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("let lettuce view viewer") == [
+        TokenKind.LET, TokenKind.IDENT, TokenKind.VIEW, TokenKind.IDENT]
+
+
+def test_ordered_composition_connector():
+    assert kinds("a --- b") == [
+        TokenKind.IDENT, TokenKind.SEQ, TokenKind.IDENT]
+
+
+def test_minus_vs_seq():
+    # Two dashes are two minus tokens, three are the connector.
+    assert kinds("a - - b") == [
+        TokenKind.IDENT, TokenKind.MINUS, TokenKind.MINUS, TokenKind.IDENT]
+    assert kinds("a---b")[1] is TokenKind.SEQ
+
+
+def test_float_literal():
+    tokens = tokenize("4.25")
+    assert tokens[0].kind is TokenKind.FLOAT
+    assert tokens[0].text == "4.25"
+
+
+def test_range_is_not_float():
+    assert kinds("0..10") == [
+        TokenKind.INT, TokenKind.DOTDOT, TokenKind.INT]
+
+
+def test_assign_vs_colon():
+    assert kinds("x := 1") == [
+        TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.INT]
+    assert kinds("x : t") == [
+        TokenKind.IDENT, TokenKind.COLON, TokenKind.IDENT]
+
+
+def test_reducer_tokens():
+    assert kinds("x += 1")[1] is TokenKind.PLUS_EQ
+    assert kinds("x -= 1")[1] is TokenKind.MINUS_EQ
+    assert kinds("x *= 1")[1] is TokenKind.STAR_EQ
+    assert kinds("x /= 1")[1] is TokenKind.SLASH_EQ
+
+
+def test_comparison_operators():
+    assert kinds("a <= b >= c == d != e") == [
+        TokenKind.IDENT, TokenKind.LE, TokenKind.IDENT, TokenKind.GE,
+        TokenKind.IDENT, TokenKind.EQEQ, TokenKind.IDENT, TokenKind.NEQ,
+        TokenKind.IDENT]
+
+
+def test_logical_operators():
+    assert kinds("a && b || !c") == [
+        TokenKind.IDENT, TokenKind.AND, TokenKind.IDENT, TokenKind.OR,
+        TokenKind.BANG, TokenKind.IDENT]
+
+
+def test_line_comment_skipped():
+    assert kinds("let x // comment\n = 1") == [
+        TokenKind.LET, TokenKind.IDENT, TokenKind.EQ, TokenKind.INT]
+
+
+def test_block_comment_skipped():
+    assert kinds("let /* a\nb */ x") == [TokenKind.LET, TokenKind.IDENT]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("let /* oops")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("let x = $")
+
+
+def test_spans_track_lines_and_columns():
+    tokens = tokenize("let\n  x")
+    assert tokens[0].span.start.line == 1
+    assert tokens[1].span.start.line == 2
+    assert tokens[1].span.start.column == 3
+
+
+def test_braces_brackets_and_banks():
+    assert kinds("A{2}[10 bank 4]") == [
+        TokenKind.IDENT, TokenKind.LBRACE, TokenKind.INT, TokenKind.RBRACE,
+        TokenKind.LBRACKET, TokenKind.INT, TokenKind.BANK, TokenKind.INT,
+        TokenKind.RBRACKET]
+
+
+def test_view_keywords():
+    assert kinds("shrink suffix shift split by") == [
+        TokenKind.SHRINK, TokenKind.SUFFIX, TokenKind.SHIFT,
+        TokenKind.SPLIT, TokenKind.BY]

@@ -1,0 +1,275 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse, parse_command, parse_expr
+
+
+# -- expressions -------------------------------------------------------------
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, ast.Binary)
+    assert expr.op is ast.BinOp.ADD
+    assert isinstance(expr.rhs, ast.Binary)
+    assert expr.rhs.op is ast.BinOp.MUL
+
+
+def test_precedence_comparison_over_logic():
+    expr = parse_expr("a < b && c > d")
+    assert expr.op is ast.BinOp.AND
+    assert expr.lhs.op is ast.BinOp.LT
+    assert expr.rhs.op is ast.BinOp.GT
+
+
+def test_left_associativity():
+    expr = parse_expr("a - b - c")
+    assert expr.op is ast.BinOp.SUB
+    assert isinstance(expr.lhs, ast.Binary)
+    assert expr.lhs.op is ast.BinOp.SUB
+
+
+def test_parenthesized():
+    expr = parse_expr("(1 + 2) * 3")
+    assert expr.op is ast.BinOp.MUL
+    assert expr.lhs.op is ast.BinOp.ADD
+
+
+def test_unary_minus_and_not():
+    expr = parse_expr("-x")
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+    expr = parse_expr("!flag")
+    assert isinstance(expr, ast.Unary) and expr.op == "!"
+
+
+def test_logical_access():
+    expr = parse_expr("A[i][j]")
+    assert isinstance(expr, ast.Access)
+    assert expr.mem == "A"
+    assert len(expr.indices) == 2
+    assert not expr.is_physical
+
+
+def test_physical_access():
+    expr = parse_expr("A{3}[0]")
+    assert isinstance(expr, ast.Access)
+    assert expr.is_physical
+    assert len(expr.bank_indices) == 1
+
+
+def test_physical_access_requires_subscript():
+    with pytest.raises(ParseError):
+        parse_expr("A{3}")
+
+
+def test_application():
+    expr = parse_expr("f(x, 1 + 2)")
+    assert isinstance(expr, ast.App)
+    assert expr.func == "f"
+    assert len(expr.args) == 2
+
+
+def test_float_literal_expr():
+    expr = parse_expr("4.5")
+    assert isinstance(expr, ast.FloatLit)
+    assert expr.value == 4.5
+
+
+def test_bool_literals():
+    assert parse_expr("true").value is True
+    assert parse_expr("false").value is False
+
+
+# -- commands ----------------------------------------------------------------
+
+def test_let_with_memory_type():
+    cmd = parse_command("let A: float[8 bank 4]")
+    assert isinstance(cmd, ast.Let)
+    assert cmd.type.dims == (ast.DimSpec(8, 4),)
+    assert cmd.init is None
+
+
+def test_let_with_ports():
+    cmd = parse_command("let A: float{2}[10]")
+    assert cmd.type.ports == 2
+
+
+def test_let_multi_dim():
+    cmd = parse_command("let M: float[4 bank 2][4 bank 2]")
+    assert cmd.type.dims == (ast.DimSpec(4, 2), ast.DimSpec(4, 2))
+
+
+def test_let_bit_type():
+    cmd = parse_command("let x: bit<16> = 3")
+    assert cmd.type.base == "bit<16>"
+
+
+def test_unknown_base_type_rejected():
+    with pytest.raises(ParseError):
+        parse_command("let x: quux[4]")
+
+
+def test_unordered_composition():
+    cmd = parse_command("let x = 1; let y = 2; let z = 3")
+    assert isinstance(cmd, ast.ParComp)
+    assert len(cmd.commands) == 3
+
+
+def test_ordered_composition():
+    cmd = parse_command("let x = 1 --- let y = 2")
+    assert isinstance(cmd, ast.SeqComp)
+    assert len(cmd.commands) == 2
+
+
+def test_seq_binds_looser_than_par():
+    cmd = parse_command("a := 1; b := 2 --- c := 3; d := 4")
+    assert isinstance(cmd, ast.SeqComp)
+    assert all(isinstance(group, ast.ParComp) for group in cmd.commands)
+
+
+def test_trailing_semicolon_ok():
+    cmd = parse_command("let x = 1;")
+    assert isinstance(cmd, ast.Let)
+
+
+def test_block_needs_no_semicolon_before_next():
+    cmd = parse_command("while (x < 4) { x := x + 1 } y := 2")
+    assert isinstance(cmd, ast.ParComp)
+    assert isinstance(cmd.commands[0], ast.While)
+    assert isinstance(cmd.commands[1], ast.Assign)
+
+
+def test_store_command():
+    cmd = parse_command("A[0] := 1")
+    assert isinstance(cmd, ast.Store)
+
+
+def test_assign_command():
+    cmd = parse_command("x := 1")
+    assert isinstance(cmd, ast.Assign)
+
+
+def test_reduce_command():
+    cmd = parse_command("dot += v")
+    assert isinstance(cmd, ast.Reduce)
+    assert cmd.op == "+="
+
+
+def test_reduce_on_access():
+    cmd = parse_command("A[i] += 1")
+    assert isinstance(cmd, ast.Reduce)
+    assert cmd.target_is_access is not None
+
+
+def test_invalid_assign_target():
+    with pytest.raises(ParseError):
+        parse_command("1 := 2")
+
+
+def test_for_loop_with_unroll():
+    cmd = parse_command("for (let i = 0..10) unroll 2 { f(i) }")
+    assert isinstance(cmd, ast.For)
+    assert (cmd.start, cmd.end, cmd.unroll) == (0, 10, 2)
+
+
+def test_for_loop_default_unroll():
+    cmd = parse_command("for (let i = 0..4) { x := i }")
+    assert cmd.unroll == 1
+
+
+def test_for_with_combine():
+    cmd = parse_command(
+        "for (let i = 0..4) unroll 2 { let v = 1; } combine { dot += v; }")
+    assert cmd.combine is not None
+
+
+def test_for_unbraced_body():
+    cmd = parse_command("for (let i = 0..8) unroll 2 sh[i]")
+    assert isinstance(cmd.body, ast.ExprStmt)
+
+
+def test_while_loop():
+    cmd = parse_command("while (x < 10) { x := x + 1 }")
+    assert isinstance(cmd, ast.While)
+
+
+def test_if_else():
+    cmd = parse_command("if (x < 1) { y := 1 } else { y := 2 }")
+    assert isinstance(cmd, ast.If)
+    assert cmd.else_branch is not None
+
+
+def test_if_elif_chain():
+    cmd = parse_command(
+        "if (a) { x := 1 } else if (b) { x := 2 } else { x := 3 }")
+    assert isinstance(cmd.else_branch, ast.If)
+
+
+def test_view_shrink():
+    cmd = parse_command("view sh = shrink A[by 2]")
+    assert isinstance(cmd, ast.View)
+    assert cmd.kind is ast.ViewKind.SHRINK
+    assert cmd.mem == "A"
+
+
+def test_view_with_skipped_dim():
+    cmd = parse_command("view v = suffix M[][by 2 * i]")
+    assert cmd.factors[0] is None
+    assert cmd.factors[1] is not None
+
+
+def test_view_multi_declaration_sugar():
+    cmd = parse_command("view a, b = shrink A[by 2], B[by 2]")
+    assert isinstance(cmd, ast.ParComp)
+    assert all(isinstance(c, ast.View) for c in cmd.commands)
+
+
+def test_view_requires_factor():
+    with pytest.raises(ParseError):
+        parse_command("view v = shrink A")
+
+
+def test_empty_block_is_skip():
+    cmd = parse_command("{}")
+    assert isinstance(cmd, ast.Block)
+    assert isinstance(cmd.body, ast.Skip)
+
+
+# -- programs ------------------------------------------------------------------
+
+def test_program_with_decls():
+    program = parse("decl A: float[32]; decl B: float[32]; A[0] := B[0]")
+    assert len(program.decls) == 2
+    assert isinstance(program.body, ast.Store)
+
+
+def test_program_with_def():
+    program = parse("""
+def f(m: float[4], x: float) {
+  m[0] := x;
+}
+f(A, 1.0)
+""")
+    assert len(program.defs) == 1
+    assert program.defs[0].params[0].type.is_memory
+    assert not program.defs[0].params[1].type.is_memory
+
+
+def test_empty_program():
+    program = parse("")
+    assert isinstance(program.body, ast.Skip)
+
+
+def test_nested_blocks_and_seq():
+    cmd = parse_command("{ let x = A[0] --- B[1] := x }; let y = B[0]")
+    assert isinstance(cmd, ast.ParComp)
+    assert isinstance(cmd.commands[0], ast.Block)
+    assert isinstance(cmd.commands[0].body, ast.SeqComp)
+
+
+def test_parse_error_reports_position():
+    with pytest.raises(ParseError) as exc:
+        parse("let x = ")
+    assert exc.value.span.start.line == 1

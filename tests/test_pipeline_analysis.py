@@ -1,0 +1,219 @@
+"""Tests for the pipelining analysis (§6 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_pipelines_source
+from repro.analysis.pipeline import RECURRENCE_FP
+
+
+def _single(source):
+    reports = analyze_pipelines_source(source)
+    assert len(reports) == 1
+    return reports[0]
+
+
+# ---------------------------------------------------------------------------
+# Port-pressure constraints
+# ---------------------------------------------------------------------------
+
+def test_clean_map_loop_achieves_ii_one():
+    report = _single("""
+let A: float[8 bank 2]; let B: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  B[i] := A[i] + 1.0;
+}
+""")
+    assert report.ii == 1
+    assert report.bottleneck == "none"
+
+
+def test_two_reads_of_one_bank_double_the_ii():
+    report = _single("""
+let A: float[8];
+let B: float[8];
+for (let i = 0..8) {
+  let x = A[i]
+  ---
+  B[i] := x + A[0];
+}
+""")
+    # A[i] and A[0] are distinct reads of A's single bank.
+    a = next(p for p in report.pressures if p.memory == "A")
+    assert a.reads_per_bank == 2
+    assert report.ii_port == 2
+    assert report.bottleneck == "ports"
+
+
+def test_identical_reads_share_a_port():
+    report = _single("""
+let A: float[8];
+let B: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  B[i] := A[0] * 2.0;
+}
+""")
+    a = next(p for p in report.pressures if p.memory == "A")
+    assert a.reads_per_bank == 1            # fan-out, not two reads
+    assert report.ii_port == 1
+
+
+def test_dual_port_memory_halves_port_ii():
+    src = """
+let A: float{%d}[8];
+let B: float[8];
+for (let i = 0..8) {
+  let x = A[i]
+  ---
+  B[i] := x + A[0];
+}
+"""
+    single = _single(src % 1)
+    dual = _single(src % 2)
+    assert single.ii_port == 2
+    assert dual.ii_port == 1
+
+
+def test_view_access_charges_underlying_memory():
+    report = _single("""
+let A: float[8 bank 4];
+let B: float[8 bank 2];
+view sh = shrink A[by 2];
+for (let i = 0..8) unroll 2 {
+  B[i] := sh[i] + 1.0;
+}
+""")
+    assert any(p.memory == "A" for p in report.pressures)
+    assert not any(p.memory == "sh" for p in report.pressures)
+
+
+# ---------------------------------------------------------------------------
+# Loop-carried recurrences
+# ---------------------------------------------------------------------------
+
+def test_scalar_accumulation_bounds_ii():
+    report = _single("""
+let A: float[8]; let B: float[8];
+let sum = 0.0;
+for (let i = 0..8) {
+  let t = A[i]
+  ---
+  sum := sum + t;
+}
+""")
+    assert report.ii_recurrence == RECURRENCE_FP
+    assert report.bottleneck == "recurrence"
+
+
+def test_combine_reducer_is_a_recurrence():
+    report = _single("""
+let A: float[8 bank 2]; let B: float[8 bank 2];
+let dot = 0.0;
+for (let i = 0..8) unroll 2 {
+  let v = A[i] * B[i];
+} combine {
+  dot += v;
+}
+""")
+    assert report.ii_recurrence == RECURRENCE_FP
+
+
+def test_integer_recurrence_is_cheap():
+    report = _single("""
+let A: bit<32>[8];
+let acc = 0;
+for (let i = 0..8) {
+  let t = A[i]
+  ---
+  acc := acc + t;
+}
+""")
+    assert report.ii_recurrence == 1
+
+
+def test_independent_iterations_have_no_recurrence():
+    report = _single("""
+let A: float[8]; let B: float[8];
+for (let i = 0..8) {
+  let x = A[i]
+  ---
+  B[i] := x * 2.0;
+}
+""")
+    assert report.ii_recurrence == 1
+
+
+# ---------------------------------------------------------------------------
+# Cycle accounting
+# ---------------------------------------------------------------------------
+
+def test_pipelined_beats_unpipelined_on_long_loops():
+    report = _single("""
+let A: float[64]; let B: float[64];
+for (let i = 0..64) {
+  let x = A[i]
+  ---
+  B[i] := x + 1.0;
+}
+""")
+    assert report.cycles_pipelined < report.cycles_unpipelined
+    assert report.speedup > 2
+
+
+def test_iterations_account_for_unrolling():
+    narrow = _single("""
+let A: float[16]; let B: float[16];
+for (let i = 0..16) { B[i] := A[i]; }
+""")
+    wide = _single("""
+let A: float[16 bank 4]; let B: float[16 bank 4];
+for (let i = 0..16) unroll 4 { B[i] := A[i]; }
+""")
+    assert wide.iterations == narrow.iterations // 4
+    assert wide.cycles_pipelined < narrow.cycles_pipelined
+
+
+def test_only_innermost_loops_reported():
+    reports = analyze_pipelines_source("""
+let A: float[4][8];
+for (let i = 0..4) {
+  for (let j = 0..8) {
+    A[i][j] := 1.0;
+  }
+}
+""")
+    assert len(reports) == 1
+    assert reports[0].loop_var == "j"
+
+
+def test_sibling_innermost_loops_each_reported():
+    reports = analyze_pipelines_source("""
+let A: float[8]; let B: float[8];
+for (let i = 0..8) { A[i] := 1.0; }
+---
+for (let j = 0..8) { B[j] := 2.0; }
+""")
+    assert {r.loop_var for r in reports} == {"i", "j"}
+
+
+def test_ill_typed_program_rejected_before_analysis():
+    from repro.errors import DahliaError
+
+    with pytest.raises(DahliaError):
+        analyze_pipelines_source("""
+let A: float[10];
+for (let i = 0..10) unroll 2 { A[i] := 1.0; }
+""")
+
+
+def test_report_fields_consistent():
+    report = _single("""
+let A: float[8 bank 2]; let B: float[8 bank 2];
+for (let i = 0..8) unroll 2 { B[i] := A[i]; }
+""")
+    assert report.trip == 8
+    assert report.unroll == 2
+    assert report.ii == max(report.ii_port, report.ii_recurrence)
+    assert report.cycles_pipelined == (
+        report.depth + (report.iterations - 1) * report.ii)

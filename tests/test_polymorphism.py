@@ -1,0 +1,469 @@
+"""Tests for size/banking polymorphism (§6 "Polymorphism").
+
+The paper's future-work pitch: *"Polymorphism would enable abstraction
+over memories' banking strategies and sizes. A polymorphic Dahlia-like
+language could rule out invalid combinations of abstract implementation
+parameters before the designer picks concrete values."* These tests
+cover the unification, monomorphization, substitution, the promised
+ruling-out of invalid combinations, and full-pipeline integration
+(interpreter + RTL backend)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DahliaError, check_source, interpret, rejection_reason
+from repro.frontend import ast
+from repro.frontend.parser import parse
+from repro.types import poly
+from repro.types.poly import (
+    PolyFunctionType,
+    instantiate,
+    is_polymorphic,
+    type_parameters,
+    unify_param,
+)
+from repro.types.types import elaborate
+
+
+SCALE = """
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K {
+    dst[i] := src[i] * 2.0;
+  }
+}
+scale(A, B)
+"""
+
+
+# ---------------------------------------------------------------------------
+# Surface syntax and classification
+# ---------------------------------------------------------------------------
+
+def test_symbolic_dims_parse_in_def_params():
+    program = parse(SCALE)
+    annotation = program.defs[0].params[0].type
+    assert annotation.dims[0].size == "N"
+    assert annotation.dims[0].banks == "K"
+    assert annotation.dims[0].is_symbolic
+
+
+def test_type_parameters_collected():
+    program = parse(SCALE)
+    assert type_parameters(program.defs[0]) == {"N", "K"}
+    assert is_polymorphic(program.defs[0])
+
+
+def test_monomorphic_defs_unaffected():
+    program = parse("""
+def touch(m: float[4]) { m[0] := 1.0; }
+decl A: float[4];
+touch(A)
+""")
+    assert not is_polymorphic(program.defs[0])
+
+
+def test_symbolic_dims_outside_defs_rejected():
+    with pytest.raises(DahliaError):
+        check_source("let A: float[N];")
+
+
+def test_symbolic_loop_bound_outside_poly_def_rejected():
+    with pytest.raises(DahliaError):
+        check_source("""
+let A: float[8];
+for (let i = 0..N) { A[0] := 1.0; }
+""")
+
+
+# ---------------------------------------------------------------------------
+# Unification
+# ---------------------------------------------------------------------------
+
+def _mem(spec: str):
+    program = parse(f"decl M: {spec};")
+    return elaborate(program.decls[0].type)
+
+
+def test_unify_binds_symbols():
+    program = parse(SCALE)
+    binding: dict[str, int] = {}
+    unify_param(binding, program.defs[0].params[0].type,
+                _mem("float[8 bank 2]"), program.span)
+    assert binding == {"N": 8, "K": 2}
+
+
+def test_unify_conflicting_binding_rejected():
+    program = parse(SCALE)
+    binding: dict[str, int] = {}
+    unify_param(binding, program.defs[0].params[0].type,
+                _mem("float[8 bank 2]"), program.span)
+    with pytest.raises(DahliaError):
+        unify_param(binding, program.defs[0].params[1].type,
+                    _mem("float[12 bank 2]"), program.span)
+
+
+def test_unify_checks_arity_ports_and_element():
+    program = parse(SCALE)
+    annotation = program.defs[0].params[0].type
+    with pytest.raises(DahliaError):
+        unify_param({}, annotation, _mem("float[8][8]"), program.span)
+    with pytest.raises(DahliaError):
+        unify_param({}, annotation, _mem("float{2}[8 bank 2]"),
+                    program.span)
+    with pytest.raises(DahliaError):
+        unify_param({}, annotation, _mem("bit<32>[8 bank 2]"),
+                    program.span)
+
+
+def test_unify_concrete_dims_must_match():
+    program = parse("""
+def f(m: float[8 bank K]) { m[0] := 1.0; }
+decl A: float[12 bank 2];
+f(A)
+""")
+    with pytest.raises(DahliaError):
+        unify_param({}, program.defs[0].params[0].type,
+                    _mem("float[12 bank 2]"), program.span)
+
+
+# ---------------------------------------------------------------------------
+# Instantiation
+# ---------------------------------------------------------------------------
+
+def test_instantiate_substitutes_dims_bounds_and_exprs():
+    program = parse("""
+def f(m: float[N bank K]) {
+  let half = N / 2;
+  for (let i = 0..N) unroll K {
+    m[i] := 1.0;
+  }
+}
+""")
+    instance = instantiate(program.defs[0], {"N": 8, "K": 2})
+    annotation = instance.params[0].type
+    assert annotation.dims[0].size == 8
+    assert annotation.dims[0].banks == 2
+    loops = [c for c in ast.walk_commands(instance.body)
+             if isinstance(c, ast.For)]
+    assert loops[0].end == 8 and loops[0].unroll == 2
+    lets = [c for c in ast.walk_commands(instance.body)
+            if isinstance(c, ast.Let) and c.name == "half"]
+    assert isinstance(lets[0].init, ast.Binary)
+    assert isinstance(lets[0].init.lhs, ast.IntLit)
+    assert lets[0].init.lhs.value == 8
+
+
+def test_instantiate_missing_binding_rejected():
+    program = parse(SCALE)
+    with pytest.raises(DahliaError):
+        instantiate(program.defs[0], {"N": 8})
+
+
+def test_shadowed_type_parameter_rejected():
+    with pytest.raises(DahliaError):
+        check_source("""
+def f(m: float[N bank K]) {
+  let N = 3;
+  m[0] := 1.0;
+}
+decl A: float[8 bank 2];
+f(A)
+""")
+
+
+def test_binding_key_is_order_insensitive():
+    assert poly.binding_key("f", {"a": 1, "b": 2}) == \
+        poly.binding_key("f", {"b": 2, "a": 1})
+
+
+# ---------------------------------------------------------------------------
+# Checker integration
+# ---------------------------------------------------------------------------
+
+def test_polymorphic_call_accepted():
+    assert rejection_reason(SCALE) is None
+
+
+def test_two_instantiations_of_one_function():
+    source = """
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+decl C: float[12 bank 4]; decl D: float[12 bank 4];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K {
+    dst[i] := src[i] * 2.0;
+  }
+}
+scale(A, B)
+---
+scale(C, D)
+"""
+    assert rejection_reason(source) is None
+
+
+def test_invalid_instantiation_rejected_at_call_site():
+    """'Rule out invalid combinations … before the designer picks
+    concrete values': unroll 4 is fine for K=4 but not for K=2."""
+    template = """
+decl A: float[8 bank %d];
+def g(m: float[N bank K]) {
+  for (let i = 0..N) unroll 4 {
+    m[i] := 1.0;
+  }
+}
+g(A)
+"""
+    assert rejection_reason(template % 4) is None
+    assert rejection_reason(template % 2) is not None
+
+
+def test_instantiation_error_names_the_binding():
+    source = """
+decl A: float[8 bank 2];
+def g(m: float[N bank K]) {
+  for (let i = 0..N) unroll 4 { m[i] := 1.0; }
+}
+g(A)
+"""
+    with pytest.raises(DahliaError) as exc:
+        check_source(source)
+    assert "'K': 2" in str(exc.value) and "'N': 8" in str(exc.value)
+
+
+def test_call_consumes_argument_memories():
+    source = """
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K { dst[i] := src[i]; }
+}
+let x = A[0];
+scale(A, B)
+"""
+    reason = rejection_reason(source)
+    assert reason == "already-consumed"
+
+
+def test_banking_polymorphic_unroll_scales():
+    """One definition serves every banking factor — the abstraction
+    over 'banking strategies' the paper motivates."""
+    template = """
+decl A: float[16 bank {k}]; decl B: float[16 bank {k}];
+def scale(src: float[N bank K], dst: float[N bank K]) {{
+  for (let i = 0..N) unroll K {{
+    dst[i] := src[i] * 2.0;
+  }}
+}}
+scale(A, B)
+"""
+    for banks in (1, 2, 4, 8):
+        assert rejection_reason(template.format(k=banks)) is None
+
+
+# ---------------------------------------------------------------------------
+# Full pipeline: interpreter and RTL
+# ---------------------------------------------------------------------------
+
+def test_interpret_polymorphic_instantiations():
+    source = """
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+decl C: float[12 bank 4]; decl D: float[12 bank 4];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K {
+    dst[i] := src[i] * 2.0;
+  }
+}
+scale(A, B)
+---
+scale(C, D)
+"""
+    a = np.arange(8.0)
+    c = np.arange(12.0)
+    result = interpret(source, memories={"A": a, "C": c})
+    np.testing.assert_allclose(result.memories["B"], 2 * a)
+    np.testing.assert_allclose(result.memories["D"], 2 * c)
+
+
+def test_rtl_backend_runs_polymorphic_program():
+    from repro.rtl import run_source
+
+    a = np.arange(8.0)
+    run = run_source(SCALE, memories={"A": a})
+    np.testing.assert_allclose(run.memories["B"], 2 * a)
+
+
+def test_polymorphic_reduction_with_combine():
+    source = """
+decl X: float[12 bank 4]; decl Y: float[12 bank 4];
+decl out: float[1];
+def dot(a: float[N bank K], b: float[N bank K], o: float[1]) {
+  let acc = 0.0;
+  for (let i = 0..N) unroll K {
+    let v = a[i] * b[i];
+  } combine {
+    acc += v;
+  }
+  ---
+  o[0] := acc;
+}
+dot(X, Y, out)
+"""
+    x = np.arange(12.0)
+    y = np.full(12, 3.0)
+    result = interpret(source, memories={"X": x, "Y": y})
+    assert result.memories["out"][0] == pytest.approx(float(x @ y))
+
+
+def test_poly_function_type_renders():
+    program = parse(SCALE)
+    sig = PolyFunctionType(program.defs[0])
+    assert "K" in str(sig) and "N" in str(sig)
+
+
+# ---------------------------------------------------------------------------
+# Whole-program monomorphization (C++ backend path)
+# ---------------------------------------------------------------------------
+
+def test_monomorphize_specializes_per_binding():
+    from repro.types.poly import monomorphize_program
+
+    program = parse("""
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+decl C: float[12 bank 4]; decl D: float[12 bank 4];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K { dst[i] := src[i]; }
+}
+scale(A, B)
+---
+scale(C, D)
+""")
+    mono = monomorphize_program(program)
+    names = {f.name for f in mono.defs}
+    assert names == {"scale__K2_N8", "scale__K4_N12"}
+    for func in mono.defs:
+        assert not is_polymorphic(func)
+
+
+def test_monomorphize_shares_identical_bindings():
+    from repro.types.poly import monomorphize_program
+
+    program = parse("""
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+def touch(m: float[N bank K]) { m[0] := 1.0; }
+touch(A)
+---
+touch(B)
+""")
+    mono = monomorphize_program(program)
+    assert len(mono.defs) == 1
+
+
+def test_monomorphize_is_identity_without_poly_defs():
+    from repro.types.poly import monomorphize_program
+
+    program = parse("""
+decl A: float[4];
+def touch(m: float[4]) { m[0] := 1.0; }
+touch(A)
+""")
+    assert monomorphize_program(program) is program
+
+
+def test_monomorphize_sees_let_memories_in_scope():
+    from repro.types.poly import monomorphize_program
+
+    program = parse("""
+def touch(m: float[N]) { m[0] := 1.0; }
+let A: float[6];
+touch(A)
+""")
+    mono = monomorphize_program(program)
+    assert {f.name for f in mono.defs} == {"touch__N6"}
+
+
+def test_compile_polymorphic_program_to_cpp():
+    from repro import compile_source
+
+    cpp = compile_source("""
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+decl C: float[12 bank 4]; decl D: float[12 bank 4];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K { dst[i] := src[i] * 2.0; }
+}
+scale(A, B)
+---
+scale(C, D)
+""", None)
+    assert "void scale__K2_N8(float src[8], float dst[8])" in cpp
+    assert "void scale__K4_N12(float src[12], float dst[12])" in cpp
+    assert "factor=2" in cpp and "factor=4" in cpp
+    assert "scale__K2_N8(A, B);" in cpp
+
+
+def test_monomorphized_program_still_checks_and_runs():
+    from repro import check_source
+    from repro.frontend.pretty import pretty_program
+    from repro.types.poly import monomorphize_program
+
+    source = """
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K { dst[i] := src[i] * 2.0; }
+}
+scale(A, B)
+"""
+    mono_text = pretty_program(monomorphize_program(parse(source)))
+    check_source(mono_text)
+    a = np.arange(8.0)
+    result = interpret(mono_text, memories={"A": a})
+    np.testing.assert_allclose(result.memories["B"], 2 * a)
+
+
+# ---------------------------------------------------------------------------
+# Pretty-printer round-trip for polymorphic syntax
+# ---------------------------------------------------------------------------
+
+def test_pretty_roundtrip_preserves_symbolic_syntax():
+    from repro.frontend.pretty import pretty_program
+
+    source = """
+decl A: float[8 bank 2];
+def g(m: float[N bank K]) {
+  for (let i = 0..N) unroll K { m[i] := 1.0; }
+}
+g(A)
+"""
+    text = pretty_program(parse(source))
+    assert "float[N bank K]" in text
+    assert "0..N" in text and "unroll K" in text
+    assert pretty_program(parse(text)) == text
+
+
+def test_cli_fmt_handles_polymorphic_defs(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "poly.fuse"
+    path.write_text("""
+decl A: float[8 bank 2];
+def g(m: float[N bank K]) {
+  for (let i = 0..N) unroll K { m[i] := 1.0; }
+}
+g(A)
+""")
+    assert main(["fmt", str(path)]) == 0
+    assert "float[N bank K]" in capsys.readouterr().out
+
+
+def test_cli_check_accepts_polymorphic_program(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "poly.fuse"
+    path.write_text("""
+decl A: float[8 bank 2]; decl B: float[8 bank 2];
+def scale(src: float[N bank K], dst: float[N bank K]) {
+  for (let i = 0..N) unroll K { dst[i] := src[i]; }
+}
+scale(A, B)
+""")
+    assert main(["check", str(path)]) == 0

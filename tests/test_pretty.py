@@ -1,0 +1,87 @@
+"""Pretty-printer round-trip tests: parse ∘ pretty ∘ parse ≡ parse."""
+
+import pytest
+
+from repro.frontend.parser import parse, parse_command, parse_expr
+from repro.frontend.pretty import pretty_command, pretty_expr, pretty_program
+
+EXPR_CORPUS = [
+    "1",
+    "4.5",
+    "true",
+    "x",
+    "1 + 2 * 3",
+    "(a - b) / c",
+    "a < b && c >= d",
+    "!flag || other",
+    "A[i][j]",
+    "A{3}[0]",
+    "f(x, y + 1)",
+    "-x + 2",
+    "a % b",
+]
+
+COMMAND_CORPUS = [
+    "let x = 1",
+    "let A: float[8 bank 4]",
+    "let M: float{2}[4 bank 2][4 bank 2]",
+    "x := x + 1",
+    "A[0] := 1",
+    "dot += v",
+    "let x = 1; let y = 2",
+    "let x = 1 --- let y = 2",
+    "{ let x = A[0] --- B[1] := x }; let y = B[0]",
+    "view sh = shrink A[by 2]",
+    "view v = suffix M[][by 2 * i]",
+    "for (let i = 0..10) unroll 2 { A[i] := 1 }",
+    "for (let i = 0..4) { let v = A[i]; } combine { dot += v; }",
+    "while (x < 10) { x := x + 1 }",
+    "if (x < 1) { y := 1 } else { y := 2 }",
+]
+
+
+def _strip_spans_repr(node) -> str:
+    """A span-insensitive structural fingerprint of an AST."""
+    import re
+
+    text = repr(node)
+    span = (r"span=Span\(start=Position\(line=\d+, column=\d+\), "
+            r"end=Position\(line=\d+, column=\d+\)\)(, )?")
+    return re.sub(span, "", text)
+
+
+@pytest.mark.parametrize("source", EXPR_CORPUS)
+def test_expr_roundtrip(source):
+    first = parse_expr(source)
+    second = parse_expr(pretty_expr(first))
+    assert _strip_spans_repr(first) == _strip_spans_repr(second)
+
+
+@pytest.mark.parametrize("source", COMMAND_CORPUS)
+def test_command_roundtrip(source):
+    first = parse_command(source)
+    second = parse_command(pretty_command(first))
+    assert _strip_spans_repr(first) == _strip_spans_repr(second)
+
+
+def test_program_roundtrip():
+    source = """
+decl A: float[8 bank 2];
+def f(m: float[4], x: float) {
+  m[0] := x;
+}
+for (let i = 0..8) unroll 2 {
+  A[i] := 1.0;
+}
+"""
+    first = parse(source)
+    second = parse(pretty_program(first))
+    assert _strip_spans_repr(first) == _strip_spans_repr(second)
+
+
+def test_pretty_is_stable():
+    """pretty ∘ parse ∘ pretty is a fixed point."""
+    source = "for (let i = 0..10) unroll 2 { A[i] := i + 1 }"
+    once = pretty_command(parse_command(source))
+    twice = pretty_command(parse_command(once))
+    assert once == twice

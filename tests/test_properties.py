@@ -1,0 +1,166 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These cover invariants of core data structures: the round-robin banking
+layout, split-view address maps, linear forms, the affine context, and
+checker/interpreter agreement on generated loop nests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import DahliaError, StuckError
+from repro.filament.desugar import MemLayout, linear_form, static_mod
+from repro.frontend.parser import parse_expr
+from repro.interp import interpret
+from repro.types.checker import rejection_reason
+from repro.types.context import BankTokens
+from repro.types.types import MemoryType, MemDim, FLOAT
+from repro.types.views import split_logical_index
+
+
+# -- banking layout bijection ---------------------------------------------------
+
+@given(size=st.integers(1, 64), banks=st.sampled_from([1, 2, 4, 8]))
+def test_layout_1d_bijective(size, banks):
+    assume(size % banks == 0)
+    layout = MemLayout("A", "float", ((size, banks),))
+    spots = {layout.place((i,)) for i in range(size)}
+    assert len(spots) == size
+    assert all(0 <= b < banks and 0 <= o < size // banks for b, o in spots)
+
+
+@given(rows=st.sampled_from([2, 4, 6, 8]), cols=st.sampled_from([2, 4, 6]),
+       rbanks=st.sampled_from([1, 2]), cbanks=st.sampled_from([1, 2]))
+def test_layout_2d_bijective(rows, cols, rbanks, cbanks):
+    layout = MemLayout("M", "float", ((rows, rbanks), (cols, cbanks)))
+    spots = {layout.place((i, j))
+             for i in range(rows) for j in range(cols)}
+    assert len(spots) == rows * cols
+
+
+# -- split view address map ---------------------------------------------------------
+
+@given(banks=st.sampled_from([2, 4, 8]), k=st.sampled_from([1, 2, 4]),
+       size=st.sampled_from([8, 16, 32]))
+def test_split_logical_index_bijective(banks, k, size):
+    assume(banks % k == 0 and size % banks == 0 and size % k == 0)
+    w = banks // k
+    indices = {split_logical_index(i, j, banks, k)
+               for i in range(k) for j in range(size // k)}
+    assert indices == set(range(size))
+
+
+def test_split_matches_paper_diagram():
+    # A[12 bank 4] split by 2: row 0 = [0,1,4,5,8,9], row 1 = [2,3,6,7,10,11].
+    row0 = [split_logical_index(0, j, 4, 2) for j in range(6)]
+    row1 = [split_logical_index(1, j, 4, 2) for j in range(6)]
+    assert row0 == [0, 1, 4, 5, 8, 9]
+    assert row1 == [2, 3, 6, 7, 10, 11]
+
+
+# -- linear forms vs. evaluation ------------------------------------------------------
+
+_LIN_EXPRS = [
+    "i", "2 * i + 1", "3 * i - j", "4 * (i + j)", "i + i + 2",
+    "8 * kk + k", "0 - i",
+]
+
+
+@pytest.mark.parametrize("text", _LIN_EXPRS)
+@given(i=st.integers(0, 20), j=st.integers(0, 20), kk=st.integers(0, 20),
+       k=st.integers(0, 20))
+def test_linear_form_agrees_with_evaluation(text, i, j, kk, k):
+    expr = parse_expr(text)
+    coeffs, const = linear_form(expr)
+    env = {"i": i, "j": j, "kk": kk, "k": k}
+    linear_value = sum(c * env[v] for v, c in coeffs.items()) + const
+    assert linear_value == eval(
+        text.replace("kk", str(kk)).replace("k", str(k))
+        .replace("i", str(i)).replace("j", str(j)))
+
+
+@given(q=st.integers(0, 50), banks=st.sampled_from([2, 4, 8]),
+       r=st.integers(0, 7))
+def test_static_mod_is_sound(q, banks, r):
+    expr = parse_expr(f"{banks} * q + {r}")
+    result = static_mod(expr, banks)
+    assert result == (banks * q + r) % banks
+
+
+# -- affine bank tokens -----------------------------------------------------------------
+
+@given(ports=st.integers(1, 4), takes=st.integers(1, 6))
+def test_bank_tokens_never_negative(ports, takes):
+    memory = MemoryType(FLOAT, (MemDim(8, 2),), ports)
+    tokens = BankTokens.fresh(memory)
+    granted = sum(1 for _ in range(takes) if tokens.consume((0,), 1))
+    assert granted == min(takes, ports)
+    assert tokens.available((0,)) == ports - granted
+
+
+@given(ports=st.integers(1, 3))
+def test_bank_tokens_intersect_is_min(ports):
+    memory = MemoryType(FLOAT, (MemDim(4, 2),), ports)
+    left = BankTokens.fresh(memory)
+    right = BankTokens.fresh(memory)
+    left.consume((0,), ports)
+    merged = left.intersect(right)
+    assert merged.available((0,)) == 0
+    assert merged.available((1,)) == ports
+
+
+# -- checker ⊆ checked semantics on generated loop nests -----------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    size=st.sampled_from([4, 8, 16]),
+    banks=st.sampled_from([1, 2, 4]),
+    unroll=st.sampled_from([1, 2, 4]),
+)
+def test_accepted_elementwise_nests_run(size, banks, unroll):
+    """Any (size, banks, unroll) combination the checker accepts must
+    interpret without StuckError — the soundness property driven
+    through the surface language."""
+    assume(banks <= size and size % banks == 0)
+    src = f"""
+decl A: float[{size} bank {banks}];
+decl B: float[{size} bank {banks}];
+for (let i = 0..{size}) unroll {unroll} {{
+  B[i] := A[i] + 1.0;
+}}
+"""
+    reason = rejection_reason(src)
+    if reason is None:
+        result = interpret(src, {"A": np.zeros(size)})
+        assert np.allclose(result.memories["B"], 1.0)
+    else:
+        # Rejections must be the banking/unroll rules, nothing else.
+        assert reason in ("insufficient-banks", "unroll")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    banks=st.sampled_from([1, 2, 3, 4, 6]),
+    unroll=st.sampled_from([1, 2, 3, 4, 6]),
+    ports=st.sampled_from([1, 2]),
+)
+def test_accepted_reductions_run(banks, unroll, ports):
+    size = 12
+    assume(size % banks == 0)
+    src = f"""
+decl A: float{{{ports}}}[{size} bank {banks}];
+decl OUT: float[1];
+let acc = 0.0;
+for (let i = 0..{size}) unroll {unroll} {{
+  let v = A[i];
+}} combine {{
+  acc += v;
+}}
+---
+OUT[0] := acc;
+"""
+    if rejection_reason(src) is None:
+        values = np.arange(size, dtype=float)
+        result = interpret(src, {"A": values})
+        assert result.memories["OUT"][0] == pytest.approx(values.sum())

@@ -1,0 +1,311 @@
+"""Unit tests for the Filament → RTL lowering (repro.rtl.lower)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RTLError
+from repro.filament.syntax import (
+    BIT32,
+    CAssign,
+    CIf,
+    CLet,
+    COrdered,
+    CUnordered,
+    CWhile,
+    CWrite,
+    EBinOp,
+    ERead,
+    EVal,
+    EVar,
+    FProgram,
+    SKIP,
+    TMem,
+)
+from repro.rtl import (
+    AComp,
+    AMemWrite,
+    ARead,
+    ARegWrite,
+    NBranch,
+    NGoto,
+    NHalt,
+    RRef,
+    lower_filament,
+    lower_source,
+    validate,
+)
+from repro.rtl.lower import _infer_types
+
+
+def _module(cmd, mems=None):
+    program = FProgram(dict(mems or {}), cmd)
+    module = lower_filament(program)
+    validate(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# State structure
+# ---------------------------------------------------------------------------
+
+def test_single_let_is_one_state_plus_halt():
+    module = _module(CLet("x", EVal(1)))
+    assert len(module.states) == 2
+    assert isinstance(module.states[0].next, NGoto)
+    assert isinstance(module.states[1].next, NHalt)
+
+
+def test_unordered_primitives_fuse_into_one_state():
+    cmd = CUnordered(CLet("x", EVal(1)), CLet("y", EVal(2)))
+    module = _module(cmd)
+    assert len(module.states) == 2          # fused step + halt
+    assert module.meta["serialized"] == 0
+
+
+def test_ordered_composition_creates_two_states():
+    cmd = COrdered(CLet("x", EVal(1)), CLet("y", EVal(2)))
+    module = _module(cmd)
+    # one state per logical time step + halt
+    assert len(module.states) == 3
+
+
+def test_skip_only_program_lowers():
+    module = _module(SKIP)
+    assert module.halt_states()
+
+
+def test_if_becomes_branch_state():
+    cmd = CUnordered(
+        CLet("c", EVal(True)),
+        CIf("c", CLet("x", EVal(1)), CLet("y", EVal(2))))
+    module = _module(cmd)
+    branches = [s for s in module.states if isinstance(s.next, NBranch)]
+    assert len(branches) == 1
+    branch = branches[0].next
+    assert isinstance(branch, NBranch)
+    assert branch.cond == RRef("c")
+    assert branch.then_target != branch.else_target
+
+
+def test_if_with_skip_else_branches_to_continuation():
+    cmd = CUnordered(
+        CLet("c", EVal(False)),
+        CIf("c", CLet("x", EVal(1)), SKIP))
+    module = _module(cmd)
+    branch = next(s.next for s in module.states
+                  if isinstance(s.next, NBranch))
+    # the else edge must go straight to the halt state
+    assert module.states[branch.else_target].next.__class__ is NHalt
+
+
+def test_while_back_edge_returns_to_decision_state():
+    loop = CUnordered(
+        CLet("c", EVal(False)),
+        CWhile("c", CAssign("c", EVal(False))))
+    module = _module(loop)
+    decision = next(s for s in module.states
+                    if isinstance(s.next, NBranch))
+    body_entry = decision.next.then_target
+    body_state = module.states[body_entry]
+    assert isinstance(body_state.next, NGoto)
+    assert body_state.next.target == decision.index
+
+
+def test_multi_state_unordered_fragments_serialize():
+    # Two whiles composed unordered: cannot fuse, must serialize.
+    mk_loop = lambda c: CWhile(c, CAssign(c, EVal(False)))
+    cmd = CUnordered(
+        CUnordered(CLet("c1", EVal(False)), CLet("c2", EVal(False))),
+        CUnordered(mk_loop("c1"), mk_loop("c2")))
+    module = _module(cmd)
+    assert module.meta["serialized"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Wire forwarding (SSA within a state)
+# ---------------------------------------------------------------------------
+
+def test_assignment_forwards_through_wires_within_state():
+    # x := 1 ; let y = x  — y must read x's *new* wire, not the register.
+    cmd = CUnordered(
+        CLet("x", EVal(0)),
+        CUnordered(CAssign("x", EVal(1)), CLet("y", EVar("x"))))
+    module = _module(cmd)
+    state = module.states[0]
+    comps = {a.dst: a for a in state.actions if isinstance(a, AComp)}
+    y_wire = next(dst for dst in comps if dst.startswith("y$"))
+    ref = comps[y_wire].expr
+    assert isinstance(ref, RRef)
+    assert ref.name.startswith("x$")        # wire, not the bare register
+
+
+def test_one_register_commit_per_variable_per_state():
+    cmd = CUnordered(
+        CLet("x", EVal(0)),
+        CUnordered(CAssign("x", EVal(1)), CAssign("x", EVal(2))))
+    module = _module(cmd)
+    writes = [a for a in module.states[0].actions
+              if isinstance(a, ARegWrite) and a.reg == "x"]
+    assert len(writes) == 1
+
+
+def test_untouched_variable_reads_register():
+    cmd = COrdered(
+        CLet("x", EVal(5)),
+        CLet("y", EBinOp("+", EVar("x"), EVal(1))))
+    module = _module(cmd)
+    second = module.states[1]
+    comp = next(a for a in second.actions if isinstance(a, AComp))
+    refs = [r for r in _expr_refs(comp.expr)]
+    assert "x" in refs                       # the register itself
+
+
+def _expr_refs(expr):
+    from repro.rtl import expr_refs
+    return expr_refs(expr)
+
+
+# ---------------------------------------------------------------------------
+# Memory operations
+# ---------------------------------------------------------------------------
+
+MEM = {"a": TMem(BIT32, 4)}
+
+
+def test_read_becomes_port_action():
+    cmd = CLet("x", ERead("a", EVal(0)))
+    module = _module(cmd, MEM)
+    reads = [a for a in module.states[0].actions if isinstance(a, ARead)]
+    assert len(reads) == 1
+    assert reads[0].mem == "a"
+
+
+def test_write_becomes_mem_write_action():
+    cmd = CWrite("a", EVal(1), EVal(42))
+    module = _module(cmd, MEM)
+    writes = [a for a in module.states[0].actions
+              if isinstance(a, AMemWrite)]
+    assert len(writes) == 1
+
+
+def test_memory_spec_carries_ports():
+    program = FProgram({"m": TMem(BIT32, 8, ports=2)}, SKIP)
+    module = lower_filament(program)
+    assert module.memories["m"].ports == 2
+
+
+def test_nested_read_in_index_lowered_in_dependency_order():
+    # a[a[0]] — inner read's wire must be defined before the outer read.
+    cmd = CLet("x", ERead("a", ERead("a", EVal(0))))
+    module = _module(cmd, {"a": TMem(BIT32, 4, ports=2)})
+    state = module.states[0]
+    reads = [a for a in state.actions if isinstance(a, ARead)]
+    assert len(reads) == 2
+
+
+# ---------------------------------------------------------------------------
+# Type inference for registers
+# ---------------------------------------------------------------------------
+
+def test_infer_types_classifies_variables():
+    cmd = CUnordered(
+        CLet("i", EVal(0)),
+        CUnordered(
+            CLet("f", EVal(1.5)),
+            CLet("b", EBinOp("<", EVar("i"), EVal(3)))))
+    env = _infer_types(FProgram({}, cmd))
+    assert env == {"i": "int", "f": "float", "b": "bool"}
+
+
+def test_infer_types_widens_int_to_float_in_loops():
+    # x starts int, is re-assigned a float inside the loop body.
+    cmd = CUnordered(
+        CLet("x", EVal(0)),
+        CUnordered(
+            CLet("c", EVal(False)),
+            CWhile("c", CAssign("x", EVal(0.5)))))
+    env = _infer_types(FProgram({}, cmd))
+    assert env["x"] == "float"
+
+
+def test_register_widths_follow_types():
+    cmd = CUnordered(CLet("flag", EVal(True)), CLet("word", EVal(7)))
+    module = _module(cmd)
+    assert module.registers["flag"].width == 1
+    assert module.registers["flag"].is_bool
+    assert module.registers["word"].width == 32
+
+
+# ---------------------------------------------------------------------------
+# From Dahlia source
+# ---------------------------------------------------------------------------
+
+def test_lower_source_counts_time_steps():
+    module = lower_source("""
+let A: float[4];
+let x = A[0]
+---
+A[1] := x + 1.0;
+""")
+    # two logical time steps + halt
+    assert len(module.states) == 3
+
+
+def test_lower_source_rejects_ill_typed_when_checking():
+    from repro.errors import DahliaError
+    bad = """
+let A: float[10];
+let x = A[0];
+let y = A[1];
+"""
+    with pytest.raises(DahliaError):
+        lower_source(bad)
+    # ...but lowers with check=False (the checker is what protects RTL).
+    module = lower_source(bad, check=False)
+    assert module.states
+
+
+def test_unrolled_loop_replicates_datapath_in_one_state():
+    module = lower_source("""
+let A: float[8 bank 4]; let B: float[8 bank 4];
+for (let i = 0..8) unroll 4 {
+  B[i] := A[i] + 1.0;
+}
+""")
+    # Some state must carry 4 parallel reads (one per bank).
+    widest = max(
+        sum(isinstance(a, ARead) for a in s.actions)
+        for s in module.states)
+    assert widest == 4
+
+
+def test_validate_rejects_unlinked_transition():
+    from repro.rtl import NGoto, RState, RTLModule
+    module = RTLModule(name="broken")
+    state = module.new_state()
+    state.next = NGoto()                   # stays UNLINKED
+    with pytest.raises(RTLError):
+        validate(module)
+
+
+def test_validate_rejects_use_before_def():
+    from repro.rtl import NHalt, RState, RTLModule, RRef
+    module = RTLModule(name="broken")
+    state = module.new_state()
+    state.actions.append(AComp("w1", RRef("w2")))   # w2 undefined
+    state.actions.append(AComp("w2", RRef("w1")))
+    state.next = NHalt()
+    with pytest.raises(RTLError):
+        validate(module)
+
+
+def test_validate_rejects_double_wire_definition():
+    from repro.rtl import NHalt, RConst, RTLModule
+    module = RTLModule(name="broken")
+    state = module.new_state()
+    state.actions.append(AComp("w", RConst(1)))
+    state.actions.append(AComp("w", RConst(2)))
+    state.next = NHalt()
+    with pytest.raises(RTLError):
+        validate(module)

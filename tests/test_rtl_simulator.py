@@ -1,0 +1,312 @@
+"""Unit tests for the cycle-accurate RTL simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError, PortConflictError
+from repro.rtl import (
+    AComp,
+    AMemWrite,
+    ARead,
+    ARegWrite,
+    NBranch,
+    NGoto,
+    NHalt,
+    RConst,
+    ROp,
+    RRef,
+    RTLMemory,
+    RTLModule,
+    RTLRegister,
+    run_source,
+    simulate,
+)
+
+
+def _hand_module(ports: int = 1) -> RTLModule:
+    """mem[0] and mem[1] read in the same cycle — needs two ports."""
+    module = RTLModule(name="two_reads")
+    module.memories["m"] = RTLMemory("m", size=4, ports=ports)
+    module.registers["x"] = RTLRegister("x")
+    state = module.new_state()
+    state.actions.append(ARead("t0", "m", RConst(0)))
+    state.actions.append(ARead("t1", "m", RConst(1)))
+    state.actions.append(ARegWrite("x", ROp("+", (RRef("t0"), RRef("t1")))))
+    state.next = NGoto(1)
+    halt = module.new_state()
+    halt.next = NHalt()
+    return module
+
+
+def test_port_conflict_detected_on_single_ported_memory():
+    with pytest.raises(PortConflictError):
+        simulate(_hand_module(ports=1))
+
+
+def test_dual_ported_memory_tolerates_two_accesses():
+    result = simulate(_hand_module(ports=2),
+                      memories={"m": [10, 32, 0, 0]})
+    assert result.registers["x"] == 42
+    assert result.peak_port_use["m"] == 2
+
+
+def test_read_write_same_cycle_needs_two_ports():
+    module = RTLModule(name="rw")
+    module.memories["m"] = RTLMemory("m", size=2, ports=1)
+    state = module.new_state()
+    state.actions.append(ARead("t", "m", RConst(0)))
+    state.actions.append(AMemWrite("m", RConst(1), RRef("t")))
+    state.next = NHalt()
+    with pytest.raises(PortConflictError):
+        simulate(module)
+
+
+def test_register_commits_at_clock_edge():
+    """A register read in the same cycle it is written sees the old
+    value (non-blocking semantics)."""
+    module = RTLModule(name="edge")
+    module.registers["x"] = RTLRegister("x")
+    module.registers["y"] = RTLRegister("y")
+    s0 = module.new_state()
+    s0.actions.append(ARegWrite("x", RConst(7)))
+    # y is computed from x's *register* in the same cycle: still 0.
+    s0.actions.append(ARegWrite("y", RRef("x")))
+    s0.next = NGoto(1)
+    s1 = module.new_state()
+    s1.next = NHalt()
+    result = simulate(module)
+    assert result.registers["x"] == 7
+    assert result.registers["y"] == 0
+
+
+def test_memory_write_commits_at_clock_edge():
+    """A read in the same cycle as a write sees the old contents."""
+    module = RTLModule(name="mem_edge")
+    module.memories["m"] = RTLMemory("m", size=1, ports=2)
+    module.registers["x"] = RTLRegister("x")
+    s0 = module.new_state()
+    s0.actions.append(AMemWrite("m", RConst(0), RConst(5)))
+    s0.actions.append(ARead("t", "m", RConst(0)))
+    s0.actions.append(ARegWrite("x", RRef("t")))
+    s0.next = NGoto(1)
+    module.new_state().next = NHalt()
+    result = simulate(module, memories={"m": [1]})
+    assert result.registers["x"] == 1       # pre-write contents
+    assert result.memories["m"] == [5]      # committed afterwards
+
+
+def test_branch_takes_condition_path():
+    module = RTLModule(name="branch")
+    module.registers["c"] = RTLRegister("c", width=1, is_bool=True)
+    module.registers["x"] = RTLRegister("x")
+    s0 = module.new_state()
+    s0.actions.append(ARegWrite("c", RConst(True)))
+    s0.next = NGoto(1)
+    s1 = module.new_state()
+    s1.next = NBranch(RRef("c"), 2, 3)
+    s2 = module.new_state()                 # then: x = 1
+    s2.actions.append(ARegWrite("x", RConst(1)))
+    s2.next = NGoto(4)
+    s3 = module.new_state()                 # else: x = 2
+    s3.actions.append(ARegWrite("x", RConst(2)))
+    s3.next = NGoto(4)
+    module.new_state().next = NHalt()
+    result = simulate(module)
+    assert result.registers["x"] == 1
+    assert result.state_visits[2] == 1
+    assert result.state_visits[3] == 0
+
+
+def test_out_of_bounds_read_raises():
+    module = RTLModule(name="oob")
+    module.memories["m"] = RTLMemory("m", size=2)
+    state = module.new_state()
+    state.actions.append(ARead("t", "m", RConst(5)))
+    state.next = NHalt()
+    with pytest.raises(InterpError):
+        simulate(module)
+
+
+def test_max_cycles_guards_against_runaway_fsm():
+    module = RTLModule(name="spin")
+    state = module.new_state()
+    state.next = NGoto(0)                   # tight infinite loop
+    module.new_state().next = NHalt()      # unreachable
+    with pytest.raises(InterpError):
+        simulate(module, max_cycles=100)
+
+
+def test_initial_memory_size_mismatch_rejected():
+    module = RTLModule(name="bad_init")
+    module.memories["m"] = RTLMemory("m", size=4)
+    module.new_state().next = NHalt()
+    with pytest.raises(InterpError):
+        simulate(module, memories={"m": [1, 2]})
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the harness
+# ---------------------------------------------------------------------------
+
+def test_harness_runs_vector_increment():
+    run = run_source("""
+let A: float[8 bank 2]; let B: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  B[i] := A[i] + 1.0;
+}
+""", memories={"A": np.arange(8, dtype=float)})
+    np.testing.assert_allclose(run.memories["B"],
+                               np.arange(1, 9, dtype=float))
+
+
+def test_harness_dot_product_with_combine():
+    a = np.arange(8, dtype=float)
+    b = np.full(8, 2.0)
+    run = run_source("""
+decl A: float[8 bank 4]; decl B: float[8 bank 4];
+let out: float[1];
+let dot = 0.0;
+for (let i = 0..8) unroll 4 {
+  let v = A[i] * B[i];
+} combine {
+  dot += v;
+}
+---
+out[0] := dot;
+""", memories={"A": a, "B": b})
+    assert run.memories["out"][0] == pytest.approx(float(a @ b))
+
+
+def test_harness_counts_cycles_proportional_to_trips():
+    src = """
+let A: float[{n}];
+for (let i = 0..{n}) {{
+  A[i] := 1.0;
+}}
+"""
+    short = run_source(src.format(n=4))
+    long = run_source(src.format(n=16))
+    assert long.cycles > short.cycles
+    # Cycle growth tracks trip-count growth (FSM overhead is constant).
+    assert long.cycles - short.cycles >= 12
+
+
+def test_unrolling_reduces_cycles():
+    src = """
+let A: float[16 bank {u}]; let B: float[16 bank {u}];
+for (let i = 0..16) unroll {u} {{
+  B[i] := A[i] + 1.0;
+}}
+"""
+    serial = run_source(src.format(u=1))
+    parallel = run_source(src.format(u=4))
+    assert parallel.cycles < serial.cycles
+
+
+def test_peak_port_use_never_exceeds_budget():
+    run = run_source("""
+let A: float{2}[10];
+let x = A[0];
+A[1] := x + 1.0;
+""")
+    for mem, used in run.result.peak_port_use.items():
+        assert used <= run.module.memories[mem].ports
+
+
+def test_unknown_input_memory_rejected():
+    with pytest.raises(InterpError):
+        run_source("let A: float[4]; A[0] := 1.0;",
+                   memories={"Z": np.zeros(4)})
+
+
+# ---------------------------------------------------------------------------
+# Race detection (§3.3: multi-ported memories and data races)
+# ---------------------------------------------------------------------------
+
+def test_read_write_same_cell_is_a_race():
+    from repro.rtl import lower_source
+
+    module = lower_source("""
+let A: float{2}[10];
+let x = A[0];
+A[0] := 2.0;
+""")
+    result = simulate(module, race_check=True)
+    assert len(result.races) == 1
+    race = result.races[0]
+    assert race.mem == "A@0"
+    assert race.index == 0
+    assert race.kinds == ("read", "write")
+
+
+def test_read_write_distinct_cells_is_not_a_race():
+    from repro.rtl import lower_source
+
+    module = lower_source("""
+let A: float{2}[10];
+let x = A[0];
+A[1] := 2.0;
+""")
+    assert not simulate(module, race_check=True).races
+
+
+def test_identical_reads_are_not_a_race():
+    from repro.rtl import lower_source
+
+    # §3.1 fan-out: read/read of the same cell is well-defined.
+    module = lower_source("""
+let A: float[10];
+let x = A[0];
+let y = A[0];
+""")
+    assert not simulate(module, race_check=True).races
+
+
+def test_write_write_same_cell_detected_in_hand_module():
+    module = RTLModule(name="ww")
+    module.memories["m"] = RTLMemory("m", size=2, ports=2)
+    state = module.new_state()
+    state.actions.append(AMemWrite("m", RConst(0), RConst(1)))
+    state.actions.append(AMemWrite("m", RConst(0), RConst(2)))
+    state.next = NHalt()
+    result = simulate(module, race_check=True)
+    assert len(result.races) == 1
+    assert result.races[0].kinds == ("write", "write")
+
+
+def test_race_check_off_by_default():
+    from repro.rtl import lower_source
+
+    module = lower_source("""
+let A: float{2}[10];
+let x = A[0];
+A[0] := 2.0;
+""")
+    assert simulate(module).races == []
+
+
+def test_race_report_renders_location():
+    from repro.rtl import lower_source
+
+    module = lower_source("""
+let A: float{2}[10];
+let x = A[3];
+A[3] := 2.0;
+""")
+    result = simulate(module, race_check=True)
+    text = str(result.races[0])
+    assert "A@" in text and "race" in text
+
+
+def test_races_across_time_steps_do_not_trigger():
+    from repro.rtl import lower_source
+
+    module = lower_source("""
+let A: float[10];
+let x = A[0]
+---
+A[0] := 2.0;
+""")
+    assert not simulate(module, race_check=True).races

@@ -1,0 +1,74 @@
+"""Tests for source bookkeeping and the diagnostic machinery."""
+
+import pytest
+
+from repro.errors import (
+    AffineError,
+    AlreadyConsumedError,
+    DahliaError,
+    InsufficientBanksError,
+    StuckError,
+    TypeError_,
+)
+from repro.source import Position, SourceFile, Span
+from repro.types.checker import check_source
+
+
+def test_position_formats():
+    assert str(Position(3, 7)) == "3:7"
+
+
+def test_span_merge():
+    first = Span.point(1, 2)
+    second = Span.point(4, 9)
+    merged = Span.merge(first, second)
+    assert merged.start == first.start
+    assert merged.end == second.end
+
+
+def test_source_line_lookup():
+    source = SourceFile("alpha\nbeta\ngamma")
+    assert source.line(2) == "beta"
+    assert source.line(99) == ""
+
+
+def test_render_span_caret():
+    source = SourceFile("let x = A[0];")
+    rendered = source.render_span(Span(Position(1, 9), Position(1, 13)))
+    lines = rendered.split("\n")
+    assert lines[0] == "let x = A[0];"
+    assert lines[1] == " " * 8 + "^^^^"
+
+
+def test_render_span_out_of_range():
+    source = SourceFile("hello")
+    assert source.render_span(Span.point(9, 1)) == ""
+
+
+def test_error_hierarchy():
+    assert issubclass(AlreadyConsumedError, AffineError)
+    assert issubclass(InsufficientBanksError, AffineError)
+    assert issubclass(AffineError, DahliaError)
+    assert issubclass(StuckError, DahliaError)
+    assert issubclass(TypeError_, DahliaError)
+
+
+def test_error_kinds_are_distinct():
+    kinds = {cls.kind for cls in (
+        AlreadyConsumedError, InsufficientBanksError, TypeError_,
+        StuckError, AffineError)}
+    assert len(kinds) == 5
+
+
+def test_checker_errors_carry_positions():
+    with pytest.raises(DahliaError) as exc:
+        check_source("let A: float[4];\nlet x = A[0];\nA[1] := 1.0")
+    assert exc.value.span.start.line == 3
+
+
+def test_error_str_includes_kind_and_position():
+    with pytest.raises(DahliaError) as exc:
+        check_source("let A: float[4]; let x = A[0]; let y = A[1];")
+    message = str(exc.value)
+    assert message.startswith("[already-consumed]")
+    assert "1:" in message

@@ -1,0 +1,160 @@
+"""Tests for the Spatial substrate (Fig. 9/13) and the DSE harness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dse import ParameterSpace, dominates, explore, pareto_indices
+from repro.spatial import estimate_gemm_ncubed, infer_banking, sweep_unroll
+
+
+# -- Spatial banking inference ---------------------------------------------------
+
+def test_inference_matches_divisors():
+    for par in (1, 2, 4, 8, 16):
+        assert infer_banking(128, par) == par
+
+
+def test_inference_overprovisions_nondivisors():
+    assert infer_banking(128, 3) == 4
+    assert infer_banking(128, 5) == 8
+    assert infer_banking(128, 9) == 16
+
+
+def test_inference_monotone():
+    values = [infer_banking(128, p) for p in range(1, 17)]
+    assert values == sorted(values)
+
+
+def test_fig13_resource_jump_on_mismatch():
+    matched = estimate_gemm_ncubed(8)
+    mismatched = estimate_gemm_ncubed(9)
+    assert matched.matched and not mismatched.matched
+    assert mismatched.luts > matched.luts * 1.2
+
+
+def test_fig13_dsp_roughly_linear_in_unroll():
+    at16 = estimate_gemm_ncubed(16)
+    at1 = estimate_gemm_ncubed(1)
+    assert 8 <= at16.dsps / at1.dsps <= 20
+    assert 120 <= at16.dsps <= 160           # paper: ≈140 at unroll 16
+
+
+def test_fig9_normalized_usage():
+    reports = sweep_unroll(16)
+    base = reports[0]
+    normalized = reports[6].normalized(base)      # unroll 7: mismatched
+    assert normalized["LUT"] > 1.3
+    aligned = reports[7].normalized(base)         # unroll 8: matched
+    assert aligned["LUT"] < normalized["LUT"]
+
+
+def test_fig13_calibration_anchors():
+    base = estimate_gemm_ncubed(1)
+    assert 22000 <= base.luts <= 26000
+    assert 22000 <= base.regs <= 27000
+    assert 45 <= base.brams <= 55
+    worst = max(sweep_unroll(16), key=lambda r: r.luts)
+    assert worst.luts > 38000                 # Fig. 13e: up to ≈45k
+
+
+# -- parameter spaces ----------------------------------------------------------
+
+def test_space_size_and_iteration():
+    space = ParameterSpace.of(a=[1, 2], b=[1, 2, 3])
+    assert space.size == 6
+    configs = list(space)
+    assert len(configs) == 6
+    assert {"a", "b"} == set(configs[0])
+
+
+def test_space_sample_strided():
+    space = ParameterSpace.of(a=list(range(10)), b=list(range(10)))
+    sample = list(space.sample(10))
+    assert len(sample) == 10
+
+
+def test_space_sample_all_when_small():
+    space = ParameterSpace.of(a=[1, 2])
+    assert len(list(space.sample(100))) == 2
+
+
+def test_space_restrict():
+    space = ParameterSpace.of(a=[1, 2, 3], b=[1, 2])
+    pinned = space.restrict(a=2)
+    assert pinned.size == 2
+    assert all(cfg["a"] == 2 for cfg in pinned)
+
+
+# -- Pareto ----------------------------------------------------------------------
+
+def test_dominates_basic():
+    assert dominates((1, 1), (2, 2))
+    assert dominates((1, 2), (1, 3))
+    assert not dominates((1, 2), (2, 1))
+    assert not dominates((1, 1), (1, 1))
+
+
+def test_pareto_indices_simple():
+    points = [(1, 5), (2, 4), (3, 3), (2, 6), (5, 5)]
+    assert pareto_indices(points) == [0, 1, 2]
+
+
+def test_pareto_empty():
+    assert pareto_indices([]) == []
+
+
+def test_pareto_duplicates_kept():
+    points = [(1, 1), (1, 1), (2, 2)]
+    front = pareto_indices(points)
+    assert 2 not in front
+    assert len(front) >= 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20),
+                          st.integers(0, 20)), min_size=1, max_size=40))
+def test_pareto_frontier_is_nondominated(points):
+    front = pareto_indices(points)
+    assert front, "frontier never empty for nonempty input"
+    for i in front:
+        for j in range(len(points)):
+            if i != j:
+                assert not dominates(points[j], points[i]) or \
+                    points[j] == points[i] or j in front
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                min_size=1, max_size=40))
+def test_every_point_dominated_by_some_frontier_point(points):
+    front = set(pareto_indices(points))
+    for j, point in enumerate(points):
+        if j in front:
+            continue
+        assert any(dominates(points[i], point) or points[i] == point
+                   for i in front)
+
+
+# -- explore ----------------------------------------------------------------------
+
+def test_explore_small_sweep():
+    from repro.suite import stencil2d_kernel, stencil2d_source, \
+        stencil2d_space
+
+    space = stencil2d_space().restrict(ob2=3, fb2=3, u2=3, fb1=1, ob1=1)
+    result = explore(space, stencil2d_source, stencil2d_kernel)
+    assert result.total == 3                 # u1 ∈ {1,2,3}
+    # u1=1 accepted; u1=2 (3∤2 trip) and u1=3 (banks 1≠3) rejected.
+    accepted = {p.config["u1"] for p in result.accepted}
+    assert accepted == {1}
+    assert result.acceptance_rate == pytest.approx(1 / 3)
+
+
+def test_explore_reports_pareto_subsets():
+    from repro.suite import md_knn_kernel, md_knn_source, md_knn_space
+
+    space = md_knn_space().restrict(bn=1, bg=2, bf=2, u2=2)
+    result = explore(space, md_knn_source, md_knn_kernel)
+    assert result.total == 4 * 8              # bp × u1
+    assert 0 < len(result.accepted) < result.total
+    frontier = result.pareto()
+    assert frontier
+    assert all(not p.report.incorrect for p in frontier)

@@ -1,0 +1,200 @@
+"""Tests for the DSE source/kernel generators (§5.2–§5.3)."""
+
+import pytest
+
+from repro.dse.runner import check_acceptance
+from repro.hls import estimate
+from repro.suite import (
+    gemm_blocked_kernel,
+    gemm_blocked_source,
+    gemm_blocked_space,
+    md_grid_kernel,
+    md_grid_source,
+    md_grid_space,
+    md_knn_kernel,
+    md_knn_source,
+    md_knn_space,
+    stencil2d_kernel,
+    stencil2d_source,
+    stencil2d_space,
+)
+
+
+# -- space sizes match the paper ------------------------------------------------
+
+def test_gemm_blocked_space_is_32000():
+    assert gemm_blocked_space().size == 32_000
+
+
+def test_stencil2d_space_is_2916():
+    assert stencil2d_space().size == 2_916
+
+
+def test_md_knn_space_is_16384():
+    assert md_knn_space().size == 16_384
+
+
+def test_md_grid_space_is_21952():
+    assert md_grid_space().size == 21_952
+
+
+# -- gemm-blocked acceptance algebra -----------------------------------------------
+
+def _gemm_cfg(**kwargs):
+    cfg = dict(b11=1, b12=1, b21=1, b22=1, u1=1, u2=1, u3=1)
+    cfg.update(kwargs)
+    return cfg
+
+
+def test_gemm_all_ones_accepted():
+    ok, reason = check_acceptance(gemm_blocked_source(_gemm_cfg()))
+    assert ok, reason
+
+
+def test_gemm_fully_aligned_accepted():
+    cfg = _gemm_cfg(b11=4, b12=4, b21=4, b22=4, u1=4, u2=4, u3=4)
+    ok, reason = check_acceptance(gemm_blocked_source(cfg))
+    assert ok, reason
+
+
+def test_gemm_shrink_path_accepted():
+    # unroll 2 on banking 4 works through shrink views.
+    cfg = _gemm_cfg(b11=4, b12=4, b21=4, b22=4, u1=2, u2=2, u3=2)
+    ok, reason = check_acceptance(gemm_blocked_source(cfg))
+    assert ok, reason
+
+
+def test_gemm_banking_3_rejected_at_declaration():
+    ok, reason = check_acceptance(gemm_blocked_source(_gemm_cfg(b11=3)))
+    assert not ok and reason == "banking"      # 3 ∤ 128
+
+
+def test_gemm_unroll_6_rejected():
+    ok, reason = check_acceptance(gemm_blocked_source(_gemm_cfg(u1=6)))
+    assert not ok and reason == "unroll"       # 6 ∤ 128
+
+
+def test_gemm_unroll_exceeding_banks_rejected():
+    cfg = _gemm_cfg(b11=2, b12=2, u3=4)
+    ok, reason = check_acceptance(gemm_blocked_source(cfg))
+    assert not ok
+
+
+def test_gemm_acceptance_count_on_dense_subspace():
+    """On the u3-tied slice the divisor algebra is exact: with
+    u1=u2=u3=2, acceptance requires 2|b11, 2|b12, 2|b21, 2|b22 —
+    2⁴ = 16 of the 4⁴ = 256 banking choices."""
+    accepted = 0
+    for b11 in (1, 2, 3, 4):
+        for b12 in (1, 2, 3, 4):
+            for b21 in (1, 2, 3, 4):
+                for b22 in (1, 2, 3, 4):
+                    cfg = _gemm_cfg(b11=b11, b12=b12, b21=b21, b22=b22,
+                                    u1=2, u2=2, u3=2)
+                    ok, _ = check_acceptance(gemm_blocked_source(cfg))
+                    accepted += ok
+    assert accepted == 16
+
+
+def test_gemm_kernel_builder_consistent():
+    cfg = _gemm_cfg(b11=4, b12=4, b21=4, b22=4, u1=2, u2=2, u3=4)
+    kernel = gemm_blocked_kernel(cfg)
+    assert kernel.processing_elements == 16
+    report = estimate(kernel)
+    assert report.predictable
+
+
+# -- stencil2d ---------------------------------------------------------------------
+
+def test_stencil_unroll3_requires_bank3():
+    ok, _ = check_acceptance(stencil2d_source(
+        dict(ob1=3, ob2=3, fb1=3, fb2=3, u1=3, u2=3)))
+    assert ok
+    ok, _ = check_acceptance(stencil2d_source(
+        dict(ob1=2, ob2=3, fb1=3, fb2=3, u1=3, u2=3)))
+    assert not ok
+
+
+def test_stencil_unroll2_never_divides_window():
+    ok, reason = check_acceptance(stencil2d_source(
+        dict(ob1=1, ob2=1, fb1=1, fb2=1, u1=2, u2=1)))
+    assert not ok and reason == "unroll"
+
+
+def test_stencil_kernel_builder():
+    report = estimate(stencil2d_kernel(
+        dict(ob1=3, ob2=3, fb1=3, fb2=3, u1=3, u2=3)))
+    assert report.latency_cycles > 0
+
+
+# -- md-knn -----------------------------------------------------------------------
+
+def test_mdknn_sequential_accepted():
+    ok, reason = check_acceptance(md_knn_source(
+        dict(bp=1, bn=1, bg=1, bf=1, u1=1, u2=1)))
+    assert ok, reason
+
+
+def test_mdknn_parallel_needs_matching_banks():
+    ok, _ = check_acceptance(md_knn_source(
+        dict(bp=2, bn=1, bg=2, bf=2, u1=2, u2=2)))
+    assert ok
+    ok, _ = check_acceptance(md_knn_source(
+        dict(bp=1, bn=1, bg=2, bf=2, u1=2, u2=2)))
+    assert not ok                          # positions unbanked
+
+
+def test_mdknn_gathered_bank3_rejected():
+    ok, reason = check_acceptance(md_knn_source(
+        dict(bp=1, bn=1, bg=3, bf=1, u1=1, u2=1)))
+    assert not ok and reason == "banking"   # 3 ∤ 64
+
+
+def test_mdknn_kernel_builder():
+    report = estimate(md_knn_kernel(
+        dict(bp=2, bn=1, bg=2, bf=2, u1=2, u2=2)))
+    assert report.latency_cycles > 0
+
+
+# -- md-grid ------------------------------------------------------------------------
+
+def test_mdgrid_sequential_accepted():
+    ok, reason = check_acceptance(md_grid_source(
+        dict(b1=1, b2=1, b3=1, u1=1, u2=1)))
+    assert ok, reason
+
+
+def test_mdgrid_inner_unroll_needs_all_three_banked():
+    ok, _ = check_acceptance(md_grid_source(
+        dict(b1=2, b2=2, b3=2, u1=1, u2=2)))
+    assert ok
+    ok, _ = check_acceptance(md_grid_source(
+        dict(b1=2, b2=2, b3=1, u1=1, u2=2)))
+    assert not ok                          # posz unbanked
+
+
+def test_mdgrid_bank_5_rejected():
+    ok, reason = check_acceptance(md_grid_source(
+        dict(b1=5, b2=1, b3=1, u1=1, u2=1)))
+    assert not ok and reason == "banking"   # 5 ∤ 16
+
+
+def test_mdgrid_kernel_builder():
+    report = estimate(md_grid_kernel(
+        dict(b1=4, b2=4, b3=4, u1=4, u2=4)))
+    assert report.latency_cycles > 0
+
+
+# -- generated sources always parse ----------------------------------------------------
+
+@pytest.mark.parametrize("generator,space", [
+    (gemm_blocked_source, gemm_blocked_space()),
+    (stencil2d_source, stencil2d_space()),
+    (md_knn_source, md_knn_space()),
+    (md_grid_source, md_grid_space()),
+])
+def test_generated_sources_parse(generator, space):
+    from repro.frontend.parser import parse
+
+    for config in space.sample(25):
+        parse(generator(config))           # must never be a parse error

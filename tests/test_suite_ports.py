@@ -1,0 +1,83 @@
+"""Integration tests: every MachSuite port must parse, type-check,
+compile to C++, and interpret correctly against its oracle."""
+
+import numpy as np
+import pytest
+
+from repro.backend import compile_program
+from repro.frontend.parser import parse
+from repro.interp import interpret
+from repro.suite import ALL_PORTS, get_port
+from repro.types.checker import check_program
+
+PORT_NAMES = sorted(ALL_PORTS)
+
+
+def test_sixteen_ports_registered():
+    # The paper ports 16 of MachSuite's 19 (Fig. 11's x-axis).
+    assert len(ALL_PORTS) == 16
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_port_parses(name):
+    program = parse(get_port(name).source)
+    assert program.decls
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_port_type_checks(name):
+    check_program(parse(get_port(name).source))
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_port_compiles_to_cpp(name):
+    program = parse(get_port(name).source)
+    check_program(program)
+    cpp = compile_program(program)
+    assert "void kernel(" in cpp
+    assert cpp.count("{") == cpp.count("}")
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_port_matches_oracle(name):
+    port = get_port(name)
+    rng = np.random.default_rng(hash(name) % 2**32)
+    inputs = port.make_inputs(rng)
+    result = interpret(port.source, inputs)
+    expected = port.oracle(inputs)
+    for key, value in expected.items():
+        assert np.allclose(result.memories[key], value, atol=1e-9), key
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_port_matches_oracle_second_seed(name):
+    port = get_port(name)
+    rng = np.random.default_rng(hash(name) % 2**32 + 1)
+    inputs = port.make_inputs(rng)
+    result = interpret(port.source, inputs)
+    expected = port.oracle(inputs)
+    for key, value in expected.items():
+        assert np.allclose(result.memories[key], value, atol=1e-9), key
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_port_kernel_estimates(name):
+    from repro.hls import estimate
+
+    report = estimate(get_port(name).kernel)
+    assert report.latency_cycles > 0
+    assert report.luts > 0
+
+
+@pytest.mark.parametrize("name", PORT_NAMES)
+def test_fig11_rewrite_matches_baseline(name):
+    """Fig. 11: the Dahlia rewrite and the C baseline flow through the
+    same toolchain, so their resources are nearly identical."""
+    from repro.hls import estimate
+
+    kernel = get_port(name).kernel
+    baseline = estimate(kernel, noise_seed="baseline:")
+    rewrite = estimate(kernel, noise_seed="rewrite:")
+    assert baseline.latency_cycles == rewrite.latency_cycles
+    assert baseline.brams == rewrite.brams
+    assert abs(baseline.luts - rewrite.luts) <= 0.3 * baseline.luts

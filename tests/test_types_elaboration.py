@@ -1,0 +1,102 @@
+"""Unit tests for type elaboration and numeric typing rules."""
+
+import pytest
+
+from repro.errors import BankingError, TypeError_
+from repro.frontend.ast import DimSpec, TypeAnnotation
+from repro.types.types import (
+    BOOL,
+    DOUBLE,
+    FLOAT,
+    IndexType,
+    MemDim,
+    MemoryType,
+    STATIC_INT,
+    assignable,
+    bit,
+    elaborate,
+    join_numeric,
+)
+
+
+def annotation(base="float", dims=(), ports=1):
+    return TypeAnnotation(base, tuple(DimSpec(*d) for d in dims), ports)
+
+
+def test_scalar_elaboration():
+    assert elaborate(annotation("float")) == FLOAT
+    assert elaborate(annotation("bool")) == BOOL
+    assert elaborate(annotation("double")) == DOUBLE
+    assert elaborate(annotation("bit<8>")) == bit(8)
+
+
+def test_memory_elaboration():
+    memory = elaborate(annotation("float", [(8, 4), (6, 3)], ports=2))
+    assert isinstance(memory, MemoryType)
+    assert memory.dims == (MemDim(8, 4), MemDim(6, 3))
+    assert memory.ports == 2
+    assert memory.total_banks == 12
+    assert memory.total_size == 48
+
+
+def test_uneven_banking_raises():
+    with pytest.raises(BankingError):
+        elaborate(annotation("float", [(10, 4)]))
+
+
+def test_zero_banks_raises():
+    with pytest.raises(BankingError):
+        elaborate(annotation("float", [(8, 0)]))
+
+
+def test_zero_ports_raises():
+    with pytest.raises(TypeError_):
+        elaborate(annotation("float", [(8, 2)], ports=0))
+
+
+def test_scalar_with_ports_raises():
+    with pytest.raises(TypeError_):
+        elaborate(annotation("float", (), ports=2))
+
+
+def test_bank_size():
+    assert MemDim(8, 4).bank_size == 2
+
+
+def test_join_bits_takes_max_width():
+    assert join_numeric(bit(8), bit(16)) == bit(16)
+
+
+def test_join_promotes_to_float():
+    assert join_numeric(bit(32), FLOAT) == FLOAT
+    assert join_numeric(FLOAT, DOUBLE) == DOUBLE
+
+
+def test_join_index_types_act_as_ints():
+    assert join_numeric(IndexType(2, 0, 8), STATIC_INT) == STATIC_INT
+
+
+def test_join_rejects_bool():
+    with pytest.raises(TypeError_):
+        join_numeric(BOOL, FLOAT)
+
+
+def test_assignable_widening():
+    assert assignable(FLOAT, bit(32))       # literals flow into floats
+    assert assignable(bit(8), bit(32))      # bit widths are permissive
+    assert assignable(DOUBLE, FLOAT)
+    assert not assignable(BOOL, FLOAT)
+    assert not assignable(FLOAT, BOOL)
+
+
+def test_assignable_index_as_int():
+    assert assignable(FLOAT, IndexType(4, 0, 8))
+
+
+def test_memory_type_formats():
+    memory = elaborate(annotation("float", [(8, 4)], ports=2))
+    assert str(memory) == "mem float{2}[8 bank 4]"
+
+
+def test_index_type_formats():
+    assert str(IndexType(4, 0, 8)) == "idx{0..4}"
