@@ -1,0 +1,8 @@
+"""Figure-regeneration benchmarks (run with pytest + pytest-benchmark).
+
+From the repo root:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_*.py -q
+
+``REPRO_FULL=1`` switches the DSE sweeps to the paper's full spaces.
+"""

@@ -10,6 +10,7 @@
    §3.4 example that motivates per-time-step parallelization.
 """
 
+from repro.dse import parallel_map
 from repro.hls import estimate
 from repro.hls.banking import analyze_kernel
 from repro.hls.resources import estimate_resources
@@ -37,15 +38,16 @@ def _luts_noise_free(kernel, ablate_indirection: bool) -> int:
     return estimate_resources(kernel, profiles, sched, noise=False).luts
 
 
+def _mux_ablation_row(unroll: int) -> list[int]:
+    kernel = section2_gemm_kernel(unroll, 8)
+    full = _luts_noise_free(kernel, ablate_indirection=False)
+    ablated = _luts_noise_free(kernel, ablate_indirection=True)
+    return [unroll, full, ablated]
+
+
 def test_ablation_mux_cost_model(benchmark):
     def sweep():
-        rows = []
-        for unroll in range(1, 17):
-            kernel = section2_gemm_kernel(unroll, 8)
-            full = _luts_noise_free(kernel, ablate_indirection=False)
-            ablated = _luts_noise_free(kernel, ablate_indirection=True)
-            rows.append([unroll, full, ablated])
-        return rows
+        return parallel_map(_mux_ablation_row, range(1, 17))
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print_table("Ablation: LUTs with vs without indirection cost model",

@@ -1,0 +1,69 @@
+"""Perf-regression benchmarks for the DSE engine.
+
+Times the sampled Fig. 7 gemm-blocked sweep through three paths:
+
+* ``explore``  — the sequential reference implementation;
+* ``engine-1`` — the engine inline (memoization + SoA, no pool);
+* ``engine-N`` — the engine with the default worker fan-out.
+
+``benchmarks/record_dse_bench.py`` runs the same sweeps standalone and
+appends points/sec to ``BENCH_dse.json`` so PRs accumulate a throughput
+trajectory (see PERFORMANCE.md).
+"""
+
+from repro.dse import explore, sweep
+from repro.suite import (
+    gemm_blocked_kernel,
+    gemm_blocked_source,
+    gemm_blocked_space,
+)
+
+from .helpers import print_table
+
+SAMPLE = 600
+
+
+def _configs():
+    return list(gemm_blocked_space().sample(SAMPLE))
+
+
+def test_engine_throughput_vs_reference(benchmark):
+    configs = _configs()
+
+    def run():
+        return sweep(configs, gemm_blocked_source, gemm_blocked_kernel)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.stats
+    print_table(
+        "DSE engine throughput (sampled Fig. 7 space)",
+        ["metric", "value"],
+        [
+            ["points", stats.points],
+            ["points/sec", f"{stats.points_per_sec:.1f}"],
+            ["workers", stats.workers],
+            ["checker runs", stats.checker_runs],
+            ["memo hits", stats.memo_hits],
+        ])
+    assert result.total == len(configs)
+    assert stats.checker_runs + stats.memo_hits == len(configs)
+
+
+def test_reference_explore_baseline(benchmark):
+    configs = _configs()
+    result = benchmark.pedantic(
+        lambda: explore(configs, gemm_blocked_source,
+                        gemm_blocked_kernel),
+        rounds=1, iterations=1)
+    assert result.total == len(configs)
+
+
+def test_engine_matches_reference_on_bench_sample():
+    configs = _configs()
+    reference = explore(configs, gemm_blocked_source,
+                        gemm_blocked_kernel)
+    result = sweep(configs, gemm_blocked_source, gemm_blocked_kernel)
+    assert [(p.accepted, p.rejection) for p in result.points] == \
+        [(p.accepted, p.rejection) for p in reference.points]
+    assert result._pareto_point_indices == \
+        reference._pareto_point_indices

@@ -8,18 +8,23 @@ estimator; only the heuristic noise seed differs, reproducing the small
 bar-to-bar deviations of the figure.
 """
 
+from repro.dse import parallel_map
 from repro.hls import estimate
 from repro.suite import ALL_PORTS
 
 from .helpers import print_table
 
 
+def _estimate_pair(item):
+    name, kernel = item
+    return name, (estimate(kernel, noise_seed="baseline:"),
+                  estimate(kernel, noise_seed="rewrite:"))
+
+
 def sweep():
-    rows = {}
-    for name, port in sorted(ALL_PORTS.items()):
-        rows[name] = (estimate(port.kernel, noise_seed="baseline:"),
-                      estimate(port.kernel, noise_seed="rewrite:"))
-    return rows
+    items = [(name, port.kernel)
+             for name, port in sorted(ALL_PORTS.items())]
+    return dict(parallel_map(_estimate_pair, items))
 
 
 def test_fig11(benchmark):

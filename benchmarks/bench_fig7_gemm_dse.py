@@ -17,7 +17,7 @@ all 32,000 points (~2–4 minutes). The full-sweep numbers live in
 EXPERIMENTS.md and results/fig7_summary.json.
 """
 
-from repro.dse import explore
+from repro.dse import sweep as engine_sweep
 from repro.suite import (
     gemm_blocked_kernel,
     gemm_blocked_source,
@@ -32,7 +32,8 @@ SAMPLE = 2000
 def sweep():
     space = gemm_blocked_space()
     configs = space if FULL_SWEEPS else list(space.sample(SAMPLE))
-    return explore(configs, gemm_blocked_source, gemm_blocked_kernel)
+    return engine_sweep(configs, gemm_blocked_source,
+                        gemm_blocked_kernel)
 
 
 def test_fig7(benchmark):

@@ -7,7 +7,7 @@ factorization of 21,952 (7³·8²: three banking parameters 1–7, two
 unroll parameters 1–8 — DESIGN.md documents the reconstruction).
 """
 
-from repro.dse import explore
+from repro.dse import sweep as engine_sweep
 from repro.suite import md_grid_kernel, md_grid_source, md_grid_space
 
 from .helpers import FULL_SWEEPS, print_table
@@ -18,7 +18,7 @@ SAMPLE = 2048
 def sweep():
     space = md_grid_space()
     configs = space if FULL_SWEEPS else list(space.sample(SAMPLE))
-    return explore(configs, md_grid_source, md_grid_kernel)
+    return engine_sweep(configs, md_grid_source, md_grid_kernel)
 
 
 def test_fig8c(benchmark):

@@ -9,7 +9,7 @@ differ by one shrink-view placement; the divisibility algebra is
 documented in DESIGN.md.
 """
 
-from repro.dse import explore
+from repro.dse import sweep as engine_sweep
 from repro.suite import md_knn_kernel, md_knn_source, md_knn_space
 
 from .helpers import FULL_SWEEPS, print_table
@@ -20,7 +20,7 @@ SAMPLE = 2048
 def sweep():
     space = md_knn_space()
     configs = space if FULL_SWEEPS else list(space.sample(SAMPLE))
-    return explore(configs, md_knn_source, md_knn_kernel)
+    return engine_sweep(configs, md_knn_source, md_knn_kernel)
 
 
 def test_fig8b(benchmark):

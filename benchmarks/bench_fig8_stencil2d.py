@@ -10,14 +10,15 @@ padded to 132×66 so banking 3/6 can divide evenly), but the structure —
 tiny accepted subspace, inner-unroll-dominated frontier — holds.
 """
 
-from repro.dse import explore
+from repro.dse import sweep as engine_sweep
 from repro.suite import stencil2d_kernel, stencil2d_source, stencil2d_space
 
 from .helpers import print_table
 
 
 def sweep():
-    return explore(stencil2d_space(), stencil2d_source, stencil2d_kernel)
+    return engine_sweep(stencil2d_space(), stencil2d_source,
+                        stencil2d_kernel)
 
 
 def test_fig8a(benchmark):

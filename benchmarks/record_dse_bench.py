@@ -1,0 +1,116 @@
+"""Record DSE sweep throughput into BENCH_dse.json.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/record_dse_bench.py [--sample N]
+    REPRO_FULL=1 PYTHONPATH=src python benchmarks/record_dse_bench.py
+
+Each invocation appends one entry per measured path (sequential
+reference, engine with 1 worker, engine with the default worker count)
+to the ``BENCH_dse.json`` trajectory, so successive PRs can be compared
+on points/sec. See PERFORMANCE.md for the methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+from repro.dse import explore, sweep
+from repro.dse.engine import resolve_workers
+from repro.suite import (
+    gemm_blocked_kernel,
+    gemm_blocked_source,
+    gemm_blocked_space,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(configs: list[dict[str, int]]) -> list[dict]:
+    entries = []
+
+    started = time.perf_counter()
+    reference = explore(configs, gemm_blocked_source,
+                        gemm_blocked_kernel)
+    elapsed = time.perf_counter() - started
+    entries.append({
+        "path": "explore-sequential",
+        "points": reference.total,
+        "elapsed_s": round(elapsed, 3),
+        "points_per_sec": round(reference.total / elapsed, 2),
+    })
+
+    for workers in sorted({1, resolve_workers(None)}):
+        result = sweep(configs, gemm_blocked_source,
+                       gemm_blocked_kernel, workers=workers)
+        stats = result.stats
+        entries.append({
+            "path": f"engine-{workers}w",
+            **stats.as_dict(),
+        })
+        assert [(p.accepted, p.rejection) for p in result.points] == \
+            [(p.accepted, p.rejection) for p in reference.points], \
+            "engine/reference parity violation"
+        assert result._pareto_point_indices == \
+            reference._pareto_point_indices, \
+            "engine/reference Pareto parity violation"
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sample", type=int, default=2000,
+                        help="strided sample size when REPRO_FULL≠1")
+    args = parser.parse_args()
+
+    space = gemm_blocked_space()
+    full = os.environ.get("REPRO_FULL", "") == "1"
+    configs = list(space) if full else list(space.sample(args.sample))
+
+    entries = measure(configs)
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "space": "gemm-blocked",
+        "full_sweep": full,
+        "points": len(configs),
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "runs": entries,
+    }
+
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(record)
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    best = max(entries, key=lambda e: e["points_per_sec"])
+    base = entries[0]
+    print(json.dumps(record, indent=2))
+    print(f"\nbest path {best['path']}: {best['points_per_sec']} "
+          f"points/sec ({best['points_per_sec'] / base['points_per_sec']:.2f}x "
+          f"vs sequential reference)")
+    print(f"appended to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,13 +3,14 @@
 Run:  python examples/dse_gemm.py
 
 A scaled-down version of the paper's §5.2 study: sweep banking and
-unrolling parameters for the Fig. 10 gemm-blocked template, let the
-*real* type checker decide which configurations Dahlia accepts, rank
-every point with the HLS estimator, and compare the accepted subset
-against the global Pareto frontier.
+unrolling parameters for the Fig. 10 gemm-blocked template through the
+high-throughput engine (repro.dse.sweep — parallel workers plus
+acceptance memoization), let the *real* type checker decide which
+configurations Dahlia accepts, rank every point with the HLS estimator,
+and compare the accepted subset against the global Pareto frontier.
 """
 
-from repro.dse import explore
+from repro.dse import sweep
 from repro.suite import (
     gemm_blocked_kernel,
     gemm_blocked_source,
@@ -17,25 +18,25 @@ from repro.suite import (
 )
 
 # A 500-point strided slice of the 32,000-point space keeps this
-# example under a minute; see benchmarks/bench_fig7_gemm_dse.py and
+# example fast; see benchmarks/bench_fig7_gemm_dse.py and
 # EXPERIMENTS.md for the full sweep (353/32,000 accepted ≈ 1.1%,
 # matching the paper's 354).
 space = gemm_blocked_space()
 print(f"full space: {space.size:,} configurations "
       f"(sweeping a 500-point slice)")
 
-result = explore(space.sample(500), gemm_blocked_source,
-                 gemm_blocked_kernel)
+result = sweep(space.sample(500), gemm_blocked_source,
+               gemm_blocked_kernel)
 
 accepted = result.accepted
 print(f"type checker accepted {len(accepted)} / {result.total} "
       f"({result.acceptance_rate:.1%})")
-
-reasons: dict[str, int] = {}
-for point in result.points:
-    if point.rejection:
-        reasons[point.rejection] = reasons.get(point.rejection, 0) + 1
-print("rejection reasons:", dict(sorted(reasons.items())))
+print("rejection reasons:", result.rejection_counts())
+if result.stats is not None:
+    print(f"engine: {result.stats.points_per_sec:.1f} points/sec, "
+          f"{result.stats.checker_runs} checker runs for "
+          f"{result.stats.points} points "
+          f"({result.stats.memo_hits} memo hits)")
 
 frontier = result.pareto()
 on_frontier = result.accepted_on_frontier()

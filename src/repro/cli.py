@@ -10,7 +10,9 @@ Subcommands mirror the stages of Figure 1:
 * ``bench``    — list the registered MachSuite ports;
 * ``rtl``      — emit Verilog via the direct RTL backend (§6), or a
   netlist/cycle report with ``--report``;
-* ``pipeline`` — per-loop initiation-interval report (§6).
+* ``pipeline`` — per-loop initiation-interval report (§6);
+* ``dse``      — run a §5.2/§5.3 design-space sweep through the
+  high-throughput engine (parallel workers + acceptance memoization).
 """
 
 from __future__ import annotations
@@ -230,6 +232,74 @@ def cmd_fuse(args: argparse.Namespace) -> int:
     return 0
 
 
+#: DSE families the ``dse`` subcommand can sweep: family name → the
+#: (space, source, kernel) builder names in ``repro.suite.generators``,
+#: resolved lazily in cmd_dse. Also the argparse ``choices`` source.
+DSE_FAMILIES = {
+    "gemm-blocked": ("gemm_blocked_space", "gemm_blocked_source",
+                     "gemm_blocked_kernel"),
+    "md-grid": ("md_grid_space", "md_grid_source", "md_grid_kernel"),
+    "md-knn": ("md_knn_space", "md_knn_source", "md_knn_kernel"),
+    "stencil2d": ("stencil2d_space", "stencil2d_source",
+                  "stencil2d_kernel"),
+}
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from .dse import sweep
+    from .suite import generators
+
+    space_fn, source_fn, kernel_fn = (
+        getattr(generators, name) for name in DSE_FAMILIES[args.space])
+    if args.sample < 0:
+        print("--sample must be >= 0 (0 sweeps the full space)",
+              file=sys.stderr)
+        return 1
+    space = space_fn()
+    configs = (list(space.sample(args.sample))
+               if args.sample and args.sample < space.size else space)
+
+    # The carriage-return spinner only makes sense on an interactive
+    # terminal; piped/redirected stderr would accumulate control lines.
+    spin = not args.json and sys.stderr.isatty()
+
+    def progress(done: int) -> None:
+        print(f"\r{done} points…", end="", file=sys.stderr, flush=True)
+
+    result = sweep(configs, source_fn, kernel_fn,
+                   workers=args.workers, memoize=not args.no_memoize,
+                   progress=progress if spin else None)
+    if spin:
+        print(file=sys.stderr)
+    stats = result.stats
+    summary = {
+        "space": args.space,
+        "points": result.total,
+        "accepted": len(result.accepted),
+        "acceptance_rate": round(result.acceptance_rate, 4),
+        "rejection_kinds": result.rejection_counts(),
+        "global_pareto": len(result.pareto()),
+        "accepted_pareto": len(result.accepted_pareto()),
+        "accepted_on_frontier": result.accepted_on_frontier(),
+        "engine": stats.as_dict() if stats is not None else None,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{args.space}: {summary['accepted']} / "
+              f"{summary['points']} accepted "
+              f"({result.acceptance_rate:.2%})")
+        print(f"global Pareto {summary['global_pareto']}, accepted "
+              f"Pareto {summary['accepted_pareto']}, accepted on "
+              f"frontier {summary['accepted_on_frontier']}")
+        if stats is not None:
+            print(f"engine: {stats.points_per_sec:.1f} points/sec "
+                  f"({stats.workers} workers, "
+                  f"{stats.checker_runs} checker runs, "
+                  f"{stats.memo_hits} memo hits)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="dahlia-py",
@@ -294,6 +364,21 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline", help="initiation-interval report per loop (§6)")
     pipeline.add_argument("file")
     pipeline.set_defaults(func=cmd_pipeline)
+
+    dse = sub.add_parser(
+        "dse", help="design-space sweep via the high-throughput engine")
+    dse.add_argument("space", choices=tuple(DSE_FAMILIES),
+                     help="design-space family to sweep")
+    dse.add_argument("--sample", type=int, default=500,
+                     help="strided subsample size (0 = full space)")
+    dse.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: $REPRO_WORKERS "
+                          "or CPU count)")
+    dse.add_argument("--no-memoize", action="store_true",
+                     help="disable acceptance memoization")
+    dse.add_argument("--json", action="store_true",
+                     help="print a JSON summary")
+    dse.set_defaults(func=cmd_dse)
 
     args = parser.parse_args(argv)
     return args.func(args)

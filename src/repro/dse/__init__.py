@@ -1,5 +1,11 @@
-"""Design-space exploration harness (§5.2, §5.3)."""
+"""Design-space exploration harness (§5.2, §5.3).
 
+``explore`` is the sequential reference sweep; ``sweep`` is the
+high-throughput engine (parallel fan-out + acceptance memoization)
+that produces identical results.
+"""
+
+from .engine import EngineStats, parallel_map, sweep
 from .pareto import dominates, pareto_front, pareto_indices
 from .runner import DesignPoint, DseResult, explore
 from .space import ParameterSpace
@@ -7,9 +13,12 @@ from .space import ParameterSpace
 __all__ = [
     "DesignPoint",
     "DseResult",
+    "EngineStats",
     "ParameterSpace",
     "dominates",
     "explore",
+    "parallel_map",
     "pareto_front",
     "pareto_indices",
+    "sweep",
 ]

@@ -1,0 +1,343 @@
+"""High-throughput DSE sweep engine.
+
+The paper's headline experiments (§5.2–5.3) are exhaustive sweeps over
+32,000 / 16,384 / 21,952-point spaces. :func:`repro.dse.explore` is the
+sequential reference implementation; this module is the production
+path. It produces **bit-identical results** (acceptance flags,
+rejection kinds, estimator reports, point order) while being much
+faster, via three mechanisms:
+
+1. **Parallel fan-out** — configurations are split into deterministic,
+   order-preserving chunks and dispatched to a ``multiprocessing``
+   pool. A worker initializer installs the builders once per process;
+   chunk results are consumed in order, so the output is independent of
+   scheduling.
+
+2. **Acceptance memoization** — the type checker is a deterministic
+   function of the generated source, so identical sources need one
+   checker run. Where the source builder exposes an
+   ``acceptance_key(config)`` projection (see
+   :mod:`repro.suite.generators`), configurations that agree on the
+   acceptance-relevant parameters (unroll/banking divisibility) share a
+   single checker run even though their sources differ in resource
+   parameters — collapsing thousands of configurations to a few hundred
+   typechecker invocations. Keys must determine the checker verdict;
+   the test suite validates the shipped projections against the real
+   checker.
+
+3. **Structure-of-arrays results** — the returned
+   :class:`~repro.dse.runner.DseResult` carries a cached objective
+   matrix, so Pareto computation is a single vectorized numpy skyline.
+
+Estimator reports are *never* memoized: resource estimates depend on
+every parameter, and the paper's methodology estimates each point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Iterable, Sequence
+
+from ..hls.estimator import estimate
+from .runner import (
+    DesignPoint,
+    DseResult,
+    KernelBuilder,
+    SourceBuilder,
+    check_acceptance,
+)
+from .space import ParameterSpace
+
+#: Attribute looked up on source builders for the memoization key.
+ACCEPTANCE_KEY_ATTR = "acceptance_key"
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Row produced per configuration: (accepted, rejection, report).
+_Row = tuple[bool, "str | None", Any]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Throughput accounting for one engine sweep."""
+
+    points: int
+    elapsed_s: float
+    workers: int
+    chunk_size: int
+    checker_runs: int                 # actual parse+typecheck invocations
+    memo_hits: int                    # points served from the memo table
+
+    @property
+    def points_per_sec(self) -> float:
+        return self.points / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "points": self.points,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "points_per_sec": round(self.points_per_sec, 2),
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "checker_runs": self.checker_runs,
+            "memo_hits": self.memo_hits,
+        }
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Worker count: explicit argument, else $REPRO_WORKERS, else #CPUs."""
+    if workers is not None:
+        return max(1, workers)
+    env = os.environ.get(WORKERS_ENV, "")
+    if env.strip():
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass                         # non-integer: fall through
+    return os.cpu_count() or 1
+
+
+def default_chunk_size(n_points: int, workers: int) -> int:
+    """Deterministic chunk size: ~8 chunks per worker, clamped.
+
+    Small enough for load balancing and progress granularity, large
+    enough to amortize per-task IPC.
+    """
+    if n_points <= 0:
+        return 1
+    target = -(-n_points // max(1, workers * 8))
+    return max(1, min(256, target))
+
+
+def _check_config(source_builder: SourceBuilder,
+                  config: dict[str, int]) -> tuple[bool, str | None]:
+    return check_acceptance(source_builder(config))
+
+
+def _evaluate_chunk(configs: Sequence[dict[str, int]],
+                    source_builder: SourceBuilder,
+                    kernel_builder: KernelBuilder,
+                    key_fn: Callable[[dict[str, int]], Any] | None,
+                    memo: dict[Any, tuple[bool, str | None]] | None,
+                    ) -> tuple[list[_Row], int, int]:
+    """Evaluate configurations in order; returns (rows, runs, hits).
+
+    The memo key is the builder's ``acceptance_key`` projection when
+    available (collapsing configurations that agree on the
+    acceptance-relevant parameters), else the SHA-1 of the generated
+    source — sound for any deterministic checker, but only collapsing
+    exact duplicates. The source is built at most once per point.
+    """
+    rows: list[_Row] = []
+    checker_runs = 0
+    memo_hits = 0
+    for config in configs:
+        if memo is None:
+            accepted, rejection = check_acceptance(source_builder(config))
+            checker_runs += 1
+        else:
+            source: str | None = None
+            if key_fn is not None:
+                key = key_fn(config)
+            else:
+                source = source_builder(config)
+                key = hashlib.sha1(source.encode()).digest()
+            cached = memo.get(key)
+            if cached is None:
+                if source is None:
+                    source = source_builder(config)
+                accepted, rejection = check_acceptance(source)
+                memo[key] = (accepted, rejection)
+                checker_runs += 1
+            else:
+                accepted, rejection = cached
+                memo_hits += 1
+        report = estimate(kernel_builder(config))
+        rows.append((accepted, rejection, report))
+    return rows, checker_runs, memo_hits
+
+
+# ---------------------------------------------------------------------------
+# Worker-process state (populated by the pool initializer).
+# ---------------------------------------------------------------------------
+
+_worker: dict[str, Any] = {}
+
+
+def _init_worker(source_builder: SourceBuilder,
+                 kernel_builder: KernelBuilder,
+                 memoize: bool,
+                 verdicts: dict[Any, tuple[bool, str | None]],
+                 ) -> None:
+    key_fn = getattr(source_builder, ACCEPTANCE_KEY_ATTR, None)
+    _worker["source_builder"] = source_builder
+    _worker["kernel_builder"] = kernel_builder
+    _worker["key_fn"] = key_fn
+    _worker["memo"] = dict(verdicts) if memoize else None
+
+
+def _run_chunk(task: tuple[int, Sequence[dict[str, int]]],
+               ) -> tuple[int, list[_Row], int, int]:
+    chunk_id, configs = task
+    rows, runs, hits = _evaluate_chunk(
+        configs, _worker["source_builder"], _worker["kernel_builder"],
+        _worker["key_fn"], _worker["memo"])
+    return chunk_id, rows, runs, hits
+
+
+def _pool_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:                               # pragma: no cover
+        return multiprocessing.get_context()
+
+
+def sweep(space: ParameterSpace | Iterable[dict[str, int]],
+          source_builder: SourceBuilder,
+          kernel_builder: KernelBuilder,
+          *,
+          workers: int | None = None,
+          chunk_size: int | None = None,
+          memoize: bool = True,
+          progress: Callable[[int], None] | None = None) -> DseResult:
+    """Run a full sweep through the high-throughput engine.
+
+    Drop-in replacement for :func:`repro.dse.explore` with identical
+    results: point order follows the space's enumeration order, and
+    every point carries the same acceptance flag, rejection kind, and
+    estimator report the sequential reference produces.
+
+    ``progress`` is called with the running point count after each
+    completed chunk and is guaranteed to observe the final total.
+    The result's ``stats`` field carries an :class:`EngineStats`.
+
+    Memoization scope: with a builder ``acceptance_key`` the parent
+    resolves verdicts once per unique key and shares them with every
+    worker. The SHA-1 source fallback dedups within each worker
+    process only — prefilling it would serialize source generation in
+    the parent — so duplicate sources may be re-checked once per
+    worker. The shipped generators all carry key projections.
+    """
+    configs = list(space)
+    n_workers = resolve_workers(workers)
+    size = (chunk_size if chunk_size and chunk_size > 0
+            else default_chunk_size(len(configs), n_workers))
+    chunks = [configs[i:i + size] for i in range(0, len(configs), size)]
+
+    started = time.perf_counter()
+    rows: list[_Row] = []
+    checker_runs = 0
+    memo_hits = 0
+
+    if n_workers <= 1 or len(chunks) <= 1:
+        # Inline path — same memoization, no pool overhead.
+        used_workers = 1
+        key_fn = getattr(source_builder, ACCEPTANCE_KEY_ATTR, None)
+        memo: dict[Any, tuple[bool, str | None]] | None = (
+            {} if memoize else None)
+        for chunk in chunks:
+            chunk_rows, runs, hits = _evaluate_chunk(
+                chunk, source_builder, kernel_builder, key_fn, memo)
+            rows.extend(chunk_rows)
+            checker_runs += runs
+            memo_hits += hits
+            if progress is not None:
+                progress(len(rows))
+        if progress is not None and not chunks:
+            progress(0)
+    else:
+        # Memo tables are per worker process, so without care each
+        # worker would re-check every key it sees. With a builder key
+        # projection the parent resolves all verdicts up front — one
+        # checker run per unique key, fanned across the pool — and
+        # prefills every worker's memo, keeping checker runs at the
+        # unique-key count for any worker count.
+        key_fn = getattr(source_builder, ACCEPTANCE_KEY_ATTR, None)
+        verdicts: dict[Any, tuple[bool, str | None]] = {}
+        if memoize and key_fn is not None:
+            reps: dict[Any, dict[str, int]] = {}
+            for config in configs:
+                reps.setdefault(key_fn(config), config)
+            outcomes = parallel_map(
+                partial(_check_config, source_builder),
+                reps.values(), workers=n_workers)
+            verdicts = dict(zip(reps.keys(), outcomes))
+        context = _pool_context()
+        used_workers = min(n_workers, len(chunks))
+        with context.Pool(
+                processes=used_workers,
+                initializer=_init_worker,
+                initargs=(source_builder, kernel_builder, memoize,
+                          verdicts),
+        ) as pool:
+            # imap preserves submission order, so chunk results arrive
+            # exactly in enumeration order regardless of scheduling.
+            for chunk_id, chunk_rows, runs, hits in pool.imap(
+                    _run_chunk, enumerate(chunks)):
+                assert chunk_id * size == len(rows), "chunk order broken"
+                rows.extend(chunk_rows)
+                checker_runs += runs
+                memo_hits += hits
+                if progress is not None:
+                    progress(len(rows))
+        # With a prefilled memo every point is a hit; fold the parent's
+        # per-key runs back in so the accounting matches the inline
+        # path (runs + hits == points).
+        checker_runs += len(verdicts)
+        memo_hits -= len(verdicts)
+
+    elapsed = time.perf_counter() - started
+    points = [DesignPoint(config=config, accepted=accepted,
+                          rejection=rejection, report=report)
+              for config, (accepted, rejection, report)
+              in zip(configs, rows)]
+    return DseResult(points=points, stats=EngineStats(
+        points=len(points), elapsed_s=elapsed, workers=used_workers,
+        chunk_size=size, checker_runs=checker_runs,
+        memo_hits=memo_hits))
+
+
+# ---------------------------------------------------------------------------
+# Generic ordered parallel map (used by the non-sweep benchmarks).
+# ---------------------------------------------------------------------------
+
+_map_state: dict[str, Any] = {}
+
+
+def _init_map_worker(function: Callable[[Any], Any]) -> None:
+    _map_state["function"] = function
+
+
+def _run_map_item(item: Any) -> Any:
+    return _map_state["function"](item)
+
+
+def parallel_map(function: Callable[[Any], Any],
+                 items: Iterable[Any],
+                 *,
+                 workers: int | None = None,
+                 chunk_size: int | None = None) -> list[Any]:
+    """Order-preserving parallel map over picklable items.
+
+    Falls back to an inline loop for a single worker (or a single
+    item), so results are identical regardless of the worker count.
+    """
+    materialized = list(items)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(materialized) <= 1:
+        return [function(item) for item in materialized]
+    size = (chunk_size if chunk_size and chunk_size > 0
+            else default_chunk_size(len(materialized), n_workers))
+    context = _pool_context()
+    with context.Pool(processes=min(n_workers, len(materialized)),
+                      initializer=_init_map_worker,
+                      initargs=(function,)) as pool:
+        return list(pool.imap(_run_map_item, materialized,
+                              chunksize=size))

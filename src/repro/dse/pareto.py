@@ -21,25 +21,46 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return bool(np.all(a_arr <= b_arr) and np.any(a_arr < b_arr))
 
 
+#: Rows per batch in the blocked skyline scan. Bounds the transient
+#: (block × frontier × objectives) comparison tensor.
+_BLOCK = 256
+
+
 def pareto_indices(points: Sequence[Sequence[float]]) -> list[int]:
-    """Indices of the non-dominated points (stable order)."""
+    """Indices of the non-dominated points (stable order).
+
+    Blocked vectorized skyline: points are scanned in lexicographic
+    order in batches; each batch is compared against the accumulated
+    frontier *and* against itself with one broadcast dominance tensor,
+    so no per-row Python loop survives. In lexicographic order a
+    dominator always sorts before its victim, and dominance is
+    transitive, so comparing a row against *all* earlier rows (kept or
+    not) yields the same frontier as the sequential scan.
+    """
     if not len(points):
         return []
     data = np.asarray(points, dtype=float)
     order = np.lexsort(data.T[::-1])      # sort by first objective, ties…
-    frontier: list[int] = []
-    frontier_rows: list[np.ndarray] = []
-    for index in order:
-        row = data[index]
-        dominated = False
-        for kept in frontier_rows:
-            if np.all(kept <= row) and np.any(kept < row):
-                dominated = True
-                break
-        if not dominated:
-            frontier.append(int(index))
-            frontier_rows.append(row)
-    return sorted(frontier)
+    ranked = data[order]
+    keep = np.zeros(len(ranked), dtype=bool)
+    frontier = np.empty((0, data.shape[1]), dtype=float)
+    for start in range(0, len(ranked), _BLOCK):
+        block = ranked[start:start + _BLOCK]            # (c, k)
+        dominated = np.zeros(len(block), dtype=bool)
+        if len(frontier):
+            against = frontier[None, :, :]              # (1, F, k)
+            dominated |= (
+                np.all(against <= block[:, None, :], axis=2)
+                & np.any(against < block[:, None, :], axis=2)
+            ).any(axis=1)
+        intra = block[None, :, :]                       # (1, c, k)
+        dominated |= (
+            np.all(intra <= block[:, None, :], axis=2)
+            & np.any(intra < block[:, None, :], axis=2)
+        ).any(axis=1)
+        keep[start:start + _BLOCK] = ~dominated
+        frontier = np.concatenate([frontier, block[~dominated]])
+    return sorted(int(i) for i in order[keep])
 
 
 def pareto_front(points: Sequence[Sequence[float]]) -> list[Sequence[float]]:

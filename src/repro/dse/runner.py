@@ -6,12 +6,19 @@ This is the paper's §5.2/§5.3 methodology end to end: acceptance
 decisions come from the type checker run on generated Dahlia source —
 not from a hand-derived predicate — so the reported acceptance
 fractions are properties of the implemented type system.
+
+``explore()`` is the sequential reference implementation. The
+high-throughput path (multiprocessing fan-out, acceptance memoization)
+lives in :mod:`repro.dse.engine` and is parity-tested against it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from functools import cached_property
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
 
 from ..errors import DahliaError
 from ..frontend.parser import parse
@@ -20,6 +27,9 @@ from ..hls.kernel import KernelSpec
 from ..types.checker import check_program
 from .pareto import pareto_indices
 from .space import ParameterSpace
+
+if TYPE_CHECKING:                        # circular at runtime
+    from .engine import EngineStats
 
 #: Builds Dahlia source for a configuration (or None to skip checking).
 SourceBuilder = Callable[[dict[str, int]], str]
@@ -41,13 +51,40 @@ class DesignPoint:
 
 @dataclass
 class DseResult:
+    """Sweep outcome with structure-of-arrays caches.
+
+    The filtered views (``accepted``), the objective matrix, and the
+    Pareto index sets are computed once and cached; the caches assume
+    ``points`` is not mutated after the first property access (both
+    ``explore()`` and the engine only construct fully-populated
+    results).
+    """
+
     points: list[DesignPoint] = field(default_factory=list)
+    stats: "EngineStats | None" = None   # set when engine-built
 
     @property
     def total(self) -> int:
         return len(self.points)
 
-    @property
+    @cached_property
+    def objective_matrix(self) -> np.ndarray:
+        """(n_points, n_objectives) float matrix — the Pareto hot path."""
+        if not self.points:
+            return np.empty((0, 5), dtype=float)
+        return np.array([p.report.objectives for p in self.points],
+                        dtype=float)
+
+    @cached_property
+    def accepted_mask(self) -> np.ndarray:
+        return np.array([p.accepted for p in self.points], dtype=bool)
+
+    @cached_property
+    def correct_mask(self) -> np.ndarray:
+        return np.array([not p.report.incorrect for p in self.points],
+                        dtype=bool)
+
+    @cached_property
     def accepted(self) -> list[DesignPoint]:
         return [p for p in self.points if p.accepted]
 
@@ -55,22 +92,39 @@ class DseResult:
     def acceptance_rate(self) -> float:
         return len(self.accepted) / self.total if self.points else 0.0
 
+    @cached_property
+    def _pareto_point_indices(self) -> list[int]:
+        """Indices (into ``points``) of the global Pareto frontier."""
+        correct = np.nonzero(self.correct_mask)[0]
+        local = pareto_indices(self.objective_matrix[correct])
+        return [int(correct[i]) for i in local]
+
     def pareto(self) -> list[DesignPoint]:
         """Pareto-optimal points over the whole space (5 objectives)."""
-        correct = [p for p in self.points if not p.report.incorrect]
-        indices = pareto_indices([p.objectives for p in correct])
-        return [correct[i] for i in indices]
+        return [self.points[i] for i in self._pareto_point_indices]
+
+    @cached_property
+    def _accepted_pareto_indices(self) -> list[int]:
+        accepted = np.nonzero(self.accepted_mask)[0]
+        local = pareto_indices(self.objective_matrix[accepted])
+        return [int(accepted[i]) for i in local]
 
     def accepted_pareto(self) -> list[DesignPoint]:
         """Pareto-optimal points within the Dahlia-accepted subset."""
-        accepted = self.accepted
-        indices = pareto_indices([p.objectives for p in accepted])
-        return [accepted[i] for i in indices]
+        return [self.points[i] for i in self._accepted_pareto_indices]
 
     def accepted_on_frontier(self) -> int:
         """How many accepted points are globally Pareto-optimal?"""
-        frontier = {id(p) for p in self.pareto()}
-        return sum(1 for p in self.accepted if id(p) in frontier)
+        frontier = set(self._pareto_point_indices)
+        return sum(1 for i in frontier if self.accepted_mask[i])
+
+    def rejection_counts(self) -> dict[str, int]:
+        """Rejection-kind histogram over the rejected points."""
+        counts: dict[str, int] = {}
+        for point in self.points:
+            if point.rejection:
+                counts[point.rejection] = counts.get(point.rejection, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 def check_acceptance(source: str) -> tuple[bool, str | None]:
@@ -81,19 +135,32 @@ def check_acceptance(source: str) -> tuple[bool, str | None]:
     return True, None
 
 
+def evaluate_point(config: dict[str, int],
+                   source_builder: SourceBuilder,
+                   kernel_builder: KernelBuilder) -> DesignPoint:
+    """Evaluate one configuration: typecheck + estimate."""
+    accepted, rejection = check_acceptance(source_builder(config))
+    report = estimate(kernel_builder(config))
+    return DesignPoint(config=config, accepted=accepted,
+                       rejection=rejection, report=report)
+
+
 def explore(space: ParameterSpace | Iterable[dict[str, int]],
             source_builder: SourceBuilder,
             kernel_builder: KernelBuilder,
             progress: Callable[[int], None] | None = None) -> DseResult:
-    """Run the full sweep. ``progress`` is called with the point count."""
-    result = DseResult()
+    """Run the full sweep sequentially (the reference implementation).
+
+    ``progress`` is called with the running point count every 1,000
+    points and once more at sweep end, so ``progress(total)`` is always
+    observed even for partial final chunks.
+    """
+    points: list[DesignPoint] = []
     for position, config in enumerate(space):
-        source = source_builder(config)
-        accepted, rejection = check_acceptance(source)
-        report = estimate(kernel_builder(config))
-        result.points.append(DesignPoint(
-            config=config, accepted=accepted, rejection=rejection,
-            report=report))
+        points.append(evaluate_point(config, source_builder,
+                                     kernel_builder))
         if progress is not None and (position + 1) % 1000 == 0:
             progress(position + 1)
-    return result
+    if progress is not None and (not points or len(points) % 1000 != 0):
+        progress(len(points))
+    return DseResult(points=points)

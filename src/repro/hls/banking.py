@@ -110,62 +110,96 @@ def analyze_access(kernel: KernelSpec, access: AccessSpec,
             crossbar=total_banks >= 4,
             dynamic=True)
 
+    # PEs from unroll dimensions the access does not mention produce
+    # identical traces — the hardware fans one port out to them (§3.1).
+    # Unmentioned loops contribute nothing to the index values, so one
+    # representative per mentioned-offset tuple carries the whole
+    # group's trace; the trace matrices are built over representatives
+    # only (often 8× fewer columns), with each representative's fan-out
+    # multiplicity kept for the write-pressure count below.
+    mentioned = [pos for pos, name in enumerate(loop_names)
+                 if any(index.coeff(name) for index in access.indices)]
+    if mentioned:
+        pe_key = np.zeros(n_pes, dtype=np.int64)
+        stride = 1
+        for pos in mentioned:
+            pe_key += offsets[:, pos] * stride
+            stride *= int(unrolls[pos])
+        _, rep_rows, rep_counts = np.unique(
+            pe_key, return_index=True, return_counts=True)
+    else:
+        rep_rows = np.zeros(1, dtype=np.int64)
+        rep_counts = np.array([n_pes], dtype=np.int64)
+    reps = offsets[rep_rows]
+    n_reps = len(reps)
+
     # index value per dim: const + Σ coeff·(unroll·q + r)
-    banks = np.zeros((n_samples, n_pes), dtype=np.int64)
-    addresses = np.zeros((n_samples, n_pes), dtype=np.int64)
+    banks = np.zeros((n_samples, n_reps), dtype=np.int64)
+    addresses = np.zeros((n_samples, n_reps), dtype=np.int64)
     bank_stride = 1
     addr_stride = 1
     for dim in range(len(array.dims) - 1, -1, -1):
         index = access.indices[dim]
         factor = array.partition[dim]
-        values = np.full((n_samples, n_pes), index.const, dtype=np.int64)
+        values = np.full((n_samples, n_reps), index.const, dtype=np.int64)
         for loop_pos, name in enumerate(loop_names):
             coeff = index.coeff(name)
             if coeff == 0:
                 continue
             seq = samples[:, loop_pos] * unrolls[loop_pos]   # (S,)
-            par = offsets[:, loop_pos]                       # (R,)
+            par = reps[:, loop_pos]                          # (R,)
             values += coeff * (seq[:, None] + par[None, :])
         banks += np.mod(values, factor) * bank_stride
         addresses += (values // factor) * addr_stride
         bank_stride *= factor
         addr_stride *= max(1, array.dims[dim] // factor)
 
-    # PEs from unroll dimensions the access does not mention produce
-    # identical traces — the hardware fans one port out to them (§3.1).
-    # Deduplicate them before the mux/regularity analysis.
-    signatures = np.concatenate([banks.T, addresses.T], axis=1)
-    _, keep = np.unique(signatures, axis=0, return_index=True)
-    distinct_pes = sorted(int(k) for k in keep)
-    banks_distinct = banks[:, distinct_pes]
+    # Distinct mentioned offsets can still collide on values (e.g. an
+    # i+j index), so deduplicate identical (bank, address) trace
+    # columns among the representatives before the mux analysis.
+    shifted = addresses - addresses.min()
+    addr_span = int(shifted.max()) + 1
+    combined = banks * addr_span + shifted           # injective fold
+    columns = np.ascontiguousarray(combined.T)
+    as_void = columns.view(
+        np.dtype((np.void, columns.dtype.itemsize * columns.shape[1])))
+    _, keep = np.unique(as_void.ravel(), return_index=True)
+    banks_distinct = banks[:, keep]
 
     # Mux degree: distinct banks each effective PE sees across time.
     # Regularity: the per-PE bank sets are pairwise disjoint (they
     # partition the banks) exactly when the unrolling "divides" the
     # banking — §2.1's unwritten rule. Disjointness ⟺ Σ|banks_pe| ==
-    # |∪ banks_pe|.
-    mux_degree = 1
-    per_pe_total = 0
-    for pe in range(banks_distinct.shape[1]):
-        seen = np.unique(banks_distinct[:, pe])
-        per_pe_total += len(seen)
-        mux_degree = max(mux_degree, len(seen))
+    # |∪ banks_pe|. Count distinct values per column in one batched
+    # sort+diff instead of a per-PE Python loop.
+    sorted_cols = np.sort(banks_distinct, axis=0)
+    distinct_per_pe = np.ones(sorted_cols.shape[1], dtype=np.int64)
+    if sorted_cols.shape[0] > 1:
+        distinct_per_pe += (np.diff(sorted_cols, axis=0) != 0).sum(axis=0)
+    mux_degree = max(1, int(distinct_per_pe.max(initial=1)))
+    per_pe_total = int(distinct_per_pe.sum())
     union_size = len(np.unique(banks_distinct))
     regular = per_pe_total == union_size
 
     # Port pressure: worst per-bank simultaneous load in one iteration.
-    pressure = 0
-    for s in range(n_samples):
-        row_banks = banks[s]
-        row_addrs = addresses[s]
-        if access.is_write:
-            _, counts = np.unique(row_banks, return_counts=True)
-        else:
-            # Identical (bank, address) pairs fan out — count once.
-            pairs = np.stack([row_banks, row_addrs], axis=1)
-            distinct = np.unique(pairs, axis=0)
-            _, counts = np.unique(distinct[:, 0], return_counts=True)
-        pressure = max(pressure, int(counts.max()))
+    # Fold (sample, bank[, address]) into flat integer keys so the whole
+    # matrix is grouped with batched counting instead of a Python loop
+    # over samples.
+    total_banks = bank_stride                 # banks ∈ [0, total_banks)
+    sample_ids = np.arange(n_samples, dtype=np.int64)[:, None]
+    bank_keys = sample_ids * total_banks + banks             # (S, R)
+    if access.is_write:
+        # Writes always count — every fanned-out copy of a
+        # representative hits its bank, so weight by multiplicity.
+        weights = np.broadcast_to(
+            rep_counts.astype(np.float64), bank_keys.shape)
+        counts = np.bincount(bank_keys.ravel(),
+                             weights=weights.ravel())
+    else:
+        # Identical (bank, address) pairs fan out — count once.
+        triples = np.unique(bank_keys * addr_span + shifted)
+        _, counts = np.unique(triples // addr_span, return_counts=True)
+    pressure = int(counts.max())
 
     return AccessProfile(
         access=access,

@@ -36,6 +36,39 @@ def _divides(a: int, b: int) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Acceptance-key projections
+#
+# The DSE engine (repro.dse.engine) memoizes type-checker verdicts. A
+# source builder may expose an ``acceptance_key(config)`` projection:
+# configurations with equal keys MUST generate sources on which the
+# checker reaches the same verdict (accepted / same rejection kind).
+#
+# The projections are hierarchical, mirroring the checker's decision
+# order:
+#
+# 1. Any banking factor that fails to divide its dimension is rejected
+#    at the declaration, before unrolling is ever considered — so all
+#    such configurations share one key per first-uneven array.
+# 2. Otherwise the verdict depends only on the unroll factors, which
+#    views the template instantiates (unroll divides banking), and the
+#    unroll/banking relations of the accesses that go *directly* to a
+#    banked memory.
+#
+# Every projection below was validated exhaustively against the real
+# checker over its full paper-size space when introduced (equal key ⟹
+# equal verdict over all 32,000 / 2,916 / 16,384 / 21,952 points,
+# collapsing them to 879 / 136 / 200 / 1,192 checker runs);
+# tests/test_dse_engine.py re-validates on sampled spaces so checker
+# drift is caught.
+# ---------------------------------------------------------------------------
+
+
+def _attach_key(builder, key_fn):
+    builder.acceptance_key = key_fn
+    return builder
+
+
+# ---------------------------------------------------------------------------
 # gemm-blocked (Fig. 7) — the Fig. 10 template
 # ---------------------------------------------------------------------------
 
@@ -99,6 +132,30 @@ for (let jj = 0..16) {{
   }}
 }}
 """
+
+
+def _gemm_blocked_acceptance_key(cfg: dict[str, int]) -> tuple:
+    b11, b12 = cfg["b11"], cfg["b12"]
+    b21, b22 = cfg["b21"], cfg["b22"]
+    u1, u2, u3 = cfg["u1"], cfg["u2"], cfg["u3"]
+    uneven = tuple(128 % b != 0 for b in (b11, b12, b21, b22))
+    if any(uneven):
+        return ("uneven", uneven.index(True))
+    m1_view = _divides(u1, b11) and _divides(u3, b12)
+    m2_view = _divides(u3, b11) and _divides(u2, b12)
+    prod_view = _divides(u1, b21) and _divides(u2, b22)
+    return (
+        "even", u1, u2, u3, m1_view, m2_view, prod_view,
+        # direct (non-view) accesses: only divisibility matters
+        None if m1_view and m2_view else (
+            _divides(u1, b11), _divides(u3, b12),
+            _divides(u3, b11), _divides(u2, b12)),
+        None if prod_view else (
+            _divides(u1, b21), _divides(u2, b22)),
+    )
+
+
+_attach_key(gemm_blocked_source, _gemm_blocked_acceptance_key)
 
 
 def gemm_blocked_kernel(cfg: dict[str, int]) -> KernelSpec:
@@ -175,6 +232,26 @@ for (let r = 0..{rows - 2}) {{
   }}
 }}
 """
+
+
+def _stencil2d_acceptance_key(cfg: dict[str, int]) -> tuple:
+    ob1, ob2 = cfg["ob1"], cfg["ob2"]
+    fb1, fb2 = cfg["fb1"], cfg["fb2"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    uneven = (_STENCIL_ROWS % ob1 != 0, _STENCIL_COLS % ob2 != 0,
+              3 % fb1 != 0, 3 % fb2 != 0)
+    if any(uneven):
+        return ("uneven", uneven.index(True))
+    # The shifted window and the filter are accessed directly with
+    # unrolled k1/k2; through the shift view only bank *equality*
+    # distinguishes verdicts (the window's dynamic base offset means a
+    # PE owns exactly one bank only when banks == unroll).
+    return ("even", u1, u2,
+            u1 == ob1, u2 == ob2,
+            u1 == fb1, u2 == fb1, u1 == fb2, u2 == fb2)
+
+
+_attach_key(stencil2d_source, _stencil2d_acceptance_key)
 
 
 def stencil2d_kernel(cfg: dict[str, int]) -> KernelSpec:
@@ -299,6 +376,23 @@ for (let i = 0..{n}) unroll {u1} {{
 """
 
 
+def _md_knn_acceptance_key(cfg: dict[str, int]) -> tuple:
+    bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    n, k = _MDKNN_POINTS, _MDKNN_NEIGHBOURS
+    uneven = (n % bp != 0, (n * k) % bn != 0,
+              n % bg != 0 or k % bg != 0, n % bf != 0)
+    if any(uneven):
+        return ("uneven", uneven.index(True))
+    return ("even", u1, u2,
+            _divides(u1, bp),
+            _divides(u1, bg), _divides(u2, bg),
+            _divides(u1, bf))
+
+
+_attach_key(md_knn_source, _md_knn_acceptance_key)
+
+
 def md_knn_kernel(cfg: dict[str, int]) -> KernelSpec:
     bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
     u1, u2 = cfg["u1"], cfg["u2"]
@@ -407,6 +501,31 @@ for (let cx = 0..{cells}) {{
   }}
 }}
 """
+
+
+def _md_grid_rel(u: int, b: int) -> tuple:
+    """Unroll-vs-bank relation of a direct banked access."""
+    return (_divides(u, b), _divides(b, u), u == b, b == 1)
+
+
+def _md_grid_acceptance_key(cfg: dict[str, int]) -> tuple:
+    b1, b2, b3 = cfg["b1"], cfg["b2"], cfg["b3"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    uneven = tuple(_GRID_POINTS % b != 0 for b in (b1, b2, b3))
+    if any(uneven):
+        return ("uneven", uneven.index(True))
+    views = tuple(
+        _divides(u1, bank) and _divides(u2, bank)
+        for bank in (b1, b2, b3))
+    force_view = _divides(u1, b1)
+    return ("even", u1, u2, views, force_view,
+            tuple(None if views[i] else (_md_grid_rel(u1, bank),
+                                         _md_grid_rel(u2, bank))
+                  for i, bank in enumerate((b1, b2, b3))),
+            None if force_view else _md_grid_rel(u1, b1))
+
+
+_attach_key(md_grid_source, _md_grid_acceptance_key)
 
 
 def md_grid_kernel(cfg: dict[str, int]) -> KernelSpec:

@@ -132,3 +132,43 @@ def test_pipeline_no_loops(tmp_path, capsys):
 
 def test_pipeline_rejects_ill_typed(bad_file, capsys):
     assert main(["pipeline", bad_file]) == 1
+
+
+def test_dse_json_summary(capsys):
+    assert main(["dse", "gemm-blocked", "--sample", "120",
+                 "--workers", "1", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["points"] == 120
+    assert summary["accepted"] >= 0
+    assert summary["engine"]["checker_runs"] \
+        + summary["engine"]["memo_hits"] == 120
+    assert set(summary["rejection_kinds"]) <= {
+        "banking", "insufficient-banks", "type", "unroll"}
+
+
+def test_dse_human_summary(capsys):
+    assert main(["dse", "stencil2d", "--sample", "60",
+                 "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "accepted" in out
+    assert "points/sec" in out
+
+
+def test_dse_unknown_space(capsys):
+    with pytest.raises(SystemExit):
+        main(["dse", "nope", "--json"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_dse_families_all_resolve():
+    from repro.cli import DSE_FAMILIES
+    from repro.suite import generators
+
+    for names in DSE_FAMILIES.values():
+        for name in names:
+            assert callable(getattr(generators, name))
+
+
+def test_dse_negative_sample(capsys):
+    assert main(["dse", "gemm-blocked", "--sample", "-5"]) == 1
+    assert "--sample must be >= 0" in capsys.readouterr().err
