@@ -1,0 +1,172 @@
+"""Record compiler-service latency and throughput into BENCH_service.json.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--sources N]
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+Two measurement levels:
+
+* **pipeline** — direct :class:`CompilerPipeline` calls: the cold path
+  (first ``estimate_payload`` for a source: parse → check → extract →
+  estimate) vs the warm path (same request again, served entirely from
+  the content-addressed artifact cache). The warm path is required to
+  be **≥ 10× faster** — this script asserts it.
+* **server** — the same requests through the asyncio HTTP server
+  (loopback), plus a sequential request storm for requests/sec and the
+  cache hit rate from ``/metrics``.
+
+``--smoke`` runs a fast subset (used by CI as the server smoke test)
+and does not append to the trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from pathlib import Path
+
+from repro.service import (
+    BackgroundServer,
+    CompilerPipeline,
+    DahliaService,
+    ServiceClient,
+)
+from repro.suite.generators import gemm_blocked_source, gemm_blocked_space
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The warm artifact-cache path must beat the cold path by this factor.
+REQUIRED_WARM_SPEEDUP = 10.0
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def make_sources(count: int) -> list[str]:
+    """Realistic request bodies: gemm-blocked DSE sources."""
+    configs = list(gemm_blocked_space().sample(count))
+    return [gemm_blocked_source(config) for config in configs]
+
+
+def _median_ms(samples: list[float]) -> float:
+    return round(statistics.median(samples) * 1000.0, 4)
+
+
+def measure_pipeline(sources: list[str], warm_rounds: int = 3) -> dict:
+    pipeline = CompilerPipeline(capacity=4096)
+    cold: list[float] = []
+    for source in sources:
+        started = time.perf_counter()
+        pipeline.run("estimate_payload", source)
+        cold.append(time.perf_counter() - started)
+    warm: list[float] = []
+    for _ in range(warm_rounds):
+        for source in sources:
+            started = time.perf_counter()
+            pipeline.run("estimate_payload", source)
+            warm.append(time.perf_counter() - started)
+    cold_ms, warm_ms = _median_ms(cold), _median_ms(warm)
+    return {
+        "path": "pipeline",
+        "sources": len(sources),
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "speedup": round(cold_ms / warm_ms, 1) if warm_ms else float("inf"),
+    }
+
+
+def measure_server(sources: list[str], warm_rounds: int = 3) -> dict:
+    with BackgroundServer(DahliaService(capacity=4096)) as server:
+        client = ServiceClient(port=server.port)
+        assert client.health()["ok"]
+
+        cold: list[float] = []
+        for source in sources:
+            started = time.perf_counter()
+            payload = client.estimate(source)
+            cold.append(time.perf_counter() - started)
+            assert "report" in payload or not payload["ok"]
+        warm: list[float] = []
+        storm_started = time.perf_counter()
+        for _ in range(warm_rounds):
+            for source in sources:
+                started = time.perf_counter()
+                client.estimate(source)
+                warm.append(time.perf_counter() - started)
+        storm_elapsed = time.perf_counter() - storm_started
+
+        metrics = client.metrics()
+        cold_ms, warm_ms = _median_ms(cold), _median_ms(warm)
+        return {
+            "path": "server",
+            "sources": len(sources),
+            "cold_ms": cold_ms,
+            "warm_ms": warm_ms,
+            "speedup": (round(cold_ms / warm_ms, 1) if warm_ms
+                        else float("inf")),
+            "requests": len(cold) + len(warm),
+            "requests_per_sec": round(len(warm) / storm_elapsed, 1),
+            "cache_hit_rate": metrics["cache"]["hit_rate"],
+        }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sources", type=int, default=40,
+                        help="distinct request bodies to measure over")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset; skips the trajectory file")
+    args = parser.parse_args()
+
+    count = 6 if args.smoke else max(2, args.sources)
+    sources = make_sources(count)
+
+    pipeline_run = measure_pipeline(sources)
+    server_run = measure_server(sources)
+    runs = [pipeline_run, server_run]
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "smoke": args.smoke,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "runs": runs,
+    }
+    print(json.dumps(record, indent=2))
+
+    assert pipeline_run["speedup"] >= REQUIRED_WARM_SPEEDUP, (
+        f"warm artifact-cache path must be ≥{REQUIRED_WARM_SPEEDUP}× "
+        f"faster than cold, measured {pipeline_run['speedup']}×")
+    print(f"\nwarm/cold: pipeline {pipeline_run['speedup']}× "
+          f"(required ≥{REQUIRED_WARM_SPEEDUP}×), "
+          f"server {server_run['speedup']}×; "
+          f"warm server throughput {server_run['requests_per_sec']} "
+          f"req/s at hit rate {server_run['cache_hit_rate']}")
+
+    if not args.smoke:
+        history = []
+        if BENCH_PATH.exists():
+            history = json.loads(BENCH_PATH.read_text())
+        history.append(record)
+        BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"appended to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,14 +12,23 @@ Subcommands mirror the stages of Figure 1:
   netlist/cycle report with ``--report``;
 * ``pipeline`` — per-loop initiation-interval report (§6);
 * ``dse``      — run a §5.2/§5.3 design-space sweep through the
-  high-throughput engine (parallel workers + acceptance memoization).
+  high-throughput engine (parallel workers + acceptance memoization);
+* ``serve``    — start the compiler service (asyncio JSON-over-HTTP
+  with a content-addressed artifact cache).
+
+File-taking subcommands accept ``--json`` for machine-readable JSON
+diagnostics on stderr, and ``check``/``compile``/``run``/``estimate``/
+``dse`` accept ``--server HOST:PORT`` to dispatch to a running service
+instead of compiling locally (output is identical either way).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
+from typing import Callable
 
 from .backend.hls_cpp import EmitterOptions, compile_program
 from .errors import DahliaError
@@ -28,6 +37,7 @@ from .hls.estimator import estimate
 from .hls.extract import extract_kernel
 from .interp.interpreter import interpret_program
 from .source import SourceFile
+from .suite.generators import DSE_FAMILIES
 from .types.checker import check_program
 
 
@@ -37,76 +47,180 @@ def _load(path: str) -> tuple[str, SourceFile]:
     return text, SourceFile(text, path)
 
 
-def _diagnose(error: DahliaError, source: SourceFile) -> None:
+def _diagnose(error: DahliaError, source: SourceFile,
+              as_json: bool = False) -> None:
+    from .util.diagnostics import diagnostic_payload
+
+    if as_json:
+        print(json.dumps(diagnostic_payload(error, source), indent=2),
+              file=sys.stderr)
+        return
     print(f"error: {error}", file=sys.stderr)
     snippet = source.render_span(error.span)
     if snippet:
         print(snippet, file=sys.stderr)
 
 
-def cmd_check(args: argparse.Namespace) -> int:
-    text, source = _load(args.file)
+def _remote_diagnose(payload: dict, as_json: bool) -> int:
+    """Render a service ``{"ok": false}`` payload like a local error."""
+    from .util.diagnostics import render_diagnostic
+
+    diagnostic = payload.get("diagnostic") or {}
+    if as_json:
+        print(json.dumps(diagnostic, indent=2), file=sys.stderr)
+    else:
+        print(render_diagnostic(diagnostic), file=sys.stderr)
+    return 1
+
+
+def source_command(remote: Callable[[argparse.Namespace, "object", str],
+                                    int] | None = None):
+    """Wrap a ``worker(args, text, source)`` with the shared boilerplate.
+
+    Loads the file, renders :class:`DahliaError` diagnostics (text or
+    ``--json``), and — when the subcommand supports it and ``--server``
+    is given — dispatches to a running service via ``remote(args,
+    client, text)`` instead of running the local worker.
+    """
+    def wrap(worker: Callable[[argparse.Namespace, str, SourceFile], int]):
+        @functools.wraps(worker)
+        def runner(args: argparse.Namespace) -> int:
+            text, source = _load(args.file)
+            as_json = bool(getattr(args, "json", False))
+            if remote is not None and getattr(args, "server", None):
+                return _run_remote(args, text, remote)
+            try:
+                return worker(args, text, source)
+            except DahliaError as error:
+                _diagnose(error, source, as_json)
+                return 1
+        return runner
+    return wrap
+
+
+def _run_remote(args: argparse.Namespace, text: str,
+                remote: Callable) -> int:
+    from .service.client import ServiceClient, ServiceError
+
     try:
-        report = check_program(parse(text, args.file))
-    except DahliaError as error:
-        _diagnose(error, source)
+        client = ServiceClient.from_address(args.server)
+        return remote(args, client, text)
+    except (ServiceError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
-    print(f"{args.file}: OK ({len(report.memories)} memories, "
-          f"max replication {report.max_replication})")
-    return 0
 
 
-def cmd_compile(args: argparse.Namespace) -> int:
-    text, source = _load(args.file)
-    try:
-        program = parse(text, args.file)
-        check_program(program)
-        options = EmitterOptions(erase=args.erase,
-                                 kernel_name=args.kernel_name)
-        print(compile_program(program, options), end="")
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
-    return 0
-
-
-def cmd_run(args: argparse.Namespace) -> int:
-    text, source = _load(args.file)
-    try:
-        result = interpret_program(parse(text, args.file),
-                                   check=not args.no_check)
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
-    for name, array in result.memories.items():
-        flat = array.ravel().tolist()
+def _print_memories(memories: dict[str, list]) -> None:
+    for name, flat in memories.items():
         preview = flat if len(flat) <= 16 else flat[:16] + ["…"]
         print(f"{name} = {preview}")
+
+
+# ---------------------------------------------------------------------------
+# check
+# ---------------------------------------------------------------------------
+
+def _check_ok_line(file: str, memories: int, max_replication: int) -> str:
+    return (f"{file}: OK ({memories} memories, "
+            f"max replication {max_replication})")
+
+
+def _remote_check(args: argparse.Namespace, client, text: str) -> int:
+    payload = client.check(text)
+    if not payload["ok"]:
+        return _remote_diagnose(payload, args.json)
+    print(_check_ok_line(args.file, payload["memories"],
+                         payload["max_replication"]))
     return 0
 
 
-def cmd_estimate(args: argparse.Namespace) -> int:
-    text, source = _load(args.file)
-    try:
-        program = parse(text, args.file)
-        check_program(program)
-        kernel = extract_kernel(program, name=args.file)
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
-    report = estimate(kernel)
-    print(json.dumps({
-        "latency_cycles": report.latency_cycles,
-        "runtime_ms": round(report.runtime_ms, 3),
-        "luts": report.luts,
-        "ffs": report.ffs,
-        "brams": report.brams,
-        "dsps": report.dsps,
-        "ii": report.ii,
-        "predictable": report.predictable,
-    }, indent=2))
+@source_command(remote=_remote_check)
+def cmd_check(args: argparse.Namespace, text: str,
+              source: SourceFile) -> int:
+    report = check_program(parse(text, args.file))
+    print(_check_ok_line(args.file, len(report.memories),
+                         report.max_replication))
     return 0
 
+
+# ---------------------------------------------------------------------------
+# compile
+# ---------------------------------------------------------------------------
+
+def _remote_compile(args: argparse.Namespace, client, text: str) -> int:
+    payload = client.compile(text, erase=args.erase,
+                             kernel_name=args.kernel_name)
+    if not payload["ok"]:
+        return _remote_diagnose(payload, args.json)
+    print(payload["cpp"], end="")
+    return 0
+
+
+@source_command(remote=_remote_compile)
+def cmd_compile(args: argparse.Namespace, text: str,
+                source: SourceFile) -> int:
+    program = parse(text, args.file)
+    check_program(program)
+    options = EmitterOptions(erase=args.erase,
+                             kernel_name=args.kernel_name)
+    print(compile_program(program, options), end="")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+def _remote_run(args: argparse.Namespace, client, text: str) -> int:
+    payload = client.interp(text, check=not args.no_check)
+    if not payload["ok"]:
+        return _remote_diagnose(payload, args.json)
+    _print_memories(payload["memories"])
+    return 0
+
+
+@source_command(remote=_remote_run)
+def cmd_run(args: argparse.Namespace, text: str,
+            source: SourceFile) -> int:
+    from .service.pipeline import interp_memory_fields
+
+    result = interpret_program(parse(text, args.file),
+                               check=not args.no_check)
+    _print_memories(interp_memory_fields(result))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# estimate
+# ---------------------------------------------------------------------------
+
+def _remote_estimate(args: argparse.Namespace, client, text: str) -> int:
+    payload = client.estimate(text)
+    if not payload["ok"]:
+        return _remote_diagnose(payload, args.json)
+    print(json.dumps(payload["report"], indent=2))
+    return 0
+
+
+@source_command(remote=_remote_estimate)
+def cmd_estimate(args: argparse.Namespace, text: str,
+                 source: SourceFile) -> int:
+    from .service.pipeline import estimate_report_fields
+
+    program = parse(text, args.file)
+    check_program(program)
+    # Deliberately not named after the file: the kernel name seeds the
+    # estimator's deterministic noise, and estimates must be a pure
+    # function of source *content* so they agree with the service's
+    # content-addressed cache.
+    kernel = extract_kernel(program)
+    print(json.dumps(estimate_report_fields(estimate(kernel)), indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# local-only subcommands
+# ---------------------------------------------------------------------------
 
 def cmd_bench(args: argparse.Namespace) -> int:
     del args
@@ -117,28 +231,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fmt(args: argparse.Namespace) -> int:
+@source_command()
+def cmd_fmt(args: argparse.Namespace, text: str,
+            source: SourceFile) -> int:
     from .frontend.pretty import pretty_program
 
-    text, source = _load(args.file)
-    try:
-        print(pretty_program(parse(text, args.file)), end="")
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
+    print(pretty_program(parse(text, args.file)), end="")
     return 0
 
 
-def cmd_analyze(args: argparse.Namespace) -> int:
+@source_command()
+def cmd_analyze(args: argparse.Namespace, text: str,
+                source: SourceFile) -> int:
     from .analysis import classify_locals, count_logical_steps
 
-    text, source = _load(args.file)
-    try:
-        program = parse(text, args.file)
-        check_program(program)
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
+    program = parse(text, args.file)
+    check_program(program)
     report = classify_locals(program)
     print(f"logical time steps: {count_logical_steps(program.body)}")
     print(f"registers ({len(report.registers)}): "
@@ -148,31 +256,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_desugar(args: argparse.Namespace) -> int:
+@source_command()
+def cmd_desugar(args: argparse.Namespace, text: str,
+                source: SourceFile) -> int:
     from .filament.desugar import desugar
     from .filament.pretty import pretty_filament
 
-    text, source = _load(args.file)
-    try:
-        program = parse(text, args.file)
-        check_program(program)
-        print(pretty_filament(desugar(program)), end="")
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
+    program = parse(text, args.file)
+    check_program(program)
+    print(pretty_filament(desugar(program)), end="")
     return 0
 
 
-def cmd_rtl(args: argparse.Namespace) -> int:
+@source_command()
+def cmd_rtl(args: argparse.Namespace, text: str,
+            source: SourceFile) -> int:
     from .rtl import analyze, emit_verilog, lower_program, simulate
 
-    text, source = _load(args.file)
-    try:
-        program = parse(text, args.file)
-        module = lower_program(program, name=args.module_name)
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
+    program = parse(text, args.file)
+    module = lower_program(program, name=args.module_name)
     if args.report:
         report = analyze(module)
         result = simulate(module)
@@ -194,15 +296,12 @@ def cmd_rtl(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_pipeline(args: argparse.Namespace) -> int:
+@source_command()
+def cmd_pipeline(args: argparse.Namespace, text: str,
+                 source: SourceFile) -> int:
     from .analysis import analyze_pipelines
 
-    text, source = _load(args.file)
-    try:
-        reports = analyze_pipelines(parse(text, args.file))
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
+    reports = analyze_pipelines(parse(text, args.file))
     if not reports:
         print("no innermost loops to pipeline")
         return 0
@@ -218,46 +317,64 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fuse(args: argparse.Namespace) -> int:
+@source_command()
+def cmd_fuse(args: argparse.Namespace, text: str,
+             source: SourceFile) -> int:
     from .analysis.stepfusion import fuse_source
 
-    text, source = _load(args.file)
-    try:
-        fused, before, after = fuse_source(text)
-    except DahliaError as error:
-        _diagnose(error, source)
-        return 1
+    fused, before, after = fuse_source(text)
     print(f"// logical steps: {before} -> {after}")
     print(fused, end="")
     return 0
 
 
-#: DSE families the ``dse`` subcommand can sweep: family name → the
-#: (space, source, kernel) builder names in ``repro.suite.generators``,
-#: resolved lazily in cmd_dse. Also the argparse ``choices`` source.
-DSE_FAMILIES = {
-    "gemm-blocked": ("gemm_blocked_space", "gemm_blocked_source",
-                     "gemm_blocked_kernel"),
-    "md-grid": ("md_grid_space", "md_grid_source", "md_grid_kernel"),
-    "md-knn": ("md_knn_space", "md_knn_source", "md_knn_kernel"),
-    "stencil2d": ("stencil2d_space", "stencil2d_source",
-                  "stencil2d_kernel"),
-}
+# ---------------------------------------------------------------------------
+# dse
+# ---------------------------------------------------------------------------
+
+def _print_dse_summary(summary: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(summary, indent=2))
+        return
+    print(f"{summary['space']}: {summary['accepted']} / "
+          f"{summary['points']} accepted "
+          f"({summary['acceptance_rate']:.2%})")
+    print(f"global Pareto {summary['global_pareto']}, accepted "
+          f"Pareto {summary['accepted_pareto']}, accepted on "
+          f"frontier {summary['accepted_on_frontier']}")
+    engine = summary.get("engine")
+    if engine is not None:
+        print(f"engine: {engine['points_per_sec']:.1f} points/sec "
+              f"({engine['workers']} workers, "
+              f"{engine['checker_runs']} checker runs, "
+              f"{engine['memo_hits']} memo hits)")
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
-    from .dse import sweep
-    from .suite import generators
-
-    space_fn, source_fn, kernel_fn = (
-        getattr(generators, name) for name in DSE_FAMILIES[args.space])
     if args.sample < 0:
         print("--sample must be >= 0 (0 sweeps the full space)",
               file=sys.stderr)
         return 1
-    space = space_fn()
-    configs = (list(space.sample(args.sample))
-               if args.sample and args.sample < space.size else space)
+
+    if getattr(args, "server", None):
+        from .service.client import ServiceClient, ServiceError
+
+        try:
+            # Full-space sweeps run for minutes server-side; the
+            # default 60 s socket timeout would abandon them mid-run.
+            client = ServiceClient.from_address(args.server,
+                                                timeout=3600.0)
+            payload = client.dse(args.space, sample=args.sample,
+                                 workers=args.workers,
+                                 memoize=not args.no_memoize)
+        except (ServiceError, ValueError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        summary = {k: v for k, v in payload.items() if k != "ok"}
+        _print_dse_summary(summary, args.json)
+        return 0
+
+    from .service.pipeline import dse_summary
 
     # The carriage-return spinner only makes sense on an interactive
     # terminal; piped/redirected stderr would accumulate control lines.
@@ -266,37 +383,25 @@ def cmd_dse(args: argparse.Namespace) -> int:
     def progress(done: int) -> None:
         print(f"\r{done} points…", end="", file=sys.stderr, flush=True)
 
-    result = sweep(configs, source_fn, kernel_fn,
-                   workers=args.workers, memoize=not args.no_memoize,
-                   progress=progress if spin else None)
+    summary = dse_summary(args.space, sample=args.sample,
+                          workers=args.workers,
+                          memoize=not args.no_memoize,
+                          progress=progress if spin else None)
     if spin:
         print(file=sys.stderr)
-    stats = result.stats
-    summary = {
-        "space": args.space,
-        "points": result.total,
-        "accepted": len(result.accepted),
-        "acceptance_rate": round(result.acceptance_rate, 4),
-        "rejection_kinds": result.rejection_counts(),
-        "global_pareto": len(result.pareto()),
-        "accepted_pareto": len(result.accepted_pareto()),
-        "accepted_on_frontier": result.accepted_on_frontier(),
-        "engine": stats.as_dict() if stats is not None else None,
-    }
-    if args.json:
-        print(json.dumps(summary, indent=2))
-    else:
-        print(f"{args.space}: {summary['accepted']} / "
-              f"{summary['points']} accepted "
-              f"({result.acceptance_rate:.2%})")
-        print(f"global Pareto {summary['global_pareto']}, accepted "
-              f"Pareto {summary['accepted_pareto']}, accepted on "
-              f"frontier {summary['accepted_on_frontier']}")
-        if stats is not None:
-            print(f"engine: {stats.points_per_sec:.1f} points/sec "
-                  f"({stats.workers} workers, "
-                  f"{stats.checker_runs} checker runs, "
-                  f"{stats.memo_hits} memo hits)")
+    _print_dse_summary(summary, args.json)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    serve(host=args.host, port=args.port, capacity=args.capacity,
+          max_inflight=args.max_inflight, dse_workers=args.dse_workers)
     return 0
 
 
@@ -306,54 +411,64 @@ def main(argv: list[str] | None = None) -> int:
         description="Dahlia (PLDI 2020) reproduction toolchain")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="type-check a Dahlia program")
-    check.add_argument("file")
+    # Shared flags: every file-taking subcommand gets --json
+    # diagnostics; the service-capable ones also get --server.
+    diagnosable = argparse.ArgumentParser(add_help=False)
+    diagnosable.add_argument("file")
+    diagnosable.add_argument("--json", action="store_true",
+                             help="machine-readable JSON diagnostics "
+                                  "on stderr")
+    servable = argparse.ArgumentParser(add_help=False)
+    servable.add_argument("--server", metavar="HOST:PORT",
+                          help="dispatch to a running dahlia-py service")
+
+    check = sub.add_parser("check", parents=[diagnosable, servable],
+                           help="type-check a Dahlia program")
     check.set_defaults(func=cmd_check)
 
-    compile_ = sub.add_parser("compile", help="emit Vivado HLS C++")
-    compile_.add_argument("file")
+    compile_ = sub.add_parser("compile", parents=[diagnosable, servable],
+                              help="emit Vivado HLS C++")
     compile_.add_argument("--erase", action="store_true",
                           help="plain C++ without pragmas (Fig. 1 erasure)")
     compile_.add_argument("--kernel-name", default="kernel")
     compile_.set_defaults(func=cmd_compile)
 
-    run = sub.add_parser("run", help="interpret a Dahlia program")
-    run.add_argument("file")
+    run = sub.add_parser("run", parents=[diagnosable, servable],
+                         help="interpret a Dahlia program")
     run.add_argument("--no-check", action="store_true",
                      help="skip the type checker (checked semantics still "
                           "catches conflicts at runtime)")
     run.set_defaults(func=cmd_run)
 
-    estimate_ = sub.add_parser("estimate",
+    estimate_ = sub.add_parser("estimate", parents=[diagnosable, servable],
                                help="run the HLS estimator on a program")
-    estimate_.add_argument("file")
     estimate_.set_defaults(func=cmd_estimate)
 
     bench = sub.add_parser("bench", help="list MachSuite ports")
     bench.set_defaults(func=cmd_bench)
 
-    fmt = sub.add_parser("fmt", help="pretty-print a program")
-    fmt.add_argument("file")
+    fmt = sub.add_parser("fmt", parents=[diagnosable],
+                         help="pretty-print a program")
     fmt.set_defaults(func=cmd_fmt)
 
     analyze = sub.add_parser(
-        "analyze", help="wires-vs-registers and time-step report (§3.2)")
-    analyze.add_argument("file")
+        "analyze", parents=[diagnosable],
+        help="wires-vs-registers and time-step report (§3.2)")
     analyze.set_defaults(func=cmd_analyze)
 
     fuse = sub.add_parser(
-        "fuse", help="merge unneeded logical time steps (§3.2)")
-    fuse.add_argument("file")
+        "fuse", parents=[diagnosable],
+        help="merge unneeded logical time steps (§3.2)")
     fuse.set_defaults(func=cmd_fuse)
 
     desugar_ = sub.add_parser(
-        "desugar", help="show the Filament core program (§4.5)")
-    desugar_.add_argument("file")
+        "desugar", parents=[diagnosable],
+        help="show the Filament core program (§4.5)")
     desugar_.set_defaults(func=cmd_desugar)
 
     rtl = sub.add_parser(
-        "rtl", help="emit Verilog via the direct RTL backend (§6)")
-    rtl.add_argument("file")
+        "rtl", parents=[diagnosable],
+        help="emit Verilog via the direct RTL backend (§6)")
     rtl.add_argument("--module-name", default="main")
     rtl.add_argument("--report", action="store_true",
                      help="print netlist statistics and simulated cycle "
@@ -361,12 +476,13 @@ def main(argv: list[str] | None = None) -> int:
     rtl.set_defaults(func=cmd_rtl)
 
     pipeline = sub.add_parser(
-        "pipeline", help="initiation-interval report per loop (§6)")
-    pipeline.add_argument("file")
+        "pipeline", parents=[diagnosable],
+        help="initiation-interval report per loop (§6)")
     pipeline.set_defaults(func=cmd_pipeline)
 
     dse = sub.add_parser(
-        "dse", help="design-space sweep via the high-throughput engine")
+        "dse", parents=[servable],
+        help="design-space sweep via the high-throughput engine")
     dse.add_argument("space", choices=tuple(DSE_FAMILIES),
                      help="design-space family to sweep")
     dse.add_argument("--sample", type=int, default=500,
@@ -379,6 +495,18 @@ def main(argv: list[str] | None = None) -> int:
     dse.add_argument("--json", action="store_true",
                      help="print a JSON summary")
     dse.set_defaults(func=cmd_dse)
+
+    serve = sub.add_parser(
+        "serve", help="start the compiler service (JSON over HTTP)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--capacity", type=int, default=512,
+                       help="artifact-cache capacity (stage results)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="bound on concurrently served requests")
+    serve.add_argument("--dse-workers", type=int, default=1,
+                       help="default worker count for /dse sweeps")
+    serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

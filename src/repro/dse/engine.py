@@ -35,7 +35,6 @@ every parameter, and the paper's methodology estimates each point.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from dataclasses import dataclass
@@ -43,6 +42,7 @@ from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
 from ..hls.estimator import estimate
+from ..util.hashing import source_digest
 from .runner import (
     DesignPoint,
     DseResult,
@@ -129,9 +129,10 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
 
     The memo key is the builder's ``acceptance_key`` projection when
     available (collapsing configurations that agree on the
-    acceptance-relevant parameters), else the SHA-1 of the generated
-    source — sound for any deterministic checker, but only collapsing
-    exact duplicates. The source is built at most once per point.
+    acceptance-relevant parameters), else the content digest of the
+    generated source (:func:`repro.util.hashing.source_digest`) — sound
+    for any deterministic checker, but only collapsing exact
+    duplicates. The source is built at most once per point.
     """
     rows: list[_Row] = []
     checker_runs = 0
@@ -146,7 +147,7 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
                 key = key_fn(config)
             else:
                 source = source_builder(config)
-                key = hashlib.sha1(source.encode()).digest()
+                key = source_digest(source)
             cached = memo.get(key)
             if cached is None:
                 if source is None:
@@ -220,7 +221,7 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
 
     Memoization scope: with a builder ``acceptance_key`` the parent
     resolves verdicts once per unique key and shares them with every
-    worker. The SHA-1 source fallback dedups within each worker
+    worker. The source-digest fallback dedups within each worker
     process only — prefilling it would serialize source generation in
     the parent — so duplicate sources may be re-checked once per
     worker. The shipped generators all carry key projections.

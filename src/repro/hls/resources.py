@@ -28,9 +28,9 @@ fingerprint, so every run of the harness reproduces identical numbers.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
+from ..util.hashing import jitter
 from .banking import ArrayProfile
 from .kernel import KernelSpec
 from .scheduling import Schedule, port_interval
@@ -80,9 +80,7 @@ class Resources:
 
 def _noise(key: str, scale: float) -> float:
     """Deterministic multiplicative jitter in [1-scale, 1+scale]."""
-    digest = hashlib.sha256(key.encode()).digest()
-    unit = int.from_bytes(digest[:8], "big") / 2**64    # [0, 1)
-    return 1.0 + scale * (2.0 * unit - 1.0)
+    return jitter(key, scale)
 
 
 def estimate_resources(kernel: KernelSpec,

@@ -1,0 +1,39 @@
+"""Compiler-as-a-service subsystem.
+
+Three layers, bottom up:
+
+* :mod:`repro.service.artifacts` — a content-addressed, LRU-bounded
+  artifact store memoizing stage results across requests;
+* :mod:`repro.service.pipeline`  — the Figure-1 compilation flow as
+  declarative stages with dependency-aware invalidation;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only asyncio JSON-over-HTTP server (``dahlia-py serve``) and
+  its client (used by the ``--server`` CLI mode).
+"""
+
+from .artifacts import ArtifactKey, ArtifactStore, artifact_key
+from .client import ServiceClient, ServiceError
+from .pipeline import CompilerPipeline, dse_summary, relevant_options
+from .server import (
+    BackgroundServer,
+    DahliaService,
+    ServiceServer,
+    encode_payload,
+    serve,
+)
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "BackgroundServer",
+    "CompilerPipeline",
+    "DahliaService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "artifact_key",
+    "dse_summary",
+    "encode_payload",
+    "relevant_options",
+    "serve",
+]

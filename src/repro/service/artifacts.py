@@ -1,0 +1,153 @@
+"""Content-addressed artifact store.
+
+Every pipeline stage result — parsed AST, checker report, estimator
+report, emitted C++, interpreter memories — is memoized under an
+:class:`ArtifactKey`: the stage name plus a SHA-256 fingerprint of the
+source text and the options that stage (transitively) consumes. The
+same source text therefore maps to the same artifacts across requests,
+which is what makes the service's warm path orders of magnitude faster
+than a cold compile.
+
+The store is a bounded LRU: hits refresh recency, inserts beyond
+``capacity`` evict the least recently used artifact. All operations
+are thread-safe — the server executes requests on a thread pool — and
+per-stage hit/miss counters feed the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..util.hashing import content_key, options_fingerprint
+
+#: Sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one stage result: ``(stage, content fingerprint)``."""
+
+    stage: str
+    digest: str
+
+    def __str__(self) -> str:
+        return f"{self.stage}:{self.digest[:12]}"
+
+
+def artifact_key(stage: str, source: str,
+                 options: Mapping[str, Any] | None = None) -> ArtifactKey:
+    """Key a stage result by source content and canonicalized options."""
+    return ArtifactKey(stage, content_key(
+        stage, source, options_fingerprint(options)))
+
+
+@dataclass
+class StageCounters:
+    hits: int = 0
+    misses: int = 0
+
+
+class ArtifactStore:
+    """Bounded, thread-safe, content-addressed LRU artifact cache."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[ArtifactKey, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._by_stage: dict[str, StageCounters] = {}
+        self.evictions = 0
+
+    # -- core cache protocol ------------------------------------------------
+
+    def get(self, key: ArtifactKey, default: Any = None) -> Any:
+        """Look up an artifact, refreshing its recency on a hit."""
+        with self._lock:
+            counters = self._counters(key.stage)
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                counters.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            counters.hits += 1
+            return value
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: ArtifactKey,
+                       compute: Callable[[], Any]) -> Any:
+        """Serve ``key`` from cache, else compute and cache it.
+
+        The compute runs outside the lock so slow stages never block
+        readers; concurrent misses on the same key may compute twice,
+        which is harmless because every stage is deterministic.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- statistics ---------------------------------------------------------
+
+    def _counters(self, stage: str) -> StageCounters:
+        counters = self._by_stage.get(stage)
+        if counters is None:
+            counters = self._by_stage[stage] = StageCounters()
+        return counters
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return sum(c.hits for c in self._by_stage.values())
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return sum(c.misses for c in self._by_stage.values())
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Snapshot for ``/metrics``: totals plus per-stage counters."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "evictions": self.evictions,
+                "stages": {
+                    stage: {"hits": c.hits, "misses": c.misses}
+                    for stage, c in sorted(self._by_stage.items())
+                },
+            }

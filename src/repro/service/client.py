@@ -1,0 +1,117 @@
+"""Stdlib client for the compiler service.
+
+One method per endpoint, returning the decoded JSON payload. A fresh
+``http.client`` connection is opened per request, so a single
+:class:`ServiceClient` may be shared freely across threads — the
+concurrent stress tests hammer one instance from a pool.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(message or f"service returned HTTP {status}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_address(cls, address: str,
+                     timeout: float = 60.0) -> "ServiceClient":
+        """Parse ``HOST:PORT`` (an ``http://`` prefix is tolerated)."""
+        stripped = address.strip()
+        for prefix in ("http://", "https://"):
+            if stripped.startswith(prefix):
+                stripped = stripped[len(prefix):]
+        stripped = stripped.rstrip("/")
+        host, _, port = stripped.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"expected HOST:PORT server address, got {address!r}")
+        return cls(host=host, port=int(port), timeout=timeout)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- wire protocol -------------------------------------------------------
+
+    def raw(self, method: str, path: str,
+            payload: Mapping[str, Any] | None = None) -> tuple[int, bytes]:
+        """One request; returns ``(status, body bytes)`` unparsed.
+
+        The byte-parity tests go through this to compare the exact
+        bytes on the wire against a direct library call.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = (json.dumps(payload).encode()
+                    if payload is not None else None)
+            headers = {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def request(self, method: str, path: str,
+                payload: Mapping[str, Any] | None = None) -> dict:
+        status, body = self.raw(method, path, payload)
+        decoded = json.loads(body.decode())
+        if status != 200:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def stages(self) -> dict:
+        return self.request("GET", "/stages")
+
+    def check(self, source: str) -> dict:
+        return self.request("POST", "/check", {"source": source})
+
+    def estimate(self, source: str) -> dict:
+        return self.request("POST", "/estimate", {"source": source})
+
+    def compile(self, source: str, *, erase: bool = False,
+                kernel_name: str = "kernel") -> dict:
+        return self.request("POST", "/compile", {
+            "source": source, "erase": erase, "kernel_name": kernel_name})
+
+    def rtl(self, source: str, *, module_name: str = "main") -> dict:
+        return self.request("POST", "/rtl", {
+            "source": source, "module_name": module_name})
+
+    def interp(self, source: str, *, check: bool = True) -> dict:
+        return self.request("POST", "/interp", {
+            "source": source, "check": check})
+
+    def dse(self, space: str, *, sample: int = 500,
+            workers: int | None = None, memoize: bool = True) -> dict:
+        payload: dict[str, Any] = {"space": space, "sample": sample,
+                                   "memoize": memoize}
+        if workers is not None:
+            payload["workers"] = workers
+        return self.request("POST", "/dse", payload)

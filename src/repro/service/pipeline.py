@@ -1,0 +1,304 @@
+"""Incremental compilation pipeline over the artifact store.
+
+The Figure-1 flow — frontend → type checker → {HLS estimate, C++
+emission, RTL, interpreter} — is expressed as declarative
+:class:`Stage` records: a name, the stages it depends on, the option
+keys it consumes, and a pure run function. Stage results are memoized
+in a content-addressed :class:`~repro.service.artifacts.ArtifactStore`,
+keyed on the source text plus the *transitively relevant* options only:
+
+* a changed source changes every stage's key, so the whole flow
+  re-runs — but two requests for different stages of the same source
+  share the frontend and checker artifacts;
+* a changed option re-runs only the stages that (transitively) read
+  it: flipping ``kernel_name`` re-emits C++ without re-parsing or
+  re-checking, because ``parse`` and ``check`` read no options and
+  their keys are unchanged.
+
+``*_payload`` stages are the servable results: total functions that
+fold a :class:`~repro.errors.DahliaError` into ``{"ok": false,
+"diagnostic": …}`` (so rejections are cached too) and whose JSON is
+byte-identical between the CLI, the library, and the HTTP server —
+the parity the test-suite enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..errors import DahliaError
+from ..source import SourceFile
+from ..util.diagnostics import diagnostic_payload
+from .artifacts import ArtifactKey, ArtifactStore, artifact_key
+
+#: Signature of a stage body: (pipeline, source, options) → artifact.
+StageFn = Callable[["CompilerPipeline", str, dict], Any]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One declarative pipeline stage."""
+
+    name: str
+    deps: tuple[str, ...]
+    options: tuple[str, ...]          # option keys this stage reads
+    run: StageFn
+
+
+#: The stage registry, in dependency order (a stage's deps precede it).
+STAGES: dict[str, Stage] = {}
+
+
+def _stage(name: str, deps: tuple[str, ...] = (),
+           options: tuple[str, ...] = ()) -> Callable[[StageFn], StageFn]:
+    def register(run: StageFn) -> StageFn:
+        for dep in deps:
+            if dep not in STAGES:
+                raise ValueError(f"stage {name!r}: unknown dep {dep!r}")
+        STAGES[name] = Stage(name=name, deps=deps, options=options, run=run)
+        return run
+    return register
+
+
+def relevant_options(stage: str) -> tuple[str, ...]:
+    """Option keys that can affect ``stage``'s result (transitive)."""
+    spec = STAGES[stage]
+    keys = set(spec.options)
+    for dep in spec.deps:
+        keys.update(relevant_options(dep))
+    return tuple(sorted(keys))
+
+
+class CompilerPipeline:
+    """A compilation pipeline bound to one artifact store."""
+
+    def __init__(self, store: ArtifactStore | None = None,
+                 capacity: int = 512) -> None:
+        self.store = store if store is not None else ArtifactStore(capacity)
+
+    def key(self, stage: str, source: str,
+            options: Mapping[str, Any] | None = None) -> ArtifactKey:
+        """Content-addressed key for a stage result.
+
+        Only the options the stage transitively consumes enter the
+        fingerprint — the dependency-aware invalidation contract.
+        """
+        options = options or {}
+        relevant = {k: options[k] for k in relevant_options(stage)
+                    if k in options}
+        return artifact_key(stage, source, relevant)
+
+    def run(self, stage: str, source: str,
+            options: Mapping[str, Any] | None = None) -> Any:
+        """Produce a stage artifact, serving it from cache when possible."""
+        spec = STAGES.get(stage)
+        if spec is None:
+            raise ValueError(f"unknown pipeline stage {stage!r}")
+        opts = dict(options or {})
+        return self.store.get_or_compute(
+            self.key(stage, source, opts),
+            lambda: spec.run(self, source, opts))
+
+    def stats(self) -> dict:
+        return self.store.stats()
+
+
+# ---------------------------------------------------------------------------
+# Raw stages (library objects; raise DahliaError on rejection).
+# ---------------------------------------------------------------------------
+
+@_stage("parse")
+def _parse(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    from ..frontend.parser import parse
+
+    return parse(source)
+
+
+@_stage("check", deps=("parse",))
+def _check(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    from ..types.checker import check_program
+
+    return check_program(pipeline.run("parse", source, opts))
+
+
+@_stage("desugar", deps=("parse", "check"))
+def _desugar(pipeline: CompilerPipeline, source: str, opts: dict) -> str:
+    from ..filament.desugar import desugar
+    from ..filament.pretty import pretty_filament
+
+    program = pipeline.run("parse", source, opts)
+    pipeline.run("check", source, opts)
+    return pretty_filament(desugar(program))
+
+
+@_stage("kernel", deps=("parse", "check"))
+def _kernel(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    from ..hls.extract import extract_kernel
+
+    program = pipeline.run("parse", source, opts)
+    pipeline.run("check", source, opts)
+    return extract_kernel(program)
+
+
+@_stage("estimate", deps=("kernel",))
+def _estimate(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    from ..hls.estimator import estimate
+
+    return estimate(pipeline.run("kernel", source, opts))
+
+
+@_stage("compile", deps=("parse", "check"),
+        options=("erase", "kernel_name"))
+def _compile(pipeline: CompilerPipeline, source: str, opts: dict) -> str:
+    from ..backend.hls_cpp import EmitterOptions, compile_program
+
+    program = pipeline.run("parse", source, opts)
+    pipeline.run("check", source, opts)
+    return compile_program(program, EmitterOptions(
+        erase=bool(opts.get("erase", False)),
+        kernel_name=str(opts.get("kernel_name", "kernel"))))
+
+
+@_stage("rtl", deps=("parse",), options=("module_name",))
+def _rtl(pipeline: CompilerPipeline, source: str, opts: dict) -> str:
+    from ..rtl import emit_verilog, lower_program
+
+    program = pipeline.run("parse", source, opts)
+    module = lower_program(program,
+                           name=str(opts.get("module_name", "main")))
+    return emit_verilog(module)
+
+
+@_stage("interp", deps=("parse", "check"), options=("check",))
+def _interp(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    from ..interp.interpreter import interpret_program
+
+    program = pipeline.run("parse", source, opts)
+    if bool(opts.get("check", True)):
+        # Reuse the cached checker artifact instead of letting
+        # interpret_program re-run the checker internally.
+        pipeline.run("check", source, opts)
+    return interpret_program(program, check=False)
+
+
+# ---------------------------------------------------------------------------
+# Payload formatters (shared by the CLI and the payload stages so the
+# served bytes are identical to a direct library call by construction).
+# ---------------------------------------------------------------------------
+
+def check_report_fields(report: Any) -> dict:
+    return {
+        "memories": len(report.memories),
+        "max_replication": report.max_replication,
+    }
+
+
+def estimate_report_fields(report: Any) -> dict:
+    return {
+        "latency_cycles": report.latency_cycles,
+        "runtime_ms": round(report.runtime_ms, 3),
+        "luts": report.luts,
+        "ffs": report.ffs,
+        "brams": report.brams,
+        "dsps": report.dsps,
+        "ii": report.ii,
+        "predictable": report.predictable,
+    }
+
+
+def interp_memory_fields(result: Any) -> dict:
+    return {name: array.ravel().tolist()
+            for name, array in result.memories.items()}
+
+
+def _payload(pipeline: CompilerPipeline, source: str, opts: dict,
+             produce: Callable[[], dict]) -> dict:
+    try:
+        return {"ok": True, **produce()}
+    except DahliaError as error:
+        return {"ok": False,
+                "diagnostic": diagnostic_payload(error, SourceFile(source))}
+
+
+@_stage("check_payload", deps=("check",))
+def _check_payload(pipeline: CompilerPipeline, source: str,
+                   opts: dict) -> dict:
+    return _payload(pipeline, source, opts, lambda: check_report_fields(
+        pipeline.run("check", source, opts)))
+
+
+@_stage("estimate_payload", deps=("estimate",))
+def _estimate_payload(pipeline: CompilerPipeline, source: str,
+                      opts: dict) -> dict:
+    return _payload(pipeline, source, opts, lambda: {
+        "report": estimate_report_fields(
+            pipeline.run("estimate", source, opts))})
+
+
+@_stage("compile_payload", deps=("compile",))
+def _compile_payload(pipeline: CompilerPipeline, source: str,
+                     opts: dict) -> dict:
+    return _payload(pipeline, source, opts, lambda: {
+        "cpp": pipeline.run("compile", source, opts)})
+
+
+@_stage("rtl_payload", deps=("rtl",))
+def _rtl_payload(pipeline: CompilerPipeline, source: str,
+                 opts: dict) -> dict:
+    return _payload(pipeline, source, opts, lambda: {
+        "verilog": pipeline.run("rtl", source, opts)})
+
+
+@_stage("interp_payload", deps=("interp",))
+def _interp_payload(pipeline: CompilerPipeline, source: str,
+                    opts: dict) -> dict:
+    return _payload(pipeline, source, opts, lambda: {
+        "memories": interp_memory_fields(
+            pipeline.run("interp", source, opts))})
+
+
+# ---------------------------------------------------------------------------
+# DSE (space-level, not source-level — dispatches to the sweep engine).
+# ---------------------------------------------------------------------------
+
+def dse_summary(space_name: str, *, sample: int = 500,
+                workers: int | None = None, memoize: bool = True,
+                progress: Callable[[int], None] | None = None) -> dict:
+    """Run a named design-space sweep and summarize it.
+
+    This is the single implementation behind both ``cli dse --json``
+    and the ``/dse`` endpoint, dispatching to
+    :func:`repro.dse.engine.sweep` (parallel fan-out + acceptance
+    memoization). Raises :class:`ValueError` for an unknown family or a
+    negative sample so callers can map it to their own error surface.
+    """
+    from ..dse import sweep
+    from ..suite import generators
+
+    triple = generators.DSE_FAMILIES.get(space_name)
+    if triple is None:
+        known = ", ".join(sorted(generators.DSE_FAMILIES))
+        raise ValueError(f"unknown DSE space {space_name!r} "
+                         f"(choose from: {known})")
+    if sample < 0:
+        raise ValueError("sample must be >= 0 (0 sweeps the full space)")
+    space_fn, source_fn, kernel_fn = (
+        getattr(generators, name) for name in triple)
+    space = space_fn()
+    configs = (list(space.sample(sample))
+               if sample and sample < space.size else space)
+    result = sweep(configs, source_fn, kernel_fn, workers=workers,
+                   memoize=memoize, progress=progress)
+    stats = result.stats
+    return {
+        "space": space_name,
+        "points": result.total,
+        "accepted": len(result.accepted),
+        "acceptance_rate": round(result.acceptance_rate, 4),
+        "rejection_kinds": result.rejection_counts(),
+        "global_pareto": len(result.pareto()),
+        "accepted_pareto": len(result.accepted_pareto()),
+        "accepted_on_frontier": result.accepted_on_frontier(),
+        "engine": stats.as_dict() if stats is not None else None,
+    }

@@ -1,0 +1,469 @@
+"""Stdlib-only asyncio JSON-over-HTTP compiler service.
+
+Endpoints (all JSON bodies):
+
+* ``POST /check``    — ``{"source"}`` → checker verdict or diagnostic;
+* ``POST /estimate`` — ``{"source"}`` → the HLS estimator report;
+* ``POST /compile``  — ``{"source", "erase"?, "kernel_name"?}`` → C++;
+* ``POST /rtl``      — ``{"source", "module_name"?}`` → Verilog;
+* ``POST /interp``   — ``{"source", "check"?}`` → final memories;
+* ``POST /dse``      — ``{"space", "sample"?, "workers"?, "memoize"?}``
+  → a sweep summary from :func:`repro.service.pipeline.dse_summary`
+  (which dispatches to the parallel sweep engine);
+* ``GET /healthz``   — liveness probe;
+* ``GET /metrics``   — per-endpoint latency counters + artifact-cache
+  hit/miss statistics;
+* ``GET /stages``    — the pipeline's declarative stage graph.
+
+The HTTP layer is a deliberately small HTTP/1.1 subset (request line,
+headers, ``Content-Length`` bodies, keep-alive) on
+``asyncio.start_server`` — no third-party dependency. Requests execute
+on a thread pool behind an ``asyncio.Semaphore``, so concurrency is
+bounded and a slow ``/dse`` sweep cannot starve the accept loop.
+
+Parity contract: the response body for a POST endpoint is exactly
+``encode_payload(service.respond(endpoint, request))`` — the same
+payload a direct library call through the
+:class:`~repro.service.pipeline.CompilerPipeline` produces, byte for
+byte. The test-suite enforces this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .pipeline import (
+    STAGES,
+    CompilerPipeline,
+    dse_summary,
+    relevant_options,
+)
+
+#: Option keys each POST endpoint forwards to its payload stage —
+#: derived from the stage declarations so the filter cannot drift from
+#: the pipeline's cache-key contract.
+ENDPOINT_OPTIONS: dict[str, tuple[str, ...]] = {
+    name: relevant_options(f"{name}_payload")
+    for name in ("check", "estimate", "compile", "rtl", "interp")
+}
+
+#: Routes that get their own row in the metrics table; anything else
+#: is bucketed under one key so unknown-path probes can't grow the
+#: table (and the /metrics response) without bound.
+KNOWN_PATHS = frozenset(
+    {"/healthz", "/metrics", "/stages", "/dse"}
+    | {f"/{name}" for name in ENDPOINT_OPTIONS})
+
+
+def encode_payload(payload: Any) -> bytes:
+    """The service's canonical JSON encoding (stable across callers)."""
+    return (json.dumps(payload, indent=2) + "\n").encode()
+
+
+class BadRequest(Exception):
+    """Client error mapped to a 400 response."""
+
+
+@dataclass
+class EndpointMetrics:
+    requests: int = 0
+    errors: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def record(self, elapsed_ms: float, error: bool) -> None:
+        self.requests += 1
+        self.errors += int(error)
+        self.total_ms += elapsed_ms
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    def as_dict(self) -> dict:
+        mean = self.total_ms / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class DahliaService:
+    """The endpoint logic, independent of any transport.
+
+    ``respond(endpoint, request)`` is the direct library call; the HTTP
+    layer serializes exactly what it returns. Instantiating one service
+    per process gives all transports (HTTP, CLI ``--server`` relays,
+    tests) a shared artifact cache.
+    """
+
+    def __init__(self, pipeline: CompilerPipeline | None = None,
+                 capacity: int = 512, dse_workers: int | None = 1) -> None:
+        self.pipeline = pipeline or CompilerPipeline(capacity=capacity)
+        self.dse_workers = max(1, dse_workers or 1)
+        self.inflight_limit: int | None = None   # set by the server
+        self._metrics: dict[str, EndpointMetrics] = {}
+        self._metrics_lock = threading.Lock()
+        self._started = time.perf_counter()
+
+    # -- direct library calls (one per POST endpoint) ----------------------
+
+    def respond(self, endpoint: str, request: Mapping[str, Any]) -> dict:
+        if endpoint == "dse":
+            return self._respond_dse(request)
+        option_keys = ENDPOINT_OPTIONS.get(endpoint)
+        if option_keys is None:
+            raise BadRequest(f"unknown endpoint {endpoint!r}")
+        source = request.get("source")
+        if not isinstance(source, str):
+            raise BadRequest('request must carry a string "source" field')
+        options = {key: request[key] for key in option_keys
+                   if key in request}
+        return self.pipeline.run(f"{endpoint}_payload", source, options)
+
+    def _respond_dse(self, request: Mapping[str, Any]) -> dict:
+        space = request.get("space")
+        if not isinstance(space, str):
+            raise BadRequest('request must carry a string "space" field')
+        try:
+            sample = int(request.get("sample", 500))
+            workers = request.get("workers", self.dse_workers)
+            workers = 1 if workers is None else int(workers)
+            memoize = bool(request.get("memoize", True))
+        except (TypeError, ValueError) as error:
+            raise BadRequest(f"malformed dse request: {error}") from None
+        # Cap requested parallelism at the operator's --dse-workers.
+        # Values > 1 fork a multiprocessing pool from this threaded
+        # process, which only the operator can judge safe — a client
+        # must not be able to trigger it.
+        workers = max(1, min(workers, self.dse_workers or 1))
+        try:
+            summary = dse_summary(space, sample=sample, workers=workers,
+                                  memoize=memoize)
+        except ValueError as error:
+            raise BadRequest(str(error)) from None
+        return {"ok": True, **summary}
+
+    # -- GET endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        from .. import __version__
+
+        return {"ok": True, "service": "dahlia-py", "version": __version__}
+
+    def metrics(self) -> dict:
+        with self._metrics_lock:
+            endpoints = {path: m.as_dict()
+                         for path, m in sorted(self._metrics.items())}
+        return {
+            "ok": True,
+            "uptime_s": round(time.perf_counter() - self._started, 3),
+            "inflight_limit": self.inflight_limit,
+            "endpoints": endpoints,
+            "cache": self.pipeline.stats(),
+        }
+
+    def stages(self) -> dict:
+        return {
+            "ok": True,
+            "stages": {name: {"deps": list(spec.deps),
+                              "options": list(spec.options)}
+                       for name, spec in STAGES.items()},
+        }
+
+    # -- transport-facing dispatch -----------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, Any]:
+        """Dispatch one request; returns ``(status, payload)``.
+
+        Never raises: client mistakes become 4xx payloads, unexpected
+        failures 500s, and every outcome is recorded in the per-path
+        metrics table.
+        """
+        started = time.perf_counter()
+        try:
+            status, payload = self._dispatch(method, path, body)
+        except BadRequest as error:
+            status, payload = 400, {"ok": False, "error": str(error)}
+        except Exception as error:          # noqa: BLE001 — service boundary
+            status, payload = 500, {
+                "ok": False,
+                "error": f"{type(error).__name__}: {error}"}
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        metric_key = path if path in KNOWN_PATHS else "(unknown)"
+        with self._metrics_lock:
+            metric = self._metrics.setdefault(metric_key,
+                                              EndpointMetrics())
+            metric.record(elapsed_ms, error=status >= 400)
+        return status, payload
+
+    def _dispatch(self, method: str, path: str,
+                  body: bytes) -> tuple[int, Any]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, self.health()
+            if path == "/metrics":
+                return 200, self.metrics()
+            if path == "/stages":
+                return 200, self.stages()
+            return 404, {"ok": False, "error": f"no such endpoint {path!r}"}
+        if method != "POST":
+            return 405, {"ok": False,
+                         "error": f"method {method} not allowed"}
+        endpoint = path.lstrip("/")
+        if endpoint not in ENDPOINT_OPTIONS and endpoint != "dse":
+            return 404, {"ok": False, "error": f"no such endpoint {path!r}"}
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"body is not valid JSON: {error}") from None
+        if not isinstance(request, dict):
+            raise BadRequest("request body must be a JSON object")
+        return 200, self.respond(endpoint, request)
+
+
+# ---------------------------------------------------------------------------
+# The asyncio HTTP transport.
+# ---------------------------------------------------------------------------
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+
+#: Reject bodies larger than this (defense against unbounded buffering).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reject header blocks larger than this, counting names and values —
+#: the body bound alone would leave the header loop unbounded.
+MAX_HEADER_BYTES = 64 * 1024
+
+
+def _response_bytes(status: int, body: bytes, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "OK")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n")
+    return head.encode() + body
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        ) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one request; ``None`` on a clean EOF before the first byte."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 3:
+        raise BadRequest("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        header_bytes += len(header)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest("header block too large")
+        name, _, value = header.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise BadRequest("unacceptable Content-Length")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class ServiceServer:
+    """Asyncio HTTP server around a :class:`DahliaService`.
+
+    Request handlers run on a thread pool (the pipeline is pure Python
+    and thread-safe); an ``asyncio.Semaphore`` bounds the number of
+    requests in flight.
+    """
+
+    def __init__(self, service: DahliaService | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int = 8, threads: int | None = None) -> None:
+        self.service = service or DahliaService()
+        self.host = host
+        self.port = port                      # 0 = ephemeral; set by start
+        self.max_inflight = max(1, max_inflight)
+        self._threads = threads or max(2, min(self.max_inflight,
+                                              (os.cpu_count() or 1) * 2))
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+
+    async def start(self) -> None:
+        self.service.inflight_limit = self.max_inflight
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._threads, thread_name_prefix="dahlia-svc")
+        self._semaphore = asyncio.Semaphore(self.max_inflight)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except (BadRequest, ValueError) as error:
+                    # ValueError covers asyncio's LimitOverrunError
+                    # when a request or header line exceeds the
+                    # StreamReader's 64 KiB limit.
+                    body = encode_payload({"ok": False, "error": str(error)})
+                    writer.write(_response_bytes(400, body, False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection",
+                                         "").lower() != "close"
+                loop = asyncio.get_running_loop()
+                assert self._semaphore and self._executor
+                if method == "GET":
+                    # Probes (/healthz, /metrics, /stages) are cheap
+                    # and must answer even when every semaphore slot
+                    # is held by a long-running sweep.
+                    status, payload = self.service.handle(
+                        method, path, body)
+                else:
+                    async with self._semaphore:
+                        status, payload = await loop.run_in_executor(
+                            self._executor, self.service.handle,
+                            method, path, body)
+                data = encode_payload(payload)
+                writer.write(_response_bytes(status, data, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass                              # client went away mid-request
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+class BackgroundServer:
+    """Run a :class:`ServiceServer` on a daemon thread (tests, benches).
+
+    ::
+
+        with BackgroundServer() as server:
+            client = ServiceClient(port=server.port)
+    """
+
+    def __init__(self, service: DahliaService | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int = 8) -> None:
+        self.server = ServiceServer(service, host, port, max_inflight)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def service(self) -> DahliaService:
+        return self.server.service
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:        # surface bind failures
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            # Idle keep-alive connections leave handler tasks parked on
+            # a read; cancel them so the loop closes without warnings.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.close()
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run,
+                                        name="dahlia-server", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def serve(host: str = "127.0.0.1", port: int = 8080, *,
+          capacity: int = 512, max_inflight: int = 8,
+          dse_workers: int | None = 1) -> None:
+    """Blocking entry point behind ``dahlia-py serve``."""
+    service = DahliaService(capacity=capacity, dse_workers=dse_workers)
+
+    async def main() -> None:
+        server = ServiceServer(service, host, port,
+                               max_inflight=max_inflight)
+        await server.start()
+        print(f"dahlia-py service listening on "
+              f"http://{server.host}:{server.port} "
+              f"(cache capacity {capacity}, "
+              f"max in-flight {max_inflight})", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

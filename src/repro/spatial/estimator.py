@@ -21,9 +21,9 @@ at unroll 16.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
+from ..util.hashing import jitter
 from .inference import infer_banking
 
 _DIM = 128                      # matrix dimension of gemm-ncubed
@@ -64,9 +64,7 @@ class SpatialReport:
 
 
 def _noise(key: str) -> float:
-    digest = hashlib.sha256(key.encode()).digest()
-    unit = int.from_bytes(digest[:8], "big") / 2**64
-    return 1.0 + NOISE * (2.0 * unit - 1.0)
+    return jitter(key, NOISE)
 
 
 def estimate_gemm_ncubed(unroll: int, dim: int = _DIM) -> SpatialReport:

@@ -560,3 +560,16 @@ def md_grid_kernel(cfg: dict[str, int]) -> KernelSpec:
         ),
         ops=OpCounts(fp_mul=4, fp_add=5),
         has_reduction=True)
+
+
+#: DSE family registry: family name → the (space, source, kernel)
+#: builder names in this module, resolved lazily by consumers (the
+#: ``dse`` CLI subcommand and the service's ``/dse`` endpoint).
+DSE_FAMILIES = {
+    "gemm-blocked": ("gemm_blocked_space", "gemm_blocked_source",
+                     "gemm_blocked_kernel"),
+    "md-grid": ("md_grid_space", "md_grid_source", "md_grid_kernel"),
+    "md-knn": ("md_knn_space", "md_knn_source", "md_knn_kernel"),
+    "stencil2d": ("stencil2d_space", "stencil2d_source",
+                  "stencil2d_kernel"),
+}

@@ -1,0 +1,21 @@
+"""Cross-cutting utilities shared by the compiler, the DSE engine, and
+the compiler-as-a-service subsystem."""
+
+from .diagnostics import (
+    diagnostic_payload,
+    render_diagnostic,
+    span_from_payload,
+    span_payload,
+)
+from .hashing import content_key, jitter, source_digest, stable_unit
+
+__all__ = [
+    "content_key",
+    "diagnostic_payload",
+    "jitter",
+    "render_diagnostic",
+    "source_digest",
+    "span_from_payload",
+    "span_payload",
+    "stable_unit",
+]

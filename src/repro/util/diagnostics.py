@@ -1,0 +1,61 @@
+"""Machine-readable diagnostics.
+
+A :class:`~repro.errors.DahliaError` renders to humans as a message
+plus a caret snippet (:meth:`repro.source.SourceFile.render_span`).
+This module gives the same diagnostic a canonical JSON shape so the
+CLI's ``--json`` flag and the service endpoints serialize errors
+identically, and so a client can reconstruct the span — and re-render
+the caret snippet — from the wire form alone.
+"""
+
+from __future__ import annotations
+
+from ..errors import DahliaError
+from ..source import Position, SourceFile, Span, UNKNOWN_SPAN
+
+
+def span_payload(span: Span) -> dict:
+    """JSON shape of a span (1-based lines/columns, half-open)."""
+    return {
+        "start": {"line": span.start.line, "column": span.start.column},
+        "end": {"line": span.end.line, "column": span.end.column},
+    }
+
+
+def span_from_payload(payload: dict) -> Span:
+    """Rebuild a :class:`Span` from :func:`span_payload` output."""
+    return Span(
+        Position(payload["start"]["line"], payload["start"]["column"]),
+        Position(payload["end"]["line"], payload["end"]["column"]))
+
+
+def diagnostic_payload(error: DahliaError,
+                       source: SourceFile | None = None) -> dict:
+    """Canonical JSON shape of a diagnostic.
+
+    ``snippet`` is the rendered caret block (``None`` when the span
+    falls outside the source or no source is available), so clients can
+    show the exact text a local run would have printed without holding
+    the source themselves.
+    """
+    snippet = source.render_span(error.span) if source is not None else ""
+    return {
+        "kind": error.kind,
+        "message": error.message,
+        "span": (None if error.span is UNKNOWN_SPAN
+                 else span_payload(error.span)),
+        "rendered": str(error),
+        "snippet": snippet or None,
+    }
+
+
+def render_diagnostic(payload: dict) -> str:
+    """Human-readable form of a diagnostic payload.
+
+    Matches what a local run prints for the same error: the rendered
+    message line, then the caret snippet when one is present.
+    """
+    lines = [f"error: {payload['rendered']}"]
+    if payload.get("snippet"):
+        lines.append(payload["snippet"])
+    return "\n".join(lines)

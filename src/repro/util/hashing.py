@@ -1,0 +1,60 @@
+"""Shared digest helpers.
+
+One home for every hash in the repository:
+
+* :func:`content_key` — the hex fingerprint the content-addressed
+  artifact store (:mod:`repro.service.artifacts`) keys on;
+* :func:`source_digest` — the DSE engine's memoization fallback key for
+  generated sources without an ``acceptance_key`` projection;
+* :func:`stable_unit` / :func:`jitter` — the deterministic pseudo-noise
+  primitive behind the HLS and Spatial resource models.  Both models
+  previously carried private copies of the same SHA-256 construction;
+  the arithmetic here is bit-identical to those copies, so calibrated
+  figures are unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+
+def content_key(*parts: str | bytes) -> str:
+    """Hex SHA-256 over length-prefixed parts.
+
+    Length prefixes make the encoding injective: ``("ab", "c")`` and
+    ``("a", "bc")`` hash differently, so composite keys built from
+    (source, stage, options) cannot collide by concatenation.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        data = part.encode() if isinstance(part, str) else part
+        hasher.update(len(data).to_bytes(8, "big"))
+        hasher.update(data)
+    return hasher.hexdigest()
+
+
+def options_fingerprint(options: Mapping[str, object] | None) -> str:
+    """Canonical text form of an options mapping (sorted, compact)."""
+    if not options:
+        return "{}"
+    import json
+
+    return json.dumps(dict(options), sort_keys=True,
+                      separators=(",", ":"), default=repr)
+
+
+def source_digest(text: str) -> bytes:
+    """Compact digest of generated source text (engine memo fallback)."""
+    return hashlib.sha256(text.encode()).digest()
+
+
+def stable_unit(key: str) -> float:
+    """Deterministic uniform value in ``[0, 1)`` derived from ``key``."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def jitter(key: str, scale: float) -> float:
+    """Deterministic multiplicative noise in ``[1-scale, 1+scale]``."""
+    return 1.0 + scale * (2.0 * stable_unit(key) - 1.0)

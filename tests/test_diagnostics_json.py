@@ -1,0 +1,88 @@
+"""JSON round-trip tests for the diagnostic machinery.
+
+The service serializes :class:`DahliaError` diagnostics over the wire;
+these tests pin the contract that a client can reconstruct the span
+from the JSON form and re-render the exact caret snippet
+``SourceFile.render_span`` produced on the server side.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import DahliaError
+from repro.source import Position, SourceFile, Span, UNKNOWN_SPAN
+from repro.types.checker import check_source
+from repro.util.diagnostics import (
+    diagnostic_payload,
+    render_diagnostic,
+    span_from_payload,
+    span_payload,
+)
+
+
+def checker_error(text: str) -> DahliaError:
+    with pytest.raises(DahliaError) as exc:
+        check_source(text)
+    return exc.value
+
+
+def test_span_payload_round_trip():
+    span = Span(Position(3, 9), Position(4, 2))
+    rebuilt = span_from_payload(json.loads(json.dumps(span_payload(span))))
+    assert rebuilt == span
+
+
+def test_render_span_round_trips_through_json():
+    text = "decl A: float[4];\nlet x = A[0];\nA[1] := 1.0"
+    error = checker_error(text)
+    source = SourceFile(text, "prog.fuse")
+
+    wire = json.dumps(diagnostic_payload(error, source))
+    payload = json.loads(wire)
+
+    # The span survives serialization …
+    span = span_from_payload(payload["span"])
+    assert span == error.span
+    # … and re-rendering from the reconstructed span reproduces the
+    # exact snippet that was serialized.
+    assert SourceFile(text).render_span(span) == payload["snippet"]
+    assert payload["snippet"].split("\n")[1].startswith("^")
+
+
+def test_diagnostic_payload_fields():
+    error = checker_error(
+        "decl A: float[4]; let x = A[0]; let y = A[1];")
+    payload = diagnostic_payload(error, SourceFile("irrelevant"))
+    assert payload["kind"] == "already-consumed"
+    assert payload["rendered"].startswith("[already-consumed]")
+    assert payload["message"] in payload["rendered"]
+
+
+def test_unknown_span_serializes_as_null():
+    error = DahliaError("boom")
+    assert error.span is UNKNOWN_SPAN
+    payload = diagnostic_payload(error, SourceFile("text"))
+    assert payload["span"] is None
+    assert payload["snippet"] is None
+
+
+def test_out_of_range_span_yields_null_snippet():
+    error = DahliaError("boom", Span.point(99, 1))
+    payload = diagnostic_payload(error, SourceFile("one line"))
+    assert payload["snippet"] is None      # render_span returned ""
+
+
+def test_render_diagnostic_matches_local_format():
+    text = "decl A: float[4];\nlet x = A[0];\nA[1] := 1.0"
+    error = checker_error(text)
+    source = SourceFile(text)
+    payload = json.loads(json.dumps(diagnostic_payload(error, source)))
+    rendered = render_diagnostic(payload)
+    assert rendered == (f"error: {error}\n"
+                        f"{source.render_span(error.span)}")
+
+
+def test_render_diagnostic_without_snippet():
+    payload = diagnostic_payload(DahliaError("boom"), None)
+    assert render_diagnostic(payload) == "error: [error] boom"

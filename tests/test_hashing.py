@@ -1,0 +1,62 @@
+"""Tests for the shared digest helpers.
+
+The jitter helper replaced private copies inside the HLS and Spatial
+resource models; these tests pin the arithmetic so calibrated figures
+cannot silently drift.
+"""
+
+import hashlib
+
+from repro.util.hashing import (
+    content_key,
+    jitter,
+    options_fingerprint,
+    source_digest,
+    stable_unit,
+)
+
+
+def test_stable_unit_matches_the_historic_construction():
+    for key in ("spatial:4:8:lut", "seed(u=2,b=4)", ""):
+        digest = hashlib.sha256(key.encode()).digest()
+        expected = int.from_bytes(digest[:8], "big") / 2**64
+        assert stable_unit(key) == expected
+        assert 0.0 <= stable_unit(key) < 1.0
+
+
+def test_jitter_bounds_and_determinism():
+    for scale in (0.02, 0.12):
+        value = jitter("some-config", scale)
+        assert 1.0 - scale <= value <= 1.0 + scale
+        assert value == jitter("some-config", scale)
+    assert jitter("a", 0.1) != jitter("b", 0.1)
+
+
+def test_jitter_matches_resource_model_noise():
+    from repro.hls.resources import _noise as hls_noise
+    from repro.spatial.estimator import NOISE, _noise as spatial_noise
+
+    assert hls_noise("k", 0.12) == jitter("k", 0.12)
+    assert spatial_noise("k") == jitter("k", NOISE)
+
+
+def test_content_key_is_injective_across_part_boundaries():
+    assert content_key("ab", "c") != content_key("a", "bc")
+    assert content_key("ab") != content_key("ab", "")
+    assert content_key("x", "y") == content_key("x", "y")
+    assert len(content_key("anything")) == 64
+
+
+def test_content_key_accepts_bytes_and_str():
+    assert content_key("ab", b"cd") == content_key("ab", "cd")
+
+
+def test_options_fingerprint_canonicalizes():
+    assert options_fingerprint({"b": 1, "a": 2}) == \
+        options_fingerprint({"a": 2, "b": 1})
+    assert options_fingerprint(None) == options_fingerprint({})
+    assert options_fingerprint({"a": 1}) != options_fingerprint({"a": 2})
+
+
+def test_source_digest_is_stable():
+    assert source_digest("text") == hashlib.sha256(b"text").digest()

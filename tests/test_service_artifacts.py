@@ -1,0 +1,107 @@
+"""Tests for the content-addressed artifact store."""
+
+import threading
+
+from repro.service.artifacts import ArtifactKey, ArtifactStore, artifact_key
+
+
+def test_keys_are_content_addressed():
+    key = artifact_key("check", "decl A: float[4];")
+    again = artifact_key("check", "decl A: float[4];")
+    assert key == again
+    assert key.stage == "check"
+    assert len(key.digest) == 64          # hex SHA-256
+
+
+def test_key_varies_with_stage_source_and_options():
+    base = artifact_key("check", "src", {"a": 1})
+    assert artifact_key("parse", "src", {"a": 1}) != base
+    assert artifact_key("check", "src2", {"a": 1}) != base
+    assert artifact_key("check", "src", {"a": 2}) != base
+    assert artifact_key("check", "src", {}) != base
+
+
+def test_options_order_is_canonicalized():
+    assert artifact_key("c", "s", {"a": 1, "b": 2}) == \
+        artifact_key("c", "s", {"b": 2, "a": 1})
+
+
+def test_get_or_compute_memoizes():
+    store = ArtifactStore(capacity=4)
+    calls = []
+    key = artifact_key("stage", "text")
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert store.get_or_compute(key, compute) == "value"
+    assert store.get_or_compute(key, compute) == "value"
+    assert len(calls) == 1
+    assert store.hits == 1
+    assert store.misses >= 1
+
+
+def test_cached_none_is_a_hit():
+    store = ArtifactStore(capacity=4)
+    key = artifact_key("stage", "text")
+    assert store.get_or_compute(key, lambda: None) is None
+    calls = []
+    assert store.get_or_compute(
+        key, lambda: calls.append(1)) is None
+    assert not calls
+
+
+def test_lru_eviction_order():
+    store = ArtifactStore(capacity=2)
+    keys = [ArtifactKey("s", f"d{i}") for i in range(3)]
+    store.put(keys[0], 0)
+    store.put(keys[1], 1)
+    store.get(keys[0])                    # refresh key 0
+    store.put(keys[2], 2)                 # evicts key 1 (least recent)
+    assert keys[0] in store
+    assert keys[1] not in store
+    assert keys[2] in store
+    assert store.evictions == 1
+    assert len(store) == 2
+
+
+def test_stats_report_per_stage():
+    store = ArtifactStore(capacity=8)
+    store.get_or_compute(artifact_key("parse", "a"), lambda: 1)
+    store.get_or_compute(artifact_key("parse", "a"), lambda: 1)
+    store.get_or_compute(artifact_key("check", "a"), lambda: 2)
+    stats = store.stats()
+    assert stats["stages"]["parse"] == {"hits": 1, "misses": 1}
+    assert stats["stages"]["check"] == {"hits": 0, "misses": 1}
+    assert stats["entries"] == 2
+    assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+def test_store_is_thread_safe_under_contention():
+    store = ArtifactStore(capacity=16)
+    keys = [ArtifactKey("s", f"d{i}") for i in range(32)]
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(200):
+                for key in keys:
+                    store.get_or_compute(key, lambda k=key: k.digest)
+        except Exception as error:       # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(store) <= 16
+
+
+def test_capacity_must_be_positive():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ArtifactStore(capacity=0)
