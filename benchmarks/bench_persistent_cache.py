@@ -1,0 +1,209 @@
+"""Measure the persistent artifact tier: cold vs restart-warm.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_persistent_cache.py [--sources N]
+    PYTHONPATH=src python benchmarks/bench_persistent_cache.py --smoke
+
+Three measurement levels:
+
+* **pipeline-restart** — a :class:`CompilerPipeline` with a disk tier
+  compiles N sources cold, then a *fresh* pipeline (empty memory tier,
+  same directory) replays the same requests: the restart-warm path.
+  Asserts restart-warm is **≥ 5× faster** than cold, served with
+  disk hits and zero recomputation, byte-identical to the cold run.
+* **memory-warm** — the same pipeline re-asked (the PR-2 warm path),
+  for comparison: memory should still beat disk.
+* **server-restart** — the same restart through a real
+  :class:`BackgroundServer` with a disk tier: warm it, tear it down,
+  boot a new process-equivalent server on the directory, and require
+  disk-tier hits plus byte-identical response bodies.
+
+``--smoke`` runs a fast subset (the CI persistent-cache smoke test)
+and does not append to the trajectory file; a full run appends a
+record to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import (
+    BackgroundServer,
+    CompilerPipeline,
+    DahliaService,
+    ServiceClient,
+    encode_payload,
+)
+from repro.suite.generators import gemm_blocked_source, gemm_blocked_space
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The restart-warm disk path must beat the cold path by this factor.
+REQUIRED_RESTART_SPEEDUP = 5.0
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def make_sources(count: int) -> list[str]:
+    configs = list(gemm_blocked_space().sample(count))
+    return [gemm_blocked_source(config) for config in configs]
+
+
+def _median_ms(samples: list[float]) -> float:
+    return round(statistics.median(samples) * 1000.0, 4)
+
+
+def _timed_run(pipeline: CompilerPipeline,
+               sources: list[str]) -> tuple[list[float], list[bytes]]:
+    elapsed, bodies = [], []
+    for source in sources:
+        started = time.perf_counter()
+        payload = pipeline.run("estimate_payload", source)
+        elapsed.append(time.perf_counter() - started)
+        bodies.append(encode_payload(payload))
+    return elapsed, bodies
+
+
+def measure_pipeline_restart(sources: list[str], cache_dir: str) -> dict:
+    cold_pipeline = CompilerPipeline(capacity=4096, disk=cache_dir)
+    cold, cold_bodies = _timed_run(cold_pipeline, sources)
+    memory_warm, _ = _timed_run(cold_pipeline, sources)
+
+    # "Restart": a fresh process-equivalent pipeline, same directory.
+    restarted = CompilerPipeline(capacity=4096, disk=cache_dir)
+    restart_warm, warm_bodies = _timed_run(restarted, sources)
+
+    assert warm_bodies == cold_bodies, \
+        "restart-warm responses must be byte-identical to the cold run"
+    disk = restarted.stats()["disk"]
+    assert disk["hits"] >= len(sources), \
+        f"expected every request to hit the disk tier, got {disk}"
+    assert disk["writes"] == 0, "restart-warm must not recompute"
+
+    cold_ms = _median_ms(cold)
+    restart_ms = _median_ms(restart_warm)
+    return {
+        "path": "pipeline-restart",
+        "sources": len(sources),
+        "cold_ms": cold_ms,
+        "memory_warm_ms": _median_ms(memory_warm),
+        "restart_warm_ms": restart_ms,
+        "speedup": (round(cold_ms / restart_ms, 1) if restart_ms
+                    else float("inf")),
+        "disk_hits": disk["hits"],
+    }
+
+
+def measure_server_restart(sources: list[str], cache_dir: str) -> dict:
+    def boot() -> BackgroundServer:
+        return BackgroundServer(
+            DahliaService(capacity=4096, cache_dir=cache_dir))
+
+    cold: list[float] = []
+    cold_bodies: list[bytes] = []
+    with boot() as server:
+        client = ServiceClient(port=server.port)
+        for source in sources:
+            started = time.perf_counter()
+            status, body = client.raw("POST", "/estimate",
+                                      {"source": source})
+            cold.append(time.perf_counter() - started)
+            assert status == 200
+            cold_bodies.append(body)
+
+    warm: list[float] = []
+    with boot() as server:                     # the "restarted" server
+        client = ServiceClient(port=server.port)
+        for source, want in zip(sources, cold_bodies):
+            started = time.perf_counter()
+            status, body = client.raw("POST", "/estimate",
+                                      {"source": source})
+            warm.append(time.perf_counter() - started)
+            assert status == 200
+            assert body == want, "served bytes changed across restart"
+        disk = client.metrics()["cache"]["disk"]
+        assert disk["hits"] >= len(sources), \
+            f"restarted server must serve from the disk tier, got {disk}"
+
+    cold_ms, warm_ms = _median_ms(cold), _median_ms(warm)
+    return {
+        "path": "server-restart",
+        "sources": len(sources),
+        "cold_ms": cold_ms,
+        "restart_warm_ms": warm_ms,
+        "speedup": (round(cold_ms / warm_ms, 1) if warm_ms
+                    else float("inf")),
+        "disk_hits": disk["hits"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sources", type=int, default=40,
+                        help="distinct request bodies to measure over")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset; skips the trajectory file")
+    args = parser.parse_args()
+
+    count = 6 if args.smoke else max(2, args.sources)
+    sources = make_sources(count)
+
+    with tempfile.TemporaryDirectory(prefix="dahlia-bench-") as tier:
+        pipeline_run = measure_pipeline_restart(
+            sources, os.path.join(tier, "pipeline"))
+        server_run = measure_server_restart(
+            sources, os.path.join(tier, "server"))
+    runs = [pipeline_run, server_run]
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "smoke": args.smoke,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "runs": runs,
+    }
+    print(json.dumps(record, indent=2))
+
+    # The gate is the pipeline-level number: that is where the cache
+    # architecture shows. The server-level figure rides along for the
+    # trajectory but is floored by HTTP framing + loopback (~1 ms per
+    # request), exactly like the warm-path numbers in bench_service.py.
+    assert pipeline_run["speedup"] >= REQUIRED_RESTART_SPEEDUP, (
+        f"restart-warm must be ≥{REQUIRED_RESTART_SPEEDUP}× faster than "
+        f"cold, measured {pipeline_run['speedup']}×")
+    print(f"\nrestart-warm vs cold: pipeline {pipeline_run['speedup']}×, "
+          f"server {server_run['speedup']}× "
+          f"(required ≥{REQUIRED_RESTART_SPEEDUP}×); "
+          f"memory-warm floor {pipeline_run['memory_warm_ms']} ms")
+
+    if not args.smoke:
+        history = []
+        if BENCH_PATH.exists():
+            history = json.loads(BENCH_PATH.read_text())
+        history.append(record)
+        BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"appended to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -401,11 +401,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
     serve(host=args.host, port=args.port, capacity=args.capacity,
-          max_inflight=args.max_inflight, dse_workers=args.dse_workers)
+          max_inflight=args.max_inflight, dse_workers=args.dse_workers,
+          workers=args.workers, cache_dir=args.cache_dir,
+          cache_bytes=args.cache_mb * 1024 * 1024)
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``dahlia-py`` argument parser.
+
+    Exposed separately from :func:`main` so tooling (and the
+    compile-checked docs suite) can validate documented command lines
+    against the real flag surface.
+    """
     parser = argparse.ArgumentParser(
         prog="dahlia-py",
         description="Dahlia (PLDI 2020) reproduction toolchain")
@@ -506,9 +514,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="bound on concurrently served requests")
     serve.add_argument("--dse-workers", type=int, default=1,
                        help="default worker count for /dse sweeps")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serving processes (prefork pool sharing "
+                            "the port and the disk cache tier)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent artifact tier directory "
+                            "(default: $REPRO_CACHE_DIR, else the "
+                            "cache is memory-only)")
+    serve.add_argument("--cache-mb", type=int, default=256,
+                       help="size cap for the disk tier in MiB")
     serve.set_defaults(func=cmd_serve)
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     return args.func(args)
 
 

@@ -11,13 +11,14 @@ Three layers, bottom up:
   its client (used by the ``--server`` CLI mode).
 """
 
-from .artifacts import ArtifactKey, ArtifactStore, artifact_key
+from .artifacts import ArtifactKey, ArtifactStore, DiskStore, artifact_key
 from .client import ServiceClient, ServiceError
 from .pipeline import CompilerPipeline, dse_summary, relevant_options
 from .server import (
     BackgroundServer,
     DahliaService,
     ServiceServer,
+    WorkerBoard,
     encode_payload,
     serve,
 )
@@ -28,9 +29,11 @@ __all__ = [
     "BackgroundServer",
     "CompilerPipeline",
     "DahliaService",
+    "DiskStore",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "WorkerBoard",
     "artifact_key",
     "dse_summary",
     "encode_payload",

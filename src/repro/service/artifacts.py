@@ -8,20 +8,34 @@ same source text therefore maps to the same artifacts across requests,
 which is what makes the service's warm path orders of magnitude faster
 than a cold compile.
 
-The store is a bounded LRU: hits refresh recency, inserts beyond
-``capacity`` evict the least recently used artifact. All operations
-are thread-safe — the server executes requests on a thread pool — and
-per-stage hit/miss counters feed the ``/metrics`` endpoint.
+The store is a two-tier hierarchy:
+
+* **memory** — a bounded LRU: hits refresh recency, inserts beyond
+  ``capacity`` evict the least recently used artifact;
+* **disk** (optional) — a persistent :class:`DiskStore` probed on
+  memory misses. Artifacts written there survive process restarts and
+  are shared by every process pointed at the same directory (the
+  multi-process server's workers, CLI runs, benchmarks). Sound because
+  every artifact is a pure function of its content-addressed key.
+
+All operations are thread-safe — the server executes requests on a
+thread pool — and per-stage hit/miss counters feed the ``/metrics``
+endpoint.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from ..util.hashing import content_key, options_fingerprint
+from ..util.fsio import atomic_write, reap_temp_debris
+from ..util.hashing import content_key, digest_shard, options_fingerprint
 
 #: Sentinel distinguishing "absent" from a cached ``None``.
 _MISSING = object()
@@ -51,13 +65,241 @@ class StageCounters:
     misses: int = 0
 
 
-class ArtifactStore:
-    """Bounded, thread-safe, content-addressed LRU artifact cache."""
+#: Default size cap for the persistent tier (bytes).
+DEFAULT_DISK_BYTES = 256 * 1024 * 1024
 
-    def __init__(self, capacity: int = 512) -> None:
+#: After an eviction sweep the tier is trimmed below this fraction of
+#: the cap, so sweeps are amortized instead of firing on every put.
+_EVICT_TO = 0.8
+
+#: Puts between opportunistic eviction sweeps.
+_SWEEP_EVERY = 64
+
+#: Temp files older than this are crash debris: no write-then-rename
+#: takes minutes, so they can never be another process's in-flight
+#: publication and are safe to unlink during a sweep.
+_TMP_MAX_AGE_S = 300.0
+
+#: How long a cached (files, bytes) usage scan stays fresh. stats()
+#: is called on every /metrics publish, and walking tens of thousands
+#: of artifact files per request would dominate warm latency.
+_USAGE_TTL_S = 5.0
+
+
+class DiskStore:
+    """Persistent content-addressed artifact tier.
+
+    One pickle file per artifact under ``root``, sharded by digest
+    prefix (``root/ab/12cd….stage.pkl``) so directories stay small.
+    The design assumes *many concurrent readers and writers with no
+    coordination* — the multi-process server's workers all point at
+    the same directory:
+
+    * **atomic publication** — artifacts are written to a temp file in
+      ``root`` and ``os.replace``d into place, so a reader never
+      observes a half-written file;
+    * **corruption tolerance** — any failure to read or unpickle a
+      file (truncation, version skew, a garbage file dropped in the
+      directory) is treated as a miss and the offending file is
+      unlinked best-effort;
+    * **LRU by mtime** — hits refresh the file's mtime; when the tier
+      exceeds ``max_bytes`` an eviction sweep unlinks the stalest
+      files until it is back under ``_EVICT_TO`` of the cap. Sweeps
+      run at init and every ``_SWEEP_EVERY`` puts, not on each put.
+
+    Values that cannot be pickled are silently skipped (counted in
+    ``stats()['unpicklable']``) — the memory tier still holds them.
+    """
+
+    def __init__(self, root: str | Path,
+                 max_bytes: int = DEFAULT_DISK_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self.unpicklable = 0
+        self._puts_since_sweep = 0
+        self._usage: tuple[float, int, int] | None = None
+        self._sweep()
+
+    def path_for(self, key: ArtifactKey) -> Path:
+        shard, rest = digest_shard(key.digest)
+        return self.root / shard / f"{rest}.{key.stage}.pkl"
+
+    # -- cache protocol -----------------------------------------------------
+
+    def get(self, key: ArtifactKey, default: Any = None) -> Any:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return default
+        except Exception:
+            # Truncated write, pickle drift, or plain garbage: drop the
+            # file and treat it as a miss — the stage just recomputes.
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+            self._unlink_quietly(path)
+            return default
+        self._touch_quietly(path)             # refresh LRU recency
+        with self._lock:
+            self.hits += 1
+        return value
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            with self._lock:
+                self.unpicklable += 1
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename inside the tier's own directory: the rename
+        # stays on one filesystem, so publication is atomic.
+        if not atomic_write(path, blob, tmp_dir=self.root):
+            return
+        with self._lock:
+            self.writes += 1
+            self._puts_since_sweep += 1
+            sweep = self._puts_since_sweep >= _SWEEP_EVERY
+            if sweep:
+                self._puts_since_sweep = 0
+            if self._usage is not None:
+                # Keep the cached usage roughly current between scans
+                # (overwrites double-count briefly; the next sweep or
+                # TTL expiry measures exactly).
+                stamp, files, bytes_ = self._usage
+                self._usage = (stamp, files + 1, bytes_ + len(blob))
+        if sweep:
+            self._sweep()
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return self.path_for(key).exists()
+
+    def clear(self) -> None:
+        for path in self._artifact_files():
+            self._unlink_quietly(path)
+
+    # -- eviction -----------------------------------------------------------
+
+    def _artifact_files(self) -> list[Path]:
+        return [path for path in self.root.glob("??/*.pkl")]
+
+    def _sweep(self) -> None:
+        """Evict stalest artifacts until the tier fits ``max_bytes``.
+
+        Also reaps temp files orphaned by a crash between the temp
+        write and the rename — they are invisible to the size
+        accounting and would otherwise accumulate forever.
+        """
+        reap_temp_debris(self.root, older_than_s=_TMP_MAX_AGE_S)
+        entries = []
+        total = 0
+        for path in self._artifact_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue                      # concurrently evicted
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        evicted = 0
+        if total > self.max_bytes:
+            target = int(self.max_bytes * _EVICT_TO)
+            entries.sort()                    # stalest mtime first
+            for _, size, path in entries:
+                if total <= target:
+                    break
+                self._unlink_quietly(path)
+                total -= size
+                evicted += 1
+        with self._lock:
+            self.evictions += evicted
+            # The walk just measured the tier exactly — refresh the
+            # cached usage for free.
+            self._usage = (time.monotonic(), len(entries) - evicted, total)
+
+    @staticmethod
+    def _unlink_quietly(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass                              # another process got there
+
+    @staticmethod
+    def _touch_quietly(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass                              # evicted between read and touch
+
+    # -- statistics ---------------------------------------------------------
+
+    def usage(self, max_age_s: float = _USAGE_TTL_S) -> tuple[int, int]:
+        """``(files, bytes)`` on disk (shared across processes).
+
+        The directory walk is O(files) and ``stats()`` runs per
+        ``/metrics`` publish, so results are cached for ``max_age_s``
+        seconds; pass ``0`` to force a fresh scan.
+        """
+        with self._lock:
+            cached = self._usage
+        if cached is not None \
+                and time.monotonic() - cached[0] < max_age_s:
+            return cached[1], cached[2]
+        files = bytes_ = 0
+        for path in self._artifact_files():
+            try:
+                bytes_ += path.stat().st_size
+            except OSError:
+                continue
+            files += 1
+        with self._lock:
+            self._usage = (time.monotonic(), files, bytes_)
+        return files, bytes_
+
+    def stats(self) -> dict:
+        files, bytes_ = self.usage()
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "max_bytes": self.max_bytes,
+                "files": files,
+                "bytes": bytes_,
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "evictions": self.evictions,
+                "corrupt": self.corrupt,
+                "unpicklable": self.unpicklable,
+            }
+
+
+class ArtifactStore:
+    """Bounded, thread-safe, content-addressed LRU artifact cache.
+
+    With a ``disk`` tier attached, memory misses fall through to the
+    persistent store and disk hits are promoted into memory, so a
+    fresh process pointed at a warm directory starts warm.
+    """
+
+    def __init__(self, capacity: int = 512,
+                 disk: DiskStore | None = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.disk = disk
         self._entries: OrderedDict[ArtifactKey, Any] = OrderedDict()
         self._lock = threading.RLock()
         self._by_stage: dict[str, StageCounters] = {}
@@ -66,18 +308,33 @@ class ArtifactStore:
     # -- core cache protocol ------------------------------------------------
 
     def get(self, key: ArtifactKey, default: Any = None) -> Any:
-        """Look up an artifact, refreshing its recency on a hit."""
+        """Look up an artifact, refreshing its recency on a hit.
+
+        Memory misses probe the disk tier (when attached); a disk hit
+        counts as a memory miss in the per-stage counters but is
+        promoted into the memory tier for next time.
+        """
         with self._lock:
             counters = self._counters(key.stage)
             value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
-                counters.misses += 1
-                return default
-            self._entries.move_to_end(key)
-            counters.hits += 1
-            return value
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                counters.hits += 1
+                return value
+            counters.misses += 1
+        if self.disk is not None:
+            value = self.disk.get(key, _MISSING)
+            if value is not _MISSING:
+                self._put_memory(key, value)  # promote
+                return value
+        return default
 
     def put(self, key: ArtifactKey, value: Any) -> None:
+        self._put_memory(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def _put_memory(self, key: ArtifactKey, value: Any) -> None:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -101,16 +358,22 @@ class ArtifactStore:
         return value
 
     def __contains__(self, key: ArtifactKey) -> bool:
+        """True if either tier can serve ``key`` (no counters touched)."""
         with self._lock:
-            return key in self._entries
+            if key in self._entries:
+                return True
+        return self.disk is not None and key in self.disk
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def clear(self) -> None:
+        """Drop both tiers — a later get must recompute, not resurrect."""
         with self._lock:
             self._entries.clear()
+        if self.disk is not None:
+            self.disk.clear()
 
     # -- statistics ---------------------------------------------------------
 
@@ -137,9 +400,14 @@ class ArtifactStore:
             return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Snapshot for ``/metrics``: totals plus per-stage counters."""
+        """Snapshot for ``/metrics``: totals plus per-stage counters.
+
+        When a persistent tier is attached its statistics ride along
+        under ``"disk"`` (absent otherwise, so memory-only deployments
+        keep their historical metrics shape).
+        """
         with self._lock:
-            return {
+            snapshot = {
                 "capacity": self.capacity,
                 "entries": len(self._entries),
                 "hits": self.hits,
@@ -151,3 +419,6 @@ class ArtifactStore:
                     for stage, c in sorted(self._by_stage.items())
                 },
             }
+        if self.disk is not None:
+            snapshot["disk"] = self.disk.stats()
+        return snapshot

@@ -78,6 +78,25 @@ class ServiceClient:
             raise ServiceError(status, decoded)
         return decoded
 
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the server answers (or raise).
+
+        Spawning ``serve`` as a subprocess (the multi-process tests and
+        benchmarks do) races the first request against worker startup;
+        this absorbs the race.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServiceError, ValueError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
     # -- endpoints -----------------------------------------------------------
 
     def health(self) -> dict:

@@ -27,10 +27,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+from pathlib import Path
+
 from ..errors import DahliaError
 from ..source import SourceFile
 from ..util.diagnostics import diagnostic_payload
-from .artifacts import ArtifactKey, ArtifactStore, artifact_key
+from .artifacts import (
+    DEFAULT_DISK_BYTES,
+    ArtifactKey,
+    ArtifactStore,
+    DiskStore,
+    artifact_key,
+)
 
 #: Signature of a stage body: (pipeline, source, options) → artifact.
 StageFn = Callable[["CompilerPipeline", str, dict], Any]
@@ -71,11 +79,25 @@ def relevant_options(stage: str) -> tuple[str, ...]:
 
 
 class CompilerPipeline:
-    """A compilation pipeline bound to one artifact store."""
+    """A compilation pipeline bound to one artifact store.
+
+    ``disk`` attaches a persistent artifact tier: pass a directory (or
+    a ready :class:`DiskStore`) and stage results are also written to
+    — and, after a restart, served from — that directory. Processes
+    sharing the directory share the warm cache; soundness follows from
+    the content-addressed keys (stage + source + relevant options).
+    """
 
     def __init__(self, store: ArtifactStore | None = None,
-                 capacity: int = 512) -> None:
-        self.store = store if store is not None else ArtifactStore(capacity)
+                 capacity: int = 512,
+                 disk: DiskStore | str | Path | None = None,
+                 disk_bytes: int = DEFAULT_DISK_BYTES) -> None:
+        if store is not None:
+            self.store = store
+        else:
+            tier = (disk if isinstance(disk, DiskStore) or disk is None
+                    else DiskStore(disk, max_bytes=disk_bytes))
+            self.store = ArtifactStore(capacity, disk=tier)
 
     def key(self, stage: str, source: str,
             options: Mapping[str, Any] | None = None) -> ArtifactKey:

@@ -21,6 +21,18 @@ headers, ``Content-Length`` bodies, keep-alive) on
 on a thread pool behind an ``asyncio.Semaphore``, so concurrency is
 bounded and a slow ``/dse`` sweep cannot starve the accept loop.
 
+**Multi-process serving** (``dahlia-py serve --workers N``): the entry
+point preforks ``N`` identical worker processes sharing one listening
+port — each worker binds its own ``SO_REUSEPORT`` socket where the
+platform supports it, otherwise all workers accept on a single
+listening socket inherited over ``fork``. Workers share the
+*persistent artifact tier* (``--cache-dir``), so any worker can serve
+any other worker's cached stage results, and publish their per-process
+statistics to a :class:`WorkerBoard` (one JSON file per worker, atomic
+rename) from which any worker answers ``/metrics`` with
+fleet-aggregated numbers and ``/healthz`` with per-worker liveness.
+The parent process only supervises: it respawns workers that die.
+
 Parity contract: the response body for a POST endpoint is exactly
 ``encode_payload(service.respond(endpoint, request))`` — the same
 payload a direct library call through the
@@ -34,12 +46,17 @@ import asyncio
 import contextlib
 import json
 import os
+import socket
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping
 
+from ..util.fsio import atomic_write, reap_temp_debris
+from .artifacts import DEFAULT_DISK_BYTES
 from .pipeline import (
     STAGES,
     CompilerPipeline,
@@ -96,6 +113,156 @@ class EndpointMetrics:
         }
 
 
+#: Seconds between idle stats publications from each worker.
+HEARTBEAT_S = 2.0
+
+#: A worker whose stats file is older than this many heartbeats is
+#: reported stale even if its pid still exists (e.g. a hung process).
+_STALE_HEARTBEATS = 5
+
+#: A worker death this soon after its spawn counts toward the
+#: supervisor's crash-loop guard; this many in a row aborts the fleet.
+_FAST_DEATH_S = 5.0
+_MAX_FAST_DEATHS = 5
+
+
+class WorkerBoard:
+    """Cross-process statistics board for the prefork worker fleet.
+
+    Each worker owns one JSON file (``worker-<i>.json``) under the
+    board directory and republishes its snapshot after every request
+    and on an idle heartbeat. Files are written with the same
+    write-then-rename discipline as the disk artifact tier, so readers
+    never see torn JSON. Any worker can then answer ``/metrics`` for
+    the whole fleet by reading every file — there is no IPC beyond the
+    filesystem, which is exactly the dependency the shared artifact
+    tier already implies.
+    """
+
+    def __init__(self, root: str | Path, worker: int | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.worker = worker
+        self._lock = threading.Lock()
+        reap_temp_debris(self.root)          # crash orphans from publish()
+
+    def path_for(self, worker: int) -> Path:
+        return self.root / f"worker-{worker}.json"
+
+    def publish(self, payload: dict) -> None:
+        """Atomically replace this worker's stats file.
+
+        The snapshot is taken under the lock, so concurrent publishers
+        in one process cannot overwrite newer counters with older ones.
+        """
+        if self.worker is None:
+            return
+        with self._lock:
+            record = {
+                "worker": self.worker,
+                "pid": os.getpid(),
+                "updated": time.time(),
+                **payload,
+            }
+            atomic_write(self.path_for(self.worker),
+                         json.dumps(record).encode(), tmp_dir=self.root)
+
+    def read_all(self) -> list[dict]:
+        """Every worker's latest snapshot (unreadable files skipped)."""
+        records = []
+        for path in sorted(self.root.glob("worker-*.json")):
+            try:
+                records.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue                      # mid-replace or vanished
+        return records
+
+    @staticmethod
+    def pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OSError):
+            return True                       # exists but not ours
+        except AttributeError:                # pragma: no cover — no os.kill
+            return True
+        return True
+
+    def liveness(self) -> list[dict]:
+        """Per-worker liveness for ``/healthz``."""
+        now = time.time()
+        report = []
+        for record in self.read_all():
+            age = max(0.0, now - float(record.get("updated", 0.0)))
+            pid = int(record.get("pid", -1))
+            report.append({
+                "worker": record.get("worker"),
+                "pid": pid,
+                "alive": (self.pid_alive(pid)
+                          and age < _STALE_HEARTBEATS * HEARTBEAT_S),
+                "heartbeat_age_s": round(age, 3),
+            })
+        return report
+
+
+def _aggregate_metrics(records: list[dict]) -> dict:
+    """Fold per-worker ``/metrics`` snapshots into fleet totals.
+
+    Counters sum; ``max_ms`` takes the max; means are recomputed from
+    the summed totals. Disk-tier ``files``/``bytes`` describe the one
+    shared directory, so they are taken from the freshest snapshot
+    rather than summed.
+    """
+    endpoints: dict[str, dict] = {}
+    cache = {"capacity": 0, "entries": 0, "hits": 0, "misses": 0,
+             "evictions": 0, "stages": {}}
+    disk: dict | None = None
+    freshest = -1.0
+    for record in records:
+        metrics = record.get("metrics", {})
+        for path, row in metrics.get("endpoints", {}).items():
+            into = endpoints.setdefault(path, {
+                "requests": 0, "errors": 0, "total_ms": 0.0, "max_ms": 0.0})
+            into["requests"] += row.get("requests", 0)
+            into["errors"] += row.get("errors", 0)
+            into["total_ms"] += row.get("total_ms", 0.0)
+            into["max_ms"] = max(into["max_ms"], row.get("max_ms", 0.0))
+        row = metrics.get("cache", {})
+        for key in ("capacity", "entries", "hits", "misses", "evictions"):
+            cache[key] += row.get(key, 0)
+        for stage, counters in row.get("stages", {}).items():
+            into = cache["stages"].setdefault(stage,
+                                              {"hits": 0, "misses": 0})
+            into["hits"] += counters.get("hits", 0)
+            into["misses"] += counters.get("misses", 0)
+        if "disk" in row:
+            if disk is None:
+                disk = {key: 0 for key in
+                        ("hits", "misses", "writes", "evictions",
+                         "corrupt", "unpicklable")}
+            for key in ("hits", "misses", "writes", "evictions",
+                        "corrupt", "unpicklable"):
+                disk[key] += row["disk"].get(key, 0)
+            updated = float(record.get("updated", 0.0))
+            if updated > freshest:
+                freshest = updated
+                for key in ("root", "max_bytes", "files", "bytes"):
+                    disk[key] = row["disk"].get(key)
+    for path, row in endpoints.items():
+        requests = row["requests"]
+        row["mean_ms"] = round(row["total_ms"] / requests, 3) \
+            if requests else 0.0
+        row["total_ms"] = round(row["total_ms"], 3)
+        row["max_ms"] = round(row["max_ms"], 3)
+    total = cache["hits"] + cache["misses"]
+    cache["hit_rate"] = round(cache["hits"] / total, 4) if total else 0.0
+    cache["stages"] = dict(sorted(cache["stages"].items()))
+    if disk is not None:
+        cache["disk"] = disk
+    return {"endpoints": dict(sorted(endpoints.items())), "cache": cache}
+
+
 class DahliaService:
     """The endpoint logic, independent of any transport.
 
@@ -106,10 +273,15 @@ class DahliaService:
     """
 
     def __init__(self, pipeline: CompilerPipeline | None = None,
-                 capacity: int = 512, dse_workers: int | None = 1) -> None:
-        self.pipeline = pipeline or CompilerPipeline(capacity=capacity)
+                 capacity: int = 512, dse_workers: int | None = 1,
+                 cache_dir: str | Path | None = None,
+                 cache_bytes: int = DEFAULT_DISK_BYTES,
+                 board: WorkerBoard | None = None) -> None:
+        self.pipeline = pipeline or CompilerPipeline(
+            capacity=capacity, disk=cache_dir, disk_bytes=cache_bytes)
         self.dse_workers = max(1, dse_workers or 1)
         self.inflight_limit: int | None = None   # set by the server
+        self.board = board
         self._metrics: dict[str, EndpointMetrics] = {}
         self._metrics_lock = threading.Lock()
         self._started = time.perf_counter()
@@ -157,18 +329,63 @@ class DahliaService:
     def health(self) -> dict:
         from .. import __version__
 
-        return {"ok": True, "service": "dahlia-py", "version": __version__}
+        payload = {"ok": True, "service": "dahlia-py",
+                   "version": __version__}
+        if self.board is not None:
+            workers = self.board.liveness()
+            payload["ok"] = bool(workers) and all(
+                worker["alive"] for worker in workers)
+            payload["workers"] = workers
+        return payload
 
-    def metrics(self) -> dict:
+    def local_metrics(self) -> dict:
+        """This process's own counters (what workers publish)."""
         with self._metrics_lock:
             endpoints = {path: m.as_dict()
                          for path, m in sorted(self._metrics.items())}
         return {
-            "ok": True,
             "uptime_s": round(time.perf_counter() - self._started, 3),
             "inflight_limit": self.inflight_limit,
             "endpoints": endpoints,
             "cache": self.pipeline.stats(),
+        }
+
+    def publish_stats(self) -> None:
+        """Push this worker's snapshot to the board (no-op unboarded)."""
+        if self.board is not None:
+            self.board.publish({"metrics": self.local_metrics()})
+
+    def metrics(self) -> dict:
+        """``/metrics``: solo counters, or fleet totals when boarded.
+
+        A boarded worker first republishes its own snapshot, so the
+        aggregate always includes the answering worker's latest state;
+        peer snapshots are at most one request or heartbeat old.
+        """
+        local = self.local_metrics()
+        if self.board is None:
+            return {"ok": True, **local}
+        self.publish_stats()
+        records = self.board.read_all()
+        aggregated = _aggregate_metrics(records)
+        return {
+            "ok": True,
+            "uptime_s": local["uptime_s"],
+            "inflight_limit": local["inflight_limit"],
+            "workers": {
+                "count": len(records),
+                "per_worker": {
+                    str(record.get("worker")): {
+                        "pid": record.get("pid"),
+                        "requests": sum(
+                            row.get("requests", 0) for row in
+                            record.get("metrics", {})
+                            .get("endpoints", {}).values()),
+                    }
+                    for record in records
+                },
+            },
+            **aggregated,
         }
 
     def stages(self) -> dict:
@@ -209,7 +426,10 @@ class DahliaService:
                   body: bytes) -> tuple[int, Any]:
         if method == "GET":
             if path == "/healthz":
-                return 200, self.health()
+                payload = self.health()
+                # Status-code probes (curl -f, LB checks) must see a
+                # degraded fleet without parsing the body.
+                return (200 if payload["ok"] else 503), payload
             if path == "/metrics":
                 return 200, self.metrics()
             if path == "/stages":
@@ -235,7 +455,8 @@ class DahliaService:
 # ---------------------------------------------------------------------------
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 500: "Internal Server Error"}
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 #: Reject bodies larger than this (defense against unbounded buffering).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -296,27 +517,49 @@ class ServiceServer:
 
     def __init__(self, service: DahliaService | None = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 max_inflight: int = 8, threads: int | None = None) -> None:
+                 max_inflight: int = 8, threads: int | None = None,
+                 sock: socket.socket | None = None) -> None:
         self.service = service or DahliaService()
         self.host = host
         self.port = port                      # 0 = ephemeral; set by start
         self.max_inflight = max(1, max_inflight)
         self._threads = threads or max(2, min(self.max_inflight,
                                               (os.cpu_count() or 1) * 2))
+        self._sock = sock                     # pre-bound (prefork workers)
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._semaphore: asyncio.Semaphore | None = None
+        self._heartbeat: asyncio.Task | None = None
 
     async def start(self) -> None:
         self.service.inflight_limit = self.max_inflight
         self._executor = ThreadPoolExecutor(
             max_workers=self._threads, thread_name_prefix="dahlia-svc")
         self._semaphore = asyncio.Semaphore(self.max_inflight)
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port)
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self._sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.service.board is not None:
+            self.service.publish_stats()      # appear on the board now
+            self._heartbeat = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop())
+
+    async def _heartbeat_loop(self) -> None:
+        """Keep this worker's board entry fresh while idle."""
+        while True:
+            await asyncio.sleep(HEARTBEAT_S)
+            self.service.publish_stats()
 
     async def stop(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._heartbeat
+            self._heartbeat = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -347,16 +590,30 @@ class ServiceServer:
                 loop = asyncio.get_running_loop()
                 assert self._semaphore and self._executor
                 if method == "GET":
-                    # Probes (/healthz, /metrics, /stages) are cheap
-                    # and must answer even when every semaphore slot
-                    # is held by a long-running sweep.
-                    status, payload = self.service.handle(
-                        method, path, body)
+                    # Probes (/healthz, /metrics, /stages) bypass the
+                    # semaphore so they answer even when every slot is
+                    # held by a long-running sweep. On a boarded worker
+                    # they also read/publish board files, so they run
+                    # on the executor to keep the accept loop clean.
+                    if self.service.board is not None:
+                        status, payload = await loop.run_in_executor(
+                            self._executor, self.service.handle,
+                            method, path, body)
+                    else:
+                        status, payload = self.service.handle(
+                            method, path, body)
                 else:
                     async with self._semaphore:
                         status, payload = await loop.run_in_executor(
                             self._executor, self.service.handle,
                             method, path, body)
+                    if self.service.board is not None:
+                        # Publish before responding so a client that saw
+                        # this response observes it in fleet /metrics —
+                        # on the executor, so the board's file I/O never
+                        # stalls the accept loop.
+                        await loop.run_in_executor(
+                            self._executor, self.service.publish_stats)
                 data = encode_payload(payload)
                 writer.write(_response_bytes(status, data, keep_alive))
                 await writer.drain()
@@ -444,19 +701,206 @@ class BackgroundServer:
             self._thread.join(timeout=30)
 
 
-def serve(host: str = "127.0.0.1", port: int = 8080, *,
-          capacity: int = 512, max_inflight: int = 8,
-          dse_workers: int | None = 1) -> None:
-    """Blocking entry point behind ``dahlia-py serve``."""
-    service = DahliaService(capacity=capacity, dse_workers=dse_workers)
+# ---------------------------------------------------------------------------
+# The prefork multi-process entry point.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WorkerConfig:
+    """Everything a worker process needs (picklable for ``spawn``)."""
+
+    worker: int
+    host: str
+    port: int
+    capacity: int
+    max_inflight: int
+    dse_workers: int | None
+    cache_dir: str | None
+    cache_bytes: int
+    board_dir: str
+    reuse_port: bool
+
+
+def _bind_socket(host: str, port: int, *, reuse_port: bool,
+                 listen: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(config: _WorkerConfig,
+                 listen_sock: socket.socket | None) -> None:
+    """One prefork worker: its own service, cache view, and board file.
+
+    ``listen_sock`` is the parent's listening socket on the
+    fd-inheritance path; on the ``SO_REUSEPORT`` path it is ``None``
+    and the worker binds its own socket to the already-resolved port.
+    """
+    import signal
+
+    # A respawned worker forked after the supervisor installed its
+    # shutdown handler would inherit it — SIGTERM would then set a
+    # useless copy of the parent's stop event instead of terminating.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    board = WorkerBoard(config.board_dir, worker=config.worker)
+    service = DahliaService(
+        capacity=config.capacity, dse_workers=config.dse_workers,
+        cache_dir=config.cache_dir, cache_bytes=config.cache_bytes,
+        board=board)
+
+    async def run() -> None:
+        sock = listen_sock
+        if sock is None:
+            sock = _bind_socket(config.host, config.port,
+                                reuse_port=True, listen=True)
+        server = ServiceServer(service, config.host, config.port,
+                               max_inflight=config.max_inflight, sock=sock)
+        await server.start()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+
+
+def _serve_prefork(host: str, port: int, *, capacity: int,
+                   max_inflight: int, dse_workers: int | None,
+                   workers: int, cache_dir: str | None,
+                   cache_bytes: int) -> None:
+    """Supervise a fleet of worker processes sharing one port."""
+    import multiprocessing
+    import signal
+
+    reuse_port = hasattr(socket, "SO_REUSEPORT")
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        context = multiprocessing.get_context("fork")
+    elif reuse_port:
+        context = multiprocessing.get_context("spawn")
+    else:                                     # pragma: no cover — exotic
+        print("warning: neither fork nor SO_REUSEPORT available; "
+              "serving single-process", flush=True)
+        return _serve_single(host, port, capacity=capacity,
+                             max_inflight=max_inflight,
+                             dse_workers=dse_workers,
+                             cache_dir=cache_dir, cache_bytes=cache_bytes)
+
+    if reuse_port:
+        # Bind (without listening) to resolve the port and hold it for
+        # respawns; every worker binds its own SO_REUSEPORT socket and
+        # the kernel load-balances accepted connections across them.
+        guard = _bind_socket(host, port, reuse_port=True, listen=False)
+        listen_sock: socket.socket | None = None
+    else:
+        # No SO_REUSEPORT: bind + listen once and let every forked
+        # worker accept on the inherited descriptor.
+        guard = _bind_socket(host, port, reuse_port=False, listen=True)
+        listen_sock = guard
+    port = guard.getsockname()[1]
+
+    board_is_temp = cache_dir is None
+    board_dir = (Path(tempfile.mkdtemp(prefix="dahlia-board-"))
+                 if board_is_temp else Path(cache_dir) / "workers")
+    board_dir.mkdir(parents=True, exist_ok=True)
+    for stale in board_dir.glob("worker-*.json"):
+        with contextlib.suppress(OSError):
+            stale.unlink()
+
+    def spawn(index: int):
+        config = _WorkerConfig(
+            worker=index, host=host, port=port, capacity=capacity,
+            max_inflight=max_inflight, dse_workers=dse_workers,
+            cache_dir=cache_dir, cache_bytes=cache_bytes,
+            board_dir=str(board_dir), reuse_port=reuse_port)
+        process = context.Process(target=_worker_main,
+                                  args=(config, listen_sock),
+                                  name=f"dahlia-worker-{index}")
+        process.start()
+        return process, time.monotonic()
+
+    fleet = {}
+    spawned_at = {}
+    for index in range(workers):
+        fleet[index], spawned_at[index] = spawn(index)
+    fast_deaths = {index: 0 for index in range(workers)}
+    stop = threading.Event()
+
+    def request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+
+    tier = f"disk tier {cache_dir}" if cache_dir else "memory-only cache"
+    print(f"dahlia-py service listening on http://{host}:{port} "
+          f"({workers} workers via "
+          f"{'SO_REUSEPORT' if reuse_port else 'shared listener'}, "
+          f"{tier}, max in-flight {max_inflight}/worker)", flush=True)
+
+    try:
+        while not stop.is_set():
+            stop.wait(timeout=1.0)
+            for index, process in list(fleet.items()):
+                if process.is_alive() or stop.is_set():
+                    continue
+                # Crash-loop guard: a worker that keeps dying within
+                # seconds of starting (bad cache dir, import error, …)
+                # will never serve; surface the failure instead of
+                # respawning forever.
+                if time.monotonic() - spawned_at[index] < _FAST_DEATH_S:
+                    fast_deaths[index] += 1
+                else:
+                    fast_deaths[index] = 0
+                if fast_deaths[index] >= _MAX_FAST_DEATHS:
+                    raise RuntimeError(
+                        f"worker {index} died {fast_deaths[index]} times "
+                        f"within {_FAST_DEATH_S}s of spawning (last exit "
+                        f"code {process.exitcode}); giving up")
+                print(f"worker {index} (pid {process.pid}) died with "
+                      f"exit code {process.exitcode}; respawning",
+                      flush=True)
+                fleet[index], spawned_at[index] = spawn(index)
+    finally:
+        for process in fleet.values():
+            if process.is_alive():
+                process.terminate()
+        for process in fleet.values():
+            process.join(timeout=10)
+        guard.close()
+        if board_is_temp:
+            import shutil
+
+            shutil.rmtree(board_dir, ignore_errors=True)
+
+
+def _serve_single(host: str, port: int, *, capacity: int,
+                  max_inflight: int, dse_workers: int | None,
+                  cache_dir: str | None, cache_bytes: int) -> None:
+    service = DahliaService(capacity=capacity, dse_workers=dse_workers,
+                            cache_dir=cache_dir, cache_bytes=cache_bytes)
 
     async def main() -> None:
         server = ServiceServer(service, host, port,
                                max_inflight=max_inflight)
         await server.start()
+        tier = f"disk tier {cache_dir}" if cache_dir else "memory-only cache"
         print(f"dahlia-py service listening on "
               f"http://{server.host}:{server.port} "
-              f"(cache capacity {capacity}, "
+              f"(cache capacity {capacity}, {tier}, "
               f"max in-flight {max_inflight})", flush=True)
         try:
             await asyncio.Event().wait()
@@ -467,3 +911,30 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
         asyncio.run(main())
     except KeyboardInterrupt:
         pass
+
+
+def serve(host: str = "127.0.0.1", port: int = 8080, *,
+          capacity: int = 512, max_inflight: int = 8,
+          dse_workers: int | None = 1, workers: int = 1,
+          cache_dir: str | Path | None = None,
+          cache_bytes: int = DEFAULT_DISK_BYTES) -> None:
+    """Blocking entry point behind ``dahlia-py serve``.
+
+    ``workers > 1`` preforks that many serving processes sharing the
+    port and — when ``cache_dir`` is set — the persistent artifact
+    tier. ``cache_dir`` defaults to ``$REPRO_CACHE_DIR`` when that is
+    set, else the cache is memory-only.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    cache_dir = str(cache_dir) if cache_dir else None
+    workers = max(1, workers)
+    if workers == 1:
+        _serve_single(host, port, capacity=capacity,
+                      max_inflight=max_inflight, dse_workers=dse_workers,
+                      cache_dir=cache_dir, cache_bytes=cache_bytes)
+    else:
+        _serve_prefork(host, port, capacity=capacity,
+                       max_inflight=max_inflight, dse_workers=dse_workers,
+                       workers=workers, cache_dir=cache_dir,
+                       cache_bytes=cache_bytes)

@@ -1,0 +1,61 @@
+"""Atomic file publication shared by the disk cache tiers.
+
+Both the persistent artifact tier (:mod:`repro.service.artifacts`) and
+the worker stats board (:mod:`repro.service.server`) publish files
+that concurrent uncoordinated processes read: the only sound primitive
+is write-to-temp-then-rename on one filesystem. Keeping the discipline
+here means a future hardening (fsync-before-rename, different temp
+naming) lands in every publisher at once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+#: Prefix for in-flight publications; reap helpers key on it.
+TMP_PREFIX = ".tmp-"
+
+
+def atomic_write(path: Path, data: bytes, *, tmp_dir: Path) -> bool:
+    """Atomically publish ``data`` at ``path`` via temp-file + rename.
+
+    ``tmp_dir`` must be on the same filesystem as ``path`` (pass the
+    store's root). Returns ``False`` — leaving no debris — if the OS
+    rejects the write; a reader never observes a partial file.
+    """
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=tmp_dir, prefix=TMP_PREFIX, suffix=path.suffix)
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        return False
+    return True
+
+
+def reap_temp_debris(root: Path, *, older_than_s: float | None = None) -> None:
+    """Unlink ``.tmp-*`` files orphaned by a crash mid-publication.
+
+    With ``older_than_s`` only files stale by at least that many
+    seconds are removed, so another process's in-flight publication is
+    never touched; ``None`` reaps unconditionally (safe only when no
+    concurrent publisher can exist, e.g. a board dir at worker boot).
+    """
+    import time
+
+    now = time.time()
+    for debris in root.glob(TMP_PREFIX + "*"):
+        try:
+            if older_than_s is not None \
+                    and now - debris.stat().st_mtime <= older_than_s:
+                continue
+            debris.unlink()
+        except OSError:
+            continue                          # mid-publication or gone

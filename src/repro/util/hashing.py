@@ -4,6 +4,8 @@ One home for every hash in the repository:
 
 * :func:`content_key` — the hex fingerprint the content-addressed
   artifact store (:mod:`repro.service.artifacts`) keys on;
+* :func:`digest_shard` — the two-level path layout the persistent
+  artifact tier stores those fingerprints under;
 * :func:`source_digest` — the DSE engine's memoization fallback key for
   generated sources without an ``acceptance_key`` projection;
 * :func:`stable_unit` / :func:`jitter` — the deterministic pseudo-noise
@@ -32,6 +34,18 @@ def content_key(*parts: str | bytes) -> str:
         hasher.update(len(data).to_bytes(8, "big"))
         hasher.update(data)
     return hasher.hexdigest()
+
+
+def digest_shard(digest: str, width: int = 2) -> tuple[str, str]:
+    """Split a hex digest into ``(shard, rest)`` path components.
+
+    The on-disk artifact tier fans files out under 256 two-hex-char
+    shard directories so no single directory grows unboundedly:
+    ``ab12cd…`` is stored at ``ab/12cd…``.
+    """
+    if len(digest) <= width:
+        raise ValueError(f"digest {digest!r} too short to shard")
+    return digest[:width], digest[width:]
 
 
 def options_fingerprint(options: Mapping[str, object] | None) -> str:
