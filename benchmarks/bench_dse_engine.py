@@ -4,21 +4,27 @@ Times the sampled Fig. 7 gemm-blocked sweep through three paths:
 
 * ``explore``  — the sequential reference implementation;
 * ``engine-1`` — the engine inline (memoization + SoA, no pool);
-* ``engine-N`` — the engine with the default worker fan-out.
+* ``engine-N`` — the engine with the default worker fan-out;
+
+plus the **parse-vs-check frontend split**: per-point cost of
+re-parsing rendered source vs substituting into the once-parsed
+family template vs the checker run itself (identical either way).
 
 ``benchmarks/record_dse_bench.py`` runs the same sweeps standalone and
-appends points/sec to ``BENCH_dse.json`` so PRs accumulate a throughput
-trajectory (see PERFORMANCE.md).
+appends points/sec — and the measured split — to ``BENCH_dse.json`` so
+PRs accumulate a throughput trajectory (see PERFORMANCE.md).
 """
 
 from repro.dse import explore, sweep
 from repro.suite import (
+    gemm_blocked_family,
     gemm_blocked_kernel,
     gemm_blocked_source,
     gemm_blocked_space,
 )
 
 from .helpers import print_table
+from .record_dse_bench import measure_parse_check_split
 
 SAMPLE = 600
 
@@ -44,9 +50,38 @@ def test_engine_throughput_vs_reference(benchmark):
             ["workers", stats.workers],
             ["checker runs", stats.checker_runs],
             ["memo hits", stats.memo_hits],
+            ["parses", stats.parses],
         ])
     assert result.total == len(configs)
     assert stats.checker_runs + stats.memo_hits == len(configs)
+    # Parse-free contract: at most one parse per structural variant.
+    variants = {gemm_blocked_family.variant_of(config)
+                for config in configs}
+    assert stats.parses <= len(variants)
+
+
+def test_parse_vs_check_split(benchmark):
+    configs = _configs()[:200]
+
+    split = benchmark.pedantic(
+        lambda: measure_parse_check_split(
+            configs, gemm_blocked_family, gemm_blocked_source),
+        rounds=1, iterations=1)
+    print_table(
+        "Frontend cost split (per point, sampled Fig. 7 space)",
+        ["metric", "value"],
+        [
+            ["points", split["points"]],
+            ["parse ms/pt", split["parse_ms_per_point"]],
+            ["substitute ms/pt", split["substitute_ms_per_point"]],
+            ["check ms/pt", split["check_ms_per_point"]],
+            ["parse share of frontend",
+             f"{split['parse_fraction_of_frontend']:.0%}"],
+            ["parse / substitute", split["parse_over_substitute"]],
+        ])
+    assert split["points"] == len(configs)
+    assert split["parse_ms_per_point"] > 0
+    assert split["substitute_ms_per_point"] > 0
 
 
 def test_reference_explore_baseline(benchmark):

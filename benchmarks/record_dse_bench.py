@@ -8,7 +8,12 @@ Run from the repo root:
 Each invocation appends one entry per measured path (sequential
 reference, engine with 1 worker, engine with the default worker count)
 to the ``BENCH_dse.json`` trajectory, so successive PRs can be compared
-on points/sec. See PERFORMANCE.md for the methodology.
+on points/sec, plus a ``frontend_split`` record: the measured per-point
+cost of parsing vs type-checking vs template substitution — the
+numbers behind the resolved-IR refactor (engine entries carry a
+``parses`` count; the template path keeps it at the structural-variant
+count instead of one parse per checker run). See PERFORMANCE.md for
+the methodology.
 """
 
 from __future__ import annotations
@@ -24,12 +29,62 @@ from pathlib import Path
 from repro.dse import explore, sweep
 from repro.dse.engine import resolve_workers
 from repro.suite import (
+    gemm_blocked_family,
     gemm_blocked_kernel,
     gemm_blocked_source,
     gemm_blocked_space,
 )
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+
+def measure_parse_check_split(configs, family, source_fn) -> dict:
+    """Per-point frontend cost split over ``configs``.
+
+    Times the three frontend strategies a sweep could use per checker
+    run: re-parse the rendered source, template-substitute the
+    once-parsed AST, and the checker run itself (identical either
+    way). Template parses are excluded by prebuilding every touched
+    variant — exactly what a sweep amortizes.
+    """
+    from repro.errors import DahliaError
+    from repro.types.checker import check_program
+
+    from repro.frontend.parser import parse
+
+    sources = [source_fn(config) for config in configs]
+
+    started = time.perf_counter()
+    programs = [parse(source) for source in sources]
+    parse_s = time.perf_counter() - started
+
+    for config in configs:                 # prebuild variant templates
+        family.template_for(config)
+    started = time.perf_counter()
+    substituted = [family.instantiate(config) for config in configs]
+    substitute_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for program in substituted:
+        try:
+            check_program(program)
+        except DahliaError:
+            pass
+    check_s = time.perf_counter() - started
+    del programs
+
+    n = max(1, len(configs))
+    frontend = parse_s + check_s
+    return {
+        "points": len(configs),
+        "parse_ms_per_point": round(parse_s / n * 1000, 4),
+        "substitute_ms_per_point": round(substitute_s / n * 1000, 4),
+        "check_ms_per_point": round(check_s / n * 1000, 4),
+        "parse_fraction_of_frontend": round(parse_s / frontend, 4)
+        if frontend else 0.0,
+        "parse_over_substitute": round(parse_s / substitute_s, 2)
+        if substitute_s else None,
+    }
 
 
 def _git_revision() -> str:
@@ -85,6 +140,9 @@ def main() -> int:
     configs = list(space) if full else list(space.sample(args.sample))
 
     entries = measure(configs)
+    split = measure_parse_check_split(
+        configs[:min(400, len(configs))], gemm_blocked_family,
+        gemm_blocked_source)
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "revision": _git_revision(),
@@ -94,6 +152,7 @@ def main() -> int:
         "cpus": os.cpu_count(),
         "python": platform.python_version(),
         "runs": entries,
+        "frontend_split": split,
     }
 
     history = []

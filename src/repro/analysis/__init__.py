@@ -12,7 +12,7 @@
   loop-carried recurrences bound the achievable II.
 """
 
-from .liveness import RegisterReport, classify_locals
+from .liveness import RegisterReport, classify_locals, classify_resolved
 from .pipeline import (
     BankPressure,
     PipelineReport,
@@ -28,6 +28,7 @@ __all__ = [
     "analyze_pipelines",
     "analyze_pipelines_source",
     "classify_locals",
+    "classify_resolved",
     "count_logical_steps",
     "fuse_steps",
 ]

@@ -177,6 +177,11 @@ def classify_locals(program: ast.Program) -> RegisterReport:
     return analyzer.report
 
 
+def classify_resolved(resolved) -> RegisterReport:
+    """Classify the locals of a :class:`~repro.ir.ResolvedProgram`."""
+    return classify_locals(resolved.ast)
+
+
 def classify_source(source: str) -> RegisterReport:
     from ..frontend.parser import parse
 

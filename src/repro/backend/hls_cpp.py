@@ -321,12 +321,21 @@ def compile_program(program: ast.Program,
     return "\n".join(header + emitter.lines) + "\n"
 
 
+def compile_resolved(resolved,
+                     options: EmitterOptions | None = None) -> str:
+    """Compile a :class:`~repro.ir.ResolvedProgram` to HLS C++.
+
+    Consumes the resolved layer's memoized checker verdict instead of
+    re-deriving tables from the surface AST: if any consumer already
+    checked this program, the verdict is replayed for free.
+    """
+    resolved.check()
+    return compile_program(resolved.ast, options)
+
+
 def compile_source(source: str,
                    options: EmitterOptions | None = None) -> str:
     """Parse, type-check, and compile Dahlia source to HLS C++."""
-    from ..frontend.parser import parse
-    from ..types.checker import check_program
+    from ..ir import resolve_source
 
-    program = parse(source)
-    check_program(program)
-    return compile_program(program, options)
+    return compile_resolved(resolve_source(source), options)

@@ -12,7 +12,10 @@ Subcommands mirror the stages of Figure 1:
   netlist/cycle report with ``--report``;
 * ``pipeline`` — per-loop initiation-interval report (§6);
 * ``dse``      — run a §5.2/§5.3 design-space sweep through the
-  high-throughput engine (parallel workers + acceptance memoization);
+  high-throughput engine (parallel workers + acceptance memoization +
+  parse-free template substitution);
+* ``cache``    — artifact-cache maintenance (``cache prewarm`` walks a
+  corpus and warms the persistent tier ahead of traffic);
 * ``serve``    — start the compiler service (asyncio JSON-over-HTTP
   with a content-addressed artifact cache).
 
@@ -394,6 +397,54 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+def cmd_cache_prewarm(args: argparse.Namespace) -> int:
+    """Walk a corpus and populate the persistent artifact tier."""
+    import os
+
+    from .service.pipeline import CompilerPipeline
+    from .service.prewarm import prewarm_corpus
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("cache prewarm needs --cache-dir (or $REPRO_CACHE_DIR): "
+              "the point is to warm the persistent tier a server fleet "
+              "will share", file=sys.stderr)
+        return 1
+    pipeline = CompilerPipeline(disk=cache_dir,
+                                disk_bytes=args.cache_mb * 1024 * 1024)
+    spin = not args.json and sys.stderr.isatty()
+
+    def progress(label: str) -> None:
+        print(f"\r{label:40.40s}", end="", file=sys.stderr, flush=True)
+
+    try:
+        summary = prewarm_corpus(
+            pipeline,
+            families=args.family or [],
+            sample=args.sample,
+            include_corpus=not args.no_corpus,
+            progress=progress if spin else None)
+    except ValueError as error:
+        if spin:
+            print(file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if spin:
+        print(file=sys.stderr)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"prewarmed {summary['artifacts']} artifacts from "
+              f"{summary['sources']} sources "
+              f"({summary['accepted']} accepted, "
+              f"{summary['failures']} failures) into {cache_dir}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # serve
 # ---------------------------------------------------------------------------
 
@@ -503,6 +554,31 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--json", action="store_true",
                      help="print a JSON summary")
     dse.set_defaults(func=cmd_dse)
+
+    cache = sub.add_parser(
+        "cache", help="artifact-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prewarm = cache_sub.add_parser(
+        "prewarm",
+        help="walk a corpus and warm the persistent artifact tier "
+             "ahead of traffic")
+    prewarm.add_argument("--family", action="append",
+                         choices=tuple(DSE_FAMILIES), metavar="NAME",
+                         help="also walk sampled configurations of this "
+                              "DSE family (repeatable)")
+    prewarm.add_argument("--sample", type=int, default=24,
+                         help="configurations sampled per family "
+                              "(0 = the full space)")
+    prewarm.add_argument("--no-corpus", action="store_true",
+                         help="skip the labeled typing-rule corpus")
+    prewarm.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent artifact tier directory "
+                              "(default: $REPRO_CACHE_DIR)")
+    prewarm.add_argument("--cache-mb", type=int, default=256,
+                         help="size cap for the disk tier in MiB")
+    prewarm.add_argument("--json", action="store_true",
+                         help="print a JSON summary")
+    prewarm.set_defaults(func=cmd_cache_prewarm)
 
     serve = sub.add_parser(
         "serve", help="start the compiler service (JSON over HTTP)")

@@ -7,7 +7,13 @@ that produces identical results.
 
 from .engine import EngineStats, parallel_map, sweep
 from .pareto import dominates, pareto_front, pareto_indices
-from .runner import DesignPoint, DseResult, explore
+from .runner import (
+    DesignPoint,
+    DseResult,
+    check_acceptance,
+    check_acceptance_program,
+    explore,
+)
 from .space import ParameterSpace
 
 __all__ = [
@@ -15,6 +21,8 @@ __all__ = [
     "DseResult",
     "EngineStats",
     "ParameterSpace",
+    "check_acceptance",
+    "check_acceptance_program",
     "dominates",
     "explore",
     "parallel_map",

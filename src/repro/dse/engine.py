@@ -25,6 +25,15 @@ faster, via three mechanisms:
    the test suite validates the shipped projections against the real
    checker.
 
+   **Parse-free checking** — where the source builder additionally
+   exposes a backing :class:`~repro.ir.TemplateFamily` (attribute
+   ``family``), the checker runs that survive memoization consume
+   *substituted ASTs*: the family template is parsed once per
+   structural variant and each design point's program is produced by
+   AST substitution. The ``parses`` stat records how few lex+parse
+   invocations a sweep actually performed (= the variant count, not
+   the point or key count).
+
 3. **Structure-of-arrays results** — the returned
    :class:`~repro.dse.runner.DseResult` carries a cached objective
    matrix, so Pareto computation is a single vectorized numpy skyline.
@@ -49,11 +58,18 @@ from .runner import (
     KernelBuilder,
     SourceBuilder,
     check_acceptance,
+    check_acceptance_program,
 )
 from .space import ParameterSpace
 
 #: Attribute looked up on source builders for the memoization key.
 ACCEPTANCE_KEY_ATTR = "acceptance_key"
+
+#: Attribute looked up on source builders for a backing
+#: :class:`~repro.ir.TemplateFamily`. When present, acceptance checks
+#: substitute design points into the once-parsed family template and
+#: check the AST directly — zero re-parses per design point.
+FAMILY_ATTR = "family"
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -70,8 +86,11 @@ class EngineStats:
     elapsed_s: float
     workers: int
     chunk_size: int
-    checker_runs: int                 # actual parse+typecheck invocations
+    checker_runs: int                 # actual typecheck invocations
     memo_hits: int                    # points served from the memo table
+    parses: int = 0                   # lex+parse invocations (template
+                                      # path: once per variant, not per
+                                      # point; source path: one per run)
 
     @property
     def points_per_sec(self) -> float:
@@ -86,6 +105,7 @@ class EngineStats:
             "chunk_size": self.chunk_size,
             "checker_runs": self.checker_runs,
             "memo_hits": self.memo_hits,
+            "parses": self.parses,
         }
 
 
@@ -114,9 +134,32 @@ def default_chunk_size(n_points: int, workers: int) -> int:
     return max(1, min(256, target))
 
 
+def _run_checker(source_builder: SourceBuilder,
+                 family: Any,
+                 config: dict[str, int],
+                 source: str | None = None,
+                 ) -> tuple[tuple[bool, str | None], int]:
+    """One checker run for ``config``; returns (verdict, parses).
+
+    With a template family the design point's AST is produced by
+    substitution into the once-parsed variant template — the parse
+    count only grows when a new variant's template is first built.
+    Without one, the generated source is parsed (one parse per run).
+    """
+    if family is not None:
+        before = family.parse_count
+        verdict = check_acceptance_program(family.instantiate(config))
+        return verdict, family.parse_count - before
+    if source is None:
+        source = source_builder(config)
+    return check_acceptance(source), 1
+
+
 def _check_config(source_builder: SourceBuilder,
-                  config: dict[str, int]) -> tuple[bool, str | None]:
-    return check_acceptance(source_builder(config))
+                  config: dict[str, int],
+                  ) -> tuple[tuple[bool, str | None], int]:
+    family = getattr(source_builder, FAMILY_ATTR, None)
+    return _run_checker(source_builder, family, config)
 
 
 def _evaluate_chunk(configs: Sequence[dict[str, int]],
@@ -124,23 +167,30 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
                     kernel_builder: KernelBuilder,
                     key_fn: Callable[[dict[str, int]], Any] | None,
                     memo: dict[Any, tuple[bool, str | None]] | None,
-                    ) -> tuple[list[_Row], int, int]:
-    """Evaluate configurations in order; returns (rows, runs, hits).
+                    ) -> tuple[list[_Row], int, int, int]:
+    """Evaluate configurations in order; returns (rows, runs, hits,
+    parses).
 
     The memo key is the builder's ``acceptance_key`` projection when
     available (collapsing configurations that agree on the
     acceptance-relevant parameters), else the content digest of the
     generated source (:func:`repro.util.hashing.source_digest`) — sound
     for any deterministic checker, but only collapsing exact
-    duplicates. The source is built at most once per point.
+    duplicates. The source is built at most once per point, and with a
+    template family it is never parsed — checker runs consume
+    substituted ASTs.
     """
+    family = getattr(source_builder, FAMILY_ATTR, None)
     rows: list[_Row] = []
     checker_runs = 0
     memo_hits = 0
+    parses = 0
     for config in configs:
         if memo is None:
-            accepted, rejection = check_acceptance(source_builder(config))
+            (accepted, rejection), ran_parses = _run_checker(
+                source_builder, family, config)
             checker_runs += 1
+            parses += ran_parses
         else:
             source: str | None = None
             if key_fn is not None:
@@ -150,17 +200,17 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
                 key = source_digest(source)
             cached = memo.get(key)
             if cached is None:
-                if source is None:
-                    source = source_builder(config)
-                accepted, rejection = check_acceptance(source)
+                (accepted, rejection), ran_parses = _run_checker(
+                    source_builder, family, config, source)
                 memo[key] = (accepted, rejection)
                 checker_runs += 1
+                parses += ran_parses
             else:
                 accepted, rejection = cached
                 memo_hits += 1
         report = estimate(kernel_builder(config))
         rows.append((accepted, rejection, report))
-    return rows, checker_runs, memo_hits
+    return rows, checker_runs, memo_hits, parses
 
 
 # ---------------------------------------------------------------------------
@@ -183,12 +233,12 @@ def _init_worker(source_builder: SourceBuilder,
 
 
 def _run_chunk(task: tuple[int, Sequence[dict[str, int]]],
-               ) -> tuple[int, list[_Row], int, int]:
+               ) -> tuple[int, list[_Row], int, int, int]:
     chunk_id, configs = task
-    rows, runs, hits = _evaluate_chunk(
+    rows, runs, hits, parses = _evaluate_chunk(
         configs, _worker["source_builder"], _worker["kernel_builder"],
         _worker["key_fn"], _worker["memo"])
-    return chunk_id, rows, runs, hits
+    return chunk_id, rows, runs, hits, parses
 
 
 def _pool_context():
@@ -236,6 +286,7 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
     rows: list[_Row] = []
     checker_runs = 0
     memo_hits = 0
+    parses = 0
 
     if n_workers <= 1 or len(chunks) <= 1:
         # Inline path — same memoization, no pool overhead.
@@ -244,11 +295,12 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         memo: dict[Any, tuple[bool, str | None]] | None = (
             {} if memoize else None)
         for chunk in chunks:
-            chunk_rows, runs, hits = _evaluate_chunk(
+            chunk_rows, runs, hits, chunk_parses = _evaluate_chunk(
                 chunk, source_builder, kernel_builder, key_fn, memo)
             rows.extend(chunk_rows)
             checker_runs += runs
             memo_hits += hits
+            parses += chunk_parses
             if progress is not None:
                 progress(len(rows))
         if progress is not None and not chunks:
@@ -261,6 +313,18 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         # prefills every worker's memo, keeping checker runs at the
         # unique-key count for any worker count.
         key_fn = getattr(source_builder, ACCEPTANCE_KEY_ATTR, None)
+        family = getattr(source_builder, FAMILY_ATTR, None)
+        if family is not None:
+            # Build every touched variant's template in the parent
+            # *before* the pools fork, so workers inherit the warm
+            # cache and the sweep-wide parse count stays at the
+            # variant count for any worker count (on fork platforms;
+            # a spawn fallback re-parses per worker and the stat
+            # reports it honestly).
+            before = family.parse_count
+            for config in configs:
+                family.template_for(config)
+            parses += family.parse_count - before
         verdicts: dict[Any, tuple[bool, str | None]] = {}
         if memoize and key_fn is not None:
             reps: dict[Any, dict[str, int]] = {}
@@ -269,7 +333,9 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
             outcomes = parallel_map(
                 partial(_check_config, source_builder),
                 reps.values(), workers=n_workers)
-            verdicts = dict(zip(reps.keys(), outcomes))
+            verdicts = dict(zip(reps.keys(),
+                                (verdict for verdict, _ in outcomes)))
+            parses += sum(ran_parses for _, ran_parses in outcomes)
         context = _pool_context()
         used_workers = min(n_workers, len(chunks))
         with context.Pool(
@@ -280,12 +346,13 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         ) as pool:
             # imap preserves submission order, so chunk results arrive
             # exactly in enumeration order regardless of scheduling.
-            for chunk_id, chunk_rows, runs, hits in pool.imap(
-                    _run_chunk, enumerate(chunks)):
+            for chunk_id, chunk_rows, runs, hits, chunk_parses in \
+                    pool.imap(_run_chunk, enumerate(chunks)):
                 assert chunk_id * size == len(rows), "chunk order broken"
                 rows.extend(chunk_rows)
                 checker_runs += runs
                 memo_hits += hits
+                parses += chunk_parses
                 if progress is not None:
                     progress(len(rows))
         # With a prefilled memo every point is a hit; fold the parent's
@@ -302,7 +369,7 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
     return DseResult(points=points, stats=EngineStats(
         points=len(points), elapsed_s=elapsed, workers=used_workers,
         chunk_size=size, checker_runs=checker_runs,
-        memo_hits=memo_hits))
+        memo_hits=memo_hits, parses=parses))
 
 
 # ---------------------------------------------------------------------------

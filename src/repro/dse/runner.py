@@ -135,6 +135,22 @@ def check_acceptance(source: str) -> tuple[bool, str | None]:
     return True, None
 
 
+def check_acceptance_program(program) -> tuple[bool, str | None]:
+    """Acceptance verdict for an already-built AST (no parsing).
+
+    The template-backed DSE path substitutes design points into a
+    once-parsed family template and checks the resulting AST directly;
+    the verdict is identical to :func:`check_acceptance` on the
+    rendered source because substitution and parsing produce
+    structurally equal programs (the template parity property).
+    """
+    try:
+        check_program(program)
+    except DahliaError as error:
+        return False, error.kind
+    return True, None
+
+
 def evaluate_point(config: dict[str, int],
                    source_builder: SourceBuilder,
                    kernel_builder: KernelBuilder) -> DesignPoint:

@@ -195,10 +195,14 @@ def extract_kernel(program: ast.Program, name: str = "kernel",
         has_reduction=state.has_reduction)
 
 
-def extract_from_source(source: str, name: str = "kernel") -> KernelSpec:
-    from ..frontend.parser import parse
-    from ..types.checker import check_program
+def extract_resolved(resolved, name: str = "kernel") -> KernelSpec:
+    """Extract the estimator kernel from a resolved program, consuming
+    its memoized checker verdict (one checker run, shared)."""
+    resolved.check()
+    return extract_kernel(resolved.ast, name)
 
-    program = parse(source)
-    check_program(program)
-    return extract_kernel(program, name)
+
+def extract_from_source(source: str, name: str = "kernel") -> KernelSpec:
+    from ..ir import resolve_source
+
+    return extract_resolved(resolve_source(source), name)

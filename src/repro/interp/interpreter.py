@@ -89,6 +89,20 @@ def interpret_program(program: ast.Program,
     return InterpResult(final, store, layouts)
 
 
+def interpret_resolved(resolved,
+                       memories: dict[str, np.ndarray] | None = None,
+                       check: bool = True) -> InterpResult:
+    """Run a :class:`~repro.ir.ResolvedProgram`.
+
+    With ``check=True`` the resolved layer's memoized verdict is
+    consumed (one checker run shared with every other consumer) rather
+    than re-checking the surface AST here.
+    """
+    if check:
+        resolved.check()
+    return interpret_program(resolved.ast, memories, check=False)
+
+
 def interpret(source: str,
               memories: dict[str, np.ndarray] | None = None,
               check: bool = True) -> InterpResult:

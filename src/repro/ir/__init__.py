@@ -1,0 +1,36 @@
+"""Resolved-program IR: the single elaborated layer between the
+parser and every consumer (type checker, backends, interpreter, RTL,
+analyses, DSE, service pipeline).
+
+* :class:`ResolvedProgram` — parse + symbol/decl tables + a structural
+  digest computed once + a memoized checker verdict shared by all
+  consumers;
+* :class:`ProgramTemplate` / :class:`TemplateFamily` — ASTs with typed
+  integer parameter holes; a DSE family is parsed once per structural
+  variant and every design point is produced by AST substitution;
+* :func:`structural_digest` / :func:`ast_equal` — program identity
+  modulo spans (whitespace/comment/formatting-insensitive).
+"""
+
+from .digest import ast_equal, structural_digest
+from .resolved import ResolvedProgram, resolve_program, resolve_source
+from .template import (
+    HOLE_PREFIX,
+    ProgramTemplate,
+    TemplateError,
+    TemplateFamily,
+    render_template_text,
+)
+
+__all__ = [
+    "HOLE_PREFIX",
+    "ProgramTemplate",
+    "ResolvedProgram",
+    "TemplateError",
+    "TemplateFamily",
+    "ast_equal",
+    "render_template_text",
+    "resolve_program",
+    "resolve_source",
+    "structural_digest",
+]

@@ -1,0 +1,89 @@
+"""Structural identity for parsed programs.
+
+Two Dahlia sources that differ only in whitespace, comments, or
+formatting parse to ASTs that differ only in their :class:`Span`
+fields. This module defines program identity *modulo spans*:
+
+* :func:`structural_digest` — a hex SHA-256 over a canonical,
+  span-free serialization of the AST. The service pipeline keys its
+  raw stages on this digest, so reformatting a program cannot evict
+  its artifacts; the DSE engine's template parity tests use it to
+  prove substituted ASTs equal re-parsed ones.
+* :func:`ast_equal` — the same relation as a predicate, with no
+  hashing, for direct structural comparisons in tests.
+
+The serialization walks the dataclass tree with an explicit stack (no
+recursion limit concerns for deeply sequenced programs) and is
+injective over the AST constructors: every node contributes its class
+name and field names, and every atom is tagged with its type, so
+``IntLit(1)`` and ``BoolLit(True)`` can never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any, Iterator
+
+from ..frontend import ast
+
+#: Field names that never contribute to structural identity.
+_IGNORED_FIELDS = frozenset({"span"})
+
+
+def _tokens(root: Any) -> Iterator[bytes]:
+    """Yield the canonical token stream of an AST (pre-order)."""
+    stack: list[Any] = [root]
+    while stack:
+        node = stack.pop()
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            yield b"(" + type(node).__name__.encode()
+            # Reversed so fields pop in declaration order.
+            for field in reversed(dataclasses.fields(node)):
+                if field.name in _IGNORED_FIELDS:
+                    continue
+                stack.append(field.name)
+                stack.append(getattr(node, field.name))
+            continue
+        if isinstance(node, enum.Enum):
+            yield f"E:{type(node).__name__}.{node.name}".encode()
+        elif isinstance(node, bool):           # before int: bool ⊂ int
+            yield b"B:1" if node else b"B:0"
+        elif isinstance(node, int):
+            yield f"I:{node}".encode()
+        elif isinstance(node, float):
+            yield f"F:{node!r}".encode()
+        elif isinstance(node, str):
+            yield b"S:" + node.encode()
+        elif node is None:
+            yield b"N"
+        elif isinstance(node, (list, tuple)):
+            yield f"L:{len(node)}".encode()
+            stack.extend(reversed(node))
+        else:                                   # pragma: no cover
+            raise TypeError(
+                f"cannot serialize {type(node).__name__!r} structurally")
+
+
+def structural_digest(program: ast.Program) -> str:
+    """Hex digest of a program's structure, ignoring source locations.
+
+    Programs that parse from differently-formatted (or differently
+    commented) sources share a digest; any change to the program
+    structure — a bound, a bank factor, an operator — changes it.
+    """
+    hasher = hashlib.sha256()
+    for token in _tokens(program):
+        hasher.update(len(token).to_bytes(4, "big"))
+        hasher.update(token)
+    return hasher.hexdigest()
+
+
+def ast_equal(left: Any, right: Any) -> bool:
+    """Span-insensitive structural equality over AST nodes."""
+    produced = _tokens(right)
+    for token in _tokens(left):
+        if token != next(produced, None):
+            return False
+    return next(produced, None) is None

@@ -1,0 +1,229 @@
+"""The resolved-program layer: parse once, share everywhere.
+
+A :class:`ResolvedProgram` wraps one parsed :class:`~repro.frontend.ast.
+Program` together with everything every downstream consumer used to
+re-derive for itself:
+
+* the top-level **declaration and function tables**;
+* a **memory table** covering interface ``decl`` memories *and* local
+  ``let``-declared memories anywhere in the program;
+* a **view table** resolving each ``view`` name to the underlying base
+  memory (transitively, so views of views resolve too);
+* an **access index** (memory/view name → access sites) and a
+  per-memory **parallelism table** (the largest product of enclosing
+  unroll factors over that memory's access sites);
+* the **structural digest** (:func:`~repro.ir.digest.structural_digest`)
+  computed once — the cache identity the service pipeline keys on;
+* a **memoized type-checker verdict**: :meth:`check` runs the checker
+  at most once and replays the same :class:`CheckReport` (or re-raises
+  the same :class:`~repro.errors.DahliaError`) to every consumer, so
+  the paper's "one verdict is the shared truth" invariant holds by
+  construction.
+
+All tables are computed lazily and cached; a ``ResolvedProgram`` is
+immutable by convention — consumers must not mutate ``.ast``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..frontend import ast
+from ..frontend.parser import parse
+from ..source import SourceFile
+from .digest import structural_digest
+
+class ResolvedProgram:
+    """One parsed program plus its shared symbol tables and verdict."""
+
+    def __init__(self, program: ast.Program,
+                 source: SourceFile | None = None) -> None:
+        self.ast = program
+        self.source = source
+        # The memoized verdict: None = unchecked, else a CheckReport
+        # or the DahliaError the checker raised. None (not an opaque
+        # sentinel) so the state survives pickling into the shared
+        # disk artifact tier — sentinel identity does not.
+        self._verdict = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, text: str,
+                    name: str = "<input>") -> "ResolvedProgram":
+        source = SourceFile(text, name)
+        return cls(parse(text, name), source)
+
+    @property
+    def name(self) -> str:
+        return self.source.name if self.source is not None else "<ast>"
+
+    # -- identity -----------------------------------------------------------
+
+    @cached_property
+    def structural_digest(self) -> str:
+        """Span-free program identity (stable across reformatting)."""
+        return structural_digest(self.ast)
+
+    # -- symbol tables ------------------------------------------------------
+
+    @cached_property
+    def decls(self) -> dict[str, ast.Decl]:
+        """Top-level ``decl`` interface memories, in program order."""
+        return {decl.name: decl for decl in self.ast.decls}
+
+    @cached_property
+    def functions(self) -> dict[str, ast.FuncDef]:
+        """Top-level ``def`` functions, in program order."""
+        return {func.name: func for func in self.ast.defs}
+
+    @cached_property
+    def memories(self) -> dict[str, ast.TypeAnnotation]:
+        """Every memory the program declares: ``decl``s plus local
+        ``let … : t[…]`` memories anywhere (including function bodies)."""
+        table = {decl.name: decl.type for decl in self.ast.decls}
+        for cmd in self._all_commands():
+            if isinstance(cmd, ast.Let) and cmd.type is not None \
+                    and cmd.type.is_memory:
+                table.setdefault(cmd.name, cmd.type)
+        return table
+
+    @cached_property
+    def view_bases(self) -> dict[str, str]:
+        """View name → underlying *base* memory name (transitive)."""
+        direct: dict[str, str] = {}
+        for cmd in self._all_commands():
+            if isinstance(cmd, ast.View):
+                direct[cmd.name] = cmd.mem
+        resolved: dict[str, str] = {}
+        for name in direct:
+            base = name
+            seen = {name}
+            while base in direct:
+                base = direct[base]
+                if base in seen:
+                    # Cyclic/self-referential views parse but can never
+                    # check; resolution must still terminate (the
+                    # tables are built before any checker verdict).
+                    break
+                seen.add(base)
+            resolved[name] = base
+        return resolved
+
+    def base_memory(self, name: str) -> str:
+        """Resolve a memory-or-view name to its base memory name."""
+        return self.view_bases.get(name, name)
+
+    @cached_property
+    def loops(self) -> list[ast.For]:
+        """Every ``for`` loop in the program, pre-order."""
+        return [cmd for cmd in self._all_commands()
+                if isinstance(cmd, ast.For)]
+
+    @cached_property
+    def accesses(self) -> dict[str, list[ast.Access]]:
+        """Access sites per *base* memory (views resolved)."""
+        index: dict[str, list[ast.Access]] = {}
+        for body in self._bodies():
+            for expr in ast.walk_exprs(body):
+                if isinstance(expr, ast.Access):
+                    index.setdefault(self.base_memory(expr.mem),
+                                     []).append(expr)
+        return index
+
+    @cached_property
+    def parallelism(self) -> dict[str, int]:
+        """Per base memory: the largest product of enclosing (concrete)
+        unroll factors over its access sites — the ``par`` Spatial's
+        banking inference solves for."""
+        table: dict[str, int] = {}
+        for body in self._bodies():
+            self._scan_parallelism(body, 1, table)
+        return table
+
+    def _scan_parallelism(self, cmd: ast.Command, factor: int,
+                          table: dict[str, int]) -> None:
+        stack = [(cmd, factor)]
+        while stack:
+            node, factor = stack.pop()
+            inner = factor
+            if isinstance(node, ast.For) and isinstance(node.unroll, int):
+                inner = factor * node.unroll
+            for expr in ast.child_exprs(node):
+                for sub in self._exprs_under(expr):
+                    if isinstance(sub, ast.Access):
+                        base = self.base_memory(sub.mem)
+                        table[base] = max(table.get(base, 1), inner)
+            for child in ast.child_commands(node):
+                stack.append((child, inner))
+
+    @staticmethod
+    def _exprs_under(expr: ast.Expr):
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(ast.child_exprs(node))
+
+    def _bodies(self):
+        yield self.ast.body
+        for func in self.ast.defs:
+            yield func.body
+
+    def _all_commands(self):
+        for body in self._bodies():
+            yield from ast.walk_commands(body)
+
+    # -- the shared checker verdict ----------------------------------------
+
+    def check(self):
+        """Type-check this program at most once.
+
+        Returns the cached :class:`~repro.types.checker.CheckReport`;
+        on rejection the same :class:`~repro.errors.DahliaError`
+        instance is re-raised to every caller, so diagnostics (kind,
+        message, span) are identical no matter which consumer asked.
+        """
+        from ..errors import DahliaError
+        from ..types.checker import check_program
+
+        if self._verdict is None:
+            try:
+                self._verdict = check_program(self.ast)
+            except DahliaError as error:
+                self._verdict = error
+        if isinstance(self._verdict, Exception):
+            raise self._verdict
+        return self._verdict
+
+    @property
+    def checked(self) -> bool:
+        """Has :meth:`check` already produced a verdict?"""
+        return self._verdict is not None
+
+    def accepts(self) -> bool:
+        """Does the checker accept this program? (never raises)"""
+        from ..errors import DahliaError
+
+        try:
+            self.check()
+        except DahliaError:
+            return False
+        return True
+
+    # -- misc ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"ResolvedProgram({self.name!r}, "
+                f"digest={self.structural_digest[:12]}…)")
+
+
+def resolve_program(program: ast.Program,
+                    source: SourceFile | None = None) -> ResolvedProgram:
+    """Wrap an already-parsed program in the resolved layer."""
+    return ResolvedProgram(program, source)
+
+
+def resolve_source(text: str, name: str = "<input>") -> ResolvedProgram:
+    """Parse Dahlia source text into the resolved layer."""
+    return ResolvedProgram.from_source(text, name)

@@ -1,0 +1,285 @@
+"""Program templates: parse a DSE family once, substitute per point.
+
+A :class:`ProgramTemplate` is an AST with **typed integer parameter
+holes**. Template source text marks a hole with a ``__p_<name>``
+identifier anywhere the grammar accepts an integer-or-identifier —
+array sizes, bank factors, loop bounds, unroll factors — and anywhere
+an expression goes (where it parses as a variable reference).
+:meth:`ProgramTemplate.substitute` clones the AST with every hole
+replaced by a concrete integer, **preserving the template's source
+spans**, so checker diagnostics on substituted programs point into the
+template text and render real caret snippets.
+
+:class:`TemplateFamily` packages one DSE family: a finite set of
+structural *variants* (e.g. which views a configuration instantiates),
+a template text per variant, and a hole assignment per configuration.
+The family parses each variant's template **once** and produces every
+design point by substitution — the sweep engine never re-lexes or
+re-parses source text per point. ``render()`` produces the equivalent
+concrete source by textual substitution of the same holes, so the
+rendered source parses to an AST structurally equal to the substituted
+one (the parity property ``tests/test_template_parity.py`` enforces).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Hashable, Mapping
+
+from ..frontend import ast
+from ..frontend.parser import parse
+from ..source import SourceFile
+
+#: Identifier prefix marking a parameter hole in template source text.
+HOLE_PREFIX = "__p_"
+
+_HOLE_RE = re.compile(r"__p_([A-Za-z_][A-Za-z0-9_]*)")
+
+
+class TemplateError(ValueError):
+    """A malformed template or an invalid substitution."""
+
+
+def _hole_name(value: Any) -> str | None:
+    if isinstance(value, str) and value.startswith(HOLE_PREFIX):
+        return value[len(HOLE_PREFIX):]
+    return None
+
+
+def _lookup(params: Mapping[str, int], name: str, where: str) -> int:
+    if name not in params:
+        raise TemplateError(f"template hole {name!r} ({where}) has no "
+                            f"value in the substitution")
+    value = params[name]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TemplateError(f"template hole {name!r} must bind an int, "
+                            f"got {value!r}")
+    if value < 0:
+        raise TemplateError(f"template hole {name!r} must bind a "
+                            f"non-negative int, got {value}")
+    return value
+
+
+def render_template_text(text: str, params: Mapping[str, int]) -> str:
+    """Concrete source from template text by textual hole substitution.
+
+    This is the render-for-display path: no parsing happens. The
+    result parses to an AST structurally equal to
+    :meth:`ProgramTemplate.substitute` with the same parameters.
+    """
+    def replace(match: re.Match) -> str:
+        return str(_lookup(params, match.group(1), "render"))
+    return _HOLE_RE.sub(replace, text)
+
+
+# ---------------------------------------------------------------------------
+# Substituting clone (span-preserving)
+# ---------------------------------------------------------------------------
+
+def _sub_scalar(value: int | str, params: Mapping[str, int],
+                where: str) -> int | str:
+    hole = _hole_name(value)
+    return _lookup(params, hole, where) if hole is not None else value
+
+
+def _sub_type(annotation: ast.TypeAnnotation,
+              params: Mapping[str, int]) -> ast.TypeAnnotation:
+    dims = tuple(
+        ast.DimSpec(_sub_scalar(d.size, params, "array size"),
+                    _sub_scalar(d.banks, params, "bank factor"))
+        for d in annotation.dims)
+    return ast.TypeAnnotation(annotation.base, dims, annotation.ports,
+                              span=annotation.span)
+
+
+def _sub_expr(expr: ast.Expr, params: Mapping[str, int]) -> ast.Expr:
+    if isinstance(expr, ast.Var):
+        hole = _hole_name(expr.name)
+        if hole is not None:
+            return ast.IntLit(_lookup(params, hole, "expression"),
+                              span=expr.span)
+        return ast.Var(expr.name, span=expr.span)
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+        return type(expr)(expr.value, span=expr.span)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, _sub_expr(expr.lhs, params),
+                          _sub_expr(expr.rhs, params), span=expr.span)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _sub_expr(expr.operand, params),
+                         span=expr.span)
+    if isinstance(expr, ast.Access):
+        return ast.Access(
+            expr.mem,
+            [_sub_expr(e, params) for e in expr.indices],
+            [_sub_expr(e, params) for e in expr.bank_indices],
+            span=expr.span)
+    if isinstance(expr, ast.App):
+        return ast.App(expr.func,
+                       [_sub_expr(e, params) for e in expr.args],
+                       span=expr.span)
+    raise TemplateError(                       # pragma: no cover
+        f"cannot substitute into {type(expr).__name__}")
+
+
+def _sub_cmd(cmd: ast.Command, params: Mapping[str, int]) -> ast.Command:
+    if isinstance(cmd, ast.Skip):
+        return ast.Skip(span=cmd.span)
+    if isinstance(cmd, ast.ExprStmt):
+        return ast.ExprStmt(_sub_expr(cmd.expr, params), span=cmd.span)
+    if isinstance(cmd, ast.Let):
+        return ast.Let(
+            cmd.name,
+            _sub_type(cmd.type, params) if cmd.type is not None else None,
+            _sub_expr(cmd.init, params) if cmd.init is not None else None,
+            span=cmd.span)
+    if isinstance(cmd, ast.View):
+        return ast.View(
+            cmd.name, cmd.kind, cmd.mem,
+            [None if f is None else _sub_expr(f, params)
+             for f in cmd.factors],
+            span=cmd.span)
+    if isinstance(cmd, ast.Assign):
+        return ast.Assign(cmd.name, _sub_expr(cmd.expr, params),
+                          span=cmd.span)
+    if isinstance(cmd, ast.Store):
+        return ast.Store(_sub_expr(cmd.access, params),
+                         _sub_expr(cmd.expr, params), span=cmd.span)
+    if isinstance(cmd, ast.Reduce):
+        return ast.Reduce(
+            cmd.op, cmd.target, _sub_expr(cmd.expr, params),
+            (_sub_expr(cmd.target_is_access, params)
+             if cmd.target_is_access is not None else None),
+            span=cmd.span)
+    if isinstance(cmd, (ast.ParComp, ast.SeqComp)):
+        return type(cmd)([_sub_cmd(c, params) for c in cmd.commands],
+                         span=cmd.span)
+    if isinstance(cmd, ast.Block):
+        return ast.Block(_sub_cmd(cmd.body, params), span=cmd.span)
+    if isinstance(cmd, ast.If):
+        return ast.If(
+            _sub_expr(cmd.cond, params),
+            _sub_cmd(cmd.then_branch, params),
+            (_sub_cmd(cmd.else_branch, params)
+             if cmd.else_branch is not None else None),
+            span=cmd.span)
+    if isinstance(cmd, ast.While):
+        return ast.While(_sub_expr(cmd.cond, params),
+                         _sub_cmd(cmd.body, params), span=cmd.span)
+    if isinstance(cmd, ast.For):
+        return ast.For(
+            cmd.var,
+            _sub_scalar(cmd.start, params, "loop bound"),
+            _sub_scalar(cmd.end, params, "loop bound"),
+            _sub_scalar(cmd.unroll, params, "unroll factor"),
+            _sub_cmd(cmd.body, params),
+            (_sub_cmd(cmd.combine, params)
+             if cmd.combine is not None else None),
+            span=cmd.span)
+    raise TemplateError(                       # pragma: no cover
+        f"cannot substitute into {type(cmd).__name__}")
+
+
+class ProgramTemplate:
+    """One parsed template: an AST with named integer holes."""
+
+    def __init__(self, program: ast.Program, source: SourceFile) -> None:
+        self.ast = program
+        self.source = source
+        self.holes = self._discover_holes()
+
+    @classmethod
+    def from_source(cls, text: str,
+                    name: str = "<template>") -> "ProgramTemplate":
+        return cls(parse(text, name), SourceFile(text, name))
+
+    def _discover_holes(self) -> frozenset[str]:
+        names = {match.group(1)
+                 for match in _HOLE_RE.finditer(self.source.text)}
+        return frozenset(names)
+
+    def substitute(self, params: Mapping[str, int]) -> ast.Program:
+        """A fresh program with every hole bound to a concrete integer.
+
+        The clone shares no mutable nodes with the template and keeps
+        the template's spans, so diagnostics raised on the substituted
+        program render against :attr:`source` (see :meth:`diagnose`).
+        Extra keys in ``params`` are ignored; a missing or non-integer
+        binding raises :class:`TemplateError`.
+        """
+        program = self.ast
+        return ast.Program(
+            decls=[ast.Decl(d.name, _sub_type(d.type, params), span=d.span)
+                   for d in program.decls],
+            defs=[ast.FuncDef(
+                f.name,
+                [ast.Param(p.name, _sub_type(p.type, params), span=p.span)
+                 for p in f.params],
+                _sub_cmd(f.body, params), span=f.span)
+                  for f in program.defs],
+            body=_sub_cmd(program.body, params),
+            span=program.span)
+
+    def render(self, params: Mapping[str, int]) -> str:
+        """Concrete source text for display (textual substitution)."""
+        return render_template_text(self.source.text, params)
+
+    def diagnose(self, error) -> dict:
+        """Canonical diagnostic payload for an error raised while
+        checking (or otherwise consuming) a substituted program —
+        rendered against the *template* source, so the snippet shows
+        the template line the span points at."""
+        from ..util.diagnostics import diagnostic_payload
+
+        return diagnostic_payload(error, self.source)
+
+
+class TemplateFamily:
+    """A DSE family: structural variants × integer parameter holes.
+
+    ``variant_of(config)`` projects a configuration onto its structural
+    variant (a hashable key); ``template_text(variant)`` produces the
+    variant's template source; ``params_of(config)`` produces the full
+    hole assignment (it may include holes only some variants use —
+    extras are ignored). Templates are parsed lazily, once per variant,
+    and cached for the family's lifetime; ``parse_count`` records how
+    many template parses have happened (the DSE engine reports it to
+    prove the zero-parse-per-point property).
+    """
+
+    def __init__(self, name: str,
+                 variant_of: Callable[[Mapping[str, int]], Hashable],
+                 template_text: Callable[[Hashable], str],
+                 params_of: Callable[[Mapping[str, int]],
+                                     dict[str, int]]) -> None:
+        self.name = name
+        self.variant_of = variant_of
+        self.template_text = template_text
+        self.params_of = params_of
+        self._templates: dict[Hashable, ProgramTemplate] = {}
+        self.parse_count = 0
+
+    def template_for(self, config: Mapping[str, int]) -> ProgramTemplate:
+        """The (cached) parsed template for ``config``'s variant."""
+        key = self.variant_of(config)
+        template = self._templates.get(key)
+        if template is None:
+            template = ProgramTemplate.from_source(
+                self.template_text(key),
+                name=f"<template:{self.name}:{key}>")
+            self._templates[key] = template
+            self.parse_count += 1
+        return template
+
+    def instantiate(self, config: Mapping[str, int]) -> ast.Program:
+        """The design point's AST, by substitution — never by parsing."""
+        return self.template_for(config).substitute(self.params_of(config))
+
+    def source(self, config: Mapping[str, int]) -> str:
+        """Concrete source for display; no parsing happens here."""
+        return render_template_text(
+            self.template_text(self.variant_of(config)),
+            self.params_of(config))
+
+    @property
+    def variants_built(self) -> int:
+        return len(self._templates)

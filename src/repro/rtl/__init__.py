@@ -45,7 +45,8 @@ from .ir import (
     expr_refs,
     validate,
 )
-from .lower import lower_filament, lower_program, lower_source
+from .lower import lower_filament, lower_program, lower_resolved, \
+    lower_source
 from .resources import NetlistReport, analyze
 from .simulator import RaceReport, SimResult, Simulator, simulate
 from .verilog import emit_verilog, mangle
@@ -80,6 +81,7 @@ __all__ = [
     "expr_refs",
     "lower_filament",
     "lower_program",
+    "lower_resolved",
     "lower_source",
     "mangle",
     "run_source",

@@ -342,6 +342,18 @@ def lower_program(program: ast.Program, name: str = "main",
     return lower_filament(desugar(program), name)
 
 
+def lower_resolved(resolved, name: str = "main",
+                   check: bool = True) -> RTLModule:
+    """Lower a :class:`~repro.ir.ResolvedProgram` to an RTL module.
+
+    Consumes the resolved layer's memoized checker verdict — the RTL
+    backend shares the one checker run with every other consumer.
+    """
+    if check:
+        resolved.check()
+    return lower_filament(desugar(resolved.ast), name)
+
+
 def lower_source(source: str, name: str = "main",
                  check: bool = True) -> RTLModule:
     """Parse, check, and lower Dahlia source text to an RTL module."""

@@ -5,7 +5,10 @@ Three layers, bottom up:
 * :mod:`repro.service.artifacts` — a content-addressed, LRU-bounded
   artifact store memoizing stage results across requests;
 * :mod:`repro.service.pipeline`  — the Figure-1 compilation flow as
-  declarative stages with dependency-aware invalidation;
+  declarative stages with dependency-aware invalidation, keyed on the
+  resolved program's structural digest;
+* :mod:`repro.service.prewarm`   — corpus-driven cache warming
+  (``dahlia-py cache prewarm``);
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only asyncio JSON-over-HTTP server (``dahlia-py serve``) and
   its client (used by the ``--server`` CLI mode).
@@ -14,6 +17,7 @@ Three layers, bottom up:
 from .artifacts import ArtifactKey, ArtifactStore, DiskStore, artifact_key
 from .client import ServiceClient, ServiceError
 from .pipeline import CompilerPipeline, dse_summary, relevant_options
+from .prewarm import prewarm_corpus
 from .server import (
     BackgroundServer,
     DahliaService,
@@ -37,6 +41,7 @@ __all__ = [
     "artifact_key",
     "dse_summary",
     "encode_payload",
+    "prewarm_corpus",
     "relevant_options",
     "serve",
 ]

@@ -4,12 +4,25 @@ The Figure-1 flow — frontend → type checker → {HLS estimate, C++
 emission, RTL, interpreter} — is expressed as declarative
 :class:`Stage` records: a name, the stages it depends on, the option
 keys it consumes, and a pure run function. Stage results are memoized
-in a content-addressed :class:`~repro.service.artifacts.ArtifactStore`,
-keyed on the source text plus the *transitively relevant* options only:
+in a content-addressed :class:`~repro.service.artifacts.ArtifactStore`.
 
-* a changed source changes every stage's key, so the whole flow
-  re-runs — but two requests for different stages of the same source
-  share the frontend and checker artifacts;
+The ``resolve`` stage turns source text into a
+:class:`~repro.ir.ResolvedProgram` — parse + symbol tables + a
+**structural digest** computed once. Keys split into two regimes:
+
+* ``resolve``/``parse`` and the ``*_payload`` stages are keyed on the
+  **source text** (payload diagnostics embed spans and caret snippets,
+  which depend on the exact text);
+* every other raw stage (``check``, ``desugar``, ``kernel``,
+  ``estimate``, ``compile``, ``rtl``, ``interp``) is keyed on the
+  **structural digest**, so sources differing only in whitespace or
+  comments share those artifacts — reformatting a program cannot
+  evict its checker verdict or its emitted C++.
+
+Option invalidation is unchanged:
+
+* a changed source re-runs ``resolve``; downstream stages re-run only
+  if the program *structure* changed;
 * a changed option re-runs only the stages that (transitively) read
   it: flipping ``kernel_name`` re-emits C++ without re-parsing or
   re-checking, because ``parse`` and ``check`` read no options and
@@ -105,11 +118,25 @@ class CompilerPipeline:
 
         Only the options the stage transitively consumes enter the
         fingerprint — the dependency-aware invalidation contract.
+        Structure-keyed stages (everything except ``resolve``/``parse``
+        and the ``*_payload`` formatters) fingerprint the resolved
+        program's structural digest instead of the source bytes, so
+        whitespace- or comment-differing sources share cache entries.
+        May therefore raise a :class:`~repro.errors.DahliaError` for
+        unparsable sources when ``stage`` is structure-keyed.
         """
         options = options or {}
         relevant = {k: options[k] for k in relevant_options(stage)
                     if k in options}
-        return artifact_key(stage, source, relevant)
+        if _source_keyed(stage):
+            return artifact_key(stage, source, relevant)
+        digest = self.resolve(source, options).structural_digest
+        return artifact_key(stage, "ast:" + digest, relevant)
+
+    def resolve(self, source: str,
+                options: Mapping[str, Any] | None = None):
+        """The source's :class:`~repro.ir.ResolvedProgram` (cached)."""
+        return self.run("resolve", source, options)
 
     def run(self, stage: str, source: str,
             options: Mapping[str, Any] | None = None) -> Any:
@@ -126,22 +153,34 @@ class CompilerPipeline:
         return self.store.stats()
 
 
+def _source_keyed(stage: str) -> bool:
+    """Is this stage's artifact a function of the source *text* (not
+    just the program structure)? Payload stages embed diagnostics with
+    spans and snippets; resolve/parse carry the spans themselves."""
+    return stage in ("resolve", "parse") or stage.endswith("_payload")
+
+
 # ---------------------------------------------------------------------------
 # Raw stages (library objects; raise DahliaError on rejection).
 # ---------------------------------------------------------------------------
 
-@_stage("parse")
-def _parse(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
-    from ..frontend.parser import parse
+@_stage("resolve")
+def _resolve(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    from ..ir import resolve_source
 
-    return parse(source)
+    return resolve_source(source)
+
+
+@_stage("parse", deps=("resolve",))
+def _parse(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
+    return pipeline.run("resolve", source, opts).ast
 
 
 @_stage("check", deps=("parse",))
 def _check(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
-    from ..types.checker import check_program
+    from ..types.checker import check_resolved
 
-    return check_program(pipeline.run("parse", source, opts))
+    return check_resolved(pipeline.run("resolve", source, opts))
 
 
 @_stage("desugar", deps=("parse", "check"))

@@ -1,11 +1,14 @@
 """Spatial-like compiler substrate (§7 "Spatial", Fig. 9 / Fig. 13)."""
 
-from .inference import infer_banking
+from .inference import BankingInference, infer_banking, \
+    infer_resolved_banking
 from .estimator import SpatialReport, estimate_gemm_ncubed, sweep_unroll
 
 __all__ = [
+    "BankingInference",
     "SpatialReport",
     "estimate_gemm_ncubed",
     "infer_banking",
+    "infer_resolved_banking",
     "sweep_unroll",
 ]

@@ -18,6 +18,8 @@ pathology Dahlia's types rule out.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 def infer_banking(size: int, par: int) -> int:
     """The banking factor Spatial infers for ``par``-way parallel access
@@ -35,3 +37,52 @@ def infer_banking(size: int, par: int) -> int:
 def banking_matches(size: int, par: int) -> bool:
     """Did inference land exactly on the requested parallelism?"""
     return infer_banking(size, par) == par
+
+
+@dataclass(frozen=True)
+class BankingInference:
+    """Spatial's would-be banking for one Dahlia memory.
+
+    ``parallelism`` is the largest replication the program applies to
+    the memory (the product of enclosing unroll factors at its busiest
+    access site); ``declared`` is Dahlia's explicit banking (product
+    over dimensions); ``inferred`` is what Spatial's solver would pick
+    for the same parallelism. ``matched`` marks the predictable points
+    where both agree — everywhere else Spatial pays the Fig. 13
+    crossbar penalty that Dahlia's types rule out by construction.
+    """
+
+    memory: str
+    elements: int
+    declared: int
+    parallelism: int
+    inferred: int
+
+    @property
+    def matched(self) -> bool:
+        return self.inferred == self.declared == self.parallelism
+
+
+def infer_resolved_banking(resolved) -> list[BankingInference]:
+    """Compare declared vs Spatial-inferred banking for every concrete
+    memory of a :class:`~repro.ir.ResolvedProgram`.
+
+    This consumer reads the resolved layer's shared tables (memory
+    table, access index, parallelism) instead of re-walking the
+    surface AST; memories with symbolic (polymorphic) dimensions are
+    skipped.
+    """
+    rows: list[BankingInference] = []
+    for name, annotation in resolved.memories.items():
+        if any(dim.is_symbolic for dim in annotation.dims):
+            continue
+        elements = 1
+        declared = 1
+        for dim in annotation.dims:
+            elements *= dim.size
+            declared *= dim.banks
+        par = resolved.parallelism.get(name, 1)
+        rows.append(BankingInference(
+            memory=name, elements=elements, declared=declared,
+            parallelism=par, inferred=infer_banking(elements, par)))
+    return rows

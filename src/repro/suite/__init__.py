@@ -17,15 +17,21 @@ stencil2d, md-knn, md-grid) live in :mod:`repro.suite.generators`.
 from .corpus import CORPUS, CorpusEntry, accepted_entries, rejected_entries
 from .ports import ALL_PORTS, BenchmarkPort, get_port
 from .generators import (
+    DSE_FAMILIES,
+    TEMPLATE_FAMILIES,
+    gemm_blocked_family,
     gemm_blocked_kernel,
     gemm_blocked_source,
     gemm_blocked_space,
+    md_grid_family,
     md_grid_kernel,
     md_grid_source,
     md_grid_space,
+    md_knn_family,
     md_knn_kernel,
     md_knn_source,
     md_knn_space,
+    stencil2d_family,
     stencil2d_kernel,
     stencil2d_source,
     stencil2d_space,
@@ -33,21 +39,27 @@ from .generators import (
 
 __all__ = [
     "ALL_PORTS",
+    "DSE_FAMILIES",
+    "TEMPLATE_FAMILIES",
     "BenchmarkPort",
     "CORPUS",
     "CorpusEntry",
     "accepted_entries",
     "get_port",
     "rejected_entries",
+    "gemm_blocked_family",
     "gemm_blocked_kernel",
     "gemm_blocked_source",
     "gemm_blocked_space",
+    "md_grid_family",
     "md_grid_kernel",
     "md_grid_source",
     "md_grid_space",
+    "md_knn_family",
     "md_knn_kernel",
     "md_knn_source",
     "md_knn_space",
+    "stencil2d_family",
     "stencil2d_kernel",
     "stencil2d_source",
     "stencil2d_space",

@@ -1,13 +1,21 @@
 """Parameterized Dahlia generators for the DSE case studies.
 
-Each case study provides three functions:
+Each case study is a :class:`~repro.ir.TemplateFamily`: a finite set
+of structural *variants* (which shrink/suffix views the configuration
+instantiates — Fig. 10's template style) crossed with typed integer
+parameter holes (bank factors, unroll factors, derived view factors).
+The family parses each variant's template **once**; every design point
+is produced by AST substitution, never by re-parsing source text. On
+top of the family each case study keeps its historical surface:
 
 * ``*_space()``  — the paper's parameter space (§5.2/§5.3);
-* ``*_source(config)`` — Dahlia source for one configuration. The code
-  instantiates shrink/suffix views exactly when the factors divide
-  (Fig. 10's template style); otherwise it emits the direct access and
-  lets the type checker reject the point. Acceptance decisions therefore
-  always come from the real checker;
+* ``*_source(config)`` — Dahlia source for one configuration, now a
+  thin render-for-display wrapper (textual hole substitution into the
+  same template text, so the rendered source parses to an AST
+  structurally equal to the substituted one). Views are instantiated
+  exactly when the factors divide; otherwise the template emits the
+  direct access and lets the type checker reject the point —
+  acceptance decisions always come from the real checker;
 * ``*_kernel(config)`` — the estimator kernel for the same point.
 
 Space sizes match the paper: gemm-blocked 32,000 (= 4⁴·5³ — see
@@ -29,6 +37,7 @@ from ..hls.kernel import (
     LoopSpec,
     OpCounts,
 )
+from ..ir.template import TemplateFamily
 
 
 def _divides(a: int, b: int) -> bool:
@@ -63,8 +72,12 @@ def _divides(a: int, b: int) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _attach_key(builder, key_fn):
+def _attach_key(builder, key_fn, family=None):
     builder.acceptance_key = key_fn
+    if family is not None:
+        # The DSE engine discovers the template family through this
+        # attribute and checks substituted ASTs directly (no parsing).
+        builder.family = family
     return builder
 
 
@@ -80,29 +93,33 @@ def gemm_blocked_space() -> ParameterSpace:
         u1=unrolls, u2=unrolls, u3=unrolls)
 
 
-def gemm_blocked_source(cfg: dict[str, int]) -> str:
+def _gemm_blocked_variant(cfg: dict[str, int]) -> tuple[bool, bool, bool]:
     b11, b12 = cfg["b11"], cfg["b12"]
     b21, b22 = cfg["b21"], cfg["b22"]
     u1, u2, u3 = cfg["u1"], cfg["u2"], cfg["u3"]
+    return (_divides(u1, b11) and _divides(u3, b12),
+            _divides(u3, b11) and _divides(u2, b12),
+            _divides(u1, b21) and _divides(u2, b22))
+
+
+def _gemm_blocked_template_text(variant: tuple[bool, bool, bool]) -> str:
+    m1_view, m2_view, prod_view = variant
 
     views = []
-    if _divides(u1, b11) and _divides(u3, b12):
-        views.append(f"view m1s = shrink m1[by {b11 // u1}]"
-                     f"[by {b12 // u3}];")
+    if m1_view:
+        views.append("view m1s = shrink m1[by __p_m1f1][by __p_m1f2];")
         views.append("view m1v = suffix m1s[][by 8 * kk];")
         m1_access = "m1v[i][k]"
     else:
         m1_access = "m1[i][8 * kk + k]"
-    if _divides(u3, b11) and _divides(u2, b12):
-        views.append(f"view m2s = shrink m2[by {b11 // u3}]"
-                     f"[by {b12 // u2}];")
+    if m2_view:
+        views.append("view m2s = shrink m2[by __p_m2f1][by __p_m2f2];")
         views.append("view m2v = suffix m2s[by 8 * kk][by 8 * jj];")
         m2_access = "m2v[k][j]"
     else:
         m2_access = "m2[8 * kk + k][8 * jj + j]"
-    if _divides(u1, b21) and _divides(u2, b22):
-        views.append(f"view ps = shrink prod[by {b21 // u1}]"
-                     f"[by {b22 // u2}];")
+    if prod_view:
+        views.append("view ps = shrink prod[by __p_pf1][by __p_pf2];")
         views.append("view pv = suffix ps[][by 8 * jj];")
         prod_access = "pv[i][j]"
     else:
@@ -110,17 +127,17 @@ def gemm_blocked_source(cfg: dict[str, int]) -> str:
 
     view_block = "\n    ".join(views)
     return f"""
-decl m1: bit<32>[128 bank {b11}][128 bank {b12}];
-decl m2: bit<32>[128 bank {b11}][128 bank {b12}];
-decl prod: bit<32>[128 bank {b21}][128 bank {b22}];
+decl m1: bit<32>[128 bank __p_b11][128 bank __p_b12];
+decl m2: bit<32>[128 bank __p_b11][128 bank __p_b12];
+decl prod: bit<32>[128 bank __p_b21][128 bank __p_b22];
 for (let jj = 0..16) {{
   for (let kk = 0..16) {{
     {view_block}
-    for (let i = 0..128) unroll {u1} {{
-      for (let j = 0..8) unroll {u2} {{
+    for (let i = 0..128) unroll __p_u1 {{
+      for (let j = 0..8) unroll __p_u2 {{
         let acc = {prod_access}
         ---
-        for (let k = 0..8) unroll {u3} {{
+        for (let k = 0..8) unroll __p_u3 {{
           let mul = {m1_access} * {m2_access};
         }} combine {{
           acc += mul;
@@ -132,6 +149,30 @@ for (let jj = 0..16) {{
   }}
 }}
 """
+
+
+def _gemm_blocked_params(cfg: dict[str, int]) -> dict[str, int]:
+    b11, b12 = cfg["b11"], cfg["b12"]
+    b21, b22 = cfg["b21"], cfg["b22"]
+    u1, u2, u3 = cfg["u1"], cfg["u2"], cfg["u3"]
+    return {
+        "b11": b11, "b12": b12, "b21": b21, "b22": b22,
+        "u1": u1, "u2": u2, "u3": u3,
+        # Derived view factors (only consumed by view-taking variants).
+        "m1f1": b11 // u1, "m1f2": b12 // u3,
+        "m2f1": b11 // u3, "m2f2": b12 // u2,
+        "pf1": b21 // u1, "pf2": b22 // u2,
+    }
+
+
+gemm_blocked_family = TemplateFamily(
+    "gemm-blocked", _gemm_blocked_variant, _gemm_blocked_template_text,
+    _gemm_blocked_params)
+
+
+def gemm_blocked_source(cfg: dict[str, int]) -> str:
+    """Dahlia source for one configuration (render-for-display)."""
+    return gemm_blocked_family.source(cfg)
 
 
 def _gemm_blocked_acceptance_key(cfg: dict[str, int]) -> tuple:
@@ -155,7 +196,8 @@ def _gemm_blocked_acceptance_key(cfg: dict[str, int]) -> tuple:
     )
 
 
-_attach_key(gemm_blocked_source, _gemm_blocked_acceptance_key)
+_attach_key(gemm_blocked_source, _gemm_blocked_acceptance_key,
+            family=gemm_blocked_family)
 
 
 def gemm_blocked_kernel(cfg: dict[str, int]) -> KernelSpec:
@@ -204,22 +246,20 @@ def stencil2d_space() -> ParameterSpace:
         u1=[1, 2, 3], u2=[1, 2, 3])
 
 
-def stencil2d_source(cfg: dict[str, int]) -> str:
-    ob1, ob2 = cfg["ob1"], cfg["ob2"]
-    fb1, fb2 = cfg["fb1"], cfg["fb2"]
-    u1, u2 = cfg["u1"], cfg["u2"]
+def _stencil2d_template_text(variant: None) -> str:
+    del variant                       # one structural variant only
     rows, cols = _STENCIL_ROWS, _STENCIL_COLS
     return f"""
-decl orig: float[{rows} bank {ob1}][{cols} bank {ob2}];
+decl orig: float[{rows} bank __p_ob1][{cols} bank __p_ob2];
 decl sol: float[{rows - 2}][{cols - 2}];
-decl filter: float[3 bank {fb1}][3 bank {fb2}];
+decl filter: float[3 bank __p_fb1][3 bank __p_fb2];
 for (let r = 0..{rows - 2}) {{
   for (let c = 0..{cols - 2}) {{
     view window = shift orig[by r][by c];
     let acc = 0.0;
-    for (let k1 = 0..3) unroll {u1} {{
+    for (let k1 = 0..3) unroll __p_u1 {{
       let part = 0.0;
-      for (let k2 = 0..3) unroll {u2} {{
+      for (let k2 = 0..3) unroll __p_u2 {{
         let m = filter[k1][k2] * window[k1][k2];
       }} combine {{
         part += m;
@@ -232,6 +272,16 @@ for (let r = 0..{rows - 2}) {{
   }}
 }}
 """
+
+
+stencil2d_family = TemplateFamily(
+    "stencil2d", lambda cfg: None, _stencil2d_template_text,
+    lambda cfg: dict(cfg))
+
+
+def stencil2d_source(cfg: dict[str, int]) -> str:
+    """Dahlia source for one configuration (render-for-display)."""
+    return stencil2d_family.source(cfg)
 
 
 def _stencil2d_acceptance_key(cfg: dict[str, int]) -> tuple:
@@ -251,7 +301,8 @@ def _stencil2d_acceptance_key(cfg: dict[str, int]) -> tuple:
             u1 == fb1, u2 == fb1, u1 == fb2, u2 == fb2)
 
 
-_attach_key(stencil2d_source, _stencil2d_acceptance_key)
+_attach_key(stencil2d_source, _stencil2d_acceptance_key,
+            family=stencil2d_family)
 
 
 def stencil2d_kernel(cfg: dict[str, int]) -> KernelSpec:
@@ -292,46 +343,53 @@ def md_knn_space() -> ParameterSpace:
                              u1=unrolls, u2=unrolls)
 
 
-def md_knn_source(cfg: dict[str, int]) -> str:
-    bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
+def _md_knn_variant(cfg: dict[str, int]) -> tuple[bool, bool, bool]:
+    bp, bg, bf = cfg["bp"], cfg["bg"], cfg["bf"]
     u1, u2 = cfg["u1"], cfg["u2"]
+    return (_divides(u1, bp),
+            _divides(u1, bg) and _divides(u2, bg),
+            _divides(u1, bf))
+
+
+def _md_knn_template_text(variant: tuple[bool, bool, bool]) -> str:
+    pos_view, g_view, f_view = variant
     n, k = _MDKNN_POINTS, _MDKNN_NEIGHBOURS
 
     views = []
-    if _divides(u1, bp):
-        views.append(f"view pxs = shrink px[by {bp // u1}];")
-        views.append(f"view pys = shrink py[by {bp // u1}];")
-        views.append(f"view pzs = shrink pz[by {bp // u1}];")
+    if pos_view:
+        views.append("view pxs = shrink px[by __p_pf];")
+        views.append("view pys = shrink py[by __p_pf];")
+        views.append("view pzs = shrink pz[by __p_pf];")
         pos = "pxs[i]", "pys[i]", "pzs[i]"
     else:
         pos = "px[i]", "py[i]", "pz[i]"
-    if _divides(u1, bg) and _divides(u2, bg):
-        views.append(f"view gxs = shrink gx[by {bg // u1}][by {bg // u2}];")
-        views.append(f"view gys = shrink gy[by {bg // u1}][by {bg // u2}];")
-        views.append(f"view gzs = shrink gz[by {bg // u1}][by {bg // u2}];")
+    if g_view:
+        views.append("view gxs = shrink gx[by __p_gf1][by __p_gf2];")
+        views.append("view gys = shrink gy[by __p_gf1][by __p_gf2];")
+        views.append("view gzs = shrink gz[by __p_gf1][by __p_gf2];")
         gathered = "gxs[i][k]", "gys[i][k]", "gzs[i][k]"
     else:
         gathered = "gx[i][k]", "gy[i][k]", "gz[i][k]"
-    if _divides(u1, bf):
-        views.append(f"view fxs = shrink fx[by {bf // u1}];")
-        views.append(f"view fys = shrink fy[by {bf // u1}];")
-        views.append(f"view fzs = shrink fz[by {bf // u1}];")
+    if f_view:
+        views.append("view fxs = shrink fx[by __p_ff];")
+        views.append("view fys = shrink fy[by __p_ff];")
+        views.append("view fzs = shrink fz[by __p_ff];")
         frc = "fxs[i]", "fys[i]", "fzs[i]"
     else:
         frc = "fx[i]", "fy[i]", "fz[i]"
     view_block = "\n".join(views)
 
     return f"""
-decl px: float[{n} bank {bp}];
-decl py: float[{n} bank {bp}];
-decl pz: float[{n} bank {bp}];
-decl nl: bit<32>[{n * k} bank {bn}];
-decl gx: float[{n} bank {bg}][{k} bank {bg}];
-decl gy: float[{n} bank {bg}][{k} bank {bg}];
-decl gz: float[{n} bank {bg}][{k} bank {bg}];
-decl fx: float[{n} bank {bf}];
-decl fy: float[{n} bank {bf}];
-decl fz: float[{n} bank {bf}];
+decl px: float[{n} bank __p_bp];
+decl py: float[{n} bank __p_bp];
+decl pz: float[{n} bank __p_bp];
+decl nl: bit<32>[{n * k} bank __p_bn];
+decl gx: float[{n} bank __p_bg][{k} bank __p_bg];
+decl gy: float[{n} bank __p_bg][{k} bank __p_bg];
+decl gz: float[{n} bank __p_bg][{k} bank __p_bg];
+decl fx: float[{n} bank __p_bf];
+decl fy: float[{n} bank __p_bf];
+decl fz: float[{n} bank __p_bf];
 for (let i = 0..{n}) {{
   for (let e = 0..{k}) {{
     let idx = nl[{k} * i + e]
@@ -347,7 +405,7 @@ for (let i = 0..{n}) {{
 }}
 ---
 {view_block}
-for (let i = 0..{n}) unroll {u1} {{
+for (let i = 0..{n}) unroll __p_u1 {{
   let ix = {pos[0]};
   let iy = {pos[1]};
   let iz = {pos[2]};
@@ -355,7 +413,7 @@ for (let i = 0..{n}) unroll {u1} {{
   let afy = 0.0;
   let afz = 0.0
   ---
-  for (let k = 0..{k}) unroll {u2} {{
+  for (let k = 0..{k}) unroll __p_u2 {{
     let dx = ix - {gathered[0]};
     let dy = iy - {gathered[1]};
     let dz = iz - {gathered[2]};
@@ -376,6 +434,24 @@ for (let i = 0..{n}) unroll {u1} {{
 """
 
 
+def _md_knn_params(cfg: dict[str, int]) -> dict[str, int]:
+    bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    return {
+        "bp": bp, "bn": bn, "bg": bg, "bf": bf, "u1": u1, "u2": u2,
+        "pf": bp // u1, "gf1": bg // u1, "gf2": bg // u2, "ff": bf // u1,
+    }
+
+
+md_knn_family = TemplateFamily(
+    "md-knn", _md_knn_variant, _md_knn_template_text, _md_knn_params)
+
+
+def md_knn_source(cfg: dict[str, int]) -> str:
+    """Dahlia source for one configuration (render-for-display)."""
+    return md_knn_family.source(cfg)
+
+
 def _md_knn_acceptance_key(cfg: dict[str, int]) -> tuple:
     bp, bn, bg, bf = cfg["bp"], cfg["bn"], cfg["bg"], cfg["bf"]
     u1, u2 = cfg["u1"], cfg["u2"]
@@ -390,7 +466,8 @@ def _md_knn_acceptance_key(cfg: dict[str, int]) -> tuple:
             _divides(u1, bf))
 
 
-_attach_key(md_knn_source, _md_knn_acceptance_key)
+_attach_key(md_knn_source, _md_knn_acceptance_key,
+            family=md_knn_family)
 
 
 def md_knn_kernel(cfg: dict[str, int]) -> KernelSpec:
@@ -442,47 +519,56 @@ def md_grid_space() -> ParameterSpace:
                              u1=unrolls, u2=unrolls)
 
 
-def md_grid_source(cfg: dict[str, int]) -> str:
+def _md_grid_variant(cfg: dict[str, int]) -> tuple[bool, bool, bool, bool]:
     b1, b2, b3 = cfg["b1"], cfg["b2"], cfg["b3"]
     u1, u2 = cfg["u1"], cfg["u2"]
+    return (_divides(u1, b1) and _divides(u2, b1),
+            _divides(u1, b2) and _divides(u2, b2),
+            _divides(u1, b3) and _divides(u2, b3),
+            _divides(u1, b1))
+
+
+def _md_grid_template_text(
+        variant: tuple[bool, bool, bool, bool]) -> str:
+    vx, vy, vz, force_view = variant
     cells, points = _GRID_CELLS, _GRID_POINTS
 
     views = []
     accesses = {}
-    for name, bank in (("posx", b1), ("posy", b2), ("posz", b3)):
-        if _divides(u1, bank) and _divides(u2, bank):
+    for name, viewed in (("posx", vx), ("posy", vy), ("posz", vz)):
+        if viewed:
             views.append(f"view {name}p = shrink {name}[][][]"
-                         f"[by {bank // u1}];")
+                         f"[by __p_{name}f1];")
             views.append(f"view {name}q = shrink {name}[][][]"
-                         f"[by {bank // u2}];")
+                         f"[by __p_{name}f2];")
             accesses[name] = (f"{name}p[cx][cy][cz][p]",
                               f"{name}q[cx][cy][cz][q]")
         else:
             accesses[name] = (f"{name}[cx][cy][cz][p]",
                               f"{name}[cx][cy][cz][q]")
-    if _divides(u1, b1):
-        views.append(f"view frcv = shrink frcx[][][][by {b1 // u1}];")
+    if force_view:
+        views.append("view frcv = shrink frcx[][][][by __p_frcf];")
         frc = "frcv[cx][cy][cz][p]"
     else:
         frc = "frcx[cx][cy][cz][p]"
     view_block = "\n".join(views)
 
     return f"""
-decl posx: float[{cells}][{cells}][{cells}][{points} bank {b1}];
-decl posy: float[{cells}][{cells}][{cells}][{points} bank {b2}];
-decl posz: float[{cells}][{cells}][{cells}][{points} bank {b3}];
-decl frcx: float[{cells}][{cells}][{cells}][{points} bank {b1}];
+decl posx: float[{cells}][{cells}][{cells}][{points} bank __p_b1];
+decl posy: float[{cells}][{cells}][{cells}][{points} bank __p_b2];
+decl posz: float[{cells}][{cells}][{cells}][{points} bank __p_b3];
+decl frcx: float[{cells}][{cells}][{cells}][{points} bank __p_b1];
 {view_block}
 for (let cx = 0..{cells}) {{
   for (let cy = 0..{cells}) {{
     for (let cz = 0..{cells}) {{
-      for (let p = 0..{points}) unroll {u1} {{
+      for (let p = 0..{points}) unroll __p_u1 {{
         let ix = {accesses["posx"][0]};
         let iy = {accesses["posy"][0]};
         let iz = {accesses["posz"][0]};
         let ax = 0.0
         ---
-        for (let q = 0..{points}) unroll {u2} {{
+        for (let q = 0..{points}) unroll __p_u2 {{
           let jx = {accesses["posx"][1]};
           let jy = {accesses["posy"][1]};
           let jz = {accesses["posz"][1]};
@@ -501,6 +587,27 @@ for (let cx = 0..{cells}) {{
   }}
 }}
 """
+
+
+def _md_grid_params(cfg: dict[str, int]) -> dict[str, int]:
+    b1, b2, b3 = cfg["b1"], cfg["b2"], cfg["b3"]
+    u1, u2 = cfg["u1"], cfg["u2"]
+    return {
+        "b1": b1, "b2": b2, "b3": b3, "u1": u1, "u2": u2,
+        "posxf1": b1 // u1, "posxf2": b1 // u2,
+        "posyf1": b2 // u1, "posyf2": b2 // u2,
+        "poszf1": b3 // u1, "poszf2": b3 // u2,
+        "frcf": b1 // u1,
+    }
+
+
+md_grid_family = TemplateFamily(
+    "md-grid", _md_grid_variant, _md_grid_template_text, _md_grid_params)
+
+
+def md_grid_source(cfg: dict[str, int]) -> str:
+    """Dahlia source for one configuration (render-for-display)."""
+    return md_grid_family.source(cfg)
 
 
 def _md_grid_rel(u: int, b: int) -> tuple:
@@ -525,7 +632,8 @@ def _md_grid_acceptance_key(cfg: dict[str, int]) -> tuple:
             None if force_view else _md_grid_rel(u1, b1))
 
 
-_attach_key(md_grid_source, _md_grid_acceptance_key)
+_attach_key(md_grid_source, _md_grid_acceptance_key,
+            family=md_grid_family)
 
 
 def md_grid_kernel(cfg: dict[str, int]) -> KernelSpec:
@@ -572,4 +680,14 @@ DSE_FAMILIES = {
     "md-knn": ("md_knn_space", "md_knn_source", "md_knn_kernel"),
     "stencil2d": ("stencil2d_space", "stencil2d_source",
                   "stencil2d_kernel"),
+}
+
+#: Family name → the backing :class:`~repro.ir.TemplateFamily` (the
+#: parse-once, substitute-per-point representation behind each
+#: ``*_source`` wrapper above).
+TEMPLATE_FAMILIES = {
+    "gemm-blocked": gemm_blocked_family,
+    "md-grid": md_grid_family,
+    "md-knn": md_knn_family,
+    "stencil2d": stencil2d_family,
 }

@@ -895,6 +895,18 @@ def check_program(program: ast.Program) -> CheckReport:
     return Checker().check_program(program)
 
 
+def check_resolved(resolved) -> CheckReport:
+    """Type-check a :class:`~repro.ir.ResolvedProgram`.
+
+    The verdict is memoized on the resolved program: the first caller
+    pays for one checker run, every later consumer (backend, RTL,
+    interpreter, service stage) replays the same report — or the same
+    :class:`~repro.errors.DahliaError` — so one checker verdict is the
+    shared truth for the whole toolchain.
+    """
+    return resolved.check()
+
+
 def check_source(text: str, name: str = "<input>") -> CheckReport:
     """Parse and type-check Dahlia source text."""
     from ..frontend.parser import parse

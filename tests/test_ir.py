@@ -1,0 +1,382 @@
+"""Tests for the resolved-program IR (repro.ir).
+
+The resolved layer is the single elaborated representation between the
+parser and every consumer: parse + symbol tables + a structural digest
+computed once, and one memoized checker verdict shared by the backend,
+the interpreter, the RTL lowering, the analyses, and the service
+pipeline.
+"""
+
+import pytest
+
+from repro.analysis import classify_resolved
+from repro.backend.hls_cpp import compile_resolved, compile_source
+from repro.errors import DahliaError
+from repro.frontend.parser import parse
+from repro.hls.extract import extract_resolved
+from repro.interp.interpreter import interpret, interpret_resolved
+from repro.ir import (
+    ProgramTemplate,
+    ResolvedProgram,
+    TemplateError,
+    ast_equal,
+    resolve_source,
+    structural_digest,
+)
+from repro.rtl import lower_resolved, simulate
+from repro.spatial import infer_resolved_banking
+from repro.types.checker import check_resolved
+
+GOOD = """
+decl A: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  A[i] := 1.0;
+}
+"""
+
+#: Same program, different bytes: comments, indentation, blank lines.
+GOOD_REFORMATTED = """
+// the same program, reformatted
+decl A: float[8 bank 2];
+
+for (let i = 0..8) unroll 2 {
+      A[i] := 1.0;   // a trailing comment
+}
+"""
+
+BAD = """
+decl A: float[8];
+let x = A[0];
+let y = A[1];
+"""
+
+
+# ---------------------------------------------------------------------------
+# structural digest / ast_equal
+# ---------------------------------------------------------------------------
+
+def test_digest_ignores_formatting_and_comments():
+    assert structural_digest(parse(GOOD)) == \
+        structural_digest(parse(GOOD_REFORMATTED))
+    assert ast_equal(parse(GOOD), parse(GOOD_REFORMATTED))
+
+
+@pytest.mark.parametrize("mutation", [
+    ("bank 2", "bank 4"),          # banking factor
+    ("unroll 2", "unroll 4"),      # unroll factor
+    ("1.0", "2.0"),                # literal value
+    ("0..8", "0..4"),              # loop bound
+    ("A[i]", "A[0]"),              # index expression
+])
+def test_digest_sees_every_structural_change(mutation):
+    old, new = mutation
+    assert structural_digest(parse(GOOD)) != \
+        structural_digest(parse(GOOD.replace(old, new)))
+    assert not ast_equal(parse(GOOD), parse(GOOD.replace(old, new)))
+
+
+def test_digest_distinguishes_int_from_bool_atoms():
+    # The serialization tags atom types: `x := 1` vs `x := true` must
+    # differ even though Python's 1 == True.
+    a = parse("let x = 0; x := 1;")
+    b = parse("let x = 0; x := true;")
+    assert structural_digest(a) != structural_digest(b)
+
+
+# ---------------------------------------------------------------------------
+# ResolvedProgram tables
+# ---------------------------------------------------------------------------
+
+TABLED = """
+decl A: float[8 bank 2];
+decl B: float[4][4];
+def touch(m: float[8 bank 2]) {
+  m[0] := 1.0;
+}
+let C: float[16 bank 4];
+view Av = shrink A[by 2];
+for (let i = 0..8) unroll 2 {
+  let x = Av[i];
+  C[i] := x;
+}
+"""
+
+
+def test_resolved_symbol_tables():
+    resolved = resolve_source(TABLED)
+    assert list(resolved.decls) == ["A", "B"]
+    assert list(resolved.functions) == ["touch"]
+    assert set(resolved.memories) == {"A", "B", "C"}
+    assert resolved.view_bases == {"Av": "A"}
+    assert resolved.base_memory("Av") == "A"
+    assert resolved.base_memory("C") == "C"
+    assert [loop.var for loop in resolved.loops] == ["i"]
+
+
+def test_resolved_access_index_resolves_views():
+    resolved = resolve_source(TABLED)
+    # Av[i] is attributed to its base memory A; the function body's
+    # m[0] is indexed under the parameter's own name.
+    assert len(resolved.accesses["A"]) == 1
+    assert len(resolved.accesses["m"]) == 1
+    assert "Av" not in resolved.accesses
+
+
+def test_resolved_parallelism_table():
+    resolved = resolve_source(TABLED)
+    assert resolved.parallelism["A"] == 2         # under unroll 2
+    assert resolved.parallelism["C"] == 2
+
+
+def test_cyclic_views_resolve_without_hanging():
+    # Cyclic/self-referential view declarations parse (and the checker
+    # rejects them later); table construction must still terminate.
+    resolved = resolve_source("""
+let A: float[8];
+view v = shrink w[by 1];
+view w = shrink v[by 1];
+""")
+    assert set(resolved.view_bases) == {"v", "w"}
+    assert not resolved.accepts()
+
+
+def test_transitive_view_bases():
+    resolved = resolve_source("""
+let A: float[8 bank 4];
+view s = shrink A[by 2];
+view t = shrink s[by 2];
+for (let i = 0..8) { let x = t[i]; }
+""")
+    assert resolved.view_bases == {"s": "A", "t": "A"}
+    assert resolved.parallelism.get("A", 1) == 1
+
+
+# ---------------------------------------------------------------------------
+# the memoized checker verdict
+# ---------------------------------------------------------------------------
+
+def test_check_resolved_memoizes_the_report(monkeypatch):
+    import repro.types.checker as checker_mod
+
+    resolved = resolve_source(GOOD)
+    first = check_resolved(resolved)
+    # After the first verdict, the checker must never run again for
+    # this program — even through other consumers.
+    monkeypatch.setattr(
+        checker_mod, "check_program",
+        lambda program: (_ for _ in ()).throw(AssertionError(
+            "checker re-ran for an already-checked ResolvedProgram")))
+    assert check_resolved(resolved) is first
+    compile_resolved(resolved)
+    lower_resolved(resolved)
+    extract_resolved(resolved)
+    interpret_resolved(resolved)
+
+
+def test_check_resolved_replays_the_same_error():
+    resolved = resolve_source(BAD)
+    with pytest.raises(DahliaError) as first:
+        check_resolved(resolved)
+    with pytest.raises(DahliaError) as second:
+        check_resolved(resolved)
+    assert first.value is second.value
+    assert first.value.kind == "already-consumed"
+    assert resolved.checked
+
+
+# ---------------------------------------------------------------------------
+# consumers accept the resolved layer
+# ---------------------------------------------------------------------------
+
+def test_compile_resolved_matches_compile_source():
+    assert compile_resolved(resolve_source(GOOD)) == compile_source(GOOD)
+
+
+def test_interpret_resolved_matches_interpret():
+    via_resolved = interpret_resolved(resolve_source(GOOD))
+    via_source = interpret(GOOD)
+    assert via_resolved.memories.keys() == via_source.memories.keys()
+    assert (via_resolved.memories["A"] == via_source.memories["A"]).all()
+
+
+def test_lower_resolved_produces_a_runnable_module():
+    module = lower_resolved(resolve_source(GOOD))
+    result = simulate(module)
+    assert result.memories["A@0"][0] == 1.0
+
+
+def test_classify_resolved():
+    report = classify_resolved(resolve_source("""
+let A: float[4];
+let x = 1.0
+---
+A[0] := x;
+"""))
+    assert "x" in report.registers
+
+
+def test_spatial_inference_over_resolved_tables():
+    rows = {row.memory: row for row in
+            infer_resolved_banking(resolve_source(TABLED))}
+    assert set(rows) == {"A", "B", "C"}
+    a = rows["A"]
+    assert (a.elements, a.declared, a.parallelism) == (8, 2, 2)
+    assert a.inferred == 2 and a.matched
+    b = rows["B"]                      # never accessed in parallel
+    assert b.parallelism == 1 and b.inferred == 1
+
+
+def test_spatial_inference_flags_mismatches():
+    rows = infer_resolved_banking(resolve_source("""
+decl A: float[10];
+for (let i = 0..10) { let x = A[i]; }
+"""))
+    assert rows[0].matched                      # par 1, banks 1
+    rows = infer_resolved_banking(resolve_source(TABLED.replace(
+        "unroll 2", "unroll 4")))
+    a = {row.memory: row for row in rows}["A"]
+    assert a.parallelism == 4 and a.declared == 2
+    assert not a.matched
+
+
+# ---------------------------------------------------------------------------
+# ProgramTemplate basics (family-level behavior is covered by
+# tests/test_template_parity.py)
+# ---------------------------------------------------------------------------
+
+TEMPLATE = """
+decl A: float[8 bank __p_b];
+for (let i = 0..8) unroll __p_u {
+  A[i] := 1.0;
+}
+"""
+
+
+def test_template_substitution_parses_equal_to_rendered_source():
+    template = ProgramTemplate.from_source(TEMPLATE)
+    assert template.holes == {"b", "u"}
+    params = {"b": 2, "u": 2}
+    substituted = template.substitute(params)
+    assert ast_equal(substituted, parse(template.render(params)))
+
+
+def test_template_missing_param_raises():
+    template = ProgramTemplate.from_source(TEMPLATE)
+    with pytest.raises(TemplateError, match="'u'"):
+        template.substitute({"b": 2})
+
+
+@pytest.mark.parametrize("bad", [2.0, "2", True, -1])
+def test_template_holes_are_typed_integers(bad):
+    template = ProgramTemplate.from_source(TEMPLATE)
+    with pytest.raises(TemplateError):
+        template.substitute({"b": 2, "u": bad})
+
+
+def test_substituted_diagnostics_point_at_the_template():
+    """Checker errors on substituted programs carry template spans and
+    render real caret snippets — not a synthetic file with nothing."""
+    template = ProgramTemplate.from_source(TEMPLATE)
+    program = template.substitute({"b": 1, "u": 2})   # unroll 2, 1 bank
+    from repro.types.checker import check_program
+
+    with pytest.raises(DahliaError) as excinfo:
+        check_program(program)
+    error = excinfo.value
+    snippet = template.source.render_span(error.span)
+    assert snippet and "^" in snippet
+    payload = template.diagnose(error)
+    assert payload["kind"] == error.kind
+    assert payload["snippet"] == snippet
+
+
+# ---------------------------------------------------------------------------
+# pipeline: structure-keyed artifact sharing end to end
+# ---------------------------------------------------------------------------
+
+def test_pipeline_shares_artifacts_across_reformatted_sources(tmp_path):
+    """Two sources differing only in comments/whitespace must hit the
+    same structure-keyed artifacts — including across a restart via
+    the persistent disk tier."""
+    from repro.service.pipeline import CompilerPipeline
+
+    first = CompilerPipeline(disk=tmp_path)
+    first.run("compile_payload", GOOD)
+    # Same pipeline, reformatted source: parse re-runs, nothing else.
+    counters = first.stats()["stages"]
+    assert counters["check"]["misses"] == 1
+    out = first.run("compile_payload", GOOD_REFORMATTED)
+    counters = first.stats()["stages"]
+    assert counters["resolve"]["misses"] == 2
+    assert counters["check"]["misses"] == 1
+    assert counters["compile"]["misses"] == 1
+    # Fresh process (fresh memory tier), same disk: the reformatted
+    # source is served from the first source's artifacts.
+    second = CompilerPipeline(disk=tmp_path)
+    assert second.run("compile_payload", GOOD_REFORMATTED) == out
+    assert second.stats()["disk"]["hits"] > 0
+
+
+def test_pipeline_key_is_digest_based_for_raw_stages():
+    from repro.service.pipeline import CompilerPipeline
+
+    pipeline = CompilerPipeline()
+    assert pipeline.key("check", GOOD) == \
+        pipeline.key("check", GOOD_REFORMATTED)
+    assert pipeline.key("check_payload", GOOD) != \
+        pipeline.key("check_payload", GOOD_REFORMATTED)
+    assert pipeline.key("resolve", GOOD) != \
+        pipeline.key("resolve", GOOD_REFORMATTED)
+
+
+# ---------------------------------------------------------------------------
+# prewarm: corpus-driven cache warming
+# ---------------------------------------------------------------------------
+
+def test_prewarm_populates_the_disk_tier(tmp_path):
+    from repro.service.pipeline import CompilerPipeline
+    from repro.service.prewarm import prewarm_corpus
+
+    pipeline = CompilerPipeline(disk=tmp_path)
+    summary = prewarm_corpus(pipeline, families=["stencil2d"], sample=4)
+    assert summary["sources"] > 30         # corpus + 4 stencil configs
+    assert summary["artifacts"] > summary["sources"]
+    assert summary["failures"] == 0
+
+    # A cold process pointed at the warm directory serves from disk.
+    from repro.suite.corpus import CORPUS
+
+    warm = CompilerPipeline(disk=tmp_path)
+    warm.run("check_payload", CORPUS[0].source)
+    assert warm.stats()["disk"]["hits"] > 0
+
+
+def test_prewarm_rejects_unknown_family(tmp_path):
+    from repro.service.pipeline import CompilerPipeline
+    from repro.service.prewarm import prewarm_corpus
+
+    with pytest.raises(ValueError, match="unknown DSE family"):
+        prewarm_corpus(CompilerPipeline(disk=tmp_path),
+                       families=["warp-drive"])
+
+
+def test_cli_cache_prewarm(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(["cache", "prewarm", "--cache-dir", str(tmp_path),
+                 "--family", "stencil2d", "--sample", "3", "--json"])
+    assert code == 0
+    import json
+
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["failures"] == 0
+    assert summary["families"] == ["stencil2d"]
+    assert any(tmp_path.iterdir())             # artifacts really landed
+
+
+def test_cli_cache_prewarm_requires_a_directory(capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache", "prewarm"]) == 1
+    assert "--cache-dir" in capsys.readouterr().err

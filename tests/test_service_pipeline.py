@@ -67,9 +67,22 @@ def test_downstream_stages_share_frontend_artifacts():
 def test_changed_source_reruns_the_flow():
     pipeline = CompilerPipeline()
     pipeline.run("check", GOOD)
-    pipeline.run("check", GOOD + "\n// comment")
+    # A *structural* change re-runs everything.
+    pipeline.run("check", GOOD.replace("1.0", "2.0"))
     assert stage_counters(pipeline, "check")["misses"] == 2
-    assert stage_counters(pipeline, "parse")["misses"] == 2
+    assert stage_counters(pipeline, "resolve")["misses"] == 2
+
+
+def test_comment_only_change_shares_structure_keyed_stages():
+    """Raw stages are keyed on the structural digest: reformatting or
+    commenting a program re-resolves it but cannot evict its checker
+    verdict (or any other structure-keyed artifact)."""
+    pipeline = CompilerPipeline()
+    pipeline.run("check", GOOD)
+    pipeline.run("check", GOOD + "\n// comment")
+    assert stage_counters(pipeline, "resolve")["misses"] == 2
+    assert stage_counters(pipeline, "check")["misses"] == 1
+    assert stage_counters(pipeline, "check")["hits"] == 1
 
 
 def test_option_change_reruns_only_reading_stages():

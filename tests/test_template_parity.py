@@ -1,0 +1,165 @@
+"""Template/parity property suite for the DSE families.
+
+The contract that makes the parse-free DSE path sound: for every
+family and every configuration, the AST produced by substituting into
+the once-parsed family template must be **structurally equal** to
+parsing the rendered source, and the checker verdict on the
+substituted AST must match the verdict the source path (the PR 1
+engine) produces. A strided sample per family keeps the suite fast
+while touching every structural variant.
+"""
+
+import pytest
+
+from repro.dse.runner import check_acceptance, check_acceptance_program
+from repro.errors import DahliaError
+from repro.frontend.parser import parse
+from repro.ir import ast_equal, structural_digest
+from repro.suite import TEMPLATE_FAMILIES
+from repro.suite import generators
+from repro.types.checker import check_program
+
+#: Configurations sampled per family (strided, deterministic).
+SAMPLE = 48
+
+
+def sampled_configs(family_name):
+    space_fn, _, _ = (getattr(generators, name)
+                      for name in generators.DSE_FAMILIES[family_name])
+    return list(space_fn().sample(SAMPLE))
+
+
+def all_variants_configs(family_name):
+    """One representative configuration per structural variant, so
+    every template is exercised even if the strided sample misses a
+    rare variant."""
+    family = TEMPLATE_FAMILIES[family_name]
+    space_fn, _, _ = (getattr(generators, name)
+                      for name in generators.DSE_FAMILIES[family_name])
+    reps = {}
+    for config in space_fn():
+        reps.setdefault(family.variant_of(config), config)
+    return list(reps.values())
+
+
+@pytest.mark.parametrize("family_name", sorted(TEMPLATE_FAMILIES))
+def test_substituted_ast_equals_parsed_rendered_source(family_name):
+    family = TEMPLATE_FAMILIES[family_name]
+    for config in sampled_configs(family_name):
+        substituted = family.instantiate(config)
+        reparsed = parse(family.source(config))
+        assert ast_equal(substituted, reparsed), \
+            f"{family_name}: substitution/parse divergence for {config}"
+        assert structural_digest(substituted) == \
+            structural_digest(reparsed)
+
+
+@pytest.mark.parametrize("family_name", sorted(TEMPLATE_FAMILIES))
+def test_checker_verdicts_match_the_source_path(family_name):
+    """The template path must reproduce the PR 1 engine's verdicts:
+    same acceptance flag, same rejection kind, for every point."""
+    family = TEMPLATE_FAMILIES[family_name]
+    _, source_name, _ = generators.DSE_FAMILIES[family_name]
+    source_fn = getattr(generators, source_name)
+    for config in sampled_configs(family_name):
+        via_template = check_acceptance_program(family.instantiate(config))
+        via_source = check_acceptance(source_fn(config))
+        assert via_template == via_source, \
+            f"{family_name}: verdict divergence for {config}"
+
+
+@pytest.mark.parametrize("family_name", sorted(TEMPLATE_FAMILIES))
+def test_every_variant_parses_once_and_substitutes(family_name):
+    from repro.ir.template import TemplateFamily
+
+    # A private family instance so cached templates from other tests
+    # cannot mask parse accounting.
+    shipped = TEMPLATE_FAMILIES[family_name]
+    family = TemplateFamily(shipped.name, shipped.variant_of,
+                            shipped.template_text, shipped.params_of)
+    configs = all_variants_configs(family_name)
+    for config in configs:
+        family.instantiate(config)
+        family.instantiate(config)         # second build: cache hit
+    assert family.parse_count == len(configs)
+    assert family.variants_built == len(configs)
+
+
+@pytest.mark.parametrize("family_name", sorted(TEMPLATE_FAMILIES))
+def test_rejections_carry_template_spans_with_snippets(family_name):
+    """Checker errors on substituted programs must point at template
+    source locations that render a real caret snippet — not at a
+    synthetic file with no text behind it."""
+    family = TEMPLATE_FAMILIES[family_name]
+    rejected = 0
+    for config in sampled_configs(family_name):
+        program = family.instantiate(config)
+        try:
+            check_program(program)
+        except DahliaError as error:
+            rejected += 1
+            template = family.template_for(config)
+            snippet = template.source.render_span(error.span)
+            assert snippet and "^" in snippet, \
+                f"{family_name}: span {error.span} renders no snippet " \
+                f"for {config}"
+            payload = template.diagnose(error)
+            assert payload["snippet"] == snippet
+    assert rejected > 0, f"{family_name}: sample had no rejections"
+
+
+def test_engine_sweep_is_parse_free_after_template_build():
+    """The acceptance criterion: a family sweep re-parses nothing per
+    design point — the parse count equals the number of structural
+    variants the sweep touched, while the checker still ran per
+    memo-key."""
+    from repro.dse import explore, sweep
+    from repro.suite import gemm_blocked_kernel, gemm_blocked_source
+
+    configs = sampled_configs("gemm-blocked")
+    result = sweep(configs, gemm_blocked_source, gemm_blocked_kernel,
+                   workers=1)
+    stats = result.stats
+    touched = len({generators.gemm_blocked_family.variant_of(config)
+                   for config in configs})
+    assert stats.parses <= touched
+    assert stats.checker_runs > stats.parses
+    assert stats.checker_runs + stats.memo_hits == len(configs)
+
+    reference = explore(configs, gemm_blocked_source,
+                        gemm_blocked_kernel)
+    assert [(p.accepted, p.rejection) for p in result.points] == \
+        [(p.accepted, p.rejection) for p in reference.points]
+    assert result._pareto_point_indices == \
+        reference._pareto_point_indices
+
+
+def test_pooled_sweep_stays_at_the_variant_parse_count():
+    """Workers inherit the parent's prebuilt templates at fork time,
+    so the sweep-wide parse count stays at the touched-variant count
+    for any worker count."""
+    from repro.dse import sweep
+    from repro.suite import (
+        gemm_blocked_family,
+        gemm_blocked_kernel,
+        gemm_blocked_source,
+    )
+
+    configs = sampled_configs("gemm-blocked")
+    result = sweep(configs, gemm_blocked_source, gemm_blocked_kernel,
+                   workers=4)
+    touched = len({gemm_blocked_family.variant_of(config)
+                   for config in configs})
+    assert result.stats.parses <= touched
+
+
+def test_engine_without_memoization_is_still_parse_free():
+    from repro.dse import sweep
+    from repro.suite import stencil2d_kernel, stencil2d_source
+
+    configs = sampled_configs("stencil2d")[:16]
+    result = sweep(configs, stencil2d_source, stencil2d_kernel,
+                   workers=1, memoize=False)
+    stats = result.stats
+    assert stats.checker_runs == len(configs)
+    assert stats.parses <= 1               # stencil2d: one variant
