@@ -1,0 +1,183 @@
+"""Measure function-grained incrementality: edit-one-function warm
+latency vs whole-program cold compiles.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--functions N]
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke
+
+The workload is a program of N checker-heavy pipeline stages (each a
+``def`` writing two large banked scratchpads under a 64×64 unroll) and
+a light top-level body. Two measurement paths:
+
+* **whole-program cold** — a fresh :class:`CompilerPipeline` compiles
+  a never-seen structural variant: every function is checked, every
+  C++ unit emitted.
+* **edit-one-function warm** — the same pipeline is asked to compile a
+  variant that edits exactly one function: the parse is whole-program
+  (text changed), but the sharded checker replays N−1 cached function
+  verdicts and the backend stitches N−1 cached emission units plus the
+  kernel shell — so the latency tracks the *edit*, not the program.
+
+Asserts warm beats cold by ≥ ``REQUIRED_EDIT_SPEEDUP`` (the CI
+``incremental`` job runs ``--smoke``). A full run appends a record to
+``BENCH_service.json``; smoke runs do not touch the trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from pathlib import Path
+
+from repro.service.pipeline import CompilerPipeline
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Warm single-function edits must beat whole-program cold by this.
+REQUIRED_EDIT_SPEEDUP = 3.0
+
+#: The two payload stages a "compile this" interaction touches.
+STAGES = ("check_payload", "compile_payload")
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def make_source(n_functions: int,
+                edits: dict[int, float] | None = None) -> str:
+    """An N-stage program; ``edits`` rebinds one stage's constant."""
+    edits = edits or {}
+    mem = "float[256 bank 64][256 bank 64]"
+    parts = []
+    for k in range(n_functions):
+        c = edits.get(k, float(k + 1))
+        parts.append(f"""\
+def stage{k}(x: float, out: float[16 bank 4]) {{
+  let acc: {mem};
+  let tmp: {mem};
+  for (let i = 0..256) unroll 64 {{
+    for (let j = 0..256) unroll 64 {{
+      acc[i][j] := x * {c};
+      tmp[i][j] := x + {c * 0.5};
+    }}
+  }}
+  ---
+  out[{k % 16}] := x + {float(k)};
+}}""")
+    parts.append("decl O: float[16 bank 4];")
+    parts.append("\n---\n".join(f"stage{k}({float(k)}, O)"
+                                for k in range(n_functions)))
+    return "\n".join(parts) + "\n"
+
+
+def _timed(pipeline: CompilerPipeline, source: str) -> float:
+    started = time.perf_counter()
+    for stage in STAGES:
+        payload = pipeline.run(stage, source)
+        assert payload.get("ok"), f"workload must be accepted: {payload}"
+    return time.perf_counter() - started
+
+
+def _median_ms(samples: list[float]) -> float:
+    return round(statistics.median(samples) * 1000.0, 4)
+
+
+def measure(n_functions: int, cold_samples: int,
+            warm_samples: int) -> dict:
+    # Cold: fresh pipeline per structurally distinct variant.
+    cold = []
+    for index in range(cold_samples):
+        pipeline = CompilerPipeline()
+        cold.append(_timed(pipeline,
+                           make_source(n_functions,
+                                       {0: 1000.0 + index})))
+
+    # Warm: one pipeline, then a stream of single-function edits.
+    pipeline = CompilerPipeline()
+    _timed(pipeline, make_source(n_functions))
+    warm = []
+    for index in range(warm_samples):
+        edits = {index % n_functions: 500.5 + index}
+        warm.append(_timed(pipeline, make_source(n_functions, edits)))
+
+    stats = pipeline.stats()
+    cold_ms, warm_ms = _median_ms(cold), _median_ms(warm)
+    return {
+        "path": "edit-one-function",
+        "functions": n_functions,
+        "cold_samples": cold_samples,
+        "warm_samples": warm_samples,
+        "cold_ms": cold_ms,
+        "warm_edit_ms": warm_ms,
+        "speedup": round(cold_ms / warm_ms, 1) if warm_ms else float("inf"),
+        "functions_checked": stats["functions"]["checked"],
+        "functions_reused": stats["functions"]["reused"],
+        "units_emitted": stats["compile_units"]["emitted"],
+        "units_reused": stats["compile_units"]["reused"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--functions", type=int, default=12,
+                        help="pipeline stages (defs) in the workload")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset; skips the trajectory file")
+    args = parser.parse_args()
+
+    n_functions = max(2, args.functions)
+    cold_samples, warm_samples = (2, 4) if args.smoke else (4, 12)
+    run = measure(n_functions, cold_samples, warm_samples)
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "smoke": args.smoke,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "runs": [run],
+    }
+    print(json.dumps(record, indent=2))
+
+    # The reuse counters prove the speedup is the function-grained
+    # machinery, not noise: each warm edit re-checks exactly one
+    # function and re-emits one unit plus the kernel shell.
+    expected_reuse = warm_samples * (n_functions - 1)
+    assert run["functions_reused"] >= expected_reuse, (
+        f"expected ≥{expected_reuse} replayed function verdicts, got "
+        f"{run['functions_reused']}")
+    assert run["speedup"] >= REQUIRED_EDIT_SPEEDUP, (
+        f"edit-one-function warm must be ≥{REQUIRED_EDIT_SPEEDUP}× "
+        f"faster than whole-program cold, measured {run['speedup']}×")
+    print(f"\nedit-one-function warm vs whole-program cold: "
+          f"{run['speedup']}× over {n_functions} functions "
+          f"(required ≥{REQUIRED_EDIT_SPEEDUP}×); "
+          f"{run['functions_reused']} verdicts and "
+          f"{run['units_reused']} C++ units replayed")
+
+    if not args.smoke:
+        history = []
+        if BENCH_PATH.exists():
+            history = json.loads(BENCH_PATH.read_text())
+        history.append(record)
+        BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"appended to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

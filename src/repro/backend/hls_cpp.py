@@ -267,47 +267,41 @@ class _Emitter:
         self.emit("}")
 
 
-def compile_program(program: ast.Program,
-                    options: EmitterOptions | None = None) -> str:
-    """Compile a parsed Dahlia program to annotated HLS C++ source.
-
-    Polymorphic functions (§6) are monomorphized first: each call-site
-    binding becomes one specialized C++ function."""
-    from ..types.poly import monomorphize_program
-
-    program = monomorphize_program(program)
-    options = options or EmitterOptions()
-    emitter = _Emitter(options)
-
+def _header_lines(options: EmitterOptions) -> list[str]:
     header = ["// Generated by dahlia-py (Dahlia reproduction)"]
     if not options.erase and options.use_ap_int:
         header.append('#include "ap_int.h"')
     header.append("#include <cmath>")
     header.append("")
+    return header
 
-    # Function definitions first.
-    for func in program.defs:
-        params = []
-        for param in func.params:
-            if param.type.is_memory:
-                params.append(emitter.declare_memory(
-                    param.name, param.type, as_param=True))
-            else:
-                params.append(
-                    f"{emitter.cpp_scalar(param.type.base)} {param.name}")
-        emitter.emit(f"void {func.name}({', '.join(params)}) {{")
-        emitter.indent += 1
-        for param in func.params:
-            if param.type.is_memory:
-                emitter.emit_memory_pragmas(param.name, param.type)
-        body = (func.body.body if isinstance(func.body, ast.Block)
-                else func.body)
-        emitter.command(body)
-        emitter.indent -= 1
-        emitter.emit("}")
-        emitter.emit()
 
-    # The top-level kernel: decl memories become interface parameters.
+def _emit_function(emitter: _Emitter, func: ast.FuncDef) -> None:
+    """Emit one (monomorphized) function definition into ``emitter``."""
+    params = []
+    for param in func.params:
+        if param.type.is_memory:
+            params.append(emitter.declare_memory(
+                param.name, param.type, as_param=True))
+        else:
+            params.append(
+                f"{emitter.cpp_scalar(param.type.base)} {param.name}")
+    emitter.emit(f"void {func.name}({', '.join(params)}) {{")
+    emitter.indent += 1
+    for param in func.params:
+        if param.type.is_memory:
+            emitter.emit_memory_pragmas(param.name, param.type)
+    body = (func.body.body if isinstance(func.body, ast.Block)
+            else func.body)
+    emitter.command(body)
+    emitter.indent -= 1
+    emitter.emit("}")
+    emitter.emit()
+
+
+def _emit_kernel(emitter: _Emitter, program: ast.Program,
+                 options: EmitterOptions) -> None:
+    """Emit the top-level kernel: decls become interface parameters."""
     params = [emitter.declare_memory(d.name, d.type, as_param=True)
               for d in program.decls]
     emitter.emit(f"void {options.kernel_name}({', '.join(params)}) {{")
@@ -318,7 +312,132 @@ def compile_program(program: ast.Program,
     emitter.indent -= 1
     emitter.emit("}")
 
-    return "\n".join(header + emitter.lines) + "\n"
+
+def compile_program(program: ast.Program,
+                    options: EmitterOptions | None = None) -> str:
+    """Compile a parsed Dahlia program to annotated HLS C++ source.
+
+    Polymorphic functions (§6) are monomorphized first: each call-site
+    binding becomes one specialized C++ function. This is the
+    monolithic reference path — one emitter for the whole program;
+    :func:`compile_program_units` is the function-grained path the
+    service pipeline uses, byte-identical by the unit-parity suite."""
+    from ..types.poly import monomorphize_program
+
+    program = monomorphize_program(program)
+    options = options or EmitterOptions()
+    emitter = _Emitter(options)
+    for func in program.defs:
+        _emit_function(emitter, func)
+    _emit_kernel(emitter, program, options)
+    return "\n".join(_header_lines(options) + emitter.lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Function-grained emission units
+# ---------------------------------------------------------------------------
+
+class EmissionUnitStore:
+    """Per-function C++ emission units keyed on structural digests.
+
+    Dict-backed reference implementation; the service pipeline
+    subclasses it to back ``load``/``save`` with the two-tier artifact
+    store, so an edit to one function re-emits only that function's
+    unit (plus the kernel unit when the body or options changed) and
+    stitches the rest from cache. ``emitted``/``reused`` feed the
+    ``/metrics`` ``compile_units`` block.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._units: dict[str, str] = {}
+        self._stats_lock = threading.Lock()
+        self.emitted = 0
+        self.reused = 0
+
+    def load(self, key: str) -> str | None:
+        return self._units.get(key)
+
+    def save(self, key: str, text: str) -> None:
+        self._units[key] = text
+
+    def note_emitted(self) -> None:
+        # Shared across the service's request threads: counters feed
+        # /metrics and must not lose increments to interleaving.
+        with self._stats_lock:
+            self.emitted += 1
+
+    def note_reused(self) -> None:
+        with self._stats_lock:
+            self.reused += 1
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return {"emitted": self.emitted, "reused": self.reused}
+
+
+def _cached_unit(store: EmissionUnitStore | None, key: str | None,
+                 build) -> str:
+    if store is None or key is None:
+        return build()
+    text = store.load(key)
+    if text is None:
+        text = build()
+        store.save(key, text)
+        store.note_emitted()
+    else:
+        store.note_reused()
+    return text
+
+
+def compile_program_units(program: ast.Program,
+                          options: EmitterOptions | None = None,
+                          unit_store: EmissionUnitStore | None = None,
+                          ) -> str:
+    """Function-grained compilation: emit per-definition units, stitch.
+
+    Each monomorphized definition is emitted by a fresh emitter into
+    its own text unit, keyed on the definition's node digest plus the
+    options that can change its text (``erase``/``use_ap_int`` — the
+    kernel name never appears inside a function unit); the kernel unit
+    is keyed on the decls+body digest plus ``kernel_name`` too. Units
+    found in ``unit_store`` are reused without re-emission. The
+    stitched result is byte-identical to :func:`compile_program`:
+    emission of a unit depends only on that unit's AST, because every
+    name a body references is (re)declared within its own unit.
+    """
+    from ..ir.digest import node_digest
+    from ..types.poly import monomorphize_program
+    from ..util.hashing import content_key
+
+    program = monomorphize_program(program)
+    options = options or EmitterOptions()
+    fn_opts = f"erase={int(options.erase)},ap={int(options.use_ap_int)}"
+
+    def function_unit(func: ast.FuncDef) -> str:
+        emitter = _Emitter(options)
+        _emit_function(emitter, func)
+        return "\n".join(emitter.lines)
+
+    def kernel_unit() -> str:
+        emitter = _Emitter(options)
+        _emit_kernel(emitter, program, options)
+        return "\n".join(emitter.lines)
+
+    units = [
+        _cached_unit(unit_store,
+                     content_key("hls-fn", node_digest(func), fn_opts),
+                     lambda func=func: function_unit(func))
+        for func in program.defs
+    ]
+    shell = ast.Program(decls=program.decls, defs=[], body=program.body)
+    units.append(_cached_unit(
+        unit_store,
+        content_key("hls-kernel", node_digest(shell),
+                    fn_opts, f"kernel={options.kernel_name}"),
+        kernel_unit))
+    return "\n".join(["\n".join(_header_lines(options))] + units) + "\n"
 
 
 def compile_resolved(resolved,

@@ -440,7 +440,14 @@ def cmd_cache_prewarm(args: argparse.Namespace) -> int:
         print(f"prewarmed {summary['artifacts']} artifacts from "
               f"{summary['sources']} sources "
               f"({summary['accepted']} accepted, "
+              f"{summary['skipped']} already present, "
               f"{summary['failures']} failures) into {cache_dir}")
+        for stage, counts in summary["per_stage"].items():
+            print(f"  {stage}: {counts['warmed']} warmed, "
+                  f"{counts['skipped']} skipped")
+        if summary["parse_failures"]:
+            names = ", ".join(summary["parse_failures"])
+            print(f"  unparsable (recorded, not fatal): {names}")
     return 0
 
 

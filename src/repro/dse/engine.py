@@ -51,6 +51,7 @@ from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
 from ..hls.estimator import estimate
+from ..types.checker import FunctionVerdictStore
 from ..util.hashing import source_digest
 from .runner import (
     DesignPoint,
@@ -91,6 +92,10 @@ class EngineStats:
     parses: int = 0                   # lex+parse invocations (template
                                       # path: once per variant, not per
                                       # point; source path: one per run)
+    fn_checked: int = 0               # per-function checker shards run
+    fn_reused: int = 0                # shards replayed from the verdict
+                                      # store (hole-free helpers shared
+                                      # across a sweep's design points)
 
     @property
     def points_per_sec(self) -> float:
@@ -106,6 +111,8 @@ class EngineStats:
             "checker_runs": self.checker_runs,
             "memo_hits": self.memo_hits,
             "parses": self.parses,
+            "fn_checked": self.fn_checked,
+            "fn_reused": self.fn_reused,
         }
 
 
@@ -138,28 +145,59 @@ def _run_checker(source_builder: SourceBuilder,
                  family: Any,
                  config: dict[str, int],
                  source: str | None = None,
+                 fn_store: FunctionVerdictStore | None = None,
                  ) -> tuple[tuple[bool, str | None], int]:
     """One checker run for ``config``; returns (verdict, parses).
 
     With a template family the design point's AST is produced by
     substitution into the once-parsed variant template — the parse
-    count only grows when a new variant's template is first built.
-    Without one, the generated source is parsed (one parse per run).
+    count only grows when a new variant's template is first built —
+    and, given a verdict store, the check is function-grained:
+    substitution leaves hole-free helper ``def``s object-identical
+    across points, so their per-function verdicts are checked once per
+    sweep and replayed thereafter. Without a family, the generated
+    source is parsed (one parse per run).
     """
     if family is not None:
         before = family.parse_count
-        verdict = check_acceptance_program(family.instantiate(config))
+        verdict = check_acceptance_program(family.instantiate(config),
+                                           store=fn_store)
         return verdict, family.parse_count - before
     if source is None:
         source = source_builder(config)
     return check_acceptance(source), 1
 
 
+#: Attribute caching a per-process function-verdict store on the
+#: family object itself, so its lifetime is bounded by the family's
+#: (a module-level registry would retain every sweep's verdicts for
+#: the process lifetime, and id()-keying could alias recycled ids).
+_FAMILY_STORE_ATTR = "_fn_verdict_store"
+
+
+def _family_store(family: Any) -> FunctionVerdictStore:
+    store = getattr(family, _FAMILY_STORE_ATTR, None)
+    if store is None:
+        store = FunctionVerdictStore()
+        setattr(family, _FAMILY_STORE_ATTR, store)
+    return store
+
+
 def _check_config(source_builder: SourceBuilder,
                   config: dict[str, int],
-                  ) -> tuple[tuple[bool, str | None], int]:
+                  ) -> tuple[tuple[bool, str | None], int, int, int]:
     family = getattr(source_builder, FAMILY_ATTR, None)
-    return _run_checker(source_builder, family, config)
+    fn_store = None
+    if family is not None:
+        fn_store = _family_store(family)
+    checked = fn_store.checked if fn_store is not None else 0
+    reused = fn_store.reused if fn_store is not None else 0
+    verdict, parses = _run_checker(source_builder, family, config,
+                                   fn_store=fn_store)
+    if fn_store is not None:
+        checked = fn_store.checked - checked
+        reused = fn_store.reused - reused
+    return verdict, parses, checked, reused
 
 
 def _evaluate_chunk(configs: Sequence[dict[str, int]],
@@ -167,9 +205,10 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
                     kernel_builder: KernelBuilder,
                     key_fn: Callable[[dict[str, int]], Any] | None,
                     memo: dict[Any, tuple[bool, str | None]] | None,
-                    ) -> tuple[list[_Row], int, int, int]:
+                    fn_store: FunctionVerdictStore | None = None,
+                    ) -> tuple[list[_Row], int, int, int, int, int]:
     """Evaluate configurations in order; returns (rows, runs, hits,
-    parses).
+    parses, fn_checked, fn_reused).
 
     The memo key is the builder's ``acceptance_key`` projection when
     available (collapsing configurations that agree on the
@@ -178,17 +217,19 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
     for any deterministic checker, but only collapsing exact
     duplicates. The source is built at most once per point, and with a
     template family it is never parsed — checker runs consume
-    substituted ASTs.
+    substituted ASTs, function-grained when a verdict store is given.
     """
     family = getattr(source_builder, FAMILY_ATTR, None)
     rows: list[_Row] = []
     checker_runs = 0
     memo_hits = 0
     parses = 0
+    fn_checked = fn_store.checked if fn_store is not None else 0
+    fn_reused = fn_store.reused if fn_store is not None else 0
     for config in configs:
         if memo is None:
             (accepted, rejection), ran_parses = _run_checker(
-                source_builder, family, config)
+                source_builder, family, config, fn_store=fn_store)
             checker_runs += 1
             parses += ran_parses
         else:
@@ -201,7 +242,7 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
             cached = memo.get(key)
             if cached is None:
                 (accepted, rejection), ran_parses = _run_checker(
-                    source_builder, family, config, source)
+                    source_builder, family, config, source, fn_store)
                 memo[key] = (accepted, rejection)
                 checker_runs += 1
                 parses += ran_parses
@@ -210,7 +251,12 @@ def _evaluate_chunk(configs: Sequence[dict[str, int]],
                 memo_hits += 1
         report = estimate(kernel_builder(config))
         rows.append((accepted, rejection, report))
-    return rows, checker_runs, memo_hits, parses
+    if fn_store is not None:
+        fn_checked = fn_store.checked - fn_checked
+        fn_reused = fn_store.reused - fn_reused
+    else:
+        fn_checked = fn_reused = 0
+    return rows, checker_runs, memo_hits, parses, fn_checked, fn_reused
 
 
 # ---------------------------------------------------------------------------
@@ -230,15 +276,18 @@ def _init_worker(source_builder: SourceBuilder,
     _worker["kernel_builder"] = kernel_builder
     _worker["key_fn"] = key_fn
     _worker["memo"] = dict(verdicts) if memoize else None
+    # Per-worker function-verdict store: hole-free helper defs shared
+    # across a sweep's design points are checked once per process.
+    _worker["fn_store"] = FunctionVerdictStore() if memoize else None
 
 
 def _run_chunk(task: tuple[int, Sequence[dict[str, int]]],
-               ) -> tuple[int, list[_Row], int, int, int]:
+               ) -> tuple[int, list[_Row], int, int, int, int, int]:
     chunk_id, configs = task
-    rows, runs, hits, parses = _evaluate_chunk(
+    rows, runs, hits, parses, fn_checked, fn_reused = _evaluate_chunk(
         configs, _worker["source_builder"], _worker["kernel_builder"],
-        _worker["key_fn"], _worker["memo"])
-    return chunk_id, rows, runs, hits, parses
+        _worker["key_fn"], _worker["memo"], _worker["fn_store"])
+    return chunk_id, rows, runs, hits, parses, fn_checked, fn_reused
 
 
 def _pool_context():
@@ -287,6 +336,8 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
     checker_runs = 0
     memo_hits = 0
     parses = 0
+    fn_checked = 0
+    fn_reused = 0
 
     if n_workers <= 1 or len(chunks) <= 1:
         # Inline path — same memoization, no pool overhead.
@@ -294,13 +345,17 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         key_fn = getattr(source_builder, ACCEPTANCE_KEY_ATTR, None)
         memo: dict[Any, tuple[bool, str | None]] | None = (
             {} if memoize else None)
+        fn_store = FunctionVerdictStore() if memoize else None
         for chunk in chunks:
-            chunk_rows, runs, hits, chunk_parses = _evaluate_chunk(
-                chunk, source_builder, kernel_builder, key_fn, memo)
+            chunk_rows, runs, hits, chunk_parses, fnc, fnr = \
+                _evaluate_chunk(chunk, source_builder, kernel_builder,
+                                key_fn, memo, fn_store)
             rows.extend(chunk_rows)
             checker_runs += runs
             memo_hits += hits
             parses += chunk_parses
+            fn_checked += fnc
+            fn_reused += fnr
             if progress is not None:
                 progress(len(rows))
         if progress is not None and not chunks:
@@ -334,8 +389,10 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
                 partial(_check_config, source_builder),
                 reps.values(), workers=n_workers)
             verdicts = dict(zip(reps.keys(),
-                                (verdict for verdict, _ in outcomes)))
-            parses += sum(ran_parses for _, ran_parses in outcomes)
+                                (verdict for verdict, *_ in outcomes)))
+            parses += sum(ran_parses for _, ran_parses, _, _ in outcomes)
+            fn_checked += sum(fnc for _, _, fnc, _ in outcomes)
+            fn_reused += sum(fnr for _, _, _, fnr in outcomes)
         context = _pool_context()
         used_workers = min(n_workers, len(chunks))
         with context.Pool(
@@ -346,13 +403,15 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         ) as pool:
             # imap preserves submission order, so chunk results arrive
             # exactly in enumeration order regardless of scheduling.
-            for chunk_id, chunk_rows, runs, hits, chunk_parses in \
-                    pool.imap(_run_chunk, enumerate(chunks)):
+            for chunk_id, chunk_rows, runs, hits, chunk_parses, fnc, \
+                    fnr in pool.imap(_run_chunk, enumerate(chunks)):
                 assert chunk_id * size == len(rows), "chunk order broken"
                 rows.extend(chunk_rows)
                 checker_runs += runs
                 memo_hits += hits
                 parses += chunk_parses
+                fn_checked += fnc
+                fn_reused += fnr
                 if progress is not None:
                     progress(len(rows))
         # With a prefilled memo every point is a hit; fold the parent's
@@ -369,7 +428,8 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
     return DseResult(points=points, stats=EngineStats(
         points=len(points), elapsed_s=elapsed, workers=used_workers,
         chunk_size=size, checker_runs=checker_runs,
-        memo_hits=memo_hits, parses=parses))
+        memo_hits=memo_hits, parses=parses,
+        fn_checked=fn_checked, fn_reused=fn_reused))
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ from ..errors import DahliaError
 from ..frontend.parser import parse
 from ..hls.estimator import Report, estimate
 from ..hls.kernel import KernelSpec
-from ..types.checker import check_program
+from ..types.checker import check_program, check_program_sharded
 from .pareto import pareto_indices
 from .space import ParameterSpace
 
@@ -135,7 +135,8 @@ def check_acceptance(source: str) -> tuple[bool, str | None]:
     return True, None
 
 
-def check_acceptance_program(program) -> tuple[bool, str | None]:
+def check_acceptance_program(program,
+                             store=None) -> tuple[bool, str | None]:
     """Acceptance verdict for an already-built AST (no parsing).
 
     The template-backed DSE path substitutes design points into a
@@ -143,9 +144,18 @@ def check_acceptance_program(program) -> tuple[bool, str | None]:
     the verdict is identical to :func:`check_acceptance` on the
     rendered source because substitution and parsing produce
     structurally equal programs (the template parity property).
+
+    With a :class:`~repro.types.checker.FunctionVerdictStore` the
+    check is function-grained: helper definitions shared across a
+    sweep's design points (template substitution only invalidates
+    functions containing ``__p_*`` holes) are checked once and their
+    verdicts replayed for every later point.
     """
     try:
-        check_program(program)
+        if store is not None and program.defs:
+            check_program_sharded(program, store)
+        else:
+            check_program(program)
     except DahliaError as error:
         return False, error.kind
     return True, None

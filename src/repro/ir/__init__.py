@@ -9,10 +9,22 @@ analyses, DSE, service pipeline).
   integer parameter holes; a DSE family is parsed once per structural
   variant and every design point is produced by AST substitution;
 * :func:`structural_digest` / :func:`ast_equal` — program identity
-  modulo spans (whitespace/comment/formatting-insensitive).
+  modulo spans (whitespace/comment/formatting-insensitive);
+* :func:`function_digest` / :func:`program_function_identities` —
+  per-definition closure digests: the identity per-function checker
+  verdicts and C++ emission units are cached under, and the
+  invalidation unit for single-function edits.
 """
 
-from .digest import ast_equal, structural_digest
+from .digest import (
+    FunctionIdentity,
+    ast_equal,
+    function_digest,
+    node_digest,
+    program_digest,
+    program_function_identities,
+    structural_digest,
+)
 from .resolved import ResolvedProgram, resolve_program, resolve_source
 from .template import (
     HOLE_PREFIX,
@@ -23,12 +35,17 @@ from .template import (
 )
 
 __all__ = [
+    "FunctionIdentity",
     "HOLE_PREFIX",
     "ProgramTemplate",
     "ResolvedProgram",
     "TemplateError",
     "TemplateFamily",
     "ast_equal",
+    "function_digest",
+    "node_digest",
+    "program_digest",
+    "program_function_identities",
     "render_template_text",
     "resolve_program",
     "resolve_source",

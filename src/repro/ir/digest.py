@@ -11,6 +11,17 @@ fields. This module defines program identity *modulo spans*:
   prove substituted ASTs equal re-parsed ones.
 * :func:`ast_equal` — the same relation as a predicate, with no
   hashing, for direct structural comparisons in tests.
+* :func:`node_digest` — the same canonical digest over any single AST
+  node (a ``Decl``, a ``FuncDef``, a command), the building block of
+  function-grained identity.
+* :func:`function_digest` — the digest of one function definition
+  *folded with the digests of everything its check can observe*:
+  referenced top-level ``decl`` memories and (transitively) callees.
+  Two programs whose function bodies and dependency closures agree
+  assign the function the same digest, which is what makes cached
+  per-function checker verdicts and per-function C++ emission units
+  sound to reuse across edits (see
+  :func:`program_function_identities`).
 
 The serialization walks the dataclass tree with an explicit stack (no
 recursion limit concerns for deeply sequenced programs) and is
@@ -24,7 +35,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from ..frontend import ast
 
@@ -66,6 +77,37 @@ def _tokens(root: Any) -> Iterator[bytes]:
                 f"cannot serialize {type(node).__name__!r} structurally")
 
 
+def _feed(hasher, tokens: Iterator[bytes]) -> None:
+    for token in tokens:
+        hasher.update(len(token).to_bytes(4, "big"))
+        hasher.update(token)
+
+
+#: Node types whose digest is memoized on the instance. Restricted to
+#: top-level definition nodes, which nothing in the repository mutates
+#: (step fusion rewrites only *body* commands on a deep copy): caching
+#: there makes repeated digesting — checker identities, emission-unit
+#: keys, template-shared helper defs across a DSE sweep — O(1) after
+#: the first walk, without risking staleness on mutable command trees.
+_MEMO_TYPES = (ast.FuncDef, ast.Decl)
+
+_MEMO_ATTR = "_structural_digest_memo"
+
+
+def node_digest(node: Any) -> str:
+    """Hex digest of any single AST node's structure (span-free)."""
+    if isinstance(node, _MEMO_TYPES):
+        memo = node.__dict__.get(_MEMO_ATTR)
+        if memo is not None:
+            return memo
+    hasher = hashlib.sha256()
+    _feed(hasher, _tokens(node))
+    digest = hasher.hexdigest()
+    if isinstance(node, _MEMO_TYPES):
+        node.__dict__[_MEMO_ATTR] = digest
+    return digest
+
+
 def structural_digest(program: ast.Program) -> str:
     """Hex digest of a program's structure, ignoring source locations.
 
@@ -73,11 +115,7 @@ def structural_digest(program: ast.Program) -> str:
     commented) sources share a digest; any change to the program
     structure — a bound, a bank factor, an operator — changes it.
     """
-    hasher = hashlib.sha256()
-    for token in _tokens(program):
-        hasher.update(len(token).to_bytes(4, "big"))
-        hasher.update(token)
-    return hasher.hexdigest()
+    return node_digest(program)
 
 
 def ast_equal(left: Any, right: Any) -> bool:
@@ -87,3 +125,180 @@ def ast_equal(left: Any, right: Any) -> bool:
         if token != next(produced, None):
             return False
     return next(produced, None) is None
+
+
+# ---------------------------------------------------------------------------
+# Function-grained identity
+# ---------------------------------------------------------------------------
+
+def function_digest(fn: ast.FuncDef, deps: Mapping[str, str]) -> str:
+    """Digest of one function folded with its dependency digests.
+
+    ``deps`` maps namespaced dependency labels (``decl:A``, ``fn:g``,
+    ``fwd:h`` — see :func:`program_function_identities`) to the
+    dependency's own digest. Folding the *digests* rather than the
+    names means a change anywhere in the dependency closure — a bank
+    factor on a referenced ``decl``, a statement in a callee's body —
+    changes this digest too, so a cached per-function verdict or
+    emission unit can never be reused across an edit its check could
+    have observed.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, _tokens(fn))
+    for label in sorted(deps):
+        _feed(hasher, iter([b"DEP:" + label.encode(),
+                            deps[label].encode()]))
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionIdentity:
+    """One function's structural identity and dependency closure.
+
+    ``digest`` is the closure digest (:func:`function_digest`):
+    ``own_digest`` folded with the digests of every referenced
+    top-level ``decl`` and every resolvable callee's *closure* digest,
+    so it transitively covers everything the function's check reads
+    from the program text. ``decl_refs`` is kept separately because
+    the checker's environment key also folds in the *runtime* token
+    state of those memories (a sibling function may have consumed
+    them — see :func:`repro.types.checker.check_program_sharded`).
+    """
+
+    name: str
+    digest: str                     # closure digest
+    own_digest: str                 # this definition alone
+    decl_refs: frozenset[str]       # referenced top-level decl names
+    callees: frozenset[str]         # referenced earlier-defined defs
+
+
+_MENTIONS_ATTR = "_mentioned_names_memo"
+
+
+def _mentioned_names(fn: ast.FuncDef) -> frozenset[str]:
+    """Every identifier a function's check can *touch* non-locally.
+
+    A deliberate over-approximation in both directions: names the body
+    reads (so shadowed globals still count) **and** names the function
+    merely binds (params, ``let``s, ``view``s). Binders matter because
+    a param or local memory that shadows an interface ``decl``
+    clobbers — and at scope exit deletes — the global's affine entry,
+    so the function's verdict key must fold that decl's presence even
+    when the body never reads it. Over-approximating only adds digest
+    dependencies — it can split cache entries, never wrongly share
+    them. Memoized on the node (same immutability contract as
+    :func:`node_digest`): DSE sweeps share hole-free helper defs
+    object-identically across design points, and the per-point
+    identity pass must not re-walk their bodies.
+    """
+    memo = fn.__dict__.get(_MENTIONS_ATTR)
+    if memo is not None:
+        return memo
+    names: set[str] = set()
+    for param in fn.params:
+        names.add(param.name)
+    for cmd in ast.walk_commands(fn.body):
+        if isinstance(cmd, ast.View):
+            names.add(cmd.mem)
+            names.add(cmd.name)
+        elif isinstance(cmd, ast.Let):
+            names.add(cmd.name)
+        elif isinstance(cmd, ast.Assign):
+            names.add(cmd.name)
+        elif isinstance(cmd, ast.Reduce):
+            names.add(cmd.target)
+    for expr in ast.walk_exprs(fn.body):
+        if isinstance(expr, ast.Var):
+            names.add(expr.name)
+        elif isinstance(expr, ast.Access):
+            names.add(expr.mem)
+        elif isinstance(expr, ast.App):
+            names.add(expr.func)
+    mentioned = frozenset(names)
+    fn.__dict__[_MENTIONS_ATTR] = mentioned
+    return mentioned
+
+
+def program_function_identities(
+        program: ast.Program) -> dict[str, FunctionIdentity]:
+    """Per-definition closure digests for a whole program.
+
+    Computed in definition order, so a callee's closure digest is
+    available when its callers fold it in (the checker enforces
+    define-before-use for monomorphic calls). Three dependency
+    namespaces keep a ``decl`` and a ``def`` with the same name
+    distinct:
+
+    * ``decl:NAME`` — a referenced interface memory's node digest;
+    * ``fn:NAME`` — an earlier-defined callee's closure digest;
+    * ``fwd:NAME`` — a reference to a def that appears *later* in the
+      program (the check will reject it as unbound, but the key must
+      still distinguish it from the program where the order is legal).
+
+    Self-references are skipped: the function's own tokens are already
+    the digest base, and poly self-recursion adds no new structure.
+    For duplicate definition names the first definition's identity
+    wins, mirroring the checker (the second definition is rejected
+    before its body is read).
+    """
+    decl_digests = {decl.name: node_digest(decl) for decl in program.decls}
+    def_names = {fn.name for fn in program.defs}
+    identities: dict[str, FunctionIdentity] = {}
+    for fn in program.defs:
+        if fn.name in identities:              # duplicate: checker rejects
+            continue
+        mentioned = _mentioned_names(fn)
+        deps: dict[str, str] = {}
+        decl_refs = frozenset(mentioned & decl_digests.keys())
+        for name in decl_refs:
+            deps[f"decl:{name}"] = decl_digests[name]
+        callees = set()
+        for name in mentioned & def_names:
+            if name == fn.name:
+                continue
+            earlier = identities.get(name)
+            if earlier is not None:
+                deps[f"fn:{name}"] = earlier.digest
+                callees.add(name)
+            else:
+                deps[f"fwd:{name}"] = "forward"
+        own = node_digest(fn)
+        identities[fn.name] = FunctionIdentity(
+            name=fn.name,
+            digest=function_digest(fn, deps),
+            own_digest=own,
+            decl_refs=decl_refs,
+            callees=frozenset(callees))
+    return identities
+
+
+def program_digest(program: ast.Program,
+                   identities: Mapping[str, FunctionIdentity] | None = None,
+                   ) -> str:
+    """Program identity derived from the per-function digest set.
+
+    Folds, in program order: every ``decl``'s node digest, every
+    definition's closure digest, and the body's node digest. It
+    discriminates exactly like :func:`structural_digest` (any
+    structural edit lands in a decl, a def closure, or the body) but
+    is assembled from the same per-function digests the incremental
+    pipeline keys its sub-artifacts on, so the two layers can never
+    disagree about what changed.
+    """
+    if identities is None:
+        identities = program_function_identities(program)
+    hasher = hashlib.sha256()
+    for decl in program.decls:
+        _feed(hasher, iter([b"decl:" + decl.name.encode(),
+                            node_digest(decl).encode()]))
+    seen: set[str] = set()
+    for fn in program.defs:
+        # A duplicate name has no identity of its own (the checker
+        # rejects it unread); fold its raw node digest so structurally
+        # different duplicates still produce different program digests.
+        digest = (identities[fn.name].digest if fn.name not in seen
+                  else node_digest(fn))
+        seen.add(fn.name)
+        _feed(hasher, iter([b"fn:" + fn.name.encode(), digest.encode()]))
+    _feed(hasher, iter([b"body", node_digest(program.body).encode()]))
+    return hasher.hexdigest()

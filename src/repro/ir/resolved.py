@@ -31,7 +31,12 @@ from functools import cached_property
 from ..frontend import ast
 from ..frontend.parser import parse
 from ..source import SourceFile
-from .digest import structural_digest
+from .digest import (
+    FunctionIdentity,
+    program_digest,
+    program_function_identities,
+    structural_digest,
+)
 
 class ResolvedProgram:
     """One parsed program plus its shared symbol tables and verdict."""
@@ -64,6 +69,29 @@ class ResolvedProgram:
     def structural_digest(self) -> str:
         """Span-free program identity (stable across reformatting)."""
         return structural_digest(self.ast)
+
+    @cached_property
+    def function_identities(self) -> dict[str, FunctionIdentity]:
+        """Per-definition closure digests (function-grained identity).
+
+        Each definition's digest folds in the digests of the top-level
+        ``decl`` memories it references and of its callees'
+        closures, so an edit anywhere a function's check could observe
+        changes the function's digest — the soundness contract behind
+        per-function verdict and emission-unit reuse.
+        """
+        return program_function_identities(self.ast)
+
+    @cached_property
+    def function_digests(self) -> dict[str, str]:
+        """Definition name → closure digest, in program order."""
+        return {name: identity.digest
+                for name, identity in self.function_identities.items()}
+
+    @cached_property
+    def program_digest(self) -> str:
+        """Program identity derived from the per-function digest set."""
+        return program_digest(self.ast, self.function_identities)
 
     # -- symbol tables ------------------------------------------------------
 
@@ -176,20 +204,32 @@ class ResolvedProgram:
 
     # -- the shared checker verdict ----------------------------------------
 
-    def check(self):
+    def check(self, store=None):
         """Type-check this program at most once.
 
         Returns the cached :class:`~repro.types.checker.CheckReport`;
         on rejection the same :class:`~repro.errors.DahliaError`
         instance is re-raised to every caller, so diagnostics (kind,
         message, span) are identical no matter which consumer asked.
+
+        With a :class:`~repro.types.checker.FunctionVerdictStore` the
+        first (and only) checker run is function-grained: definitions
+        whose closure digest has a stored verdict are replayed instead
+        of re-checked, and fresh verdicts are saved back — the
+        assembled report is identical to the monolithic run (the
+        function-parity suite enforces it).
         """
         from ..errors import DahliaError
-        from ..types.checker import check_program
+        from ..types.checker import check_program, check_program_sharded
 
         if self._verdict is None:
             try:
-                self._verdict = check_program(self.ast)
+                if store is not None and self.ast.defs:
+                    self._verdict = check_program_sharded(
+                        self.ast, store,
+                        identities=self.function_identities)
+                else:
+                    self._verdict = check_program(self.ast)
             except DahliaError as error:
                 self._verdict = error
         if isinstance(self._verdict, Exception):
@@ -200,6 +240,19 @@ class ResolvedProgram:
     def checked(self) -> bool:
         """Has :meth:`check` already produced a verdict?"""
         return self._verdict is not None
+
+    @property
+    def checked_ok(self) -> bool:
+        """Checked *and accepted* — without running the checker.
+
+        The distinction matters for cross-text sharing: an accepting
+        verdict (a :class:`CheckReport`) is span-free and safe to
+        replay for any structurally-equal source, while a rejecting
+        verdict carries this text's spans and must not be served for
+        a differently-formatted variant.
+        """
+        return self._verdict is not None \
+            and not isinstance(self._verdict, Exception)
 
     def accepts(self) -> bool:
         """Does the checker accept this program? (never raises)"""

@@ -179,6 +179,19 @@ def _sub_cmd(cmd: ast.Command, params: Mapping[str, int]) -> ast.Command:
         f"cannot substitute into {type(cmd).__name__}")
 
 
+def _node_has_holes(node: Any) -> bool:
+    """Does any string field in ``node``'s subtree name a ``__p_*`` hole?
+
+    Reuses the digest serializer's canonical token walk: a hole is any
+    string atom (identifier, symbolic bound, symbolic bank factor)
+    starting with the hole prefix.
+    """
+    from .digest import _tokens
+
+    marker = b"S:" + HOLE_PREFIX.encode()
+    return any(token.startswith(marker) for token in _tokens(node))
+
+
 class ProgramTemplate:
     """One parsed template: an AST with named integer holes."""
 
@@ -186,6 +199,13 @@ class ProgramTemplate:
         self.ast = program
         self.source = source
         self.holes = self._discover_holes()
+        #: Top-level ``def``s whose subtree contains a hole. Only these
+        #: are re-cloned per substitution; hole-free helpers are shared
+        #: verbatim across every design point, so their function
+        #: digests — and therefore their cached checker verdicts and
+        #: emission units — are identical for the whole sweep.
+        self.defs_with_holes = frozenset(
+            fn.name for fn in program.defs if _node_has_holes(fn))
 
     @classmethod
     def from_source(cls, text: str,
@@ -200,9 +220,14 @@ class ProgramTemplate:
     def substitute(self, params: Mapping[str, int]) -> ast.Program:
         """A fresh program with every hole bound to a concrete integer.
 
-        The clone shares no mutable nodes with the template and keeps
-        the template's spans, so diagnostics raised on the substituted
-        program render against :attr:`source` (see :meth:`diagnose`).
+        Holey subtrees are cloned (keeping the template's spans, so
+        diagnostics raised on the substituted program render against
+        :attr:`source` — see :meth:`diagnose`). Hole-free ``def``s are
+        *shared by reference* across substitutions: consumers treat
+        ASTs as immutable, and sharing keeps such helpers
+        object-identical (hence digest-identical) across every design
+        point — the invalidation-only-touches-holey-functions property
+        the DSE engine's function-grained checking relies on.
         Extra keys in ``params`` are ignored; a missing or non-integer
         binding raises :class:`TemplateError`.
         """
@@ -215,6 +240,7 @@ class ProgramTemplate:
                 [ast.Param(p.name, _sub_type(p.type, params), span=p.span)
                  for p in f.params],
                 _sub_cmd(f.body, params), span=f.span)
+                  if f.name in self.defs_with_holes else f
                   for f in program.defs],
             body=_sub_cmd(program.body, params),
             span=program.span)

@@ -191,6 +191,10 @@ class DiskStore:
     def clear(self) -> None:
         for path in self._artifact_files():
             self._unlink_quietly(path)
+        # Drop the TTL-cached usage scan: a /metrics publish right
+        # after an eviction sweep must not report the pre-clear bytes.
+        with self._lock:
+            self._usage = None
 
     # -- eviction -----------------------------------------------------------
 

@@ -17,7 +17,15 @@ The ``resolve`` stage turns source text into a
   ``estimate``, ``compile``, ``rtl``, ``interp``) is keyed on the
   **structural digest**, so sources differing only in whitespace or
   comments share those artifacts — reformatting a program cannot
-  evict its checker verdict or its emitted C++.
+  evict its checker verdict or its emitted C++;
+* below the stage artifacts sit **function-grained sub-artifacts**:
+  the ``check`` stage shards its verdict per definition
+  (:class:`ArtifactFunctionVerdictStore`, keyed on closure digests)
+  and ``compile`` stitches per-definition C++ units
+  (:class:`ArtifactEmissionUnitStore`), both riding the same two
+  cache tiers — so editing one function re-checks and re-emits *that
+  function*, not the program, and a warm edit costs parse + one
+  function instead of parse + everything.
 
 Option invalidation is unchanged:
 
@@ -37,13 +45,17 @@ the parity the test-suite enforces.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from pathlib import Path
 
+from ..backend.hls_cpp import EmissionUnitStore
 from ..errors import DahliaError
 from ..source import SourceFile
+from ..types.checker import FunctionVerdictStore
 from ..util.diagnostics import diagnostic_payload
 from .artifacts import (
     DEFAULT_DISK_BYTES,
@@ -91,6 +103,44 @@ def relevant_options(stage: str) -> tuple[str, ...]:
     return tuple(sorted(keys))
 
 
+# ---------------------------------------------------------------------------
+# Function-grained sub-artifact stores (both cache tiers)
+# ---------------------------------------------------------------------------
+
+class _ArtifactBacked:
+    """Mixin routing a sub-artifact store through :class:`ArtifactStore`.
+
+    Sub-artifacts stored this way are LRU-bounded in memory, persistent
+    on disk when a tier is attached, and shared across every process
+    pointed at the same directory — exactly like whole-stage artifacts.
+    """
+
+    STAGE: str
+
+    def __init__(self, store: ArtifactStore) -> None:
+        super().__init__()
+        self._store = store
+
+    def load(self, key: str):
+        return self._store.get(ArtifactKey(self.STAGE, key))
+
+    def save(self, key: str, value) -> None:
+        self._store.put(ArtifactKey(self.STAGE, key), value)
+
+
+class ArtifactFunctionVerdictStore(_ArtifactBacked, FunctionVerdictStore):
+    """Per-function checker verdicts (closure+environment keyed)
+    backed by the two-tier store."""
+
+    STAGE = "check_fn"
+
+
+class ArtifactEmissionUnitStore(_ArtifactBacked, EmissionUnitStore):
+    """Per-function C++ emission units backed by the two-tier store."""
+
+    STAGE = "compile_fn"
+
+
 class CompilerPipeline:
     """A compilation pipeline bound to one artifact store.
 
@@ -100,6 +150,9 @@ class CompilerPipeline:
     sharing the directory share the warm cache; soundness follows from
     the content-addressed keys (stage + source + relevant options).
     """
+
+    #: Bound on the pipeline-level interned ResolvedProgram cache.
+    RESOLVED_CACHE_CAPACITY = 64
 
     def __init__(self, store: ArtifactStore | None = None,
                  capacity: int = 512,
@@ -111,6 +164,44 @@ class CompilerPipeline:
             tier = (disk if isinstance(disk, DiskStore) or disk is None
                     else DiskStore(disk, max_bytes=disk_bytes))
             self.store = ArtifactStore(capacity, disk=tier)
+        # Function-grained sub-artifacts ride through the same two-tier
+        # store as whole-stage artifacts (memory LRU + optional disk).
+        self.functions = ArtifactFunctionVerdictStore(self.store)
+        self.units = ArtifactEmissionUnitStore(self.store)
+        # Structurally-equal sources (same digest, different text) are
+        # interned onto one ResolvedProgram instance, so its memoized
+        # checker verdict and tables are shared across request texts.
+        self._resolved_by_digest: "OrderedDict[str, Any]" = OrderedDict()
+        self._resolved_lock = threading.Lock()
+        self.resolved_reused = 0
+
+    def intern_resolved(self, resolved: Any) -> Any:
+        """Deduplicate a ResolvedProgram by structural digest.
+
+        A reformatted variant of an already-served structure is
+        answered with the cached instance — but **only** when that
+        instance's memoized verdict is a span-free success report.
+        Rejections embed the first text's spans, and payload
+        diagnostics must render caret snippets against the *current*
+        request's text, so unchecked and rejected instances are never
+        shared across texts (each text re-checks; the per-function
+        verdict store still replays its accepted definitions).
+        Bounded LRU so a pathological stream of distinct structures
+        cannot grow it without bound.
+        """
+        digest = resolved.structural_digest
+        with self._resolved_lock:
+            cached = self._resolved_by_digest.get(digest)
+            if cached is not None and cached.checked_ok:
+                self._resolved_by_digest.move_to_end(digest)
+                self.resolved_reused += 1
+                return cached
+            self._resolved_by_digest[digest] = resolved
+            self._resolved_by_digest.move_to_end(digest)
+            while len(self._resolved_by_digest) > \
+                    self.RESOLVED_CACHE_CAPACITY:
+                self._resolved_by_digest.popitem(last=False)
+        return resolved
 
     def key(self, stage: str, source: str,
             options: Mapping[str, Any] | None = None) -> ArtifactKey:
@@ -150,7 +241,22 @@ class CompilerPipeline:
             lambda: spec.run(self, source, opts))
 
     def stats(self) -> dict:
-        return self.store.stats()
+        """Store statistics plus the function-grained counters.
+
+        ``functions`` reports checker runs avoided by per-function
+        verdict reuse, ``compile_units`` the emission units stitched
+        from cache, and ``resolved_cache`` the structurally-interned
+        ResolvedProgram instances — all surfaced by ``/metrics``.
+        """
+        stats = self.store.stats()
+        stats["functions"] = self.functions.stats()
+        stats["compile_units"] = self.units.stats()
+        with self._resolved_lock:
+            stats["resolved_cache"] = {
+                "entries": len(self._resolved_by_digest),
+                "reused": self.resolved_reused,
+            }
+        return stats
 
 
 def _source_keyed(stage: str) -> bool:
@@ -168,7 +274,7 @@ def _source_keyed(stage: str) -> bool:
 def _resolve(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
     from ..ir import resolve_source
 
-    return resolve_source(source)
+    return pipeline.intern_resolved(resolve_source(source))
 
 
 @_stage("parse", deps=("resolve",))
@@ -180,7 +286,10 @@ def _parse(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
 def _check(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
     from ..types.checker import check_resolved
 
-    return check_resolved(pipeline.run("resolve", source, opts))
+    # Function-grained: definitions whose closure digest already has a
+    # stored verdict are replayed, not re-checked (sub-digest reuse).
+    return check_resolved(pipeline.run("resolve", source, opts),
+                          store=pipeline.functions)
 
 
 @_stage("desugar", deps=("parse", "check"))
@@ -212,13 +321,17 @@ def _estimate(pipeline: CompilerPipeline, source: str, opts: dict) -> Any:
 @_stage("compile", deps=("parse", "check"),
         options=("erase", "kernel_name"))
 def _compile(pipeline: CompilerPipeline, source: str, opts: dict) -> str:
-    from ..backend.hls_cpp import EmitterOptions, compile_program
+    from ..backend.hls_cpp import EmitterOptions, compile_program_units
 
     program = pipeline.run("parse", source, opts)
     pipeline.run("check", source, opts)
-    return compile_program(program, EmitterOptions(
+    # Function-grained: unchanged definitions (and the kernel shell,
+    # when decls/body/options are unchanged) stitch their cached C++
+    # units; only edited functions re-emit.
+    return compile_program_units(program, EmitterOptions(
         erase=bool(opts.get("erase", False)),
-        kernel_name=str(opts.get("kernel_name", "kernel"))))
+        kernel_name=str(opts.get("kernel_name", "kernel"))),
+        unit_store=pipeline.units)
 
 
 @_stage("rtl", deps=("parse",), options=("module_name",))

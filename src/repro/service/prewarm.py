@@ -72,13 +72,19 @@ def prewarm_corpus(pipeline: CompilerPipeline,
     For every source, the first stage in ``stages`` (conventionally
     ``check_payload``) always runs; later stages run only when the
     program was accepted — a rejection *is* the cacheable artifact for
-    the downstream stages' error path. Unexpected (non-Dahlia) stage
-    failures are counted, not raised, so one odd corpus entry cannot
-    abort a warm-up job.
+    the downstream stages' error path. A corpus entry that does not
+    even parse is recorded in ``parse_failures`` (by label) and the
+    walk continues; unexpected (non-Dahlia) stage failures are
+    counted, not raised, so one odd corpus entry cannot abort a
+    warm-up job.
 
-    Returns a summary: sources walked, artifacts computed or refreshed,
-    failures, and the store's statistics snapshot.
+    Returns a summary: sources walked, artifacts computed
+    (``warmed``) or already present (``skipped`` — digest collisions
+    with earlier work, also broken out per stage in ``per_stage``),
+    failures, parse failures, and the store's statistics snapshot.
     """
+    from ..errors import DahliaError
+
     stages = tuple(stages)
     if not stages:
         raise ValueError("prewarm needs at least one stage")
@@ -89,13 +95,42 @@ def prewarm_corpus(pipeline: CompilerPipeline,
         sources.extend(family_sources(family, sample=sample))
 
     warmed = 0
+    skipped = 0
     accepted = 0
     failures = 0
+    parse_failures: list[str] = []
+    per_stage = {stage: {"warmed": 0, "skipped": 0} for stage in stages}
+
+    def run_stage(stage: str, source: str) -> object:
+        nonlocal warmed, skipped
+        present = pipeline.key(stage, source) in pipeline.store
+        payload = pipeline.run(stage, source)
+        if present:
+            skipped += 1
+            per_stage[stage]["skipped"] += 1
+        else:
+            warmed += 1
+            per_stage[stage]["warmed"] += 1
+        return payload
+
     for label, source in sources:
+        try:
+            pipeline.resolve(source)
+        except DahliaError:
+            # The entry is not even parseable Dahlia: record it and
+            # keep walking — one bad corpus file must not abort the
+            # warm pass. (Its rejection payload is still cacheable.)
+            parse_failures.append(label)
+        except Exception:              # noqa: BLE001 — warm-up is best-effort
+            # Infrastructure failure (not invalid Dahlia): count it,
+            # skip the entry, and leave parse_failures honest.
+            failures += 1
+            if progress is not None:
+                progress(label)
+            continue
         ok = True
         try:
-            payload = pipeline.run(stages[0], source)
-            warmed += 1
+            payload = run_stage(stages[0], source)
             ok = bool(payload.get("ok", True)) \
                 if isinstance(payload, dict) else True
         except Exception:              # noqa: BLE001 — warm-up is best-effort
@@ -105,8 +140,7 @@ def prewarm_corpus(pipeline: CompilerPipeline,
             accepted += 1
             for stage in stages[1:]:
                 try:
-                    pipeline.run(stage, source)
-                    warmed += 1
+                    run_stage(stage, source)
                 except Exception:      # noqa: BLE001
                     failures += 1
         if progress is not None:
@@ -115,7 +149,10 @@ def prewarm_corpus(pipeline: CompilerPipeline,
         "sources": len(sources),
         "accepted": accepted,
         "artifacts": warmed,
+        "skipped": skipped,
+        "per_stage": per_stage,
         "failures": failures,
+        "parse_failures": parse_failures,
         "families": list(families),
         "stages": list(stages),
         "store": pipeline.stats(),

@@ -216,7 +216,10 @@ def _aggregate_metrics(records: list[dict]) -> dict:
     """
     endpoints: dict[str, dict] = {}
     cache = {"capacity": 0, "entries": 0, "hits": 0, "misses": 0,
-             "evictions": 0, "stages": {}}
+             "evictions": 0, "stages": {},
+             "functions": {"checked": 0, "reused": 0},
+             "compile_units": {"emitted": 0, "reused": 0},
+             "resolved_cache": {"entries": 0, "reused": 0}}
     disk: dict | None = None
     freshest = -1.0
     for record in records:
@@ -236,6 +239,10 @@ def _aggregate_metrics(records: list[dict]) -> dict:
                                               {"hits": 0, "misses": 0})
             into["hits"] += counters.get("hits", 0)
             into["misses"] += counters.get("misses", 0)
+        # Function-grained sub-artifact counters (per-worker sums).
+        for block in ("functions", "compile_units", "resolved_cache"):
+            for key, value in row.get(block, {}).items():
+                cache[block][key] = cache[block].get(key, 0) + value
         if "disk" in row:
             if disk is None:
                 disk = {key: 0 for key in

@@ -44,5 +44,9 @@ class CapabilitySet:
         clone._reads = set(self._reads)
         return clone
 
+    def reads(self) -> frozenset[Fingerprint]:
+        """The read capabilities currently held (a snapshot)."""
+        return frozenset(self._reads)
+
     def __len__(self) -> int:
         return len(self._reads)

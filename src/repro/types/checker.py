@@ -887,6 +887,265 @@ Checker._COMMAND_HANDLERS = {
 
 
 # ---------------------------------------------------------------------------
+# Function-grained (sharded) checking
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FunctionVerdict:
+    """The cached outcome of checking one top-level definition.
+
+    Everything a reuse must replay for the assembled program verdict
+    to be byte-identical to a monolithic :func:`check_program` run:
+
+    * ``error`` — the diagnostic the definition's check raised, if it
+      was rejected. Error verdicts are *returned* to the caller but
+      never saved to a store: their spans belong to one program text,
+      so rejected definitions re-check (and re-diagnose) per program;
+    * ``signature`` — the inferred interface (monomorphic), or
+      ``poly`` for §6-polymorphic definitions whose signature is
+      rebuilt from the current program's AST;
+    * ``commands_checked`` / ``max_replication`` / ``memories`` — the
+      definition's contributions to the :class:`CheckReport`;
+    * ``consumed`` — the affine-consumption summary: port tokens the
+      body took from *outer* (interface ``decl``) memories, replayed
+      into Δ so sibling definitions still see the consumption;
+    * ``removed`` — outer memories whose Δ entry the check *deleted*:
+      a param (or local memory) that shadows a top-level ``decl``
+      overwrites its Δ entry and pops it at scope exit, so the global
+      is no longer an affine resource afterwards — replay must delete
+      the entry, not merely drain it;
+    * ``reads`` — read-capability fingerprints the body acquired on
+      outer memories, replayed into the capability set.
+    """
+
+    name: str
+    poly: bool = False
+    signature: FunctionType | None = None
+    error: DahliaError | None = None
+    commands_checked: int = 0
+    max_replication: int = 1
+    memories: dict[str, MemoryType] = field(default_factory=dict)
+    consumed: dict[str, dict[tuple, int]] = field(default_factory=dict)
+    removed: frozenset = frozenset()
+    reads: frozenset = frozenset()
+
+
+class FunctionVerdictStore:
+    """Per-function checker verdicts keyed on closure+environment digests.
+
+    The in-memory reference implementation — a plain dict — used by
+    the DSE engine's per-worker sharing; the service pipeline subclasses
+    it to back ``load``/``save`` with the two-tier artifact store so
+    verdicts survive restarts and are shared across processes.
+    ``checked``/``reused`` count checker runs avoided, and feed the
+    ``/metrics`` ``functions`` block.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._verdicts: dict[str, FunctionVerdict] = {}
+        self._stats_lock = threading.Lock()
+        self.checked = 0
+        self.reused = 0
+
+    def load(self, key: str) -> FunctionVerdict | None:
+        return self._verdicts.get(key)
+
+    def save(self, key: str, verdict: FunctionVerdict) -> None:
+        self._verdicts[key] = verdict
+
+    def note_checked(self) -> None:
+        # The service shares one store across request threads; the
+        # read-modify-write must not lose increments under /metrics.
+        with self._stats_lock:
+            self.checked += 1
+
+    def note_reused(self) -> None:
+        with self._stats_lock:
+            self.reused += 1
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return {"checked": self.checked, "reused": self.reused}
+
+
+def _function_cache_key(checker: Checker, func: ast.FuncDef,
+                        digest: str, decl_refs) -> str:
+    """The full reuse key for one definition's verdict.
+
+    ``digest`` (the closure digest, or the raw node digest for a
+    duplicate definition) covers everything the check reads from the
+    *program text*; the rest of the key covers what it reads from the
+    *checker environment* at this position in the definition order:
+
+    * whether the name is already taken (redefinition is an error that
+      never looks at the body);
+    * the current Δ token state of every referenced interface memory —
+      an earlier sibling may have consumed ports from a shared decl;
+    * **every** read capability currently held. Capabilities are not
+      scoped across definitions (the checker deliberately lets a
+      repeated identical read stay free), so a fingerprint leaked by
+      an earlier sibling — even on a merely same-named local — can
+      flip a later definition's verdict; folding the full set keeps a
+      cached verdict from being replayed into a context that lacks
+      (or gained) a capability.
+    """
+    from ..util.hashing import content_key
+
+    parts = [digest,
+             "redef" if func.name in checker.functions else "fresh"]
+    for name in sorted(decl_refs):
+        if not checker.delta.has_memory(name):
+            parts.append(f"absent:{name}")
+            continue
+        tokens = checker.delta.tokens_for(name)
+        state = ",".join(f"{coord}={count}"
+                         for coord, count in sorted(tokens.tokens.items()))
+        parts.append(f"mem:{name}:{tokens.ports}:{state}")
+    for print_ in sorted(checker.caps.reads()):
+        parts.append(f"cap:{print_!r}")
+    return content_key(*parts)
+
+
+def _check_function_captured(checker: Checker,
+                             func: ast.FuncDef) -> FunctionVerdict:
+    """Run one definition's check, capturing its externally visible
+    effects into a replayable :class:`FunctionVerdict`."""
+    report = checker.report
+    delta_before = {name: dict(checker.delta.tokens_for(name).tokens)
+                    for name in checker.delta.memory_names()}
+    caps_before = checker.caps.reads()
+    commands_before = report.commands_checked
+    memories_before = dict(report.memories)
+    outer_max = report.max_replication
+    report.max_replication = 1
+    error: DahliaError | None = None
+    try:
+        checker._check_funcdef(func)
+    except DahliaError as err:
+        error = err
+    fn_max = report.max_replication
+    report.max_replication = max(outer_max, fn_max)
+    if error is not None:
+        return FunctionVerdict(name=func.name, error=error)
+
+    consumed: dict[str, dict[tuple, int]] = {}
+    removed: set[str] = set()
+    for name, before in delta_before.items():
+        if not checker.delta.has_memory(name):
+            # A shadowing param/local clobbered the outer entry and
+            # scope exit popped it: the memory is gone from Δ.
+            removed.add(name)
+            continue
+        after = checker.delta.tokens_for(name).tokens
+        diff = {coord: count - after.get(coord, 0)
+                for coord, count in before.items()
+                if count != after.get(coord, 0)}
+        if diff:
+            consumed[name] = diff
+    signature = checker.functions[func.name]
+    is_poly = isinstance(signature, poly.PolyFunctionType)
+    return FunctionVerdict(
+        name=func.name,
+        poly=is_poly,
+        signature=None if is_poly else signature,
+        commands_checked=report.commands_checked - commands_before,
+        max_replication=fn_max,
+        memories={name: type_ for name, type_ in report.memories.items()
+                  if memories_before.get(name) != type_},
+        consumed=consumed,
+        removed=frozenset(removed),
+        reads=frozenset(checker.caps.reads() - caps_before))
+
+
+def _apply_function_verdict(checker: Checker, func: ast.FuncDef,
+                            verdict: FunctionVerdict) -> None:
+    """Replay a cached definition verdict into the assembling checker."""
+    if verdict.error is not None:
+        raise verdict.error
+    if verdict.poly:
+        checker.functions[func.name] = poly.PolyFunctionType(func)
+    else:
+        checker.functions[func.name] = verdict.signature
+    checker.func_defs[func.name] = func
+    report = checker.report
+    report.commands_checked += verdict.commands_checked
+    report.max_replication = max(report.max_replication,
+                                 verdict.max_replication)
+    report.memories.update(verdict.memories)
+    for name, diff in verdict.consumed.items():
+        if not checker.delta.has_memory(name):
+            continue
+        tokens = checker.delta.tokens_for(name)
+        for coord, amount in diff.items():
+            tokens.tokens[coord] = tokens.tokens.get(coord, 0) - amount
+    for name in verdict.removed:
+        checker.delta.remove_memory(name)
+    for print_ in verdict.reads:
+        checker.caps.add_read(print_)
+
+
+def check_program_sharded(program: ast.Program,
+                          store: FunctionVerdictStore,
+                          identities=None) -> CheckReport:
+    """Function-grained program check with verdict reuse.
+
+    Equivalent to :func:`check_program` — same report, same
+    diagnostics — but each top-level definition's verdict is looked up
+    in ``store`` under its closure+environment digest
+    (:func:`_function_cache_key`) before being re-derived. On a warm
+    store, an edit to one function re-runs the checker only on that
+    function (and any definition whose dependency closure or affine
+    environment it changed) plus the program body; everything else is
+    replayed from its cached :class:`FunctionVerdict`. Soundness
+    follows the dependency closure: the key folds in the digests of
+    referenced decls and callees and the live token/capability state
+    of shared interface memories, so a stale verdict can never match.
+    """
+    from ..ir.digest import node_digest, program_function_identities
+
+    if identities is None:
+        identities = program_function_identities(program)
+    checker = Checker()
+    checker._created_memories_stack = [[]]
+    for decl in program.decls:
+        checker._declare_memory(decl.name, decl.type, decl.span)
+    seen: set[str] = set()
+    for func in program.defs:
+        identity = identities[func.name]
+        if func.name in seen:
+            # Duplicate definition: it has no closure identity of its
+            # own (the check rejects it before reading the body), but
+            # the key must still fold THIS definition's structure so
+            # structurally different duplicates never share a verdict.
+            digest = "dup:" + node_digest(func)
+        else:
+            digest = identity.digest
+            seen.add(func.name)
+        key = _function_cache_key(checker, func, digest,
+                                  identity.decl_refs)
+        verdict = store.load(key)
+        if verdict is None:
+            verdict = _check_function_captured(checker, func)
+            store.note_checked()
+            if verdict.error is not None:
+                # Never cache a rejection: the diagnostic carries this
+                # program's spans, and a digest-keyed replay into a
+                # structurally-equal function of a *different* program
+                # would report the first program's locations. Success
+                # verdicts are entirely span-free (signatures, counts,
+                # token diffs, fingerprints) and safe to share.
+                raise verdict.error
+            store.save(key, verdict)
+        else:
+            store.note_reused()
+            _apply_function_verdict(checker, func, verdict)
+    checker.check_command(program.body)
+    return checker.report
+
+
+# ---------------------------------------------------------------------------
 # Public API
 # ---------------------------------------------------------------------------
 
@@ -895,16 +1154,19 @@ def check_program(program: ast.Program) -> CheckReport:
     return Checker().check_program(program)
 
 
-def check_resolved(resolved) -> CheckReport:
+def check_resolved(resolved, store: FunctionVerdictStore | None = None
+                   ) -> CheckReport:
     """Type-check a :class:`~repro.ir.ResolvedProgram`.
 
     The verdict is memoized on the resolved program: the first caller
     pays for one checker run, every later consumer (backend, RTL,
     interpreter, service stage) replays the same report — or the same
     :class:`~repro.errors.DahliaError` — so one checker verdict is the
-    shared truth for the whole toolchain.
+    shared truth for the whole toolchain. With a ``store``, that one
+    run is function-grained (:func:`check_program_sharded`), reusing
+    per-definition verdicts across programs that share functions.
     """
-    return resolved.check()
+    return resolved.check(store)
 
 
 def check_source(text: str, name: str = "<input>") -> CheckReport:

@@ -1,0 +1,147 @@
+"""Golden digests: the canonical token stream must never drift silently.
+
+Every artifact in the persistent disk tier — checker verdicts, emitted
+C++, per-function sub-artifacts — is keyed on digests of the canonical
+span-free AST serialization (:mod:`repro.ir.digest`). An accidental
+change to that serialization (a renamed dataclass field, a reordered
+token, a different atom tag) would not break any behavior test: every
+digest would simply change, silently orphaning every artifact ever
+written to a shared cache directory and turning warm fleets cold.
+
+These tests pin exact digest values on a small fixed corpus so such a
+change fails loudly. If a digest change is *intentional* (a real AST
+or serialization redesign), update the pinned values in the same
+commit and call it out in the PR: it is a cache-format break, and
+deployed disk tiers will re-warm from scratch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.parser import parse
+from repro.ir import (
+    function_digest,
+    node_digest,
+    program_digest,
+    program_function_identities,
+    structural_digest,
+)
+
+# (structural_digest, program_digest, {function: closure digest}) per
+# pinned source. Regenerate with the loop at the bottom of this file's
+# history or by printing the same calls — but read the module
+# docstring first.
+GOLDEN: dict[str, tuple[str, str, dict[str, str]]] = {
+    "scalar-loop": (
+        "e0a88520e5fd3147773ffdaba5a1b977a168475914c16ca5d9b8f20042b9d90a",
+        "156c05767cba803b95b74181b3725c02c77deb057ffedd41933cce95c8885a14",
+        {},
+    ),
+    "two-functions": (
+        "88763cb068536e9d644cd210230b74775b231bd592521f5596d648b720e30eda",
+        "482405617c21928b7ad1852c24aa322a8d05e0c8692232fafdcf188f1e4d3a4c",
+        {"helper": "f83d05b5e300fe268a1afde4967c786fd7b06b486b1520ba"
+                   "51eb02037b81ca94",
+         "caller": "cea6fc5cbdc9a2540de37d37370d4d793a4d57782fe820b1"
+                   "911ccb6fd03ac78e"},
+    ),
+    "views-and-seq": (
+        "9987e2ff819f311a55bede7fa738b9ca0fb0c04a613f97b8a39bfbaef7f18867",
+        "9bb7ddaff327d93601d55b73e14a9e08efb6422f47406ab1ed8938d4cf29f11d",
+        {},
+    ),
+}
+
+SOURCES = {
+    "scalar-loop": """\
+decl A: float[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  A[i] := 1.0;
+}
+""",
+    "two-functions": """\
+decl G: float[4];
+def helper(a: float[16 bank 4], b: float[16 bank 4]) {
+  for (let i = 0..16) unroll 4 {
+    b[i] := a[i] * 2.0;
+  }
+}
+def caller(x: float[16 bank 4], y: float[16 bank 4]) {
+  helper(x, y);
+}
+decl X: float[16 bank 4];
+decl Y: float[16 bank 4];
+caller(X, Y)
+---
+G[0] := 0.5;
+""",
+    "views-and-seq": """\
+decl M: bit<32>[16 bank 4];
+view S = shrink M[by 2];
+for (let i = 0..2) unroll 2 {
+  S[i] := 7;
+}
+---
+let t = M[3];
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_structural_digest_is_pinned(name):
+    want, _, _ = GOLDEN[name]
+    assert structural_digest(parse(SOURCES[name])) == want, (
+        "the canonical AST token stream changed — this orphans every "
+        "disk-tier artifact; see the module docstring")
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_program_digest_is_pinned(name):
+    _, want, _ = GOLDEN[name]
+    assert program_digest(parse(SOURCES[name])) == want
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_function_digests_are_pinned(name):
+    _, _, want = GOLDEN[name]
+    identities = program_function_identities(parse(SOURCES[name]))
+    assert {fn: identity.digest
+            for fn, identity in identities.items()} == want
+
+
+def test_digest_is_formatting_insensitive():
+    """The pin holds for a reformatted variant too (same structure)."""
+    reformatted = ("decl A: float[8 bank 2];\n"
+                   "// a comment\n"
+                   "for (let i = 0..8) unroll 2 { A[i] := 1.0; }\n")
+    assert structural_digest(parse(reformatted)) == \
+        GOLDEN["scalar-loop"][0]
+
+
+def test_function_digest_tracks_dependency_closure():
+    """Editing a callee (or a referenced decl) must change the caller's
+    closure digest even though the caller's own text is unchanged."""
+    edited = SOURCES["two-functions"].replace("* 2.0", "* 3.0")
+    identities = program_function_identities(parse(edited))
+    golden = GOLDEN["two-functions"][2]
+    assert identities["helper"].digest != golden["helper"]
+    assert identities["caller"].digest != golden["caller"], \
+        "caller digest must fold in the callee's closure digest"
+
+
+def test_function_digest_is_position_stable():
+    """A function's closure digest ignores unrelated sibling edits."""
+    edited = SOURCES["two-functions"].replace("G[0] := 0.5", "G[1] := 0.5")
+    identities = program_function_identities(parse(edited))
+    golden = GOLDEN["two-functions"][2]
+    assert identities["helper"].digest == golden["helper"]
+    assert identities["caller"].digest == golden["caller"]
+
+
+def test_node_and_function_digest_compose():
+    """function_digest folds deps injectively over node digests."""
+    program = parse(SOURCES["two-functions"])
+    helper = program.defs[0]
+    assert function_digest(helper, {}) != function_digest(
+        helper, {"decl:G": node_digest(program.decls[0])})

@@ -1,0 +1,607 @@
+"""Function-grained incremental compilation: the parity suite.
+
+The contract under test: the sharded paths — per-function checker
+verdicts (:func:`repro.types.checker.check_program_sharded`) and
+per-function C++ emission units
+(:func:`repro.backend.hls_cpp.compile_program_units`) — are
+**indistinguishable** from the monolithic reference paths, cold and
+warm, across the labeled typing-rule corpus and the DSE families, while
+reusing every sub-artifact a single-function edit leaves valid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.hls_cpp import (
+    EmissionUnitStore,
+    EmitterOptions,
+    compile_program,
+    compile_program_units,
+)
+from repro.errors import DahliaError
+from repro.frontend.parser import parse
+from repro.ir import TemplateFamily, resolve_source
+from repro.service.pipeline import CompilerPipeline
+from repro.suite import generators
+from repro.suite.corpus import CORPUS
+from repro.types.checker import (
+    FunctionVerdictStore,
+    check_program,
+    check_program_sharded,
+)
+
+
+def checker_verdict(source_or_program):
+    """(kind, message) on rejection, else the CheckReport."""
+    program = (parse(source_or_program)
+               if isinstance(source_or_program, str) else source_or_program)
+    try:
+        return check_program(program)
+    except DahliaError as error:
+        return (error.kind, error.message)
+
+
+def sharded_verdict(source_or_program, store):
+    program = (parse(source_or_program)
+               if isinstance(source_or_program, str) else source_or_program)
+    try:
+        return check_program_sharded(program, store)
+    except DahliaError as error:
+        return (error.kind, error.message)
+
+
+# ---------------------------------------------------------------------------
+# Checker parity: the whole typing-rule corpus, cold and warm
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+def test_sharded_checker_matches_monolithic_on_corpus(entry):
+    reference = checker_verdict(entry.source)
+    store = FunctionVerdictStore()
+    assert sharded_verdict(entry.source, store) == reference
+    # Warm: every function verdict replays from the store; the
+    # assembled result must still be identical.
+    assert sharded_verdict(entry.source, store) == reference
+    if parse(entry.source).defs:
+        assert store.reused > 0, "warm rerun must reuse verdicts"
+
+
+@pytest.mark.parametrize("family", sorted(generators.DSE_FAMILIES),
+                         ids=str)
+def test_sharded_checker_matches_monolithic_on_dse_families(family):
+    """Every family's sampled design points: sharded ≡ monolithic,
+    point by point, sharing one verdict store across the sweep."""
+    space_fn, source_fn, _ = (getattr(generators, name)
+                              for name in generators.DSE_FAMILIES[family])
+    store = FunctionVerdictStore()
+    for config in space_fn().sample(12):
+        source = source_fn(config)
+        assert sharded_verdict(source, store) == checker_verdict(source)
+
+
+# ---------------------------------------------------------------------------
+# Cross-function affine environment (shared interface memories)
+# ---------------------------------------------------------------------------
+
+GLOBAL_CONFLICT = """
+decl G: float[4];
+def f(x: float[2]) { let a = G[0] + x[0]; }
+def g(y: float[2]) { let b = G[1] + y[0]; }
+let p: float[2];
+let q: float[2];
+f(p) --- g(q)
+"""
+
+
+def test_sibling_consumption_is_replayed():
+    """f consumes a bank of the shared decl; g must still conflict on
+    it even when f's verdict is replayed from cache."""
+    reference = checker_verdict(GLOBAL_CONFLICT)
+    assert reference[0] == "already-consumed"
+    store = FunctionVerdictStore()
+    assert sharded_verdict(GLOBAL_CONFLICT, store) == reference
+    assert sharded_verdict(GLOBAL_CONFLICT, store) == reference
+
+
+def test_shared_read_capability_is_replayed():
+    """g repeats f's exact read of the shared decl: the read capability
+    f acquired makes it free — also after replay."""
+    source = GLOBAL_CONFLICT.replace("G[1]", "G[0]")
+    reference = checker_verdict(source)
+    assert not isinstance(reference, tuple), "identical reads share"
+    store = FunctionVerdictStore()
+    assert sharded_verdict(source, store) == reference
+    assert sharded_verdict(source, store) == reference
+
+
+def test_editing_one_function_recheck_only_that_function():
+    source = """
+def f(a: float[16 bank 4], b: float[16 bank 4]) {
+  for (let i = 0..16) unroll 4 { b[i] := a[i] * 2.0; }
+}
+def g(c: float[16 bank 4], d: float[16 bank 4]) {
+  for (let i = 0..16) unroll 4 { d[i] := c[i] + 1.0; }
+}
+decl A: float[16 bank 4];
+decl B: float[16 bank 4];
+f(A, B)
+---
+g(A, B)
+"""
+    store = FunctionVerdictStore()
+    reference = sharded_verdict(source, store)
+    assert store.checked == 2 and store.reused == 0
+    edited = source.replace("* 2.0", "* 3.0")
+    assert sharded_verdict(edited, store) == checker_verdict(edited)
+    assert store.checked == 3, "only the edited function re-checks"
+    assert store.reused == 1, "the untouched function replays"
+    # And the original still assembles purely from cache.
+    assert sharded_verdict(source, store) == reference
+    assert store.checked == 3
+
+
+def test_leaked_capability_on_local_names_splits_the_key():
+    """Read capabilities are not scoped across definitions, so a
+    fingerprint leaked by an earlier sibling — even on a same-named
+    *local* — can flip a later definition's verdict. The cache key
+    must fold the full capability set or a warm store poisons other
+    programs."""
+    with_leak = """
+def g(a: float[4]) { let x = a[0]; }
+def f(a: float[4]) { let x = a[0]; a[0] := x; }
+let y = 1;
+"""
+    alone = """
+def f(a: float[4]) { let x = a[0]; a[0] := x; }
+let y = 1;
+"""
+    # Monolithic truth: g's leaked capability makes f's read free in
+    # the first program; standalone, f's read+write conflict.
+    assert not isinstance(checker_verdict(with_leak), tuple)
+    assert checker_verdict(alone)[0] == "already-consumed"
+    store = FunctionVerdictStore()
+    assert sharded_verdict(with_leak, store) == \
+        checker_verdict(with_leak)
+    # The poisoning direction: a store warmed by the leaky program
+    # must NOT replay f's accepting verdict into the standalone one.
+    assert sharded_verdict(alone, store) == checker_verdict(alone)
+    # And both keep matching on re-runs from the shared store.
+    assert sharded_verdict(with_leak, store) == \
+        checker_verdict(with_leak)
+    assert sharded_verdict(alone, store) == checker_verdict(alone)
+
+
+def test_duplicate_definitions_key_on_their_own_structure():
+    """Structurally different duplicate defs must not share a cached
+    error verdict (the diagnostic's span belongs to the duplicate)."""
+    first = """
+def f(a: float[4]) { a[0] := 1.0; }
+def f(a: float[4]) { a[1] := 2.0; }
+let y = 1;
+"""
+    # Same first definition (reformatted — digest-equal), but a
+    # structurally different duplicate at a different line.
+    second = """
+def f(a: float[4])
+{
+  a[0] := 1.0;
+}
+def f(b: float[8]) { b[3] := 9.0; }
+let y = 1;
+"""
+    store = FunctionVerdictStore()
+    for source in (first, second):
+        reference = checker_verdict(source)
+        assert reference[0] == "type"
+        assert sharded_verdict(source, store) == reference
+    # Span parity for the distinct duplicates (the reviewer's repro).
+    def duplicate_span(source):
+        try:
+            check_program_sharded(parse(source), store)
+        except DahliaError as error:
+            return error.span.start.line
+        raise AssertionError("duplicate definitions must be rejected")
+    assert duplicate_span(first) != duplicate_span(second)
+
+
+def test_shadowing_param_removes_the_global_affine_entry():
+    """A param shadowing a top-level decl clobbers and (at scope exit)
+    deletes the global's Δ entry; replay must delete it too, or a warm
+    store accepts programs the monolithic checker rejects (the review
+    repro)."""
+    source = """
+decl A: float[4];
+def f(A: float[4]) { A[0] := 1.0; }
+A[0] := 2.0
+"""
+    reference = checker_verdict(source)
+    assert reference[0] == "unbound"
+    store = FunctionVerdictStore()
+    assert sharded_verdict(source, store) == reference
+    assert sharded_verdict(source, store) == reference, \
+        "warm replay must still delete the shadowed decl's Δ entry"
+
+
+def test_shadowing_verdicts_key_on_the_decl_environment():
+    """The same shadowing def checked where no decl exists must not
+    poison (or be poisoned by) the program where one does: binder
+    names are part of the function's dependency set."""
+    without_decl = """
+def f(A: float[4]) { A[0] := 1.0; }
+let y = 1;
+"""
+    with_decl = """
+decl A: float[4];
+def f(A: float[4]) { A[0] := 1.0; }
+A[0] := 2.0
+"""
+    store = FunctionVerdictStore()
+    for source in (without_decl, with_decl, without_decl, with_decl):
+        assert sharded_verdict(source, store) == checker_verdict(source)
+
+
+def test_callee_edit_invalidates_caller():
+    source = """
+def inner(a: float[8 bank 2]) {
+  for (let i = 0..8) unroll 2 { a[i] := 1.0; }
+}
+def outer(b: float[8 bank 2]) { inner(b); }
+decl M: float[8 bank 2];
+outer(M)
+"""
+    store = FunctionVerdictStore()
+    sharded_verdict(source, store)
+    assert store.checked == 2
+    edited = source.replace("1.0", "2.0")       # edits inner only
+    assert sharded_verdict(edited, store) == checker_verdict(edited)
+    # inner's digest changed; outer folds inner's closure digest, so
+    # both re-check — the dependency-closure soundness rule.
+    assert store.checked == 4 and store.reused == 0
+
+
+# ---------------------------------------------------------------------------
+# Backend: per-function emission units, byte-identical stitching
+# ---------------------------------------------------------------------------
+
+def accepted_corpus():
+    entries = []
+    for entry in CORPUS:
+        if entry.expected is not None:
+            continue
+        try:
+            compile_program(parse(entry.source))
+        except DahliaError:
+            continue
+        entries.append(entry)
+    return entries
+
+
+@pytest.mark.parametrize("entry", accepted_corpus(), ids=lambda e: e.name)
+def test_unit_emission_is_byte_identical_on_corpus(entry):
+    reference = compile_program(parse(entry.source))
+    store = EmissionUnitStore()
+    assert compile_program_units(parse(entry.source),
+                                 unit_store=store) == reference
+    assert compile_program_units(parse(entry.source),
+                                 unit_store=store) == reference
+
+
+@pytest.mark.parametrize("family", sorted(generators.DSE_FAMILIES),
+                         ids=str)
+def test_unit_emission_is_byte_identical_on_dse_families(family):
+    space_fn, source_fn, _ = (getattr(generators, name)
+                              for name in generators.DSE_FAMILIES[family])
+    store = EmissionUnitStore()
+    for config in space_fn().sample(6):
+        program = parse(source_fn(config))
+        try:
+            reference = compile_program(program)
+        except DahliaError:
+            continue
+        assert compile_program_units(parse(source_fn(config)),
+                                     unit_store=store) == reference
+
+
+def test_unit_emission_respects_options():
+    source = """
+def f(a: float[4]) { a[0] := 1.0; }
+decl A: float[4];
+f(A)
+"""
+    store = EmissionUnitStore()
+    for options in (EmitterOptions(),
+                    EmitterOptions(erase=True),
+                    EmitterOptions(kernel_name="gemm"),
+                    EmitterOptions(use_ap_int=False)):
+        reference = compile_program(parse(source), options)
+        assert compile_program_units(parse(source), options,
+                                     unit_store=store) == reference
+    # kernel_name does not enter function-unit keys: flipping it above
+    # reused f's unit rather than re-emitting it.
+    assert store.reused > 0
+
+
+def test_unit_emission_reuses_untouched_functions():
+    source = """
+def f(a: float[4]) { a[0] := 1.0; }
+def g(b: float[4]) { b[1] := 2.0; }
+decl A: float[4];
+f(A) --- g(A)
+"""
+    store = EmissionUnitStore()
+    compile_program_units(parse(source), unit_store=store)
+    assert store.emitted == 3                   # f, g, kernel shell
+    edited = source.replace("1.0", "9.0")
+    assert compile_program_units(parse(edited), unit_store=store) == \
+        compile_program(parse(edited))
+    assert store.emitted == 4, "only f re-emits"
+    assert store.reused == 2, "g and the kernel shell stitch from cache"
+
+
+# ---------------------------------------------------------------------------
+# Service pipeline: sub-digest artifacts through both tiers + /metrics
+# ---------------------------------------------------------------------------
+
+TWO_FN_SOURCE = """
+def f(a: float[16 bank 4], b: float[16 bank 4]) {
+  for (let i = 0..16) unroll 4 { b[i] := a[i] * 2.0; }
+}
+def g(c: float[16 bank 4], d: float[16 bank 4]) {
+  for (let i = 0..16) unroll 4 { d[i] := c[i] + 1.0; }
+}
+decl A: float[16 bank 4];
+decl B: float[16 bank 4];
+f(A, B)
+---
+g(A, B)
+"""
+
+
+def test_pipeline_edit_one_function_reuses_sub_artifacts():
+    pipeline = CompilerPipeline()
+    pipeline.run("compile_payload", TWO_FN_SOURCE)
+    stats = pipeline.stats()
+    assert stats["functions"] == {"checked": 2, "reused": 0}
+    assert stats["compile_units"] == {"emitted": 3, "reused": 0}
+
+    edited = TWO_FN_SOURCE.replace("* 2.0", "* 3.0")
+    payload = pipeline.run("compile_payload", edited)
+    assert payload["ok"]
+    assert payload["cpp"] == compile_program(parse(edited))
+    stats = pipeline.stats()
+    assert stats["functions"] == {"checked": 3, "reused": 1}
+    assert stats["compile_units"] == {"emitted": 4, "reused": 2}
+
+
+def test_pipeline_interns_resolved_programs_by_structure():
+    pipeline = CompilerPipeline()
+    first = pipeline.run("resolve", TWO_FN_SOURCE)
+    pipeline.run("check", TWO_FN_SOURCE)       # accepting verdict lands
+    reformatted = "// a comment\n" + TWO_FN_SOURCE
+    second = pipeline.run("resolve", reformatted)
+    assert second is first, \
+        "structurally-equal accepted sources intern"
+    assert pipeline.stats()["resolved_cache"]["reused"] == 1
+
+
+def test_interning_never_shares_rejected_instances():
+    """Diagnostics must render against the *current* request's text:
+    a rejected structure's resolved program (whose memoized error
+    carries the first text's spans) is never served for a reformatted
+    variant (the review repro)."""
+    rejected = ("decl A: float[4];\n"
+                "A[0] := 1.0; A[0] := 2.0;\n")
+    variant = "// shifted by this comment line\n" + rejected
+    pipeline = CompilerPipeline()
+    first_payload = pipeline.run("check_payload", rejected)
+    assert not first_payload["ok"]
+    second_payload = pipeline.run("check_payload", variant)
+    assert not second_payload["ok"]
+    want_line = second_payload["diagnostic"]["span"]["start"]["line"]
+    assert want_line == \
+        first_payload["diagnostic"]["span"]["start"]["line"] + 1, \
+        "the variant's diagnostic must point into the variant's text"
+    assert "A[0]" in second_payload["diagnostic"]["snippet"]
+
+
+def test_error_verdicts_are_not_shared_across_programs():
+    """A failing definition's diagnostic must carry the *current*
+    program's spans even when a structurally-equal copy of it failed
+    in another program first (the review repro)."""
+    failing_def = "def f(a: float[4]) { let x = a[1]; a[1] := 2.0; }\n"
+    first = failing_def + "let y = 1;\n"
+    second = "def g(b: float[8]) { b[0] := 1.0; }\n" + failing_def \
+        + "let y = 1;\n"
+    store = FunctionVerdictStore()
+
+    def failure_line(source):
+        reference = checker_verdict(source)
+        try:
+            check_program_sharded(parse(source), store)
+        except DahliaError as error:
+            assert (error.kind, error.message) == reference
+            return error.span.start.line
+        raise AssertionError("program must be rejected")
+
+    assert failure_line(first) == 1
+    assert failure_line(second) == 2, \
+        "the diagnostic must point at f's position in THIS program"
+
+
+def test_pipeline_resolved_intern_is_bounded():
+    pipeline = CompilerPipeline()
+    for index in range(pipeline.RESOLVED_CACHE_CAPACITY + 8):
+        pipeline.intern_resolved(
+            resolve_source(f"let x = {index};"))
+    assert pipeline.stats()["resolved_cache"]["entries"] == \
+        pipeline.RESOLVED_CACHE_CAPACITY
+
+
+def test_function_verdicts_persist_across_pipeline_restart(tmp_path):
+    """A fresh pipeline on a warm disk directory reuses per-function
+    verdicts and emission units for an *edited* (never-seen) source."""
+    cold = CompilerPipeline(disk=tmp_path)
+    cold.run("compile_payload", TWO_FN_SOURCE)
+
+    restarted = CompilerPipeline(disk=tmp_path)
+    edited = TWO_FN_SOURCE.replace("* 2.0", "* 3.0")
+    payload = restarted.run("compile_payload", edited)
+    assert payload["cpp"] == compile_program(parse(edited))
+    stats = restarted.stats()
+    assert stats["functions"]["reused"] == 1, \
+        "g's verdict must come from the disk tier"
+    assert stats["functions"]["checked"] == 1
+    assert stats["compile_units"]["reused"] == 2
+
+
+def test_metrics_expose_function_reuse_counters():
+    from repro.service import BackgroundServer, DahliaService
+
+    with BackgroundServer(DahliaService()) as server:
+        from repro.service import ServiceClient
+
+        client = ServiceClient(port=server.port)
+        client.compile(TWO_FN_SOURCE)
+        edited = TWO_FN_SOURCE.replace("+ 1.0", "+ 4.0")
+        client.compile(edited)
+        cache = client.metrics()["cache"]
+        assert cache["functions"]["reused"] >= 1
+        assert cache["functions"]["checked"] >= 2
+        assert cache["compile_units"]["reused"] >= 1
+        assert "resolved_cache" in cache
+
+
+# ---------------------------------------------------------------------------
+# DSE: substitution invalidates only holey functions
+# ---------------------------------------------------------------------------
+
+HELPER_TEMPLATE = """\
+def scale(a: float[16 bank 4], b: float[16 bank 4]) {
+  for (let i = 0..16) unroll 4 { b[i] := a[i] * 2.0; }
+}
+decl A: float[16 bank __p_b];
+decl X: float[16 bank 4];
+decl Y: float[16 bank 4];
+scale(X, Y)
+---
+for (let i = 0..16) unroll __p_u { A[i] := 1.0; }
+"""
+
+
+def make_helper_family():
+    return TemplateFamily("helper-family", lambda cfg: None,
+                          lambda variant: HELPER_TEMPLATE,
+                          lambda cfg: dict(cfg))
+
+
+def test_template_tracks_defs_with_holes():
+    family = make_helper_family()
+    template = family.template_for({"u": 1, "b": 1})
+    assert template.defs_with_holes == frozenset()
+    holey = TemplateFamily(
+        "holey", lambda cfg: None,
+        lambda variant: HELPER_TEMPLATE.replace(
+            "unroll 4 { b[i]", "unroll __p_u { b[i]"),
+        lambda cfg: dict(cfg))
+    assert holey.template_for({"u": 1, "b": 1}).defs_with_holes == \
+        frozenset({"scale"})
+
+
+def test_substitution_shares_hole_free_defs():
+    family = make_helper_family()
+    one = family.instantiate({"u": 1, "b": 1})
+    two = family.instantiate({"u": 4, "b": 4})
+    assert one.defs[0] is two.defs[0], \
+        "hole-free helpers are object-identical across design points"
+    assert one.body is not two.body
+
+
+def test_engine_sweep_reuses_helper_verdicts():
+    from repro.dse.engine import sweep
+    from repro.dse.runner import explore
+    from repro.hls.kernel import KernelSpec
+
+    family = make_helper_family()
+
+    def source_builder(config):
+        return family.source(config)
+    source_builder.family = family
+
+    def kernel_builder(config):
+        return KernelSpec(name="toy", arrays=(), loops=(), accesses=())
+
+    configs = [{"u": u, "b": b} for u in (1, 2, 4, 8)
+               for b in (1, 2, 4, 8)]
+    result = sweep(configs, source_builder, kernel_builder, workers=1)
+    reference = explore(configs, source_builder, kernel_builder)
+    assert [(p.accepted, p.rejection) for p in result.points] == \
+        [(p.accepted, p.rejection) for p in reference.points]
+    stats = result.stats
+    assert stats.fn_checked == 1, "the helper is checked once per sweep"
+    assert stats.fn_reused == len(configs) - 1
+    assert stats.as_dict()["fn_reused"] == len(configs) - 1
+
+
+# ---------------------------------------------------------------------------
+# Satellites: prewarm accounting and DiskStore.clear()
+# ---------------------------------------------------------------------------
+
+def test_prewarm_reports_per_stage_counts(tmp_path):
+    from repro.service.prewarm import prewarm_corpus
+
+    pipeline = CompilerPipeline(disk=tmp_path)
+    first = prewarm_corpus(pipeline, families=[], sample=0)
+    assert first["skipped"] == 0
+    assert first["parse_failures"] == []
+    assert set(first["per_stage"]) == set(first["stages"])
+    assert first["per_stage"]["check_payload"]["warmed"] == \
+        first["sources"]
+    # Second walk over the same corpus: everything collides with the
+    # already-present digests and is reported as skipped, not warmed.
+    second = prewarm_corpus(pipeline, families=[], sample=0)
+    assert second["artifacts"] == 0
+    assert second["skipped"] == first["artifacts"]
+    assert second["per_stage"]["check_payload"]["warmed"] == 0
+    assert second["per_stage"]["check_payload"]["skipped"] == \
+        second["sources"]
+
+
+def test_prewarm_records_unparsable_sources(tmp_path, monkeypatch):
+    from repro.service import prewarm as prewarm_mod
+
+    broken = [("corpus:broken", "decl A float[4"),
+              ("corpus:fine", "let x = 1;")]
+    monkeypatch.setattr(prewarm_mod, "corpus_sources", lambda: broken)
+    summary = prewarm_mod.prewarm_corpus(
+        CompilerPipeline(disk=tmp_path))
+    assert summary["parse_failures"] == ["corpus:broken"]
+    assert summary["sources"] == 2
+    # The broken entry's rejection payload is still cached; the walk
+    # reached and warmed the healthy entry.
+    assert summary["per_stage"]["check_payload"]["warmed"] == 2
+
+
+def test_cli_prewarm_prints_per_stage_counts(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(["cache", "prewarm", "--cache-dir", str(tmp_path),
+                 "--sample", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "check_payload:" in out and "warmed" in out
+    assert "already present" in out
+
+
+def test_disk_usage_cache_invalidated_on_clear(tmp_path):
+    from repro.service.artifacts import DiskStore, artifact_key
+
+    store = DiskStore(tmp_path)
+    for index in range(4):
+        store.put(artifact_key("stage", f"source-{index}"), b"x" * 64)
+    files, bytes_ = store.usage()
+    assert files == 4 and bytes_ > 0
+    store.clear()
+    # Without the invalidation this would serve the stale TTL-cached
+    # pre-clear scan.
+    assert store.usage() == (0, 0)
