@@ -461,7 +461,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     serve(host=args.host, port=args.port, capacity=args.capacity,
           max_inflight=args.max_inflight, dse_workers=args.dse_workers,
           workers=args.workers, cache_dir=args.cache_dir,
-          cache_bytes=args.cache_mb * 1024 * 1024)
+          cache_bytes=args.cache_mb * 1024 * 1024,
+          request_timeout=args.request_timeout or None,
+          queue_depth=args.queue_depth if args.queue_depth > 0 else None,
+          fault_plan=args.fault_plan)
     return 0
 
 
@@ -606,6 +609,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "cache is memory-only)")
     serve.add_argument("--cache-mb", type=int, default=256,
                        help="size cap for the disk tier in MiB")
+    serve.add_argument("--request-timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="per-request deadline budget; requests over "
+                            "budget return a structured 503 (/dse gets "
+                            "a proportionally larger budget; 0 disables)")
+    serve.add_argument("--queue-depth", type=int, default=0,
+                       help="bound on requests queued behind the "
+                            "in-flight limit; excess requests are shed "
+                            "with 429 + Retry-After (0 = unbounded)")
+    serve.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="JSON fault-injection plan installed in "
+                            "every serving process (chaos drills)")
     serve.set_defaults(func=cmd_serve)
 
     return parser

@@ -44,6 +44,8 @@ every parameter, and the paper's methodology estimates each point.
 
 from __future__ import annotations
 
+import collections
+import contextlib
 import os
 import time
 from dataclasses import dataclass
@@ -52,6 +54,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..hls.estimator import estimate
 from ..types.checker import FunctionVerdictStore
+from ..util.faults import fault_point
 from ..util.hashing import source_digest
 from .runner import (
     DesignPoint,
@@ -96,6 +99,10 @@ class EngineStats:
     fn_reused: int = 0                # shards replayed from the verdict
                                       # store (hole-free helpers shared
                                       # across a sweep's design points)
+    requeued: int = 0                 # chunks re-dispatched after a
+                                      # worker death, hang, or error
+    lost_workers: int = 0             # pool workers that died or were
+                                      # terminated mid-sweep
 
     @property
     def points_per_sec(self) -> float:
@@ -113,6 +120,8 @@ class EngineStats:
             "parses": self.parses,
             "fn_checked": self.fn_checked,
             "fn_reused": self.fn_reused,
+            "requeued": self.requeued,
+            "lost_workers": self.lost_workers,
         }
 
 
@@ -290,6 +299,211 @@ def _run_chunk(task: tuple[int, Sequence[dict[str, int]]],
     return chunk_id, rows, runs, hits, parses, fn_checked, fn_reused
 
 
+def _chunk_worker_main(conn: Any,
+                       source_builder: SourceBuilder,
+                       kernel_builder: KernelBuilder,
+                       memoize: bool,
+                       verdicts: dict[Any, tuple[bool, str | None]],
+                       ) -> None:
+    """Sweep-worker loop: receive ``(chunk_id, configs)``, send results.
+
+    The ``dse.worker`` fault point fires before each chunk, so a plan
+    can model a worker that dies, hangs, or errors mid-sweep; the
+    parent supervisor requeues whatever the worker was holding. An
+    exception escapes as an ``("err", ...)`` message (the worker stays
+    up); a kill fault or crash closes the pipe and the parent notices.
+    """
+    _init_worker(source_builder, kernel_builder, memoize, verdicts)
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            chunk_id = task[0]
+            try:
+                fault_point("dse.worker")
+                _, rows, runs, hits, parses, fnc, fnr = _run_chunk(task)
+            except Exception as error:                # noqa: BLE001
+                conn.send(("err", chunk_id,
+                           f"{type(error).__name__}: {error}"))
+            else:
+                conn.send(("ok", chunk_id, rows, runs, hits, parses,
+                           fnc, fnr))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+@dataclass
+class _WorkerHandle:
+    process: Any
+    conn: Any
+    chunk_id: int | None = None       # chunk currently on this worker
+    assigned_at: float = 0.0
+
+
+def _supervised_fan_out(chunks: Sequence[Sequence[dict[str, int]]],
+                        context: Any,
+                        used_workers: int,
+                        source_builder: SourceBuilder,
+                        kernel_builder: KernelBuilder,
+                        key_fn: Callable[[dict[str, int]], Any] | None,
+                        memoize: bool,
+                        verdicts: dict[Any, tuple[bool, str | None]],
+                        *,
+                        max_requeues: int,
+                        chunk_timeout_s: float | None,
+                        progress: Callable[[int], None] | None,
+                        ) -> tuple[dict[int, tuple], int, int]:
+    """Run every chunk to completion on a crash-tolerant worker fleet.
+
+    Unlike ``Pool.imap``, a worker death does not poison the sweep: the
+    supervisor polls worker pipes with
+    :func:`multiprocessing.connection.wait`, requeues the chunk a dead
+    (or hung, past ``chunk_timeout_s``) worker was holding, and
+    respawns the worker. A chunk requeued more than ``max_requeues``
+    times is considered poisoned by scheduling bad luck and is
+    evaluated inline in the parent — with the same prefilled memo, so
+    the results and accounting match a worker run — guaranteeing
+    termination for any fault pattern. Pipes are always drained
+    *before* a dead worker's chunk is requeued, so a result that made
+    it onto the wire is never recomputed (or double-counted).
+
+    Returns ``(results by chunk_id, requeued, lost_workers)``.
+    """
+    from multiprocessing import connection as mp_connection
+
+    results: dict[int, tuple] = {}
+    pending: collections.deque = collections.deque(enumerate(chunks))
+    attempts: collections.Counter = collections.Counter()
+    requeued = 0
+    lost_workers = 0
+    completed_points = 0
+    fallback_memo = dict(verdicts) if memoize else None
+    fallback_store = FunctionVerdictStore() if memoize else None
+
+    def spawn() -> _WorkerHandle:
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_chunk_worker_main,
+            args=(child_conn, source_builder, kernel_builder, memoize,
+                  verdicts),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process=process, conn=parent_conn)
+
+    def record(payload: tuple, chunk_id: int) -> None:
+        nonlocal completed_points
+        if chunk_id in results:
+            return
+        results[chunk_id] = payload
+        completed_points += len(payload[0])
+        if progress is not None:
+            progress(completed_points)
+
+    def drain(handle: _WorkerHandle) -> None:
+        """Consume every message already on the wire from ``handle``."""
+        with contextlib.suppress(EOFError, OSError):
+            while handle.conn.poll():
+                message = handle.conn.recv()
+                chunk_id = message[1]
+                if message[0] == "ok":
+                    record(tuple(message[2:]), chunk_id)
+                elif chunk_id not in results:  # "err": requeue it
+                    attempts[chunk_id] += 1
+                    pending.append((chunk_id, chunks[chunk_id]))
+                    _bump_requeued()
+                if handle.chunk_id == chunk_id:
+                    handle.chunk_id = None
+
+    def _bump_requeued() -> None:
+        nonlocal requeued
+        requeued += 1
+
+    def retire(handle: _WorkerHandle) -> None:
+        """Drain, requeue the in-flight chunk, and reap the process."""
+        nonlocal lost_workers
+        drain(handle)
+        if handle.chunk_id is not None and handle.chunk_id not in results:
+            attempts[handle.chunk_id] += 1
+            pending.appendleft((handle.chunk_id,
+                                chunks[handle.chunk_id]))
+            _bump_requeued()
+        handle.chunk_id = None
+        with contextlib.suppress(OSError):
+            handle.conn.close()
+        handle.process.join(timeout=5.0)
+        lost_workers += 1
+
+    fleet = [spawn() for _ in range(used_workers)]
+    try:
+        while len(results) < len(chunks):
+            # 1) Hand out work. Chunks past the requeue budget run
+            #    inline — the parent cannot die of an injected worker
+            #    fault, so this terminates the retry loop.
+            while pending:
+                chunk_id, configs = pending[0]
+                if chunk_id in results:
+                    pending.popleft()
+                    continue
+                if attempts[chunk_id] > max_requeues:
+                    pending.popleft()
+                    payload = _evaluate_chunk(
+                        configs, source_builder, kernel_builder,
+                        key_fn, fallback_memo, fallback_store)
+                    record(payload, chunk_id)
+                    continue
+                idle = next((h for h in fleet
+                             if h.chunk_id is None
+                             and h.process.is_alive()), None)
+                if idle is None:
+                    break
+                pending.popleft()
+                try:
+                    idle.conn.send((chunk_id, configs))
+                except (BrokenPipeError, OSError):
+                    # Died between is_alive() and send(); the liveness
+                    # pass below will requeue and respawn.
+                    idle.chunk_id = chunk_id
+                    continue
+                idle.chunk_id = chunk_id
+                idle.assigned_at = time.monotonic()
+            if len(results) >= len(chunks):
+                break
+
+            # 2) Wait for any worker to produce a message.
+            conns = {h.conn: h for h in fleet}
+            ready = mp_connection.wait(list(conns), timeout=0.1)
+            for conn in ready:
+                drain(conns[conn])
+
+            # 3) Liveness and hang sweep. Draining happened first, so
+            #    a completed-but-unread chunk is never double-run.
+            now = time.monotonic()
+            for index, handle in enumerate(fleet):
+                hung = (chunk_timeout_s is not None
+                        and handle.chunk_id is not None
+                        and now - handle.assigned_at > chunk_timeout_s)
+                if handle.process.is_alive() and not hung:
+                    continue
+                if hung and handle.process.is_alive():
+                    handle.process.terminate()
+                retire(handle)
+                if len(results) < len(chunks):
+                    fleet[index] = spawn()
+    finally:
+        for handle in fleet:
+            with contextlib.suppress(OSError):
+                handle.conn.send(None)
+            with contextlib.suppress(OSError):
+                handle.conn.close()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():     # pragma: no cover — stuck
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+    return results, requeued, lost_workers
+
+
 def _pool_context():
     import multiprocessing
 
@@ -306,7 +520,9 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
           workers: int | None = None,
           chunk_size: int | None = None,
           memoize: bool = True,
-          progress: Callable[[int], None] | None = None) -> DseResult:
+          progress: Callable[[int], None] | None = None,
+          max_requeues: int = 2,
+          chunk_timeout_s: float | None = None) -> DseResult:
     """Run a full sweep through the high-throughput engine.
 
     Drop-in replacement for :func:`repro.dse.explore` with identical
@@ -314,9 +530,17 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
     every point carries the same acceptance flag, rejection kind, and
     estimator report the sequential reference produces.
 
-    ``progress`` is called with the running point count after each
-    completed chunk and is guaranteed to observe the final total.
-    The result's ``stats`` field carries an :class:`EngineStats`.
+    ``progress`` is called with the running completed-point count
+    after each completed chunk (monotonic, and guaranteed to observe
+    the final total). The result's ``stats`` field carries an
+    :class:`EngineStats`.
+
+    The parallel path is crash-tolerant: a sweep worker that dies,
+    errors, or (past ``chunk_timeout_s``) hangs loses only the chunk
+    it was holding, which is requeued up to ``max_requeues`` times —
+    and evaluated inline in the parent beyond that — so the sweep
+    always completes with the exact same points. ``stats.requeued``
+    and ``stats.lost_workers`` report how eventful the run was.
 
     Memoization scope: with a builder ``acceptance_key`` the parent
     resolves verdicts once per unique key and shares them with every
@@ -338,6 +562,8 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
     parses = 0
     fn_checked = 0
     fn_reused = 0
+    requeued = 0
+    lost_workers = 0
 
     if n_workers <= 1 or len(chunks) <= 1:
         # Inline path — same memoization, no pool overhead.
@@ -395,25 +621,24 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
             fn_reused += sum(fnr for _, _, _, fnr in outcomes)
         context = _pool_context()
         used_workers = min(n_workers, len(chunks))
-        with context.Pool(
-                processes=used_workers,
-                initializer=_init_worker,
-                initargs=(source_builder, kernel_builder, memoize,
-                          verdicts),
-        ) as pool:
-            # imap preserves submission order, so chunk results arrive
-            # exactly in enumeration order regardless of scheduling.
-            for chunk_id, chunk_rows, runs, hits, chunk_parses, fnc, \
-                    fnr in pool.imap(_run_chunk, enumerate(chunks)):
-                assert chunk_id * size == len(rows), "chunk order broken"
-                rows.extend(chunk_rows)
-                checker_runs += runs
-                memo_hits += hits
-                parses += chunk_parses
-                fn_checked += fnc
-                fn_reused += fnr
-                if progress is not None:
-                    progress(len(rows))
+        results, requeued, lost_workers = _supervised_fan_out(
+            chunks, context, used_workers, source_builder,
+            kernel_builder, key_fn, memoize, verdicts,
+            max_requeues=max_requeues, chunk_timeout_s=chunk_timeout_s,
+            progress=progress)
+        # Chunks complete in whatever order the fleet manages; results
+        # are keyed by chunk id, so assembly restores enumeration
+        # order exactly.
+        for chunk_id in range(len(chunks)):
+            chunk_rows, runs, hits, chunk_parses, fnc, fnr = \
+                results[chunk_id]
+            assert chunk_id * size == len(rows), "chunk order broken"
+            rows.extend(chunk_rows)
+            checker_runs += runs
+            memo_hits += hits
+            parses += chunk_parses
+            fn_checked += fnc
+            fn_reused += fnr
         # With a prefilled memo every point is a hit; fold the parent's
         # per-key runs back in so the accounting matches the inline
         # path (runs + hits == points).
@@ -429,7 +654,8 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         points=len(points), elapsed_s=elapsed, workers=used_workers,
         chunk_size=size, checker_runs=checker_runs,
         memo_hits=memo_hits, parses=parses,
-        fn_checked=fn_checked, fn_reused=fn_reused))
+        fn_checked=fn_checked, fn_reused=fn_reused,
+        requeued=requeued, lost_workers=lost_workers))
 
 
 # ---------------------------------------------------------------------------

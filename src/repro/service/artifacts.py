@@ -25,6 +25,7 @@ endpoint.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import threading
@@ -34,8 +35,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from ..util.faults import fault_point
 from ..util.fsio import atomic_write, reap_temp_debris
 from ..util.hashing import content_key, digest_shard, options_fingerprint
+
+logger = logging.getLogger(__name__)
 
 #: Sentinel distinguishing "absent" from a cached ``None``.
 _MISSING = object()
@@ -122,6 +126,7 @@ class DiskStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.write_errors = 0
         self.evictions = 0
         self.corrupt = 0
         self.unpicklable = 0
@@ -138,6 +143,7 @@ class DiskStore:
     def get(self, key: ArtifactKey, default: Any = None) -> Any:
         path = self.path_for(key)
         try:
+            fault_point("disk.read")          # chaos drills: corrupt read
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
@@ -165,10 +171,22 @@ class DiskStore:
                 self.unpicklable += 1
             return
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename inside the tier's own directory: the rename
-        # stays on one filesystem, so publication is atomic.
-        if not atomic_write(path, blob, tmp_dir=self.root):
+        # A failed write (ENOSPC, read-only remount, permissions, an
+        # injected fault) is a cache miss, never a request failure: the
+        # memory tier still holds the value and the stage recomputes on
+        # a later cold read. Write-then-rename inside the tier's own
+        # directory keeps publication atomic on one filesystem.
+        try:
+            fault_point("disk.write")         # chaos drills: ENOSPC
+            path.parent.mkdir(parents=True, exist_ok=True)
+            written = atomic_write(path, blob, tmp_dir=self.root)
+        except OSError as error:
+            written = False
+            logger.warning("disk tier write failed for %s: %s",
+                           key, error)
+        if not written:
+            with self._lock:
+                self.write_errors += 1
             return
         with self._lock:
             self.writes += 1
@@ -284,6 +302,7 @@ class DiskStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "writes": self.writes,
+                "write_errors": self.write_errors,
                 "evictions": self.evictions,
                 "corrupt": self.corrupt,
                 "unpicklable": self.unpicklable,

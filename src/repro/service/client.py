@@ -4,13 +4,28 @@ One method per endpoint, returning the decoded JSON payload. A fresh
 ``http.client`` connection is opened per request, so a single
 :class:`ServiceClient` may be shared freely across threads — the
 concurrent stress tests hammer one instance from a pool.
+
+With ``retries > 0`` the client absorbs transient failure: connection
+errors (a worker died, the supervisor is respawning) and retryable
+statuses (429 shed, 503 deadline/unavailable) back off exponentially
+with jitter and try again, honoring a ``Retry-After`` header as the
+floor for the wait. Retries apply only to idempotent routes — which
+for this service is every documented route, since compilation is a
+pure function of the request body — and the whole retry loop is
+capped by ``total_deadline_s`` so a dead service fails promptly.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import threading
+import time
 from typing import Any, Mapping
+
+#: Statuses worth retrying: admission-control shed and unavailable.
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceError(RuntimeError):
@@ -25,10 +40,20 @@ class ServiceError(RuntimeError):
 
 class ServiceClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, *, retries: int = 0,
+                 backoff_s: float = 0.05, backoff_max_s: float = 2.0,
+                 total_deadline_s: float | None = None,
+                 retry_seed: int | None = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.total_deadline_s = total_deadline_s
+        self._rng = random.Random(retry_seed)
+        self._lock = threading.Lock()
+        self.retries_used = 0
 
     @classmethod
     def from_address(cls, address: str,
@@ -51,13 +76,10 @@ class ServiceClient:
 
     # -- wire protocol -------------------------------------------------------
 
-    def raw(self, method: str, path: str,
-            payload: Mapping[str, Any] | None = None) -> tuple[int, bytes]:
-        """One request; returns ``(status, body bytes)`` unparsed.
-
-        The byte-parity tests go through this to compare the exact
-        bytes on the wire against a direct library call.
-        """
+    def _exchange(self, method: str, path: str,
+                  payload: Mapping[str, Any] | None,
+                  ) -> tuple[int, bytes, float | None]:
+        """One attempt: ``(status, body, Retry-After seconds or None)``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
@@ -66,9 +88,58 @@ class ServiceClient:
             headers = {"Content-Type": "application/json"}
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            return response.status, response.read()
+            retry_after = response.getheader("Retry-After")
+            try:
+                hint = float(retry_after) if retry_after else None
+            except ValueError:
+                hint = None
+            return response.status, response.read(), hint
         finally:
             connection.close()
+
+    def _backoff(self, attempt: int, hint: float | None) -> float:
+        """Exponential backoff with jitter; ``Retry-After`` is a floor."""
+        base = min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
+        with self._lock:
+            delay = base * (0.5 + self._rng.random() / 2.0)
+        return max(delay, hint or 0.0)
+
+    def raw(self, method: str, path: str,
+            payload: Mapping[str, Any] | None = None) -> tuple[int, bytes]:
+        """One request; returns ``(status, body bytes)`` unparsed.
+
+        The byte-parity tests go through this to compare the exact
+        bytes on the wire against a direct library call. With
+        ``retries > 0``, connection errors and retryable statuses are
+        re-attempted with backoff; the bytes returned are always from
+        a single (the final) response.
+        """
+        give_up_at = (time.monotonic() + self.total_deadline_s
+                      if self.total_deadline_s is not None else None)
+        attempt = 0
+        while True:
+            try:
+                status, body, hint = self._exchange(method, path, payload)
+            except OSError:
+                if attempt >= self.retries:
+                    raise
+                status, body, hint = None, b"", None
+            if status is not None and (
+                    status not in RETRYABLE_STATUSES
+                    or attempt >= self.retries):
+                return status, body
+            delay = self._backoff(attempt, hint)
+            if give_up_at is not None \
+                    and time.monotonic() + delay > give_up_at:
+                if status is not None:
+                    return status, body
+                raise OSError(
+                    f"no response from {self.address} within the "
+                    f"{self.total_deadline_s:g}s retry deadline")
+            time.sleep(delay)
+            with self._lock:
+                self.retries_used += 1
+            attempt += 1
 
     def request(self, method: str, path: str,
                 payload: Mapping[str, Any] | None = None) -> dict:

@@ -56,7 +56,9 @@ from ..backend.hls_cpp import EmissionUnitStore
 from ..errors import DahliaError
 from ..source import SourceFile
 from ..types.checker import FunctionVerdictStore
+from ..util.deadline import check_deadline
 from ..util.diagnostics import diagnostic_payload
+from ..util.faults import fault_point
 from .artifacts import (
     DEFAULT_DISK_BYTES,
     ArtifactKey,
@@ -236,6 +238,13 @@ class CompilerPipeline:
         if spec is None:
             raise ValueError(f"unknown pipeline stage {stage!r}")
         opts = dict(options or {})
+        # Stage boundaries are the pipeline's cooperative cancellation
+        # points: a request whose server-side budget ran out raises
+        # here instead of starting (or continuing into) more work. The
+        # fault site runs first so injected stage latency is subject to
+        # the same deadline an organically slow stage would be.
+        fault_point("pipeline.stage")
+        check_deadline()
         return self.store.get_or_compute(
             self.key(stage, source, opts),
             lambda: spec.run(self, source, opts))

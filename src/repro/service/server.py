@@ -55,6 +55,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from ..util.deadline import Deadline, DeadlineExceeded, deadline_scope
+from ..util.faults import fault_point, fault_stats
 from ..util.fsio import atomic_write, reap_temp_debris
 from .artifacts import DEFAULT_DISK_BYTES
 from .pipeline import (
@@ -124,6 +126,19 @@ _STALE_HEARTBEATS = 5
 #: supervisor's crash-loop guard; this many in a row aborts the fleet.
 _FAST_DEATH_S = 5.0
 _MAX_FAST_DEATHS = 5
+
+#: Extra seconds past a request's budget before the transport stops
+#: waiting for the handler thread and answers 503 itself. Cooperative
+#: cancellation (stage-boundary checks) normally fires first; the
+#: backstop covers handlers stuck in non-cooperative code.
+DEADLINE_GRACE_S = 0.25
+
+#: ``/dse`` runs engine sweeps that are long by design; its budget is
+#: the per-route timeout scaled by this factor.
+DSE_BUDGET_FACTOR = 20.0
+
+#: Advisory client delay for shed (429) responses.
+RETRY_AFTER_S = 1.0
 
 
 class WorkerBoard:
@@ -220,10 +235,25 @@ def _aggregate_metrics(records: list[dict]) -> dict:
              "functions": {"checked": 0, "reused": 0},
              "compile_units": {"emitted": 0, "reused": 0},
              "resolved_cache": {"entries": 0, "reused": 0}}
+    resilience: dict[str, Any] = {"deadline_exceeded": 0, "shed": 0,
+                                  "faults": None}
     disk: dict | None = None
     freshest = -1.0
     for record in records:
         metrics = record.get("metrics", {})
+        row = metrics.get("resilience", {})
+        for key in ("deadline_exceeded", "shed"):
+            resilience[key] += row.get(key, 0)
+        faults = row.get("faults")
+        if faults:
+            merged = resilience["faults"] or {"plan": faults.get("plan"),
+                                              "sites": {}}
+            for site, counters in faults.get("sites", {}).items():
+                into = merged["sites"].setdefault(
+                    site, {"calls": 0, "fired": 0})
+                into["calls"] += counters.get("calls", 0)
+                into["fired"] += counters.get("fired", 0)
+            resilience["faults"] = merged
         for path, row in metrics.get("endpoints", {}).items():
             into = endpoints.setdefault(path, {
                 "requests": 0, "errors": 0, "total_ms": 0.0, "max_ms": 0.0})
@@ -246,10 +276,10 @@ def _aggregate_metrics(records: list[dict]) -> dict:
         if "disk" in row:
             if disk is None:
                 disk = {key: 0 for key in
-                        ("hits", "misses", "writes", "evictions",
-                         "corrupt", "unpicklable")}
-            for key in ("hits", "misses", "writes", "evictions",
-                        "corrupt", "unpicklable"):
+                        ("hits", "misses", "writes", "write_errors",
+                         "evictions", "corrupt", "unpicklable")}
+            for key in ("hits", "misses", "writes", "write_errors",
+                        "evictions", "corrupt", "unpicklable"):
                 disk[key] += row["disk"].get(key, 0)
             updated = float(record.get("updated", 0.0))
             if updated > freshest:
@@ -267,7 +297,8 @@ def _aggregate_metrics(records: list[dict]) -> dict:
     cache["stages"] = dict(sorted(cache["stages"].items()))
     if disk is not None:
         cache["disk"] = disk
-    return {"endpoints": dict(sorted(endpoints.items())), "cache": cache}
+    return {"endpoints": dict(sorted(endpoints.items())),
+            "resilience": resilience, "cache": cache}
 
 
 class DahliaService:
@@ -288,14 +319,34 @@ class DahliaService:
             capacity=capacity, disk=cache_dir, disk_bytes=cache_bytes)
         self.dse_workers = max(1, dse_workers or 1)
         self.inflight_limit: int | None = None   # set by the server
+        self.limits: dict | None = None          # set by the server
         self.board = board
         self._metrics: dict[str, EndpointMetrics] = {}
         self._metrics_lock = threading.Lock()
+        self._resilience = {"deadline_exceeded": 0, "shed": 0}
         self._started = time.perf_counter()
+
+    # -- resilience accounting ----------------------------------------------
+
+    def record_deadline(self, path: str) -> None:
+        with self._metrics_lock:
+            self._resilience["deadline_exceeded"] += 1
+
+    def record_shed(self, path: str) -> None:
+        """One request shed by admission control (never dispatched)."""
+        metric_key = path if path in KNOWN_PATHS else "(unknown)"
+        with self._metrics_lock:
+            self._resilience["shed"] += 1
+            self._metrics.setdefault(metric_key, EndpointMetrics()) \
+                .record(0.0, error=True)
 
     # -- direct library calls (one per POST endpoint) ----------------------
 
     def respond(self, endpoint: str, request: Mapping[str, Any]) -> dict:
+        # Chaos site: a ``kill`` spec here dies mid-POST (GET probes
+        # are exempt so health polling cannot burn the spec's budget),
+        # exercising supervisor respawn + client retry end to end.
+        fault_point("server.worker")
         if endpoint == "dse":
             return self._respond_dse(request)
         option_keys = ENDPOINT_OPTIONS.get(endpoint)
@@ -338,6 +389,8 @@ class DahliaService:
 
         payload = {"ok": True, "service": "dahlia-py",
                    "version": __version__}
+        if self.limits is not None:
+            payload["limits"] = dict(self.limits)
         if self.board is not None:
             workers = self.board.liveness()
             payload["ok"] = bool(workers) and all(
@@ -350,10 +403,13 @@ class DahliaService:
         with self._metrics_lock:
             endpoints = {path: m.as_dict()
                          for path, m in sorted(self._metrics.items())}
+            resilience = dict(self._resilience)
+        resilience["faults"] = fault_stats()
         return {
             "uptime_s": round(time.perf_counter() - self._started, 3),
             "inflight_limit": self.inflight_limit,
             "endpoints": endpoints,
+            "resilience": resilience,
             "cache": self.pipeline.stats(),
         }
 
@@ -414,9 +470,18 @@ class DahliaService:
         """
         started = time.perf_counter()
         try:
+            fault_point("server.handle")     # chaos site: handler latency
             status, payload = self._dispatch(method, path, body)
         except BadRequest as error:
             status, payload = 400, {"ok": False, "error": str(error)}
+        except DeadlineExceeded as error:
+            # Cooperative cancellation fired inside a pipeline stage:
+            # the request's budget ran out, so degrade with a bounded,
+            # structured answer instead of finishing the work late.
+            self.record_deadline(path)
+            status, payload = 503, {
+                "ok": False, "error": str(error),
+                "deadline_exceeded": True, "budget_s": error.budget_s}
         except Exception as error:          # noqa: BLE001 — service boundary
             status, payload = 500, {
                 "ok": False,
@@ -462,8 +527,8 @@ class DahliaService:
 # ---------------------------------------------------------------------------
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 #: Reject bodies larger than this (defense against unbounded buffering).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -473,13 +538,17 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
 
 
-def _response_bytes(status: int, body: bytes, keep_alive: bool) -> bytes:
+def _response_bytes(status: int, body: bytes, keep_alive: bool,
+                    extra_headers: Mapping[str, str] | None = None,
+                    ) -> bytes:
     reason = _REASONS.get(status, "OK")
     connection = "keep-alive" if keep_alive else "close"
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n\r\n")
+            f"Content-Length: {len(body)}\r\n")
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += f"Connection: {connection}\r\n\r\n"
     return head.encode() + body
 
 
@@ -520,16 +589,38 @@ class ServiceServer:
     Request handlers run on a thread pool (the pipeline is pure Python
     and thread-safe); an ``asyncio.Semaphore`` bounds the number of
     requests in flight.
+
+    **Resilience knobs** (both default off, preserving the historical
+    open-ended behavior):
+
+    * ``request_timeout`` — per-request budget in seconds. The budget
+      is armed as a cooperative :class:`~repro.util.deadline.Deadline`
+      on the handler thread (pipeline stages check it at their
+      boundaries) and backstopped by the transport, which answers a
+      structured 503 at ``budget + DEADLINE_GRACE_S`` even if the
+      handler never cooperates. ``/dse`` gets ``DSE_BUDGET_FACTOR`` ×
+      the budget — sweeps are long-running by contract.
+    * ``queue_depth`` — admission control: POSTs arriving while all
+      in-flight slots are busy wait in a bounded queue; beyond this
+      depth they are *shed* with ``429`` + ``Retry-After`` instead of
+      queueing without bound.
     """
 
     def __init__(self, service: DahliaService | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  max_inflight: int = 8, threads: int | None = None,
-                 sock: socket.socket | None = None) -> None:
+                 sock: socket.socket | None = None,
+                 request_timeout: float | None = None,
+                 queue_depth: int | None = None) -> None:
         self.service = service or DahliaService()
         self.host = host
         self.port = port                      # 0 = ephemeral; set by start
         self.max_inflight = max(1, max_inflight)
+        self.request_timeout = (None if not request_timeout
+                                else float(request_timeout))
+        self.queue_depth = (None if queue_depth is None
+                            else max(0, int(queue_depth)))
+        self._queued = 0                      # POSTs waiting for a slot
         self._threads = threads or max(2, min(self.max_inflight,
                                               (os.cpu_count() or 1) * 2))
         self._sock = sock                     # pre-bound (prefork workers)
@@ -540,6 +631,12 @@ class ServiceServer:
 
     async def start(self) -> None:
         self.service.inflight_limit = self.max_inflight
+        faults = fault_stats()
+        self.service.limits = {
+            "request_timeout_s": self.request_timeout,
+            "queue_depth": self.queue_depth,
+            "fault_plan": faults["plan"] if faults else None,
+        }
         self._executor = ThreadPoolExecutor(
             max_workers=self._threads, thread_name_prefix="dahlia-svc")
         self._semaphore = asyncio.Semaphore(self.max_inflight)
@@ -575,6 +672,65 @@ class ServiceServer:
             self._executor.shutdown(wait=False)
             self._executor = None
 
+    def _should_shed(self) -> bool:
+        """Is the bounded accept queue past its watermark?"""
+        assert self._semaphore is not None
+        return (self.queue_depth is not None
+                and self._queued >= self.queue_depth
+                and self._semaphore.locked())
+
+    def _route_budget(self, path: str) -> float | None:
+        """Seconds of budget for ``path`` (``None`` = no deadline)."""
+        if self.request_timeout is None:
+            return None
+        factor = DSE_BUDGET_FACTOR if path == "/dse" else 1.0
+        return self.request_timeout * factor
+
+    def _handle_with_deadline(self, budget: float, method: str,
+                              path: str, body: bytes) -> tuple[int, Any]:
+        """Executor entry: arm the cooperative token, then dispatch."""
+        with deadline_scope(Deadline(budget)):
+            return self.service.handle(method, path, body)
+
+    async def _dispatch_post(self, loop: asyncio.AbstractEventLoop,
+                             method: str, path: str,
+                             body: bytes) -> tuple[int, Any]:
+        """Run one POST on the executor, under the route's budget.
+
+        Cooperative cancellation normally answers from inside the
+        handler (a structured 503 from ``DahliaService.handle``). If
+        the thread is stuck in non-cooperative code, the transport
+        stops waiting ``DEADLINE_GRACE_S`` past the budget and answers
+        the 503 itself; the orphaned thread's eventual result is
+        discarded (every stage is pure, so the waste is bounded CPU,
+        not corrupted state).
+        """
+        assert self._executor is not None
+        budget = self._route_budget(path)
+        if budget is None:
+            return await loop.run_in_executor(
+                self._executor, self.service.handle, method, path, body)
+        future = loop.run_in_executor(
+            self._executor, self._handle_with_deadline,
+            budget, method, path, body)
+        done, _ = await asyncio.wait({future},
+                                     timeout=budget + DEADLINE_GRACE_S)
+        if done:
+            return future.result()
+        # Consume the orphan's eventual outcome so an exception in the
+        # abandoned thread never surfaces as an unretrieved-future
+        # warning.
+        future.add_done_callback(
+            lambda f: f.cancelled() or f.exception())
+        self.service.record_deadline(path)
+        return 503, {
+            "ok": False,
+            "error": f"request deadline exceeded "
+                     f"(budget {budget:g}s)",
+            "deadline_exceeded": True,
+            "budget_s": budget,
+        }
+
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         try:
@@ -596,6 +752,7 @@ class ServiceServer:
                                          "").lower() != "close"
                 loop = asyncio.get_running_loop()
                 assert self._semaphore and self._executor
+                response_headers: dict[str, str] | None = None
                 if method == "GET":
                     # Probes (/healthz, /metrics, /stages) bypass the
                     # semaphore so they answer even when every slot is
@@ -609,11 +766,32 @@ class ServiceServer:
                     else:
                         status, payload = self.service.handle(
                             method, path, body)
+                elif self._should_shed():
+                    # Admission control: every slot is busy and the
+                    # wait queue is at its watermark — shed with 429
+                    # rather than queueing without bound.
+                    self.service.record_shed(path)
+                    status = 429
+                    payload = {
+                        "ok": False,
+                        "error": "server overloaded: request shed by "
+                                 "admission control",
+                        "shed": True,
+                        "retry_after_s": RETRY_AFTER_S,
+                    }
+                    response_headers = {
+                        "Retry-After": str(max(1, round(RETRY_AFTER_S)))}
                 else:
-                    async with self._semaphore:
-                        status, payload = await loop.run_in_executor(
-                            self._executor, self.service.handle,
-                            method, path, body)
+                    self._queued += 1
+                    try:
+                        await self._semaphore.acquire()
+                    finally:
+                        self._queued -= 1
+                    try:
+                        status, payload = await self._dispatch_post(
+                            loop, method, path, body)
+                    finally:
+                        self._semaphore.release()
                     if self.service.board is not None:
                         # Publish before responding so a client that saw
                         # this response observes it in fleet /metrics —
@@ -622,7 +800,8 @@ class ServiceServer:
                         await loop.run_in_executor(
                             self._executor, self.service.publish_stats)
                 data = encode_payload(payload)
-                writer.write(_response_bytes(status, data, keep_alive))
+                writer.write(_response_bytes(status, data, keep_alive,
+                                             response_headers))
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -646,12 +825,17 @@ class BackgroundServer:
 
     def __init__(self, service: DahliaService | None = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 max_inflight: int = 8) -> None:
-        self.server = ServiceServer(service, host, port, max_inflight)
+                 max_inflight: int = 8,
+                 request_timeout: float | None = None,
+                 queue_depth: int | None = None) -> None:
+        self.server = ServiceServer(service, host, port, max_inflight,
+                                    request_timeout=request_timeout,
+                                    queue_depth=queue_depth)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
+        self._crash_error: BaseException | None = None
 
     @property
     def service(self) -> DahliaService:
@@ -679,33 +863,74 @@ class BackgroundServer:
         self._started.set()
         try:
             loop.run_forever()
+        except BaseException as error:        # surface serve-loop crashes
+            self._crash_error = error
         finally:
-            loop.run_until_complete(self.server.stop())
-            # Idle keep-alive connections leave handler tasks parked on
-            # a read; cancel them so the loop closes without warnings.
-            pending = asyncio.all_tasks(loop)
-            for task in pending:
-                task.cancel()
-            if pending:
-                loop.run_until_complete(
-                    asyncio.gather(*pending, return_exceptions=True))
-            loop.close()
+            try:
+                loop.run_until_complete(self.server.stop())
+                # Idle keep-alive connections leave handler tasks parked
+                # on a read; cancel them so the loop closes without
+                # warnings.
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True))
+            except BaseException as error:
+                if self._crash_error is None:
+                    self._crash_error = error
+            finally:
+                loop.close()
 
-    def __enter__(self) -> "BackgroundServer":
+    def start(self) -> "BackgroundServer":
+        """Start the server thread; raise if it fails to come up.
+
+        A dead thread is an *error*, never a silent 30-second timeout:
+        bind failures, import errors, and anything else that kills the
+        thread before (or while) serving propagate to the caller.
+        """
         self._thread = threading.Thread(target=self._run,
                                         name="dahlia-server", daemon=True)
         self._thread.start()
-        self._started.wait(timeout=30)
+        ready = self._started.wait(timeout=30)
         if self._startup_error is not None:
             raise RuntimeError("service failed to start") \
                 from self._startup_error
+        if not ready or not self._thread.is_alive():
+            self._thread.join(timeout=1)
+            raise RuntimeError(
+                "server thread died before signalling readiness"
+                if not self._thread.is_alive()
+                else "server thread failed to become ready within 30s") \
+                from self._crash_error
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
+    def stop(self) -> None:
+        """Stop the server thread; raise if it crashed or won't die."""
         if self._loop is not None:
-            self._loop.call_soon_threadsafe(self._loop.stop)
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=30)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    "server thread failed to stop within 30s")
+        if self._crash_error is not None:
+            raise RuntimeError("server thread crashed while serving") \
+                from self._crash_error
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        if exc_info and exc_info[0] is not None:
+            # The with-body already failed; don't let a teardown error
+            # mask the original exception.
+            with contextlib.suppress(Exception):
+                self.stop()
+        else:
+            self.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -726,6 +951,9 @@ class _WorkerConfig:
     cache_bytes: int
     board_dir: str
     reuse_port: bool
+    request_timeout: float | None = None
+    queue_depth: int | None = None
+    fault_plan: str | None = None
 
 
 def _bind_socket(host: str, port: int, *, reuse_port: bool,
@@ -759,6 +987,10 @@ def _worker_main(config: _WorkerConfig,
     # useless copy of the parent's stop event instead of terminating.
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_DFL)
+    if config.fault_plan:
+        from ..util.faults import FaultPlan, install_plan
+
+        install_plan(FaultPlan.from_file(config.fault_plan))
     board = WorkerBoard(config.board_dir, worker=config.worker)
     service = DahliaService(
         capacity=config.capacity, dse_workers=config.dse_workers,
@@ -771,7 +1003,9 @@ def _worker_main(config: _WorkerConfig,
             sock = _bind_socket(config.host, config.port,
                                 reuse_port=True, listen=True)
         server = ServiceServer(service, config.host, config.port,
-                               max_inflight=config.max_inflight, sock=sock)
+                               max_inflight=config.max_inflight, sock=sock,
+                               request_timeout=config.request_timeout,
+                               queue_depth=config.queue_depth)
         await server.start()
         try:
             await asyncio.Event().wait()
@@ -787,7 +1021,10 @@ def _worker_main(config: _WorkerConfig,
 def _serve_prefork(host: str, port: int, *, capacity: int,
                    max_inflight: int, dse_workers: int | None,
                    workers: int, cache_dir: str | None,
-                   cache_bytes: int) -> None:
+                   cache_bytes: int,
+                   request_timeout: float | None = None,
+                   queue_depth: int | None = None,
+                   fault_plan: str | None = None) -> None:
     """Supervise a fleet of worker processes sharing one port."""
     import multiprocessing
     import signal
@@ -804,7 +1041,10 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
         return _serve_single(host, port, capacity=capacity,
                              max_inflight=max_inflight,
                              dse_workers=dse_workers,
-                             cache_dir=cache_dir, cache_bytes=cache_bytes)
+                             cache_dir=cache_dir, cache_bytes=cache_bytes,
+                             request_timeout=request_timeout,
+                             queue_depth=queue_depth,
+                             fault_plan=fault_plan)
 
     if reuse_port:
         # Bind (without listening) to resolve the port and hold it for
@@ -832,7 +1072,9 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
             worker=index, host=host, port=port, capacity=capacity,
             max_inflight=max_inflight, dse_workers=dse_workers,
             cache_dir=cache_dir, cache_bytes=cache_bytes,
-            board_dir=str(board_dir), reuse_port=reuse_port)
+            board_dir=str(board_dir), reuse_port=reuse_port,
+            request_timeout=request_timeout, queue_depth=queue_depth,
+            fault_plan=fault_plan)
         process = context.Process(target=_worker_main,
                                   args=(config, listen_sock),
                                   name=f"dahlia-worker-{index}")
@@ -896,13 +1138,22 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
 
 def _serve_single(host: str, port: int, *, capacity: int,
                   max_inflight: int, dse_workers: int | None,
-                  cache_dir: str | None, cache_bytes: int) -> None:
+                  cache_dir: str | None, cache_bytes: int,
+                  request_timeout: float | None = None,
+                  queue_depth: int | None = None,
+                  fault_plan: str | None = None) -> None:
+    if fault_plan:
+        from ..util.faults import FaultPlan, install_plan
+
+        install_plan(FaultPlan.from_file(fault_plan))
     service = DahliaService(capacity=capacity, dse_workers=dse_workers,
                             cache_dir=cache_dir, cache_bytes=cache_bytes)
 
     async def main() -> None:
         server = ServiceServer(service, host, port,
-                               max_inflight=max_inflight)
+                               max_inflight=max_inflight,
+                               request_timeout=request_timeout,
+                               queue_depth=queue_depth)
         await server.start()
         tier = f"disk tier {cache_dir}" if cache_dir else "memory-only cache"
         print(f"dahlia-py service listening on "
@@ -924,13 +1175,19 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
           capacity: int = 512, max_inflight: int = 8,
           dse_workers: int | None = 1, workers: int = 1,
           cache_dir: str | Path | None = None,
-          cache_bytes: int = DEFAULT_DISK_BYTES) -> None:
+          cache_bytes: int = DEFAULT_DISK_BYTES,
+          request_timeout: float | None = None,
+          queue_depth: int | None = None,
+          fault_plan: str | None = None) -> None:
     """Blocking entry point behind ``dahlia-py serve``.
 
     ``workers > 1`` preforks that many serving processes sharing the
     port and — when ``cache_dir`` is set — the persistent artifact
     tier. ``cache_dir`` defaults to ``$REPRO_CACHE_DIR`` when that is
-    set, else the cache is memory-only.
+    set, else the cache is memory-only. ``request_timeout`` arms a
+    per-request deadline budget, ``queue_depth`` bounds the accept
+    queue (excess requests are shed with 429), and ``fault_plan``
+    names a JSON fault plan installed in every serving process.
     """
     if cache_dir is None:
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
@@ -939,9 +1196,13 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
     if workers == 1:
         _serve_single(host, port, capacity=capacity,
                       max_inflight=max_inflight, dse_workers=dse_workers,
-                      cache_dir=cache_dir, cache_bytes=cache_bytes)
+                      cache_dir=cache_dir, cache_bytes=cache_bytes,
+                      request_timeout=request_timeout,
+                      queue_depth=queue_depth, fault_plan=fault_plan)
     else:
         _serve_prefork(host, port, capacity=capacity,
                        max_inflight=max_inflight, dse_workers=dse_workers,
                        workers=workers, cache_dir=cache_dir,
-                       cache_bytes=cache_bytes)
+                       cache_bytes=cache_bytes,
+                       request_timeout=request_timeout,
+                       queue_depth=queue_depth, fault_plan=fault_plan)

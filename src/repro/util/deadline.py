@@ -1,0 +1,89 @@
+"""Cooperative request deadlines.
+
+The server cannot preempt a handler thread, so deadline enforcement is
+cooperative: the transport arms a :class:`Deadline` for the current
+thread before dispatching, and long-running work (pipeline stages,
+injected fault latency) calls :func:`check_deadline` at natural
+boundaries. An expired budget raises :class:`DeadlineExceeded`, which
+the service maps to a structured ``503`` — the asyncio layer keeps a
+non-cooperative ``wait_for`` backstop for code that never checks.
+
+Tokens are thread-local: the server's executor threads each carry at
+most one in-flight request, so the ambient token is unambiguous.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Iterator
+
+
+class DeadlineExceeded(Exception):
+    """The ambient request budget ran out mid-computation."""
+
+    def __init__(self, budget_s: float) -> None:
+        super().__init__(f"request deadline exceeded "
+                         f"(budget {budget_s:g}s)")
+        self.budget_s = budget_s
+
+
+class Deadline:
+    """A monotonic-clock budget for one request."""
+
+    def __init__(self, budget_s: float) -> None:
+        self.budget_s = budget_s
+        self.expires_at = time.monotonic() + budget_s
+
+    def remaining_s(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+
+_ambient = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline armed for this thread, if any."""
+    return getattr(_ambient, "deadline", None)
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[None]:
+    """Arm ``deadline`` for the current thread for the block's duration."""
+    previous = current_deadline()
+    _ambient.deadline = deadline
+    try:
+        yield
+    finally:
+        _ambient.deadline = previous
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient budget ran out.
+
+    A no-op when no deadline is armed, so library callers (CLI, tests,
+    direct pipeline use) never pay for or trip over request budgets.
+    """
+    deadline = current_deadline()
+    if deadline is not None and deadline.expired():
+        raise DeadlineExceeded(deadline.budget_s)
+
+
+def interruptible_sleep(seconds: float, slice_s: float = 0.05) -> None:
+    """Sleep that honors the ambient deadline.
+
+    Sleeps in slices and re-checks the deadline between them, so
+    injected fault latency (or any cooperative delay) wakes up and
+    raises at the budget instead of overshooting by the full latency.
+    """
+    remaining = seconds
+    while remaining > 0:
+        check_deadline()
+        step = min(slice_s, remaining)
+        time.sleep(step)
+        remaining -= step
+    check_deadline()

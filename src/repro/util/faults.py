@@ -1,0 +1,266 @@
+"""Deterministic fault injection for resilience drills.
+
+A :class:`FaultPlan` names *sites* — fixed strings compiled into the
+serving and sweep layers (``disk.read``, ``disk.write``,
+``pipeline.stage``, ``server.handle``, ``server.worker``,
+``dse.worker``) — and attaches a :class:`FaultSpec` to each: with what
+probability, after how many calls, and how many times a fault fires,
+and what the fault *is* (added latency, a raised exception, or killing
+the process outright). Production code calls :func:`fault_point` at
+each site; with no plan installed that is one attribute load and a
+``None`` check, so the hooks are free in normal operation.
+
+Activation paths:
+
+* **programmatic** — :func:`install_plan` / the :func:`active`
+  context manager (in-process tests);
+* **environment** — ``REPRO_FAULT_PLAN=<file.json or inline JSON>``,
+  read lazily on the first :func:`fault_point` call. Because the plan
+  rides an environment variable, prefork server workers and DSE pool
+  workers inherit it over both ``fork`` and ``spawn`` — a chaos drill
+  configures one variable and every process in the tree participates.
+
+Determinism: each site draws from its own ``random.Random`` seeded
+with ``(plan.seed, site)``, so a seeded plan makes the *sequence* of
+fire/skip decisions at every site reproducible per process, which is
+what lets the chaos suite assert exact byte parity under injected
+faults.
+
+The plan JSON format::
+
+    {
+      "name": "drill-1",
+      "seed": 1234,
+      "sites": {
+        "disk.write":     {"probability": 0.25, "error": "ENOSPC"},
+        "pipeline.stage": {"probability": 1.0, "skip": 3, "count": 2,
+                           "latency_s": 0.75},
+        "server.worker":  {"skip": 60, "count": 1, "kill": true}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import json
+import os
+import random
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from .deadline import interruptible_sleep
+
+#: Environment variable naming a plan file (or carrying inline JSON).
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit code used by ``kill`` faults, distinct from ordinary crashes
+#: so test assertions can tell an injected death from an accidental one.
+KILL_EXIT_CODE = 86
+
+#: Exception constructors ``error`` specs may name. ``ENOSPC`` builds
+#: the disk-full ``OSError`` the artifact tier must shrug off.
+_ERRORS = {
+    "OSError": lambda site: OSError(f"injected fault at {site}"),
+    "ENOSPC": lambda site: OSError(errno.ENOSPC,
+                                   f"injected disk-full at {site}"),
+    "RuntimeError": lambda site: RuntimeError(
+        f"injected fault at {site}"),
+}
+
+
+class FaultInjected(RuntimeError):
+    """Default exception for ``error`` specs naming no known type."""
+
+
+def _build_error(name: str, site: str) -> Exception:
+    builder = _ERRORS.get(name)
+    if builder is not None:
+        return builder(site)
+    return FaultInjected(f"injected {name} at {site}")
+
+
+@dataclass
+class FaultSpec:
+    """What happens — and how often — at one injection site.
+
+    Calls at the site are skipped until ``skip`` matching calls have
+    passed; thereafter each call fires with ``probability``, at most
+    ``count`` times total (``None`` = unbounded). A firing sleeps
+    ``latency_s`` (deadline-cooperatively), then raises ``error`` (if
+    set), then kills the process (if ``kill``) — so a spec can model a
+    slow write, a failing write, or a slow-then-dead worker.
+    """
+
+    probability: float = 1.0
+    count: int | None = None
+    skip: int = 0
+    latency_s: float = 0.0
+    error: str | None = None
+    kill: bool = False
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "FaultSpec":
+        known = {"probability", "count", "skip", "latency_s", "error",
+                 "kill"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown fault-spec fields: "
+                             f"{', '.join(sorted(unknown))}")
+        spec = cls(
+            probability=float(raw.get("probability", 1.0)),
+            count=(None if raw.get("count") is None
+                   else int(raw["count"])),
+            skip=int(raw.get("skip", 0)),
+            latency_s=float(raw.get("latency_s", 0.0)),
+            error=raw.get("error"),
+            kill=bool(raw.get("kill", False)),
+        )
+        if not 0.0 <= spec.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if spec.skip < 0 or spec.latency_s < 0:
+            raise ValueError("skip and latency_s must be >= 0")
+        return spec
+
+
+@dataclass
+class _SiteState:
+    spec: FaultSpec
+    rng: random.Random
+    calls: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A named, seeded set of fault sites with per-process state."""
+
+    def __init__(self, sites: Mapping[str, FaultSpec],
+                 name: str = "faults", seed: int = 0) -> None:
+        self.name = name
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._sites = {
+            site: _SiteState(spec, random.Random(f"{seed}:{site}"))
+            for site, spec in sites.items()
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "FaultPlan":
+        sites = {str(site): FaultSpec.from_dict(spec)
+                 for site, spec in dict(raw.get("sites", {})).items()}
+        return cls(sites, name=str(raw.get("name", "faults")),
+                   seed=int(raw.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+    # -- the hot path --------------------------------------------------------
+
+    def trigger(self, site: str) -> None:
+        """Run the site's fault, if armed: sleep, raise, or die."""
+        state = self._sites.get(site)
+        if state is None:
+            return
+        with self._lock:
+            spec = state.spec
+            state.calls += 1
+            if state.calls <= spec.skip:
+                return
+            if spec.count is not None and state.fired >= spec.count:
+                return
+            if spec.probability < 1.0 \
+                    and state.rng.random() >= spec.probability:
+                return
+            state.fired += 1
+        if spec.latency_s > 0:
+            interruptible_sleep(spec.latency_s)
+        if spec.error is not None:
+            raise _build_error(spec.error, site)
+        if spec.kill:
+            os._exit(KILL_EXIT_CODE)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-site call/fire counters (feeds ``/metrics``)."""
+        with self._lock:
+            return {
+                "plan": self.name,
+                "sites": {
+                    site: {"calls": state.calls, "fired": state.fired}
+                    for site, state in sorted(self._sites.items())
+                },
+            }
+
+
+# ---------------------------------------------------------------------------
+# The process-global plan (installed explicitly or from the environment).
+# ---------------------------------------------------------------------------
+
+_plan: FaultPlan | None = None
+_env_checked = False
+_install_lock = threading.Lock()
+
+
+def install_plan(plan: FaultPlan | None) -> None:
+    """Install (or with ``None`` clear) the process-global plan."""
+    global _plan, _env_checked
+    with _install_lock:
+        _plan = plan
+        _env_checked = True                  # explicit beats environment
+
+
+def active_plan() -> FaultPlan | None:
+    """The installed plan, loading ``$REPRO_FAULT_PLAN`` on first use.
+
+    The variable may name a JSON file or carry inline JSON (detected
+    by a leading ``{``). A malformed plan raises immediately — a chaos
+    drill that silently injects nothing would "pass" vacuously.
+    """
+    global _plan, _env_checked
+    if _env_checked:
+        return _plan
+    with _install_lock:
+        if _env_checked:
+            return _plan
+        raw = os.environ.get(PLAN_ENV, "").strip()
+        if raw:
+            _plan = (FaultPlan.from_json(raw) if raw.startswith("{")
+                     else FaultPlan.from_file(raw))
+        _env_checked = True
+        return _plan
+
+
+@contextlib.contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped installation for in-process tests."""
+    global _plan, _env_checked
+    with _install_lock:
+        previous, previous_checked = _plan, _env_checked
+        _plan, _env_checked = plan, True
+    try:
+        yield plan
+    finally:
+        with _install_lock:
+            _plan, _env_checked = previous, previous_checked
+
+
+def fault_point(site: str) -> None:
+    """One injection site. Free (a ``None`` check) with no plan active."""
+    plan = active_plan()
+    if plan is not None:
+        plan.trigger(site)
+
+
+def fault_stats() -> dict | None:
+    """The active plan's counters, or ``None`` when faults are off."""
+    plan = active_plan()
+    return plan.stats() if plan is not None else None
