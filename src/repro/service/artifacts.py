@@ -337,20 +337,32 @@ class ArtifactStore:
         counts as a memory miss in the per-stage counters but is
         promoted into the memory tier for next time.
         """
+        value, tier = self.lookup(key)
+        return default if tier is None else value
+
+    def lookup(self, key: ArtifactKey) -> tuple[Any, str | None]:
+        """Like :meth:`get`, but report which tier answered.
+
+        Returns ``(value, "memory")``, ``(value, "disk")``, or
+        ``(None, None)`` on a full miss — the tier is what traced
+        pipeline stages attach as their ``cache`` attribute. Counter
+        semantics are identical to :meth:`get` (a disk hit counts as a
+        memory miss and is promoted).
+        """
         with self._lock:
             counters = self._counters(key.stage)
             value = self._entries.get(key, _MISSING)
             if value is not _MISSING:
                 self._entries.move_to_end(key)
                 counters.hits += 1
-                return value
+                return value, "memory"
             counters.misses += 1
         if self.disk is not None:
             value = self.disk.get(key, _MISSING)
             if value is not _MISSING:
                 self._put_memory(key, value)  # promote
-                return value
-        return default
+                return value, "disk"
+        return None, None
 
     def put(self, key: ArtifactKey, value: Any) -> None:
         self._put_memory(key, value)

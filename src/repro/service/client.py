@@ -13,16 +13,29 @@ floor for the wait. Retries apply only to idempotent routes — which
 for this service is every documented route, since compilation is a
 pure function of the request body — and the whole retry loop is
 capped by ``total_deadline_s`` so a dead service fails promptly.
+
+Every logical request carries an ``X-Request-Id`` header — one id
+generated per :meth:`ServiceClient.raw` call and reused verbatim
+across its retries, so the server-side trace for a shed-then-retried
+request is a single trace. The id of the most recent call is kept in
+:attr:`ServiceClient.last_request_id` for correlation with ``/trace``
+and the server's slow-request log, and is included in
+:class:`ServiceError` messages and retry-deadline errors.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import logging
 import random
 import threading
 import time
 from typing import Any, Mapping
+
+from ..util import telemetry
+
+logger = logging.getLogger(__name__)
 
 #: Statuses worth retrying: admission-control shed and unavailable.
 RETRYABLE_STATUSES = frozenset({429, 503})
@@ -31,11 +44,16 @@ RETRYABLE_STATUSES = frozenset({429, 503})
 class ServiceError(RuntimeError):
     """A non-2xx response from the service."""
 
-    def __init__(self, status: int, payload: Any) -> None:
+    def __init__(self, status: int, payload: Any,
+                 request_id: str | None = None) -> None:
         message = payload.get("error") if isinstance(payload, dict) else None
-        super().__init__(message or f"service returned HTTP {status}")
+        message = message or f"service returned HTTP {status}"
+        if request_id:
+            message = f"{message} [request {request_id}]"
+        super().__init__(message)
         self.status = status
         self.payload = payload
+        self.request_id = request_id
 
 
 class ServiceClient:
@@ -54,6 +72,8 @@ class ServiceClient:
         self._rng = random.Random(retry_seed)
         self._lock = threading.Lock()
         self.retries_used = 0
+        #: ``X-Request-Id`` of the most recent :meth:`raw` call.
+        self.last_request_id: str | None = None
 
     @classmethod
     def from_address(cls, address: str,
@@ -78,6 +98,7 @@ class ServiceClient:
 
     def _exchange(self, method: str, path: str,
                   payload: Mapping[str, Any] | None,
+                  request_id: str,
                   ) -> tuple[int, bytes, float | None]:
         """One attempt: ``(status, body, Retry-After seconds or None)``."""
         connection = http.client.HTTPConnection(
@@ -85,7 +106,8 @@ class ServiceClient:
         try:
             body = (json.dumps(payload).encode()
                     if payload is not None else None)
-            headers = {"Content-Type": "application/json"}
+            headers = {"Content-Type": "application/json",
+                       "X-Request-Id": request_id}
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             retry_after = response.getheader("Retry-After")
@@ -112,17 +134,22 @@ class ServiceClient:
         bytes on the wire against a direct library call. With
         ``retries > 0``, connection errors and retryable statuses are
         re-attempted with backoff; the bytes returned are always from
-        a single (the final) response.
+        a single (the final) response. One ``X-Request-Id`` is minted
+        per call and reused across its retries.
         """
+        request_id = telemetry.current_trace_id() or telemetry.new_id()
+        self.last_request_id = request_id
         give_up_at = (time.monotonic() + self.total_deadline_s
                       if self.total_deadline_s is not None else None)
         attempt = 0
         while True:
             try:
-                status, body, hint = self._exchange(method, path, payload)
-            except OSError:
+                status, body, hint = self._exchange(
+                    method, path, payload, request_id)
+            except OSError as exc:
                 if attempt >= self.retries:
-                    raise
+                    raise type(exc)(
+                        f"{exc} [request {request_id}]") from exc
                 status, body, hint = None, b"", None
             if status is not None and (
                     status not in RETRYABLE_STATUSES
@@ -135,7 +162,14 @@ class ServiceClient:
                     return status, body
                 raise OSError(
                     f"no response from {self.address} within the "
-                    f"{self.total_deadline_s:g}s retry deadline")
+                    f"{self.total_deadline_s:g}s retry deadline "
+                    f"[request {request_id}]")
+            logger.warning(
+                "retrying %s %s after %s (attempt %d/%d) [request %s]",
+                method, path,
+                f"HTTP {status}" if status is not None
+                else "connection error",
+                attempt + 1, self.retries, request_id)
             time.sleep(delay)
             with self._lock:
                 self.retries_used += 1
@@ -146,7 +180,8 @@ class ServiceClient:
         status, body = self.raw(method, path, payload)
         decoded = json.loads(body.decode())
         if status != 200:
-            raise ServiceError(status, decoded)
+            raise ServiceError(status, decoded,
+                               request_id=self.last_request_id)
         return decoded
 
     def wait_ready(self, timeout: float = 30.0,
@@ -197,6 +232,24 @@ class ServiceClient:
     def interp(self, source: str, *, check: bool = True) -> dict:
         return self.request("POST", "/interp", {
             "source": source, "check": check})
+
+    def trace(self, trace_id: str | None = None, *,
+              limit: int | None = None,
+              format: str | None = None) -> dict:
+        """Fetch one trace (by id) or list recent trace summaries.
+
+        ``format="chrome"`` returns the Chrome trace-event export for
+        loading into Perfetto / ``chrome://tracing``.
+        """
+        params = []
+        if trace_id is not None:
+            params.append(f"id={trace_id}")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if format is not None:
+            params.append(f"format={format}")
+        query = "&".join(params)
+        return self.request("GET", "/trace" + (f"?{query}" if query else ""))
 
     def dse(self, space: str, *, sample: int = 500,
             workers: int | None = None, memoize: bool = True) -> dict:

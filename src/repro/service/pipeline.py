@@ -56,6 +56,7 @@ from ..backend.hls_cpp import EmissionUnitStore
 from ..errors import DahliaError
 from ..source import SourceFile
 from ..types.checker import FunctionVerdictStore
+from ..util import telemetry
 from ..util.deadline import check_deadline
 from ..util.diagnostics import diagnostic_payload
 from ..util.faults import fault_point
@@ -233,21 +234,62 @@ class CompilerPipeline:
 
     def run(self, stage: str, source: str,
             options: Mapping[str, Any] | None = None) -> Any:
-        """Produce a stage artifact, serving it from cache when possible."""
+        """Produce a stage artifact, serving it from cache when possible.
+
+        When a trace is active, each stage gets a span whose ``cache``
+        attribute records which tier answered (``memory`` / ``disk`` /
+        ``miss``); computed ``check`` and ``compile`` stages also
+        attach how many function-grained sub-artifacts were reused
+        versus redone. With tracing off this adds one thread-local
+        read per stage.
+        """
         spec = STAGES.get(stage)
         if spec is None:
             raise ValueError(f"unknown pipeline stage {stage!r}")
         opts = dict(options or {})
-        # Stage boundaries are the pipeline's cooperative cancellation
-        # points: a request whose server-side budget ran out raises
-        # here instead of starting (or continuing into) more work. The
-        # fault site runs first so injected stage latency is subject to
-        # the same deadline an organically slow stage would be.
-        fault_point("pipeline.stage")
-        check_deadline()
-        return self.store.get_or_compute(
-            self.key(stage, source, opts),
-            lambda: spec.run(self, source, opts))
+        with telemetry.span("stage:" + stage) as stage_span:
+            # Stage boundaries are the pipeline's cooperative
+            # cancellation points: a request whose server-side budget
+            # ran out raises here instead of starting (or continuing
+            # into) more work. The fault site runs first so injected
+            # stage latency is subject to the same deadline an
+            # organically slow stage would be.
+            fault_point("pipeline.stage")
+            check_deadline()
+            key = self.key(stage, source, opts)
+            value, tier = self.store.lookup(key)
+            if tier is not None:
+                stage_span.set_attr("cache", tier)
+                return value
+            stage_span.set_attr("cache", "miss")
+            before = self._unit_counters(stage)
+            # The compute runs outside the store lock (get_or_compute's
+            # contract); duplicate concurrent computes stay harmless.
+            value = spec.run(self, source, opts)
+            self._attr_unit_deltas(stage_span, stage, before)
+            self.store.put(key, value)
+            return value
+
+    def _unit_counters(self, stage: str) -> tuple[int, int] | None:
+        """Function-grained (done, reused) counters feeding ``stage``."""
+        if stage == "check":
+            return self.functions.checked, self.functions.reused
+        if stage == "compile":
+            return self.units.emitted, self.units.reused
+        return None
+
+    def _attr_unit_deltas(self, stage_span: Any, stage: str,
+                          before: tuple[int, int] | None) -> None:
+        after = self._unit_counters(stage)
+        if before is None or after is None:
+            return
+        done, reused = after[0] - before[0], after[1] - before[1]
+        if stage == "check":
+            stage_span.set_attr("fn_checked", done)
+            stage_span.set_attr("fn_reused", reused)
+        else:
+            stage_span.set_attr("units_emitted", done)
+            stage_span.set_attr("units_reused", reused)
 
     def stats(self) -> dict:
         """Store statistics plus the function-grained counters.
@@ -471,8 +513,9 @@ def dse_summary(space_name: str, *, sample: int = 500,
     space = space_fn()
     configs = (list(space.sample(sample))
                if sample and sample < space.size else space)
-    result = sweep(configs, source_fn, kernel_fn, workers=workers,
-                   memoize=memoize, progress=progress)
+    with telemetry.span("dse.summary", space=space_name):
+        result = sweep(configs, source_fn, kernel_fn, workers=workers,
+                       memoize=memoize, progress=progress)
     stats = result.stats
     return {
         "space": space_name,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from ..util import telemetry
 from .pipeline import CompilerPipeline
 
 #: Payload stages warmed for every source; rejected programs stop at
@@ -114,35 +115,40 @@ def prewarm_corpus(pipeline: CompilerPipeline,
         return payload
 
     for label, source in sources:
-        try:
-            pipeline.resolve(source)
-        except DahliaError:
-            # The entry is not even parseable Dahlia: record it and
-            # keep walking — one bad corpus file must not abort the
-            # warm pass. (Its rejection payload is still cacheable.)
-            parse_failures.append(label)
-        except Exception:              # noqa: BLE001 — warm-up is best-effort
-            # Infrastructure failure (not invalid Dahlia): count it,
-            # skip the entry, and leave parse_failures honest.
-            failures += 1
-            if progress is not None:
-                progress(label)
-            continue
-        ok = True
-        try:
-            payload = run_stage(stages[0], source)
-            ok = bool(payload.get("ok", True)) \
-                if isinstance(payload, dict) else True
-        except Exception:              # noqa: BLE001 — warm-up is best-effort
-            failures += 1
-            ok = False
-        if ok:
-            accepted += 1
-            for stage in stages[1:]:
-                try:
-                    run_stage(stage, source)
-                except Exception:      # noqa: BLE001
-                    failures += 1
+        # Under an ambient root span (``cache prewarm --trace-out``)
+        # every source gets its own span and the stage spans beneath it
+        # inherit the cache-tier attribution; untraced, ``span`` yields
+        # the shared no-op and costs one attribute load.
+        with telemetry.span("prewarm.source", label=label):
+            try:
+                pipeline.resolve(source)
+            except DahliaError:
+                # The entry is not even parseable Dahlia: record it and
+                # keep walking — one bad corpus file must not abort the
+                # warm pass. (Its rejection payload is still cacheable.)
+                parse_failures.append(label)
+            except Exception:          # noqa: BLE001 — warm-up is best-effort
+                # Infrastructure failure (not invalid Dahlia): count it,
+                # skip the entry, and leave parse_failures honest.
+                failures += 1
+                if progress is not None:
+                    progress(label)
+                continue
+            ok = True
+            try:
+                payload = run_stage(stages[0], source)
+                ok = bool(payload.get("ok", True)) \
+                    if isinstance(payload, dict) else True
+            except Exception:          # noqa: BLE001 — warm-up is best-effort
+                failures += 1
+                ok = False
+            if ok:
+                accepted += 1
+                for stage in stages[1:]:
+                    try:
+                        run_stage(stage, source)
+                    except Exception:  # noqa: BLE001
+                        failures += 1
         if progress is not None:
             progress(label)
     return {

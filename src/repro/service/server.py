@@ -44,17 +44,21 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hashlib
 import json
+import logging
 import os
 import socket
 import tempfile
 import threading
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from ..util import telemetry
 from ..util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from ..util.faults import fault_point, fault_stats
 from ..util.fsio import atomic_write, reap_temp_debris
@@ -65,6 +69,8 @@ from .pipeline import (
     dse_summary,
     relevant_options,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Option keys each POST endpoint forwards to its payload stage —
 #: derived from the stage declarations so the filter cannot drift from
@@ -78,7 +84,7 @@ ENDPOINT_OPTIONS: dict[str, tuple[str, ...]] = {
 #: is bucketed under one key so unknown-path probes can't grow the
 #: table (and the /metrics response) without bound.
 KNOWN_PATHS = frozenset(
-    {"/healthz", "/metrics", "/stages", "/dse"}
+    {"/healthz", "/metrics", "/stages", "/trace", "/dse"}
     | {f"/{name}" for name in ENDPOINT_OPTIONS})
 
 
@@ -91,27 +97,41 @@ class BadRequest(Exception):
     """Client error mapped to a 400 response."""
 
 
-@dataclass
 class EndpointMetrics:
-    requests: int = 0
-    errors: int = 0
-    total_ms: float = 0.0
-    max_ms: float = 0.0
+    """Per-route latency accounting: counters plus a log-bucketed
+    histogram, so fleet aggregation can report true percentiles
+    (bucket counts merge by addition across worker snapshots) instead
+    of a mean of means. ``as_dict`` keeps the historical keys."""
+
+    __slots__ = ("requests", "errors", "total_ms", "max_ms", "histogram")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self.histogram = telemetry.LatencyHistogram()
 
     def record(self, elapsed_ms: float, error: bool) -> None:
         self.requests += 1
         self.errors += int(error)
         self.total_ms += elapsed_ms
         self.max_ms = max(self.max_ms, elapsed_ms)
+        self.histogram.record(elapsed_ms)
 
     def as_dict(self) -> dict:
         mean = self.total_ms / self.requests if self.requests else 0.0
+        buckets = self.histogram.as_dict()
         return {
             "requests": self.requests,
             "errors": self.errors,
             "total_ms": round(self.total_ms, 3),
             "mean_ms": round(mean, 3),
             "max_ms": round(self.max_ms, 3),
+            "p50_ms": telemetry.quantile_from_buckets(buckets, 0.50),
+            "p95_ms": telemetry.quantile_from_buckets(buckets, 0.95),
+            "p99_ms": telemetry.quantile_from_buckets(buckets, 0.99),
+            "buckets": buckets,
         }
 
 
@@ -221,6 +241,80 @@ class WorkerBoard:
         return report
 
 
+class TraceSpool:
+    """Filesystem spool of finished traces shared by a worker fleet.
+
+    The worker that serves a request owns its trace; spooling the
+    finished trace (write-then-rename, one JSON file per trace) next
+    to the :class:`WorkerBoard` lets *any* worker answer ``GET
+    /trace?id=…`` for it — same filesystem-only coordination as the
+    board and the disk artifact tier. Files are named by a hash of the
+    trace id (ids echo client-supplied ``X-Request-Id`` values, which
+    must not become path components), and the spool is pruned to the
+    newest :data:`MAX_FILES` periodically.
+    """
+
+    MAX_FILES = 256
+    _PRUNE_EVERY = 32
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._writes = 0
+
+    def path_for(self, trace_id: str) -> Path:
+        digest = hashlib.sha256(trace_id.encode()).hexdigest()[:32]
+        return self.root / f"{digest}.json"
+
+    def write(self, trace: Mapping[str, Any]) -> None:
+        trace_id = str(trace.get("trace_id", ""))
+        if not trace_id:
+            return
+        atomic_write(self.path_for(trace_id),
+                     json.dumps(trace).encode(), tmp_dir=self.root)
+        with self._lock:
+            self._writes += 1
+            prune = self._writes % self._PRUNE_EVERY == 0
+        if prune:
+            self._prune()
+
+    def read(self, trace_id: str) -> dict | None:
+        try:
+            return json.loads(self.path_for(trace_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None                       # absent, mid-replace, torn
+
+    def list(self, limit: int = 20) -> list[dict]:
+        """The newest spooled traces (by file mtime), newest first."""
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        entries.sort(reverse=True)
+        traces = []
+        for _, path in entries[:max(0, limit)]:
+            try:
+                traces.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return traces
+
+    def _prune(self) -> None:
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        entries.sort(reverse=True)
+        for _, path in entries[self.MAX_FILES:]:
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+
 def _aggregate_metrics(records: list[dict]) -> dict:
     """Fold per-worker ``/metrics`` snapshots into fleet totals.
 
@@ -236,13 +330,13 @@ def _aggregate_metrics(records: list[dict]) -> dict:
              "compile_units": {"emitted": 0, "reused": 0},
              "resolved_cache": {"entries": 0, "reused": 0}}
     resilience: dict[str, Any] = {"deadline_exceeded": 0, "shed": 0,
-                                  "faults": None}
+                                  "slow": 0, "faults": None}
     disk: dict | None = None
     freshest = -1.0
     for record in records:
         metrics = record.get("metrics", {})
         row = metrics.get("resilience", {})
-        for key in ("deadline_exceeded", "shed"):
+        for key in ("deadline_exceeded", "shed", "slow"):
             resilience[key] += row.get(key, 0)
         faults = row.get("faults")
         if faults:
@@ -256,11 +350,18 @@ def _aggregate_metrics(records: list[dict]) -> dict:
             resilience["faults"] = merged
         for path, row in metrics.get("endpoints", {}).items():
             into = endpoints.setdefault(path, {
-                "requests": 0, "errors": 0, "total_ms": 0.0, "max_ms": 0.0})
+                "requests": 0, "errors": 0, "total_ms": 0.0,
+                "max_ms": 0.0, "buckets": {}})
             into["requests"] += row.get("requests", 0)
             into["errors"] += row.get("errors", 0)
             into["total_ms"] += row.get("total_ms", 0.0)
             into["max_ms"] = max(into["max_ms"], row.get("max_ms", 0.0))
+            # Histogram buckets share fixed bounds fleet-wide, so the
+            # fold is plain addition — which is the whole point: the
+            # aggregate's percentiles below are *true* percentiles of
+            # the union of requests, not an average of averages.
+            into["buckets"] = telemetry.merge_bucket_counts(
+                (into["buckets"], row.get("buckets", {})))
         row = metrics.get("cache", {})
         for key in ("capacity", "entries", "hits", "misses", "evictions"):
             cache[key] += row.get(key, 0)
@@ -292,6 +393,10 @@ def _aggregate_metrics(records: list[dict]) -> dict:
             if requests else 0.0
         row["total_ms"] = round(row["total_ms"], 3)
         row["max_ms"] = round(row["max_ms"], 3)
+        for quantile, key in ((0.50, "p50_ms"), (0.95, "p95_ms"),
+                              (0.99, "p99_ms")):
+            row[key] = telemetry.quantile_from_buckets(row["buckets"],
+                                                       quantile)
     total = cache["hits"] + cache["misses"]
     cache["hit_rate"] = round(cache["hits"] / total, 4) if total else 0.0
     cache["stages"] = dict(sorted(cache["stages"].items()))
@@ -314,17 +419,60 @@ class DahliaService:
                  capacity: int = 512, dse_workers: int | None = 1,
                  cache_dir: str | Path | None = None,
                  cache_bytes: int = DEFAULT_DISK_BYTES,
-                 board: WorkerBoard | None = None) -> None:
+                 board: WorkerBoard | None = None,
+                 trace_sample: float | None = None,
+                 slow_request_ms: float | None = None,
+                 trace_dir: str | Path | None = None) -> None:
         self.pipeline = pipeline or CompilerPipeline(
             capacity=capacity, disk=cache_dir, disk_bytes=cache_bytes)
         self.dse_workers = max(1, dse_workers or 1)
         self.inflight_limit: int | None = None   # set by the server
         self.limits: dict | None = None          # set by the server
         self.board = board
+        #: ``None`` = telemetry's process default ($REPRO_TRACE_SAMPLE
+        #: or 1.0); otherwise a 0.0–1.0 head-sampling rate for request
+        #: traces.
+        self.trace_sample = trace_sample
+        #: Requests at or above this many milliseconds are logged and
+        #: counted (``None`` = slow-request log off).
+        self.slow_request_ms = slow_request_ms
+        #: Fleet trace spool: lets any worker serve /trace lookups for
+        #: traces another worker finished.
+        self.spool = TraceSpool(trace_dir) if trace_dir else None
         self._metrics: dict[str, EndpointMetrics] = {}
         self._metrics_lock = threading.Lock()
-        self._resilience = {"deadline_exceeded": 0, "shed": 0}
+        self._resilience = {"deadline_exceeded": 0, "shed": 0, "slow": 0}
         self._started = time.perf_counter()
+
+    # -- trace access (ring buffer + fleet spool) ---------------------------
+
+    def export_trace(self, trace: dict) -> None:
+        """Telemetry exporter hook: spool finished traces fleet-wide.
+
+        Registered by the server for its lifetime; the spool write
+        happens at root-span exit *inside* ``handle``, so a trace is
+        visible to every worker before its response reaches the
+        client.
+        """
+        if self.spool is not None:
+            self.spool.write(trace)
+
+    def find_trace(self, trace_id: str) -> dict | None:
+        trace = telemetry.find_trace(trace_id)
+        if trace is None and self.spool is not None:
+            trace = self.spool.read(trace_id)
+        return trace
+
+    def recent_traces(self, limit: int) -> list[dict]:
+        """Newest finished traces: local ring ∪ fleet spool, deduped."""
+        traces = {t.get("trace_id"): t
+                  for t in (self.spool.list(limit) if self.spool else [])}
+        for trace in telemetry.recent_traces(limit):
+            traces.setdefault(trace.get("trace_id"), trace)
+        ordered = sorted(traces.values(),
+                         key=lambda t: float(t.get("start_s", 0.0)),
+                         reverse=True)
+        return ordered[:max(0, limit)]
 
     # -- resilience accounting ----------------------------------------------
 
@@ -459,42 +607,110 @@ class DahliaService:
                        for name, spec in STAGES.items()},
         }
 
+    def _respond_trace(self, params: Mapping[str, list[str]],
+                       ) -> tuple[int, Any]:
+        """``GET /trace``: recent trace listing, or lookup by id.
+
+        ``?id=<trace_id>`` returns the full trace JSON (``404`` when
+        neither the local ring nor the fleet spool has it);
+        ``&format=chrome`` returns the Chrome trace-event export
+        instead (save it and load in Perfetto). Without ``id``,
+        ``?limit=N`` (default 20) bounds the listing.
+        """
+        trace_id = (params.get("id") or [""])[0]
+        render = (params.get("format") or [""])[0]
+        if render not in ("", "json", "chrome"):
+            raise BadRequest(f"unknown trace format {render!r} "
+                             f"(choose json or chrome)")
+        try:
+            limit = int((params.get("limit") or ["20"])[0])
+        except ValueError:
+            raise BadRequest("malformed limit (expected an integer)") \
+                from None
+        if trace_id:
+            trace = self.find_trace(trace_id)
+            if trace is None:
+                return 404, {"ok": False,
+                             "error": f"no trace {trace_id!r} (it may "
+                                      f"have aged out, or the request "
+                                      f"was not sampled)"}
+            if render == "chrome":
+                return 200, telemetry.chrome_trace(trace)
+            return 200, {"ok": True, "trace": trace}
+        traces = self.recent_traces(limit)
+        return 200, {
+            "ok": True,
+            "count": len(traces),
+            "traces": [telemetry.trace_summary(t) for t in traces],
+        }
+
     # -- transport-facing dispatch -----------------------------------------
 
-    def handle(self, method: str, path: str, body: bytes) -> tuple[int, Any]:
+    def handle(self, method: str, path: str, body: bytes,
+               request_id: str | None = None) -> tuple[int, Any]:
         """Dispatch one request; returns ``(status, payload)``.
 
         Never raises: client mistakes become 4xx payloads, unexpected
         failures 500s, and every outcome is recorded in the per-path
-        metrics table.
+        metrics table (histogram included).
+
+        ``request_id`` — the ``X-Request-Id`` the transport read (or
+        minted) — becomes the trace id: POSTs run under a root span
+        (subject to ``trace_sample``), so a client retrying with one
+        id correlates every attempt to the same trace, and the finished
+        trace is exported (ring + fleet spool) *before* the response
+        is returned. GET probes are never traced — a heartbeat poll
+        must not churn the trace ring.
         """
         started = time.perf_counter()
-        try:
-            fault_point("server.handle")     # chaos site: handler latency
-            status, payload = self._dispatch(method, path, body)
-        except BadRequest as error:
-            status, payload = 400, {"ok": False, "error": str(error)}
-        except DeadlineExceeded as error:
-            # Cooperative cancellation fired inside a pipeline stage:
-            # the request's budget ran out, so degrade with a bounded,
-            # structured answer instead of finishing the work late.
-            self.record_deadline(path)
-            status, payload = 503, {
-                "ok": False, "error": str(error),
-                "deadline_exceeded": True, "budget_s": error.budget_s}
-        except Exception as error:          # noqa: BLE001 — service boundary
-            status, payload = 500, {
-                "ok": False,
-                "error": f"{type(error).__name__}: {error}"}
+        path, _, query = path.partition("?")
+        params = urllib.parse.parse_qs(query)
+        request_id = request_id or telemetry.new_id()
+        scope = (telemetry.root_span(f"{method} {path}",
+                                     trace_id=request_id,
+                                     sample_rate=self.trace_sample)
+                 if method == "POST"
+                 else contextlib.nullcontext(telemetry.NOOP_SPAN))
+        with scope as root:
+            try:
+                fault_point("server.handle")  # chaos site: handler latency
+                status, payload = self._dispatch(method, path, params,
+                                                 body)
+            except BadRequest as error:
+                status, payload = 400, {"ok": False, "error": str(error)}
+            except DeadlineExceeded as error:
+                # Cooperative cancellation fired inside a pipeline
+                # stage: the request's budget ran out, so degrade with
+                # a bounded, structured answer instead of finishing
+                # the work late.
+                self.record_deadline(path)
+                status, payload = 503, {
+                    "ok": False, "error": str(error),
+                    "deadline_exceeded": True, "budget_s": error.budget_s}
+            except Exception as error:      # noqa: BLE001 — service boundary
+                status, payload = 500, {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}"}
+            root.set_attr("status", status)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         metric_key = path if path in KNOWN_PATHS else "(unknown)"
+        slow = (self.slow_request_ms is not None
+                and elapsed_ms >= self.slow_request_ms)
         with self._metrics_lock:
             metric = self._metrics.setdefault(metric_key,
                                               EndpointMetrics())
             metric.record(elapsed_ms, error=status >= 400)
+            if slow:
+                self._resilience["slow"] += 1
+        if slow:
+            logger.warning(
+                "slow request: %s %s took %.1f ms (threshold %g ms) "
+                "[request %s]", method, path, elapsed_ms,
+                self.slow_request_ms, request_id)
         return status, payload
 
     def _dispatch(self, method: str, path: str,
+                  params: Mapping[str, list[str]],
                   body: bytes) -> tuple[int, Any]:
         if method == "GET":
             if path == "/healthz":
@@ -506,6 +722,8 @@ class DahliaService:
                 return 200, self.metrics()
             if path == "/stages":
                 return 200, self.stages()
+            if path == "/trace":
+                return self._respond_trace(params)
             return 404, {"ok": False, "error": f"no such endpoint {path!r}"}
         if method != "POST":
             return 405, {"ok": False,
@@ -632,11 +850,18 @@ class ServiceServer:
     async def start(self) -> None:
         self.service.inflight_limit = self.max_inflight
         faults = fault_stats()
+        sample = self.service.trace_sample
         self.service.limits = {
             "request_timeout_s": self.request_timeout,
             "queue_depth": self.queue_depth,
             "fault_plan": faults["plan"] if faults else None,
+            "trace_sample": (telemetry.default_sample_rate()
+                             if sample is None else sample),
+            "slow_request_ms": self.service.slow_request_ms,
         }
+        # Spool finished traces for the fleet for this server's
+        # lifetime (no-op for unspooled services).
+        telemetry.add_exporter(self.service.export_trace)
         self._executor = ThreadPoolExecutor(
             max_workers=self._threads, thread_name_prefix="dahlia-svc")
         self._semaphore = asyncio.Semaphore(self.max_inflight)
@@ -659,6 +884,7 @@ class ServiceServer:
             self.service.publish_stats()
 
     async def stop(self) -> None:
+        telemetry.remove_exporter(self.service.export_trace)
         if self._heartbeat is not None:
             self._heartbeat.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -687,14 +913,15 @@ class ServiceServer:
         return self.request_timeout * factor
 
     def _handle_with_deadline(self, budget: float, method: str,
-                              path: str, body: bytes) -> tuple[int, Any]:
+                              path: str, body: bytes,
+                              request_id: str | None) -> tuple[int, Any]:
         """Executor entry: arm the cooperative token, then dispatch."""
         with deadline_scope(Deadline(budget)):
-            return self.service.handle(method, path, body)
+            return self.service.handle(method, path, body, request_id)
 
     async def _dispatch_post(self, loop: asyncio.AbstractEventLoop,
-                             method: str, path: str,
-                             body: bytes) -> tuple[int, Any]:
+                             method: str, path: str, body: bytes,
+                             request_id: str | None) -> tuple[int, Any]:
         """Run one POST on the executor, under the route's budget.
 
         Cooperative cancellation normally answers from inside the
@@ -709,10 +936,11 @@ class ServiceServer:
         budget = self._route_budget(path)
         if budget is None:
             return await loop.run_in_executor(
-                self._executor, self.service.handle, method, path, body)
+                self._executor, self.service.handle, method, path, body,
+                request_id)
         future = loop.run_in_executor(
             self._executor, self._handle_with_deadline,
-            budget, method, path, body)
+            budget, method, path, body, request_id)
         done, _ = await asyncio.wait({future},
                                      timeout=budget + DEADLINE_GRACE_S)
         if done:
@@ -750,9 +978,16 @@ class ServiceServer:
                 method, path, headers, body = request
                 keep_alive = headers.get("connection",
                                          "").lower() != "close"
+                # The client's correlation id (minted here when the
+                # client sent none) is the trace id for POSTs and is
+                # echoed back on every response, so client-side logs
+                # join server-side traces.
+                request_id = (headers.get("x-request-id", "").strip()
+                              or telemetry.new_id())
                 loop = asyncio.get_running_loop()
                 assert self._semaphore and self._executor
-                response_headers: dict[str, str] | None = None
+                response_headers: dict[str, str] = {
+                    "X-Request-Id": request_id}
                 if method == "GET":
                     # Probes (/healthz, /metrics, /stages) bypass the
                     # semaphore so they answer even when every slot is
@@ -762,10 +997,10 @@ class ServiceServer:
                     if self.service.board is not None:
                         status, payload = await loop.run_in_executor(
                             self._executor, self.service.handle,
-                            method, path, body)
+                            method, path, body, request_id)
                     else:
                         status, payload = self.service.handle(
-                            method, path, body)
+                            method, path, body, request_id)
                 elif self._should_shed():
                     # Admission control: every slot is busy and the
                     # wait queue is at its watermark — shed with 429
@@ -779,8 +1014,8 @@ class ServiceServer:
                         "shed": True,
                         "retry_after_s": RETRY_AFTER_S,
                     }
-                    response_headers = {
-                        "Retry-After": str(max(1, round(RETRY_AFTER_S)))}
+                    response_headers["Retry-After"] = str(
+                        max(1, round(RETRY_AFTER_S)))
                 else:
                     self._queued += 1
                     try:
@@ -789,7 +1024,7 @@ class ServiceServer:
                         self._queued -= 1
                     try:
                         status, payload = await self._dispatch_post(
-                            loop, method, path, body)
+                            loop, method, path, body, request_id)
                     finally:
                         self._semaphore.release()
                     if self.service.board is not None:
@@ -954,6 +1189,8 @@ class _WorkerConfig:
     request_timeout: float | None = None
     queue_depth: int | None = None
     fault_plan: str | None = None
+    trace_sample: float | None = None
+    slow_request_ms: float | None = None
 
 
 def _bind_socket(host: str, port: int, *, reuse_port: bool,
@@ -995,7 +1232,9 @@ def _worker_main(config: _WorkerConfig,
     service = DahliaService(
         capacity=config.capacity, dse_workers=config.dse_workers,
         cache_dir=config.cache_dir, cache_bytes=config.cache_bytes,
-        board=board)
+        board=board, trace_sample=config.trace_sample,
+        slow_request_ms=config.slow_request_ms,
+        trace_dir=Path(config.board_dir) / "traces")
 
     async def run() -> None:
         sock = listen_sock
@@ -1024,7 +1263,9 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
                    cache_bytes: int,
                    request_timeout: float | None = None,
                    queue_depth: int | None = None,
-                   fault_plan: str | None = None) -> None:
+                   fault_plan: str | None = None,
+                   trace_sample: float | None = None,
+                   slow_request_ms: float | None = None) -> None:
     """Supervise a fleet of worker processes sharing one port."""
     import multiprocessing
     import signal
@@ -1044,7 +1285,9 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
                              cache_dir=cache_dir, cache_bytes=cache_bytes,
                              request_timeout=request_timeout,
                              queue_depth=queue_depth,
-                             fault_plan=fault_plan)
+                             fault_plan=fault_plan,
+                             trace_sample=trace_sample,
+                             slow_request_ms=slow_request_ms)
 
     if reuse_port:
         # Bind (without listening) to resolve the port and hold it for
@@ -1074,7 +1317,8 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
             cache_dir=cache_dir, cache_bytes=cache_bytes,
             board_dir=str(board_dir), reuse_port=reuse_port,
             request_timeout=request_timeout, queue_depth=queue_depth,
-            fault_plan=fault_plan)
+            fault_plan=fault_plan, trace_sample=trace_sample,
+            slow_request_ms=slow_request_ms)
         process = context.Process(target=_worker_main,
                                   args=(config, listen_sock),
                                   name=f"dahlia-worker-{index}")
@@ -1141,13 +1385,17 @@ def _serve_single(host: str, port: int, *, capacity: int,
                   cache_dir: str | None, cache_bytes: int,
                   request_timeout: float | None = None,
                   queue_depth: int | None = None,
-                  fault_plan: str | None = None) -> None:
+                  fault_plan: str | None = None,
+                  trace_sample: float | None = None,
+                  slow_request_ms: float | None = None) -> None:
     if fault_plan:
         from ..util.faults import FaultPlan, install_plan
 
         install_plan(FaultPlan.from_file(fault_plan))
     service = DahliaService(capacity=capacity, dse_workers=dse_workers,
-                            cache_dir=cache_dir, cache_bytes=cache_bytes)
+                            cache_dir=cache_dir, cache_bytes=cache_bytes,
+                            trace_sample=trace_sample,
+                            slow_request_ms=slow_request_ms)
 
     async def main() -> None:
         server = ServiceServer(service, host, port,
@@ -1178,7 +1426,9 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
           cache_bytes: int = DEFAULT_DISK_BYTES,
           request_timeout: float | None = None,
           queue_depth: int | None = None,
-          fault_plan: str | None = None) -> None:
+          fault_plan: str | None = None,
+          trace_sample: float | None = None,
+          slow_request_ms: float | None = None) -> None:
     """Blocking entry point behind ``dahlia-py serve``.
 
     ``workers > 1`` preforks that many serving processes sharing the
@@ -1188,6 +1438,9 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
     per-request deadline budget, ``queue_depth`` bounds the accept
     queue (excess requests are shed with 429), and ``fault_plan``
     names a JSON fault plan installed in every serving process.
+    ``trace_sample`` sets the request-trace sampling rate (default:
+    ``$REPRO_TRACE_SAMPLE`` or 1.0) and ``slow_request_ms`` arms the
+    slow-request log — see docs/observability.md.
     """
     if cache_dir is None:
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
@@ -1198,11 +1451,15 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
                       max_inflight=max_inflight, dse_workers=dse_workers,
                       cache_dir=cache_dir, cache_bytes=cache_bytes,
                       request_timeout=request_timeout,
-                      queue_depth=queue_depth, fault_plan=fault_plan)
+                      queue_depth=queue_depth, fault_plan=fault_plan,
+                      trace_sample=trace_sample,
+                      slow_request_ms=slow_request_ms)
     else:
         _serve_prefork(host, port, capacity=capacity,
                        max_inflight=max_inflight, dse_workers=dse_workers,
                        workers=workers, cache_dir=cache_dir,
                        cache_bytes=cache_bytes,
                        request_timeout=request_timeout,
-                       queue_depth=queue_depth, fault_plan=fault_plan)
+                       queue_depth=queue_depth, fault_plan=fault_plan,
+                       trace_sample=trace_sample,
+                       slow_request_ms=slow_request_ms)

@@ -19,6 +19,8 @@ import threading
 import time
 from typing import Iterator
 
+from . import telemetry
+
 
 class DeadlineExceeded(Exception):
     """The ambient request budget ran out mid-computation."""
@@ -70,6 +72,8 @@ def check_deadline() -> None:
     """
     deadline = current_deadline()
     if deadline is not None and deadline.expired():
+        telemetry.add_event("deadline_exceeded",
+                            budget_s=deadline.budget_s)
         raise DeadlineExceeded(deadline.budget_s)
 
 

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from . import telemetry
 from .deadline import interruptible_sleep
 
 #: Environment variable naming a plan file (or carrying inline JSON).
@@ -180,6 +181,9 @@ class FaultPlan:
                     and state.rng.random() >= spec.probability:
                 return
             state.fired += 1
+        telemetry.add_event(
+            "fault", site=site, plan=self.name,
+            latency_s=spec.latency_s, error=spec.error, kill=spec.kill)
         if spec.latency_s > 0:
             interruptible_sleep(spec.latency_s)
         if spec.error is not None:

@@ -1,0 +1,645 @@
+"""Distributed tracing and mergeable latency histograms (stdlib only).
+
+This is the observability core the whole stack shares — the same
+stance the paper takes on hardware cost, applied to the service's own
+latency: every response can carry *evidence* of where its time went.
+
+**Spans.** A trace is a tree of spans — ``(trace_id, span_id,
+parent_id, name, start, duration, attrs, events)`` — held in a
+thread-local context. :func:`root_span` opens a trace (subject to
+sampling); :func:`span` opens a child of whatever span is current on
+this thread and is a **no-op** when no trace is active, so
+instrumented hot paths cost one thread-local read when tracing is off
+or the request was not sampled. Finished traces land in a bounded
+in-process ring buffer (:func:`recent_traces` / :func:`find_trace`)
+and are handed to registered exporters (the server spools them to
+disk for fleet-wide ``/trace`` lookup).
+
+**Sampling** is deterministic in the trace id: the same id makes the
+same keep/drop decision in every process, so a client retrying with
+one ``X-Request-Id`` either traces all attempts or none, and a worker
+fleet agrees without coordination. The rate comes from
+:func:`set_sample_rate`, the ``REPRO_TRACE_SAMPLE`` environment
+variable, or per-call override.
+
+**Cross-process propagation** rides two mechanisms:
+
+* the HTTP header ``X-Request-Id`` (the trace id) into prefork
+  service workers — each request lands on one worker, which roots the
+  trace there;
+* the ``REPRO_TRACE_CONTEXT`` environment variable into DSE sweep
+  workers — the same inheritance mechanism ``util/faults.py`` uses
+  for ``REPRO_FAULT_PLAN``, valid over both ``fork`` and ``spawn``.
+  :func:`propagate_env` snapshots the current span into the variable
+  before the fleet spawns; a worker calls :func:`env_context` +
+  :func:`adopted` so its spans parent onto the spawning span, then
+  ships the finished records back over its result pipe, where
+  :func:`attach_spans` stitches them into the live trace.
+
+**Exports.** :func:`chrome_trace` renders a finished trace in Chrome
+trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto
+/ ``chrome://tracing``; the JSON form is the trace dict itself.
+
+**Histograms.** :class:`LatencyHistogram` buckets latencies into
+fixed log-spaced bounds (:data:`BUCKET_BOUNDS_MS`), so per-worker
+snapshots merge by plain addition (:func:`merge_bucket_counts`) and
+fleet ``/metrics`` can report true p50/p95/p99 per route
+(:func:`quantile_from_buckets`) instead of a mean of means.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import json
+import os
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+#: Environment variable carrying a JSON trace context into child
+#: processes (DSE sweep workers) over both ``fork`` and ``spawn``.
+TRACE_ENV = "REPRO_TRACE_CONTEXT"
+
+#: Environment variable setting the default sampling rate (0.0–1.0).
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+
+#: Finished traces kept in the in-process ring buffer.
+DEFAULT_RING_CAPACITY = 256
+
+#: Spans kept per trace; beyond this, spans are dropped and counted
+#: (a 10,000-chunk sweep must not balloon one trace without bound).
+MAX_SPANS_PER_TRACE = 2048
+
+#: Events kept per span (same rationale).
+MAX_EVENTS_PER_SPAN = 128
+
+
+def new_id() -> str:
+    """A fresh 16-hex-digit id (trace or span)."""
+    return os.urandom(8).hex()
+
+
+def sample_decision(trace_id: str, rate: float) -> bool:
+    """Deterministic keep/drop for ``trace_id`` at ``rate``.
+
+    Hash-based, so every process (and every retry reusing the same
+    ``X-Request-Id``) reaches the same decision without coordination.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return (zlib.crc32(trace_id.encode()) & 0xFFFFFFFF) < rate * 2 ** 32
+
+
+_sample_rate: float | None = None
+_sample_lock = threading.Lock()
+
+
+def default_sample_rate() -> float:
+    """The process default rate: explicit set, else env, else 1.0."""
+    global _sample_rate
+    if _sample_rate is not None:
+        return _sample_rate
+    with _sample_lock:
+        if _sample_rate is None:
+            raw = os.environ.get(SAMPLE_ENV, "").strip()
+            try:
+                rate = float(raw) if raw else 1.0
+            except ValueError:
+                rate = 1.0
+            _sample_rate = min(1.0, max(0.0, rate))
+    return _sample_rate
+
+
+def set_sample_rate(rate: float | None) -> None:
+    """Set (or with ``None`` reset to env/default) the process rate."""
+    global _sample_rate
+    with _sample_lock:
+        _sample_rate = (None if rate is None
+                        else min(1.0, max(0.0, float(rate))))
+
+
+# ---------------------------------------------------------------------------
+# Spans and the thread-local trace context.
+# ---------------------------------------------------------------------------
+
+class _TraceBuilder:
+    """Accumulates finished span records for one trace on one thread.
+
+    ``collect_only`` marks an *adopted* (remote) context: finished
+    spans are retained for the owner to drain and ship home instead of
+    being published to the ring buffer.
+    """
+
+    __slots__ = ("trace_id", "records", "root_id", "root_name",
+                 "start_s", "dropped", "collect_only", "_extra")
+
+    def __init__(self, trace_id: str, collect_only: bool = False) -> None:
+        self.trace_id = trace_id
+        self.records: list[dict] = []
+        self.root_id: str | None = None
+        self.root_name = ""
+        self.start_s = time.time()
+        self.dropped = 0
+        self.collect_only = collect_only
+        self._extra: list[dict] = []      # spans attached from workers
+
+    def add(self, record: dict) -> None:
+        if len(self.records) >= MAX_SPANS_PER_TRACE:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def attach(self, records: Iterable[dict]) -> None:
+        for record in records:
+            if len(self._extra) >= MAX_SPANS_PER_TRACE:
+                self.dropped += 1
+                continue
+            self._extra.append(dict(record))
+
+    def finished(self, duration_s: float) -> dict:
+        spans = self.records + self._extra
+        return {
+            "trace_id": self.trace_id,
+            "root": self.root_id,
+            "name": self.root_name,
+            "start_s": self.start_s,
+            "duration_s": round(duration_s, 6),
+            "spans": spans,
+            "dropped": self.dropped,
+        }
+
+
+class Span:
+    """One live span. Use :func:`span` / :func:`root_span` to create."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start_s",
+                 "_t0", "attrs", "events")
+
+    def __init__(self, trace_id: str, parent_id: str | None,
+                 name: str, attrs: dict | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = new_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = time.time()
+        self._t0 = time.perf_counter()
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.events: list[dict] = []
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            return
+        event: dict = {"name": name, "ts_s": time.time()}
+        if attrs:
+            event["attrs"] = attrs
+        self.events.append(event)
+
+    def record(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": round(time.perf_counter() - self._t0, 6),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the cost of tracing-off is this object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        return None
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+_tls = threading.local()
+
+
+def _current_builder() -> _TraceBuilder | None:
+    return getattr(_tls, "trace", None)
+
+
+def current_span() -> Span | None:
+    """The innermost live span on this thread, if any."""
+    return getattr(_tls, "span", None)
+
+
+def current_trace_id() -> str | None:
+    builder = _current_builder()
+    return builder.trace_id if builder is not None else None
+
+
+class _LiveSpan:
+    """Context manager pairing a :class:`Span` with stack maintenance."""
+
+    __slots__ = ("span", "_previous")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self._previous: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._previous = current_span()
+        _tls.span = self.span
+        return self.span
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None,
+                 tb: object) -> None:
+        _tls.span = self._previous
+        if exc is not None and "error" not in self.span.attrs:
+            self.span.set_attr("error", f"{type(exc).__name__}: {exc}")
+        builder = _current_builder()
+        if builder is not None:
+            builder.add(self.span.record())
+
+
+def span(name: str, **attrs: Any):
+    """A child span of the current span; a no-op with no active trace."""
+    builder = _current_builder()
+    if builder is None:
+        return NOOP_SPAN
+    parent = current_span()
+    return _LiveSpan(Span(builder.trace_id,
+                          parent.span_id if parent is not None else None,
+                          name, attrs or None))
+
+
+@contextlib.contextmanager
+def root_span(name: str, *, trace_id: str | None = None,
+              sample_rate: float | None = None,
+              **attrs: Any) -> Iterator[Span | _NoopSpan]:
+    """Open a trace rooted at one span (subject to sampling).
+
+    Nested inside an already-active trace this degrades to a plain
+    child span, so instrumented layers compose (a traced benchmark
+    driving a traced pipeline produces one trace, not two). When the
+    sampling decision is *drop*, yields the shared no-op span and
+    records nothing.
+    """
+    if _current_builder() is not None:
+        live = span(name, **attrs)
+        with live as inner:
+            yield inner
+        return
+    tid = trace_id or new_id()
+    rate = (default_sample_rate() if sample_rate is None
+            else min(1.0, max(0.0, float(sample_rate))))
+    if not sample_decision(tid, rate):
+        yield NOOP_SPAN
+        return
+    builder = _TraceBuilder(tid)
+    _tls.trace = builder
+    root = Span(tid, None, name, attrs or None)
+    builder.root_id = root.span_id
+    builder.root_name = name
+    builder.start_s = root.start_s
+    live = _LiveSpan(root)
+    try:
+        with live as inner:
+            yield inner
+    finally:
+        _tls.trace = None
+        _publish(builder.finished(time.perf_counter() - root._t0))
+
+
+def set_attr(key: str, value: Any) -> None:
+    """Set an attribute on the current span (no-op untraced)."""
+    current = current_span()
+    if current is not None:
+        current.set_attr(key, value)
+
+
+def add_event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time event on the current span (no-op untraced)."""
+    current = current_span()
+    if current is not None:
+        current.add_event(name, **attrs)
+
+
+def attach_spans(records: Iterable[dict]) -> None:
+    """Stitch foreign span records (a worker's) into the active trace."""
+    builder = _current_builder()
+    if builder is not None:
+        builder.attach(records)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process propagation (environment inheritance, like fault plans).
+# ---------------------------------------------------------------------------
+
+def propagation_context() -> dict | None:
+    """``{"trace_id", "span_id"}`` for the current span, if traced."""
+    current = current_span()
+    if current is None:
+        return None
+    return {"trace_id": current.trace_id, "span_id": current.span_id}
+
+
+@contextlib.contextmanager
+def propagate_env() -> Iterator[None]:
+    """Expose the current span via ``$REPRO_TRACE_CONTEXT`` for children.
+
+    Processes spawned inside the block (over ``fork`` or ``spawn``)
+    inherit the variable; the previous value is restored on exit. A
+    no-op when nothing is being traced.
+    """
+    context = propagation_context()
+    if context is None:
+        yield
+        return
+    previous = os.environ.get(TRACE_ENV)
+    os.environ[TRACE_ENV] = json.dumps(context)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = previous
+
+
+def env_context() -> dict | None:
+    """The inherited trace context, or ``None`` outside any trace."""
+    raw = os.environ.get(TRACE_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        context = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(context, dict) or "trace_id" not in context:
+        return None
+    return context
+
+
+@contextlib.contextmanager
+def adopted(context: Mapping[str, Any] | None,
+            ) -> Iterator[Callable[[], list[dict]]]:
+    """Adopt a remote trace context on this thread (worker side).
+
+    Spans opened inside the block carry the remote trace id and parent
+    onto the spawning span. Nothing is published locally; the yielded
+    callable drains the finished records, which the worker ships back
+    over its result channel for :func:`attach_spans` to stitch in.
+    With ``context=None`` the block is a no-op and the callable
+    returns ``[]`` — callers need no branches.
+    """
+    if context is None:
+        yield lambda: []
+        return
+    builder = _TraceBuilder(str(context["trace_id"]), collect_only=True)
+    parent = Span(builder.trace_id, None, "(remote-parent)")
+    parent.span_id = str(context.get("span_id") or "")
+    previous_builder = _current_builder()
+    previous_span = current_span()
+    _tls.trace = builder
+    _tls.span = parent if parent.span_id else None
+    try:
+        yield lambda: list(builder.records)
+    finally:
+        _tls.trace = previous_builder
+        _tls.span = previous_span
+
+
+# ---------------------------------------------------------------------------
+# The finished-trace ring buffer and exporters.
+# ---------------------------------------------------------------------------
+
+_ring: deque = deque(maxlen=DEFAULT_RING_CAPACITY)
+_ring_lock = threading.Lock()
+_exporters: list[Callable[[dict], None]] = []
+
+
+def _publish(trace: dict) -> None:
+    with _ring_lock:
+        _ring.append(trace)
+        exporters = list(_exporters)
+    for exporter in exporters:
+        try:
+            exporter(trace)
+        except Exception:                 # noqa: BLE001 — observability
+            pass                          # must never break serving
+
+
+def add_exporter(exporter: Callable[[dict], None]) -> None:
+    """Register a callback invoked with every finished trace dict."""
+    with _ring_lock:
+        if exporter not in _exporters:
+            _exporters.append(exporter)
+
+
+def remove_exporter(exporter: Callable[[dict], None]) -> None:
+    with _ring_lock:
+        with contextlib.suppress(ValueError):
+            _exporters.remove(exporter)
+
+
+def recent_traces(limit: int = 20) -> list[dict]:
+    """The most recently finished traces, newest first."""
+    with _ring_lock:
+        traces = list(_ring)
+    return traces[::-1][:max(0, limit)]
+
+
+def find_trace(trace_id: str) -> dict | None:
+    with _ring_lock:
+        for trace in reversed(_ring):
+            if trace.get("trace_id") == trace_id:
+                return trace
+    return None
+
+
+def clear_traces() -> None:
+    with _ring_lock:
+        _ring.clear()
+
+
+def set_ring_capacity(capacity: int) -> None:
+    global _ring
+    with _ring_lock:
+        _ring = deque(_ring, maxlen=max(1, capacity))
+
+
+def trace_summary(trace: dict) -> dict:
+    """The compact row ``/trace`` listings and ``cli trace`` print."""
+    return {
+        "trace_id": trace.get("trace_id"),
+        "name": trace.get("name"),
+        "start_s": trace.get("start_s"),
+        "duration_ms": round(
+            float(trace.get("duration_s", 0.0)) * 1000.0, 3),
+        "spans": len(trace.get("spans", [])),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing).
+# ---------------------------------------------------------------------------
+
+def chrome_trace(trace: dict) -> dict:
+    """Render a finished trace in Chrome trace-event format.
+
+    Complete spans become ``"ph": "X"`` events (timestamps in
+    microseconds relative to the trace start, so cross-process spans
+    line up on one timeline), span events become ``"ph": "i"``
+    instants, and each participating process gets a ``process_name``
+    metadata record. The schema is pinned by a golden test — loaders
+    (Perfetto) parse this shape, so it must not drift silently.
+    """
+    base_s = float(trace.get("start_s", 0.0))
+    events: list[dict] = []
+    pids: dict[int, None] = {}
+    for record in trace.get("spans", []):
+        pid = int(record.get("pid", 0))
+        tid = int(record.get("tid", 0))
+        pids.setdefault(pid)
+        ts_us = max(0.0, (float(record["start_s"]) - base_s) * 1e6)
+        events.append({
+            "name": record["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(ts_us, 3),
+            "dur": round(float(record["duration_s"]) * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": dict(record.get("attrs") or {}),
+        })
+        for event in record.get("events", []):
+            events.append({
+                "name": event["name"],
+                "cat": "repro",
+                "ph": "i",
+                "ts": round(max(0.0, (float(event["ts_s"]) - base_s)
+                                * 1e6), 3),
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "args": dict(event.get("attrs") or {}),
+            })
+    for pid in sorted(pids):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": f"repro pid {pid}"},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace.get("trace_id"),
+            "root": trace.get("root"),
+            "name": trace.get("name"),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Log-bucketed, mergeable latency histograms.
+# ---------------------------------------------------------------------------
+
+#: Geometric bucket upper bounds in milliseconds: 0.05 ms doubling up
+#: to ~7 minutes (covers warm cache hits through full /dse sweeps).
+#: Fixed across the fleet so per-worker counts merge by addition.
+BUCKET_BOUNDS_MS: tuple[float, ...] = tuple(
+    round(0.05 * 2 ** k, 4) for k in range(24))
+
+#: The sparse-dict key for the overflow (> last bound) bucket.
+OVERFLOW_KEY = "inf"
+
+
+def _bound_key(bound: float) -> str:
+    return format(bound, "g")
+
+
+class LatencyHistogram:
+    """Latency counts over :data:`BUCKET_BOUNDS_MS` (+ overflow).
+
+    Not self-locking: callers (``EndpointMetrics``) already serialize
+    recording under their own metrics lock.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+
+    def record(self, elapsed_ms: float) -> None:
+        self.counts[bisect.bisect_left(BUCKET_BOUNDS_MS,
+                                       elapsed_ms)] += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Sparse ``{upper-bound-ms: count}`` (only occupied buckets)."""
+        sparse: dict[str, int] = {}
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            key = (OVERFLOW_KEY if index == len(BUCKET_BOUNDS_MS)
+                   else _bound_key(BUCKET_BOUNDS_MS[index]))
+            sparse[key] = count
+        return sparse
+
+
+def merge_bucket_counts(snapshots: Iterable[Mapping[str, int]],
+                        ) -> dict[str, int]:
+    """Fold sparse bucket dicts (e.g. per-worker) by plain addition."""
+    merged: dict[str, int] = {}
+    for snapshot in snapshots:
+        for key, count in snapshot.items():
+            merged[key] = merged.get(key, 0) + int(count)
+    return merged
+
+
+def quantile_from_buckets(buckets: Mapping[str, int], q: float) -> float:
+    """Estimate the ``q``-quantile (ms) from sparse bucket counts.
+
+    Linear interpolation within the bucket holding the rank (the
+    standard histogram-quantile estimate); the overflow bucket answers
+    with the largest finite bound — an honest lower bound.
+    """
+    total = sum(buckets.values())
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    ordered = sorted(
+        ((float("inf") if key == OVERFLOW_KEY else float(key), count)
+         for key, count in buckets.items()))
+    cumulative = 0
+    previous_bound = 0.0
+    for bound, count in ordered:
+        if count <= 0:
+            continue
+        if cumulative + count >= rank:
+            if bound == float("inf"):
+                return round(previous_bound, 4)
+            fraction = (rank - cumulative) / count
+            return round(previous_bound
+                         + (bound - previous_bound) * fraction, 4)
+        cumulative += count
+        previous_bound = bound if bound != float("inf") else previous_bound
+    return round(previous_bound, 4)

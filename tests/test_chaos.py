@@ -232,7 +232,9 @@ def test_deadline_free_routes_are_unlimited():
         health = client.health()
         assert health["limits"] == {"request_timeout_s": None,
                                     "queue_depth": None,
-                                    "fault_plan": None}
+                                    "fault_plan": None,
+                                    "trace_sample": 1.0,
+                                    "slow_request_ms": None}
         assert client.check(make_source(2))["ok"] is True
 
 
