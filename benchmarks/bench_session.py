@@ -1,0 +1,167 @@
+"""Measure the stateful edit-session path: warm per-edit latency of
+the function-grained incremental frontend vs whole-program reparses.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_session.py [--functions N]
+    PYTHONPATH=src python benchmarks/bench_session.py --smoke
+
+The workload is the same 12-def checker-heavy program the
+``bench_incremental`` trajectory uses, driven the way an editor
+drives ``/session``: one long-lived :class:`IncrementalDocument`
+receives a stream of single-def edits. Three numbers per edit:
+
+* **warm edit** — ``document.apply_edits`` (outline scan + re-parse of
+  only the touched segments, every other def reused by reference);
+* **cold reparse** — ``parse()`` of the identical post-edit text, the
+  latency every edit paid before the incremental frontend;
+* **session edit** — the full ``SessionManager.edit`` round trip
+  (delta validation + incremental parse + memoized check verdict),
+  i.e. what a ``POST /session/{id}`` costs above the raw parse.
+
+Asserts the warm edit re-parses at most ``MAX_REPARSED_SEGMENTS``
+segments and beats the cold reparse by ≥ ``REQUIRED_EDIT_SPEEDUP``
+(the CI ``session`` job runs ``--smoke``). A full run appends a
+record to ``BENCH_service.json``; smoke runs do not touch the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import time
+
+from bench_incremental import BENCH_PATH, _git_revision, make_source
+
+from repro.frontend.incremental import IncrementalDocument
+from repro.frontend.parser import parse
+from repro.service.pipeline import CompilerPipeline
+from repro.service.session import SessionManager
+from repro.util import telemetry
+
+#: A single-def warm edit must touch at most this many segments (the
+#: edited def, plus the body tile when the edit lands next to it).
+MAX_REPARSED_SEGMENTS = 2
+
+#: Warm edits must beat whole-program reparses by at least this.
+REQUIRED_EDIT_SPEEDUP = 3.0
+
+
+def _median_ms(samples: list[float]) -> float:
+    return round(statistics.median(samples) * 1000.0, 4)
+
+
+def stage_edit(text: str, stage: int, value: float) -> dict:
+    """A delta rebinding ``stage``'s multiplier constant in place."""
+    anchor = text.index(f"def stage{stage}(")
+    start = text.index("x * ", anchor) + len("x * ")
+    end = text.index(";", start)
+    return {"start": start, "end": end, "text": f"{value}"}
+
+
+def measure(n_functions: int, edits: int) -> dict:
+    text = make_source(n_functions)
+    document = IncrementalDocument(text)
+    assert document.ok
+
+    manager = SessionManager(CompilerPipeline(capacity=1024))
+    status, opened = manager.open({"source": text, "session": "bench"},
+                                  telemetry.new_id())
+    assert status == 200 and opened["check"]["ok"], opened
+
+    warm, cold, session = [], [], []
+    reparsed, reused = [], 0
+    for index in range(edits):
+        edit = stage_edit(document.text, index % n_functions,
+                          500.5 + index)
+
+        started = time.perf_counter()
+        stats = document.apply_edits([dict(edit)])
+        warm.append(time.perf_counter() - started)
+        assert document.ok
+        reparsed.append(stats["parsed"])
+        reused += stats["reused"] + stats["relocated"]
+
+        started = time.perf_counter()
+        parse(document.text)
+        cold.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        status, payload = manager.edit(
+            "bench", {"version": index + 1, "edits": [dict(edit)]},
+            telemetry.new_id())
+        session.append(time.perf_counter() - started)
+        assert status == 200 and payload["check"]["ok"], payload
+        assert payload["reparsed"] == stats["parsed"], \
+            "the session path must re-parse exactly the same segments"
+
+    manager.close("bench")
+    warm_ms, cold_ms = _median_ms(warm), _median_ms(cold)
+    return {
+        "path": "session-edit",
+        "functions": n_functions,
+        "edits": edits,
+        "segments": len(document.segments),
+        "warm_edit_ms": warm_ms,
+        "cold_reparse_ms": cold_ms,
+        "session_edit_ms": _median_ms(session),
+        "speedup": round(cold_ms / warm_ms, 1) if warm_ms else float("inf"),
+        "reparsed_max": max(reparsed),
+        "reparsed_mean": round(statistics.mean(reparsed), 2),
+        "segments_reused": reused,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--functions", type=int, default=12,
+                        help="defs in the edited program")
+    parser.add_argument("--edits", type=int, default=48,
+                        help="single-def edits in the workload")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset; skips the trajectory file")
+    args = parser.parse_args()
+
+    n_functions = max(2, args.functions)
+    edits = 12 if args.smoke else max(1, args.edits)
+    run = measure(n_functions, edits)
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "smoke": args.smoke,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "runs": [run],
+    }
+    print(json.dumps(record, indent=2))
+
+    assert run["reparsed_max"] <= MAX_REPARSED_SEGMENTS, (
+        f"a single-def warm edit re-parsed {run['reparsed_max']} "
+        f"segments (allowed ≤{MAX_REPARSED_SEGMENTS}): the outline "
+        f"scanner is over-invalidating")
+    assert run["speedup"] >= REQUIRED_EDIT_SPEEDUP, (
+        f"warm edits must be ≥{REQUIRED_EDIT_SPEEDUP}× faster than "
+        f"whole-program reparses, measured {run['speedup']}×")
+    print(f"\nwarm session edit vs whole-program reparse: "
+          f"{run['speedup']}× over {n_functions} defs "
+          f"(required ≥{REQUIRED_EDIT_SPEEDUP}×); at most "
+          f"{run['reparsed_max']} of {run['segments']} segments "
+          f"re-parsed per edit, {run['segments_reused']} reused; "
+          f"full /session round trip {run['session_edit_ms']} ms")
+
+    if not args.smoke:
+        history = []
+        if BENCH_PATH.exists():
+            history = json.loads(BENCH_PATH.read_text())
+        history.append(record)
+        BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"appended to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,9 @@ Subcommands mirror the stages of Figure 1:
   corpus and warms the persistent tier ahead of traffic);
 * ``serve``    — start the compiler service (asyncio JSON-over-HTTP
   with a content-addressed artifact cache);
+* ``session``  — interactive incremental edit session: open a file as
+  a stateful document, apply edits line by line, and get a fresh check
+  verdict after each one (only the touched definitions re-parse);
 * ``trace``    — fetch request traces from a running service (list
   summaries, dump one trace, or export Chrome trace-event JSON).
 
@@ -480,7 +483,200 @@ def cmd_serve(args: argparse.Namespace) -> int:
           queue_depth=args.queue_depth if args.queue_depth > 0 else None,
           fault_plan=args.fault_plan,
           trace_sample=args.trace_sample,
-          slow_request_ms=args.slow_request_ms or None)
+          slow_request_ms=args.slow_request_ms or None,
+          max_sessions=args.max_sessions,
+          session_ttl=args.session_ttl)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# session
+# ---------------------------------------------------------------------------
+
+_SESSION_HELP = """\
+commands:
+  edit START END [TEXT]   replace character range [START, END) with TEXT
+  line N [TEXT]           replace the contents of line N with TEXT
+  show                    print the current document with line numbers
+  help                    this message
+  quit                    close the session and exit
+TEXT is the rest of the line; \\n and \\t escape sequences are expanded."""
+
+
+def _decode_repl_text(raw: str) -> str:
+    return raw.replace("\\n", "\n").replace("\\t", "\t")
+
+
+def _print_session_payload(payload: dict, as_json: bool,
+                           file_label: str) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2))
+        return
+    check = payload.get("check") or {}
+    version = payload.get("version")
+    segments = (f"{payload.get('reparsed')}/{payload.get('segments')} "
+                f"segments reparsed, {payload.get('reused', 0)} reused")
+    if check.get("ok"):
+        print(f"v{version}: "
+              + _check_ok_line(file_label, check["memories"],
+                               check["max_replication"])
+              + f" [{segments}]")
+        return
+    print(f"v{version}: {file_label}: ERROR [{segments}]")
+    diagnostics = payload.get("diagnostics") or []
+    if not diagnostics and check.get("diagnostic"):
+        diagnostics = [check["diagnostic"]]
+    for diagnostic in diagnostics:
+        rendered = diagnostic.get("rendered") or diagnostic.get("message")
+        print(f"  {rendered}")
+    stale = payload.get("stale")
+    if stale:
+        broken = ", ".join(stale.get("broken", []))
+        print(f"  serving last clean verdict from v{stale['version']} "
+              f"(broken: {broken})")
+
+
+def _session_backends(args: argparse.Namespace):
+    """``(open, edit, close)`` closures, each → ``(status, payload)``."""
+    if getattr(args, "server", None):
+        from .service.client import ServiceClient, ServiceError
+
+        client = ServiceClient.from_address(args.server)
+
+        def guard(call):
+            try:
+                return 200, call()
+            except ServiceError as error:
+                return error.status, error.payload
+
+        return (
+            lambda source: guard(
+                lambda: client.session_open(source, session=args.id)),
+            lambda session, version, edits: guard(
+                lambda: client.session_edit(session, version, edits=edits)),
+            lambda session: guard(lambda: client.session_close(session)),
+        )
+
+    from .service.pipeline import CompilerPipeline
+    from .service.session import SessionManager
+    from .util import telemetry
+
+    manager = SessionManager(CompilerPipeline(capacity=256))
+
+    def do_open(source: str):
+        request = {"source": source}
+        if args.id:
+            request["session"] = args.id
+        return manager.open(request, telemetry.new_id())
+
+    return (
+        do_open,
+        lambda session, version, edits: manager.edit(
+            session, {"version": version, "edits": edits},
+            telemetry.new_id()),
+        manager.close,
+    )
+
+
+def _parse_repl_edit(command: str, rest: str,
+                     current: str) -> list[dict] | None:
+    """One REPL line → an edit list, or ``None`` with usage on stderr."""
+    if command == "edit":
+        head = rest.split(None, 2)
+        if len(head) < 2:
+            print("usage: edit START END [TEXT]", file=sys.stderr)
+            return None
+        try:
+            start, end = int(head[0]), int(head[1])
+        except ValueError:
+            print("usage: edit START END [TEXT]", file=sys.stderr)
+            return None
+        text = _decode_repl_text(head[2]) if len(head) > 2 else ""
+        return [{"start": start, "end": end, "text": text}]
+    head = rest.split(None, 1)
+    if not head:
+        print("usage: line N [TEXT]", file=sys.stderr)
+        return None
+    try:
+        number = int(head[0])
+    except ValueError:
+        print("usage: line N [TEXT]", file=sys.stderr)
+        return None
+    lines = current.splitlines(keepends=True)
+    if not 1 <= number <= len(lines):
+        print(f"line {number} out of range (document has {len(lines)})",
+              file=sys.stderr)
+        return None
+    start = sum(len(line) for line in lines[:number - 1])
+    old = lines[number - 1]
+    end = start + len(old) - (1 if old.endswith("\n") else 0)
+    text = _decode_repl_text(head[1]) if len(head) > 1 else ""
+    return [{"start": start, "end": end, "text": text}]
+
+
+def cmd_session(args: argparse.Namespace) -> int:
+    """REPL over a stateful edit session (local or ``--server``)."""
+    text, _ = _load(args.file)
+    do_open, do_edit, do_close = _session_backends(args)
+
+    try:
+        status, payload = do_open(text)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"error: {payload.get('error')}", file=sys.stderr)
+        return 1
+    session, version = payload["session"], payload["version"]
+    current = text
+    _print_session_payload(payload, args.json, args.file)
+
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(f"session {session} open; type 'help' for commands")
+    while True:
+        if interactive:
+            print(f"v{version}> ", end="", flush=True)
+        raw = sys.stdin.readline()
+        if not raw:
+            break
+        line = raw.strip()
+        if not line:
+            continue
+        command, _, rest = line.partition(" ")
+        if command in ("quit", "exit"):
+            break
+        if command == "help":
+            print(_SESSION_HELP)
+            continue
+        if command == "show":
+            for number, content in enumerate(current.splitlines(), 1):
+                print(f"{number:4d}  {content}")
+            continue
+        if command not in ("edit", "line"):
+            print(f"unknown command {command!r} (try 'help')",
+                  file=sys.stderr)
+            continue
+        edits = _parse_repl_edit(command, rest.strip(), current)
+        if edits is None:
+            continue
+        try:
+            status, payload = do_edit(session, version + 1, edits)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            continue
+        if status != 200:
+            print(f"error: {payload.get('error')}", file=sys.stderr)
+            if payload.get("stale_version"):
+                version = payload["expected"] - 1
+            continue
+        version = payload["version"]
+        for edit in edits:
+            current = (current[:edit["start"]] + edit["text"]
+                       + current[edit["end"]:])
+        _print_session_payload(payload, args.json, args.file)
+    with contextlib.suppress(OSError):
+        do_close(session)
     return 0
 
 
@@ -684,7 +880,22 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="log a warning for requests slower than "
                             "this threshold (0 disables)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="bound on concurrently open edit sessions "
+                            "per worker (LRU-evicted beyond this)")
+    serve.add_argument("--session-ttl", type=float, default=900.0,
+                       metavar="SECONDS",
+                       help="idle lifetime of an edit session before "
+                            "it is expired")
     serve.set_defaults(func=cmd_serve)
+
+    session = sub.add_parser(
+        "session", parents=[diagnosable, servable],
+        help="interactive incremental edit session over a file")
+    session.add_argument("--id", default=None, metavar="NAME",
+                         help="session id (default: minted; letters, "
+                              "digits, '._-', at most 64 chars)")
+    session.set_defaults(func=cmd_session)
 
     trace = sub.add_parser(
         "trace", help="fetch request traces from a running service")

@@ -1,12 +1,16 @@
 """Dahlia frontend: lexer, parser, AST, and pretty-printer."""
 
 from .ast import Program
+from .incremental import IncrementalDocument, Segment, scan_outline
 from .lexer import tokenize
 from .parser import parse, parse_command, parse_expr
 from .pretty import pretty_command, pretty_expr, pretty_program
 
 __all__ = [
+    "IncrementalDocument",
     "Program",
+    "Segment",
+    "scan_outline",
     "tokenize",
     "parse",
     "parse_command",

@@ -1,0 +1,580 @@
+"""Function-grained incremental lexing and parsing.
+
+The whole-program parse is the frontend's cost floor: every warm edit
+re-lexes and re-parses text that did not change. This module splits a
+document at *top-level boundaries* — each ``decl``, each ``def``, and
+the trailing body — and lexes/parses every segment independently with
+document-absolute spans, so the assembled :class:`~repro.frontend.ast.
+Program` is indistinguishable from a cold :func:`~repro.frontend.
+parser.parse` of the same text (same nodes, same spans, same first
+diagnostic). Applying a text delta then re-parses only the segments
+whose text changed; every other def's AST node — and, because
+``ir/digest.py`` memoizes digests on the node and ignores spans, its
+closure digest and cached :class:`FunctionVerdict` — is reused by
+reference.
+
+Three layers:
+
+* :func:`scan_outline` — a regex-driven outline scanner that tiles the
+  text into segments without tokenizing it. Comments are located
+  first (the only lexical context Dahlia has — there are no string
+  literals), then a single pass over the structural characters
+  ``( ) [ ] { } ;`` and the keywords ``def``/``decl`` finds construct
+  boundaries. Segments *tile* the document: every character belongs
+  to exactly one segment, so stray garbage between defs is still
+  lexed (and still raises the cold lexer's error).
+* :func:`parse_segment` — sub-lexes one segment with absolute
+  line/column seeds and parses it with the matching entry point
+  (``_parse_decl`` / ``_parse_def`` / ``parse_command``), so error
+  messages and spans are byte-identical to the cold parser's.
+* :class:`IncrementalDocument` — owns the text and segment table,
+  matches segments across edits by content, relocates reused nodes'
+  spans when their segment moved, and assembles the program plus the
+  cold-exact first diagnostic.
+
+Error recovery falls out of the segmentation: a syntax error inside
+one def is confined to its segment, so diagnostics for every other
+segment still flow (:attr:`IncrementalDocument.diagnostics`), while
+the *first* error reproduces the cold parse exactly — a lex error
+anywhere in the document beats any parse error (the cold parser
+tokenizes eagerly), otherwise the first parse error in document order
+wins. The one case a segment's own error text can differ from cold is
+a segment truncated by boundary recovery (its sub-parse hits a
+synthetic end-of-segment instead of the next real token); those are
+flagged and the document falls back to one cold parse for the
+authoritative diagnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import DahliaError, LexError, ParseError
+from ..source import Position, SourceFile, Span
+from . import ast
+from .lexer import Lexer
+from .parser import Parser, parse
+from .tokens import TokenKind
+
+__all__ = [
+    "IncrementalDocument",
+    "ParsedSegment",
+    "Segment",
+    "parse_segment",
+    "scan_outline",
+]
+
+#: Comment syntax, matched exactly like the lexer's trivia skipper:
+#: line comments to end-of-line, non-nesting block comments to the
+#: first ``*/``, and a bare ``/*`` (tried last) when the block never
+#: closes — the unterminated comment swallows the rest of the file.
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/|/\*", re.S)
+
+#: The only characters the outline scanner interprets: grouping
+#: delimiters, the declaration terminator, and the two keywords that
+#: can open a top-level construct. ``\b`` is exact for Dahlia
+#: identifiers (letters, digits, underscore).
+_STRUCT_RE = re.compile(r"[(){}\[\];]|\b(?:def|decl)\b")
+
+_NAME_RE = re.compile(r"\s*([A-Za-z_]\w*)")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One tile of the document: a top-level construct plus the trivia
+    (or stray garbage) preceding it. ``line``/``column`` locate
+    ``start`` in the document (1-based), seeding the sub-lexer so its
+    spans are document-absolute. ``truncated`` marks a construct cut
+    short by boundary recovery: its sub-parse sees a synthetic end of
+    input where the cold parser would see the next construct's
+    keyword, so its *error message* (never its recovery) may differ
+    from cold."""
+
+    kind: str  # "decl" | "def" | "body"
+    start: int
+    end: int
+    line: int
+    column: int
+    truncated: bool = False
+    name: str | None = None
+
+    def slice(self, text: str) -> str:
+        return text[self.start:self.end]
+
+
+@dataclass
+class ParsedSegment:
+    """A segment plus its parse outcome.
+
+    ``first_span``/``eof_span`` are the spans of the segment's first
+    token and (body segment only) its EOF token — the two positions
+    program assembly needs that are not stored on the nodes.
+    ``exact`` is False only when ``error`` may differ textually from
+    the cold parser's (truncated-segment recovery); the document then
+    re-derives the authoritative diagnostic with one cold parse.
+    """
+
+    segment: Segment
+    node: ast.Decl | ast.FuncDef | ast.Command | None = None
+    first_span: Span | None = None
+    eof_span: Span | None = None
+    error: DahliaError | None = None
+    lex_error: bool = False
+    exact: bool = True
+
+
+def _comment_spans(text: str) -> tuple[list[tuple[int, int]], int | None]:
+    """All comment extents, plus the start of an unterminated block
+    comment (which extends to end of file) if there is one."""
+    spans = []
+    open_at = None
+    for match in _COMMENT_RE.finditer(text):
+        group = match.group()
+        if group.startswith("/*") and (len(group) < 4
+                                       or not group.endswith("*/")):
+            open_at = match.start()
+            spans.append((match.start(), len(text)))
+            break
+        spans.append((match.start(), match.end()))
+    return spans, open_at
+
+
+def _gap_has_content(text: str, start: int, end: int,
+                     comments: list[tuple[int, int]]) -> bool:
+    """True if ``text[start:end]`` contains anything besides
+    whitespace and comments — i.e. the program body has begun."""
+    pos = start
+    for c_start, c_end in comments:
+        if c_end <= pos:
+            continue
+        if c_start >= end:
+            break
+        if text[pos:min(c_start, end)].strip():
+            return True
+        pos = max(pos, c_end)
+        if pos >= end:
+            return False
+    return bool(text[pos:end].strip())
+
+
+def _position_of(text: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of ``offset`` — C-speed, no char loop."""
+    line = text.count("\n", 0, offset) + 1
+    column = offset - text.rfind("\n", 0, offset)
+    return line, column
+
+
+def scan_outline(text: str) -> list[Segment]:
+    """Tile ``text`` into top-level segments without tokenizing it.
+
+    The result always ends with a (possibly empty) ``body`` segment,
+    and the segments exactly cover ``[0, len(text))`` in order.
+    """
+    n = len(text)
+    comments, _ = _comment_spans(text)
+
+    # Structural events outside comments, in document order.
+    events: list[tuple[int, str]] = []
+    c_index = 0
+    for match in _STRUCT_RE.finditer(text):
+        pos = match.start()
+        while c_index < len(comments) and comments[c_index][1] <= pos:
+            c_index += 1
+        if c_index < len(comments) and comments[c_index][0] <= pos:
+            continue
+        events.append((pos, match.group()))
+
+    # (kind, keyword position, end, truncated, name) per construct.
+    constructs: list[tuple[str, int, int, bool, str | None]] = []
+    cursor = 0  # end of the last construct
+    k = 0
+    while k < len(events):
+        pos, tok = events[k]
+        if tok not in ("def", "decl"):
+            break  # the body has begun; everything else is its tile
+        # Any real token between the last construct and this keyword
+        # means the program body has begun — the keyword belongs to
+        # the body's (failing) command parse, exactly as in a cold
+        # parse, not to a new construct.
+        if _gap_has_content(text, cursor, pos, comments):
+            break
+        name_match = _NAME_RE.match(text, pos + len(tok))
+        name = name_match.group(1) if name_match else None
+        k += 1
+        if tok == "decl":
+            end, truncated, k = _scan_decl(events, k, n)
+        else:
+            end, truncated, k = _scan_def(events, k, n)
+        constructs.append((tok, pos, end, truncated, name))
+        cursor = end
+
+    segments: list[Segment] = []
+    prev = 0
+    for kind, _pos, end, truncated, name in constructs:
+        line, column = _position_of(text, prev)
+        segments.append(Segment(kind, prev, end, line, column,
+                                truncated=truncated, name=name))
+        prev = end
+    line, column = _position_of(text, prev)
+    segments.append(Segment("body", prev, n, line, column))
+    return segments
+
+
+def _scan_decl(events: list[tuple[int, str]], k: int,
+               n: int) -> tuple[int, bool, int]:
+    """Scan a ``decl`` construct: ends after the first ``;`` at
+    grouping depth 0. Recovery: a ``def``/``decl`` keyword at depth 0
+    truncates the construct just before it."""
+    depth = 0
+    while k < len(events):
+        pos, tok = events[k]
+        if tok in "([{":
+            depth += 1
+        elif tok in ")]}":
+            depth = max(0, depth - 1)
+        elif tok == ";" and depth == 0:
+            return pos + 1, False, k + 1
+        elif tok in ("def", "decl") and depth == 0:
+            return pos, True, k
+        k += 1
+    return n, False, k
+
+
+def _scan_def(events: list[tuple[int, str]], k: int,
+              n: int) -> tuple[int, bool, int]:
+    """Scan a ``def`` construct: the body block opens at the first
+    ``{`` outside parens/brackets (port braces like ``float{2}`` only
+    occur inside the parameter parens) and the construct ends at its
+    matching ``}``. Recovery mirrors :func:`_scan_decl` while still
+    in the signature."""
+    paren = bracket = 0
+    while k < len(events):
+        pos, tok = events[k]
+        if tok == "(":
+            paren += 1
+        elif tok == ")":
+            paren = max(0, paren - 1)
+        elif tok == "[":
+            bracket += 1
+        elif tok == "]":
+            bracket = max(0, bracket - 1)
+        elif tok == "{" and paren == 0 and bracket == 0:
+            return _scan_block(events, k + 1, n)
+        elif tok == ";" and paren == 0 and bracket == 0:
+            return pos + 1, False, k + 1
+        elif tok in ("def", "decl") and paren == 0 and bracket == 0:
+            return pos, True, k
+        k += 1
+    return n, False, k
+
+
+def _scan_block(events: list[tuple[int, str]], k: int,
+                n: int) -> tuple[int, bool, int]:
+    """Match the body braces. Keywords inside the block never
+    truncate: the cold parser, too, only diagnoses them when the
+    block's command parse reaches them."""
+    depth = 1
+    while k < len(events):
+        pos, tok = events[k]
+        if tok == "{":
+            depth += 1
+        elif tok == "}":
+            depth -= 1
+            if depth == 0:
+                return pos + 1, False, k + 1
+        k += 1
+    return n, False, k
+
+
+# ---------------------------------------------------------------------------
+# Segment parsing and program assembly
+# ---------------------------------------------------------------------------
+
+def parse_segment(source: SourceFile, segment: Segment) -> ParsedSegment:
+    """Lex and parse one segment with document-absolute spans."""
+    lexer = Lexer(source, start=segment.start, end=segment.end,
+                  line=segment.line, column=segment.column)
+    try:
+        tokens = lexer.tokenize()
+    except LexError as error:
+        return ParsedSegment(segment, error=error, lex_error=True)
+
+    parser = Parser(source, tokens=tokens)
+    first_span = (tokens[0].span
+                  if tokens[0].kind is not TokenKind.EOF else None)
+    eof_span = tokens[-1].span
+    internal = False
+    try:
+        node: ast.Decl | ast.FuncDef | ast.Command | None = None
+        if segment.kind == "decl":
+            node = parser._parse_decl()
+        elif segment.kind == "def":
+            node = parser._parse_def()
+        elif first_span is not None:
+            node = parser.parse_command()
+        if not parser._at(TokenKind.EOF):
+            if segment.kind == "body":
+                # The cold parser's final expectation, verbatim.
+                parser._expect(TokenKind.EOF, "program")
+            else:
+                # A construct that parsed but did not consume its
+                # whole segment means the outline scanner and the
+                # grammar disagree; flag it inexact so the document
+                # falls back to a cold parse rather than guess.
+                internal = True
+                raise ParseError("unconsumed tokens after "
+                                 f"{segment.kind}", parser._peek().span)
+    except ParseError as error:
+        # An error raised while real tokens remain is the same error
+        # a cold parse raises. One raised at the segment's synthetic
+        # end of input would, in a cold parse, have seen the next
+        # segment's tokens instead — unless this segment really does
+        # end the file, in which case the EOF is the cold one too.
+        at_end = parser._at(TokenKind.EOF)
+        exact = (not internal and not segment.truncated
+                 and (not at_end or segment.end >= len(source.text)))
+        return ParsedSegment(segment, first_span=first_span,
+                             eof_span=eof_span, error=error, exact=exact)
+    return ParsedSegment(segment, node=node, first_span=first_span,
+                         eof_span=eof_span)
+
+
+def _assemble(parsed: list[ParsedSegment]) -> ast.Program:
+    """Build the program exactly as a cold ``parse_program`` would."""
+    decls = [p.node for p in parsed if p.segment.kind == "decl"]
+    defs = [p.node for p in parsed if p.segment.kind == "def"]
+    body_parsed = parsed[-1]
+    first_span = next((p.first_span for p in parsed
+                       if p.first_span is not None), body_parsed.eof_span)
+    body = body_parsed.node
+    if body is None:
+        body = ast.Skip(span=first_span)
+    return ast.Program(decls, defs, body,
+                       span=Span.merge(first_span, body_parsed.eof_span))
+
+
+# ---------------------------------------------------------------------------
+# Span relocation for reused nodes
+# ---------------------------------------------------------------------------
+
+def _shift_span(span: Span, first_line: int, delta_line: int,
+                delta_column: int) -> Span:
+    def move(pos: Position) -> Position:
+        return Position(
+            pos.line + delta_line,
+            pos.column + (delta_column if pos.line == first_line else 0))
+    return Span(move(span.start), move(span.end))
+
+
+def _relocate(node: object, first_line: int, delta_line: int,
+              delta_column: int) -> None:
+    """Shift every span under ``node`` by the segment's displacement.
+
+    Only positions on the segment's original first line move in
+    column; later lines only move in line. Digest memos live in
+    ``node.__dict__`` outside the dataclass fields and digests ignore
+    spans entirely, so relocation never invalidates them — that is
+    the contract that lets a moved def keep its cached verdict.
+    """
+    seen: set[int] = set()
+    stack = [node]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        for field in dataclasses.fields(obj):
+            value = getattr(obj, field.name)
+            if isinstance(value, Span):
+                if value.start.line > 0:  # UNKNOWN_SPAN stays put
+                    object.__setattr__(
+                        obj, field.name,
+                        _shift_span(value, first_line, delta_line,
+                                    delta_column))
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if dataclasses.is_dataclass(item) \
+                            and not isinstance(item, type):
+                        stack.append(item)
+            elif dataclasses.is_dataclass(value) \
+                    and not isinstance(value, type):
+                stack.append(value)
+
+
+# ---------------------------------------------------------------------------
+# The incremental document
+# ---------------------------------------------------------------------------
+
+class IncrementalDocument:
+    """A text buffer whose parse is maintained function-by-function.
+
+    After construction and after every :meth:`apply_edits` /
+    :meth:`replace`, either :attr:`program` is an AST identical (down
+    to spans) to a cold parse of :attr:`text`, or :attr:`error` is
+    the exact diagnostic the cold parse raises. :attr:`diagnostics`
+    additionally carries *every* broken segment's error in document
+    order — the recovery the monolithic parser cannot offer.
+    """
+
+    def __init__(self, text: str, name: str = "<input>") -> None:
+        self.name = name
+        self._text = ""
+        self._parsed: list[ParsedSegment] = []
+        self.program: ast.Program | None = None
+        self.error: DahliaError | None = None
+        self.diagnostics: list[tuple[Segment, DahliaError]] = []
+        self.stats: dict = {}
+        self._resolved = None
+        self._update(text, incremental=False)
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.program is not None
+
+    @property
+    def segments(self) -> list[Segment]:
+        return [p.segment for p in self._parsed]
+
+    @property
+    def broken_segments(self) -> list[Segment]:
+        return [segment for segment, _error in self.diagnostics]
+
+    def apply_edits(self, edits: list[dict]) -> dict:
+        """Apply character-offset deltas ``{"start", "end", "text"}``
+        in order, then re-parse incrementally. Returns :attr:`stats`.
+        Raises :class:`ValueError` on a malformed or out-of-bounds
+        delta (the session layer turns that into a 400)."""
+        text = self._text
+        for edit in edits:
+            if not isinstance(edit, dict):
+                raise ValueError("each edit must be an object with "
+                                 "start, end, and text")
+            start, end = edit.get("start"), edit.get("end")
+            replacement = edit.get("text")
+            if not isinstance(start, int) or not isinstance(end, int) \
+                    or isinstance(start, bool) or isinstance(end, bool) \
+                    or not isinstance(replacement, str):
+                raise ValueError("each edit must be an object with "
+                                 "integer start/end and string text")
+            if not 0 <= start <= end <= len(text):
+                raise ValueError(
+                    f"edit range [{start}, {end}) is outside the "
+                    f"document (length {len(text)})")
+            text = text[:start] + replacement + text[end:]
+        return self._update(text, incremental=True)
+
+    def replace(self, text: str) -> dict:
+        """Replace the whole text; unchanged defs are still reused."""
+        if not isinstance(text, str):
+            raise ValueError("replacement source must be a string")
+        return self._update(text, incremental=True)
+
+    def resolved(self):
+        """The :class:`ResolvedProgram` for the current version
+        (memoized until the next edit), or ``None`` while broken."""
+        if self._resolved is None and self.ok:
+            from ..ir.resolved import ResolvedProgram
+            self._resolved = ResolvedProgram(
+                self.program, SourceFile(self._text, self.name))
+        return self._resolved
+
+    # -- the update pipeline -------------------------------------------------
+
+    def _update(self, text: str, incremental: bool) -> dict:
+        segments = scan_outline(text)
+        source = SourceFile(text, self.name)
+
+        pool: dict[tuple[str, str], deque[ParsedSegment]] = {}
+        if incremental:
+            for old in self._parsed:
+                if old.error is not None:
+                    continue  # broken segments are cheap to re-parse
+                key = (old.segment.kind, old.segment.slice(self._text))
+                pool.setdefault(key, deque()).append(old)
+
+        parsed: list[ParsedSegment] = []
+        reused = relocated = freshly_parsed = 0
+        for segment in segments:
+            key = (segment.kind, segment.slice(text))
+            candidates = pool.get(key)
+            if candidates:
+                old = candidates.popleft()
+                delta_line = segment.line - old.segment.line
+                delta_column = segment.column - old.segment.column
+                if delta_line == 0 and delta_column == 0:
+                    # Same position; only byte offsets may have
+                    # shifted, and spans are line/column-based.
+                    parsed.append(dataclasses.replace(
+                        old, segment=segment))
+                    reused += 1
+                    continue
+                if old.node is not None:
+                    _relocate(old.node, old.segment.line,
+                              delta_line, delta_column)
+                moved = ParsedSegment(segment, node=old.node)
+                if old.first_span is not None:
+                    moved.first_span = _shift_span(
+                        old.first_span, old.segment.line,
+                        delta_line, delta_column)
+                if old.eof_span is not None:
+                    moved.eof_span = _shift_span(
+                        old.eof_span, old.segment.line,
+                        delta_line, delta_column)
+                parsed.append(moved)
+                relocated += 1
+                continue
+            parsed.append(parse_segment(source, segment))
+            freshly_parsed += 1
+
+        self._text = text
+        self._parsed = parsed
+        self._resolved = None
+        self.diagnostics = [(p.segment, p.error)
+                            for p in parsed if p.error is not None]
+        cold_fallback = False
+
+        lex_errors = [p for p in parsed if p.error is not None and p.lex_error]
+        parse_errors = [p for p in parsed
+                        if p.error is not None and not p.lex_error]
+        if lex_errors:
+            # The cold parser tokenizes the whole file before parsing
+            # anything, so the first lex error in document order beats
+            # every parse error.
+            self.program = None
+            self.error = lex_errors[0].error
+        elif parse_errors:
+            self.program = None
+            first = parse_errors[0]
+            if first.exact:
+                self.error = first.error
+            else:
+                # Recovery truncated the first broken segment, so its
+                # own message may not match cold; one cold parse gives
+                # the authoritative diagnostic.
+                cold_fallback = True
+                try:
+                    self.program = parse(text, self.name)
+                    self.error = None
+                except DahliaError as error:
+                    self.error = error
+        else:
+            self.program = _assemble(parsed)
+            self.error = None
+
+        self.stats = {
+            "segments": len(parsed),
+            "parsed": freshly_parsed,
+            "reused": reused,
+            "relocated": relocated,
+            "cold_fallback": cold_fallback,
+        }
+        return self.stats

@@ -49,14 +49,24 @@ _ONE_CHAR = {
 
 
 class Lexer:
-    """Streaming scanner over a :class:`SourceFile`."""
+    """Streaming scanner over a :class:`SourceFile`.
 
-    def __init__(self, source: SourceFile) -> None:
+    ``start``/``end`` restrict scanning to a half-open character range
+    of the file, and ``line``/``column`` seed the position counters so
+    the produced spans stay *document-absolute*. The incremental
+    frontend uses this to lex one top-level segment at a time while
+    keeping every span identical to a whole-file scan.
+    """
+
+    def __init__(self, source: SourceFile, *, start: int = 0,
+                 end: int | None = None, line: int = 1,
+                 column: int = 1) -> None:
         self.source = source
         self.text = source.text
-        self.offset = 0
-        self.line = 1
-        self.column = 1
+        self.offset = start
+        self.end = len(self.text) if end is None else end
+        self.line = line
+        self.column = column
 
     def tokenize(self) -> list[Token]:
         tokens = []
@@ -70,7 +80,7 @@ class Lexer:
 
     def _peek(self, ahead: int = 0) -> str:
         index = self.offset + ahead
-        return self.text[index] if index < len(self.text) else ""
+        return self.text[index] if index < self.end else ""
 
     def _advance(self) -> str:
         char = self.text[self.offset]
@@ -86,17 +96,17 @@ class Lexer:
         return Position(self.line, self.column)
 
     def _skip_trivia(self) -> None:
-        while self.offset < len(self.text):
+        while self.offset < self.end:
             char = self._peek()
             if char in " \t\r\n":
                 self._advance()
             elif char == "/" and self._peek(1) == "/":
-                while self.offset < len(self.text) and self._peek() != "\n":
+                while self.offset < self.end and self._peek() != "\n":
                     self._advance()
             elif char == "/" and self._peek(1) == "*":
                 self._advance()
                 self._advance()
-                while self.offset < len(self.text):
+                while self.offset < self.end:
                     if self._peek() == "*" and self._peek(1) == "/":
                         self._advance()
                         self._advance()
@@ -111,7 +121,7 @@ class Lexer:
     def next_token(self) -> Token:
         self._skip_trivia()
         start = self._position()
-        if self.offset >= len(self.text):
+        if self.offset >= self.end:
             return Token(TokenKind.EOF, "", Span(start, start))
 
         char = self._peek()

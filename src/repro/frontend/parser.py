@@ -60,9 +60,14 @@ _COMMAND_START = {
 
 
 class Parser:
-    def __init__(self, source: SourceFile) -> None:
+    def __init__(self, source: SourceFile,
+                 tokens: list[Token] | None = None) -> None:
         self.source = source
-        self.tokens = Lexer(source).tokenize()
+        # The incremental frontend injects per-segment token lists
+        # (sub-lexed with document-absolute spans); a cold parse
+        # tokenizes the whole file eagerly, which is why a lex error
+        # anywhere in the file wins over any parse error before it.
+        self.tokens = Lexer(source).tokenize() if tokens is None else tokens
         self.index = 0
 
     # -- token helpers ------------------------------------------------------

@@ -251,6 +251,39 @@ class ServiceClient:
         query = "&".join(params)
         return self.request("GET", "/trace" + (f"?{query}" if query else ""))
 
+    def session_open(self, source: str, *,
+                     session: str | None = None) -> dict:
+        """Open an edit session; returns the opening check verdict.
+
+        Without ``session`` the server mints an id (returned in the
+        payload); passing one makes the open idempotent — re-opening
+        the same id with the same text replays the original response,
+        so a retried open cannot half-duplicate a session.
+        """
+        payload: dict[str, Any] = {"source": source}
+        if session is not None:
+            payload["session"] = session
+        return self.request("POST", "/session", payload)
+
+    def session_edit(self, session: str, version: int, *,
+                     edits: list[dict] | None = None,
+                     source: str | None = None) -> dict:
+        """Apply one versioned delta (or a full-text ``source`` swap).
+
+        ``version`` must be the session's current version + 1; a stale
+        value raises :class:`ServiceError` with status 409 and a
+        ``stale_version`` payload carrying the expected version.
+        """
+        payload: dict[str, Any] = {"version": version}
+        if edits is not None:
+            payload["edits"] = edits
+        if source is not None:
+            payload["source"] = source
+        return self.request("POST", f"/session/{session}", payload)
+
+    def session_close(self, session: str) -> dict:
+        return self.request("DELETE", f"/session/{session}")
+
     def dse(self, space: str, *, sample: int = 500,
             workers: int | None = None, memoize: bool = True) -> dict:
         payload: dict[str, Any] = {"space": space, "sample": sample,

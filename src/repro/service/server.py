@@ -63,6 +63,11 @@ from ..util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from ..util.faults import fault_point, fault_stats
 from ..util.fsio import atomic_write, reap_temp_debris
 from .artifacts import DEFAULT_DISK_BYTES
+from .session import (
+    DEFAULT_SESSION_CAPACITY,
+    DEFAULT_SESSION_TTL_S,
+    SessionManager,
+)
 from .pipeline import (
     STAGES,
     CompilerPipeline,
@@ -84,8 +89,20 @@ ENDPOINT_OPTIONS: dict[str, tuple[str, ...]] = {
 #: is bucketed under one key so unknown-path probes can't grow the
 #: table (and the /metrics response) without bound.
 KNOWN_PATHS = frozenset(
-    {"/healthz", "/metrics", "/stages", "/trace", "/dse"}
+    {"/healthz", "/metrics", "/stages", "/trace", "/dse", "/session"}
     | {f"/{name}" for name in ENDPOINT_OPTIONS})
+
+
+def metric_path(path: str) -> str:
+    """The metrics-table key for ``path``.
+
+    ``/session/{id}`` routes carry client-chosen ids, so they share
+    the ``/session`` row; any other unknown path shares one bucket so
+    probes can't grow the table without bound.
+    """
+    if path.startswith("/session/"):
+        return "/session"
+    return path if path in KNOWN_PATHS else "(unknown)"
 
 
 def encode_payload(payload: Any) -> bytes:
@@ -331,10 +348,26 @@ def _aggregate_metrics(records: list[dict]) -> dict:
              "resolved_cache": {"entries": 0, "reused": 0}}
     resilience: dict[str, Any] = {"deadline_exceeded": 0, "shed": 0,
                                   "slow": 0, "faults": None}
+    sessions: dict[str, Any] = {
+        "open": 0, "opened": 0, "closed": 0, "evicted_ttl": 0,
+        "evicted_lru": 0, "edits": 0, "stale_rejected": 0,
+        "replayed": 0, "hydrated": 0, "synced": 0, "not_found": 0,
+        "segments": {"reparsed": 0, "reused": 0, "relocated": 0}}
     disk: dict | None = None
     freshest = -1.0
     for record in records:
         metrics = record.get("metrics", {})
+        # Session counters sum across workers; a hydrated session is
+        # "open" on every worker that holds a copy, so the fleet-wide
+        # "open" is an upper bound on distinct sessions.
+        row = metrics.get("sessions", {})
+        for key, value in row.items():
+            if key == "segments":
+                for sub, count in value.items():
+                    sessions["segments"][sub] = \
+                        sessions["segments"].get(sub, 0) + count
+            else:
+                sessions[key] = sessions.get(key, 0) + value
         row = metrics.get("resilience", {})
         for key in ("deadline_exceeded", "shed", "slow"):
             resilience[key] += row.get(key, 0)
@@ -403,7 +436,8 @@ def _aggregate_metrics(records: list[dict]) -> dict:
     if disk is not None:
         cache["disk"] = disk
     return {"endpoints": dict(sorted(endpoints.items())),
-            "resilience": resilience, "cache": cache}
+            "resilience": resilience, "cache": cache,
+            "sessions": sessions}
 
 
 class DahliaService:
@@ -422,9 +456,18 @@ class DahliaService:
                  board: WorkerBoard | None = None,
                  trace_sample: float | None = None,
                  slow_request_ms: float | None = None,
-                 trace_dir: str | Path | None = None) -> None:
+                 trace_dir: str | Path | None = None,
+                 max_sessions: int = DEFAULT_SESSION_CAPACITY,
+                 session_ttl: float = DEFAULT_SESSION_TTL_S,
+                 session_dir: str | Path | None = None) -> None:
         self.pipeline = pipeline or CompilerPipeline(
             capacity=capacity, disk=cache_dir, disk_bytes=cache_bytes)
+        #: Stateful /session edit protocol; ``session_dir`` (the fleet
+        #: spool) lets any prefork worker pick up a session a peer
+        #: opened.
+        self.sessions = SessionManager(
+            self.pipeline, capacity=max_sessions, ttl_s=session_ttl,
+            spool_dir=session_dir)
         self.dse_workers = max(1, dse_workers or 1)
         self.inflight_limit: int | None = None   # set by the server
         self.limits: dict | None = None          # set by the server
@@ -482,7 +525,7 @@ class DahliaService:
 
     def record_shed(self, path: str) -> None:
         """One request shed by admission control (never dispatched)."""
-        metric_key = path if path in KNOWN_PATHS else "(unknown)"
+        metric_key = metric_path(path)
         with self._metrics_lock:
             self._resilience["shed"] += 1
             self._metrics.setdefault(metric_key, EndpointMetrics()) \
@@ -559,6 +602,7 @@ class DahliaService:
             "endpoints": endpoints,
             "resilience": resilience,
             "cache": self.pipeline.stats(),
+            "sessions": self.sessions.stats(),
         }
 
     def publish_stats(self) -> None:
@@ -675,7 +719,7 @@ class DahliaService:
             try:
                 fault_point("server.handle")  # chaos site: handler latency
                 status, payload = self._dispatch(method, path, params,
-                                                 body)
+                                                 body, request_id)
             except BadRequest as error:
                 status, payload = 400, {"ok": False, "error": str(error)}
             except DeadlineExceeded as error:
@@ -693,7 +737,7 @@ class DahliaService:
                     "error": f"{type(error).__name__}: {error}"}
             root.set_attr("status", status)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
-        metric_key = path if path in KNOWN_PATHS else "(unknown)"
+        metric_key = metric_path(path)
         slow = (self.slow_request_ms is not None
                 and elapsed_ms >= self.slow_request_ms)
         with self._metrics_lock:
@@ -711,7 +755,10 @@ class DahliaService:
 
     def _dispatch(self, method: str, path: str,
                   params: Mapping[str, list[str]],
-                  body: bytes) -> tuple[int, Any]:
+                  body: bytes,
+                  request_id: str | None = None) -> tuple[int, Any]:
+        if path == "/session" or path.startswith("/session/"):
+            return self._dispatch_session(method, path, body, request_id)
         if method == "GET":
             if path == "/healthz":
                 payload = self.health()
@@ -739,14 +786,61 @@ class DahliaService:
             raise BadRequest("request body must be a JSON object")
         return 200, self.respond(endpoint, request)
 
+    def _dispatch_session(self, method: str, path: str, body: bytes,
+                          request_id: str | None) -> tuple[int, Any]:
+        """Route the stateful edit protocol.
+
+        ``POST /session`` opens, ``POST /session/{id}`` applies a
+        versioned delta, ``DELETE /session/{id}`` closes. The spans
+        attribute reparsed-vs-reused segment counts, so a trace of an
+        interactive editing burst shows exactly how much of each
+        keystroke's latency was frontend work.
+        """
+        session_id = path[len("/session/"):] \
+            if path.startswith("/session/") else None
+        if session_id == "":
+            return 404, {"ok": False,
+                         "error": f"no such endpoint {path!r}"}
+        if method == "DELETE":
+            if session_id is None:
+                return 405, {"ok": False,
+                             "error": "method DELETE not allowed "
+                                      "(close a session by id: "
+                                      "DELETE /session/{id})"}
+            return self.sessions.close(session_id)
+        if method != "POST":
+            return 405, {"ok": False,
+                         "error": f"method {method} not allowed"}
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"body is not valid JSON: {error}") from None
+        if not isinstance(request, dict):
+            raise BadRequest("request body must be a JSON object")
+        stage = "session_open" if session_id is None else "session_edit"
+        with telemetry.span(f"stage:{stage}") as span:
+            if session_id is None:
+                status, payload = self.sessions.open(request, request_id)
+            else:
+                status, payload = self.sessions.edit(session_id, request,
+                                                     request_id)
+            span.set_attr("status", status)
+            if isinstance(payload, dict):
+                for key in ("session", "version", "segments",
+                            "reparsed", "reused", "relocated"):
+                    if key in payload:
+                        span.set_attr(key, payload[key])
+        return status, payload
+
 
 # ---------------------------------------------------------------------------
 # The asyncio HTTP transport.
 # ---------------------------------------------------------------------------
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 429: "Too Many Requests",
-            500: "Internal Server Error", 503: "Service Unavailable"}
+            405: "Method Not Allowed", 409: "Conflict",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 #: Reject bodies larger than this (defense against unbounded buffering).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -1191,6 +1285,8 @@ class _WorkerConfig:
     fault_plan: str | None = None
     trace_sample: float | None = None
     slow_request_ms: float | None = None
+    max_sessions: int = DEFAULT_SESSION_CAPACITY
+    session_ttl: float = DEFAULT_SESSION_TTL_S
 
 
 def _bind_socket(host: str, port: int, *, reuse_port: bool,
@@ -1234,7 +1330,10 @@ def _worker_main(config: _WorkerConfig,
         cache_dir=config.cache_dir, cache_bytes=config.cache_bytes,
         board=board, trace_sample=config.trace_sample,
         slow_request_ms=config.slow_request_ms,
-        trace_dir=Path(config.board_dir) / "traces")
+        trace_dir=Path(config.board_dir) / "traces",
+        max_sessions=config.max_sessions,
+        session_ttl=config.session_ttl,
+        session_dir=Path(config.board_dir) / "sessions")
 
     async def run() -> None:
         sock = listen_sock
@@ -1265,7 +1364,9 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
                    queue_depth: int | None = None,
                    fault_plan: str | None = None,
                    trace_sample: float | None = None,
-                   slow_request_ms: float | None = None) -> None:
+                   slow_request_ms: float | None = None,
+                   max_sessions: int = DEFAULT_SESSION_CAPACITY,
+                   session_ttl: float = DEFAULT_SESSION_TTL_S) -> None:
     """Supervise a fleet of worker processes sharing one port."""
     import multiprocessing
     import signal
@@ -1287,7 +1388,9 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
                              queue_depth=queue_depth,
                              fault_plan=fault_plan,
                              trace_sample=trace_sample,
-                             slow_request_ms=slow_request_ms)
+                             slow_request_ms=slow_request_ms,
+                             max_sessions=max_sessions,
+                             session_ttl=session_ttl)
 
     if reuse_port:
         # Bind (without listening) to resolve the port and hold it for
@@ -1318,7 +1421,8 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
             board_dir=str(board_dir), reuse_port=reuse_port,
             request_timeout=request_timeout, queue_depth=queue_depth,
             fault_plan=fault_plan, trace_sample=trace_sample,
-            slow_request_ms=slow_request_ms)
+            slow_request_ms=slow_request_ms,
+            max_sessions=max_sessions, session_ttl=session_ttl)
         process = context.Process(target=_worker_main,
                                   args=(config, listen_sock),
                                   name=f"dahlia-worker-{index}")
@@ -1387,7 +1491,9 @@ def _serve_single(host: str, port: int, *, capacity: int,
                   queue_depth: int | None = None,
                   fault_plan: str | None = None,
                   trace_sample: float | None = None,
-                  slow_request_ms: float | None = None) -> None:
+                  slow_request_ms: float | None = None,
+                  max_sessions: int = DEFAULT_SESSION_CAPACITY,
+                  session_ttl: float = DEFAULT_SESSION_TTL_S) -> None:
     if fault_plan:
         from ..util.faults import FaultPlan, install_plan
 
@@ -1395,7 +1501,9 @@ def _serve_single(host: str, port: int, *, capacity: int,
     service = DahliaService(capacity=capacity, dse_workers=dse_workers,
                             cache_dir=cache_dir, cache_bytes=cache_bytes,
                             trace_sample=trace_sample,
-                            slow_request_ms=slow_request_ms)
+                            slow_request_ms=slow_request_ms,
+                            max_sessions=max_sessions,
+                            session_ttl=session_ttl)
 
     async def main() -> None:
         server = ServiceServer(service, host, port,
@@ -1428,7 +1536,9 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
           queue_depth: int | None = None,
           fault_plan: str | None = None,
           trace_sample: float | None = None,
-          slow_request_ms: float | None = None) -> None:
+          slow_request_ms: float | None = None,
+          max_sessions: int = DEFAULT_SESSION_CAPACITY,
+          session_ttl: float = DEFAULT_SESSION_TTL_S) -> None:
     """Blocking entry point behind ``dahlia-py serve``.
 
     ``workers > 1`` preforks that many serving processes sharing the
@@ -1453,7 +1563,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
                       request_timeout=request_timeout,
                       queue_depth=queue_depth, fault_plan=fault_plan,
                       trace_sample=trace_sample,
-                      slow_request_ms=slow_request_ms)
+                      slow_request_ms=slow_request_ms,
+                      max_sessions=max_sessions, session_ttl=session_ttl)
     else:
         _serve_prefork(host, port, capacity=capacity,
                        max_inflight=max_inflight, dse_workers=dse_workers,
@@ -1462,4 +1573,6 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
                        request_timeout=request_timeout,
                        queue_depth=queue_depth, fault_plan=fault_plan,
                        trace_sample=trace_sample,
-                       slow_request_ms=slow_request_ms)
+                       slow_request_ms=slow_request_ms,
+                       max_sessions=max_sessions,
+                       session_ttl=session_ttl)

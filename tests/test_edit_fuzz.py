@@ -1,0 +1,251 @@
+"""Differential edit-fuzz harness for the incremental frontend.
+
+Every step applies one random edit to an :class:`IncrementalDocument`
+and cross-checks the incremental result against a cold parse of the
+same text:
+
+* accepted text: the ASTs are :func:`ast_equal`, the structural digest
+  and every per-function digest are byte-identical (so a relocated or
+  reused def cannot smuggle a stale memoized digest past the checker);
+* rejected text: both paths raise, with the same kind, message, and
+  span (compared through ``str(error)``, which renders all three);
+* periodically, the check verdict a session would serve is compared
+  against the one-shot ``check_payload`` of the same text through one
+  shared pipeline — the exact payload parity ``/session`` promises.
+
+The corpus and every DSE family source are fuzzed. ``REPRO_FUZZ_EDITS``
+scales the total edit budget (default 500; CI runs the same fixed
+seeds, so a failure reproduces locally by name).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.errors import DahliaError
+from repro.frontend.incremental import IncrementalDocument, scan_outline
+from repro.frontend.parser import parse
+from repro.ir.digest import ast_equal, node_digest, structural_digest
+from repro.service.pipeline import CompilerPipeline
+from repro.service.session import check_payload_for
+
+#: Total random edits across all fuzzed sources.
+EDIT_BUDGET = int(os.environ.get("REPRO_FUZZ_EDITS", "500"))
+
+#: Verdict parity (a full check both ways) runs every Nth step; AST
+#: and digest parity run on every step.
+VERDICT_EVERY = 5
+
+
+def fuzz_sources() -> list[tuple[str, str]]:
+    from repro.suite import generators
+    from repro.suite.corpus import CORPUS
+
+    sources = [(f"corpus:{entry.name}", entry.source) for entry in CORPUS]
+    for family, names in generators.DSE_FAMILIES.items():
+        space_name, source_name = names[0], names[1]
+        space = getattr(generators, space_name)()
+        make = getattr(generators, source_name)
+        for index, config in enumerate(space.sample(2)):
+            sources.append((f"dse:{family}:{index}", make(config)))
+    return sources
+
+
+SOURCES = fuzz_sources()
+STEPS_PER_SOURCE = -(-EDIT_BUDGET // len(SOURCES))  # ceil division
+
+#: Insertion material: valid top-level constructs, statement and
+#: expression shards, and outright garbage — segmentation must stay
+#: cold-exact through all of it.
+FRAGMENTS = (
+    "x", "A[i]", " + 1.0", ";", "{", "}", "(", ")", "\n", "---\n",
+    "let y = 2.0;\n", "for (let q = 0..4) { }\n", "@", "$", "/* c */",
+    "// line\n", "/* open", "decl Zf: float[4];\n",
+    "def fz(m: float[4]) { m[0] := 0.5; }\n", "unroll 2", "0..8",
+    "\"", "1.5", "bank 2", "def ", "decl ", ":=", "---", "0x",
+)
+
+
+def random_edit(rng: random.Random, text: str) -> dict:
+    op = rng.randrange(6)
+    n = len(text)
+    if op == 0 and n:          # delete a span
+        start = rng.randrange(n)
+        return {"start": start, "end": min(n, start + rng.randrange(1, 24)),
+                "text": ""}
+    if op == 1:                # insert a fragment
+        at = rng.randrange(n + 1)
+        return {"start": at, "end": at, "text": rng.choice(FRAGMENTS)}
+    if op == 2 and n:          # replace a span with a fragment
+        start = rng.randrange(n)
+        return {"start": start, "end": min(n, start + rng.randrange(1, 16)),
+                "text": rng.choice(FRAGMENTS)}
+    if op == 3 and "\n" in text:   # duplicate one line
+        lines = text.splitlines(keepends=True)
+        k = rng.randrange(len(lines))
+        at = sum(len(line) for line in lines[:k])
+        return {"start": at, "end": at, "text": lines[k]}
+    if op == 4 and n:          # flip one character
+        start = rng.randrange(n)
+        return {"start": start, "end": start + 1,
+                "text": rng.choice("abc01{};:=.@ \n")}
+    at = rng.randrange(n + 1) if n else 0      # append-ish
+    return {"start": at, "end": at, "text": rng.choice(FRAGMENTS)}
+
+
+def assert_parse_parity(document: IncrementalDocument, where: str) -> None:
+    """Incremental state ≡ a cold parse of the same text."""
+    try:
+        cold = parse(document.text, document.name)
+        cold_error = None
+    except DahliaError as error:
+        cold, cold_error = None, error
+
+    if cold_error is not None:
+        assert not document.ok, \
+            f"{where}: cold parse rejects " \
+            f"([{cold_error.kind}] {cold_error}) but incremental accepts"
+        assert document.error is not None, where
+        assert str(document.error) == str(cold_error), \
+            f"{where}: diagnostic drift\n  incremental: " \
+            f"{document.error}\n  cold:        {cold_error}"
+        assert document.error.kind == cold_error.kind, where
+        return
+
+    assert document.ok, \
+        f"{where}: cold parse accepts but incremental rejects " \
+        f"with {document.error!r}"
+    assert ast_equal(document.program, cold), f"{where}: AST drift"
+    assert structural_digest(document.program) == structural_digest(cold), \
+        f"{where}: structural digest drift"
+    mine = {fn.name: fn for fn in document.program.defs}
+    theirs = {fn.name: fn for fn in cold.defs}
+    assert set(mine) == set(theirs), f"{where}: function set drift"
+    for name, fn in mine.items():
+        assert node_digest(fn) == node_digest(theirs[name]), \
+            f"{where}: per-function digest drift for {name!r} " \
+            f"(a reused/relocated def kept a stale memo)"
+
+
+PIPELINE = CompilerPipeline(capacity=4096)
+
+
+def assert_verdict_parity(document: IncrementalDocument,
+                          where: str) -> None:
+    served = check_payload_for(document, PIPELINE)
+    oneshot = PIPELINE.run("check_payload", document.text)
+    assert served == oneshot, \
+        f"{where}: session verdict differs from one-shot check\n" \
+        f"  session:  {served}\n  one-shot: {oneshot}"
+
+
+@pytest.mark.parametrize("label,source", SOURCES,
+                         ids=[label for label, _ in SOURCES])
+def test_random_edit_scripts_preserve_cold_parity(label, source):
+    rng = random.Random(zlib.crc32(label.encode()))
+    document = IncrementalDocument(source, name=label)
+    assert_parse_parity(document, f"{label} (seed text)")
+    for step in range(STEPS_PER_SOURCE):
+        edit = random_edit(rng, document.text)
+        where = f"{label} step {step} edit={edit!r}"
+        document.apply_edits([edit])
+        assert_parse_parity(document, where)
+        if step % VERDICT_EVERY == 0:
+            assert_verdict_parity(document, where)
+    assert_verdict_parity(document, f"{label} (final text)")
+
+
+# ---------------------------------------------------------------------------
+# Targeted boundary scripts: the edits most likely to confuse a
+# segment scanner — def splits/merges, edits exactly on segment
+# boundaries, and break-then-fix cycles.
+# ---------------------------------------------------------------------------
+
+MULTI_DEF = """\
+decl A: float[8 bank 2];
+decl B: float[8 bank 2];
+def first(m: float[8 bank 2]) {
+  for (let i = 0..8) unroll 2 {
+    m[i] := 1.0;
+  }
+}
+def second(m: float[8 bank 2]) {
+  for (let i = 0..8) unroll 2 {
+    m[i] := 2.0;
+  }
+}
+def third(m: float[8 bank 2]) {
+  m[0] := 3.0;
+}
+first(A);
+---
+second(B);
+---
+third(A);
+"""
+
+
+def test_edits_straddling_segment_boundaries_stay_cold_exact():
+    document = IncrementalDocument(MULTI_DEF)
+    assert document.ok
+    boundaries = sorted({segment.start for segment in scan_outline(MULTI_DEF)}
+                        | {segment.end for segment in scan_outline(MULTI_DEF)})
+    step = 0
+    for offset in boundaries:
+        for start, end, text in (
+                (max(0, offset - 1), min(len(document.text), offset + 1),
+                 "/*x*/"),
+                (offset, offset, "\n"),
+                (max(0, offset - 2), offset, "")):
+            start = min(start, len(document.text))
+            end = min(max(start, end), len(document.text))
+            document.apply_edits([{"start": start, "end": end,
+                                   "text": text}])
+            assert_parse_parity(document, f"boundary step {step}")
+            step += 1
+    assert_verdict_parity(document, "boundary (final)")
+
+
+def test_def_split_merge_and_break_fix_cycles():
+    document = IncrementalDocument(MULTI_DEF)
+    script = [
+        # Break: orphan `second`'s closing brace (split a def).
+        ("def second", "def  second"),
+        ("def  second", "def second"),
+        # Merge two defs by deleting a whole header line (the orphaned
+        # body now dangles under `first`).
+        ("def second(m: float[8 bank 2]) {\n", ""),
+        # Fix it back by restoring the header in front of the body.
+        ("  for (let i = 0..8) unroll 2 {\n    m[i] := 2.0;",
+         "def second(m: float[8 bank 2]) {\n"
+         "  for (let i = 0..8) unroll 2 {\n    m[i] := 2.0;"),
+        # Garbage between defs must surface the cold lex error.
+        ("def third", "@\ndef third"),
+        ("@\ndef third", "def third"),
+        # Unterminated comment swallowing the tail.
+        ("third(A);", "third(A); /* trailing"),
+        ("third(A); /* trailing", "third(A);"),
+    ]
+    for step, (old, new) in enumerate(script):
+        at = document.text.index(old)
+        document.apply_edits([{"start": at, "end": at + len(old),
+                               "text": new}])
+        assert_parse_parity(document, f"script step {step} ({old!r}->{new!r})")
+    assert document.ok
+    assert_verdict_parity(document, "script (final)")
+
+
+def test_single_def_edit_reuses_every_other_segment():
+    document = IncrementalDocument(MULTI_DEF)
+    at = document.text.index("1.0")
+    document.apply_edits([{"start": at, "end": at + 3, "text": "4.0"}])
+    assert document.ok
+    stats = document.stats
+    assert stats["parsed"] == 1, stats
+    assert stats["reused"] + stats["relocated"] == stats["segments"] - 1, \
+        stats
+    assert_parse_parity(document, "single-def edit")

@@ -1,0 +1,193 @@
+"""Unit tests for the function-grained incremental frontend.
+
+Covers the pieces the fuzz harness exercises only statistically:
+
+* the outline scanner's segmentation invariants (tiling, construct
+  recognition, comment/garbage handling);
+* segment-confined error recovery — a parse error inside one def no
+  longer aborts the whole parse, and every *other* def's diagnostics
+  and AST nodes still flow;
+* reuse accounting: which segments re-parse, which are reused by
+  reference, and which are relocated after a pure line shift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.incremental import IncrementalDocument, scan_outline
+from repro.frontend.parser import parse
+from repro.ir.digest import node_digest
+
+PROGRAM = """\
+decl A: float[8 bank 2];
+def alpha(m: float[8 bank 2]) {
+  for (let i = 0..8) unroll 2 {
+    m[i] := 1.0;
+  }
+}
+def beta(m: float[8 bank 2]) {
+  m[0] := 2.0;
+}
+def gamma(m: float[8 bank 2]) {
+  m[1] := 3.0;
+}
+alpha(A);
+---
+beta(A);
+"""
+
+
+# ---------------------------------------------------------------------------
+# Outline scanner
+# ---------------------------------------------------------------------------
+
+def test_segments_tile_the_document_exactly():
+    segments = scan_outline(PROGRAM)
+    assert segments[0].start == 0
+    assert segments[-1].end == len(PROGRAM)
+    for left, right in zip(segments, segments[1:]):
+        assert left.end == right.start, "segments must tile with no gaps"
+    assert [s.kind for s in segments] == \
+        ["decl", "def", "def", "def", "body"]
+    assert [s.name for s in segments] == \
+        ["A", "alpha", "beta", "gamma", None]
+
+
+def test_body_segment_always_present():
+    assert scan_outline("")[-1].kind == "body"
+    assert scan_outline("decl A: float[4];")[-1].kind == "body"
+    only_defs = "def f(m: float[4]) { m[0] := 1.0; }"
+    segments = scan_outline(only_defs)
+    assert segments[-1].kind == "body"
+    assert segments[-1].start == segments[-1].end == len(only_defs)
+
+
+def test_comments_hide_structure_from_the_scanner():
+    text = ("// def fake(x: float) {\n"
+            "/* def another() { */\n"
+            "decl A: float[4];\n"
+            "A[0] := 1.0;\n")
+    segments = scan_outline(text)
+    assert [s.kind for s in segments] == ["decl", "body"]
+    document = IncrementalDocument(text)
+    assert document.ok
+    assert node_digest(document.program) == node_digest(parse(text))
+
+
+def test_port_braces_in_signatures_do_not_open_the_body():
+    text = ("def f(m: float[8 bank 4]{0,1}) {\n"
+            "  m[0] := 1.0;\n"
+            "}\n")
+    segments = scan_outline(text)
+    assert segments[0].kind == "def" and segments[0].name == "f"
+    assert segments[0].end == text.index("}\n") + 1
+
+
+# ---------------------------------------------------------------------------
+# Segment-confined error recovery
+# ---------------------------------------------------------------------------
+
+def break_beta(text: str) -> str:
+    return text.replace("m[0] := 2.0;", "m[0] := := 2.0;")
+
+
+def test_error_in_one_def_does_not_abort_the_others():
+    document = IncrementalDocument(break_beta(PROGRAM))
+    assert not document.ok
+    assert document.error is not None
+    # The break is confined: alpha and gamma (and the body) parsed.
+    assert [segment.name for segment in document.broken_segments] \
+        == ["beta"]
+    # Other defs' diagnostics/AST still flow through the segment list.
+    names = {segment.name for segment in document.segments
+             if segment.kind == "def"}
+    assert names == {"alpha", "beta", "gamma"}
+
+
+def test_segment_diagnostic_matches_the_cold_parser():
+    broken = break_beta(PROGRAM)
+    document = IncrementalDocument(broken)
+    with pytest.raises(Exception) as cold:
+        parse(broken)
+    assert str(document.error) == str(cold.value)
+
+
+def test_fixing_the_broken_def_reuses_the_healthy_ones():
+    document = IncrementalDocument(break_beta(PROGRAM))
+    at = document.text.index(":= :=")
+    document.apply_edits([{"start": at, "end": at + 6, "text": ":="}])
+    assert document.ok
+    stats = document.stats
+    # Only beta (and possibly the body tile) re-parsed; alpha, gamma
+    # and the decl came back by reference.
+    assert stats["parsed"] <= 2, stats
+    assert stats["reused"] >= 3, stats
+
+
+def test_document_error_beats_partial_recovery_for_lex_breaks():
+    document = IncrementalDocument(PROGRAM)
+    at = PROGRAM.index("def beta")
+    document.apply_edits([{"start": at, "end": at, "text": "@ "}])
+    assert not document.ok
+    assert document.error.kind == "lex"
+    with pytest.raises(Exception) as cold:
+        parse(document.text)
+    assert str(document.error) == str(cold.value)
+
+
+# ---------------------------------------------------------------------------
+# Reuse accounting
+# ---------------------------------------------------------------------------
+
+def test_same_length_edit_reuses_untouched_defs_by_reference():
+    document = IncrementalDocument(PROGRAM)
+    before = {fn.name: fn for fn in document.program.defs}
+    at = PROGRAM.index("3.0")
+    document.apply_edits([{"start": at, "end": at + 3, "text": "9.5"}])
+    assert document.ok
+    after = {fn.name: fn for fn in document.program.defs}
+    assert after["alpha"] is before["alpha"], \
+        "an untouched def must be reused by reference, not re-parsed"
+    assert after["gamma"] is not before["gamma"]
+    assert document.stats["parsed"] == 1
+
+
+def test_line_shift_relocates_spans_and_keeps_digest_memos():
+    document = IncrementalDocument(PROGRAM)
+    before = {fn.name: (fn, node_digest(fn))
+              for fn in document.program.defs}
+    document.apply_edits([{"start": 0, "end": 0, "text": "// header\n"}])
+    assert document.ok
+    cold = parse(document.text)
+    for fn in document.program.defs:
+        old, old_digest = before[fn.name]
+        assert node_digest(fn) == old_digest, \
+            "digests ignore spans, so relocation must preserve them"
+        cold_fn = next(c for c in cold.defs if c.name == fn.name)
+        assert fn.span == cold_fn.span, \
+            f"relocated span for {fn.name} drifted from the cold parse"
+    assert document.stats["parsed"] == 1       # only the first tile
+
+
+def test_full_replace_still_matches_unchanged_defs_by_content():
+    document = IncrementalDocument(PROGRAM)
+    before = {fn.name: fn for fn in document.program.defs}
+    stats = document.replace(PROGRAM.replace("2.0", "2.5"))
+    assert document.ok
+    after = {fn.name: fn for fn in document.program.defs}
+    assert after["alpha"] is before["alpha"]
+    assert stats["parsed"] == 1
+
+
+def test_edit_validation_rejects_malformed_deltas():
+    document = IncrementalDocument(PROGRAM)
+    for edits in ([{"start": -1, "end": 0, "text": ""}],
+                  [{"start": 5, "end": 4, "text": ""}],
+                  [{"start": 0, "end": 10 ** 9, "text": ""}],
+                  [{"start": 0, "end": 0, "text": 7}],
+                  [{"start": True, "end": 1, "text": ""}],
+                  ["not-a-dict"]):
+        with pytest.raises(ValueError):
+            document.apply_edits(edits)
+    assert document.ok and document.text == PROGRAM
