@@ -1,0 +1,109 @@
+"""Frontier-guided DSE vs exhaustive enumeration, per seed family.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_dse_frontier.py [--smoke]
+    REPRO_FULL=1 PYTHONPATH=src python benchmarks/bench_dse_frontier.py
+
+For every seed family this sweeps the same strided sample twice — once
+exhaustively, once with ``mode="frontier"`` — and *asserts* the
+acceptance criteria of the adaptive mode:
+
+* the converged frontier is byte-identical to the exhaustive
+  accepted-Pareto set (indices, configs, and objective vectors);
+* at most 25% of the candidate space was fully evaluated.
+
+``--smoke`` shrinks the samples for CI; ``REPRO_FULL=1`` sweeps the
+full spaces. Exit status is non-zero on any parity or budget
+violation, so CI can run this directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.dse import frontier_sweep, sweep
+from repro.suite import generators
+
+MAX_EVALUATED_FRACTION = 0.25
+
+SAMPLES = {"default": 800, "smoke": 250}
+
+
+def family_configs(name: str, sample: int) -> list[dict[str, int]]:
+    space_fn, _, _ = generators.resolve_family(name)
+    space = space_fn()
+    if os.environ.get("REPRO_FULL", "") == "1":
+        return list(space)
+    return list(space.sample(sample))
+
+
+def compare_family(name: str, sample: int) -> dict:
+    _, source_fn, kernel_fn = generators.resolve_family(name)
+    configs = family_configs(name, sample)
+
+    started = time.perf_counter()
+    oracle = sweep(configs, source_fn, kernel_fn)
+    exhaustive_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = frontier_sweep(configs, source_fn, kernel_fn)
+    frontier_s = time.perf_counter() - started
+
+    expected = oracle.accepted_pareto()
+    assert result.converged, f"{name}: frontier did not converge"
+    assert result.frontier_indices == oracle.accepted_pareto_indices, \
+        f"{name}: frontier indices diverge from exhaustive oracle"
+    assert [p.config for p in result.frontier] == \
+        [p.config for p in expected], f"{name}: config mismatch"
+    assert [p.report for p in result.frontier] == \
+        [p.report for p in expected], f"{name}: objective mismatch"
+
+    stats = result.stats
+    fraction = stats.points_evaluated / max(1, len(configs))
+    assert fraction <= MAX_EVALUATED_FRACTION, (
+        f"{name}: evaluated {fraction:.1%} of the space "
+        f"(> {MAX_EVALUATED_FRACTION:.0%})")
+
+    return {
+        "space": name,
+        "points": len(configs),
+        "frontier_size": len(result.frontier),
+        "points_evaluated": stats.points_evaluated,
+        "evaluated_fraction": round(fraction, 4),
+        "frontier_versions": stats.frontier_versions,
+        "exhaustive_s": round(exhaustive_s, 3),
+        "frontier_s": round(frontier_s, 3),
+        "speedup": round(exhaustive_s / frontier_s, 2)
+        if frontier_s else None,
+        "trajectory": result.trajectory,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small samples for CI")
+    parser.add_argument("--sample", type=int, default=None,
+                        help="override the per-family sample size")
+    args = parser.parse_args()
+
+    sample = args.sample or \
+        SAMPLES["smoke" if args.smoke else "default"]
+    rows = [compare_family(name, sample)
+            for name in sorted(generators.DSE_FAMILIES)]
+
+    print(json.dumps(rows, indent=2))
+    worst = max(rows, key=lambda r: r["evaluated_fraction"])
+    print(f"\nall {len(rows)} families converged to the exact "
+          f"accepted-Pareto set; worst evaluated fraction "
+          f"{worst['evaluated_fraction']:.1%} ({worst['space']}), "
+          f"cap {MAX_EVALUATED_FRACTION:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

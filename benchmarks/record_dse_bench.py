@@ -12,8 +12,11 @@ on points/sec, plus a ``frontend_split`` record: the measured per-point
 cost of parsing vs type-checking vs template substitution — the
 numbers behind the resolved-IR refactor (engine entries carry a
 ``parses`` count; the template path keeps it at the structural-variant
-count instead of one parse per checker run). See PERFORMANCE.md for
-the methodology.
+count instead of one parse per checker run). A ``frontier-adaptive``
+entry records the adaptive mode with its
+``points_evaluated_to_frontier`` trajectory, after asserting Pareto
+parity against the exhaustive engine. See PERFORMANCE.md for the
+methodology.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ import subprocess
 import time
 from pathlib import Path
 
-from repro.dse import explore, sweep
+from repro.dse import explore, frontier_sweep, sweep
 from repro.dse.engine import resolve_workers
 from repro.suite import (
     gemm_blocked_family,
@@ -126,6 +129,23 @@ def measure(configs: list[dict[str, int]]) -> list[dict]:
         assert result._pareto_point_indices == \
             reference._pareto_point_indices, \
             "engine/reference Pareto parity violation"
+
+    started = time.perf_counter()
+    adaptive = frontier_sweep(configs, gemm_blocked_source,
+                              gemm_blocked_kernel)
+    elapsed = time.perf_counter() - started
+    oracle = sweep(configs, gemm_blocked_source, gemm_blocked_kernel)
+    assert adaptive.converged and \
+        adaptive.frontier_indices == oracle.accepted_pareto_indices, \
+        "frontier/exhaustive Pareto parity violation"
+    entries.append({
+        "path": "frontier-adaptive",
+        **adaptive.stats.as_dict(),
+        "elapsed_s": round(elapsed, 3),
+        "evaluated_fraction": round(
+            adaptive.stats.points_evaluated / max(1, len(configs)), 4),
+        "points_evaluated_to_frontier": adaptive.trajectory,
+    })
     return entries
 
 

@@ -345,6 +345,9 @@ def _print_dse_summary(summary: dict, as_json: bool) -> None:
     if as_json:
         print(json.dumps(summary, indent=2))
         return
+    if summary.get("mode") == "frontier":
+        _print_frontier_summary(summary)
+        return
     print(f"{summary['space']}: {summary['accepted']} / "
           f"{summary['points']} accepted "
           f"({summary['acceptance_rate']:.2%})")
@@ -359,9 +362,35 @@ def _print_dse_summary(summary: dict, as_json: bool) -> None:
               f"{engine['memo_hits']} memo hits)")
 
 
+def _print_frontier_summary(summary: dict) -> None:
+    converged = ("converged" if summary.get("converged")
+                 else "budget-capped")
+    print(f"{summary['space']}: frontier of {summary['frontier_size']} "
+          f"from {summary['evaluated']} / {summary['points']} "
+          f"evaluated ({summary['evaluated_fraction']:.2%}, "
+          f"{converged})")
+    print(f"candidates {summary['candidates']}, frontier versions "
+          f"{summary['frontier_versions']}")
+    engine = summary.get("engine")
+    if engine is not None:
+        print(f"engine: {engine['checker_runs']} checker runs, "
+              f"{engine['points_proposed']} proposed, "
+              f"{engine['points_evaluated']} estimated "
+              f"({engine['workers']} workers)")
+
+
+def _print_frontier_update(update: dict) -> None:
+    print(json.dumps({"type": "frontier", **update}))
+
+
 def cmd_dse(args: argparse.Namespace) -> int:
     if args.sample < 0:
         print("--sample must be >= 0 (0 sweeps the full space)",
+              file=sys.stderr)
+        return 1
+    frontier = args.mode == "frontier"
+    if not frontier and (args.budget is not None or args.stream):
+        print("--budget/--stream require --mode frontier",
               file=sys.stderr)
         return 1
 
@@ -373,9 +402,28 @@ def cmd_dse(args: argparse.Namespace) -> int:
             # default 60 s socket timeout would abandon them mid-run.
             client = ServiceClient.from_address(args.server,
                                                 timeout=3600.0)
-            payload = client.dse(args.space, sample=args.sample,
-                                 workers=args.workers,
-                                 memoize=not args.no_memoize)
+            if args.stream:
+                # Print each frontier-update line as it arrives; the
+                # final result event becomes the normal summary.
+                payload: dict = {}
+                for event in client.dse_stream(
+                        args.space, sample=args.sample,
+                        workers=args.workers,
+                        memoize=not args.no_memoize,
+                        budget=args.budget,
+                        sample_seed=args.sample_seed):
+                    if event.get("type") == "result":
+                        payload = event["payload"]
+                    else:
+                        print(json.dumps(event))
+            else:
+                payload = client.dse(
+                    args.space, sample=args.sample,
+                    workers=args.workers,
+                    memoize=not args.no_memoize,
+                    mode="frontier" if frontier else None,
+                    budget=args.budget,
+                    sample_seed=args.sample_seed)
         except (ServiceError, ValueError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
@@ -383,19 +431,28 @@ def cmd_dse(args: argparse.Namespace) -> int:
         _print_dse_summary(summary, args.json)
         return 0
 
-    from .service.pipeline import dse_summary
+    from .service.pipeline import dse_frontier_summary, dse_summary
 
     # The carriage-return spinner only makes sense on an interactive
     # terminal; piped/redirected stderr would accumulate control lines.
-    spin = not args.json and sys.stderr.isatty()
+    spin = not args.json and not args.stream and sys.stderr.isatty()
 
     def progress(done: int) -> None:
         print(f"\r{done} points…", end="", file=sys.stderr, flush=True)
 
-    summary = dse_summary(args.space, sample=args.sample,
-                          workers=args.workers,
-                          memoize=not args.no_memoize,
-                          progress=progress if spin else None)
+    if frontier:
+        summary = dse_frontier_summary(
+            args.space, budget=args.budget, sample=args.sample,
+            sample_seed=args.sample_seed, workers=args.workers,
+            memoize=not args.no_memoize,
+            progress=progress if spin else None,
+            on_update=_print_frontier_update if args.stream else None)
+    else:
+        summary = dse_summary(args.space, sample=args.sample,
+                              sample_seed=args.sample_seed,
+                              workers=args.workers,
+                              memoize=not args.no_memoize,
+                              progress=progress if spin else None)
     if spin:
         print(file=sys.stderr)
     _print_dse_summary(summary, args.json)
@@ -803,6 +860,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="design-space family to sweep")
     dse.add_argument("--sample", type=int, default=500,
                      help="strided subsample size (0 = full space)")
+    dse.add_argument("--sample-seed", type=int, default=None,
+                     help="seed a random subsample instead of the "
+                          "default strided one (reproducible per seed)")
+    dse.add_argument("--mode", choices=("exhaustive", "frontier"),
+                     default="exhaustive",
+                     help="exhaustive sweep (default) or adaptive "
+                          "frontier-guided search")
+    dse.add_argument("--budget", type=int, default=None,
+                     help="frontier mode: cap on full evaluations "
+                          "(default: run to convergence)")
+    dse.add_argument("--stream", action="store_true",
+                     help="frontier mode: print frontier-update JSON "
+                          "lines as the skyline advances")
     dse.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: $REPRO_WORKERS "
                           "or CPU count)")

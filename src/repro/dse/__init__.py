@@ -2,11 +2,15 @@
 
 ``explore`` is the sequential reference sweep; ``sweep`` is the
 high-throughput engine (parallel fan-out + acceptance memoization)
-that produces identical results.
+that produces identical results — exhaustively by default, or
+adaptively (``mode="frontier"``) via the frontier-guided search in
+:mod:`repro.dse.frontier`, which converges to the identical
+accepted-Pareto set while evaluating a fraction of the space.
 """
 
 from .engine import EngineStats, parallel_map, sweep
-from .pareto import dominates, pareto_front, pareto_indices
+from .frontier import FrontierResult, IncrementalFrontier, frontier_sweep
+from .pareto import dominance_mask, dominates, pareto_front, pareto_indices
 from .runner import (
     DesignPoint,
     DseResult,
@@ -20,11 +24,15 @@ __all__ = [
     "DesignPoint",
     "DseResult",
     "EngineStats",
+    "FrontierResult",
+    "IncrementalFrontier",
     "ParameterSpace",
     "check_acceptance",
     "check_acceptance_program",
+    "dominance_mask",
     "dominates",
     "explore",
+    "frontier_sweep",
     "parallel_map",
     "pareto_front",
     "pareto_indices",

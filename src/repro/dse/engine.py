@@ -104,6 +104,11 @@ class EngineStats:
                                       # worker death, hang, or error
     lost_workers: int = 0             # pool workers that died or were
                                       # terminated mid-sweep
+    points_proposed: int = 0          # frontier mode: candidates sent
+                                      # to full evaluation batches
+    points_evaluated: int = 0         # frontier mode: full estimates
+                                      # actually run (≤ points)
+    frontier_versions: int = 0        # frontier mode: skyline mutations
 
     @property
     def points_per_sec(self) -> float:
@@ -123,6 +128,9 @@ class EngineStats:
             "fn_reused": self.fn_reused,
             "requeued": self.requeued,
             "lost_workers": self.lost_workers,
+            "points_proposed": self.points_proposed,
+            "points_evaluated": self.points_evaluated,
+            "frontier_versions": self.frontier_versions,
         }
 
 
@@ -554,14 +562,46 @@ def sweep(space: ParameterSpace | Iterable[dict[str, int]],
           memoize: bool = True,
           progress: Callable[[int], None] | None = None,
           max_requeues: int = 2,
-          chunk_timeout_s: float | None = None) -> DseResult:
-    """Run a full sweep through the high-throughput engine (traced).
+          chunk_timeout_s: float | None = None,
+          mode: str = "exhaustive",
+          budget: int | None = None,
+          batch_size: int | None = None,
+          on_frontier_update: Callable[[dict[str, Any]], None] | None = None,
+          ):
+    """Run a sweep through the high-throughput engine (traced).
 
-    See :func:`_sweep` for the engine contract. When a trace is active
-    the whole sweep is a ``dse.sweep`` span carrying the final engine
-    stats, with per-chunk ``dse.chunk`` child spans stitched in from
-    the worker fleet; untraced, the span layer is a no-op.
+    ``mode="exhaustive"`` (the default) evaluates every point and
+    returns a :class:`~repro.dse.runner.DseResult` — see :func:`_sweep`
+    for the engine contract. ``mode="frontier"`` runs the adaptive
+    frontier-guided search (:func:`repro.dse.frontier.frontier_sweep`)
+    and returns a :class:`~repro.dse.frontier.FrontierResult` whose
+    ``stats`` extend :class:`EngineStats` with
+    ``points_proposed``/``points_evaluated``/``frontier_versions``;
+    ``budget`` caps full evaluations and ``on_frontier_update``
+    observes every frontier version advance. ``budget``, ``batch_size``
+    and ``on_frontier_update`` are frontier-only and rejected in
+    exhaustive mode.
+
+    When a trace is active the exhaustive sweep is a ``dse.sweep``
+    span carrying the final engine stats, with per-chunk ``dse.chunk``
+    child spans stitched in from the worker fleet; untraced, the span
+    layer is a no-op.
     """
+    if mode == "frontier":
+        from .frontier import frontier_sweep
+
+        return frontier_sweep(space, source_builder, kernel_builder,
+                              budget=budget, batch_size=batch_size,
+                              workers=workers, memoize=memoize,
+                              progress=progress,
+                              on_update=on_frontier_update)
+    if mode != "exhaustive":
+        raise ValueError(f"unknown sweep mode {mode!r} "
+                         f"(choose from: exhaustive, frontier)")
+    if budget is not None or batch_size is not None \
+            or on_frontier_update is not None:
+        raise ValueError("budget/batch_size/on_frontier_update require "
+                         "mode='frontier'")
     with telemetry.span("dse.sweep") as sweep_span:
         result = _sweep(space, source_builder, kernel_builder,
                         workers=workers, chunk_size=chunk_size,

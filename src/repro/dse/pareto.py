@@ -66,3 +66,33 @@ def pareto_indices(points: Sequence[Sequence[float]]) -> list[int]:
 def pareto_front(points: Sequence[Sequence[float]]) -> list[Sequence[float]]:
     """The non-dominated subset of ``points``."""
     return [points[i] for i in pareto_indices(points)]
+
+
+def dominance_mask(frontier: Sequence[Sequence[float]],
+                   points: Sequence[Sequence[float]]) -> np.ndarray:
+    """Boolean mask: is ``points[i]`` strictly dominated by some
+    ``frontier`` row?
+
+    The frontier-guided search calls this with the *lower bounds* of
+    unevaluated candidates as ``points``: a candidate whose bound is
+    already dominated can never land on the frontier (dominance is
+    transitive and the bound is certified ≤ the true objectives), so a
+    True entry means the candidate can be discarded without evaluating
+    it. Blocked like :func:`pareto_indices` to bound the transient
+    comparison tensor.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim == 1:
+        pts = pts.reshape(0, 0) if not len(pts) else pts[None, :]
+    mask = np.zeros(len(pts), dtype=bool)
+    front = np.asarray(frontier, dtype=float)
+    if not len(front) or not len(pts):
+        return mask
+    against = front[None, :, :]                         # (1, F, k)
+    for start in range(0, len(pts), _BLOCK):
+        block = pts[start:start + _BLOCK]               # (c, k)
+        mask[start:start + _BLOCK] = (
+            np.all(against <= block[:, None, :], axis=2)
+            & np.any(against < block[:, None, :], axis=2)
+        ).any(axis=1)
+    return mask

@@ -113,6 +113,16 @@ class DseResult:
         """Pareto-optimal points within the Dahlia-accepted subset."""
         return [self.points[i] for i in self._accepted_pareto_indices]
 
+    @property
+    def accepted_pareto_indices(self) -> list[int]:
+        """Enumeration indices of the accepted-Pareto points.
+
+        This is the parity oracle for the adaptive frontier search: a
+        converged :class:`~repro.dse.frontier.FrontierResult` reports
+        exactly this index set in ``frontier_indices``.
+        """
+        return list(self._accepted_pareto_indices)
+
     def accepted_on_frontier(self) -> int:
         """How many accepted points are globally Pareto-optimal?"""
         frontier = set(self._pareto_point_indices)

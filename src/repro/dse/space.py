@@ -9,6 +9,7 @@ spaces).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from itertools import product
 from math import prod
@@ -37,14 +38,25 @@ class ParameterSpace:
         for combo in product(*(values for _, values in self.parameters)):
             yield dict(zip(names, combo))
 
-    def sample(self, count: int) -> Iterator[dict[str, int]]:
-        """A deterministic evenly-strided subsample of the space."""
+    def sample(self, count: int, *,
+               seed: int | None = None) -> Iterator[dict[str, int]]:
+        """A deterministic subsample of the space, in enumeration order.
+
+        With ``seed=None`` the subsample is evenly strided. An integer
+        ``seed`` draws the positions from a private
+        :class:`random.Random` instead — reproducible end-to-end
+        (adaptive proposal rounds replay exactly for the same seed)
+        without touching global RNG state.
+        """
         total = self.size
         if count >= total:
             yield from self
             return
-        stride = total / count
-        want = {int(k * stride) for k in range(count)}
+        if seed is None:
+            stride = total / count
+            want = {int(k * stride) for k in range(count)}
+        else:
+            want = set(random.Random(seed).sample(range(total), count))
         for position, config in enumerate(self):
             if position in want:
                 yield config

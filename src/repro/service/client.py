@@ -284,10 +284,79 @@ class ServiceClient:
     def session_close(self, session: str) -> dict:
         return self.request("DELETE", f"/session/{session}")
 
-    def dse(self, space: str, *, sample: int = 500,
-            workers: int | None = None, memoize: bool = True) -> dict:
+    @staticmethod
+    def _dse_payload(space: str, sample: int, memoize: bool,
+                     workers: int | None, mode: str | None,
+                     budget: int | None, batch_size: int | None,
+                     sample_seed: int | None) -> dict[str, Any]:
         payload: dict[str, Any] = {"space": space, "sample": sample,
                                    "memoize": memoize}
         if workers is not None:
             payload["workers"] = workers
+        if mode is not None:
+            payload["mode"] = mode
+        if budget is not None:
+            payload["budget"] = budget
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
+        if sample_seed is not None:
+            payload["sample_seed"] = sample_seed
+        return payload
+
+    def dse(self, space: str, *, sample: int = 500,
+            workers: int | None = None, memoize: bool = True,
+            mode: str | None = None, budget: int | None = None,
+            batch_size: int | None = None,
+            sample_seed: int | None = None) -> dict:
+        payload = self._dse_payload(space, sample, memoize, workers,
+                                    mode, budget, batch_size,
+                                    sample_seed)
         return self.request("POST", "/dse", payload)
+
+    def dse_stream(self, space: str, *, sample: int = 500,
+                   workers: int | None = None, memoize: bool = True,
+                   budget: int | None = None,
+                   batch_size: int | None = None,
+                   sample_seed: int | None = None):
+        """Stream a frontier-mode ``/dse`` query; yields event dicts.
+
+        Yields every ``{"type": "frontier", ...}`` update line as the
+        server's skyline version advances, then the ``{"type":
+        "result", ...}`` event whose payload equals the buffered
+        response. Raises :class:`ServiceError` on a non-200 response
+        or an in-stream ``error`` event. No retries: a stream is not
+        idempotent once updates have been consumed, so resilience
+        policy belongs to the caller.
+        """
+        payload = self._dse_payload(space, sample, memoize, workers,
+                                    "frontier", budget, batch_size,
+                                    sample_seed)
+        payload["stream"] = True
+        request_id = telemetry.current_trace_id() or telemetry.new_id()
+        self.last_request_id = request_id
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "POST", "/dse", body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json",
+                         "X-Request-Id": request_id})
+            response = connection.getresponse()
+            if response.status != 200:
+                decoded = json.loads(response.read().decode())
+                raise ServiceError(response.status, decoded,
+                                   request_id=request_id)
+            # http.client decodes Transfer-Encoding: chunked
+            # transparently; iterating the response yields the NDJSON
+            # lines as they arrive.
+            for line in response:
+                if not line.strip():
+                    continue
+                event = json.loads(line.decode())
+                if event.get("type") == "error":
+                    raise ServiceError(int(event.get("status", 500)),
+                                       event.get("payload"),
+                                       request_id=request_id)
+                yield event
+        finally:
+            connection.close()

@@ -487,7 +487,26 @@ def _interp_payload(pipeline: CompilerPipeline, source: str,
 # DSE (space-level, not source-level — dispatches to the sweep engine).
 # ---------------------------------------------------------------------------
 
+def _dse_configs(space_name: str, sample: int,
+                 sample_seed: int | None):
+    """Resolve a family and materialize its (possibly sampled) configs.
+
+    Raises :class:`ValueError` for an unknown family or a negative
+    sample so callers can map it to their own error surface.
+    """
+    from ..suite import generators
+
+    space_fn, source_fn, kernel_fn = generators.resolve_family(space_name)
+    if sample < 0:
+        raise ValueError("sample must be >= 0 (0 sweeps the full space)")
+    space = space_fn()
+    configs = (list(space.sample(sample, seed=sample_seed))
+               if sample and sample < space.size else space)
+    return configs, source_fn, kernel_fn
+
+
 def dse_summary(space_name: str, *, sample: int = 500,
+                sample_seed: int | None = None,
                 workers: int | None = None, memoize: bool = True,
                 progress: Callable[[int], None] | None = None) -> dict:
     """Run a named design-space sweep and summarize it.
@@ -495,24 +514,13 @@ def dse_summary(space_name: str, *, sample: int = 500,
     This is the single implementation behind both ``cli dse --json``
     and the ``/dse`` endpoint, dispatching to
     :func:`repro.dse.engine.sweep` (parallel fan-out + acceptance
-    memoization). Raises :class:`ValueError` for an unknown family or a
-    negative sample so callers can map it to their own error surface.
+    memoization). ``sample_seed`` switches the subsample from evenly
+    strided to seeded-random (reproducible for the same seed).
     """
     from ..dse import sweep
-    from ..suite import generators
 
-    triple = generators.DSE_FAMILIES.get(space_name)
-    if triple is None:
-        known = ", ".join(sorted(generators.DSE_FAMILIES))
-        raise ValueError(f"unknown DSE space {space_name!r} "
-                         f"(choose from: {known})")
-    if sample < 0:
-        raise ValueError("sample must be >= 0 (0 sweeps the full space)")
-    space_fn, source_fn, kernel_fn = (
-        getattr(generators, name) for name in triple)
-    space = space_fn()
-    configs = (list(space.sample(sample))
-               if sample and sample < space.size else space)
+    configs, source_fn, kernel_fn = _dse_configs(space_name, sample,
+                                                 sample_seed)
     with telemetry.span("dse.summary", space=space_name):
         result = sweep(configs, source_fn, kernel_fn, workers=workers,
                        memoize=memoize, progress=progress)
@@ -527,4 +535,60 @@ def dse_summary(space_name: str, *, sample: int = 500,
         "accepted_pareto": len(result.accepted_pareto()),
         "accepted_on_frontier": result.accepted_on_frontier(),
         "engine": stats.as_dict() if stats is not None else None,
+    }
+
+
+def dse_frontier_summary(space_name: str, *, budget: int | None = None,
+                         sample: int = 500,
+                         sample_seed: int | None = None,
+                         workers: int | None = None,
+                         batch_size: int | None = None,
+                         memoize: bool = True,
+                         progress: Callable[[int], None] | None = None,
+                         on_update: Callable[[dict], None] | None = None,
+                         ) -> dict:
+    """Run a named frontier-guided (adaptive) Pareto query.
+
+    The counterpart of :func:`dse_summary` for ``mode="frontier"``:
+    checker verdicts are resolved for the whole (sampled) space, but
+    only adaptively proposed candidates get full estimation, and the
+    summary reports the convergence story — ``converged`` means the
+    returned frontier is byte-identical to the exhaustive oracle's
+    accepted-Pareto set. ``on_update`` observes every frontier version
+    advance with a JSON-ready update dict (the streaming ``/dse``
+    lines).
+    """
+    from ..dse import sweep
+
+    if budget is not None and budget < 0:
+        raise ValueError("budget must be >= 0 (omit it to run to "
+                         "convergence)")
+    configs, source_fn, kernel_fn = _dse_configs(space_name, sample,
+                                                 sample_seed)
+    with telemetry.span("dse.frontier", space=space_name):
+        result = sweep(configs, source_fn, kernel_fn, workers=workers,
+                       memoize=memoize, progress=progress,
+                       mode="frontier", budget=budget,
+                       batch_size=batch_size,
+                       on_frontier_update=on_update)
+    stats = result.stats
+    return {
+        "space": space_name,
+        "mode": "frontier",
+        "points": result.space_size,
+        "candidates": result.candidates,
+        "budget": result.budget,
+        "converged": result.converged,
+        "evaluated": stats.points_evaluated,
+        "evaluated_fraction": (
+            round(stats.points_evaluated / result.space_size, 4)
+            if result.space_size else 0.0),
+        "frontier_size": len(result.frontier),
+        "frontier": [
+            {"config": point.config,
+             "objectives": list(point.objectives)}
+            for point in result.frontier],
+        "frontier_versions": stats.frontier_versions,
+        "trajectory": result.trajectory,
+        "engine": stats.as_dict(),
     }

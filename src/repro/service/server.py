@@ -71,6 +71,7 @@ from .session import (
 from .pipeline import (
     STAGES,
     CompilerPipeline,
+    dse_frontier_summary,
     dse_summary,
     relevant_options,
 )
@@ -353,6 +354,8 @@ def _aggregate_metrics(records: list[dict]) -> dict:
         "evicted_lru": 0, "edits": 0, "stale_rejected": 0,
         "replayed": 0, "hydrated": 0, "synced": 0, "not_found": 0,
         "segments": {"reparsed": 0, "reused": 0, "relocated": 0}}
+    dse: dict[str, int] = {"frontier_requests": 0, "stream_requests": 0,
+                           "frontier_updates": 0, "points_evaluated": 0}
     disk: dict | None = None
     freshest = -1.0
     for record in records:
@@ -368,6 +371,9 @@ def _aggregate_metrics(records: list[dict]) -> dict:
                         sessions["segments"].get(sub, 0) + count
             else:
                 sessions[key] = sessions.get(key, 0) + value
+        row = metrics.get("dse", {})
+        for key in dse:
+            dse[key] += row.get(key, 0)
         row = metrics.get("resilience", {})
         for key in ("deadline_exceeded", "shed", "slow"):
             resilience[key] += row.get(key, 0)
@@ -437,7 +443,7 @@ def _aggregate_metrics(records: list[dict]) -> dict:
         cache["disk"] = disk
     return {"endpoints": dict(sorted(endpoints.items())),
             "resilience": resilience, "cache": cache,
-            "sessions": sessions}
+            "sessions": sessions, "dse": dse}
 
 
 class DahliaService:
@@ -485,6 +491,8 @@ class DahliaService:
         self._metrics: dict[str, EndpointMetrics] = {}
         self._metrics_lock = threading.Lock()
         self._resilience = {"deadline_exceeded": 0, "shed": 0, "slow": 0}
+        self._dse = {"frontier_requests": 0, "stream_requests": 0,
+                     "frontier_updates": 0, "points_evaluated": 0}
         self._started = time.perf_counter()
 
     # -- trace access (ring buffer + fleet spool) ---------------------------
@@ -550,28 +558,155 @@ class DahliaService:
                    if key in request}
         return self.pipeline.run(f"{endpoint}_payload", source, options)
 
-    def _respond_dse(self, request: Mapping[str, Any]) -> dict:
+    def _parse_dse(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a ``/dse`` request into sweep parameters.
+
+        Shared by the buffered and streaming paths so both surfaces
+        reject malformed requests identically.
+        """
         space = request.get("space")
         if not isinstance(space, str):
             raise BadRequest('request must carry a string "space" field')
+        mode = request.get("mode", "exhaustive")
+        if mode not in ("exhaustive", "frontier"):
+            raise BadRequest(f"unknown dse mode {mode!r} "
+                             f"(choose from: exhaustive, frontier)")
         try:
             sample = int(request.get("sample", 500))
             workers = request.get("workers", self.dse_workers)
             workers = 1 if workers is None else int(workers)
             memoize = bool(request.get("memoize", True))
+            budget = request.get("budget")
+            budget = None if budget is None else int(budget)
+            sample_seed = request.get("sample_seed")
+            sample_seed = (None if sample_seed is None
+                           else int(sample_seed))
+            batch_size = request.get("batch_size")
+            batch_size = None if batch_size is None else int(batch_size)
         except (TypeError, ValueError) as error:
             raise BadRequest(f"malformed dse request: {error}") from None
+        if mode != "frontier":
+            if budget is not None:
+                raise BadRequest('"budget" requires "mode": "frontier"')
+            if request.get("stream"):
+                raise BadRequest('"stream": true requires '
+                                 '"mode": "frontier"')
         # Cap requested parallelism at the operator's --dse-workers.
         # Values > 1 fork a multiprocessing pool from this threaded
         # process, which only the operator can judge safe — a client
         # must not be able to trigger it.
         workers = max(1, min(workers, self.dse_workers or 1))
+        return {"space": space, "mode": mode, "sample": sample,
+                "sample_seed": sample_seed, "workers": workers,
+                "memoize": memoize, "budget": budget,
+                "batch_size": batch_size}
+
+    def _record_dse(self, summary: dict, streamed: bool) -> None:
+        with self._metrics_lock:
+            self._dse["frontier_requests"] += 1
+            if streamed:
+                self._dse["stream_requests"] += 1
+            self._dse["frontier_updates"] += summary.get(
+                "frontier_versions", 0)
+            self._dse["points_evaluated"] += summary.get("evaluated", 0)
+
+    def _run_frontier(self, params: dict[str, Any],
+                      on_update: Any = None,
+                      streamed: bool = False) -> dict:
+        """Run a frontier-mode query and account for it in /metrics."""
+        with telemetry.span("stage:dse_frontier", space=params["space"]):
+            summary = dse_frontier_summary(
+                params["space"], budget=params["budget"],
+                sample=params["sample"],
+                sample_seed=params["sample_seed"],
+                workers=params["workers"],
+                batch_size=params["batch_size"],
+                memoize=params["memoize"], on_update=on_update)
+        self._record_dse(summary, streamed)
+        return summary
+
+    def _respond_dse(self, request: Mapping[str, Any]) -> dict:
+        params = self._parse_dse(request)
         try:
-            summary = dse_summary(space, sample=sample, workers=workers,
-                                  memoize=memoize)
+            if params["mode"] == "frontier":
+                summary = self._run_frontier(params)
+            else:
+                summary = dse_summary(
+                    params["space"], sample=params["sample"],
+                    sample_seed=params["sample_seed"],
+                    workers=params["workers"],
+                    memoize=params["memoize"])
         except ValueError as error:
             raise BadRequest(str(error)) from None
         return {"ok": True, **summary}
+
+    def dse_stream(self, body: bytes, emit: Any,
+                   request_id: str | None = None) -> int:
+        """Streaming ``/dse``: run a frontier query, emitting events.
+
+        ``emit`` receives JSON-ready dicts: ``{"type": "frontier",
+        "version": ...}`` for every frontier version advance, then one
+        ``{"type": "result", "payload": {...}}`` carrying exactly the
+        buffered response — or ``{"type": "error", "status": ...,
+        "payload": {...}}`` on any failure (the transport turns a
+        first-event error into a plain status response). Never raises;
+        returns the request's status and records it in the per-path
+        metrics exactly like :meth:`handle`.
+        """
+        started = time.perf_counter()
+        request_id = request_id or telemetry.new_id()
+        status = 200
+        with telemetry.root_span("POST /dse", trace_id=request_id,
+                                 sample_rate=self.trace_sample) as root:
+            try:
+                fault_point("server.handle")
+                fault_point("server.worker")
+                try:
+                    request = json.loads(body.decode() or "{}")
+                except (UnicodeDecodeError,
+                        json.JSONDecodeError) as error:
+                    raise BadRequest(
+                        f"body is not valid JSON: {error}") from None
+                if not isinstance(request, dict):
+                    raise BadRequest("request body must be a JSON "
+                                     "object")
+                params = self._parse_dse(request)
+                if params["mode"] != "frontier":
+                    raise BadRequest('"stream": true requires '
+                                     '"mode": "frontier"')
+                try:
+                    summary = self._run_frontier(
+                        params, streamed=True,
+                        on_update=lambda update: emit(
+                            {"type": "frontier", **update}))
+                except ValueError as error:
+                    raise BadRequest(str(error)) from None
+                emit({"type": "result",
+                      "payload": {"ok": True, **summary}})
+            except BadRequest as error:
+                status = 400
+                emit({"type": "error", "status": status,
+                      "payload": {"ok": False, "error": str(error)}})
+            except DeadlineExceeded as error:
+                self.record_deadline("/dse")
+                status = 503
+                emit({"type": "error", "status": status,
+                      "payload": {"ok": False, "error": str(error),
+                                  "deadline_exceeded": True,
+                                  "budget_s": error.budget_s}})
+            except Exception as error:  # noqa: BLE001 — service boundary
+                status = 500
+                emit({"type": "error", "status": status,
+                      "payload": {"ok": False,
+                                  "error": f"{type(error).__name__}: "
+                                           f"{error}"}})
+            root.set_attr("status", status)
+            root.set_attr("streamed", True)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._metrics_lock:
+            self._metrics.setdefault("/dse", EndpointMetrics()) \
+                .record(elapsed_ms, error=status >= 400)
+        return status
 
     # -- GET endpoints ------------------------------------------------------
 
@@ -595,6 +730,7 @@ class DahliaService:
             endpoints = {path: m.as_dict()
                          for path, m in sorted(self._metrics.items())}
             resilience = dict(self._resilience)
+            dse = dict(self._dse)
         resilience["faults"] = fault_stats()
         return {
             "uptime_s": round(time.perf_counter() - self._started, 3),
@@ -603,6 +739,7 @@ class DahliaService:
             "resilience": resilience,
             "cache": self.pipeline.stats(),
             "sessions": self.sessions.stats(),
+            "dse": dse,
         }
 
     def publish_stats(self) -> None:
@@ -864,6 +1001,40 @@ def _response_bytes(status: int, body: bytes, keep_alive: bool,
     return head.encode() + body
 
 
+def _wants_stream(path: str, body: bytes) -> bool:
+    """Should this POST get the chunked NDJSON treatment?
+
+    Only a well-formed ``/dse`` body asking for ``stream`` in
+    ``frontier`` mode streams; everything else (including a malformed
+    body, or ``stream`` without frontier mode) takes the buffered path
+    so it gets the normal error surface with real status codes.
+    """
+    if path != "/dse":
+        return False
+    try:
+        request = json.loads(body.decode() or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    return (isinstance(request, dict) and bool(request.get("stream"))
+            and request.get("mode") == "frontier")
+
+
+def _stream_head(keep_alive: bool,
+                 extra_headers: Mapping[str, str]) -> bytes:
+    connection = "keep-alive" if keep_alive else "close"
+    head = ("HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n")
+    for name, value in extra_headers.items():
+        head += f"{name}: {value}\r\n"
+    head += f"Connection: {connection}\r\n\r\n"
+    return head.encode()
+
+
+def _chunk_bytes(data: bytes) -> bytes:
+    return f"{len(data):X}\r\n".encode() + data + b"\r\n"
+
+
 async def _read_request(reader: asyncio.StreamReader,
                         ) -> tuple[str, str, dict[str, str], bytes] | None:
     """Parse one request; ``None`` on a clean EOF before the first byte."""
@@ -1053,6 +1224,81 @@ class ServiceServer:
             "budget_s": budget,
         }
 
+    async def _stream_dse(self, loop: asyncio.AbstractEventLoop,
+                          writer: asyncio.StreamWriter, body: bytes,
+                          request_id: str, keep_alive: bool,
+                          response_headers: Mapping[str, str]) -> None:
+        """Serve one streaming ``/dse`` request as chunked NDJSON.
+
+        The frontier search runs on the executor and emits events into
+        an asyncio queue (thread → loop via ``call_soon_threadsafe``);
+        a sentinel follows the handler's completion. The first event
+        decides the wire format: an ``error`` event becomes a normal
+        buffered response with its real status code (nothing has been
+        written yet), anything else opens a chunked 200 and every
+        event — frontier updates, then the final ``result`` (or a
+        mid-stream ``error``, e.g. a deadline that expired between
+        batches) — is one JSON line in its own chunk. The cooperative
+        deadline is armed exactly as on the buffered path; there is no
+        transport backstop for streams, because the search checks the
+        deadline every batch.
+        """
+        assert self._executor is not None
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def emit(event: dict) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        def run() -> None:
+            budget = self._route_budget("/dse")
+            scope = (deadline_scope(Deadline(budget))
+                     if budget is not None
+                     else contextlib.nullcontext())
+            with scope:
+                self.service.dse_stream(body, emit, request_id)
+
+        future = loop.run_in_executor(self._executor, run)
+
+        def finish(f: Any) -> None:
+            # Runs on the loop, after every emit already queued from
+            # the handler thread — FIFO makes the sentinel last.
+            if not f.cancelled():
+                f.exception()      # consume; the service never raises
+            queue.put_nowait(None)
+
+        future.add_done_callback(finish)
+        first = await queue.get()
+        if first is None:                     # pragma: no cover — the
+            # service layer never raises, so an empty stream means the
+            # executor thread itself died; answer a plain 500.
+            data = encode_payload({"ok": False,
+                                   "error": "stream produced no events"})
+            writer.write(_response_bytes(500, data, keep_alive,
+                                         response_headers))
+            await writer.drain()
+            return
+        if first.get("type") == "error":
+            # Failed before any frontier output: the client gets an
+            # ordinary response with the real status, byte-identical
+            # to the buffered path's error envelope.
+            status = int(first.get("status", 500))
+            data = encode_payload(first.get("payload"))
+            writer.write(_response_bytes(status, data, keep_alive,
+                                         response_headers))
+            await writer.drain()
+            while await queue.get() is not None:
+                pass
+            return
+        writer.write(_stream_head(keep_alive, response_headers))
+        event: dict | None = first
+        while event is not None:
+            line = (json.dumps(event) + "\n").encode()
+            writer.write(_chunk_bytes(line))
+            await writer.drain()
+            event = await queue.get()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         try:
@@ -1110,6 +1356,30 @@ class ServiceServer:
                     }
                     response_headers["Retry-After"] = str(
                         max(1, round(RETRY_AFTER_S)))
+                elif method == "POST" and \
+                        _wants_stream(path.partition("?")[0], body):
+                    # Streaming /dse: same admission slot as any POST,
+                    # but the response is written incrementally inside
+                    # _stream_dse (chunked NDJSON), so there is
+                    # nothing to encode below — continue to the next
+                    # keep-alive request directly.
+                    self._queued += 1
+                    try:
+                        await self._semaphore.acquire()
+                    finally:
+                        self._queued -= 1
+                    try:
+                        await self._stream_dse(
+                            loop, writer, body, request_id, keep_alive,
+                            {"X-Request-Id": request_id})
+                    finally:
+                        self._semaphore.release()
+                    if self.service.board is not None:
+                        await loop.run_in_executor(
+                            self._executor, self.service.publish_stats)
+                    if not keep_alive:
+                        break
+                    continue
                 else:
                     self._queued += 1
                     try:

@@ -691,3 +691,19 @@ TEMPLATE_FAMILIES = {
     "md-knn": md_knn_family,
     "stencil2d": stencil2d_family,
 }
+
+
+def resolve_family(space_name: str):
+    """Resolve a family name to its ``(space, source, kernel)`` builders.
+
+    The single lookup behind every ``/dse`` consumer; raises the
+    canonical unknown-space :class:`ValueError` (byte-compared in the
+    HTTP docs) so all error surfaces agree.
+    """
+    triple = DSE_FAMILIES.get(space_name)
+    if triple is None:
+        known = ", ".join(sorted(DSE_FAMILIES))
+        raise ValueError(f"unknown DSE space {space_name!r} "
+                         f"(choose from: {known})")
+    module = globals()
+    return tuple(module[name] for name in triple)
