@@ -1,0 +1,219 @@
+"""Measure singleflight coalescing of identical concurrent /dse sweeps.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_coalesce.py
+    PYTHONPATH=src python benchmarks/bench_coalesce.py --smoke
+
+A herd of N identical ``/dse`` requests released simultaneously must
+cost **exactly one engine sweep**: the first arrival becomes the
+singleflight leader, the rest coalesce onto its flight and share the
+leader's summary byte-for-byte. This script verifies that contract on
+a live loopback server and quantifies the win:
+
+* **conformance** — after the herd, the server's ``points_evaluated``
+  equals a single request's ``evaluated`` count (one sweep ran), the
+  ``coalesced`` counter equals N-1, and all N response bodies are
+  byte-identical.
+* **aggregate win** — the same N requests served *sequentially* (no
+  overlap, so no coalescing, with memoization off) cost N sweeps;
+  the herd completes in roughly one sweep's wall-clock. The full run
+  asserts the herd is **≥ 5× cheaper** in aggregate and appends the
+  record to ``BENCH_service.json``.
+
+``--smoke`` asserts the conformance contract only (used by CI's
+fabric job) and does not append to the trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+from repro.service import (
+    BackgroundServer,
+    DahliaService,
+    ServiceClient,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The coalesced herd must beat sequential service by this factor.
+REQUIRED_AGGREGATE_WIN = 5.0
+
+HERD = 8
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _params(sample: int) -> dict:
+    # Exhaustive mode: every sampled config runs the checker and every
+    # accepted one the estimator, so a sweep has enough wall-clock for
+    # the herd to provably overlap. memoize=False keeps every sweep a
+    # full compute, so the sequential arm honestly prices N
+    # non-coalesced sweeps.
+    return {"space": "gemm-blocked", "sample": sample,
+            "sample_seed": 5, "memoize": False}
+
+
+def run_herd(sample: int, herd: int = HERD) -> dict:
+    """Fire ``herd`` identical /dse requests simultaneously.
+
+    The server's admission and executor limits are pinned to the herd
+    size so every request is genuinely concurrent — the point is to
+    overlap the flight, not to measure queueing.
+    """
+    with BackgroundServer(DahliaService(), max_inflight=herd,
+                          threads=herd + 2) as server:
+        barrier = threading.Barrier(herd)
+        results: list[tuple[int, bytes, float]] = []
+        lock = threading.Lock()
+
+        def submit() -> None:
+            client = ServiceClient(host=server.host, port=server.port,
+                                   timeout=600.0)
+            barrier.wait(timeout=60)
+            started = time.perf_counter()
+            status, body = client.raw("POST", "/dse", _params(sample))
+            elapsed = time.perf_counter() - started
+            with lock:
+                results.append((status, body, elapsed))
+
+        threads = [threading.Thread(target=submit) for _ in range(herd)]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall_s = time.perf_counter() - wall_started
+
+        metrics = ServiceClient(host=server.host,
+                                port=server.port).metrics()
+
+    assert len(results) == herd, "a herd request never returned"
+    assert all(status == 200 for status, _, _ in results), \
+        [status for status, _, _ in results]
+    bodies = {body for _, body, _ in results}
+    single = json.loads(results[0][1].decode())
+    return {
+        "herd": herd,
+        "wall_s": round(wall_s, 4),
+        "latencies_s": sorted(round(elapsed, 4)
+                              for _, _, elapsed in results),
+        "distinct_bodies": len(bodies),
+        "points_per_sweep": single["points"],
+        "points_evaluated": metrics["dse"]["points_evaluated"],
+        "coalesced": metrics["dse"]["coalesced"],
+        "singleflight": metrics["cache"]["singleflight"],
+    }
+
+
+def run_sequential(sample: int, herd: int = HERD) -> dict:
+    """The same requests with zero overlap: every one pays a sweep."""
+    with BackgroundServer(DahliaService()) as server:
+        client = ServiceClient(host=server.host, port=server.port,
+                               timeout=600.0)
+        latencies: list[float] = []
+        for _ in range(herd):
+            started = time.perf_counter()
+            status, _ = client.raw("POST", "/dse", _params(sample))
+            latencies.append(time.perf_counter() - started)
+            assert status == 200
+        metrics = client.metrics()
+    return {
+        "herd": herd,
+        "total_s": round(sum(latencies), 4),
+        "points_evaluated": metrics["dse"]["points_evaluated"],
+        "coalesced": metrics["dse"]["coalesced"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sample", type=int, default=400,
+                        help="configs per sweep (bigger = longer sweep)")
+    parser.add_argument("--herd", type=int, default=HERD,
+                        help="identical concurrent requests to fire")
+    parser.add_argument("--smoke", action="store_true",
+                        help="conformance only; skips the sequential "
+                             "arm and the trajectory file")
+    args = parser.parse_args()
+
+    herd_run = run_herd(args.sample, args.herd)
+
+    # Conformance: one sweep, N-1 coalesced, byte-identical bodies.
+    assert herd_run["coalesced"] == args.herd - 1, (
+        f"expected {args.herd - 1} coalesced requests, got "
+        f"{herd_run['coalesced']} — the herd did not overlap")
+    assert herd_run["points_evaluated"] \
+        == herd_run["points_per_sweep"], (
+        f"more than one sweep ran: points_evaluated "
+        f"{herd_run['points_evaluated']} != single-sweep "
+        f"{herd_run['points_per_sweep']}")
+    assert herd_run["distinct_bodies"] == 1, (
+        f"coalesced responses diverged: {herd_run['distinct_bodies']} "
+        f"distinct bodies")
+    print(f"herd of {args.herd}: one sweep "
+          f"({herd_run['points_per_sweep']} points), "
+          f"{herd_run['coalesced']} coalesced, byte-identical bodies, "
+          f"wall {herd_run['wall_s']}s")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "revision": _git_revision(),
+        "smoke": args.smoke,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "runs": [{"path": "coalesce", **herd_run}],
+    }
+    if args.smoke:
+        print(json.dumps(record, indent=2))
+        return 0
+
+    sequential = run_sequential(args.sample, args.herd)
+    win = sequential["total_s"] / herd_run["wall_s"] \
+        if herd_run["wall_s"] else float("inf")
+    record["runs"][0]["sequential_total_s"] = sequential["total_s"]
+    record["runs"][0]["aggregate_win"] = round(win, 2)
+    print(json.dumps(record, indent=2))
+
+    assert sequential["coalesced"] == 0
+    assert sequential["points_evaluated"] \
+        == herd_run["points_per_sweep"] * args.herd, \
+        "sequential arm did not pay one sweep per request"
+    assert win >= REQUIRED_AGGREGATE_WIN, (
+        f"coalescing win {win:.2f}× below the required "
+        f"≥{REQUIRED_AGGREGATE_WIN}× (sequential "
+        f"{sequential['total_s']}s vs herd wall "
+        f"{herd_run['wall_s']}s)")
+    print(f"\naggregate win: {win:.2f}× "
+          f"(sequential {sequential['total_s']}s for {args.herd} "
+          f"sweeps vs coalesced wall {herd_run['wall_s']}s; "
+          f"required ≥{REQUIRED_AGGREGATE_WIN}×)")
+
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(record)
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,9 @@ Two measurement levels:
 * **server** — the same requests through the asyncio HTTP server
   (loopback), plus a sequential request storm for requests/sec and the
   cache hit rate from ``/metrics``.
+* **keepalive** — warm request throughput with the client's default
+  persistent keep-alive connection vs a fresh TCP connection per
+  request (``keep_alive=False``), reporting the req/s delta.
 * **tracing** — warm served-request latency with tracing fully on
   (``trace_sample=1.0``: root span, stage spans, ring export) vs fully
   off, measured against two loopback servers interleaved
@@ -134,6 +137,48 @@ def measure_server(sources: list[str], warm_rounds: int = 3) -> dict:
         }
 
 
+def measure_keepalive(sources: list[str], warm_rounds: int = 3) -> dict:
+    """Warm request throughput: persistent connection vs per-request.
+
+    Same server, same warm artifact cache, interleaved storms — the
+    only variable is whether the client reuses one keep-alive socket
+    or pays a TCP connect per request. Reports both arms' requests/sec
+    and the keep-alive delta.
+    """
+    with BackgroundServer(DahliaService(capacity=4096)) as server:
+        persistent = ServiceClient(port=server.port)
+        oneshot = ServiceClient(port=server.port, keep_alive=False)
+        assert persistent.health()["ok"]
+        for source in sources:            # warm the artifact cache
+            persistent.estimate(source)
+
+        def storm(client: ServiceClient) -> float:
+            started = time.perf_counter()
+            for _ in range(warm_rounds):
+                for source in sources:
+                    client.estimate(source)
+            return time.perf_counter() - started
+
+        storm(oneshot)                    # spread warm-up noise evenly
+        oneshot_s = storm(oneshot)
+        keepalive_s = storm(persistent)
+        requests = warm_rounds * len(sources)
+        oneshot_rps = round(requests / oneshot_s, 1)
+        keepalive_rps = round(requests / keepalive_s, 1)
+        connections = persistent.connections_opened
+    return {
+        "path": "keepalive",
+        "sources": len(sources),
+        "requests": requests,
+        "oneshot_rps": oneshot_rps,
+        "keepalive_rps": keepalive_rps,
+        "rps_delta": round(keepalive_rps - oneshot_rps, 1),
+        "speedup": (round(keepalive_rps / oneshot_rps, 3)
+                    if oneshot_rps else float("inf")),
+        "connections_opened": connections,
+    }
+
+
 def measure_tracing_overhead(sources: list[str],
                              rounds: int = 7) -> dict:
     """Warm served-request latency with tracing on vs off.
@@ -204,8 +249,9 @@ def main() -> int:
 
     pipeline_run = measure_pipeline(sources)
     server_run = measure_server(sources)
+    keepalive_run = measure_keepalive(sources)
     tracing_run = measure_tracing_overhead(sources)
-    runs = [pipeline_run, server_run, tracing_run]
+    runs = [pipeline_run, server_run, keepalive_run, tracing_run]
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -231,6 +277,10 @@ def main() -> int:
           f"server {server_run['speedup']}×; "
           f"warm server throughput {server_run['requests_per_sec']} "
           f"req/s at hit rate {server_run['cache_hit_rate']}; "
+          f"keep-alive {keepalive_run['keepalive_rps']} vs one-shot "
+          f"{keepalive_run['oneshot_rps']} req/s "
+          f"({keepalive_run['rps_delta']:+} req/s over "
+          f"{keepalive_run['connections_opened']} sockets); "
           f"tracing overhead {tracing_run['overhead_ratio']}× "
           f"(budget ≤{TRACING_OVERHEAD_BUDGET}×)")
 

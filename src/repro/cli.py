@@ -471,13 +471,19 @@ def cmd_cache_prewarm(args: argparse.Namespace) -> int:
     from .service.prewarm import prewarm_corpus
 
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
-    if not cache_dir:
-        print("cache prewarm needs --cache-dir (or $REPRO_CACHE_DIR): "
-              "the point is to warm the persistent tier a server fleet "
-              "will share", file=sys.stderr)
+    if not cache_dir and not args.server:
+        print("cache prewarm needs --cache-dir (or $REPRO_CACHE_DIR) "
+              "or --server: warm the persistent tier a fleet shares, "
+              "or push artifacts into a running server's CAS",
+              file=sys.stderr)
         return 1
-    pipeline = CompilerPipeline(disk=cache_dir,
-                                disk_bytes=args.cache_mb * 1024 * 1024)
+    if cache_dir:
+        pipeline = CompilerPipeline(disk=cache_dir,
+                                    disk_bytes=args.cache_mb * 1024 * 1024)
+    else:
+        # --server only: warm an in-memory store sized to hold the
+        # whole walk, then push it over the wire.
+        pipeline = CompilerPipeline(capacity=4096)
     spin = not args.json and sys.stderr.isatty()
 
     def progress(label: str) -> None:
@@ -500,6 +506,26 @@ def cmd_cache_prewarm(args: argparse.Namespace) -> int:
             print(file=sys.stderr)
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.server:
+        from .service.client import ServiceClient
+        from .service.prewarm import push_store
+
+        try:
+            client = ServiceClient.from_address(args.server)
+        except ValueError as error:
+            if spin:
+                print(file=sys.stderr)
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        try:
+            summary["push"] = push_store(
+                pipeline, client, progress=progress if spin else None)
+        except OSError as error:
+            if spin:
+                print(file=sys.stderr)
+            print(f"error: cannot reach {args.server}: {error}",
+                  file=sys.stderr)
+            return 1
     if args.trace_out:
         traces = telemetry.recent_traces(1)
         if traces:
@@ -511,11 +537,17 @@ def cmd_cache_prewarm(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
+        target = cache_dir or f"memory (pushing to {args.server})"
         print(f"prewarmed {summary['artifacts']} artifacts from "
               f"{summary['sources']} sources "
               f"({summary['accepted']} accepted, "
               f"{summary['skipped']} already present, "
-              f"{summary['failures']} failures) into {cache_dir}")
+              f"{summary['failures']} failures) into {target}")
+        if "push" in summary:
+            push = summary["push"]
+            print(f"  pushed {push['pushed']} artifacts "
+                  f"({push['bytes']} bytes) to {args.server}'s CAS, "
+                  f"{push['failed']} rejected")
         for stage, counts in summary["per_stage"].items():
             print(f"  {stage}: {counts['warmed']} warmed, "
                   f"{counts['skipped']} skipped")
@@ -532,9 +564,12 @@ def cmd_cache_prewarm(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
+    peers = ([peer.strip() for peer in args.peers.split(",")
+              if peer.strip()]
+             if args.peers else None)
     serve(host=args.host, port=args.port, capacity=args.capacity,
           max_inflight=args.max_inflight, dse_workers=args.dse_workers,
-          workers=args.workers, cache_dir=args.cache_dir,
+          workers=args.workers, peers=peers, cache_dir=args.cache_dir,
           cache_bytes=args.cache_mb * 1024 * 1024,
           request_timeout=args.request_timeout or None,
           queue_depth=args.queue_depth if args.queue_depth > 0 else None,
@@ -898,6 +933,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = the full space)")
     prewarm.add_argument("--no-corpus", action="store_true",
                          help="skip the labeled typing-rule corpus")
+    prewarm.add_argument("--server", default=None, metavar="HOST:PORT",
+                         help="push the warmed artifacts into this "
+                              "running server's CAS (PUT /cas/{digest}); "
+                              "with no --cache-dir the walk warms an "
+                              "in-memory store and only pushes")
     prewarm.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="persistent artifact tier directory "
                               "(default: $REPRO_CACHE_DIR)")
@@ -924,6 +964,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="serving processes (prefork pool sharing "
                             "the port and the disk cache tier)")
+    serve.add_argument("--peers", default=None, metavar="HOST:PORT,...",
+                       help="comma-separated addresses of peer nodes "
+                            "whose CAS (/cas/{digest}) backs this "
+                            "node's artifact store as a remote tier")
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent artifact tier directory "
                             "(default: $REPRO_CACHE_DIR, else the "

@@ -9,15 +9,26 @@ Three layers, bottom up:
   resolved program's structural digest;
 * :mod:`repro.service.prewarm`   — corpus-driven cache warming
   (``dahlia-py cache prewarm``);
+* :mod:`repro.service.jobs`     — spool-backed async ``/dse`` jobs
+  (submit, poll, tail) deduplicated by deterministic job id;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib-only asyncio JSON-over-HTTP server (``dahlia-py serve``) and
-  its client (used by the ``--server`` CLI mode).
+  its keep-alive client (used by the ``--server`` CLI mode). A fleet
+  of servers federates artifact stores over ``/cas/{digest}``
+  (``serve --peers``).
 """
 
-from .artifacts import ArtifactKey, ArtifactStore, DiskStore, artifact_key
+from .artifacts import (
+    ArtifactKey,
+    ArtifactStore,
+    DiskStore,
+    RemoteStore,
+    artifact_key,
+)
 from .client import ServiceClient, ServiceError
+from .jobs import JobManager, job_id_for
 from .pipeline import CompilerPipeline, dse_summary, relevant_options
-from .prewarm import prewarm_corpus
+from .prewarm import prewarm_corpus, push_store
 from .server import (
     BackgroundServer,
     DahliaService,
@@ -34,6 +45,8 @@ __all__ = [
     "CompilerPipeline",
     "DahliaService",
     "DiskStore",
+    "JobManager",
+    "RemoteStore",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
@@ -41,7 +54,9 @@ __all__ = [
     "artifact_key",
     "dse_summary",
     "encode_payload",
+    "job_id_for",
     "prewarm_corpus",
+    "push_store",
     "relevant_options",
     "serve",
 ]

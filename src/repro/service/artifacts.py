@@ -8,7 +8,7 @@ same source text therefore maps to the same artifacts across requests,
 which is what makes the service's warm path orders of magnitude faster
 than a cold compile.
 
-The store is a two-tier hierarchy:
+The store is a three-tier hierarchy:
 
 * **memory** — a bounded LRU: hits refresh recency, inserts beyond
   ``capacity`` evict the least recently used artifact;
@@ -17,14 +17,23 @@ The store is a two-tier hierarchy:
   are shared by every process pointed at the same directory (the
   multi-process server's workers, CLI runs, benchmarks). Sound because
   every artifact is a pure function of its content-addressed key.
+* **peer** (optional) — a :class:`RemoteStore` probed on disk misses:
+  other fleet nodes' ``/cas/{digest}`` routes. A peer hit is verified
+  against its transported checksum, then promoted into *both* local
+  tiers, so each artifact crosses the network at most once per node.
+  Any peer failure — connection refused, timeout, corrupt or truncated
+  blob — degrades to a plain cache miss, exactly like a failed
+  ``disk.read``.
 
 All operations are thread-safe — the server executes requests on a
-thread pool — and per-stage hit/miss counters feed the ``/metrics``
-endpoint.
+thread pool — and per-stage hit/miss/coalesced counters feed the
+``/metrics`` endpoint.
 """
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import logging
 import os
 import pickle
@@ -67,6 +76,9 @@ def artifact_key(stage: str, source: str,
 class StageCounters:
     hits: int = 0
     misses: int = 0
+    #: Requests served by waiting on another request's in-flight
+    #: compute for the same key (singleflight followers).
+    coalesced: int = 0
 
 
 #: Default size cap for the persistent tier (bytes).
@@ -309,20 +321,132 @@ class DiskStore:
             }
 
 
+#: Per-peer socket timeout for CAS fetches. A peer that cannot answer
+#: inside this window is slower than recomputing most stages locally,
+#: so the probe gives up and the lookup degrades to a miss.
+REMOTE_TIMEOUT_S = 2.0
+
+
+class RemoteStore:
+    """Read-only peer tier: fetch artifacts from other fleet nodes.
+
+    Probes each configured peer's ``GET /cas/{digest}?stage=...`` route
+    in order and returns the first verified hit. The transport contract
+    mirrors :class:`DiskStore`'s corruption tolerance — *any* failure
+    is a miss, never an exception:
+
+    * connection refused / timeout / non-200 → miss (``errors``);
+    * blob whose SHA-256 disagrees with the peer's ``X-CAS-Sha256``
+      header, or that fails to unpickle → miss (``corrupt``) — a
+      half-dead peer can cost latency but never wrong answers;
+    * ``fault_point("remote.read")`` lets chaos drills inject all of
+      the above.
+
+    The tier is deliberately read-only: artifacts flow *into* a node
+    via its own computes, its disk, or an explicit ``cache prewarm
+    --server`` push — a lookup never writes to a peer, so probe storms
+    cannot amplify into write storms.
+    """
+
+    def __init__(self, peers: list[str] | tuple[str, ...],
+                 timeout_s: float = REMOTE_TIMEOUT_S) -> None:
+        parsed = []
+        for peer in peers:
+            host, _, port = peer.strip().rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError(f"peer must be HOST:PORT, got {peer!r}")
+            parsed.append((host, int(port)))
+        if not parsed:
+            raise ValueError("RemoteStore requires at least one peer")
+        self.peers = tuple(parsed)
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.corrupt = 0
+
+    def get(self, key: ArtifactKey, default: Any = None) -> Any:
+        for host, port in self.peers:
+            blob = self._fetch(host, port, key)
+            if blob is None:
+                continue
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                with self._lock:
+                    self.corrupt += 1
+                continue
+            with self._lock:
+                self.hits += 1
+            return value
+        with self._lock:
+            self.misses += 1
+        return default
+
+    def _fetch(self, host: str, port: int,
+               key: ArtifactKey) -> bytes | None:
+        """One peer probe; returns verified raw blob bytes or ``None``."""
+        conn = None
+        try:
+            fault_point("remote.read")        # chaos drills: dead peer
+            conn = http.client.HTTPConnection(
+                host, port, timeout=self.timeout_s)
+            conn.request(
+                "GET", f"/cas/{key.digest}?stage={key.stage}")
+            response = conn.getresponse()
+            if response.status != 200:
+                return None
+            blob = response.read()
+            expected = response.getheader("X-CAS-Sha256", "")
+        except Exception:
+            with self._lock:
+                self.errors += 1
+            return None
+        finally:
+            if conn is not None:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+        # Verify before promotion: a truncated or bit-flipped transfer
+        # must degrade to a miss, not poison two local tiers.
+        if not expected \
+                or hashlib.sha256(blob).hexdigest() != expected:
+            with self._lock:
+                self.corrupt += 1
+            return None
+        return blob
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "peers": [f"{host}:{port}" for host, port in self.peers],
+                "hits": self.hits,
+                "misses": self.misses,
+                "errors": self.errors,
+                "corrupt": self.corrupt,
+            }
+
+
 class ArtifactStore:
     """Bounded, thread-safe, content-addressed LRU artifact cache.
 
     With a ``disk`` tier attached, memory misses fall through to the
     persistent store and disk hits are promoted into memory, so a
-    fresh process pointed at a warm directory starts warm.
+    fresh process pointed at a warm directory starts warm. With a
+    ``remote`` tier attached, disk misses additionally probe fleet
+    peers, and verified peer hits are promoted into both local tiers.
     """
 
     def __init__(self, capacity: int = 512,
-                 disk: DiskStore | None = None) -> None:
+                 disk: DiskStore | None = None,
+                 remote: RemoteStore | None = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.disk = disk
+        self.remote = remote
         self._entries: OrderedDict[ArtifactKey, Any] = OrderedDict()
         self._lock = threading.RLock()
         self._by_stage: dict[str, StageCounters] = {}
@@ -343,11 +467,12 @@ class ArtifactStore:
     def lookup(self, key: ArtifactKey) -> tuple[Any, str | None]:
         """Like :meth:`get`, but report which tier answered.
 
-        Returns ``(value, "memory")``, ``(value, "disk")``, or
-        ``(None, None)`` on a full miss — the tier is what traced
-        pipeline stages attach as their ``cache`` attribute. Counter
-        semantics are identical to :meth:`get` (a disk hit counts as a
-        memory miss and is promoted).
+        Returns ``(value, "memory")``, ``(value, "disk")``,
+        ``(value, "remote")``, or ``(None, None)`` on a full miss —
+        the tier is what traced pipeline stages attach as their
+        ``cache`` attribute. Counter semantics are identical to
+        :meth:`get` (a lower-tier hit counts as a memory miss and is
+        promoted).
         """
         with self._lock:
             counters = self._counters(key.stage)
@@ -362,6 +487,16 @@ class ArtifactStore:
             if value is not _MISSING:
                 self._put_memory(key, value)  # promote
                 return value, "disk"
+        if self.remote is not None:
+            value = self.remote.get(key, _MISSING)
+            if value is not _MISSING:
+                # Promote into both local tiers: the artifact crosses
+                # the network once, then this node serves it (and can
+                # re-export it to further peers) locally.
+                self._put_memory(key, value)
+                if self.disk is not None:
+                    self.disk.put(key, value)
+                return value, "remote"
         return None, None
 
     def put(self, key: ArtifactKey, value: Any) -> None:
@@ -393,11 +528,70 @@ class ArtifactStore:
         return value
 
     def __contains__(self, key: ArtifactKey) -> bool:
-        """True if either tier can serve ``key`` (no counters touched)."""
+        """True if a *local* tier can serve ``key`` (no counters touched)."""
         with self._lock:
             if key in self._entries:
                 return True
         return self.disk is not None and key in self.disk
+
+    # -- CAS exchange (peer-facing blob protocol) ---------------------------
+
+    def peek_blob(self, key: ArtifactKey) -> bytes | None:
+        """Raw pickle bytes for ``key`` from *local* tiers only.
+
+        This is what the ``/cas/{digest}`` route serves. No counters,
+        no recency refresh, and crucially no remote probe — a fleet of
+        mutually-peered nodes must never recurse a CAS request back
+        out to the peer that asked.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            try:
+                return pickle.dumps(value,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                return None
+        if self.disk is not None:
+            path = self.disk.path_for(key)
+            try:
+                with open(path, "rb") as handle:
+                    return handle.read()
+            except OSError:
+                return None
+        return None
+
+    def import_blob(self, key: ArtifactKey, blob: bytes) -> bool:
+        """Install a transported blob into the local tiers.
+
+        Backs the ``PUT /cas/{digest}`` route (prewarm pushes). The
+        blob must unpickle — a garbage payload is rejected, not
+        cached, so a confused client cannot poison the store.
+        """
+        try:
+            value = pickle.loads(blob)
+        except Exception:
+            return False
+        self.put(key, value)
+        return True
+
+    def export_blobs(self) -> list[tuple[ArtifactKey, bytes]]:
+        """Snapshot every memory-tier artifact as ``(key, blob)`` pairs.
+
+        Used by ``cache prewarm --server`` to push a freshly warmed
+        working set into a remote node's CAS. Unpicklable values are
+        skipped — they could never cross the wire anyway.
+        """
+        with self._lock:
+            items = list(self._entries.items())
+        blobs = []
+        for key, value in items:
+            try:
+                blobs.append((key, pickle.dumps(
+                    value, protocol=pickle.HIGHEST_PROTOCOL)))
+            except Exception:
+                continue
+        return blobs
 
     def __len__(self) -> int:
         with self._lock:
@@ -417,6 +611,17 @@ class ArtifactStore:
         if counters is None:
             counters = self._by_stage[stage] = StageCounters()
         return counters
+
+    def count_coalesced(self, stage: str) -> None:
+        """Record a singleflight follower for ``stage``.
+
+        The pipeline calls this when a request's stage miss was served
+        by waiting on a concurrent identical compute instead of
+        running one — the miss already counted, this annotates how it
+        resolved.
+        """
+        with self._lock:
+            self._counters(stage).coalesced += 1
 
     @property
     def hits(self) -> int:
@@ -450,10 +655,13 @@ class ArtifactStore:
                 "hit_rate": round(self.hit_rate, 4),
                 "evictions": self.evictions,
                 "stages": {
-                    stage: {"hits": c.hits, "misses": c.misses}
+                    stage: {"hits": c.hits, "misses": c.misses,
+                            "coalesced": c.coalesced}
                     for stage, c in sorted(self._by_stage.items())
                 },
             }
         if self.disk is not None:
             snapshot["disk"] = self.disk.stats()
+        if self.remote is not None:
+            snapshot["remote"] = self.remote.stats()
         return snapshot

@@ -1,9 +1,17 @@
 """Stdlib client for the compiler service.
 
-One method per endpoint, returning the decoded JSON payload. A fresh
-``http.client`` connection is opened per request, so a single
-:class:`ServiceClient` may be shared freely across threads — the
-concurrent stress tests hammer one instance from a pool.
+One method per endpoint, returning the decoded JSON payload. By
+default the client keeps one persistent keep-alive connection **per
+thread** (``keep_alive=True``), so a single :class:`ServiceClient`
+may be shared freely across threads — the concurrent stress tests
+hammer one instance from a pool — while each thread amortizes its TCP
+handshake across requests. A request that finds its thread's cached
+socket gone stale (the server closed an idle keep-alive connection)
+is transparently re-sent once on a fresh socket; since every
+documented route is idempotent this is safe. ``keep_alive=False``
+restores the one-connection-per-request behavior, and
+:attr:`ServiceClient.connections_opened` counts actual sockets opened
+so benchmarks can report the reuse ratio.
 
 With ``retries > 0`` the client absorbs transient failure: connection
 errors (a worker died, the supervisor is respawning) and retryable
@@ -25,13 +33,14 @@ and the server's slow-request log, and is included in
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import logging
 import random
 import threading
 import time
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from ..util import telemetry
 
@@ -61,7 +70,8 @@ class ServiceClient:
                  timeout: float = 60.0, *, retries: int = 0,
                  backoff_s: float = 0.05, backoff_max_s: float = 2.0,
                  total_deadline_s: float | None = None,
-                 retry_seed: int | None = None) -> None:
+                 retry_seed: int | None = None,
+                 keep_alive: bool = True) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -69,9 +79,14 @@ class ServiceClient:
         self.backoff_s = backoff_s
         self.backoff_max_s = backoff_max_s
         self.total_deadline_s = total_deadline_s
+        self.keep_alive = keep_alive
         self._rng = random.Random(retry_seed)
         self._lock = threading.Lock()
+        self._local = threading.local()
         self.retries_used = 0
+        #: Sockets actually opened (across all threads); with
+        #: keep-alive on, ``requests - connections_opened`` is reuse.
+        self.connections_opened = 0
         #: ``X-Request-Id`` of the most recent :meth:`raw` call.
         self.last_request_id: str | None = None
 
@@ -96,28 +111,86 @@ class ServiceClient:
 
     # -- wire protocol -------------------------------------------------------
 
-    def _exchange(self, method: str, path: str,
-                  payload: Mapping[str, Any] | None,
-                  request_id: str,
-                  ) -> tuple[int, bytes, float | None]:
-        """One attempt: ``(status, body, Retry-After seconds or None)``."""
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's cached connection; ``(conn, was_reused)``."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
-        try:
-            body = (json.dumps(payload).encode()
-                    if payload is not None else None)
-            headers = {"Content-Type": "application/json",
-                       "X-Request-Id": request_id}
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            retry_after = response.getheader("Retry-After")
+        with self._lock:
+            self.connections_opened += 1
+        if self.keep_alive:
+            self._local.connection = connection
+        return connection, False
+
+    def _discard_connection(
+            self, connection: http.client.HTTPConnection) -> None:
+        connection.close()
+        if getattr(self._local, "connection", None) is connection:
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Close the **calling thread's** cached keep-alive connection.
+
+        Other threads' connections are untouched (they are owned by
+        their threads); an unclosed connection is reclaimed when its
+        socket is garbage-collected or the server expires it.
+        """
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            self._discard_connection(connection)
+
+    def last_response_headers(self) -> dict[str, str]:
+        """Headers of the calling thread's most recent response."""
+        return dict(getattr(self._local, "response_headers", None) or {})
+
+    def _exchange(self, method: str, path: str,
+                  payload: Mapping[str, Any] | bytes | None,
+                  request_id: str,
+                  ) -> tuple[int, bytes, float | None]:
+        """One attempt: ``(status, body, Retry-After seconds or None)``.
+
+        A ``bytes`` payload is sent verbatim as an octet stream (the
+        ``/cas`` PUT path); a mapping is JSON-encoded. When the
+        thread's reused keep-alive socket turns out stale, the request
+        is re-sent once on a fresh socket before any error escapes.
+        """
+        if isinstance(payload, (bytes, bytearray)):
+            body: bytes | None = bytes(payload)
+            content_type = "application/octet-stream"
+        elif payload is not None:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        else:
+            body = None
+            content_type = "application/json"
+        headers = {"Content-Type": content_type,
+                   "X-Request-Id": request_id}
+        while True:
+            connection, reused = self._connection()
             try:
-                hint = float(retry_after) if retry_after else None
-            except ValueError:
-                hint = None
-            return response.status, response.read(), hint
-        finally:
-            connection.close()
+                connection.request(method, path, body=body,
+                                   headers=headers)
+                response = connection.getresponse()
+                retry_after = response.getheader("Retry-After")
+                try:
+                    hint = float(retry_after) if retry_after else None
+                except ValueError:
+                    hint = None
+                data = response.read()
+                self._local.response_headers = {
+                    key: value for key, value in response.getheaders()}
+            except (OSError, http.client.HTTPException):
+                self._discard_connection(connection)
+                if reused:
+                    # Stale keep-alive socket: the server closed it
+                    # while idle. Retry once on a fresh connection.
+                    continue
+                raise
+            if not self.keep_alive or response.will_close:
+                self._discard_connection(connection)
+            return response.status, data, hint
 
     def _backoff(self, attempt: int, hint: float | None) -> float:
         """Exponential backoff with jitter; ``Retry-After`` is a floor."""
@@ -127,7 +200,8 @@ class ServiceClient:
         return max(delay, hint or 0.0)
 
     def raw(self, method: str, path: str,
-            payload: Mapping[str, Any] | None = None) -> tuple[int, bytes]:
+            payload: Mapping[str, Any] | bytes | None = None,
+            ) -> tuple[int, bytes]:
         """One request; returns ``(status, body bytes)`` unparsed.
 
         The byte-parity tests go through this to compare the exact
@@ -176,7 +250,7 @@ class ServiceClient:
             attempt += 1
 
     def request(self, method: str, path: str,
-                payload: Mapping[str, Any] | None = None) -> dict:
+                payload: Mapping[str, Any] | bytes | None = None) -> dict:
         status, body = self.raw(method, path, payload)
         decoded = json.loads(body.decode())
         if status != 200:
@@ -312,6 +386,131 @@ class ServiceClient:
                                     mode, budget, batch_size,
                                     sample_seed)
         return self.request("POST", "/dse", payload)
+
+    def dse_submit(self, space: str, *, sample: int = 500,
+                   workers: int | None = None, memoize: bool = True,
+                   mode: str | None = None, budget: int | None = None,
+                   batch_size: int | None = None,
+                   sample_seed: int | None = None) -> dict:
+        """Submit a sweep as an async job (``"async": true``).
+
+        Returns immediately with the job record — ``job`` (the
+        deterministic id derived from the parameters), ``state`` and
+        ``coalesced`` (whether an identical live job absorbed this
+        submission). Poll with :meth:`job` or tail with
+        :meth:`job_stream`.
+        """
+        payload = self._dse_payload(space, sample, memoize, workers,
+                                    mode, budget, batch_size,
+                                    sample_seed)
+        payload["async"] = True
+        return self.request("POST", "/dse", payload)
+
+    def job(self, job_id: str) -> dict:
+        """Fetch one async job's current record."""
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, limit: int | None = None) -> dict:
+        """List recent async jobs, newest first."""
+        query = f"?limit={int(limit)}" if limit is not None else ""
+        return self.request("GET", "/jobs" + query)
+
+    def job_wait(self, job_id: str, *, timeout: float = 60.0,
+                 interval: float = 0.05) -> dict:
+        """Poll :meth:`job` until the job reaches a terminal state."""
+        give_up_at = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in ("done", "error"):
+                return record
+            if time.monotonic() >= give_up_at:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('state')!r} after "
+                    f"{timeout:g}s")
+            time.sleep(interval)
+
+    def job_stream(self, job_id: str) -> Iterator[dict]:
+        """Tail an async job's NDJSON stream; yields event dicts.
+
+        Yields ``frontier`` events from wherever the job currently is
+        (the stream replays versions this client has not seen — it is
+        resumable across connections), then the terminal ``result``
+        event. Raises :class:`ServiceError` on a non-200 response or
+        an in-stream ``error`` event. A dedicated connection is used;
+        the thread's keep-alive connection is untouched.
+        """
+        request_id = telemetry.current_trace_id() or telemetry.new_id()
+        self.last_request_id = request_id
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/stream",
+                headers={"X-Request-Id": request_id})
+            response = connection.getresponse()
+            if response.status != 200:
+                decoded = json.loads(response.read().decode())
+                raise ServiceError(response.status, decoded,
+                                   request_id=request_id)
+            for line in response:
+                if not line.strip():
+                    continue
+                event = json.loads(line.decode())
+                if event.get("type") == "error":
+                    raise ServiceError(int(event.get("status", 500)),
+                                       event.get("payload"),
+                                       request_id=request_id)
+                yield event
+        finally:
+            connection.close()
+
+    # -- remote CAS ----------------------------------------------------------
+
+    def cas_get(self, stage: str, digest: str, *,
+                verify: bool = True) -> bytes | None:
+        """Fetch one artifact blob from the server's CAS, or ``None``.
+
+        With ``verify`` (the default) the body is re-hashed against
+        the ``X-CAS-Sha256`` response header; a mismatch — a corrupt
+        or truncated transfer — raises :class:`ServiceError` rather
+        than returning bad bytes.
+        """
+        status, body = self.raw("GET", f"/cas/{digest}?stage={stage}")
+        if status == 404:
+            return None
+        if status != 200:
+            try:
+                decoded: Any = json.loads(body.decode())
+            except ValueError:
+                decoded = {"error": body.decode(errors="replace")}
+            raise ServiceError(status, decoded,
+                               request_id=self.last_request_id)
+        if verify:
+            expected = self.last_response_headers().get("X-CAS-Sha256")
+            if expected and \
+                    hashlib.sha256(body).hexdigest() != expected:
+                raise ServiceError(
+                    502, {"error": f"cas blob {digest} failed its "
+                                   f"checksum in transit"},
+                    request_id=self.last_request_id)
+        return body
+
+    def cas_put(self, stage: str, digest: str, blob: bytes) -> dict:
+        """Push one pickled artifact blob into the server's CAS.
+
+        The blob's sha256 rides the query string; the server verifies
+        it (and that the blob unpickles) before admitting the
+        artifact, so a corrupt upload is rejected with a 400, never
+        silently cached.
+        """
+        checksum = hashlib.sha256(blob).hexdigest()
+        return self.request(
+            "PUT", f"/cas/{digest}?stage={stage}&sha256={checksum}",
+            bytes(blob))
+
+    def cas_stats(self) -> dict:
+        """The server's CAS counters (``GET /cas``)."""
+        return self.request("GET", "/cas")
 
     def dse_stream(self, space: str, *, sample: int = 500,
                    workers: int | None = None, memoize: bool = True,

@@ -60,11 +60,13 @@ from ..util import telemetry
 from ..util.deadline import check_deadline
 from ..util.diagnostics import diagnostic_payload
 from ..util.faults import fault_point
+from ..util.singleflight import SingleFlight
 from .artifacts import (
     DEFAULT_DISK_BYTES,
     ArtifactKey,
     ArtifactStore,
     DiskStore,
+    RemoteStore,
     artifact_key,
 )
 
@@ -160,13 +162,19 @@ class CompilerPipeline:
     def __init__(self, store: ArtifactStore | None = None,
                  capacity: int = 512,
                  disk: DiskStore | str | Path | None = None,
-                 disk_bytes: int = DEFAULT_DISK_BYTES) -> None:
+                 disk_bytes: int = DEFAULT_DISK_BYTES,
+                 peers: list[str] | tuple[str, ...] | None = None) -> None:
         if store is not None:
             self.store = store
         else:
             tier = (disk if isinstance(disk, DiskStore) or disk is None
                     else DiskStore(disk, max_bytes=disk_bytes))
-            self.store = ArtifactStore(capacity, disk=tier)
+            remote = RemoteStore(peers) if peers else None
+            self.store = ArtifactStore(capacity, disk=tier, remote=remote)
+        # Per-key in-flight dedup: a thundering herd of identical cold
+        # requests elects one leader per stage key; followers block on
+        # the leader's artifact instead of recomputing it.
+        self._flights = SingleFlight()
         # Function-grained sub-artifacts ride through the same two-tier
         # store as whole-stage artifacts (memory LRU + optional disk).
         self.functions = ArtifactFunctionVerdictStore(self.store)
@@ -262,12 +270,24 @@ class CompilerPipeline:
                 stage_span.set_attr("cache", tier)
                 return value
             stage_span.set_attr("cache", "miss")
-            before = self._unit_counters(stage)
-            # The compute runs outside the store lock (get_or_compute's
-            # contract); duplicate concurrent computes stay harmless.
-            value = spec.run(self, source, opts)
-            self._attr_unit_deltas(stage_span, stage, before)
-            self.store.put(key, value)
+
+            def compute() -> Any:
+                before = self._unit_counters(stage)
+                # The compute runs outside the store lock; only the
+                # singleflight leader for this key reaches here.
+                result = spec.run(self, source, opts)
+                self._attr_unit_deltas(stage_span, stage, before)
+                self.store.put(key, result)
+                return result
+
+            # Concurrent identical misses coalesce: one leader runs
+            # ``compute``, followers block on its artifact. Waits only
+            # ever point from a stage to its (transitive) deps, so the
+            # wait graph inherits the stage DAG's acyclicity.
+            value, coalesced = self._flights.do(key, compute)
+            if coalesced:
+                self.store.count_coalesced(stage)
+                stage_span.set_attr("cache", "coalesced")
             return value
 
     def _unit_counters(self, stage: str) -> tuple[int, int] | None:
@@ -302,6 +322,7 @@ class CompilerPipeline:
         stats = self.store.stats()
         stats["functions"] = self.functions.stats()
         stats["compile_units"] = self.units.stats()
+        stats["singleflight"] = self._flights.stats()
         with self._resolved_lock:
             stats["resolved_cache"] = {
                 "entries": len(self._resolved_by_digest),

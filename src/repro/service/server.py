@@ -9,7 +9,14 @@ Endpoints (all JSON bodies):
 * ``POST /interp``   — ``{"source", "check"?}`` → final memories;
 * ``POST /dse``      — ``{"space", "sample"?, "workers"?, "memoize"?}``
   → a sweep summary from :func:`repro.service.pipeline.dse_summary`
-  (which dispatches to the parallel sweep engine);
+  (which dispatches to the parallel sweep engine); ``"async": true``
+  registers a spooled job instead and returns its id immediately;
+* ``GET /jobs``      — async job records: listing, ``/jobs/{id}``
+  status polls, and ``/jobs/{id}/stream`` NDJSON frontier tails;
+* ``GET/PUT /cas``   — the content-addressed artifact exchange:
+  ``/cas/{digest}?stage=…`` serves (and accepts) raw artifact blobs
+  so peered nodes (``serve --peers``) fetch each other's warm
+  artifacts instead of recomputing them;
 * ``GET /healthz``   — liveness probe;
 * ``GET /metrics``   — per-endpoint latency counters + artifact-cache
   hit/miss statistics;
@@ -62,7 +69,9 @@ from ..util import telemetry
 from ..util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from ..util.faults import fault_point, fault_stats
 from ..util.fsio import atomic_write, reap_temp_debris
-from .artifacts import DEFAULT_DISK_BYTES
+from ..util.singleflight import SingleFlight
+from .artifacts import DEFAULT_DISK_BYTES, ArtifactKey
+from .jobs import JobManager, job_id_for
 from .session import (
     DEFAULT_SESSION_CAPACITY,
     DEFAULT_SESSION_TTL_S,
@@ -90,25 +99,42 @@ ENDPOINT_OPTIONS: dict[str, tuple[str, ...]] = {
 #: is bucketed under one key so unknown-path probes can't grow the
 #: table (and the /metrics response) without bound.
 KNOWN_PATHS = frozenset(
-    {"/healthz", "/metrics", "/stages", "/trace", "/dse", "/session"}
+    {"/healthz", "/metrics", "/stages", "/trace", "/dse", "/session",
+     "/cas", "/jobs"}
     | {f"/{name}" for name in ENDPOINT_OPTIONS})
 
 
 def metric_path(path: str) -> str:
     """The metrics-table key for ``path``.
 
-    ``/session/{id}`` routes carry client-chosen ids, so they share
-    the ``/session`` row; any other unknown path shares one bucket so
-    probes can't grow the table without bound.
+    ``/session/{id}``, ``/cas/{digest}``, and ``/jobs/{id}`` routes
+    carry per-request ids, so each family shares its base row; any
+    other unknown path shares one bucket so probes can't grow the
+    table without bound.
     """
-    if path.startswith("/session/"):
-        return "/session"
+    for prefix in ("/session/", "/cas/", "/jobs/"):
+        if path.startswith(prefix):
+            return prefix[:-1]
     return path if path in KNOWN_PATHS else "(unknown)"
 
 
 def encode_payload(payload: Any) -> bytes:
     """The service's canonical JSON encoding (stable across callers)."""
     return (json.dumps(payload, indent=2) + "\n").encode()
+
+
+@dataclass
+class RawPayload:
+    """A non-JSON response body (the ``/cas`` blob exchange).
+
+    ``DahliaService.handle`` returns one of these instead of a JSON
+    payload when the route serves raw bytes; the transport writes the
+    body verbatim under ``content_type`` plus any extra ``headers``.
+    """
+
+    body: bytes
+    content_type: str = "application/octet-stream"
+    headers: dict[str, str] | None = None
 
 
 class BadRequest(Exception):
@@ -346,7 +372,10 @@ def _aggregate_metrics(records: list[dict]) -> dict:
              "evictions": 0, "stages": {},
              "functions": {"checked": 0, "reused": 0},
              "compile_units": {"emitted": 0, "reused": 0},
-             "resolved_cache": {"entries": 0, "reused": 0}}
+             "resolved_cache": {"entries": 0, "reused": 0},
+             "singleflight": {"leaders": 0, "followers": 0,
+                              "failures": 0, "reelections": 0,
+                              "inflight": 0}}
     resilience: dict[str, Any] = {"deadline_exceeded": 0, "shed": 0,
                                   "slow": 0, "faults": None}
     sessions: dict[str, Any] = {
@@ -354,9 +383,15 @@ def _aggregate_metrics(records: list[dict]) -> dict:
         "evicted_lru": 0, "edits": 0, "stale_rejected": 0,
         "replayed": 0, "hydrated": 0, "synced": 0, "not_found": 0,
         "segments": {"reparsed": 0, "reused": 0, "relocated": 0}}
-    dse: dict[str, int] = {"frontier_requests": 0, "stream_requests": 0,
+    dse: dict[str, int] = {"requests": 0, "coalesced": 0,
+                           "async_jobs": 0,
+                           "frontier_requests": 0, "stream_requests": 0,
                            "frontier_updates": 0, "points_evaluated": 0}
+    cas: dict[str, int] = {"served": 0, "stored": 0}
+    jobs: dict[str, int] = {"submitted": 0, "coalesced": 0,
+                            "completed": 0, "failed": 0}
     disk: dict | None = None
+    remote: dict | None = None
     freshest = -1.0
     for record in records:
         metrics = record.get("metrics", {})
@@ -374,6 +409,12 @@ def _aggregate_metrics(records: list[dict]) -> dict:
         row = metrics.get("dse", {})
         for key in dse:
             dse[key] += row.get(key, 0)
+        row = metrics.get("cas", {})
+        for key in cas:
+            cas[key] += row.get(key, 0)
+        row = metrics.get("jobs", {})
+        for key in jobs:
+            jobs[key] += row.get(key, 0)
         row = metrics.get("resilience", {})
         for key in ("deadline_exceeded", "shed", "slow"):
             resilience[key] += row.get(key, 0)
@@ -405,14 +446,23 @@ def _aggregate_metrics(records: list[dict]) -> dict:
         for key in ("capacity", "entries", "hits", "misses", "evictions"):
             cache[key] += row.get(key, 0)
         for stage, counters in row.get("stages", {}).items():
-            into = cache["stages"].setdefault(stage,
-                                              {"hits": 0, "misses": 0})
+            into = cache["stages"].setdefault(
+                stage, {"hits": 0, "misses": 0, "coalesced": 0})
             into["hits"] += counters.get("hits", 0)
             into["misses"] += counters.get("misses", 0)
+            into["coalesced"] += counters.get("coalesced", 0)
         # Function-grained sub-artifact counters (per-worker sums).
-        for block in ("functions", "compile_units", "resolved_cache"):
+        for block in ("functions", "compile_units", "resolved_cache",
+                      "singleflight"):
             for key, value in row.get(block, {}).items():
                 cache[block][key] = cache[block].get(key, 0) + value
+        if "remote" in row:
+            if remote is None:
+                remote = {key: 0 for key in
+                          ("hits", "misses", "errors", "corrupt")}
+            for key in ("hits", "misses", "errors", "corrupt"):
+                remote[key] += row["remote"].get(key, 0)
+            remote["peers"] = row["remote"].get("peers")
         if "disk" in row:
             if disk is None:
                 disk = {key: 0 for key in
@@ -441,9 +491,12 @@ def _aggregate_metrics(records: list[dict]) -> dict:
     cache["stages"] = dict(sorted(cache["stages"].items()))
     if disk is not None:
         cache["disk"] = disk
+    if remote is not None:
+        cache["remote"] = remote
     return {"endpoints": dict(sorted(endpoints.items())),
             "resilience": resilience, "cache": cache,
-            "sessions": sessions, "dse": dse}
+            "sessions": sessions, "dse": dse, "cas": cas,
+            "jobs": jobs}
 
 
 class DahliaService:
@@ -465,9 +518,15 @@ class DahliaService:
                  trace_dir: str | Path | None = None,
                  max_sessions: int = DEFAULT_SESSION_CAPACITY,
                  session_ttl: float = DEFAULT_SESSION_TTL_S,
-                 session_dir: str | Path | None = None) -> None:
+                 session_dir: str | Path | None = None,
+                 peers: list[str] | tuple[str, ...] | None = None,
+                 job_dir: str | Path | None = None) -> None:
+        #: ``peers`` attaches the remote CAS tier: HOST:PORT addresses
+        #: of fleet nodes whose ``/cas`` routes back this node's cache
+        #: misses (ignored when a ready-made ``pipeline`` is passed).
         self.pipeline = pipeline or CompilerPipeline(
-            capacity=capacity, disk=cache_dir, disk_bytes=cache_bytes)
+            capacity=capacity, disk=cache_dir, disk_bytes=cache_bytes,
+            peers=peers)
         #: Stateful /session edit protocol; ``session_dir`` (the fleet
         #: spool) lets any prefork worker pick up a session a peer
         #: opened.
@@ -488,11 +547,20 @@ class DahliaService:
         #: Fleet trace spool: lets any worker serve /trace lookups for
         #: traces another worker finished.
         self.spool = TraceSpool(trace_dir) if trace_dir else None
+        #: Async /dse jobs; ``job_dir`` (the fleet spool) lets any
+        #: prefork worker resolve a job a peer owns.
+        self.jobs = JobManager(self._run_job, spool_dir=job_dir)
         self._metrics: dict[str, EndpointMetrics] = {}
         self._metrics_lock = threading.Lock()
         self._resilience = {"deadline_exceeded": 0, "shed": 0, "slow": 0}
-        self._dse = {"frontier_requests": 0, "stream_requests": 0,
+        self._dse = {"requests": 0, "coalesced": 0, "async_jobs": 0,
+                     "frontier_requests": 0, "stream_requests": 0,
                      "frontier_updates": 0, "points_evaluated": 0}
+        self._cas = {"served": 0, "stored": 0}
+        #: Request-level singleflight for identical concurrent /dse
+        #: submissions (keyed on the canonical job digest): a herd of
+        #: N identical sweeps costs one engine run.
+        self._dse_flights = SingleFlight()
         self._started = time.perf_counter()
 
     # -- trace access (ring buffer + fleet spool) ---------------------------
@@ -625,20 +693,84 @@ class DahliaService:
         self._record_dse(summary, streamed)
         return summary
 
+    def _run_sweep(self, params: dict[str, Any]) -> dict:
+        """One engine run for ``params`` (either mode), summarized."""
+        if params["mode"] == "frontier":
+            return self._run_frontier(params)
+        summary = dse_summary(
+            params["space"], sample=params["sample"],
+            sample_seed=params["sample_seed"],
+            workers=params["workers"],
+            memoize=params["memoize"])
+        # ``points_evaluated`` counts configs the engine actually ran,
+        # whatever the mode: coalesced and cached requests add nothing,
+        # so the counter exposes sweeps saved, not requests served.
+        with self._metrics_lock:
+            self._dse["points_evaluated"] += summary.get("points", 0)
+        return summary
+
+    def _run_job(self, params: dict[str, Any],
+                 on_update: Any) -> dict:
+        """JobManager runner: execute an async sweep to its payload."""
+        if params["mode"] == "frontier":
+            return {"ok": True,
+                    **self._run_frontier(params, on_update=on_update)}
+        return {"ok": True, **self._run_sweep(params)}
+
     def _respond_dse(self, request: Mapping[str, Any]) -> dict:
         params = self._parse_dse(request)
+        with self._metrics_lock:
+            self._dse["requests"] += 1
+        if request.get("async"):
+            if request.get("stream"):
+                raise BadRequest('"stream" and "async" are exclusive '
+                                 '(tail an async job via GET '
+                                 '/jobs/{id}/stream)')
+            record, coalesced = self.jobs.submit(params)
+            with self._metrics_lock:
+                self._dse["async_jobs"] += 1
+                if coalesced:
+                    self._dse["coalesced"] += 1
+            return {"ok": True, "job": record["job"],
+                    "state": record["state"], "space": record["space"],
+                    "mode": record["mode"], "coalesced": coalesced}
+        # Synchronous path: identical concurrent submissions coalesce
+        # onto one engine run (the leader's summary is shared, so the
+        # responses are byte-identical by construction).
         try:
-            if params["mode"] == "frontier":
-                summary = self._run_frontier(params)
-            else:
-                summary = dse_summary(
-                    params["space"], sample=params["sample"],
-                    sample_seed=params["sample_seed"],
-                    workers=params["workers"],
-                    memoize=params["memoize"])
+            summary, coalesced = self._dse_flights.do(
+                job_id_for(params), lambda: self._run_sweep(params))
         except ValueError as error:
             raise BadRequest(str(error)) from None
+        if coalesced:
+            with self._metrics_lock:
+                self._dse["coalesced"] += 1
         return {"ok": True, **summary}
+
+    def job_stream(self, job_id: str, emit: Any,
+                   request_id: str | None = None,
+                   stop: Any = None) -> int:
+        """Streaming ``GET /jobs/{id}/stream``: tail a job's updates.
+
+        Same event vocabulary as :meth:`dse_stream` — ``frontier``
+        updates (replayed from the spooled record, monotone versions),
+        then a terminal ``result`` or ``error``. Never raises; records
+        the stream under the ``/jobs`` metrics row.
+        """
+        started = time.perf_counter()
+        try:
+            status = self.jobs.tail(job_id, emit, stop=stop)
+        except Exception as error:  # noqa: BLE001 — service boundary
+            status = 500
+            emit({"type": "error", "status": status,
+                  "payload": {"ok": False,
+                              "error": f"{type(error).__name__}: "
+                                       f"{error}"}})
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._metrics_lock:
+            self._metrics.setdefault("/jobs", EndpointMetrics()) \
+                .record(elapsed_ms, error=status >= 400)
+        return status
 
     def dse_stream(self, body: bytes, emit: Any,
                    request_id: str | None = None) -> int:
@@ -731,6 +863,7 @@ class DahliaService:
                          for path, m in sorted(self._metrics.items())}
             resilience = dict(self._resilience)
             dse = dict(self._dse)
+            cas = dict(self._cas)
         resilience["faults"] = fault_stats()
         return {
             "uptime_s": round(time.perf_counter() - self._started, 3),
@@ -740,6 +873,8 @@ class DahliaService:
             "cache": self.pipeline.stats(),
             "sessions": self.sessions.stats(),
             "dse": dse,
+            "cas": cas,
+            "jobs": self.jobs.stats(),
         }
 
     def publish_stats(self) -> None:
@@ -896,6 +1031,10 @@ class DahliaService:
                   request_id: str | None = None) -> tuple[int, Any]:
         if path == "/session" or path.startswith("/session/"):
             return self._dispatch_session(method, path, body, request_id)
+        if path == "/cas" or path.startswith("/cas/"):
+            return self._dispatch_cas(method, path, params, body)
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return self._dispatch_jobs(method, path, params)
         if method == "GET":
             if path == "/healthz":
                 payload = self.health()
@@ -922,6 +1061,114 @@ class DahliaService:
         if not isinstance(request, dict):
             raise BadRequest("request body must be a JSON object")
         return 200, self.respond(endpoint, request)
+
+    def _dispatch_cas(self, method: str, path: str,
+                      params: Mapping[str, list[str]],
+                      body: bytes) -> tuple[int, Any]:
+        """The content-addressed artifact exchange.
+
+        ``GET /cas/{digest}?stage=…`` serves the raw pickle blob from
+        the *local* tiers (memory peek or disk file — never a peer
+        probe, so mutually-peered fleets cannot recurse), with its
+        SHA-256 in ``X-CAS-Sha256`` for the fetcher to verify. ``PUT
+        /cas/{digest}?stage=…&sha256=…`` installs a pushed blob after
+        verifying the checksum and that it decodes (``cache prewarm
+        --server``). Bare ``GET /cas`` reports exchange counters.
+        """
+        if method not in ("GET", "PUT"):
+            return 405, {"ok": False,
+                         "error": f"method {method} not allowed"}
+        digest = path[len("/cas/"):] if path.startswith("/cas/") else ""
+        if not digest:
+            if method == "GET":
+                remote = self.pipeline.store.remote
+                with self._metrics_lock:
+                    counters = dict(self._cas)
+                return 200, {
+                    "ok": True,
+                    "cas": counters,
+                    "remote": remote.stats() if remote else None,
+                }
+            raise BadRequest("PUT requires a digest: /cas/{digest}")
+        if "/" in digest:
+            return 404, {"ok": False,
+                         "error": f"no such endpoint {path!r}"}
+        stage = (params.get("stage") or [""])[0]
+        if not stage:
+            raise BadRequest('query parameter "stage" is required')
+        key = ArtifactKey(stage, digest)
+        if method == "GET":
+            blob = self.pipeline.store.peek_blob(key)
+            if blob is None:
+                return 404, {"ok": False,
+                             "error": f"no artifact {key}"}
+            with self._metrics_lock:
+                self._cas["served"] += 1
+            return 200, RawPayload(blob, headers={
+                "X-CAS-Sha256": hashlib.sha256(blob).hexdigest(),
+                "X-CAS-Stage": stage,
+            })
+        expected = (params.get("sha256") or [""])[0]
+        if not expected:
+            raise BadRequest('query parameter "sha256" is required '
+                             'for PUT')
+        if hashlib.sha256(body).hexdigest() != expected:
+            raise BadRequest("blob checksum mismatch (corrupt upload)")
+        if not self.pipeline.store.import_blob(key, body):
+            raise BadRequest("blob does not decode as an artifact")
+        with self._metrics_lock:
+            self._cas["stored"] += 1
+        return 200, {"ok": True, "stored": True, "stage": stage,
+                     "digest": digest}
+
+    def _job_payload(self, record: Mapping[str, Any]) -> dict:
+        payload = {
+            "ok": True,
+            "job": record.get("job"),
+            "state": record.get("state"),
+            "space": record.get("space"),
+            "mode": record.get("mode"),
+            "frontier_version": record.get("frontier_version", 0),
+            "updates": len(record.get("updates", [])),
+        }
+        if record.get("state") == "done":
+            payload["result"] = record.get("result")
+        elif record.get("state") == "error":
+            payload["error"] = record.get("error", "job failed")
+        return payload
+
+    def _dispatch_jobs(self, method: str, path: str,
+                       params: Mapping[str, list[str]]) -> tuple[int, Any]:
+        """Async job introspection: listing, status polls, and (when
+        ``handle`` is called directly, without the streaming
+        transport) a buffered stand-in for ``/jobs/{id}/stream``."""
+        if method != "GET":
+            return 405, {"ok": False,
+                         "error": f"method {method} not allowed"}
+        job_id = path[len("/jobs/"):] if path.startswith("/jobs/") else ""
+        if not job_id:
+            try:
+                limit = int((params.get("limit") or ["20"])[0])
+            except ValueError:
+                raise BadRequest("malformed limit (expected an "
+                                 "integer)") from None
+            records = self.jobs.list(limit)
+            return 200, {
+                "ok": True,
+                "count": len(records),
+                "jobs": [self._job_payload(record)
+                         for record in records],
+            }
+        if job_id.endswith("/stream"):
+            job_id = job_id[:-len("/stream")]
+        if "/" in job_id or not job_id:
+            return 404, {"ok": False,
+                         "error": f"no such endpoint {path!r}"}
+        record = self.jobs.get(job_id)
+        if record is None:
+            return 404, {"ok": False,
+                         "error": f"no such job {job_id!r}"}
+        return 200, self._job_payload(record)
 
     def _dispatch_session(self, method: str, path: str, body: bytes,
                           request_id: str | None) -> tuple[int, Any]:
@@ -989,11 +1236,11 @@ MAX_HEADER_BYTES = 64 * 1024
 
 def _response_bytes(status: int, body: bytes, keep_alive: bool,
                     extra_headers: Mapping[str, str] | None = None,
-                    ) -> bytes:
+                    content_type: str = "application/json") -> bytes:
     reason = _REASONS.get(status, "OK")
     connection = "keep-alive" if keep_alive else "close"
     head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n")
     for name, value in (extra_headers or {}).items():
         head += f"{name}: {value}\r\n"
@@ -1015,8 +1262,21 @@ def _wants_stream(path: str, body: bytes) -> bool:
         request = json.loads(body.decode() or "{}")
     except (UnicodeDecodeError, json.JSONDecodeError):
         return False
+    # An async submission never streams inline (tail the job instead);
+    # letting it reach the buffered path produces the 400 explaining
+    # exactly that.
     return (isinstance(request, dict) and bool(request.get("stream"))
-            and request.get("mode") == "frontier")
+            and request.get("mode") == "frontier"
+            and not request.get("async"))
+
+
+def _job_stream_id(path: str) -> str | None:
+    """The job id when ``path`` is ``/jobs/{id}/stream``, else None."""
+    bare = path.partition("?")[0]
+    if not bare.startswith("/jobs/") or not bare.endswith("/stream"):
+        return None
+    job_id = bare[len("/jobs/"):-len("/stream")]
+    return job_id if job_id and "/" not in job_id else None
 
 
 def _stream_head(keep_alive: bool,
@@ -1243,13 +1503,7 @@ class ServiceServer:
         transport backstop for streams, because the search checks the
         deadline every batch.
         """
-        assert self._executor is not None
-        queue: asyncio.Queue = asyncio.Queue()
-
-        def emit(event: dict) -> None:
-            loop.call_soon_threadsafe(queue.put_nowait, event)
-
-        def run() -> None:
+        def run(emit: Any) -> None:
             budget = self._route_budget("/dse")
             scope = (deadline_scope(Deadline(budget))
                      if budget is not None
@@ -1257,7 +1511,52 @@ class ServiceServer:
             with scope:
                 self.service.dse_stream(body, emit, request_id)
 
-        future = loop.run_in_executor(self._executor, run)
+        await self._stream_events(loop, writer, run, keep_alive,
+                                  response_headers)
+
+    async def _stream_job(self, loop: asyncio.AbstractEventLoop,
+                          writer: asyncio.StreamWriter, job_id: str,
+                          request_id: str, keep_alive: bool,
+                          response_headers: Mapping[str, str]) -> None:
+        """Serve ``GET /jobs/{id}/stream`` as chunked NDJSON.
+
+        The tail polls the (possibly fleet-shared) job record on the
+        executor; the stop event makes a client disconnect release the
+        tailing thread instead of letting it follow the job to
+        completion for nobody.
+        """
+        stop = threading.Event()
+
+        def run(emit: Any) -> None:
+            self.service.job_stream(job_id, emit, request_id, stop=stop)
+
+        try:
+            await self._stream_events(loop, writer, run, keep_alive,
+                                      response_headers)
+        finally:
+            stop.set()
+
+    async def _stream_events(self, loop: asyncio.AbstractEventLoop,
+                             writer: asyncio.StreamWriter, run: Any,
+                             keep_alive: bool,
+                             response_headers: Mapping[str, str]) -> None:
+        """Common NDJSON stream transport.
+
+        ``run(emit)`` executes on the executor and emits JSON-ready
+        event dicts (thread → loop via ``call_soon_threadsafe``); a
+        sentinel follows its completion. The first event decides the
+        wire format: an ``error`` event becomes a normal buffered
+        response with its real status code (nothing has been written
+        yet); anything else opens a chunked 200 and every event is one
+        JSON line in its own chunk.
+        """
+        assert self._executor is not None
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def emit(event: dict) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        future = loop.run_in_executor(self._executor, run, emit)
 
         def finish(f: Any) -> None:
             # Runs on the loop, after every emit already queued from
@@ -1328,6 +1627,18 @@ class ServiceServer:
                 assert self._semaphore and self._executor
                 response_headers: dict[str, str] = {
                     "X-Request-Id": request_id}
+                if method == "GET" and _job_stream_id(path) is not None:
+                    # Tail an async job as chunked NDJSON. Like other
+                    # GETs this bypasses the admission semaphore — the
+                    # tail is I/O-bound polling, not pipeline work, and
+                    # a stuck fleet must stay observable.
+                    await self._stream_job(
+                        loop, writer, _job_stream_id(path) or "",
+                        request_id, keep_alive,
+                        {"X-Request-Id": request_id})
+                    if not keep_alive:
+                        break
+                    continue
                 if method == "GET":
                     # Probes (/healthz, /metrics, /stages) bypass the
                     # semaphore so they answer even when every slot is
@@ -1398,17 +1709,35 @@ class ServiceServer:
                         # stalls the accept loop.
                         await loop.run_in_executor(
                             self._executor, self.service.publish_stats)
-                data = encode_payload(payload)
-                writer.write(_response_bytes(status, data, keep_alive,
-                                             response_headers))
+                if isinstance(payload, RawPayload):
+                    # The /cas blob exchange: raw bytes, not JSON.
+                    raw_headers = dict(response_headers)
+                    raw_headers.update(payload.headers or {})
+                    writer.write(_response_bytes(
+                        status, payload.body, keep_alive, raw_headers,
+                        content_type=payload.content_type))
+                else:
+                    data = encode_payload(payload)
+                    writer.write(_response_bytes(status, data, keep_alive,
+                                                 response_headers))
                 await writer.drain()
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError,
                 BrokenPipeError):
             pass                              # client went away mid-request
+        except asyncio.CancelledError:
+            # Server shutdown cancels connections parked on a read
+            # (keep-alive clients leave one parked per connection).
+            # Completing normally here keeps asyncio.streams' task
+            # done-callback from re-raising the cancellation into the
+            # loop's exception handler on 3.11.
+            pass
         finally:
-            with contextlib.suppress(Exception):
+            # CancelledError is a BaseException: a shutdown cancel
+            # landing while this drain awaits must not resurrect the
+            # cancellation the handler above already absorbed.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
 
@@ -1426,10 +1755,12 @@ class BackgroundServer:
                  host: str = "127.0.0.1", port: int = 0,
                  max_inflight: int = 8,
                  request_timeout: float | None = None,
-                 queue_depth: int | None = None) -> None:
+                 queue_depth: int | None = None,
+                 threads: int | None = None) -> None:
         self.server = ServiceServer(service, host, port, max_inflight,
                                     request_timeout=request_timeout,
-                                    queue_depth=queue_depth)
+                                    queue_depth=queue_depth,
+                                    threads=threads)
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._started = threading.Event()
@@ -1557,6 +1888,7 @@ class _WorkerConfig:
     slow_request_ms: float | None = None
     max_sessions: int = DEFAULT_SESSION_CAPACITY
     session_ttl: float = DEFAULT_SESSION_TTL_S
+    peers: tuple[str, ...] | None = None
 
 
 def _bind_socket(host: str, port: int, *, reuse_port: bool,
@@ -1603,7 +1935,9 @@ def _worker_main(config: _WorkerConfig,
         trace_dir=Path(config.board_dir) / "traces",
         max_sessions=config.max_sessions,
         session_ttl=config.session_ttl,
-        session_dir=Path(config.board_dir) / "sessions")
+        session_dir=Path(config.board_dir) / "sessions",
+        peers=config.peers,
+        job_dir=Path(config.board_dir) / "jobs")
 
     async def run() -> None:
         sock = listen_sock
@@ -1636,7 +1970,8 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
                    trace_sample: float | None = None,
                    slow_request_ms: float | None = None,
                    max_sessions: int = DEFAULT_SESSION_CAPACITY,
-                   session_ttl: float = DEFAULT_SESSION_TTL_S) -> None:
+                   session_ttl: float = DEFAULT_SESSION_TTL_S,
+                   peers: tuple[str, ...] | None = None) -> None:
     """Supervise a fleet of worker processes sharing one port."""
     import multiprocessing
     import signal
@@ -1660,7 +1995,7 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
                              trace_sample=trace_sample,
                              slow_request_ms=slow_request_ms,
                              max_sessions=max_sessions,
-                             session_ttl=session_ttl)
+                             session_ttl=session_ttl, peers=peers)
 
     if reuse_port:
         # Bind (without listening) to resolve the port and hold it for
@@ -1692,7 +2027,8 @@ def _serve_prefork(host: str, port: int, *, capacity: int,
             request_timeout=request_timeout, queue_depth=queue_depth,
             fault_plan=fault_plan, trace_sample=trace_sample,
             slow_request_ms=slow_request_ms,
-            max_sessions=max_sessions, session_ttl=session_ttl)
+            max_sessions=max_sessions, session_ttl=session_ttl,
+            peers=tuple(peers) if peers else None)
         process = context.Process(target=_worker_main,
                                   args=(config, listen_sock),
                                   name=f"dahlia-worker-{index}")
@@ -1763,17 +2099,23 @@ def _serve_single(host: str, port: int, *, capacity: int,
                   trace_sample: float | None = None,
                   slow_request_ms: float | None = None,
                   max_sessions: int = DEFAULT_SESSION_CAPACITY,
-                  session_ttl: float = DEFAULT_SESSION_TTL_S) -> None:
+                  session_ttl: float = DEFAULT_SESSION_TTL_S,
+                  peers: tuple[str, ...] | None = None) -> None:
     if fault_plan:
         from ..util.faults import FaultPlan, install_plan
 
         install_plan(FaultPlan.from_file(fault_plan))
+    # Spooled jobs need a directory; ride the cache dir so restarts
+    # (and CLI inspection) resolve the same records. Memory-only
+    # deployments keep jobs process-local.
+    job_dir = Path(cache_dir) / "jobs" if cache_dir else None
     service = DahliaService(capacity=capacity, dse_workers=dse_workers,
                             cache_dir=cache_dir, cache_bytes=cache_bytes,
                             trace_sample=trace_sample,
                             slow_request_ms=slow_request_ms,
                             max_sessions=max_sessions,
-                            session_ttl=session_ttl)
+                            session_ttl=session_ttl,
+                            peers=peers, job_dir=job_dir)
 
     async def main() -> None:
         server = ServiceServer(service, host, port,
@@ -1808,7 +2150,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
           trace_sample: float | None = None,
           slow_request_ms: float | None = None,
           max_sessions: int = DEFAULT_SESSION_CAPACITY,
-          session_ttl: float = DEFAULT_SESSION_TTL_S) -> None:
+          session_ttl: float = DEFAULT_SESSION_TTL_S,
+          peers: list[str] | tuple[str, ...] | None = None) -> None:
     """Blocking entry point behind ``dahlia-py serve``.
 
     ``workers > 1`` preforks that many serving processes sharing the
@@ -1820,11 +2163,14 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
     names a JSON fault plan installed in every serving process.
     ``trace_sample`` sets the request-trace sampling rate (default:
     ``$REPRO_TRACE_SAMPLE`` or 1.0) and ``slow_request_ms`` arms the
-    slow-request log — see docs/observability.md.
+    slow-request log — see docs/observability.md. ``peers`` lists
+    other fleet nodes (``HOST:PORT``) whose ``/cas`` routes are probed
+    on local cache misses — see docs/operations.md.
     """
     if cache_dir is None:
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     cache_dir = str(cache_dir) if cache_dir else None
+    peer_tuple = tuple(peers) if peers else None
     workers = max(1, workers)
     if workers == 1:
         _serve_single(host, port, capacity=capacity,
@@ -1834,7 +2180,8 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
                       queue_depth=queue_depth, fault_plan=fault_plan,
                       trace_sample=trace_sample,
                       slow_request_ms=slow_request_ms,
-                      max_sessions=max_sessions, session_ttl=session_ttl)
+                      max_sessions=max_sessions, session_ttl=session_ttl,
+                      peers=peer_tuple)
     else:
         _serve_prefork(host, port, capacity=capacity,
                        max_inflight=max_inflight, dse_workers=dse_workers,
@@ -1845,4 +2192,5 @@ def serve(host: str = "127.0.0.1", port: int = 8080, *,
                        trace_sample=trace_sample,
                        slow_request_ms=slow_request_ms,
                        max_sessions=max_sessions,
-                       session_ttl=session_ttl)
+                       session_ttl=session_ttl,
+                       peers=peer_tuple)

@@ -1,0 +1,127 @@
+"""Per-key in-flight call deduplication (singleflight).
+
+A thundering herd of identical requests — N clients all asking for the
+same cold artifact, or N identical ``/dse`` submissions — should cost
+exactly one compute. :class:`SingleFlight` provides that: the first
+caller for a key becomes the **leader** and runs the function; callers
+arriving while the leader is in flight become **followers** and block
+until the leader publishes its result, then return the same value.
+
+Failure semantics are the important part. A leader that raises does
+*not* poison its followers: the failed flight is retired, the leader's
+exception propagates to the leader alone, and every follower wakes,
+sees the failure, and **re-elects** — one of them becomes the new
+leader and computes; the rest follow the new flight. A transient
+failure (an injected fault, a worker killed mid-compile) therefore
+costs one extra compute, never a cascade of errors.
+
+Followers wait cooperatively: the event wait is sliced so a request
+deadline (:func:`repro.util.deadline.check_deadline`) can fire while
+blocked, turning a stuck leader into a structured 503 on the follower
+rather than an unbounded hang.
+
+Everything here is process-local. Cross-process dedup for the server
+fleet rides the shared artifact tier and the job spool instead — by
+the time a second worker misses its cache, the first worker's leader
+has usually already published the artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+from .deadline import check_deadline
+from .faults import fault_point
+
+__all__ = ["SingleFlight"]
+
+#: Follower wake-up slice: short enough that a deadline expiring while
+#: a follower waits is noticed promptly, long enough to stay cheap.
+_WAIT_SLICE_S = 0.05
+
+
+class _Flight:
+    """One in-flight computation: its latch and eventual outcome."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Thread-safe per-key call coalescing with leader re-election."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+        self.leaders = 0        # calls that actually computed
+        self.followers = 0      # calls served by waiting on a leader
+        self.failures = 0       # leader computes that raised
+        self.reelections = 0    # followers promoted after a failure
+
+    def do(self, key: Hashable,
+           fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run ``fn`` once per concurrent ``key``; share the result.
+
+        Returns ``(value, coalesced)`` — ``coalesced`` is ``True`` when
+        this call waited on another caller's compute instead of running
+        ``fn`` itself. A leader's exception propagates to the leader
+        only; followers of a failed flight re-elect and retry.
+        """
+        followed = False
+        while True:
+            with self._lock:
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    self.leaders += 1
+                    if followed:
+                        self.reelections += 1
+                    leader = True
+                else:
+                    if not followed:
+                        self.followers += 1
+                    leader = False
+            if leader:
+                try:
+                    # Chaos site: an ``error`` spec here fails the
+                    # elected leader before its compute publishes,
+                    # which is exactly the mid-compile death the
+                    # re-election contract exists for.
+                    fault_point("singleflight.leader")
+                    value = fn()
+                except BaseException as error:
+                    with self._lock:
+                        self._flights.pop(key, None)
+                        self.failures += 1
+                    flight.error = error
+                    flight.event.set()
+                    raise
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.value = value
+                flight.event.set()
+                return value, followed
+            # Follower: wait for the leader, deadline-cooperatively.
+            while not flight.event.wait(_WAIT_SLICE_S):
+                check_deadline()
+            if flight.error is None:
+                return flight.value, True
+            # The leader died. Loop: either become the new leader
+            # (counted as a re-election) or follow whoever beat us.
+            followed = True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "leaders": self.leaders,
+                "followers": self.followers,
+                "failures": self.failures,
+                "reelections": self.reelections,
+                "inflight": len(self._flights),
+            }

@@ -464,6 +464,74 @@ def test_client_honors_retry_after_header():
     assert served[1] - served[0] >= 1.0
 
 
+# ---------------------------------------------------------------------------
+# Singleflight under chaos: a killed coalescing leader re-elects.
+# ---------------------------------------------------------------------------
+
+def test_killed_singleflight_leader_reelects_with_identical_bytes():
+    """Kill the /dse coalescing leader mid-compile; followers recover.
+
+    The fault holds the first elected leader at the
+    ``singleflight.leader`` site long enough for identical requests to
+    pile onto its flight, then fails it. The contract: only the dead
+    leader's own request surfaces the fault (500); every follower
+    re-elects, exactly one replacement sweep runs, and all surviving
+    responses are byte-identical — coalescing shares one summary, so
+    there is no per-request timing skew to diverge them.
+    """
+    service = DahliaService()
+    body = json.dumps({"space": "gemm-blocked", "sample": 8,
+                       "mode": "frontier", "sample_seed": 2}).encode()
+    plan = FaultPlan.from_dict({
+        "name": "kill-dse-leader", "seed": 5,
+        "sites": {"singleflight.leader": {
+            "count": 1, "latency_s": 0.5, "error": "RuntimeError"}},
+    })
+    responses = []
+
+    def submit():
+        responses.append(service.handle("POST", "/dse", body))
+
+    with active(plan):
+        leader = threading.Thread(target=submit)
+        leader.start()
+        # The doomed leader is parked in the fault's latency window;
+        # wait for its flight to register, then pile on followers so
+        # they are provably coalesced onto the flight that will die.
+        deadline = time.monotonic() + 5.0
+        while service._dse_flights.stats()["inflight"] == 0:
+            assert time.monotonic() < deadline, "leader never took off"
+            time.sleep(0.005)
+        followers = [threading.Thread(target=submit) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        leader.join(timeout=120)
+        for thread in followers:
+            thread.join(timeout=120)
+
+    assert len(responses) == 4
+    failures = [(status, payload) for status, payload in responses
+                if status != 200]
+    survivors = [payload for status, payload in responses if status == 200]
+    assert len(failures) == 1            # the killed leader's request only
+    assert "RuntimeError" in failures[0][1]["error"]
+    assert len(survivors) == 3
+    assert all(payload["ok"] for payload in survivors)
+    blobs = {encode_payload(payload) for payload in survivors}
+    assert len(blobs) == 1               # byte-identical across survivors
+
+    flights = service._dse_flights.stats()
+    assert flights["failures"] == 1
+    assert flights["reelections"] == 1   # exactly one promotion
+    assert flights["leaders"] == 2       # dead leader + its replacement
+    assert flights["inflight"] == 0
+    # No duplicate sweeps: the engine ran once, so the fleet-level
+    # points_evaluated equals a single response's evaluated count.
+    _, metrics = service.handle("GET", "/metrics", b"")
+    assert metrics["dse"]["points_evaluated"] == survivors[0]["evaluated"]
+    assert metrics["dse"]["coalesced"] >= 2
+
+
 def test_kill_exit_code_is_distinct():
     """The injected-death exit code must not collide with Python's."""
     assert KILL_EXIT_CODE not in (0, 1, 2)

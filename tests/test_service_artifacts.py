@@ -72,8 +72,10 @@ def test_stats_report_per_stage():
     store.get_or_compute(artifact_key("parse", "a"), lambda: 1)
     store.get_or_compute(artifact_key("check", "a"), lambda: 2)
     stats = store.stats()
-    assert stats["stages"]["parse"] == {"hits": 1, "misses": 1}
-    assert stats["stages"]["check"] == {"hits": 0, "misses": 1}
+    assert stats["stages"]["parse"] == {
+        "hits": 1, "misses": 1, "coalesced": 0}
+    assert stats["stages"]["check"] == {
+        "hits": 0, "misses": 1, "coalesced": 0}
     assert stats["entries"] == 2
     assert 0.0 <= stats["hit_rate"] <= 1.0
 

@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.util.singleflight`.
+
+The contract: identical concurrent keys cost one compute (followers
+share the leader's value by identity), distinct keys never coalesce,
+a failed leader poisons nobody (followers re-elect), and a follower
+parked behind a stuck leader still honors its request deadline.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
+from repro.util.faults import FaultPlan, active
+from repro.util.singleflight import SingleFlight
+
+
+def test_concurrent_identical_keys_compute_once():
+    flights = SingleFlight()
+    computes = []
+    release = threading.Event()
+    followers_in = threading.Barrier(4)
+
+    def compute():
+        computes.append(threading.get_ident())
+        release.wait(5.0)
+        return {"value": 42}
+
+    def call():
+        followers_in.wait(timeout=5.0)
+        return flights.do("k", compute)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(call) for _ in range(4)]
+        # Let every thread reach the do() call, then wait until the
+        # leader has started computing and release it.
+        while not computes:
+            time.sleep(0.005)
+        time.sleep(0.05)      # give followers time to park on the flight
+        release.set()
+        results = [future.result(timeout=10) for future in futures]
+
+    assert len(computes) == 1
+    values = [value for value, _ in results]
+    assert all(value is values[0] for value in values)  # shared object
+    coalesced = sorted(flag for _, flag in results)
+    assert coalesced == [False, True, True, True]
+    stats = flights.stats()
+    assert stats["leaders"] == 1
+    assert stats["followers"] == 3
+    assert stats["failures"] == 0
+    assert stats["inflight"] == 0
+
+
+def test_distinct_keys_do_not_coalesce():
+    flights = SingleFlight()
+    results = [flights.do(key, lambda key=key: key * 2)
+               for key in ("a", "b", "a")]
+    assert [value for value, _ in results] == ["aa", "bb", "aa"]
+    # Sequential calls never coalesce, even for a repeated key: the
+    # earlier flight already landed.
+    assert [flag for _, flag in results] == [False, False, False]
+    assert flights.stats()["leaders"] == 3
+
+
+def test_leader_exception_reaches_only_the_leader():
+    flights = SingleFlight()
+    with pytest.raises(RuntimeError, match="boom"):
+        flights.do("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    stats = flights.stats()
+    assert stats["failures"] == 1
+    assert stats["inflight"] == 0
+    # The key is free again: the next call computes fresh.
+    value, coalesced = flights.do("k", lambda: "fresh")
+    assert (value, coalesced) == ("fresh", False)
+
+
+def test_followers_reelect_after_leader_death():
+    """A dying leader costs one extra compute, never a cascade.
+
+    The fault plan holds the first leader at the chaos site for long
+    enough that followers park on its flight, then kills it with an
+    injected error. Every follower must wake, re-elect exactly one new
+    leader, and share the re-elected leader's value.
+    """
+    flights = SingleFlight()
+    plan = FaultPlan.from_dict({
+        "name": "kill-first-leader", "seed": 1,
+        "sites": {"singleflight.leader": {
+            "count": 1, "latency_s": 0.4, "error": "RuntimeError"}},
+    })
+    computes = []
+
+    def compute():
+        computes.append(1)
+        # Long enough that the other woken followers park on the
+        # re-elected leader's flight instead of finding it already
+        # landed and computing their own.
+        time.sleep(0.3)
+        return "payload"
+
+    outcomes = []
+
+    def call():
+        try:
+            outcomes.append(("ok", flights.do("k", compute)))
+        except RuntimeError as error:
+            outcomes.append(("err", str(error)))
+
+    with active(plan):
+        leader = threading.Thread(target=call)
+        leader.start()
+        # The leader is parked inside the fault site's latency window;
+        # wait for its flight to register, then pile on followers.
+        while flights.stats()["inflight"] == 0:
+            time.sleep(0.005)
+        followers = [threading.Thread(target=call) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        leader.join(timeout=10)
+        for thread in followers:
+            thread.join(timeout=10)
+
+    errors = [detail for kind, detail in outcomes if kind == "err"]
+    values = [detail for kind, detail in outcomes if kind == "ok"]
+    assert len(errors) == 1                      # the killed leader only
+    assert len(values) == 3
+    assert all(value == "payload" for value, _ in values)
+    assert len(computes) == 1                    # one real compute
+    stats = flights.stats()
+    assert stats["failures"] == 1
+    assert stats["reelections"] == 1             # one follower promoted
+    assert stats["leaders"] == 2                 # dead leader + promoted
+    assert stats["inflight"] == 0
+
+
+def test_follower_honors_deadline_behind_stuck_leader():
+    flights = SingleFlight()
+    leader_in = threading.Event()
+    release = threading.Event()
+
+    def stuck():
+        leader_in.set()
+        release.wait(10.0)
+        return "late"
+
+    leader = threading.Thread(target=lambda: flights.do("k", stuck))
+    leader.start()
+    try:
+        assert leader_in.wait(5.0)
+        with pytest.raises(DeadlineExceeded):
+            with deadline_scope(Deadline(0.15)):
+                flights.do("k", lambda: "never")
+    finally:
+        release.set()
+        leader.join(timeout=10)
+    assert flights.stats()["inflight"] == 0
